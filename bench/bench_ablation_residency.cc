@@ -1,0 +1,61 @@
+// Ablation of NoVoHT's bounded-memory residency (§III.A: "by tuning the
+// number of Key-Value pairs that are allowed [to] stay in memory, users
+// can achieve the balance between performance and memory consumption"):
+// sweep the resident-value cap and measure Get latency and the
+// disk-read fraction against the same 100K-pair store.
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "novoht/novoht.h"
+
+int main() {
+  using namespace zht;
+  using namespace zht::bench;
+  namespace fs = std::filesystem;
+
+  Banner("NoVoHT residency ablation (§III.A)",
+         "Get latency vs resident-value cap (100K pairs, 132 B values)");
+
+  fs::path dir = fs::temp_directory_path() / "zht_residency_bench";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  constexpr std::size_t kPairs = 100'000;
+  Workload w = MakeWorkload(kPairs, 7);
+
+  PrintRow({"resident cap", "resident", "get (us)", "disk reads",
+            "evictions"},
+           15);
+  for (std::uint64_t cap :
+       {std::uint64_t{0}, std::uint64_t{100'000}, std::uint64_t{50'000},
+        std::uint64_t{10'000}, std::uint64_t{1'000}}) {
+    NoVoHTOptions options;
+    options.path = (dir / ("cap" + std::to_string(cap))).string();
+    options.max_resident_values = cap;
+    options.initial_buckets = kPairs / 2;
+    auto store = NoVoHT::Open(options);
+    if (!store.ok()) return 1;
+    for (std::size_t i = 0; i < kPairs; ++i) {
+      (*store)->Put(w.keys[i], w.values[i]);
+    }
+    // Uniform random reads over the whole key space.
+    Rng rng(cap + 3);
+    Stopwatch watch(SystemClock::Instance());
+    constexpr int kReads = 50'000;
+    for (int i = 0; i < kReads; ++i) {
+      (*store)->Get(w.keys[rng.Below(kPairs)]);
+    }
+    double us = ToMicros(watch.Elapsed()) / kReads;
+    auto stats = (*store)->stats();
+    PrintRow({cap == 0 ? "unbounded" : FmtInt(cap),
+              FmtInt(stats.resident_values), Fmt(us, 2),
+              FmtInt(stats.disk_reads), FmtInt(stats.evictions)},
+             15);
+  }
+  fs::remove_all(dir);
+  Note("the paper's memory/performance balance knob: shrinking the "
+       "resident set trades Get latency (log preads) for memory; keys stay "
+       "in memory so routing and existence checks never touch disk");
+  return 0;
+}

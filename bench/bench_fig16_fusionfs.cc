@@ -1,0 +1,92 @@
+// Figure 16: FusionFS vs GPFS — time per metadata operation (file create)
+// vs scale, 1 to 512 nodes. Two parts:
+//  1. the paper-scale comparison: FusionFS create = FUSE overhead + 3 ZHT
+//     ops (parent stat + metadata insert + directory append) with the ZHT
+//     op latency coming from the calibrated torus simulator; GPFS from the
+//     contention model of Figure 1;
+//  2. a live measurement of this repo's metadata service (creates/sec on
+//     the in-process cluster), reproducing the >60K creates/sec claim
+//     from §V.A at laptop scale.
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "core/local_cluster.h"
+#include "fusionfs/metadata.h"
+#include "sim/kvs_sim.h"
+
+namespace zht::bench {
+namespace {
+
+// FUSE + local path-resolution overhead per create measured by the paper
+// at 1 node: 4.5 ms total with ~0.3 ms of ZHT → ~4.2 ms fixed.
+constexpr double kFuseOverheadMs = 4.2;
+constexpr int kZhtOpsPerCreate = 3;
+
+double FusionFsCreateMs(std::uint64_t nodes) {
+  sim::KvsSimParams params;
+  params.num_nodes = nodes;
+  params.ops_per_client = 24;
+  double zht_ms = sim::RunKvsSim(params).mean_latency_ms;
+  return kFuseOverheadMs + kZhtOpsPerCreate * zht_ms;
+}
+
+}  // namespace
+}  // namespace zht::bench
+
+int main() {
+  using namespace zht;
+  using namespace zht::bench;
+  using fusionfs::GpfsModel;
+
+  Banner("Figure 16", "FusionFS vs GPFS — time per file create (ms)");
+  GpfsModel gpfs;
+  PrintRow({"nodes", "FusionFS", "GPFS (many dir)", "GPFS ratio"});
+  for (std::uint64_t nodes : {1ull, 2ull, 4ull, 8ull, 16ull, 32ull, 64ull,
+                              128ull, 256ull, 512ull}) {
+    double fusion = FusionFsCreateMs(nodes);
+    double g = gpfs.ManyDirMsPerOp(nodes);
+    PrintRow({FmtInt(nodes), Fmt(fusion, 2), Fmt(g, 1),
+              Fmt(g / fusion, 1) + "x"});
+  }
+  Note("paper anchors: FusionFS 4.5 ms @1 node → 8 ms @512 (1.8x growth); "
+       "GPFS 5 ms → 393 ms (78x growth) — nearly two orders of magnitude "
+       "apart at 512 nodes");
+
+  // Live throughput measurement: concurrent creates through the actual
+  // MetadataService over an in-process ZHT cluster.
+  std::printf("\nlive metadata throughput (this repo, in-process cluster):\n");
+  LocalClusterOptions options;
+  options.num_instances = 8;
+  auto cluster = LocalCluster::Start(options);
+  if (!cluster.ok()) return 1;
+  {
+    auto root = (*cluster)->CreateClient();
+    fusionfs::MetadataService fs(root.get());
+    fs.Format();
+    for (int d = 0; d < 4; ++d) fs.MkDir("/d" + std::to_string(d));
+  }
+  constexpr int kClients = 4;
+  constexpr int kCreates = 2000;
+  Stopwatch watch(SystemClock::Instance());
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&cluster, c] {
+      auto client = (*cluster)->CreateClient();
+      fusionfs::MetadataService fs(client.get());
+      for (int i = 0; i < kCreates; ++i) {
+        fusionfs::FileMetadata meta;
+        fs.CreateFile("/d" + std::to_string(c % 4) + "/f" +
+                          std::to_string(c) + "_" + std::to_string(i),
+                      meta);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  double seconds = ToSeconds(watch.Elapsed());
+  std::printf("  %d concurrent clients created %d files in %.2f s → %.0f "
+              "creates/sec (paper: >60K/sec at 2K cores)\n",
+              kClients, kClients * kCreates, seconds,
+              kClients * kCreates / seconds);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 18: MATRIX vs Falkon — task throughput vs scale (100K NO-OP
+// tasks). Paper: Falkon's centralized dispatcher saturates at ~1700
+// tasks/s by 256 cores; MATRIX grows from ~1100 tasks/s at 256 cores to
+// ~4900 at 2048 with no sign of saturation, tracking ZHT's scaling.
+#include "bench/bench_util.h"
+#include "matrix/matrix_sim.h"
+
+int main() {
+  using namespace zht;
+  using namespace zht::bench;
+  using namespace zht::matrix;
+
+  Banner("Figure 18",
+         "MATRIX vs Falkon — throughput vs scale (100K NO-OP tasks, "
+         "virtual time)");
+  PrintRow({"cores", "MATRIX (t/s)", "Falkon (t/s)", "MATRIX steals"}, 16);
+
+  for (std::uint32_t cores : {256u, 512u, 1024u, 2048u}) {
+    MatrixSimParams matrix;
+    matrix.executors = cores;
+    auto m = RunMatrixSim(matrix);
+
+    FalkonSimParams falkon;
+    falkon.executors = cores;
+    // Central-dispatch configuration: executors re-poll quickly; the
+    // ~590 us service time per dispatch is the bottleneck (peak ~1700/s).
+    falkon.poll_interval = 250 * kNanosPerMilli;
+    auto f = RunFalkonSim(falkon);
+
+    PrintRow({FmtInt(cores), Fmt(m.throughput_tasks_s, 0),
+              Fmt(f.throughput_tasks_s, 0), FmtInt(m.successful_steals)},
+             16);
+  }
+  Note("paper anchors: Falkon saturates ~1700 tasks/s at 256 cores; MATRIX "
+       "1100 → 4900 tasks/s from 256 to 2048 cores (submission-bound near "
+       "5K/s, no executor-side saturation)");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 1: time per operation (touch/create) on GPFS vs number of
+// processors on a Blue Gene/P, one directory vs many directories.
+// Regenerated from the centralized-lock contention model calibrated to the
+// paper's measured anchors (5 ms @1, 393 ms many-dir / 2449 ms one-dir
+// @512 nodes, ~63 s one-dir @16K cores).
+#include "bench/bench_util.h"
+#include "fusionfs/metadata.h"
+
+int main() {
+  using namespace zht::bench;
+  using zht::fusionfs::GpfsModel;
+
+  Banner("Figure 1",
+         "Time per operation (touch) on GPFS vs scale (model of the "
+         "paper's measurement)");
+  GpfsModel model;
+  PrintRow({"cores", "many-dir (ms)", "one-dir (ms)"});
+  for (std::uint64_t cores : {1ull, 4ull, 16ull, 64ull, 256ull, 1024ull,
+                              4096ull, 16384ull}) {
+    PrintRow({FmtInt(cores), Fmt(model.ManyDirMsPerOp(cores), 1),
+              Fmt(model.OneDirMsPerOp(cores), 1)});
+  }
+  Note("shape to reproduce: ideal would be flat; GPFS grows ~linearly with "
+       "concurrency, saturating its metadata servers at 4-32 cores; "
+       "one-directory (shared lock) is ~6x worse than many-directory at "
+       "512 nodes and reaches minutes at 16K cores");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 5: ZHT bootstrap time on Blue Gene/P, 64 to 8K nodes, stacked
+// into BG/P partition boot + ZHT server start + neighbor-list generation.
+// The machine-boot and server-start components come from the calibrated
+// model (§III.H anchors: 8 s @1K, 10 s @8K for the ZHT share); the
+// neighbor-list component is actually executed: we build the real
+// membership table for N instances and time it.
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "membership/membership_table.h"
+#include "sim/bootstrap_model.h"
+
+int main() {
+  using namespace zht;
+  using namespace zht::bench;
+
+  Banner("Figure 5", "ZHT bootstrap time vs scale (64 to 8K nodes)");
+  PrintRow({"nodes", "BGP boot (s)", "server start (s)", "neighbors (s)",
+            "total (s)", "measured neigh (ms)"},
+           18);
+
+  for (std::uint64_t nodes : {64ull, 128ull, 256ull, 512ull, 1024ull,
+                              2048ull, 4096ull, 8192ull}) {
+    auto model = sim::ModelBootstrap(nodes);
+
+    // Live measurement of the neighbor-list build: full membership table
+    // (addresses + contiguous partition ownership) for `nodes` instances.
+    std::vector<NodeAddress> addresses;
+    addresses.reserve(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+      addresses.push_back(
+          NodeAddress{"10." + std::to_string(i / 65536) + "." +
+                          std::to_string((i / 256) % 256) + "." +
+                          std::to_string(i % 256),
+                      static_cast<std::uint16_t>(50000 + (i % 1000))});
+    }
+    Stopwatch watch(SystemClock::Instance());
+    auto table = MembershipTable::CreateUniform(
+        static_cast<std::uint32_t>(nodes * 64), addresses);
+    std::string encoded = table.EncodeFull();  // what a node would receive
+    double measured_ms = watch.ElapsedMillis();
+    (void)encoded;
+
+    PrintRow({FmtInt(nodes), Fmt(model.bgp_partition_boot_s, 1),
+              Fmt(model.zht_server_start_s, 1),
+              Fmt(model.neighbor_list_s, 2), Fmt(model.total_s, 1),
+              Fmt(measured_ms, 1)},
+             18);
+  }
+  Note("shape: no global communication in static bootstrap, so the ZHT "
+       "share grows only gently (~8 s @1K → ~10 s @8K) and machine boot "
+       "dominates; the measured column shows the real table build is "
+       "milliseconds even at 8K nodes");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 6: NoVoHT vs KyotoCabinet(-like) vs BerkeleyDB(-like) vs
+// std::unordered_map — latency per operation vs number of key/value pairs.
+// The paper sweeps 1M/10M/100M pairs on a 48-core server; this testbed is
+// a single core, so the sweep is scaled to 100K/300K/1M pairs (the claim —
+// NoVoHT flat and microseconds, persistence costing only ~3 us, disk
+// stores slower and growing — is scale-free).
+#include <filesystem>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "novoht/btree_db.h"
+#include "novoht/hashdb_file.h"
+#include "novoht/memory_map.h"
+#include "novoht/novoht.h"
+
+namespace zht::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+double MicrosPerOp(KVStore& store, const Workload& w) {
+  Stopwatch watch(SystemClock::Instance());
+  for (std::size_t i = 0; i < w.keys.size(); ++i) {
+    store.Put(w.keys[i], w.values[i]);
+  }
+  for (std::size_t i = 0; i < w.keys.size(); ++i) {
+    store.Get(w.keys[i]);
+  }
+  for (std::size_t i = 0; i < w.keys.size(); ++i) {
+    store.Remove(w.keys[i]);
+  }
+  return ToMicros(watch.Elapsed()) /
+         static_cast<double>(3 * w.keys.size());
+}
+
+}  // namespace
+}  // namespace zht::bench
+
+int main() {
+  using namespace zht;
+  using namespace zht::bench;
+
+  Banner("Figure 6",
+         "NoVoHT vs KyotoCabinet-like vs BerkeleyDB-like vs unordered_map "
+         "(us per op: insert+get+remove)");
+  Note("paper sweeps 1M/10M/100M pairs; scaled here to 100K/300K/1M "
+       "(single-core testbed)");
+
+  fs::path dir = fs::temp_directory_path() / "zht_fig6";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  PrintRow({"pairs", "NoVoHT", "NoVoHT(no persist)", "KC-like HashDB",
+            "BDB-like BTree", "unordered_map"},
+           20);
+
+  for (std::size_t pairs : {100'000ul, 300'000ul, 1'000'000ul}) {
+    Workload w = MakeWorkload(pairs, /*seed=*/pairs);
+    std::vector<std::string> row{FmtInt(pairs)};
+
+    {
+      NoVoHTOptions options;
+      options.path = (dir / ("novoht_" + std::to_string(pairs))).string();
+      options.initial_buckets = pairs / 2;
+      auto store = NoVoHT::Open(options);
+      row.push_back(Fmt(MicrosPerOp(**store, w), 2));
+    }
+    {
+      NoVoHTOptions options;  // memory only
+      options.initial_buckets = pairs / 2;
+      auto store = NoVoHT::Open(options);
+      row.push_back(Fmt(MicrosPerOp(**store, w), 2));
+    }
+    {
+      auto store = HashDBFile::Open(
+          (dir / ("hashdb_" + std::to_string(pairs))).string(), pairs);
+      row.push_back(Fmt(MicrosPerOp(**store, w), 2));
+    }
+    {
+      BTreeDBOptions options;
+      options.path = (dir / ("btree_" + std::to_string(pairs))).string();
+      options.cache_pages = 64;
+      auto store = BTreeDB::Open(options);
+      row.push_back(Fmt(MicrosPerOp(**store, w), 2));
+    }
+    {
+      MemoryMap store;
+      row.push_back(Fmt(MicrosPerOp(store, w), 2));
+    }
+    PrintRow(row, 20);
+  }
+  fs::remove_all(dir);
+  Note("shape to reproduce: NoVoHT near-flat and within a few us of the "
+       "pure in-memory stores (persistence adds ~3 us/op); the disk-bound "
+       "stores are several times slower and degrade with scale "
+       "(BDB-like worst, as in the paper)");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Figure 8: ZHT vs Cassandra vs Memcached — latency vs scale (1 to 64
+// nodes on the HEC-Cluster). All three systems run LIVE in-process over
+// the loopback network with an injected 100 us one-way message latency
+// standing in for the cluster's gigabit-Ethernet hop (the substitution
+// documented in DESIGN.md); the per-op differences therefore come from
+// each system's real message count and handler work.
+#include <filesystem>
+#include <memory>
+
+#include "baselines/cassandra_lite.h"
+#include "baselines/memcached_lite.h"
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/stats.h"
+#include "core/local_cluster.h"
+#include "net/loopback.h"
+#include "novoht/novoht.h"
+
+namespace zht::bench {
+namespace {
+
+constexpr Nanos kWireLatency = 100 * kNanosPerMicro;  // one way
+constexpr int kOps = 120;
+
+// ZHT persists every mutation (the paper attributes its small latency gap
+// vs Memcached to exactly this disk write).
+StoreFactory PersistentStores(const std::filesystem::path& dir) {
+  return [dir](PartitionId partition) -> std::unique_ptr<KVStore> {
+    NoVoHTOptions options;
+    options.path = (dir / ("p" + std::to_string(partition))).string();
+    auto store = NoVoHT::Open(options);
+    return store.ok() ? std::move(*store) : nullptr;
+  };
+}
+
+double ZhtLatencyMs(std::uint32_t nodes, const Workload& w) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "zht_fig8";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  LocalClusterOptions options;
+  options.num_instances = nodes;
+  options.store_factory = PersistentStores(dir);
+  auto cluster = LocalCluster::Start(options);
+  if (!cluster.ok()) return -1;
+  (*cluster)->network().SetLatency(kWireLatency);
+  auto client = (*cluster)->CreateClient();
+  LatencyStats stats;
+  for (int i = 0; i < kOps; ++i) {
+    Stopwatch op(SystemClock::Instance());
+    client->Insert(w.keys[static_cast<std::size_t>(i)],
+                   w.values[static_cast<std::size_t>(i)]);
+    client->Lookup(w.keys[static_cast<std::size_t>(i)]);
+    client->Remove(w.keys[static_cast<std::size_t>(i)]);
+    stats.Record(op.Elapsed());
+  }
+  (*cluster)->network().SetLatency(0);  // teardown paths shouldn't sleep
+  cluster->reset();
+  std::filesystem::remove_all(dir);
+  return stats.MeanMillis() / 3.0;
+}
+
+struct CassandraRing {
+  struct Slot {
+    RequestHandler handler;
+  };
+  LoopbackNetwork network;
+  std::vector<std::shared_ptr<Slot>> slots;
+  std::vector<NodeAddress> ring;
+  std::unique_ptr<LoopbackTransport> transport;
+  std::vector<std::unique_ptr<CassandraLiteNode>> nodes;
+
+  explicit CassandraRing(std::uint32_t size) {
+    for (std::uint32_t i = 0; i < size; ++i) {
+      auto slot = std::make_shared<Slot>();
+      ring.push_back(network.Register(
+          [slot](Request&& req) { return slot->handler(std::move(req)); }));
+      slots.push_back(slot);
+    }
+    transport = std::make_unique<LoopbackTransport>(&network);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      CassandraLiteOptions options;
+      options.self = i;
+      options.ring_size = size;
+      // Stand-in for the heavier JVM/SEDA stack the paper cites; applied
+      // per handled message.
+      options.per_op_overhead = 300 * kNanosPerMicro;
+      nodes.push_back(
+          std::make_unique<CassandraLiteNode>(options, ring,
+                                              transport.get()));
+      slots[i]->handler = nodes.back()->AsHandler();
+    }
+    network.SetLatency(kWireLatency);
+  }
+};
+
+double CassandraLatencyMs(std::uint32_t size, const Workload& w) {
+  CassandraRing ring(size);
+  CassandraLiteClient client(ring.ring, ring.transport.get());
+  LatencyStats stats;
+  for (int i = 0; i < kOps; ++i) {
+    Stopwatch op(SystemClock::Instance());
+    client.Put(w.keys[static_cast<std::size_t>(i)],
+               w.values[static_cast<std::size_t>(i)]);
+    client.Get(w.keys[static_cast<std::size_t>(i)]);
+    client.Remove(w.keys[static_cast<std::size_t>(i)]);
+    stats.Record(op.Elapsed());
+  }
+  ring.network.SetLatency(0);
+  return stats.MeanMillis() / 3.0;
+}
+
+double MemcachedLatencyMs(std::uint32_t size, const Workload& w) {
+  LoopbackNetwork network;
+  std::vector<std::unique_ptr<MemcachedLiteServer>> servers;
+  std::vector<NodeAddress> addresses;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    servers.push_back(std::make_unique<MemcachedLiteServer>());
+    addresses.push_back(network.Register(servers.back()->AsHandler()));
+  }
+  LoopbackTransport transport(&network);
+  network.SetLatency(kWireLatency);
+  MemcachedLiteClient client(addresses, &transport);
+  LatencyStats stats;
+  for (int i = 0; i < kOps; ++i) {
+    Stopwatch op(SystemClock::Instance());
+    client.Set(w.keys[static_cast<std::size_t>(i)],
+               w.values[static_cast<std::size_t>(i)]);
+    client.Get(w.keys[static_cast<std::size_t>(i)]);
+    client.Delete(w.keys[static_cast<std::size_t>(i)]);
+    stats.Record(op.Elapsed());
+  }
+  network.SetLatency(0);
+  return stats.MeanMillis() / 3.0;
+}
+
+}  // namespace
+}  // namespace zht::bench
+
+int main() {
+  using namespace zht::bench;
+
+  Banner("Figure 8",
+         "ZHT vs Cassandra vs Memcached — latency vs scale, live cluster "
+         "(ms per op; 100 us injected wire latency)");
+  PrintRow({"nodes", "ZHT", "Cassandra", "Memcached"});
+
+  Workload w = MakeWorkload(kOps);
+  for (std::uint32_t nodes : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    PrintRow({FmtInt(nodes), Fmt(ZhtLatencyMs(nodes, w), 3),
+              Fmt(CassandraLatencyMs(nodes, w), 3),
+              Fmt(MemcachedLatencyMs(nodes, w), 3)});
+  }
+  Note("shape to reproduce (paper): ZHT lowest and near-flat (constant "
+       "routing); Cassandra ~3x ZHT and growing with log(N) routing; "
+       "Memcached slightly better than ZHT (no disk write, no replication "
+       "machinery)");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Google-benchmark micro suite: hash functions (§III.E), the wire codec
+// (the protobuf substitution, §III.G), NoVoHT primitive ops (§III.I), the
+// partition map, and Reed-Solomon coding (§V.B).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "hashing/hash_functions.h"
+#include "hashing/partition_space.h"
+#include "istore/reed_solomon.h"
+#include "novoht/novoht.h"
+#include "serialize/envelope.h"
+
+namespace zht {
+namespace {
+
+std::vector<std::string> MakeKeys(std::size_t count, std::size_t length) {
+  Rng rng(11);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back(rng.AsciiString(length));
+  }
+  return keys;
+}
+
+void BM_HashFnv1a64(benchmark::State& state) {
+  auto keys = MakeKeys(1024, static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fnv1a64(keys[i++ & 1023]));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashFnv1a64)->Arg(15)->Arg(64)->Arg(256);
+
+void BM_HashJenkins64(benchmark::State& state) {
+  auto keys = MakeKeys(1024, static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Jenkins64(keys[i++ & 1023]));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashJenkins64)->Arg(15)->Arg(64)->Arg(256);
+
+void BM_PartitionOfKey(benchmark::State& state) {
+  PartitionSpace space(1u << 20);
+  auto keys = MakeKeys(1024, 15);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.PartitionOfKey(keys[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_PartitionOfKey);
+
+void BM_RequestEncode(benchmark::State& state) {
+  Request request;
+  request.op = OpCode::kInsert;
+  request.seq = 123456;
+  request.key = std::string(15, 'k');
+  request.value = std::string(static_cast<std::size_t>(state.range(0)), 'v');
+  request.epoch = 42;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(request.Encode());
+  }
+}
+BENCHMARK(BM_RequestEncode)->Arg(132)->Arg(1024)->Arg(65536);
+
+void BM_RequestDecode(benchmark::State& state) {
+  Request request;
+  request.op = OpCode::kInsert;
+  request.seq = 123456;
+  request.key = std::string(15, 'k');
+  request.value = std::string(static_cast<std::size_t>(state.range(0)), 'v');
+  std::string encoded = request.Encode();
+  for (auto _ : state) {
+    auto decoded = Request::Decode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_RequestDecode)->Arg(132)->Arg(1024)->Arg(65536);
+
+void BM_NoVoHTPut(benchmark::State& state) {
+  const bool persistent = state.range(0) != 0;
+  std::string path;
+  NoVoHTOptions options;
+  if (persistent) {
+    path = (std::filesystem::temp_directory_path() / "bm_novoht.nvt")
+               .string();
+    std::filesystem::remove(path);
+    options.path = path;
+  }
+  auto store = NoVoHT::Open(options);
+  auto keys = MakeKeys(4096, 15);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    (*store)->Put(keys[i++ & 4095], "value-payload-132-bytes............");
+  }
+  if (persistent) std::filesystem::remove(path);
+}
+BENCHMARK(BM_NoVoHTPut)->Arg(0)->Arg(1);  // 0 = memory, 1 = WAL on disk
+
+void BM_NoVoHTGet(benchmark::State& state) {
+  auto store = NoVoHT::Open(NoVoHTOptions{});
+  auto keys = MakeKeys(4096, 15);
+  for (const auto& key : keys) (*store)->Put(key, "payload");
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*store)->Get(keys[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_NoVoHTGet);
+
+void BM_NoVoHTAppend(benchmark::State& state) {
+  auto store = NoVoHT::Open(NoVoHTOptions{});
+  for (auto _ : state) {
+    (*store)->Append("directory-key", "entry;");
+  }
+}
+BENCHMARK(BM_NoVoHTAppend);
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  auto codec = istore::ReedSolomon::Create(6, 8);
+  Rng rng(3);
+  std::string data =
+      rng.AsciiString(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ReedSolomonEncode)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_ReedSolomonDecodeDegraded(benchmark::State& state) {
+  auto codec = istore::ReedSolomon::Create(6, 8);
+  Rng rng(4);
+  std::string data =
+      rng.AsciiString(static_cast<std::size_t>(state.range(0)));
+  auto chunks = codec->Encode(data);
+  // Worst case: two data chunks lost, parity used.
+  std::vector<int> ids = {2, 3, 4, 5, 6, 7};
+  std::vector<std::string> subset;
+  for (int id : ids) subset.push_back(chunks[static_cast<std::size_t>(id)]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Decode(ids, subset, data.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ReedSolomonDecodeDegraded)->Arg(64 << 10)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace zht
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Shared helpers for the paper-reproduction benchmark binaries: consistent
+// table printing (one bench per table/figure; rows mirror the paper's
+// series) and workload generation (§IV.A: 15-byte ASCII keys, 132-byte
+// values, all-to-all random access).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace zht::bench {
+
+inline void Banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+// Fixed-width row printing: pass header once, then rows of cells.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) std::printf("%*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double value, int decimals = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+inline std::string FmtInt(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+// The paper's micro-benchmark workload (§IV.A).
+struct Workload {
+  std::vector<std::string> keys;
+  std::vector<std::string> values;
+};
+
+inline Workload MakeWorkload(std::size_t count, std::uint64_t seed = 1,
+                             std::size_t key_bytes = 15,
+                             std::size_t value_bytes = 132) {
+  Workload w;
+  Rng rng(seed);
+  w.keys.reserve(count);
+  w.values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    w.keys.push_back(rng.AsciiString(key_bytes));
+    w.values.push_back(rng.AsciiString(value_bytes));
+  }
+  return w;
+}
+
+}  // namespace zht::bench

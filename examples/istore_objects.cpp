@@ -1,0 +1,71 @@
+// IStore (§V.B): erasure-coded object storage with chunk locations managed
+// in ZHT. Writes disperse n chunks over n nodes; reads survive up to
+// `parity` node failures.
+//
+//   ./examples/istore_objects
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/local_cluster.h"
+#include "istore/istore.h"
+#include "net/loopback.h"
+
+int main() {
+  using namespace zht;
+  using istore::ChunkServer;
+  using istore::IStore;
+  using istore::IStoreOptions;
+
+  // Metadata tier: a ZHT cluster.
+  LocalClusterOptions cluster_options;
+  cluster_options.num_instances = 4;
+  auto cluster = LocalCluster::Start(cluster_options);
+  if (!cluster.ok()) return 1;
+  ClientHandle metadata_client = (*cluster)->CreateClient();
+
+  // Storage tier: 8 chunk servers.
+  LoopbackNetwork chunk_network;
+  std::vector<std::unique_ptr<ChunkServer>> servers;
+  std::vector<NodeAddress> addresses;
+  for (int i = 0; i < 8; ++i) {
+    servers.push_back(std::make_unique<ChunkServer>());
+    addresses.push_back(chunk_network.Register(servers.back()->AsHandler()));
+  }
+  LoopbackTransport chunk_transport(&chunk_network);
+
+  IStoreOptions options;
+  options.parity = 2;  // any 6 of 8 chunks reconstruct
+  IStore store(metadata_client.get(), addresses, &chunk_transport, options);
+
+  Rng rng(2024);
+  std::string payload = rng.AsciiString(64 * 1024);
+  store.Put("results/simulation.h5", payload);
+  std::printf("stored 64 KiB as 8 chunks (6-of-8 Reed-Solomon):\n");
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    std::printf("  chunk server %zu: %llu chunk(s), %llu bytes\n", i,
+                static_cast<unsigned long long>(servers[i]->chunks_stored()),
+                static_cast<unsigned long long>(servers[i]->bytes_stored()));
+  }
+
+  // Knock out two storage nodes — the paper's motivation: "failures are a
+  // norm rather than an exception".
+  chunk_network.SetDown(addresses[1], true);
+  chunk_network.SetDown(addresses[5], true);
+  auto recovered = store.Get("results/simulation.h5");
+  std::printf("\nwith servers 1 and 5 down: read %s (%zu bytes, %s)\n",
+              recovered.ok() ? "succeeded" : "FAILED",
+              recovered.ok() ? recovered->size() : 0,
+              recovered.ok() && *recovered == payload ? "bit-exact"
+                                                      : "MISMATCH");
+
+  // A third failure exceeds the parity budget.
+  chunk_network.SetDown(addresses[7], true);
+  auto lost = store.Get("results/simulation.h5");
+  std::printf("with a third server down: read fails as expected → %s\n",
+              lost.status().ToString().c_str());
+
+  chunk_network.SetDown(addresses[7], false);
+  std::printf("\nmetadata ops through ZHT so far: %llu\n",
+              static_cast<unsigned long long>(store.metadata_ops()));
+  return 0;
+}

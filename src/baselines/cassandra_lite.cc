@@ -1,0 +1,192 @@
+#include "baselines/cassandra_lite.h"
+
+#include <bit>
+#include <thread>
+
+#include "hashing/hash_functions.h"
+
+namespace zht {
+
+CassandraLiteNode::CassandraLiteNode(const CassandraLiteOptions& options,
+                                     std::vector<NodeAddress> ring,
+                                     ClientTransport* transport)
+    : options_(options), ring_(std::move(ring)), transport_(transport) {
+  // Finger i → node 2^i positions clockwise (Chord on evenly spaced
+  // tokens). Routing resolves any distance in ≤ log2(M) hops.
+  for (std::uint32_t step = 1; step < options_.ring_size; step <<= 1) {
+    fingers_.push_back((options_.self + step) % options_.ring_size);
+  }
+}
+
+std::uint64_t CassandraLiteNode::TokenOf(std::uint32_t index,
+                                         std::uint32_t ring_size) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(index) << 64) / ring_size);
+}
+
+std::uint32_t CassandraLiteNode::OwnerOf(std::uint64_t hash) const {
+  // Owner = node with the first token ≥ hash (wrapping): with evenly
+  // spaced tokens that is ceil(hash * M / 2^64) mod M.
+  unsigned __int128 scaled =
+      static_cast<unsigned __int128>(hash) * options_.ring_size;
+  std::uint32_t idx = static_cast<std::uint32_t>(scaled >> 64);
+  if (TokenOf(idx, options_.ring_size) < hash) ++idx;
+  return idx % options_.ring_size;
+}
+
+std::uint32_t CassandraLiteNode::NextHopTowards(
+    std::uint32_t target_owner) const {
+  std::uint32_t distance =
+      (target_owner + options_.ring_size - options_.self) %
+      options_.ring_size;
+  // Largest finger step ≤ distance.
+  std::uint32_t step = std::bit_floor(distance);
+  return (options_.self + step) % options_.ring_size;
+}
+
+Response CassandraLiteNode::Forward(std::uint32_t node, Request&& request) {
+  ++forwards_;
+  auto result =
+      transport_->Call(ring_[node], request, options_.peer_timeout);
+  if (!result.ok()) {
+    Response resp;
+    resp.seq = request.seq;
+    resp.status = Status(StatusCode::kNetwork).raw();
+    return resp;
+  }
+  return *result;
+}
+
+Response CassandraLiteNode::ExecuteLocal(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  if (options_.per_op_overhead > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.per_op_overhead));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++executed_;
+    switch (request.op) {
+      case OpCode::kInsert:
+        resp.status = store_.Put(request.key, request.value).raw();
+        break;
+      case OpCode::kRemove:
+        resp.status = store_.Remove(request.key).raw();
+        break;
+      case OpCode::kLookup: {
+        auto value = store_.Get(request.key);
+        if (!value.ok()) {
+          resp.status = value.status().raw();
+        } else {
+          resp.value = std::move(*value);
+        }
+        break;
+      }
+      default:
+        resp.status = Status(StatusCode::kNotSupported).raw();
+        return resp;
+    }
+  }
+
+  const bool is_replica_write = request.server_origin;
+  if (is_replica_write) return resp;
+
+  // Synchronous replication to RF-1 ring successors ("always writable" at
+  // the coordinator; consistency resolved later at read time).
+  if (request.op != OpCode::kLookup && resp.ok()) {
+    for (int r = 1; r < options_.replication_factor; ++r) {
+      Request copy = request;
+      copy.seq = next_seq_++;
+      copy.server_origin = true;
+      copy.replica_index = static_cast<std::uint8_t>(r);
+      std::uint32_t replica =
+          (options_.self + static_cast<std::uint32_t>(r)) %
+          options_.ring_size;
+      Forward(replica, std::move(copy));
+    }
+  }
+
+  // Read repair: consult one replica and reconcile on mismatch (the
+  // "different levels of consistency on reads" cost the paper describes).
+  if (request.op == OpCode::kLookup && options_.read_repair &&
+      options_.replication_factor > 1) {
+    Request probe;
+    probe.op = OpCode::kLookup;
+    probe.seq = next_seq_++;
+    probe.key = request.key;
+    probe.server_origin = true;
+    std::uint32_t replica = (options_.self + 1) % options_.ring_size;
+    Response other = Forward(replica, std::move(probe));
+    if (other.ok() && other.value != resp.value && resp.ok()) {
+      Request repair;
+      repair.op = OpCode::kInsert;
+      repair.seq = next_seq_++;
+      repair.key = request.key;
+      repair.value = resp.value;
+      repair.server_origin = true;
+      Forward(replica, std::move(repair));
+    }
+  }
+  return resp;
+}
+
+Response CassandraLiteNode::Handle(Request&& request) {
+  switch (request.op) {
+    case OpCode::kInsert:
+    case OpCode::kLookup:
+    case OpCode::kRemove:
+      break;
+    case OpCode::kPing: {
+      Response resp;
+      resp.seq = request.seq;
+      return resp;
+    }
+    default: {
+      Response resp;
+      resp.seq = request.seq;
+      resp.status = Status(StatusCode::kNotSupported).raw();
+      return resp;
+    }
+  }
+
+  if (request.server_origin) return ExecuteLocal(std::move(request));
+
+  std::uint32_t owner = OwnerOf(HashKey(request.key, HashKind::kFnv1a));
+  if (owner == options_.self) return ExecuteLocal(std::move(request));
+  // Logarithmic routing: one finger hop closer per forward.
+  return Forward(NextHopTowards(owner), std::move(request));
+}
+
+Result<Response> CassandraLiteClient::Execute(OpCode op, std::string_view key,
+                                              std::string_view value) {
+  Request request;
+  request.op = op;
+  request.seq = next_seq_++;
+  request.key.assign(key);
+  request.value.assign(value);
+  const NodeAddress& coordinator = ring_[next_coordinator_];
+  next_coordinator_ = (next_coordinator_ + 1) % ring_.size();
+  return transport_->Call(coordinator, request, timeout_);
+}
+
+Status CassandraLiteClient::Put(std::string_view key, std::string_view value) {
+  auto result = Execute(OpCode::kInsert, key, value);
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+Result<std::string> CassandraLiteClient::Get(std::string_view key) {
+  auto result = Execute(OpCode::kLookup, key, "");
+  if (!result.ok()) return result.status();
+  if (!result->ok()) return result->status_as_object();
+  return std::move(result->value);
+}
+
+Status CassandraLiteClient::Remove(std::string_view key) {
+  auto result = Execute(OpCode::kRemove, key, "");
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+}  // namespace zht

@@ -1,0 +1,91 @@
+// CassandraLite: baseline reproducing the two mechanisms the paper blames
+// for Cassandra's latency gap (§II, §IV.C): logarithmic routing over a
+// consistent-hash ring (Chord-style finger tables; the coordinator a client
+// contacts forwards hop by hop toward the key's owner) and a heavier
+// per-operation stack (a configurable per-op overhead standing in for the
+// JVM/SEDA cost). Writes replicate to RF-1 ring successors synchronously
+// ("always writable" with consistency deferred to reads: reads optionally
+// consult one replica digest, Cassandra's read-repair analogue).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.h"
+#include "novoht/memory_map.h"
+
+namespace zht {
+
+struct CassandraLiteOptions {
+  std::uint32_t self = 0;         // index of this node in the ring
+  std::uint32_t ring_size = 1;
+  int replication_factor = 1;     // total copies
+  bool read_repair = true;        // consult a replica digest on reads
+  Nanos per_op_overhead = 0;      // stand-in for JVM/stack weight (busy-wait
+                                  // free: applied only in the simulator)
+  Nanos peer_timeout = 500 * kNanosPerMilli;
+};
+
+class CassandraLiteNode {
+ public:
+  // Node i's ring token is evenly spaced: i * 2^64 / ring_size.
+  CassandraLiteNode(const CassandraLiteOptions& options,
+                    std::vector<NodeAddress> ring, ClientTransport* transport);
+
+  Response Handle(Request&& request);
+  RequestHandler AsHandler() {
+    return [this](Request&& req) { return Handle(std::move(req)); };
+  }
+
+  std::uint64_t forwards() const { return forwards_; }
+  std::uint64_t executed() const { return executed_; }
+
+  // Ring owner of a hash: first token clockwise from it.
+  std::uint32_t OwnerOf(std::uint64_t hash) const;
+
+ private:
+  static std::uint64_t TokenOf(std::uint32_t index, std::uint32_t ring_size);
+
+  // Chord routing: next hop toward `target_owner` using the finger table.
+  std::uint32_t NextHopTowards(std::uint32_t target_owner) const;
+
+  Response ExecuteLocal(Request&& request);
+  Response Forward(std::uint32_t node, Request&& request);
+
+  CassandraLiteOptions options_;
+  std::vector<NodeAddress> ring_;
+  std::vector<std::uint32_t> fingers_;  // node indices at token + 2^k
+  ClientTransport* transport_;
+  std::mutex mu_;
+  MemoryMap store_;
+  std::uint64_t forwards_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+// Client: contacts a coordinator (round-robin over the ring, as drivers
+// balance over contact points); the coordinator routes to the owner.
+class CassandraLiteClient {
+ public:
+  CassandraLiteClient(std::vector<NodeAddress> ring,
+                      ClientTransport* transport,
+                      Nanos timeout = kNanosPerSec)
+      : ring_(std::move(ring)), transport_(transport), timeout_(timeout) {}
+
+  Status Put(std::string_view key, std::string_view value);
+  Result<std::string> Get(std::string_view key);
+  Status Remove(std::string_view key);
+
+ private:
+  Result<Response> Execute(OpCode op, std::string_view key,
+                           std::string_view value);
+
+  std::vector<NodeAddress> ring_;
+  ClientTransport* transport_;
+  Nanos timeout_;
+  std::size_t next_coordinator_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace zht

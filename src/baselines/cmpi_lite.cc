@@ -1,0 +1,166 @@
+#include "baselines/cmpi_lite.h"
+
+#include <bit>
+
+#include "hashing/hash_functions.h"
+
+namespace zht {
+
+std::uint64_t CmpiLiteNode::IdOf(std::uint32_t rank) {
+  return Mix64(0xC3D1'0000'0000'0000ull | rank);
+}
+
+CmpiLiteNode::CmpiLiteNode(const CmpiLiteOptions& options,
+                           std::vector<NodeAddress> world,
+                           ClientTransport* transport)
+    : options_(options), self_id_(IdOf(options.rank)),
+      world_(std::move(world)), buckets_(64), transport_(transport) {
+  ids_.reserve(options_.world_size);
+  for (std::uint32_t rank = 0; rank < options_.world_size; ++rank) {
+    ids_.push_back(IdOf(rank));
+  }
+  // One contact per k-bucket (the XOR-closest to self), the classic
+  // Kademlia routing-table shape that yields log(N)-hop lookups. Keeping
+  // every rank in every bucket would collapse routing to ~1 hop and hide
+  // the behavior the paper contrasts ZHT against.
+  for (std::uint32_t rank = 0; rank < options_.world_size; ++rank) {
+    if (rank == options_.rank) continue;
+    std::uint64_t distance = self_id_ ^ ids_[rank];
+    int msb = 63 - std::countl_zero(distance);
+    auto& bucket = buckets_[static_cast<std::size_t>(msb)];
+    if (bucket.empty()) {
+      bucket.push_back(rank);
+    } else if ((self_id_ ^ ids_[rank]) < (self_id_ ^ ids_[bucket[0]])) {
+      bucket[0] = rank;
+    }
+  }
+}
+
+std::uint32_t CmpiLiteNode::OwnerOf(std::uint64_t key_hash) const {
+  std::uint32_t best = 0;
+  std::uint64_t best_distance = ~0ull;
+  for (std::uint32_t rank = 0; rank < options_.world_size; ++rank) {
+    std::uint64_t distance = ids_[rank] ^ key_hash;
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = rank;
+    }
+  }
+  return best;
+}
+
+std::uint32_t CmpiLiteNode::NextHopTowards(std::uint64_t target_id) const {
+  std::uint64_t self_distance = self_id_ ^ target_id;
+  if (self_distance == 0) return options_.rank;
+  int msb = 63 - std::countl_zero(self_distance);
+  // Kademlia step: consult the bucket covering the distance's MSB; pick
+  // the member closest to the target. Each hop clears at least that bit,
+  // so lookups take at most log2(world) hops.
+  const auto& bucket = buckets_[static_cast<std::size_t>(msb)];
+  std::uint32_t best = options_.rank;
+  std::uint64_t best_distance = self_distance;
+  for (std::uint32_t rank : bucket) {
+    std::uint64_t distance = ids_[rank] ^ target_id;
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = rank;
+    }
+  }
+  return best;
+}
+
+Response CmpiLiteNode::ExecuteLocal(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++executed_;
+  switch (request.op) {
+    case OpCode::kInsert:
+      resp.status = store_.Put(request.key, request.value).raw();
+      break;
+    case OpCode::kRemove:
+      resp.status = store_.Remove(request.key).raw();
+      break;
+    case OpCode::kLookup: {
+      auto value = store_.Get(request.key);
+      if (!value.ok()) {
+        resp.status = value.status().raw();
+      } else {
+        resp.value = std::move(*value);
+      }
+      break;
+    }
+    default:
+      // No append, no replication, no persistence, no membership ops.
+      resp.status = Status(StatusCode::kNotSupported).raw();
+  }
+  return resp;
+}
+
+Response CmpiLiteNode::Handle(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  if (world_failed_) {
+    // "making it brittle at large scale and prone to system-wide failures
+    // due to single node failures" (§II).
+    resp.status = Status(StatusCode::kUnavailable, "MPI world failed").raw();
+    return resp;
+  }
+  switch (request.op) {
+    case OpCode::kInsert:
+    case OpCode::kLookup:
+    case OpCode::kRemove:
+      break;
+    case OpCode::kPing:
+      return resp;
+    default:
+      resp.status = Status(StatusCode::kNotSupported).raw();
+      return resp;
+  }
+
+  std::uint64_t key_hash = HashKey(request.key, HashKind::kFnv1a);
+  std::uint32_t owner = OwnerOf(key_hash);
+  if (owner == options_.rank) return ExecuteLocal(std::move(request));
+
+  std::uint32_t next = NextHopTowards(ids_[owner]);
+  if (next == options_.rank) return ExecuteLocal(std::move(request));
+  ++forwards_;
+  auto result = transport_->Call(world_[next], request,
+                                 options_.peer_timeout);
+  if (!result.ok()) {
+    resp.status = Status(StatusCode::kNetwork).raw();
+    return resp;
+  }
+  return *result;
+}
+
+Result<Response> CmpiLiteClient::Execute(OpCode op, std::string_view key,
+                                         std::string_view value) {
+  Request request;
+  request.op = op;
+  request.seq = next_seq_++;
+  request.key.assign(key);
+  request.value.assign(value);
+  return transport_->Call(world_[home_rank_], request, timeout_);
+}
+
+Status CmpiLiteClient::Put(std::string_view key, std::string_view value) {
+  auto result = Execute(OpCode::kInsert, key, value);
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+Result<std::string> CmpiLiteClient::Get(std::string_view key) {
+  auto result = Execute(OpCode::kLookup, key, "");
+  if (!result.ok()) return result.status();
+  if (!result->ok()) return result->status_as_object();
+  return std::move(result->value);
+}
+
+Status CmpiLiteClient::Remove(std::string_view key) {
+  auto result = Execute(OpCode::kRemove, key, "");
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+}  // namespace zht

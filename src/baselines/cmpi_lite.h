@@ -1,0 +1,94 @@
+// CmpiLite: a C-MPI-like baseline (§II). C-MPI implements the Kademlia
+// DHT over MPI for HPC: log(N) XOR-metric routing, no replication, no
+// persistence, no dynamic membership (the MPI world is fixed at startup —
+// every rank is known, but lookups still route through Kademlia buckets).
+// The paper's critique — single-node failure can take down the MPI world,
+// log(N) hops — is reproduced by the routing mechanics and a
+// world-failure flag.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.h"
+#include "novoht/memory_map.h"
+
+namespace zht {
+
+struct CmpiLiteOptions {
+  std::uint32_t rank = 0;
+  std::uint32_t world_size = 1;
+  Nanos peer_timeout = 500 * kNanosPerMilli;
+};
+
+class CmpiLiteNode {
+ public:
+  CmpiLiteNode(const CmpiLiteOptions& options,
+               std::vector<NodeAddress> world, ClientTransport* transport);
+
+  Response Handle(Request&& request);
+  RequestHandler AsHandler() {
+    return [this](Request&& req) { return Handle(std::move(req)); };
+  }
+
+  // Kademlia node id of a rank (well-mixed, deterministic).
+  static std::uint64_t IdOf(std::uint32_t rank);
+
+  // Rank whose id is XOR-closest to the key hash (the owner).
+  std::uint32_t OwnerOf(std::uint64_t key_hash) const;
+
+  // Next hop toward `target_id` through the k-bucket for the current
+  // distance's most significant bit (self if no strictly closer peer).
+  std::uint32_t NextHopTowards(std::uint64_t target_id) const;
+
+  // MPI's failure property: one dead rank wedges the whole world. When
+  // set, every node refuses requests (kUnavailable).
+  void SetWorldFailed(bool failed) { world_failed_ = failed; }
+
+  std::uint64_t forwards() const { return forwards_; }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  Response ExecuteLocal(Request&& request);
+
+  CmpiLiteOptions options_;
+  std::uint64_t self_id_;
+  std::vector<NodeAddress> world_;
+  std::vector<std::uint64_t> ids_;  // id per rank
+  // bucket[b] = ranks whose XOR distance to self has MSB at bit b.
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  ClientTransport* transport_;
+  std::mutex mu_;
+  MemoryMap store_;
+  bool world_failed_ = false;
+  std::uint64_t forwards_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+// Client: sends to a fixed "home" rank (as an MPI process would talk to
+// its local DHT endpoint); routing proceeds from there.
+class CmpiLiteClient {
+ public:
+  CmpiLiteClient(std::vector<NodeAddress> world, ClientTransport* transport,
+                 std::uint32_t home_rank = 0,
+                 Nanos timeout = kNanosPerSec)
+      : world_(std::move(world)), transport_(transport),
+        home_rank_(home_rank), timeout_(timeout) {}
+
+  Status Put(std::string_view key, std::string_view value);
+  Result<std::string> Get(std::string_view key);
+  Status Remove(std::string_view key);
+
+ private:
+  Result<Response> Execute(OpCode op, std::string_view key,
+                           std::string_view value);
+
+  std::vector<NodeAddress> world_;
+  ClientTransport* transport_;
+  std::uint32_t home_rank_;
+  Nanos timeout_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace zht

@@ -1,0 +1,80 @@
+#include "baselines/memcached_lite.h"
+
+#include "hashing/hash_functions.h"
+
+namespace zht {
+
+Response MemcachedLiteServer::Handle(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ops_;
+  switch (request.op) {
+    case OpCode::kInsert: {
+      if (request.key.size() > kMemcachedMaxKey ||
+          request.value.size() > kMemcachedMaxValue) {
+        resp.status = Status(StatusCode::kCapacity).raw();
+        return resp;
+      }
+      resp.status = store_.Put(request.key, request.value).raw();
+      return resp;
+    }
+    case OpCode::kLookup: {
+      auto value = store_.Get(request.key);
+      if (!value.ok()) {
+        resp.status = value.status().raw();
+      } else {
+        resp.value = std::move(*value);
+      }
+      return resp;
+    }
+    case OpCode::kRemove:
+      resp.status = store_.Remove(request.key).raw();
+      return resp;
+    case OpCode::kPing:
+      return resp;
+    default:
+      // No append, no replication, no membership ops.
+      resp.status = Status(StatusCode::kNotSupported).raw();
+      return resp;
+  }
+}
+
+const NodeAddress& MemcachedLiteClient::ShardFor(std::string_view key) const {
+  // Static client-side sharding (memcached's classic distribution).
+  return servers_[HashKey(key, HashKind::kFnv1a) % servers_.size()];
+}
+
+Status MemcachedLiteClient::Set(std::string_view key, std::string_view value) {
+  Request request;
+  request.op = OpCode::kInsert;
+  request.seq = next_seq_++;
+  request.key.assign(key);
+  request.value.assign(value);
+  auto result = transport_->Call(ShardFor(key), request, timeout_);
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+Result<std::string> MemcachedLiteClient::Get(std::string_view key) {
+  Request request;
+  request.op = OpCode::kLookup;
+  request.seq = next_seq_++;
+  request.key.assign(key);
+  auto result = transport_->Call(ShardFor(key), request, timeout_);
+  if (!result.ok()) return result.status();
+  if (!result->ok()) return result->status_as_object();
+  return std::move(result->value);
+}
+
+Status MemcachedLiteClient::Delete(std::string_view key) {
+  Request request;
+  request.op = OpCode::kRemove;
+  request.seq = next_seq_++;
+  request.key.assign(key);
+  auto result = transport_->Call(ShardFor(key), request, timeout_);
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+}  // namespace zht

@@ -1,0 +1,56 @@
+// MemcachedLite: baseline reproducing Memcached as the paper characterizes
+// it (§II): in-memory only, no persistence, no replication, no dynamic
+// membership, no append, 250-byte keys and 1 MB values, client-side static
+// sharding over a fixed server list. Runs over the same transports and
+// envelopes as ZHT so latency comparisons isolate the architecture.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.h"
+#include "novoht/memory_map.h"
+
+namespace zht {
+
+inline constexpr std::size_t kMemcachedMaxKey = 250;
+inline constexpr std::size_t kMemcachedMaxValue = 1 << 20;
+
+class MemcachedLiteServer {
+ public:
+  Response Handle(Request&& request);
+  RequestHandler AsHandler() {
+    return [this](Request&& req) { return Handle(std::move(req)); };
+  }
+
+  std::uint64_t ops() const { return ops_; }
+
+ private:
+  std::mutex mu_;
+  MemoryMap store_;
+  std::uint64_t ops_ = 0;
+};
+
+class MemcachedLiteClient {
+ public:
+  MemcachedLiteClient(std::vector<NodeAddress> servers,
+                      ClientTransport* transport,
+                      Nanos timeout = 200 * kNanosPerMilli)
+      : servers_(std::move(servers)), transport_(transport),
+        timeout_(timeout) {}
+
+  Status Set(std::string_view key, std::string_view value);
+  Result<std::string> Get(std::string_view key);
+  Status Delete(std::string_view key);
+
+ private:
+  const NodeAddress& ShardFor(std::string_view key) const;
+
+  std::vector<NodeAddress> servers_;
+  ClientTransport* transport_;
+  Nanos timeout_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace zht

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace zht {
+
+SystemClock& SystemClock::Instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace zht

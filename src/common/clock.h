@@ -1,0 +1,75 @@
+// Clock abstraction: all protocol code measures time through Clock so the
+// identical logic runs against wall time (live clusters) and virtual time
+// (the discrete-event simulator used for the paper's large-scale results).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace zht {
+
+// Nanoseconds since an arbitrary epoch; only differences are meaningful.
+using Nanos = std::int64_t;
+
+constexpr Nanos kNanosPerMicro = 1'000;
+constexpr Nanos kNanosPerMilli = 1'000'000;
+constexpr Nanos kNanosPerSec = 1'000'000'000;
+
+inline double ToMillis(Nanos ns) {
+  return static_cast<double>(ns) / kNanosPerMilli;
+}
+inline double ToMicros(Nanos ns) {
+  return static_cast<double>(ns) / kNanosPerMicro;
+}
+inline double ToSeconds(Nanos ns) {
+  return static_cast<double>(ns) / kNanosPerSec;
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Nanos Now() const = 0;
+};
+
+// Monotonic wall clock for live runs.
+class SystemClock final : public Clock {
+ public:
+  Nanos Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // Process-wide instance; stateless, so sharing is safe.
+  static SystemClock& Instance();
+};
+
+// Manually advanced clock for tests and the simulator.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Nanos start = 0) : now_(start) {}
+
+  Nanos Now() const override { return now_; }
+  void Advance(Nanos delta) { now_ += delta; }
+  void Set(Nanos t) { now_ = t; }
+
+ private:
+  Nanos now_;
+};
+
+// Simple stopwatch over any Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock)
+      : clock_(clock), start_(clock.Now()) {}
+
+  Nanos Elapsed() const { return clock_.Now() - start_; }
+  double ElapsedMillis() const { return ToMillis(Elapsed()); }
+  void Restart() { start_ = clock_.Now(); }
+
+ private:
+  const Clock& clock_;
+  Nanos start_;
+};
+
+}  // namespace zht

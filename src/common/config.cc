@@ -1,0 +1,108 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace zht {
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  std::size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Result<Config> Config::Parse(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status(StatusCode::kInvalidArgument,
+                    "config line " + std::to_string(lineno) + " missing '='");
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "config line " + std::to_string(lineno) + " empty key");
+    }
+    config.entries_[key] = value;
+  }
+  return config;
+}
+
+Result<Config> Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(StatusCode::kNotFound, "config file not found: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+void Config::SetInt(const std::string& key, std::int64_t value) {
+  entries_[key] = std::to_string(value);
+}
+
+bool Config::Has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::GetInt(const std::string& key,
+                            std::int64_t fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  std::int64_t value = std::strtoll(it->second.c_str(), &end, 0);
+  return (end && *end == '\0') ? value : fallback;
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? value : fallback;
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+std::string Config::Serialize() const {
+  std::ostringstream out;
+  for (const auto& [key, value] : entries_) {
+    out << key << " = " << value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace zht

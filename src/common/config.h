@@ -1,0 +1,42 @@
+// Key=value configuration, mirroring ZHT's zht.cfg / neighbor.conf files.
+// Supports '#' comments, typed getters with defaults, and round-tripping.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace zht {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Result<Config> Parse(const std::string& text);
+  static Result<Config> FromFile(const std::string& path);
+
+  void Set(const std::string& key, const std::string& value);
+  void SetInt(const std::string& key, std::int64_t value);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  std::string Serialize() const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace zht

@@ -1,0 +1,33 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace zht {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // CRC-32C (Castagnoli)
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = BuildTable();
+  std::uint32_t crc = ~seed;
+  for (unsigned char c : data) {
+    crc = kTable[(crc ^ c) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace zht

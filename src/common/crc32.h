@@ -1,0 +1,12 @@
+// CRC32 (Castagnoli polynomial, software table implementation) used to
+// protect NoVoHT log records and migration payloads.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace zht {
+
+std::uint32_t Crc32c(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace zht

@@ -1,0 +1,17 @@
+#include "common/log.h"
+
+namespace zht {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
+               message.c_str());
+}
+
+}  // namespace zht

@@ -1,0 +1,62 @@
+// Minimal leveled logger. Single-threaded hot paths never format unless the
+// level is enabled; output is line-buffered to stderr.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace zht {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace log_internal {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { Logger::Instance().Write(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define ZHT_LOG(level)                                   \
+  if (!::zht::Logger::Instance().Enabled(level)) {       \
+  } else                                                 \
+    ::zht::log_internal::LineBuilder(level)
+
+#define ZHT_DEBUG ZHT_LOG(::zht::LogLevel::kDebug)
+#define ZHT_INFO ZHT_LOG(::zht::LogLevel::kInfo)
+#define ZHT_WARN ZHT_LOG(::zht::LogLevel::kWarn)
+#define ZHT_ERROR ZHT_LOG(::zht::LogLevel::kError)
+
+}  // namespace zht

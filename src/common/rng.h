@@ -1,0 +1,74 @@
+// Deterministic, fast PRNG (splitmix64 seeding a xoshiro256**).
+// Every randomized component takes an explicit seed so simulator runs,
+// benchmarks, and tests are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zht {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'2013'0775ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    auto rotl = [](std::uint64_t v, int k) {
+      return (v << k) | (v >> (64 - k));
+    };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t Between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(Below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Random printable ASCII string (the paper's keys are variable-length
+  // ASCII, typically 15 bytes in the benchmarks).
+  std::string AsciiString(std::size_t length) {
+    static constexpr char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      out.push_back(kAlphabet[Below(sizeof(kAlphabet) - 1)]);
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace zht

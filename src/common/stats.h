@@ -1,0 +1,89 @@
+// Latency/throughput accumulators used by benchmarks and the simulator.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace zht {
+
+// Streaming summary plus reservoir-free exact percentiles (we keep all
+// samples; benchmark sample counts are bounded).
+class LatencyStats {
+ public:
+  void Record(Nanos sample) {
+    samples_.push_back(sample);
+    sum_ += sample;
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  Nanos sum() const { return sum_; }
+
+  double MeanMillis() const {
+    return samples_.empty()
+               ? 0.0
+               : ToMillis(sum_) / static_cast<double>(samples_.size());
+  }
+  double MeanMicros() const {
+    return samples_.empty()
+               ? 0.0
+               : ToMicros(sum_) / static_cast<double>(samples_.size());
+  }
+
+  Nanos Min() const {
+    return samples_.empty()
+               ? 0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+  Nanos Max() const {
+    return samples_.empty()
+               ? 0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // p in [0, 100].
+  Nanos Percentile(double p) {
+    if (samples_.empty()) return 0;
+    Sort();
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    auto idx = static_cast<std::size_t>(rank);
+    return samples_[idx];
+  }
+
+  void Merge(const LatencyStats& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sum_ += other.sum_;
+    sorted_ = false;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sum_ = 0;
+    sorted_ = true;
+  }
+
+ private:
+  void Sort() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<Nanos> samples_;
+  Nanos sum_ = 0;
+  bool sorted_ = true;
+};
+
+// Throughput helper: ops over a wall/virtual interval.
+inline double OpsPerSec(std::uint64_t ops, Nanos elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(ops) / ToSeconds(elapsed);
+}
+
+}  // namespace zht

@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace zht {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kExists: return "EXISTS";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kRedirect: return "REDIRECT";
+    case StatusCode::kMigrating: return "MIGRATING";
+    case StatusCode::kCapacity: return "CAPACITY";
+    case StatusCode::kNetwork: return "NETWORK";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotSupported: return "NOT_SUPPORTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!detail_.empty()) {
+    out += ": ";
+    out += detail_;
+  }
+  return out;
+}
+
+}  // namespace zht

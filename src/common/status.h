@@ -1,0 +1,90 @@
+// Status and Result types used across all ZHT modules.
+//
+// The paper's API returns 0 for success and a non-zero code carrying error
+// information (§III.A); StatusCode mirrors that convention so integer codes
+// can cross the wire unchanged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace zht {
+
+enum class StatusCode : std::int32_t {
+  kOk = 0,
+  kNotFound = 1,        // lookup/remove on a missing key
+  kExists = 2,          // insert refused (reserved; ZHT inserts overwrite)
+  kTimeout = 3,         // request timed out (possible node failure)
+  kRedirect = 4,        // partition moved; response carries new membership
+  kMigrating = 5,       // partition locked for migration; request queued
+  kCapacity = 6,        // store is full (bounded NoVoHT) or value too large
+  kNetwork = 7,         // transport-level failure
+  kCorruption = 8,      // persistence log failed integrity checks
+  kUnavailable = 9,     // all replicas of the partition are down
+  kInvalidArgument = 10,
+  kNotSupported = 11,   // operation unsupported by this store (e.g. append)
+  kInternal = 12,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// Lightweight status: a code plus an optional human-readable detail.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string detail)
+      : code_(code), detail_(std::move(detail)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& detail() const { return detail_; }
+
+  // Integer form used on the wire (matches the paper's int return values).
+  std::int32_t raw() const { return static_cast<std::int32_t>(code_); }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string detail_;
+};
+
+// Result<T>: either a value or an error status. Deliberately minimal; we
+// only need the subset of std::expected ergonomics the codebase uses.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}
+  Result(StatusCode code) : status_(code) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace zht

@@ -1,0 +1,61 @@
+// FailureDetector (§III.H): ZHT "lazily tags nodes that do not respond to
+// requests repeatedly as failed (using exponential back off)". This tracks
+// consecutive failures per destination and computes the retry back-off; the
+// client marks the node dead once the threshold is crossed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "net/address.h"
+
+namespace zht {
+
+struct FailureDetectorOptions {
+  int failures_to_mark_dead = 3;
+  Nanos initial_backoff = 1 * kNanosPerMilli;
+  Nanos max_backoff = 256 * kNanosPerMilli;
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(FailureDetectorOptions options = {})
+      : options_(options) {}
+
+  // Records a failed request. Returns true if the node should now be
+  // considered dead.
+  bool RecordFailure(const NodeAddress& node) {
+    auto& state = states_[node];
+    ++state.consecutive_failures;
+    state.backoff = state.backoff == 0
+                        ? options_.initial_backoff
+                        : std::min(state.backoff * 2, options_.max_backoff);
+    return state.consecutive_failures >= options_.failures_to_mark_dead;
+  }
+
+  void RecordSuccess(const NodeAddress& node) { states_.erase(node); }
+
+  // Back-off to wait before the next attempt at this node.
+  Nanos BackoffFor(const NodeAddress& node) const {
+    auto it = states_.find(node);
+    return it == states_.end() ? 0 : it->second.backoff;
+  }
+
+  int ConsecutiveFailures(const NodeAddress& node) const {
+    auto it = states_.find(node);
+    return it == states_.end() ? 0 : it->second.consecutive_failures;
+  }
+
+ private:
+  struct State {
+    int consecutive_failures = 0;
+    Nanos backoff = 0;
+  };
+
+  FailureDetectorOptions options_;
+  std::unordered_map<NodeAddress, State> states_;
+};
+
+}  // namespace zht

@@ -1,0 +1,109 @@
+#include "core/indexer.h"
+
+#include <algorithm>
+
+namespace zht {
+
+Status Indexer::ValidateTag(const std::string& tag) {
+  if (tag.empty() || tag.find(';') != std::string::npos ||
+      tag.find('/') != std::string::npos) {
+    return Status(StatusCode::kInvalidArgument, "bad tag: " + tag);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> Indexer::FoldPostings(const std::string& log) {
+  std::vector<std::string> keys;
+  std::size_t pos = 0;
+  while (pos < log.size()) {
+    std::size_t semi = log.find(';', pos);
+    if (semi == std::string::npos) break;
+    char op = log[pos];
+    std::string key = log.substr(pos + 1, semi - pos - 1);
+    pos = semi + 1;
+    if (op == '+') {
+      if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+        keys.push_back(key);
+      }
+    } else if (op == '-') {
+      keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
+    }
+  }
+  return keys;
+}
+
+Status Indexer::PutIndexed(const std::string& key, std::string_view value,
+                           const std::vector<std::string>& tags) {
+  for (const auto& tag : tags) {
+    Status status = ValidateTag(tag);
+    if (!status.ok()) return status;
+  }
+  if (key.find(';') != std::string::npos) {
+    return Status(StatusCode::kInvalidArgument, "key contains ';'");
+  }
+  Status status = client_->Insert(key, value);
+  if (!status.ok()) return status;
+  // Lock-free concurrent index maintenance: each tag is one append.
+  for (const auto& tag : tags) {
+    status = client_->Append(TagKey(tag), "+" + key + ";");
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status Indexer::RemoveIndexed(const std::string& key,
+                              const std::vector<std::string>& tags) {
+  Status status = client_->Remove(key);
+  if (!status.ok()) return status;
+  for (const auto& tag : tags) {
+    Status appended = client_->Append(TagKey(tag), "-" + key + ";");
+    if (!appended.ok()) return appended;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> Indexer::FindByTag(const std::string& tag) {
+  Status status = ValidateTag(tag);
+  if (!status.ok()) return status;
+  auto log = client_->Lookup(TagKey(tag));
+  if (!log.ok()) {
+    if (log.status().code() == StatusCode::kNotFound) {
+      return std::vector<std::string>{};
+    }
+    return log.status();
+  }
+  return FoldPostings(*log);
+}
+
+Result<std::vector<std::string>> Indexer::FindByAllTags(
+    const std::vector<std::string>& tags) {
+  if (tags.empty()) return std::vector<std::string>{};
+  auto result = FindByTag(tags[0]);
+  if (!result.ok()) return result.status();
+  std::vector<std::string> intersection = *result;
+  for (std::size_t i = 1; i < tags.size() && !intersection.empty(); ++i) {
+    auto next = FindByTag(tags[i]);
+    if (!next.ok()) return next.status();
+    std::vector<std::string> kept;
+    for (const auto& key : intersection) {
+      if (std::find(next->begin(), next->end(), key) != next->end()) {
+        kept.push_back(key);
+      }
+    }
+    intersection = std::move(kept);
+  }
+  return intersection;
+}
+
+Status Indexer::CompactTag(const std::string& tag) {
+  auto keys = FindByTag(tag);
+  if (!keys.ok()) return keys.status();
+  std::string folded;
+  for (const auto& key : *keys) {
+    folded += "+" + key + ";";
+  }
+  if (folded.empty()) return client_->Remove(TagKey(tag));
+  return client_->Insert(TagKey(tag), folded);
+}
+
+}  // namespace zht

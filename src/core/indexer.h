@@ -1,0 +1,51 @@
+// Data indexing on ZHT (§VI "Data Indexing: we will explore the
+// possibility of using ZHT to index data (not just metadata) based on its
+// content"). A content index needs concurrent multi-writer updates to
+// shared posting lists — exactly what ZHT's lock-free append provides:
+// each posting list is one ZHT value extended with "+key;" / "-key;"
+// entries, folded at query time (same discipline as FusionFS directories).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/zht_client.h"
+
+namespace zht {
+
+class Indexer {
+ public:
+  explicit Indexer(ZhtClient* client) : client_(client) {}
+
+  // Stores the value and indexes it under each tag. Tags must not contain
+  // ';' or '/'.
+  Status PutIndexed(const std::string& key, std::string_view value,
+                    const std::vector<std::string>& tags);
+
+  // Removes the value and its postings.
+  Status RemoveIndexed(const std::string& key,
+                       const std::vector<std::string>& tags);
+
+  // Keys currently indexed under `tag` (tombstone-folded, deduplicated).
+  Result<std::vector<std::string>> FindByTag(const std::string& tag);
+
+  // Keys indexed under ALL of the given tags (client-side intersection;
+  // domain-specific indexes would push this server-side, as the paper
+  // notes domain knowledge is needed).
+  Result<std::vector<std::string>> FindByAllTags(
+      const std::vector<std::string>& tags);
+
+  // Rewrites a posting list to drop tombstones (append logs grow with
+  // churn; compaction folds them, like NoVoHT's GC but at the index
+  // level). Concurrency-safe only against readers.
+  Status CompactTag(const std::string& tag);
+
+ private:
+  static Status ValidateTag(const std::string& tag);
+  static std::string TagKey(const std::string& tag) { return "tag:" + tag; }
+  static std::vector<std::string> FoldPostings(const std::string& log);
+
+  ZhtClient* client_;
+};
+
+}  // namespace zht

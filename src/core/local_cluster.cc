@@ -1,0 +1,193 @@
+#include "core/local_cluster.h"
+
+#include "net/tcp_client.h"
+#include "net/udp_client.h"
+
+namespace zht {
+
+LocalCluster::LocalCluster(const LocalClusterOptions& options)
+    : options_(options) {}
+
+LocalCluster::~LocalCluster() {
+  // Servers stop their async workers in their destructors; epoll servers
+  // must stop first so no new requests arrive mid-teardown.
+  for (auto& es : epoll_servers_) es->Stop();
+}
+
+std::unique_ptr<ClientTransport> LocalCluster::MakeTransport() {
+  switch (options_.transport) {
+    case ClusterTransport::kLoopback:
+      return std::make_unique<LoopbackTransport>(&network_);
+    case ClusterTransport::kTcp: {
+      TcpClientOptions tcp;
+      tcp.cache_connections = options_.tcp_connection_cache;
+      return std::make_unique<TcpClient>(tcp);
+    }
+    case ClusterTransport::kUdp:
+      return std::make_unique<UdpClient>();
+  }
+  return nullptr;
+}
+
+Result<NodeAddress> LocalCluster::Expose(std::shared_ptr<HandlerSlot> slot) {
+  slots_.push_back(slot);
+  RequestHandler handler = [slot](Request&& request) -> Response {
+    if (!slot->target) {
+      Response resp;
+      resp.seq = request.seq;
+      resp.status = Status(StatusCode::kUnavailable).raw();
+      return resp;
+    }
+    return slot->target(std::move(request));
+  };
+
+  if (options_.transport == ClusterTransport::kLoopback) {
+    return network_.Register(std::move(handler));
+  }
+  EpollServerOptions es;
+  es.enable_tcp = true;
+  es.enable_udp = true;
+  auto server = EpollServer::Create(es, std::move(handler));
+  if (!server.ok()) return server.status();
+  Status started = (*server)->Start();
+  if (!started.ok()) return started;
+  NodeAddress address = (*server)->address();
+  epoll_servers_.push_back(std::move(*server));
+  return address;
+}
+
+Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
+    const LocalClusterOptions& options) {
+  std::unique_ptr<LocalCluster> cluster(new LocalCluster(options));
+  Status status = cluster->Boot();
+  if (!status.ok()) return status;
+  return cluster;
+}
+
+Status LocalCluster::Boot() {
+  const std::uint32_t n = options_.num_instances;
+  if (n == 0) return Status(StatusCode::kInvalidArgument, "no instances");
+  if (options_.num_partitions == 0) options_.num_partitions = n * 64;
+
+  // 1. Expose every instance (addresses first: the table needs them).
+  std::vector<std::shared_ptr<HandlerSlot>> server_slots;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto slot = std::make_shared<HandlerSlot>();
+    auto address = Expose(slot);
+    if (!address.ok()) return address.status();
+    server_slots.push_back(slot);
+    instance_addresses_.push_back(*address);
+  }
+
+  // 2. Static bootstrap table (§III.C).
+  MembershipTable table = MembershipTable::CreateUniform(
+      options_.num_partitions, instance_addresses_,
+      options_.instances_per_node, options_.hash_kind);
+
+  // 3. Servers.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto transport = MakeTransport();
+    ZhtServerOptions so;
+    so.self = i;
+    so.num_replicas = options_.num_replicas;
+    so.store_factory = options_.store_factory;
+    auto server = std::make_unique<ZhtServer>(table, so, transport.get());
+    server_slots[i]->target = server->AsHandler();
+    peer_transports_.push_back(std::move(transport));
+    servers_.push_back(std::move(server));
+  }
+
+  // 4. One manager per physical node.
+  const std::uint32_t nodes =
+      (n + options_.instances_per_node - 1) / options_.instances_per_node;
+  next_physical_node_ = nodes;
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    auto transport = MakeTransport();
+    ManagerOptions mo;
+    mo.num_replicas = options_.num_replicas;
+    auto manager = std::make_unique<Manager>(table, mo, transport.get());
+    auto slot = std::make_shared<HandlerSlot>();
+    auto address = Expose(slot);
+    if (!address.ok()) return address.status();
+    slot->target = manager->AsHandler();
+    peer_transports_.push_back(std::move(transport));
+    managers_.push_back(std::move(manager));
+    manager_addresses_.push_back(*address);
+  }
+  for (std::size_t node = 0; node < managers_.size(); ++node) {
+    std::vector<NodeAddress> peers;
+    for (std::size_t other = 0; other < manager_addresses_.size(); ++other) {
+      if (other != node) peers.push_back(manager_addresses_[other]);
+    }
+    managers_[node]->SetPeerManagers(std::move(peers));
+  }
+  return Status::Ok();
+}
+
+ClientHandle LocalCluster::CreateClient(ZhtClientOptions overrides) {
+  overrides.num_replicas = options_.num_replicas;
+  if (!overrides.manager && !manager_addresses_.empty()) {
+    overrides.manager = manager_addresses_[0];
+  }
+  auto transport = MakeTransport();
+  auto client = std::make_unique<ZhtClient>(TableSnapshot(), overrides,
+                                            transport.get());
+  return ClientHandle(std::move(transport), std::move(client));
+}
+
+MembershipTable LocalCluster::TableSnapshot() const {
+  return managers_.empty() ? MembershipTable()
+                           : managers_[0]->TableSnapshot();
+}
+
+void LocalCluster::KillInstance(std::size_t i) {
+  if (options_.transport == ClusterTransport::kLoopback) {
+    network_.SetDown(instance_addresses_[i], true);
+  } else if (i < epoll_servers_.size()) {
+    epoll_servers_[i]->Stop();
+  }
+}
+
+void LocalCluster::ReviveInstance(std::size_t i) {
+  if (options_.transport == ClusterTransport::kLoopback) {
+    network_.SetDown(instance_addresses_[i], false);
+  } else if (i < epoll_servers_.size()) {
+    epoll_servers_[i]->Start();
+  }
+}
+
+Result<InstanceId> LocalCluster::JoinNewInstance(std::size_t via_node) {
+  if (via_node >= managers_.size()) {
+    return Status(StatusCode::kInvalidArgument, "no such manager");
+  }
+  // Bring up the new (empty) instance first, then ask the manager to admit
+  // it; the manager pulls partitions onto it and broadcasts (§III.C).
+  auto slot = std::make_shared<HandlerSlot>();
+  auto address = Expose(slot);
+  if (!address.ok()) return address.status();
+
+  auto transport = MakeTransport();
+  ZhtServerOptions so;
+  so.self = static_cast<InstanceId>(servers_.size());
+  so.num_replicas = options_.num_replicas;
+  so.store_factory = options_.store_factory;
+  // Starts with an empty table; the manager pushes a snapshot during join.
+  auto server = std::make_unique<ZhtServer>(
+      MembershipTable(options_.num_partitions, options_.hash_kind), so,
+      transport.get());
+  slot->target = server->AsHandler();
+  peer_transports_.push_back(std::move(transport));
+  servers_.push_back(std::move(server));
+  instance_addresses_.push_back(*address);
+
+  std::uint32_t physical_node = next_physical_node_++;
+  auto admitted = managers_[via_node]->AdmitJoin(*address, physical_node);
+  if (!admitted.ok()) return admitted.status();
+  return *admitted;
+}
+
+void LocalCluster::FlushAllAsyncReplication() {
+  for (auto& server : servers_) server->FlushAsyncReplication();
+}
+
+}  // namespace zht

@@ -1,0 +1,111 @@
+// LocalCluster: spins up a complete ZHT deployment in one process —
+// N instances (grouped onto physical nodes), one manager per node, clients
+// on demand — over either the in-process loopback network (fast, failure
+// injection) or real TCP/UDP sockets on localhost. This is the harness the
+// integration tests, examples, and live benchmarks run on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/manager.h"
+#include "core/zht_client.h"
+#include "core/zht_server.h"
+#include "net/epoll_server.h"
+#include "net/loopback.h"
+
+namespace zht {
+
+enum class ClusterTransport { kLoopback, kTcp, kUdp };
+
+struct LocalClusterOptions {
+  std::uint32_t num_instances = 4;
+  std::uint32_t instances_per_node = 1;
+  std::uint32_t num_partitions = 0;  // 0 → 64 per initial instance
+  int num_replicas = 0;
+  ClusterTransport transport = ClusterTransport::kLoopback;
+  bool tcp_connection_cache = true;  // for kTcp client transports
+  StoreFactory store_factory;       // default: in-memory NoVoHT
+  HashKind hash_kind = HashKind::kFnv1a;
+};
+
+// A client plus the transport it owns.
+class ClientHandle {
+ public:
+  ClientHandle(std::unique_ptr<ClientTransport> transport,
+               std::unique_ptr<ZhtClient> client)
+      : transport_(std::move(transport)), client_(std::move(client)) {}
+
+  ZhtClient* operator->() { return client_.get(); }
+  ZhtClient& operator*() { return *client_; }
+  ZhtClient* get() { return client_.get(); }
+
+ private:
+  std::unique_ptr<ClientTransport> transport_;
+  std::unique_ptr<ZhtClient> client_;
+};
+
+class LocalCluster {
+ public:
+  static Result<std::unique_ptr<LocalCluster>> Start(
+      const LocalClusterOptions& options);
+
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  // A fresh client bootstrapped with the current membership table.
+  ClientHandle CreateClient(ZhtClientOptions overrides = {});
+
+  std::size_t instance_count() const { return servers_.size(); }
+  ZhtServer* server(std::size_t i) { return servers_[i].get(); }
+  Manager* manager(std::size_t node) { return managers_[node].get(); }
+  std::size_t manager_count() const { return managers_.size(); }
+  const NodeAddress& manager_address(std::size_t node) const {
+    return manager_addresses_[node];
+  }
+  const NodeAddress& instance_address(std::size_t i) const {
+    return instance_addresses_[i];
+  }
+
+  // Loopback-only failure injection.
+  LoopbackNetwork& network() { return network_; }
+  void KillInstance(std::size_t i);
+  void ReviveInstance(std::size_t i);
+
+  // Dynamically joins a fresh instance on a new physical node through the
+  // manager of `via_node` (Figure 15's operation). Returns the new id.
+  Result<InstanceId> JoinNewInstance(std::size_t via_node = 0);
+
+  // Authoritative table (from manager 0).
+  MembershipTable TableSnapshot() const;
+
+  void FlushAllAsyncReplication();
+
+ private:
+  explicit LocalCluster(const LocalClusterOptions& options);
+  Status Boot();
+  std::unique_ptr<ClientTransport> MakeTransport();
+
+  // Registers a handler slot; returns the reachable address.
+  struct HandlerSlot {
+    RequestHandler target;  // set once the component exists
+  };
+  Result<NodeAddress> Expose(std::shared_ptr<HandlerSlot> slot);
+
+  LocalClusterOptions options_;
+  LoopbackNetwork network_;
+
+  std::vector<std::shared_ptr<HandlerSlot>> slots_;
+  std::vector<std::unique_ptr<EpollServer>> epoll_servers_;  // kTcp/kUdp
+  std::vector<std::unique_ptr<ClientTransport>> peer_transports_;
+
+  std::vector<std::unique_ptr<ZhtServer>> servers_;
+  std::vector<NodeAddress> instance_addresses_;
+  std::vector<std::unique_ptr<Manager>> managers_;
+  std::vector<NodeAddress> manager_addresses_;
+  std::uint32_t next_physical_node_ = 0;
+};
+
+}  // namespace zht

@@ -1,0 +1,300 @@
+#include "core/manager.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace zht {
+
+Manager::Manager(MembershipTable table, const ManagerOptions& options,
+                 ClientTransport* transport)
+    : options_(options), transport_(transport), table_(std::move(table)) {}
+
+MembershipTable Manager::TableSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_;
+}
+
+ManagerStats Manager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status Manager::CommandMigration(const NodeAddress& source,
+                                 PartitionId partition,
+                                 const NodeAddress& target) {
+  Request request;
+  request.op = OpCode::kMigrateOut;
+  request.seq = next_seq_++;
+  request.partition = partition;
+  request.value = target.ToString();
+  request.server_origin = true;
+  auto result = transport_->Call(source, request, options_.peer_timeout);
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+void Manager::PushTableTo(const NodeAddress& address,
+                          std::uint32_t since_epoch) {
+  Request push;
+  push.op = OpCode::kMembershipPush;
+  push.server_origin = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    push.seq = next_seq_++;
+    push.value = table_.EncodeDelta(since_epoch);
+  }
+  auto result = transport_->Call(address, push, options_.peer_timeout);
+  if (!result.ok()) {
+    ZHT_DEBUG << "membership push to " << address.ToString()
+              << " failed: " << result.status().ToString();
+  }
+}
+
+void Manager::SetPeerManagers(std::vector<NodeAddress> peers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_managers_ = std::move(peers);
+}
+
+void Manager::BroadcastDelta(std::uint32_t since_epoch) {
+  std::vector<NodeAddress> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& info : table_.instances()) {
+      if (info.alive) targets.push_back(info.address);
+    }
+    targets.insert(targets.end(), peer_managers_.begin(),
+                   peer_managers_.end());
+    ++stats_.broadcasts_sent;
+  }
+  // "the manager broadcasts out the incremental information of membership"
+  // (§III.C). Sequential pushes; deltas are tiny.
+  for (const auto& address : targets) {
+    PushTableTo(address, since_epoch);
+  }
+}
+
+Result<InstanceId> Manager::AdmitJoin(const NodeAddress& new_instance,
+                                      std::uint32_t physical_node) {
+  std::uint32_t epoch_before;
+  InstanceId fresh;
+  InstanceId donor;
+  NodeAddress donor_address;
+  std::vector<PartitionId> to_move;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_before = table_.epoch();
+    fresh = table_.AddInstance(new_instance, physical_node);
+    // "find the physical node with the most partitions, then join the ring
+    // as this heavily loaded node's neighbor and move some of the
+    // partitions from the busy node" (§III.C).
+    auto loaded = table_.MostLoaded();
+    if (!loaded || *loaded == fresh) {
+      return Status(StatusCode::kUnavailable, "no donor instance");
+    }
+    donor = *loaded;
+    donor_address = table_.Instance(donor).address;
+    auto partitions = table_.PartitionsOf(donor);
+    // Move the upper half of the donor's contiguous range.
+    to_move.assign(partitions.begin() +
+                       static_cast<std::ptrdiff_t>(partitions.size() / 2),
+                   partitions.end());
+  }
+
+  for (PartitionId p : to_move) {
+    Status status = CommandMigration(donor_address, p, new_instance);
+    if (!status.ok()) {
+      ZHT_WARN << "migration of partition " << p
+               << " failed: " << status.ToString();
+      continue;  // partition stays with the donor; membership unchanged
+    }
+    std::uint32_t push_from;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      push_from = table_.epoch() > 0 ? table_.epoch() - 1 : 0;
+      table_.SetOwner(p, fresh);
+      ++stats_.partitions_migrated;
+    }
+    // The two parties must learn the new ownership immediately (the donor
+    // now redirects, the recipient now serves); everyone else learns from
+    // the final broadcast, clients lazily.
+    PushTableTo(donor_address, push_from);
+    PushTableTo(new_instance, 0);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.joins_admitted;
+  }
+  BroadcastDelta(epoch_before);
+  return fresh;
+}
+
+Status Manager::Depart(InstanceId id) {
+  std::uint32_t epoch_before;
+  NodeAddress departing;
+  std::vector<std::pair<PartitionId, InstanceId>> moves;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= table_.instance_count()) {
+      return Status(StatusCode::kInvalidArgument, "no such instance");
+    }
+    epoch_before = table_.epoch();
+    departing = table_.Instance(id).address;
+    for (PartitionId p : table_.PartitionsOf(id)) {
+      auto target = table_.LeastLoaded(id);
+      if (!target) {
+        return Status(StatusCode::kUnavailable, "no remaining instance");
+      }
+      moves.emplace_back(p, *target);
+      // Reserve the assignment now so LeastLoaded balances across targets.
+      table_.SetOwner(p, *target);
+    }
+  }
+
+  for (const auto& [p, target] : moves) {
+    NodeAddress target_address;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      target_address = table_.Instance(target).address;
+    }
+    Status status = CommandMigration(departing, p, target_address);
+    if (!status.ok()) {
+      ZHT_WARN << "departure migration of partition " << p
+               << " failed: " << status.ToString();
+    }
+    PushTableTo(target_address, 0);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.partitions_migrated;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    table_.MarkDead(id);  // departed == no longer serving
+    ++stats_.departures;
+  }
+  // The departing node keeps answering until it actually shuts down; give
+  // it the final table so it redirects rather than serving empty stores.
+  PushTableTo(departing, 0);
+  BroadcastDelta(epoch_before);
+  return Status::Ok();
+}
+
+Status Manager::HandleFailure(InstanceId id) {
+  std::uint32_t epoch_before;
+  std::vector<std::pair<PartitionId, InstanceId>> reassignments;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= table_.instance_count()) {
+      return Status(StatusCode::kInvalidArgument, "no such instance");
+    }
+    if (!table_.Instance(id).alive) return Status::Ok();  // already handled
+    epoch_before = table_.epoch();
+    table_.MarkDead(id);
+    for (PartitionId p : table_.PartitionsOf(id)) {
+      // First alive replica becomes the owner; data is already there
+      // because replication placed it (§III.H).
+      auto chain = table_.ReplicaChain(p, options_.num_replicas + 1);
+      InstanceId replacement = id;
+      for (InstanceId candidate : chain) {
+        if (candidate != id && table_.Instance(candidate).alive) {
+          replacement = candidate;
+          break;
+        }
+      }
+      if (replacement == id) {
+        ZHT_ERROR << "partition " << p << " lost: no alive replica";
+        continue;
+      }
+      table_.SetOwner(p, replacement);
+      reassignments.emplace_back(p, replacement);
+    }
+    ++stats_.failures_handled;
+  }
+
+  BroadcastDelta(epoch_before);
+
+  // "initiates a rebuilding of the replicas ... to maintain the specified
+  // level of replication" (§III.C).
+  for (const auto& [p, owner] : reassignments) {
+    NodeAddress owner_address;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      owner_address = table_.Instance(owner).address;
+    }
+    Request repair;
+    repair.op = OpCode::kRepair;
+    repair.seq = next_seq_++;
+    repair.partition = p;
+    repair.server_origin = true;
+    auto result = transport_->Call(owner_address, repair,
+                                   options_.peer_timeout);
+    if (!result.ok()) {
+      ZHT_WARN << "repair of partition " << p
+               << " failed: " << result.status().ToString();
+    }
+  }
+  return Status::Ok();
+}
+
+Response Manager::Handle(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  switch (request.op) {
+    case OpCode::kJoinRequest: {
+      auto address = NodeAddress::Parse(request.key);
+      if (!address.ok()) {
+        resp.status = address.status().raw();
+        return resp;
+      }
+      std::uint32_t node = static_cast<std::uint32_t>(
+          std::strtoul(request.value.c_str(), nullptr, 10));
+      auto admitted = AdmitJoin(*address, node);
+      if (!admitted.ok()) {
+        resp.status = admitted.status().raw();
+        return resp;
+      }
+      resp.value = std::to_string(*admitted);
+      std::lock_guard<std::mutex> lock(mu_);
+      resp.epoch = table_.epoch();
+      resp.membership = table_.EncodeFull();
+      return resp;
+    }
+    case OpCode::kDepartRequest: {
+      InstanceId id = static_cast<InstanceId>(
+          std::strtoul(request.key.c_str(), nullptr, 10));
+      Status status = request.value == "failed" ? HandleFailure(id)
+                                                : Depart(id);
+      resp.status = status.raw();
+      std::lock_guard<std::mutex> lock(mu_);
+      resp.epoch = table_.epoch();
+      return resp;
+    }
+    case OpCode::kMembershipPull: {
+      std::lock_guard<std::mutex> lock(mu_);
+      resp.epoch = table_.epoch();
+      resp.membership = request.epoch == 0
+                            ? table_.EncodeFull()
+                            : table_.EncodeDelta(request.epoch);
+      return resp;
+    }
+    case OpCode::kMembershipPush: {
+      std::lock_guard<std::mutex> lock(mu_);
+      resp.status = table_.ApplyUpdate(request.value).raw();
+      resp.epoch = table_.epoch();
+      return resp;
+    }
+    case OpCode::kPing: {
+      std::lock_guard<std::mutex> lock(mu_);
+      resp.epoch = table_.epoch();
+      return resp;
+    }
+    default:
+      resp.status = Status(StatusCode::kInvalidArgument).raw();
+      return resp;
+  }
+}
+
+}  // namespace zht

@@ -1,0 +1,83 @@
+// Manager (§III.B–C): "a service running on each physical node [that]
+// takes charge of ... managing the membership table, starting/stopping
+// instances, and partition migration."
+//
+// The manager admits joining nodes (taking partitions from the most-loaded
+// instance), coordinates planned departures, reacts to failure reports
+// (reassigning ownership to replicas and rebuilding the replication
+// level), and broadcasts incremental membership updates.
+#pragma once
+
+#include <mutex>
+
+#include "common/status.h"
+#include "membership/membership_table.h"
+#include "net/transport.h"
+
+namespace zht {
+
+struct ManagerOptions {
+  int num_replicas = 0;
+  Nanos peer_timeout = 1000 * kNanosPerMilli;
+};
+
+struct ManagerStats {
+  std::uint64_t joins_admitted = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t failures_handled = 0;
+  std::uint64_t partitions_migrated = 0;
+  std::uint64_t broadcasts_sent = 0;
+};
+
+class Manager {
+ public:
+  Manager(MembershipTable table, const ManagerOptions& options,
+          ClientTransport* transport);
+
+  // Network entry point (JoinRequest, DepartRequest, MembershipPull/Push).
+  Response Handle(Request&& request);
+  RequestHandler AsHandler() {
+    return [this](Request&& req) { return Handle(std::move(req)); };
+  }
+
+  // Admits a new, already-running instance: adds it to the table, moves
+  // half of the most-loaded instance's partitions onto it (whole-partition
+  // migration, no rehashing), then broadcasts the incremental update.
+  Result<InstanceId> AdmitJoin(const NodeAddress& new_instance,
+                               std::uint32_t physical_node);
+
+  // Planned departure (§III.C): migrate the instance's partitions to the
+  // least-loaded remaining instance, then mark it gone and broadcast.
+  Status Depart(InstanceId id);
+
+  // Unplanned failure: reassign each of the dead instance's partitions to
+  // its first alive replica, broadcast, and command the new owners to
+  // rebuild the replication level.
+  Status HandleFailure(InstanceId id);
+
+  // Sends the (delta since `since_epoch`) table to every alive instance
+  // and every peer manager.
+  void BroadcastDelta(std::uint32_t since_epoch);
+
+  // Other physical nodes' managers; they receive membership broadcasts so
+  // any manager can serve joins and failure reports.
+  void SetPeerManagers(std::vector<NodeAddress> peers);
+
+  MembershipTable TableSnapshot() const;
+  ManagerStats stats() const;
+
+ private:
+  Status CommandMigration(const NodeAddress& source, PartitionId partition,
+                          const NodeAddress& target);
+  void PushTableTo(const NodeAddress& address, std::uint32_t since_epoch);
+
+  ManagerOptions options_;
+  ClientTransport* transport_;
+  mutable std::mutex mu_;
+  MembershipTable table_;
+  std::vector<NodeAddress> peer_managers_;
+  ManagerStats stats_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace zht

@@ -1,0 +1,209 @@
+#include "core/zht_client.h"
+
+#include <random>
+#include <thread>
+
+#include "common/log.h"
+
+namespace zht {
+
+ZhtClient::ZhtClient(MembershipTable table, const ZhtClientOptions& options,
+                     ClientTransport* transport)
+    : table_(std::move(table)),
+      options_(options),
+      transport_(transport),
+      detector_(options.failure_detector) {
+  if (options.client_id != 0) {
+    client_id_ = options.client_id;
+  } else {
+    std::random_device device;
+    client_id_ = (static_cast<std::uint64_t>(device()) << 32) | device();
+    if (client_id_ == 0) client_id_ = 1;
+  }
+}
+
+void ZhtClient::Backoff(Nanos duration) {
+  if (duration > 0 && options_.sleep_on_backoff) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(duration));
+  }
+}
+
+void ZhtClient::ReportFailure(InstanceId instance) {
+  ++stats_.nodes_reported_dead;
+  table_.MarkDead(instance);
+  if (!options_.manager) return;
+  // Inform a manager (§III.C): it rebroadcasts membership and triggers
+  // replica rebuilding. Best effort.
+  Request report;
+  report.op = OpCode::kDepartRequest;
+  report.seq = next_seq_++;
+  report.key = std::to_string(instance);
+  report.value = "failed";
+  report.epoch = table_.epoch();
+  auto result =
+      transport_->Call(*options_.manager, report, options_.op_timeout);
+  if (!result.ok()) {
+    ZHT_WARN << "failure report to manager failed: "
+             << result.status().ToString();
+  }
+}
+
+Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
+                                    std::string_view value) {
+  ++stats_.ops;
+  int replica_try = 0;
+  // One sequence number per logical operation: retries and transport
+  // retransmissions carry the same (client_id, seq), so the server's
+  // dedup window makes append at-most-once.
+  const std::uint64_t op_seq = next_seq_++;
+
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    PartitionId partition = table_.PartitionOfKey(key);
+    auto chain = table_.ReplicaChain(partition, options_.num_replicas);
+    if (chain.empty()) {
+      return Status(StatusCode::kUnavailable, "no alive instance for key");
+    }
+    if (replica_try >= static_cast<int>(chain.size())) {
+      return Status(StatusCode::kUnavailable,
+                    "all replicas of partition " + std::to_string(partition) +
+                        " unreachable");
+    }
+    InstanceId target = chain[static_cast<std::size_t>(replica_try)];
+    if (!table_.Instance(target).alive) {
+      // Known-dead (locally marked) node still heads the chain until a
+      // membership update reassigns ownership; skip without a network hop.
+      ++replica_try;
+      continue;
+    }
+    const NodeAddress& address = table_.Instance(target).address;
+
+    Request request;
+    request.op = op;
+    request.seq = op_seq;
+    request.key.assign(key);
+    request.value.assign(value);
+    request.epoch = table_.epoch();
+    request.replica_index = static_cast<std::uint8_t>(replica_try);
+    request.client_id = client_id_;
+
+    auto result = transport_->Call(address, request, options_.op_timeout);
+
+    if (!result.ok()) {
+      // Transport failure: exponential back-off, then either retry the
+      // same node or fail over to the next replica once the detector
+      // declares it dead.
+      ++stats_.retries;
+      Backoff(detector_.BackoffFor(address));
+      if (detector_.RecordFailure(address)) {
+        ReportFailure(target);
+        transport_->Invalidate(address);
+        ++stats_.failovers;
+        ++replica_try;
+      }
+      continue;
+    }
+    detector_.RecordSuccess(address);
+
+    StatusCode code = static_cast<StatusCode>(result->status);
+    if (code == StatusCode::kRedirect) {
+      ++stats_.redirects_followed;
+      if (!result->membership.empty()) {
+        Status applied = table_.ApplyUpdate(result->membership);
+        if (!applied.ok()) {
+          // Delta did not apply (e.g. we were too far behind): pull a
+          // snapshot from the node that redirected us.
+          Request pull;
+          pull.op = OpCode::kMembershipPull;
+          pull.seq = next_seq_++;
+          auto snapshot =
+              transport_->Call(address, pull, options_.op_timeout);
+          if (snapshot.ok() && !snapshot->membership.empty()) {
+            table_.ApplyUpdate(snapshot->membership);
+          }
+        }
+      }
+      replica_try = 0;
+      continue;
+    }
+    if (code == StatusCode::kMigrating) {
+      ++stats_.retries;
+      Backoff(options_.migrating_backoff);
+      continue;
+    }
+    return *result;
+  }
+  return Status(StatusCode::kTimeout, "attempts exhausted");
+}
+
+Status ZhtClient::Insert(std::string_view key, std::string_view value) {
+  auto result = Execute(OpCode::kInsert, key, value);
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+Result<std::string> ZhtClient::Lookup(std::string_view key) {
+  auto result = Execute(OpCode::kLookup, key, "");
+  if (!result.ok()) return result.status();
+  if (!result->ok()) return result->status_as_object();
+  return std::move(result->value);
+}
+
+Status ZhtClient::Remove(std::string_view key) {
+  auto result = Execute(OpCode::kRemove, key, "");
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+Status ZhtClient::Append(std::string_view key, std::string_view value) {
+  auto result = Execute(OpCode::kAppend, key, value);
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+Status ZhtClient::Ping(InstanceId instance) {
+  if (instance >= table_.instance_count()) {
+    return Status(StatusCode::kInvalidArgument, "no such instance");
+  }
+  Request request;
+  request.op = OpCode::kPing;
+  request.seq = next_seq_++;
+  request.epoch = table_.epoch();
+  auto result = transport_->Call(table_.Instance(instance).address, request,
+                                 options_.op_timeout);
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+Status ZhtClient::Broadcast(std::string_view key, std::string_view value) {
+  Request request;
+  request.op = OpCode::kBroadcast;
+  request.seq = next_seq_++;
+  request.key.assign(key);
+  request.value.assign(value);
+  request.epoch = table_.epoch();
+  // Root of the spanning tree is instance 0.
+  auto result = transport_->Call(table_.Instance(0).address, request,
+                                 options_.op_timeout);
+  if (!result.ok()) return result.status();
+  return result->status_as_object();
+}
+
+Status ZhtClient::RefreshMembership(std::optional<InstanceId> from) {
+  InstanceId source = from.value_or(0);
+  if (source >= table_.instance_count()) {
+    return Status(StatusCode::kInvalidArgument, "no such instance");
+  }
+  Request pull;
+  pull.op = OpCode::kMembershipPull;
+  pull.seq = next_seq_++;
+  pull.epoch = table_.epoch();
+  auto result = transport_->Call(table_.Instance(source).address, pull,
+                                 options_.op_timeout);
+  if (!result.ok()) return result.status();
+  if (result->membership.empty()) {
+    return Status(StatusCode::kInternal, "empty membership response");
+  }
+  return table_.ApplyUpdate(result->membership);
+}
+
+}  // namespace zht

@@ -1,0 +1,87 @@
+// ZhtClient: the four-call API of the paper (§III.A):
+//
+//   int    insert(key, value);
+//   value  lookup(key);
+//   int    remove(key);
+//   int    append(key, value);
+//
+// plus ping and the broadcast primitive. The client owns a full membership
+// table (zero-hop routing), refreshes it lazily from REDIRECT responses,
+// retries with exponential back-off on timeouts, fails over along the
+// replica chain, and reports dead nodes to a manager when one is
+// configured (§III.C "Node departures").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/failure_detector.h"
+#include "membership/membership_table.h"
+#include "net/transport.h"
+
+namespace zht {
+
+struct ZhtClientOptions {
+  int num_replicas = 0;            // must match the servers' setting
+  Nanos op_timeout = 200 * kNanosPerMilli;
+  int max_attempts = 8;            // total tries across redirects/retries
+  Nanos migrating_backoff = 1 * kNanosPerMilli;
+  FailureDetectorOptions failure_detector;
+  std::optional<NodeAddress> manager;  // failure-report destination
+  bool sleep_on_backoff = true;    // disable in simulated-time tests
+  std::uint64_t client_id = 0;     // 0 = pick a random identity; paired
+                                   // with seq it makes append at-most-once
+                                   // under retransmission
+};
+
+struct ZhtClientStats {
+  std::uint64_t ops = 0;
+  std::uint64_t redirects_followed = 0;
+  std::uint64_t failovers = 0;   // attempts moved down the replica chain
+  std::uint64_t retries = 0;
+  std::uint64_t nodes_reported_dead = 0;
+};
+
+class ZhtClient {
+ public:
+  ZhtClient(MembershipTable table, const ZhtClientOptions& options,
+            ClientTransport* transport);
+
+  // The paper's API. Insert overwrites; Remove of a missing key returns
+  // kNotFound; Append creates the key when absent.
+  Status Insert(std::string_view key, std::string_view value);
+  Result<std::string> Lookup(std::string_view key);
+  Status Remove(std::string_view key);
+  Status Append(std::string_view key, std::string_view value);
+
+  // Liveness probe of a specific instance.
+  Status Ping(InstanceId instance);
+
+  // Broadcast primitive (§VI): delivers the pair to every instance via a
+  // spanning tree rooted at instance 0.
+  Status Broadcast(std::string_view key, std::string_view value);
+
+  // Pulls a fresh membership table from the given (or primary) instance.
+  Status RefreshMembership(std::optional<InstanceId> from = std::nullopt);
+
+  MembershipTable& table() { return table_; }
+  const MembershipTable& table() const { return table_; }
+  const ZhtClientStats& stats() const { return stats_; }
+
+ private:
+  Result<Response> Execute(OpCode op, std::string_view key,
+                           std::string_view value);
+  void ReportFailure(InstanceId instance);
+  void Backoff(Nanos duration);
+
+  MembershipTable table_;
+  ZhtClientOptions options_;
+  ClientTransport* transport_;
+  FailureDetector detector_;
+  ZhtClientStats stats_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t client_id_ = 0;
+};
+
+}  // namespace zht

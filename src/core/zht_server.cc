@@ -1,0 +1,605 @@
+#include "core/zht_server.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "novoht/novoht.h"
+#include "serialize/wire.h"
+
+namespace zht {
+namespace {
+
+// Packs key/value pairs for MigrateData batches:
+// varint count, then per pair: varint klen, varint vlen, key, value.
+std::string PackPairs(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::string out;
+  wire::Writer w(&out);
+  w.PutVarint(pairs.size());
+  for (const auto& [key, value] : pairs) {
+    w.PutVarint(key.size());
+    w.PutVarint(value.size());
+    w.PutBytes(key);
+    w.PutBytes(value);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> UnpackPairs(
+    std::string_view data) {
+  wire::Reader r(data);
+  std::uint64_t count;
+  if (!r.GetVarint(&count)) {
+    return Status(StatusCode::kCorruption, "pair batch header");
+  }
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t klen, vlen;
+    std::string_view key, value;
+    if (!r.GetVarint(&klen) || !r.GetVarint(&vlen) ||
+        !r.GetBytes(klen, &key) || !r.GetBytes(vlen, &value)) {
+      return Status(StatusCode::kCorruption, "pair batch payload");
+    }
+    pairs.emplace_back(std::string(key), std::string(value));
+  }
+  return pairs;
+}
+
+std::unique_ptr<KVStore> DefaultStoreFactory(PartitionId) {
+  auto store = NoVoHT::Open(NoVoHTOptions{});  // in-memory NoVoHT
+  return store.ok() ? std::move(*store) : nullptr;
+}
+
+}  // namespace
+
+ZhtServer::ZhtServer(MembershipTable table, const ZhtServerOptions& options,
+                     ClientTransport* peer_transport)
+    : options_(options), peer_transport_(peer_transport),
+      table_(std::move(table)) {
+  if (!options_.store_factory) options_.store_factory = DefaultStoreFactory;
+  async_worker_ = std::thread([this] { AsyncReplicationLoop(); });
+}
+
+ZhtServer::~ZhtServer() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (async_worker_.joinable()) async_worker_.join();
+}
+
+KVStore* ZhtServer::StoreFor(PartitionId partition) {
+  auto it = partitions_.find(partition);
+  if (it != partitions_.end()) return it->second.get();
+  auto store = options_.store_factory(partition);
+  KVStore* raw = store.get();
+  partitions_.emplace(partition, std::move(store));
+  return raw;
+}
+
+Status ZhtServer::ApplyToStore(OpCode op, PartitionId partition,
+                               std::string_view key, std::string_view value,
+                               std::string* out) {
+  KVStore* store = StoreFor(partition);
+  if (!store) return Status(StatusCode::kInternal, "store factory failed");
+  switch (op) {
+    case OpCode::kInsert:
+      return store->Put(key, value);
+    case OpCode::kLookup: {
+      auto result = store->Get(key);
+      if (!result.ok()) return result.status();
+      if (out) *out = std::move(*result);
+      return Status::Ok();
+    }
+    case OpCode::kRemove:
+      return store->Remove(key);
+    case OpCode::kAppend:
+      return store->Append(key, value);
+    default:
+      return Status(StatusCode::kInvalidArgument, "not a data op");
+  }
+}
+
+bool ZhtServer::IsDuplicateAppend(const Request& request) {
+  if (request.client_id == 0 || request.seq == 0) return false;
+  // Mix the three identifiers into one cache key.
+  std::uint64_t key = request.client_id * 0x9e3779b97f4a7c15ull ^
+                      request.seq * 0xff51afd7ed558ccdull ^
+                      request.replica_index;
+  if (dedup_set_.count(key)) return true;
+  dedup_ring_.push_back(key);
+  dedup_set_.insert(key);
+  if (dedup_ring_.size() > kDedupWindow) {
+    dedup_set_.erase(dedup_ring_.front());
+    dedup_ring_.pop_front();
+  }
+  return false;
+}
+
+Response ZhtServer::RedirectTo(InstanceId owner, std::uint64_t seq,
+                               std::uint32_t requester_epoch) {
+  // Lazy membership update (§III.C): the wrong-owner reply carries the
+  // delta the requester is missing — one message per client per partition
+  // move.
+  Response resp;
+  resp.seq = seq;
+  resp.status = Status(StatusCode::kRedirect).raw();
+  resp.epoch = table_.epoch();
+  resp.membership = table_.EncodeDelta(requester_epoch);
+  if (owner < table_.instance_count()) {
+    const auto& info = table_.Instance(owner);
+    resp.redirect_host = info.address.host;
+    resp.redirect_port = info.address.port;
+  }
+  return resp;
+}
+
+Response ZhtServer::Handle(Request&& request) {
+  switch (request.op) {
+    case OpCode::kInsert:
+    case OpCode::kLookup:
+    case OpCode::kRemove:
+    case OpCode::kAppend:
+      return HandleData(std::move(request));
+    case OpCode::kPing: {
+      Response resp;
+      resp.seq = request.seq;
+      std::lock_guard<std::mutex> lock(mu_);
+      resp.epoch = table_.epoch();
+      return resp;
+    }
+    case OpCode::kMembershipPull:
+      return HandleMembershipPull(std::move(request));
+    case OpCode::kMembershipPush:
+      return HandleMembershipPush(std::move(request));
+    case OpCode::kMigrateBegin:
+      return HandleMigrateBegin(std::move(request));
+    case OpCode::kMigrateData:
+      return HandleMigrateData(std::move(request));
+    case OpCode::kMigrateEnd:
+      return HandleMigrateEnd(std::move(request));
+    case OpCode::kMigrateOut:
+      return HandleMigrateOut(std::move(request));
+    case OpCode::kRepair:
+      return HandleRepair(std::move(request));
+    case OpCode::kBroadcast:
+      return HandleBroadcast(std::move(request));
+    case OpCode::kStats: {
+      // Admin introspection: counters as a config-style text blob (easy
+      // for tools to parse, stable keys).
+      Response resp;
+      resp.seq = request.seq;
+      std::lock_guard<std::mutex> lock(mu_);
+      std::uint64_t entries = 0;
+      for (const auto& [partition, store] : partitions_) {
+        entries += store->Size();
+      }
+      resp.epoch = table_.epoch();
+      resp.value = "instance = " + std::to_string(options_.self) +
+                   "\nepoch = " + std::to_string(table_.epoch()) +
+                   "\npartitions_held = " +
+                   std::to_string(partitions_.size()) +
+                   "\nentries = " + std::to_string(entries) +
+                   "\nops = " + std::to_string(stats_.ops) +
+                   "\nredirects = " + std::to_string(stats_.redirects) +
+                   "\nreplications_sync = " +
+                   std::to_string(stats_.replications_sync) +
+                   "\nreplications_async = " +
+                   std::to_string(stats_.replications_async) +
+                   "\nmigrations_in = " +
+                   std::to_string(stats_.migrations_in) +
+                   "\nmigrations_out = " +
+                   std::to_string(stats_.migrations_out) +
+                   "\nbroadcasts = " + std::to_string(stats_.broadcasts) +
+                   "\nduplicate_appends_dropped = " +
+                   std::to_string(stats_.duplicate_appends_dropped) + "\n";
+      return resp;
+    }
+    default: {
+      Response resp;
+      resp.seq = request.seq;
+      resp.status = Status(StatusCode::kInvalidArgument).raw();
+      return resp;
+    }
+  }
+}
+
+Response ZhtServer::HandleData(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+
+  PartitionId partition = 0;
+  std::vector<InstanceId> chain;
+  Status status;
+  std::string lookup_value;
+  bool replicate = false;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    partition = table_.PartitionOfKey(request.key);
+    resp.epoch = table_.epoch();
+
+    if (migrating_.count(partition)) {
+      // Partition is locked mid-migration (§III.C "Data Migration"): state
+      // cannot be modified; the client backs off and retries, which
+      // realizes the paper's request queueing at the sender.
+      resp.status = Status(StatusCode::kMigrating).raw();
+      return resp;
+    }
+
+    chain = table_.ReplicaChain(partition, options_.num_replicas);
+
+    const bool is_replica_traffic =
+        request.server_origin && request.replica_index > 0;
+    const bool is_client_failover = !request.server_origin &&
+                                    request.replica_index > 0;
+
+    if (!is_replica_traffic) {
+      bool in_chain = false;
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i] == options_.self) {
+          in_chain = true;
+          break;
+        }
+      }
+      const bool is_primary = !chain.empty() && chain[0] == options_.self;
+      if (!is_primary && !(is_client_failover && in_chain)) {
+        ++stats_.redirects;
+        return RedirectTo(chain.empty() ? 0 : chain[0], request.seq,
+                          request.epoch);
+      }
+    }
+
+    if (request.op == OpCode::kAppend && IsDuplicateAppend(request)) {
+      // Retransmission of an append we already applied: acknowledge
+      // success without re-applying.
+      ++stats_.duplicate_appends_dropped;
+      resp.status = Status::Ok().raw();
+      return resp;
+    }
+
+    status = ApplyToStore(request.op, partition, request.key, request.value,
+                          &lookup_value);
+    ++stats_.ops;
+
+    replicate = status.ok() && request.op != OpCode::kLookup &&
+                options_.num_replicas > 0 && !request.server_origin &&
+                request.replica_index == 0 && chain.size() > 1;
+  }
+
+  resp.status = status.raw();
+  resp.value = std::move(lookup_value);
+
+  if (replicate) {
+    // Outside the server lock: a synchronous hop to the secondary keeps
+    // primary+secondary strongly consistent; further replicas go through
+    // the asynchronous queue (§III.J).
+    ReplicateSync(request, partition, chain);
+  }
+  return resp;
+}
+
+void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
+                              const std::vector<InstanceId>& chain) {
+  Request forward = original;
+  forward.server_origin = true;
+  forward.partition = partition;
+
+  if (options_.sync_secondary && chain.size() > 1) {
+    forward.replica_index = 1;
+    NodeAddress secondary;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      secondary = table_.Instance(chain[1]).address;
+      ++stats_.replications_sync;
+    }
+    auto result =
+        peer_transport_->Call(secondary, forward, options_.peer_timeout);
+    if (!result.ok()) {
+      ZHT_WARN << "sync replication to " << secondary.ToString()
+               << " failed: " << result.status().ToString();
+    }
+  }
+  std::size_t first_async = options_.sync_secondary ? 2 : 1;
+  for (std::size_t i = first_async; i < chain.size(); ++i) {
+    Request async = forward;
+    async.replica_index = static_cast<std::uint8_t>(i);
+    EnqueueAsyncReplication(std::move(async), chain[i]);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.replications_async;
+  }
+}
+
+void ZhtServer::EnqueueAsyncReplication(Request request, InstanceId target) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    async_queue_.emplace_back(std::move(request), target);
+  }
+  queue_cv_.notify_one();
+}
+
+void ZhtServer::AsyncReplicationLoop() {
+  for (;;) {
+    std::pair<Request, InstanceId> item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_ || !async_queue_.empty(); });
+      if (stopping_ && async_queue_.empty()) return;
+      item = std::move(async_queue_.front());
+      async_queue_.pop_front();
+      ++async_inflight_;
+    }
+    NodeAddress target;
+    bool have_target = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (item.second < table_.instance_count()) {
+        target = table_.Instance(item.second).address;
+        have_target = true;
+      }
+    }
+    if (have_target) {
+      auto result =
+          peer_transport_->Call(target, item.first, options_.peer_timeout);
+      if (!result.ok()) {
+        ZHT_DEBUG << "async replication to " << target.ToString()
+                  << " failed: " << result.status().ToString();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --async_inflight_;
+    }
+    queue_cv_.notify_all();
+  }
+}
+
+void ZhtServer::FlushAsyncReplication() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [this] {
+    return async_queue_.empty() && async_inflight_ == 0;
+  });
+}
+
+Response ZhtServer::HandleMembershipPull(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  std::lock_guard<std::mutex> lock(mu_);
+  resp.epoch = table_.epoch();
+  resp.membership = request.epoch == 0 ? table_.EncodeFull()
+                                       : table_.EncodeDelta(request.epoch);
+  return resp;
+}
+
+Response ZhtServer::HandleMembershipPush(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status = table_.ApplyUpdate(request.value);
+  resp.status = status.raw();
+  resp.epoch = table_.epoch();
+  return resp;
+}
+
+Response ZhtServer::HandleMigrateBegin(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Fresh store for the incoming partition (replaces any stale replica
+  // copy; the authoritative data is what the source streams to us).
+  partitions_[request.partition] = options_.store_factory(request.partition);
+  resp.epoch = table_.epoch();
+  return resp;
+}
+
+Response ZhtServer::HandleMigrateData(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  auto pairs = UnpackPairs(request.value);
+  if (!pairs.ok()) {
+    resp.status = pairs.status().raw();
+    return resp;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  KVStore* store = StoreFor(request.partition);
+  for (const auto& [key, value] : *pairs) {
+    store->Put(key, value);
+  }
+  return resp;
+}
+
+Response ZhtServer::HandleMigrateEnd(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.migrations_in;
+  resp.epoch = table_.epoch();
+  return resp;
+}
+
+Status ZhtServer::MigratePartitionTo(PartitionId partition,
+                                     const NodeAddress& target) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (migrating_.count(partition)) {
+      return Status(StatusCode::kMigrating, "partition already migrating");
+    }
+    migrating_.insert(partition);
+  }
+
+  // Snapshot the partition (the migrating_ lock guarantees no writes land
+  // while we stream; readers of other partitions proceed unhindered).
+  std::vector<std::pair<std::string, std::string>> pairs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = partitions_.find(partition);
+    if (it != partitions_.end()) {
+      it->second->ForEach([&pairs](std::string_view k, std::string_view v) {
+        pairs.emplace_back(std::string(k), std::string(v));
+      });
+    }
+  }
+
+  auto fail = [this, partition](Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    migrating_.erase(partition);
+    return status;
+  };
+
+  Request begin;
+  begin.op = OpCode::kMigrateBegin;
+  begin.partition = partition;
+  begin.server_origin = true;
+  auto begin_result =
+      peer_transport_->Call(target, begin, options_.peer_timeout);
+  if (!begin_result.ok()) return fail(begin_result.status());
+  if (!begin_result->ok()) return fail(begin_result->status_as_object());
+
+  // Stream in batches ("moving a partition is as easy as moving a file").
+  std::vector<std::pair<std::string, std::string>> batch;
+  std::size_t batch_bytes = 0;
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::Ok();
+    Request data;
+    data.op = OpCode::kMigrateData;
+    data.partition = partition;
+    data.server_origin = true;
+    data.value = PackPairs(batch);
+    batch.clear();
+    batch_bytes = 0;
+    auto result = peer_transport_->Call(target, data, options_.peer_timeout);
+    if (!result.ok()) return result.status();
+    if (!result->ok()) return result->status_as_object();
+    return Status::Ok();
+  };
+  for (auto& pair : pairs) {
+    batch_bytes += pair.first.size() + pair.second.size() + 16;
+    batch.push_back(std::move(pair));
+    if (batch_bytes >= options_.migrate_batch_bytes) {
+      Status status = flush();
+      if (!status.ok()) return fail(status);
+    }
+  }
+  Status status = flush();
+  if (!status.ok()) return fail(status);
+
+  Request end;
+  end.op = OpCode::kMigrateEnd;
+  end.partition = partition;
+  end.server_origin = true;
+  auto end_result = peer_transport_->Call(target, end, options_.peer_timeout);
+  if (!end_result.ok()) return fail(end_result.status());
+  if (!end_result->ok()) return fail(end_result->status_as_object());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    partitions_.erase(partition);
+    migrating_.erase(partition);
+    ++stats_.migrations_out;
+  }
+  return Status::Ok();
+}
+
+Response ZhtServer::HandleMigrateOut(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  auto target = NodeAddress::Parse(request.value);
+  if (!target.ok()) {
+    resp.status = target.status().raw();
+    return resp;
+  }
+  Status status = MigratePartitionTo(request.partition, *target);
+  resp.status = status.raw();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    resp.epoch = table_.epoch();
+  }
+  return resp;
+}
+
+Status ZhtServer::RepairPartition(PartitionId partition) {
+  // Push every pair to every chain member (idempotent puts restore the
+  // replication level after a failure, §III.C "Node departures").
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::vector<InstanceId> chain;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = partitions_.find(partition);
+    if (it != partitions_.end()) {
+      it->second->ForEach([&pairs](std::string_view k, std::string_view v) {
+        pairs.emplace_back(std::string(k), std::string(v));
+      });
+    }
+    chain = table_.ReplicaChain(partition, options_.num_replicas);
+  }
+  for (const auto& [key, value] : pairs) {
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      if (chain[i] == options_.self) continue;
+      Request request;
+      request.op = OpCode::kInsert;
+      request.key = key;
+      request.value = value;
+      request.partition = partition;
+      request.server_origin = true;
+      request.replica_index = static_cast<std::uint8_t>(i);
+      EnqueueAsyncReplication(std::move(request), chain[i]);
+    }
+  }
+  return Status::Ok();
+}
+
+Response ZhtServer::HandleRepair(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  resp.status = RepairPartition(request.partition).raw();
+  return resp;
+}
+
+Response ZhtServer::HandleBroadcast(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+
+  std::size_t self_index = 0;
+  std::size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PartitionId partition = table_.PartitionOfKey(request.key);
+    KVStore* store = StoreFor(partition);
+    Status status = store->Put(request.key, request.value);
+    resp.status = status.raw();
+    ++stats_.broadcasts;
+    count = table_.instance_count();
+    self_index = options_.self;
+  }
+
+  // Binary spanning tree over instance ids (§VI "Broadcast primitive"):
+  // node i forwards to 2i+1 and 2i+2.
+  for (std::size_t child : {2 * self_index + 1, 2 * self_index + 2}) {
+    if (child >= count) continue;
+    Request forward = request;
+    forward.server_origin = true;
+    EnqueueAsyncReplication(std::move(forward),
+                            static_cast<InstanceId>(child));
+  }
+  return resp;
+}
+
+ZhtServerStats ZhtServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t ZhtServer::TotalEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [partition, store] : partitions_) {
+    total += store->Size();
+  }
+  return total;
+}
+
+}  // namespace zht

@@ -1,0 +1,137 @@
+// ZhtServer: one ZHT instance (§III.B). Owns the partition stores for the
+// partitions it serves (as primary or replica), validates ownership against
+// its membership table (answering REDIRECT with a piggybacked table for the
+// lazy client update), applies operations, and drives replication:
+// synchronous to the secondary, asynchronous to further replicas (§III.J).
+//
+// The request handler is transport-agnostic: bind Handle() to an
+// EpollServer (live TCP/UDP), a LoopbackNetwork (in-process clusters), or
+// call it directly in unit tests.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "membership/membership_table.h"
+#include "net/transport.h"
+#include "novoht/kv_store.h"
+
+namespace zht {
+
+using StoreFactory =
+    std::function<std::unique_ptr<KVStore>(PartitionId partition)>;
+
+struct ZhtServerOptions {
+  InstanceId self = 0;
+  int num_replicas = 0;          // replicas beyond the primary
+  bool sync_secondary = true;    // primary+secondary strong consistency
+  Nanos peer_timeout = 500 * kNanosPerMilli;
+  std::size_t migrate_batch_bytes = 256 * 1024;
+  // Factory for partition stores. Defaults to in-memory NoVoHT.
+  StoreFactory store_factory;
+};
+
+struct ZhtServerStats {
+  std::uint64_t ops = 0;              // data operations served
+  std::uint64_t redirects = 0;        // wrong-owner requests answered
+  std::uint64_t replications_sync = 0;
+  std::uint64_t replications_async = 0;
+  std::uint64_t migrations_out = 0;
+  std::uint64_t migrations_in = 0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t duplicate_appends_dropped = 0;
+};
+
+class ZhtServer {
+ public:
+  ZhtServer(MembershipTable table, const ZhtServerOptions& options,
+            ClientTransport* peer_transport);
+  ~ZhtServer();
+
+  ZhtServer(const ZhtServer&) = delete;
+  ZhtServer& operator=(const ZhtServer&) = delete;
+
+  // The transport-facing entry point.
+  Response Handle(Request&& request);
+  RequestHandler AsHandler() {
+    return [this](Request&& req) { return Handle(std::move(req)); };
+  }
+
+  // Re-replicates every pair of `partition` to the replica chain (used by
+  // the manager to restore the replication level after a failure).
+  Status RepairPartition(PartitionId partition);
+
+  // Pushes `partition` to `target` (MigrateBegin/Data/End) and relinquishes
+  // it. The caller (manager) updates and broadcasts membership afterwards.
+  Status MigratePartitionTo(PartitionId partition, const NodeAddress& target);
+
+  const MembershipTable& table() const { return table_; }
+  InstanceId self() const { return options_.self; }
+  ZhtServerStats stats() const;
+
+  // Total pairs held (all partitions, primary and replica).
+  std::uint64_t TotalEntries() const;
+
+  // Waits until the async replication queue drains (tests/benches).
+  void FlushAsyncReplication();
+
+ private:
+  Response HandleData(Request&& request);
+  Response HandleReplicate(Request&& request);
+  Response HandleMigrateBegin(Request&& request);
+  Response HandleMigrateData(Request&& request);
+  Response HandleMigrateEnd(Request&& request);
+  Response HandleMigrateOut(Request&& request);
+  Response HandleRepair(Request&& request);
+  Response HandleBroadcast(Request&& request);
+  Response HandleMembershipPull(Request&& request);
+  Response HandleMembershipPush(Request&& request);
+
+  Status ApplyToStore(OpCode op, PartitionId partition, std::string_view key,
+                      std::string_view value, std::string* out);
+  KVStore* StoreFor(PartitionId partition);  // creates on demand
+  Response RedirectTo(InstanceId owner, std::uint64_t seq,
+                      std::uint32_t requester_epoch);
+
+  void ReplicateSync(const Request& original, PartitionId partition,
+                     const std::vector<InstanceId>& chain);
+  void EnqueueAsyncReplication(Request request, InstanceId target);
+  void AsyncReplicationLoop();
+
+  ZhtServerOptions options_;
+  ClientTransport* peer_transport_;
+
+  // Returns true when this (client_id, seq, replica_index) append was seen
+  // recently — a retransmission whose first copy already applied. Caller
+  // holds mu_.
+  bool IsDuplicateAppend(const Request& request);
+
+  mutable std::mutex mu_;  // guards table_, partitions_, migrating_, stats_
+  MembershipTable table_;
+  std::unordered_map<PartitionId, std::unique_ptr<KVStore>> partitions_;
+  std::unordered_set<PartitionId> migrating_;
+  ZhtServerStats stats_;
+
+  // At-most-once window for the non-idempotent append (retransmitted UDP
+  // requests must not double-apply, §III.F ack-based retries).
+  static constexpr std::size_t kDedupWindow = 8192;
+  std::deque<std::uint64_t> dedup_ring_;
+  std::unordered_set<std::uint64_t> dedup_set_;
+
+  // Asynchronous replication worker (replicas beyond the secondary).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::pair<Request, InstanceId>> async_queue_;
+  std::size_t async_inflight_ = 0;
+  bool stopping_ = false;
+  std::thread async_worker_;
+};
+
+}  // namespace zht

@@ -1,0 +1,139 @@
+#include "fusionfs/file_io.h"
+
+#include <algorithm>
+
+namespace zht::fusionfs {
+
+Result<std::string> FileIo::LoadBlock(const std::string& path,
+                                      std::uint64_t index) const {
+  auto block = client_->Lookup(BlockKey(path, index));
+  if (block.ok()) return block;
+  if (block.status().code() == StatusCode::kNotFound) {
+    return std::string();  // sparse/unwritten region reads as zeros
+  }
+  return block.status();
+}
+
+Status FileIo::Write(const std::string& path, std::uint64_t offset,
+                     std::string_view data) {
+  auto meta = metadata_->Stat(path);
+  if (!meta.ok()) return meta.status();
+  if (meta->is_dir) {
+    return Status(StatusCode::kInvalidArgument, "is a directory");
+  }
+  if (data.empty()) return Status::Ok();
+
+  const std::uint64_t block_size = options_.block_size;
+  std::uint64_t cursor = offset;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    std::uint64_t block_index = cursor / block_size;
+    std::uint64_t within = cursor % block_size;
+    std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(block_size - within, data.size() - consumed));
+
+    if (within == 0 && take == block_size) {
+      // Full-block overwrite: no read-modify-write.
+      Status status = client_->Insert(BlockKey(path, block_index),
+                                      data.substr(consumed, take));
+      if (!status.ok()) return status;
+    } else {
+      auto existing = LoadBlock(path, block_index);
+      if (!existing.ok()) return existing.status();
+      std::string block = std::move(*existing);
+      if (block.size() < within + take) block.resize(within + take, '\0');
+      block.replace(static_cast<std::size_t>(within), take,
+                    data.substr(consumed, take));
+      Status status = client_->Insert(BlockKey(path, block_index), block);
+      if (!status.ok()) return status;
+    }
+    cursor += take;
+    consumed += take;
+  }
+
+  if (cursor > meta->size) {
+    meta->size = cursor;
+    meta->mtime += 1;
+    return metadata_->Update(path, *meta);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> FileIo::Read(const std::string& path,
+                                 std::uint64_t offset, std::size_t length) {
+  auto meta = metadata_->Stat(path);
+  if (!meta.ok()) return meta.status();
+  if (meta->is_dir) {
+    return Status(StatusCode::kInvalidArgument, "is a directory");
+  }
+  if (offset >= meta->size) return std::string();
+  length = static_cast<std::size_t>(
+      std::min<std::uint64_t>(length, meta->size - offset));
+
+  const std::uint64_t block_size = options_.block_size;
+  std::string out;
+  out.reserve(length);
+  std::uint64_t cursor = offset;
+  while (out.size() < length) {
+    std::uint64_t block_index = cursor / block_size;
+    std::uint64_t within = cursor % block_size;
+    std::size_t take = static_cast<std::size_t>(std::min<std::uint64_t>(
+        block_size - within, length - out.size()));
+    auto block = LoadBlock(path, block_index);
+    if (!block.ok()) return block.status();
+    if (block->size() < within + take) block->resize(within + take, '\0');
+    out.append(*block, static_cast<std::size_t>(within), take);
+    cursor += take;
+  }
+  return out;
+}
+
+Result<std::string> FileIo::ReadAll(const std::string& path) {
+  auto meta = metadata_->Stat(path);
+  if (!meta.ok()) return meta.status();
+  return Read(path, 0, static_cast<std::size_t>(meta->size));
+}
+
+Status FileIo::Truncate(const std::string& path, std::uint64_t size) {
+  auto meta = metadata_->Stat(path);
+  if (!meta.ok()) return meta.status();
+  if (meta->is_dir) {
+    return Status(StatusCode::kInvalidArgument, "is a directory");
+  }
+  const std::uint64_t block_size = options_.block_size;
+  if (size < meta->size) {
+    // Drop whole blocks beyond the new end; trim the boundary block.
+    std::uint64_t first_dead = (size + block_size - 1) / block_size;
+    std::uint64_t last_block =
+        meta->size == 0 ? 0 : (meta->size - 1) / block_size;
+    for (std::uint64_t b = first_dead; b <= last_block; ++b) {
+      client_->Remove(BlockKey(path, b));  // NotFound for sparse blocks: ok
+    }
+    if (size % block_size != 0) {
+      std::uint64_t boundary = size / block_size;
+      auto block = LoadBlock(path, boundary);
+      if (!block.ok()) return block.status();
+      block->resize(static_cast<std::size_t>(size % block_size));
+      Status status = client_->Insert(BlockKey(path, boundary), *block);
+      if (!status.ok()) return status;
+    }
+  }
+  meta->size = size;
+  meta->mtime += 1;
+  return metadata_->Update(path, *meta);
+}
+
+Status FileIo::Delete(const std::string& path) {
+  auto meta = metadata_->Stat(path);
+  if (!meta.ok()) return meta.status();
+  if (!meta->is_dir) {
+    std::uint64_t last_block =
+        meta->size == 0 ? 0 : (meta->size - 1) / options_.block_size;
+    for (std::uint64_t b = 0; b <= last_block; ++b) {
+      client_->Remove(BlockKey(path, b));
+    }
+  }
+  return metadata_->Unlink(path);
+}
+
+}  // namespace zht::fusionfs

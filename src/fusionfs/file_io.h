@@ -1,0 +1,62 @@
+// FusionFS data plane (§V.A): "every compute node serves all three roles:
+// client, metadata server, and storage server". This layer stores file
+// CONTENTS in ZHT as fixed-size blocks alongside the metadata, giving the
+// POSIX-ish read/write/truncate surface FUSE would sit on. Block keys are
+// "b:<path>:<index>"; the metadata's size field is the source of truth for
+// EOF. Writers update blocks with plain inserts (block writes are
+// idempotent), so the lock-free properties of the metadata layer carry
+// over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/zht_client.h"
+#include "fusionfs/metadata.h"
+
+namespace zht::fusionfs {
+
+struct FileIoOptions {
+  std::size_t block_size = 64 * 1024;
+};
+
+class FileIo {
+ public:
+  FileIo(MetadataService* metadata, ZhtClient* client,
+         FileIoOptions options = {})
+      : metadata_(metadata), client_(client), options_(options) {}
+
+  // Writes `data` at `offset`, extending the file (and zero-filling any
+  // gap) as needed. The file must exist.
+  Status Write(const std::string& path, std::uint64_t offset,
+               std::string_view data);
+
+  // Reads up to `length` bytes at `offset`; short reads at EOF.
+  Result<std::string> Read(const std::string& path, std::uint64_t offset,
+                           std::size_t length);
+
+  // Reads the whole file.
+  Result<std::string> ReadAll(const std::string& path);
+
+  // Shrinks or zero-extends to `size`.
+  Status Truncate(const std::string& path, std::uint64_t size);
+
+  // Removes the file's blocks and metadata (Unlink + data).
+  Status Delete(const std::string& path);
+
+  std::size_t block_size() const { return options_.block_size; }
+
+ private:
+  std::string BlockKey(const std::string& path, std::uint64_t index) const {
+    return "b:" + path + ":" + std::to_string(index);
+  }
+
+  Result<std::string> LoadBlock(const std::string& path,
+                                std::uint64_t index) const;
+
+  MetadataService* metadata_;
+  ZhtClient* client_;
+  FileIoOptions options_;
+};
+
+}  // namespace zht::fusionfs

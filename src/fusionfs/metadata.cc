@@ -1,0 +1,234 @@
+#include "fusionfs/metadata.h"
+
+#include <algorithm>
+
+#include "serialize/wire.h"
+
+namespace zht::fusionfs {
+namespace {
+
+enum MetaField : std::uint32_t {
+  kIsDir = 1,
+  kSize = 2,
+  kMode = 3,
+  kCtime = 4,
+  kMtime = 5,
+  kHomeNode = 6,
+};
+
+}  // namespace
+
+std::string FileMetadata::Encode() const {
+  std::string out;
+  wire::Writer w(&out);
+  if (is_dir) w.PutVarintField(kIsDir, 1);
+  if (size) w.PutVarintField(kSize, size);
+  w.PutVarintField(kMode, mode);
+  if (ctime) w.PutSignedField(kCtime, ctime);
+  if (mtime) w.PutSignedField(kMtime, mtime);
+  if (home_node) w.PutVarintField(kHomeNode, home_node);
+  return out;
+}
+
+Result<FileMetadata> FileMetadata::Decode(std::string_view data) {
+  FileMetadata meta;
+  meta.mode = 0;
+  wire::Reader r(data);
+  while (!r.AtEnd()) {
+    std::uint32_t field;
+    wire::WireType type;
+    if (!r.GetTag(&field, &type)) {
+      return Status(StatusCode::kCorruption, "metadata tag");
+    }
+    std::uint64_t v = 0;
+    switch (field) {
+      case kIsDir:
+        if (!r.GetVarint(&v)) return Status(StatusCode::kCorruption, "dir");
+        meta.is_dir = v != 0;
+        break;
+      case kSize:
+        if (!r.GetVarint(&v)) return Status(StatusCode::kCorruption, "size");
+        meta.size = v;
+        break;
+      case kMode:
+        if (!r.GetVarint(&v)) return Status(StatusCode::kCorruption, "mode");
+        meta.mode = static_cast<std::uint32_t>(v);
+        break;
+      case kCtime:
+        if (!r.GetVarint(&v)) return Status(StatusCode::kCorruption, "ctime");
+        meta.ctime = wire::Reader::ZigZagDecode(v);
+        break;
+      case kMtime:
+        if (!r.GetVarint(&v)) return Status(StatusCode::kCorruption, "mtime");
+        meta.mtime = wire::Reader::ZigZagDecode(v);
+        break;
+      case kHomeNode:
+        if (!r.GetVarint(&v)) return Status(StatusCode::kCorruption, "home");
+        meta.home_node = static_cast<std::uint32_t>(v);
+        break;
+      default:
+        if (!r.SkipValue(type)) {
+          return Status(StatusCode::kCorruption, "metadata unknown field");
+        }
+    }
+  }
+  return meta;
+}
+
+std::string MetadataService::ParentOf(const std::string& path) {
+  if (path.empty() || path == "/") return "/";
+  std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string MetadataService::BaseNameOf(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+Status MetadataService::Format() {
+  FileMetadata root;
+  root.is_dir = true;
+  root.mode = 0755;
+  return client_->Insert(MetaKey("/"), root.Encode());
+}
+
+Status MetadataService::AppendDirEntry(const std::string& dir, char op,
+                                       const std::string& name) {
+  if (name.find(';') != std::string::npos ||
+      name.find('/') != std::string::npos) {
+    return Status(StatusCode::kInvalidArgument, "bad file name: " + name);
+  }
+  std::string entry;
+  entry.push_back(op);
+  entry += name;
+  entry.push_back(';');
+  return client_->Append(DirKey(dir), entry);
+}
+
+Status MetadataService::CreateFile(const std::string& path,
+                                   const FileMetadata& meta) {
+  std::string parent = ParentOf(path);
+  auto parent_meta = Stat(parent);
+  if (!parent_meta.ok()) {
+    return Status(StatusCode::kNotFound, "parent missing: " + parent);
+  }
+  if (!parent_meta->is_dir) {
+    return Status(StatusCode::kInvalidArgument, "parent not a directory");
+  }
+  Status status = client_->Insert(MetaKey(path), meta.Encode());
+  if (!status.ok()) return status;
+  // Lock-free concurrent directory update: the append is the whole trick.
+  return AppendDirEntry(parent, '+', BaseNameOf(path));
+}
+
+Status MetadataService::MkDir(const std::string& path) {
+  FileMetadata meta;
+  meta.is_dir = true;
+  meta.mode = 0755;
+  return CreateFile(path, meta);
+}
+
+Result<FileMetadata> MetadataService::Stat(const std::string& path) {
+  auto raw = client_->Lookup(MetaKey(path));
+  if (!raw.ok()) return raw.status();
+  return FileMetadata::Decode(*raw);
+}
+
+Status MetadataService::Update(const std::string& path,
+                               const FileMetadata& meta) {
+  auto existing = Stat(path);
+  if (!existing.ok()) return existing.status();
+  return client_->Insert(MetaKey(path), meta.Encode());
+}
+
+Result<std::vector<std::string>> MetadataService::ReadDir(
+    const std::string& path) {
+  auto meta = Stat(path);
+  if (!meta.ok()) return meta.status();
+  if (!meta->is_dir) {
+    return Status(StatusCode::kInvalidArgument, "not a directory");
+  }
+  auto log = client_->Lookup(DirKey(path));
+  if (!log.ok()) {
+    if (log.status().code() == StatusCode::kNotFound) {
+      return std::vector<std::string>{};  // empty directory
+    }
+    return log.status();
+  }
+  // Fold the append log: "+name;" adds, "-name;" removes.
+  std::vector<std::string> entries;
+  std::size_t pos = 0;
+  while (pos < log->size()) {
+    std::size_t semi = log->find(';', pos);
+    if (semi == std::string::npos) break;
+    char op = (*log)[pos];
+    std::string name = log->substr(pos + 1, semi - pos - 1);
+    pos = semi + 1;
+    if (op == '+') {
+      if (std::find(entries.begin(), entries.end(), name) == entries.end()) {
+        entries.push_back(name);
+      }
+    } else if (op == '-') {
+      entries.erase(std::remove(entries.begin(), entries.end(), name),
+                    entries.end());
+    }
+  }
+  return entries;
+}
+
+Status MetadataService::Unlink(const std::string& path) {
+  auto meta = Stat(path);
+  if (!meta.ok()) return meta.status();
+  if (meta->is_dir) {
+    return Status(StatusCode::kInvalidArgument, "is a directory");
+  }
+  Status status = client_->Remove(MetaKey(path));
+  if (!status.ok()) return status;
+  return AppendDirEntry(ParentOf(path), '-', BaseNameOf(path));
+}
+
+Status MetadataService::RmDir(const std::string& path) {
+  if (path == "/") {
+    return Status(StatusCode::kInvalidArgument, "cannot remove root");
+  }
+  auto meta = Stat(path);
+  if (!meta.ok()) return meta.status();
+  if (!meta->is_dir) {
+    return Status(StatusCode::kInvalidArgument, "not a directory");
+  }
+  auto entries = ReadDir(path);
+  if (!entries.ok()) return entries.status();
+  if (!entries->empty()) {
+    return Status(StatusCode::kInvalidArgument, "directory not empty");
+  }
+  Status status = client_->Remove(MetaKey(path));
+  if (!status.ok()) return status;
+  client_->Remove(DirKey(path));  // drop the (empty-folding) append log
+  return AppendDirEntry(ParentOf(path), '-', BaseNameOf(path));
+}
+
+Status MetadataService::Rename(const std::string& from,
+                               const std::string& to) {
+  auto meta = Stat(from);
+  if (!meta.ok()) return meta.status();
+  if (meta->is_dir) {
+    // Directory renames would need subtree rewrites; FusionFS-style
+    // metadata keeps paths as keys, so we restrict to files (documented).
+    return Status(StatusCode::kNotSupported, "directory rename");
+  }
+  auto target_parent = Stat(ParentOf(to));
+  if (!target_parent.ok() || !target_parent->is_dir) {
+    return Status(StatusCode::kNotFound, "target parent missing");
+  }
+  Status status = client_->Insert(MetaKey(to), meta->Encode());
+  if (!status.ok()) return status;
+  status = AppendDirEntry(ParentOf(to), '+', BaseNameOf(to));
+  if (!status.ok()) return status;
+  status = client_->Remove(MetaKey(from));
+  if (!status.ok()) return status;
+  return AppendDirEntry(ParentOf(from), '-', BaseNameOf(from));
+}
+
+}  // namespace zht::fusionfs

@@ -1,0 +1,157 @@
+#include "hashing/hash_functions.h"
+
+#include <cstring>
+
+namespace zht {
+
+std::uint32_t Fnv1a32(std::string_view data) {
+  std::uint32_t hash = 0x811c9dc5u;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x01000193u;
+  }
+  return hash;
+}
+
+std::uint64_t Fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+
+inline std::uint32_t Rot(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+#define ZHT_JENKINS_MIX(a, b, c) \
+  do {                           \
+    a -= c;                      \
+    a ^= Rot(c, 4);              \
+    c += b;                      \
+    b -= a;                      \
+    b ^= Rot(a, 6);              \
+    a += c;                      \
+    c -= b;                      \
+    c ^= Rot(b, 8);              \
+    b += a;                      \
+    a -= c;                      \
+    a ^= Rot(c, 16);             \
+    c += b;                      \
+    b -= a;                      \
+    b ^= Rot(a, 19);             \
+    a += c;                      \
+    c -= b;                      \
+    c ^= Rot(b, 4);              \
+    b += a;                      \
+  } while (0)
+
+#define ZHT_JENKINS_FINAL(a, b, c) \
+  do {                             \
+    c ^= b;                        \
+    c -= Rot(b, 14);               \
+    a ^= c;                        \
+    a -= Rot(c, 11);               \
+    b ^= a;                        \
+    b -= Rot(a, 25);               \
+    c ^= b;                        \
+    c -= Rot(b, 16);               \
+    a ^= c;                        \
+    a -= Rot(c, 4);                \
+    b ^= a;                        \
+    b -= Rot(a, 14);               \
+    c ^= b;                        \
+    c -= Rot(b, 24);               \
+  } while (0)
+
+// lookup3 hashlittle over byte-aligned input (we copy tails; key sizes are
+// small so the memcpy path is fine and avoids unaligned reads).
+void JenkinsCore(std::string_view data, std::uint32_t* pb, std::uint32_t* pc) {
+  const std::uint8_t* k = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t length = data.size();
+  std::uint32_t a, b, c;
+  a = b = c = 0xdeadbeefu + static_cast<std::uint32_t>(length) + *pc;
+  c += *pb;
+
+  while (length > 12) {
+    std::uint32_t w[3];
+    std::memcpy(w, k, 12);
+    a += w[0];
+    b += w[1];
+    c += w[2];
+    ZHT_JENKINS_MIX(a, b, c);
+    length -= 12;
+    k += 12;
+  }
+
+  std::uint8_t tail[12] = {0};
+  std::memcpy(tail, k, length);
+  std::uint32_t w[3];
+  std::memcpy(w, tail, 12);
+  if (length > 0) {
+    a += w[0];
+    b += w[1];
+    c += w[2];
+    ZHT_JENKINS_FINAL(a, b, c);
+  }
+  *pb = b;
+  *pc = c;
+}
+
+#undef ZHT_JENKINS_MIX
+#undef ZHT_JENKINS_FINAL
+
+}  // namespace
+
+std::uint32_t Jenkins32(std::string_view data, std::uint32_t seed) {
+  std::uint32_t b = seed, c = seed;
+  JenkinsCore(data, &b, &c);
+  return c;
+}
+
+std::uint64_t Jenkins64(std::string_view data, std::uint64_t seed) {
+  std::uint32_t b = static_cast<std::uint32_t>(seed >> 32);
+  std::uint32_t c = static_cast<std::uint32_t>(seed);
+  JenkinsCore(data, &b, &c);
+  return (static_cast<std::uint64_t>(b) << 32) | c;
+}
+
+std::uint32_t OneAtATime32(std::string_view data) {
+  std::uint32_t hash = 0;
+  for (unsigned char ch : data) {
+    hash += ch;
+    hash += hash << 10;
+    hash ^= hash >> 6;
+  }
+  hash += hash << 3;
+  hash ^= hash >> 11;
+  hash += hash << 15;
+  return hash;
+}
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashKey(std::string_view key, HashKind kind) {
+  switch (kind) {
+    case HashKind::kFnv1a:
+      // Raw FNV-1a has weak avalanche in the high bits for short, similar
+      // keys, and the ring's multiply-shift partition map consumes exactly
+      // those bits — finalize with a full-width mix.
+      return Mix64(Fnv1a64(key));
+    case HashKind::kJenkins:
+      return Jenkins64(key);
+    case HashKind::kOneAtATime:
+      return Mix64(OneAtATime32(key));
+  }
+  return Mix64(Fnv1a64(key));
+}
+
+}  // namespace zht

@@ -1,0 +1,38 @@
+// Hash functions evaluated in the paper (§III.E): FNV and Bob Jenkins'
+// lookup3 are the ones ZHT ships with; one-at-a-time is included as a
+// reference implementation for the quality harness. The hash used by the
+// consistent-hashing layer is customizable via HashKind.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace zht {
+
+// FNV-1a, 32-bit.
+std::uint32_t Fnv1a32(std::string_view data);
+
+// FNV-1a, 64-bit. Default key hash for the ring (uniform, fast, simple).
+std::uint64_t Fnv1a64(std::string_view data);
+
+// Bob Jenkins' lookup3 (hashlittle), 32-bit.
+std::uint32_t Jenkins32(std::string_view data, std::uint32_t seed = 0);
+
+// Jenkins lookup3 used twice (hashlittle2) to form a 64-bit value.
+std::uint64_t Jenkins64(std::string_view data, std::uint64_t seed = 0);
+
+// Bob Jenkins' one-at-a-time (reference-quality, slower).
+std::uint32_t OneAtATime32(std::string_view data);
+
+enum class HashKind { kFnv1a, kJenkins, kOneAtATime };
+
+// Dispatch to a 64-bit hash of the selected kind (32-bit functions are
+// widened by mixing).
+std::uint64_t HashKey(std::string_view key, HashKind kind = HashKind::kFnv1a);
+
+// Final avalanche mix (splitmix64 finalizer); useful to widen 32-bit hashes
+// and to decorrelate sequential ids.
+std::uint64_t Mix64(std::uint64_t x);
+
+}  // namespace zht

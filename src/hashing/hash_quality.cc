@@ -1,0 +1,65 @@
+#include "hashing/hash_quality.h"
+
+#include <bit>
+#include <utility>
+
+namespace zht {
+
+double ChiSquared(const std::vector<std::string>& keys,
+                  std::uint32_t num_buckets, HashKind kind) {
+  std::vector<std::uint64_t> counts(num_buckets, 0);
+  for (const auto& key : keys) {
+    counts[HashKey(key, kind) % num_buckets]++;
+  }
+  const double expected =
+      static_cast<double>(keys.size()) / static_cast<double>(num_buckets);
+  double chi2 = 0.0;
+  for (std::uint64_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+double AvalancheScore(const std::vector<std::string>& keys, HashKind kind) {
+  if (keys.empty()) return 0.0;
+  std::uint64_t flipped_bits = 0;
+  std::uint64_t trials = 0;
+  for (const auto& key : keys) {
+    if (key.empty()) continue;
+    const std::uint64_t base = HashKey(key, kind);
+    // Flip each bit of the first and last byte (enough signal, cheap).
+    for (std::size_t pos : {std::size_t{0}, key.size() - 1}) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mutated = key;
+        mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << bit));
+        flipped_bits += std::popcount(base ^ HashKey(mutated, kind));
+        trials += 64;
+      }
+    }
+  }
+  return trials == 0 ? 0.0
+                     : static_cast<double>(flipped_bits) /
+                           static_cast<double>(trials);
+}
+
+double PermutationSensitivity(const std::vector<std::string>& keys,
+                              HashKind kind) {
+  std::uint64_t changed = 0;
+  std::uint64_t trials = 0;
+  for (const auto& key : keys) {
+    const std::uint64_t base = HashKey(key, kind);
+    for (std::size_t i = 0; i + 1 < key.size(); ++i) {
+      if (key[i] == key[i + 1]) continue;  // swap is a no-op
+      std::string mutated = key;
+      std::swap(mutated[i], mutated[i + 1]);
+      if (HashKey(mutated, kind) != base) ++changed;
+      ++trials;
+    }
+  }
+  return trials == 0 ? 1.0
+                     : static_cast<double>(changed) /
+                           static_cast<double>(trials);
+}
+
+}  // namespace zht

@@ -1,0 +1,27 @@
+// Hash-quality measurement helpers used by the test suite to verify the
+// properties the paper demands of its hash functions (§III.E): uniform
+// distribution, avalanche effect, permutation sensitivity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hashing/hash_functions.h"
+
+namespace zht {
+
+// Chi-squared statistic of bucket occupancy for `keys` hashed into
+// `num_buckets` buckets. For a uniform hash this is ~num_buckets.
+double ChiSquared(const std::vector<std::string>& keys,
+                  std::uint32_t num_buckets, HashKind kind);
+
+// Average fraction of output bits that flip when a single input bit flips
+// (ideal: 0.5). Sampled over the provided keys.
+double AvalancheScore(const std::vector<std::string>& keys, HashKind kind);
+
+// Fraction of adjacent-character swaps that change the hash (ideal: 1.0).
+double PermutationSensitivity(const std::vector<std::string>& keys,
+                              HashKind kind);
+
+}  // namespace zht

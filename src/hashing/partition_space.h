@@ -1,0 +1,59 @@
+// Fixed-partition key space (§III.B): the 64-bit name space N is divided
+// into n equal, contiguous partitions, where n is fixed at bootstrap and is
+// the maximum number of instances the deployment can ever grow to. Keys map
+// to partitions forever; only partition→instance ownership changes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hashing/hash_functions.h"
+
+namespace zht {
+
+using PartitionId = std::uint32_t;
+
+class PartitionSpace {
+ public:
+  // num_partitions must be > 0. The paper's example: 1000 initial instances
+  // with 1000 partitions each → n = 1,000,000.
+  explicit PartitionSpace(std::uint32_t num_partitions,
+                          HashKind hash = HashKind::kFnv1a)
+      : num_partitions_(num_partitions), hash_(hash) {}
+
+  std::uint32_t num_partitions() const { return num_partitions_; }
+  HashKind hash_kind() const { return hash_; }
+
+  // Partition owning a raw ring position.
+  PartitionId PartitionOfHash(std::uint64_t hash) const {
+    // Multiply-shift mapping: hash * n / 2^64, computed via 128-bit product.
+    // Contiguous hash ranges map to contiguous partitions, which is what
+    // makes a partition a contiguous range of the key address space.
+    return static_cast<PartitionId>(
+        (static_cast<unsigned __int128>(hash) * num_partitions_) >> 64);
+  }
+
+  PartitionId PartitionOfKey(std::string_view key) const {
+    return PartitionOfHash(HashKey(key, hash_));
+  }
+
+  // Inclusive lower bound of a partition's hash range: the smallest h with
+  // PartitionOfHash(h) == p, i.e. ceil(p * 2^64 / n).
+  std::uint64_t RangeBegin(PartitionId p) const {
+    return static_cast<std::uint64_t>(
+        ((static_cast<unsigned __int128>(p) << 64) + num_partitions_ - 1) /
+        num_partitions_);
+  }
+
+  // Exclusive upper bound (0 means wrap for the last partition).
+  std::uint64_t RangeEnd(PartitionId p) const {
+    if (p + 1 == num_partitions_) return 0;  // wraps to 2^64
+    return RangeBegin(p + 1);
+  }
+
+ private:
+  std::uint32_t num_partitions_;
+  HashKind hash_;
+};
+
+}  // namespace zht

@@ -1,0 +1,135 @@
+#include "istore/gf256.h"
+
+namespace zht::istore {
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 256> log;
+  std::array<std::uint8_t, 512> exp;  // doubled to skip a modulo
+
+  Tables() {
+    std::uint32_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // undefined; guarded by callers
+  }
+};
+
+const Tables& T() {
+  static Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint8_t Gf256::Mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return T().exp[T().log[a] + T().log[b]];
+}
+
+std::uint8_t Gf256::Div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  return T().exp[T().log[a] + 255 - T().log[b]];
+}
+
+std::uint8_t Gf256::Inv(std::uint8_t a) { return T().exp[255 - T().log[a]]; }
+
+std::uint8_t Gf256::Pow(std::uint8_t base, std::uint32_t exponent) {
+  if (exponent == 0) return 1;
+  if (base == 0) return 0;
+  std::uint32_t l = (static_cast<std::uint32_t>(T().log[base]) * exponent) %
+                    255;
+  return T().exp[l];
+}
+
+void Gf256::MulAddRow(std::uint8_t c, const std::uint8_t* x, std::uint8_t* y,
+                      std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) y[i] ^= x[i];
+    return;
+  }
+  const std::uint8_t lc = T().log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i]) y[i] ^= T().exp[lc + T().log[x[i]]];
+  }
+}
+
+GfMatrix GfMatrix::Identity(std::size_t n) {
+  GfMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+GfMatrix GfMatrix::Vandermonde(std::size_t rows, std::size_t cols) {
+  GfMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = Gf256::Pow(static_cast<std::uint8_t>(r + 1),
+                              static_cast<std::uint32_t>(c));
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::Multiply(const GfMatrix& other) const {
+  GfMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      std::uint8_t a = at(r, k);
+      if (!a) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) =
+            Gf256::Add(out.at(r, c), Gf256::Mul(a, other.at(k, c)));
+      }
+    }
+  }
+  return out;
+}
+
+Result<GfMatrix> GfMatrix::Inverted() const {
+  if (rows_ != cols_) {
+    return Status(StatusCode::kInvalidArgument, "not square");
+  }
+  std::size_t n = rows_;
+  GfMatrix work = *this;
+  GfMatrix inv = Identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot: find a row with nonzero entry in this column.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) {
+      return Status(StatusCode::kInvalidArgument, "singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    std::uint8_t d = Gf256::Inv(work.at(col, col));
+    for (std::size_t c = 0; c < n; ++c) {
+      work.at(col, c) = Gf256::Mul(work.at(col, c), d);
+      inv.at(col, c) = Gf256::Mul(inv.at(col, c), d);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      std::uint8_t f = work.at(r, col);
+      if (!f) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        work.at(r, c) =
+            Gf256::Sub(work.at(r, c), Gf256::Mul(f, work.at(col, c)));
+        inv.at(r, c) =
+            Gf256::Sub(inv.at(r, c), Gf256::Mul(f, inv.at(col, c)));
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace zht::istore

@@ -1,0 +1,57 @@
+// GF(2^8) arithmetic (polynomial 0x11d) for the information dispersal
+// algorithm (§V.B). Table-driven multiply/divide/inverse plus Gaussian
+// elimination for matrix inversion over the field.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zht::istore {
+
+class Gf256 {
+ public:
+  static std::uint8_t Add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+  static std::uint8_t Sub(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+  static std::uint8_t Mul(std::uint8_t a, std::uint8_t b);
+  static std::uint8_t Div(std::uint8_t a, std::uint8_t b);  // b != 0
+  static std::uint8_t Inv(std::uint8_t a);                  // a != 0
+  static std::uint8_t Pow(std::uint8_t base, std::uint32_t exponent);
+
+  // y += c * x over GF(256), vectorized over a byte span.
+  static void MulAddRow(std::uint8_t c, const std::uint8_t* x,
+                        std::uint8_t* y, std::size_t n);
+};
+
+// Dense byte matrix over GF(256).
+class GfMatrix {
+ public:
+  GfMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  std::uint8_t& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  // Identity, Vandermonde (rows of powers of distinct points).
+  static GfMatrix Identity(std::size_t n);
+  static GfMatrix Vandermonde(std::size_t rows, std::size_t cols);
+
+  GfMatrix Multiply(const GfMatrix& other) const;
+
+  // Inverse via Gauss-Jordan; fails if singular.
+  Result<GfMatrix> Inverted() const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace zht::istore

@@ -1,0 +1,180 @@
+#include "istore/istore.h"
+
+#include "common/log.h"
+#include "serialize/wire.h"
+
+namespace zht::istore {
+
+Response ChunkServer::Handle(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (request.op) {
+    case OpCode::kInsert: {
+      auto [it, fresh] = chunks_.insert_or_assign(request.key,
+                                                  std::move(request.value));
+      if (fresh) {
+        ++chunks_stored_;
+        bytes_stored_ += it->second.size();
+      }
+      return resp;
+    }
+    case OpCode::kLookup: {
+      auto it = chunks_.find(request.key);
+      if (it == chunks_.end()) {
+        resp.status = Status(StatusCode::kNotFound).raw();
+      } else {
+        resp.value = it->second;
+      }
+      return resp;
+    }
+    case OpCode::kRemove: {
+      auto it = chunks_.find(request.key);
+      if (it == chunks_.end()) {
+        resp.status = Status(StatusCode::kNotFound).raw();
+      } else {
+        bytes_stored_ -= it->second.size();
+        --chunks_stored_;
+        chunks_.erase(it);
+      }
+      return resp;
+    }
+    case OpCode::kPing:
+      return resp;
+    default:
+      resp.status = Status(StatusCode::kNotSupported).raw();
+      return resp;
+  }
+}
+
+std::string ObjectManifest::Encode() const {
+  std::string out;
+  wire::Writer w(&out);
+  w.PutVarint(static_cast<std::uint64_t>(k));
+  w.PutVarint(static_cast<std::uint64_t>(n));
+  w.PutVarint(size);
+  w.PutVarint(chunk_nodes.size());
+  for (std::uint32_t node : chunk_nodes) w.PutVarint(node);
+  return out;
+}
+
+Result<ObjectManifest> ObjectManifest::Decode(std::string_view data) {
+  ObjectManifest m;
+  wire::Reader r(data);
+  std::uint64_t k, n, size, count;
+  if (!r.GetVarint(&k) || !r.GetVarint(&n) || !r.GetVarint(&size) ||
+      !r.GetVarint(&count)) {
+    return Status(StatusCode::kCorruption, "manifest header");
+  }
+  m.k = static_cast<int>(k);
+  m.n = static_cast<int>(n);
+  m.size = size;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t node;
+    if (!r.GetVarint(&node)) {
+      return Status(StatusCode::kCorruption, "manifest nodes");
+    }
+    m.chunk_nodes.push_back(static_cast<std::uint32_t>(node));
+  }
+  return m;
+}
+
+IStore::IStore(ZhtClient* metadata, std::vector<NodeAddress> chunk_nodes,
+               ClientTransport* transport, IStoreOptions options)
+    : metadata_(metadata), chunk_nodes_(std::move(chunk_nodes)),
+      transport_(transport), options_(options) {}
+
+std::string IStore::ChunkKey(const std::string& name, int chunk) {
+  return "c:" + name + "#" + std::to_string(chunk);
+}
+
+Status IStore::Put(const std::string& name, std::string_view data) {
+  // "At each scale of N nodes, the IDA algorithm was configured to chunk
+  // up files into N chunks ... and the N chunks would be sent to N
+  // different nodes" (§V.B).
+  int n = static_cast<int>(chunk_nodes_.size());
+  int k = options_.k > 0 ? options_.k
+                         : std::max(1, n - options_.parity);
+  if (k > n) return Status(StatusCode::kInvalidArgument, "k > nodes");
+
+  auto codec = ReedSolomon::Create(k, n);
+  if (!codec.ok()) return codec.status();
+  std::vector<std::string> chunks = codec->Encode(data);
+
+  ObjectManifest manifest;
+  manifest.k = k;
+  manifest.n = n;
+  manifest.size = data.size();
+
+  for (int i = 0; i < n; ++i) {
+    std::uint32_t node = static_cast<std::uint32_t>(i);
+    Request request;
+    request.op = OpCode::kInsert;
+    request.seq = next_seq_++;
+    request.key = ChunkKey(name, i);
+    request.value = std::move(chunks[static_cast<std::size_t>(i)]);
+    auto result = transport_->Call(chunk_nodes_[node], request,
+                                   options_.chunk_timeout);
+    if (!result.ok()) return result.status();
+    if (!result->ok()) return result->status_as_object();
+    manifest.chunk_nodes.push_back(node);
+  }
+
+  // Chunk-location metadata into ZHT.
+  ++metadata_ops_;
+  return metadata_->Insert("i:" + name, manifest.Encode());
+}
+
+Result<std::string> IStore::Get(const std::string& name) {
+  ++metadata_ops_;
+  auto raw = metadata_->Lookup("i:" + name);
+  if (!raw.ok()) return raw.status();
+  auto manifest = ObjectManifest::Decode(*raw);
+  if (!manifest.ok()) return manifest.status();
+
+  auto codec = ReedSolomon::Create(manifest->k, manifest->n);
+  if (!codec.ok()) return codec.status();
+
+  // Gather any k chunks, skipping unreachable nodes.
+  std::vector<int> ids;
+  std::vector<std::string> chunks;
+  for (int i = 0; i < manifest->n &&
+                  static_cast<int>(chunks.size()) < manifest->k;
+       ++i) {
+    std::uint32_t node = manifest->chunk_nodes[static_cast<std::size_t>(i)];
+    Request request;
+    request.op = OpCode::kLookup;
+    request.seq = next_seq_++;
+    request.key = ChunkKey(name, i);
+    auto result = transport_->Call(chunk_nodes_[node], request,
+                                   options_.chunk_timeout);
+    if (!result.ok() || !result->ok()) {
+      ZHT_DEBUG << "chunk " << i << " unavailable; trying others";
+      continue;
+    }
+    ids.push_back(i);
+    chunks.push_back(std::move(result->value));
+  }
+  return codec->Decode(ids, chunks, manifest->size);
+}
+
+Status IStore::Delete(const std::string& name) {
+  ++metadata_ops_;
+  auto raw = metadata_->Lookup("i:" + name);
+  if (!raw.ok()) return raw.status();
+  auto manifest = ObjectManifest::Decode(*raw);
+  if (!manifest.ok()) return manifest.status();
+  for (int i = 0; i < manifest->n; ++i) {
+    Request request;
+    request.op = OpCode::kRemove;
+    request.seq = next_seq_++;
+    request.key = ChunkKey(name, i);
+    transport_->Call(
+        chunk_nodes_[manifest->chunk_nodes[static_cast<std::size_t>(i)]],
+        request, options_.chunk_timeout);
+  }
+  ++metadata_ops_;
+  return metadata_->Remove("i:" + name);
+}
+
+}  // namespace zht::istore

@@ -1,0 +1,133 @@
+#include "istore/reed_solomon.h"
+
+#include <algorithm>
+
+namespace zht::istore {
+
+Result<ReedSolomon> ReedSolomon::Create(int k, int n) {
+  if (k < 1 || n < k || n > 255) {
+    return Status(StatusCode::kInvalidArgument, "need 1 <= k <= n <= 255");
+  }
+  // Build an n×k Vandermonde matrix, then right-multiply by the inverse of
+  // its top k×k block: the result has an identity on top (systematic) and
+  // keeps the any-k-rows-invertible property.
+  GfMatrix vandermonde = GfMatrix::Vandermonde(n, k);
+  GfMatrix top(k, k);
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < k; ++c) top.at(r, c) = vandermonde.at(r, c);
+  }
+  auto top_inverse = top.Inverted();
+  if (!top_inverse.ok()) return top_inverse.status();
+  GfMatrix encode = vandermonde.Multiply(*top_inverse);
+  return ReedSolomon(k, n, std::move(encode));
+}
+
+std::vector<std::string> ReedSolomon::Encode(std::string_view data) const {
+  const std::size_t stripe =
+      (data.size() + static_cast<std::size_t>(k_) - 1) /
+      static_cast<std::size_t>(k_);
+  std::vector<std::string> chunks(static_cast<std::size_t>(n_),
+                                  std::string(stripe, '\0'));
+  // Data stripes (systematic rows are the identity).
+  for (int i = 0; i < k_; ++i) {
+    std::size_t offset = static_cast<std::size_t>(i) * stripe;
+    if (offset < data.size()) {
+      std::size_t len = std::min(stripe, data.size() - offset);
+      chunks[static_cast<std::size_t>(i)].replace(0, len,
+                                                  data.substr(offset, len));
+    }
+  }
+  // Parity stripes.
+  for (int r = k_; r < n_; ++r) {
+    auto* out = reinterpret_cast<std::uint8_t*>(
+        chunks[static_cast<std::size_t>(r)].data());
+    for (int c = 0; c < k_; ++c) {
+      Gf256::MulAddRow(
+          encode_.at(static_cast<std::size_t>(r),
+                     static_cast<std::size_t>(c)),
+          reinterpret_cast<const std::uint8_t*>(
+              chunks[static_cast<std::size_t>(c)].data()),
+          out, stripe);
+    }
+  }
+  return chunks;
+}
+
+Result<std::string> ReedSolomon::Decode(
+    const std::vector<int>& chunk_ids,
+    const std::vector<std::string>& chunks,
+    std::size_t original_size) const {
+  if (chunk_ids.size() != chunks.size()) {
+    return Status(StatusCode::kInvalidArgument, "ids/chunks mismatch");
+  }
+  if (static_cast<int>(chunk_ids.size()) < k_) {
+    return Status(StatusCode::kUnavailable,
+                  "need at least k=" + std::to_string(k_) + " chunks, have " +
+                      std::to_string(chunk_ids.size()));
+  }
+  const std::size_t stripe = chunks[0].size();
+  for (const auto& chunk : chunks) {
+    if (chunk.size() != stripe) {
+      return Status(StatusCode::kInvalidArgument, "uneven chunk sizes");
+    }
+  }
+
+  // Fast path: the first k chunks in natural order are the data stripes
+  // themselves (systematic code) — concatenate, no matrix algebra.
+  bool systematic = true;
+  for (int i = 0; i < k_; ++i) {
+    if (chunk_ids[static_cast<std::size_t>(i)] != i) {
+      systematic = false;
+      break;
+    }
+  }
+  if (systematic) {
+    std::string out;
+    out.reserve(static_cast<std::size_t>(k_) * stripe);
+    for (int i = 0; i < k_; ++i) out += chunks[static_cast<std::size_t>(i)];
+    if (original_size > out.size()) {
+      return Status(StatusCode::kInvalidArgument, "size exceeds payload");
+    }
+    out.resize(original_size);
+    return out;
+  }
+
+  // Use the first k supplied chunks; build the k×k submatrix of their
+  // encoding rows and invert it.
+  GfMatrix sub(static_cast<std::size_t>(k_), static_cast<std::size_t>(k_));
+  for (int r = 0; r < k_; ++r) {
+    int id = chunk_ids[static_cast<std::size_t>(r)];
+    if (id < 0 || id >= n_) {
+      return Status(StatusCode::kInvalidArgument, "bad chunk id");
+    }
+    for (int c = 0; c < k_; ++c) {
+      sub.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          encode_.at(static_cast<std::size_t>(id),
+                     static_cast<std::size_t>(c));
+    }
+  }
+  auto inverse = sub.Inverted();
+  if (!inverse.ok()) return inverse.status();
+
+  // Recover each data stripe: stripe_i = sum_j inv[i][j] * chunk_j.
+  std::string out(static_cast<std::size_t>(k_) * stripe, '\0');
+  for (int i = 0; i < k_; ++i) {
+    auto* dst = reinterpret_cast<std::uint8_t*>(
+        out.data() + static_cast<std::size_t>(i) * stripe);
+    for (int j = 0; j < k_; ++j) {
+      Gf256::MulAddRow(
+          inverse->at(static_cast<std::size_t>(i),
+                      static_cast<std::size_t>(j)),
+          reinterpret_cast<const std::uint8_t*>(
+              chunks[static_cast<std::size_t>(j)].data()),
+          dst, stripe);
+    }
+  }
+  if (original_size > out.size()) {
+    return Status(StatusCode::kInvalidArgument, "size exceeds payload");
+  }
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace zht::istore

@@ -1,0 +1,46 @@
+// Systematic Reed-Solomon erasure coding (k-of-n information dispersal,
+// §V.B [47, 48]): data is split into k stripes; n-k parity stripes are
+// computed so that ANY k of the n chunks reconstruct the original.
+//
+// The n×k encoding matrix is a Vandermonde matrix transformed so its top
+// k×k block is the identity (systematic: the first k chunks are the plain
+// data stripes). Every k-row subset remains invertible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "istore/gf256.h"
+
+namespace zht::istore {
+
+class ReedSolomon {
+ public:
+  // 1 <= k <= n <= 255.
+  static Result<ReedSolomon> Create(int k, int n);
+
+  int k() const { return k_; }
+  int n() const { return n_; }
+
+  // Splits `data` into k stripes (zero-padded to equal length) and returns
+  // n chunks, each stripe_size bytes. stripe_size = ceil(size / k).
+  std::vector<std::string> Encode(std::string_view data) const;
+
+  // Reconstructs the original data from any k (or more) chunks.
+  // `chunk_ids[i]` identifies which of the n chunks `chunks[i]` is.
+  // `original_size` trims the padding.
+  Result<std::string> Decode(const std::vector<int>& chunk_ids,
+                             const std::vector<std::string>& chunks,
+                             std::size_t original_size) const;
+
+ private:
+  ReedSolomon(int k, int n, GfMatrix encode)
+      : k_(k), n_(n), encode_(std::move(encode)) {}
+
+  int k_;
+  int n_;
+  GfMatrix encode_;  // n × k, top k×k = identity
+};
+
+}  // namespace zht::istore

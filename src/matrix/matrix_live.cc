@@ -1,0 +1,90 @@
+#include "matrix/matrix_live.h"
+
+#include <chrono>
+
+#include "common/rng.h"
+
+namespace zht::matrix {
+
+LiveMatrix::LiveMatrix(const LiveMatrixOptions& options,
+                       ZhtClient* status_client)
+    : options_(options), status_client_(status_client) {
+  for (std::uint32_t i = 0; i < options_.executors; ++i) {
+    queues_.push_back(std::make_unique<WorkStealingQueue<LiveTask>>());
+  }
+  for (std::uint32_t i = 0; i < options_.executors; ++i) {
+    workers_.emplace_back([this, i] { ExecutorLoop(i); });
+  }
+}
+
+LiveMatrix::~LiveMatrix() {
+  stopping_.store(true);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void LiveMatrix::Submit(LiveTask task, int executor) {
+  if (status_client_ && options_.record_status) {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status_client_->Insert("task:" + std::to_string(task.id), "queued");
+  }
+  std::uint32_t target =
+      executor >= 0 ? static_cast<std::uint32_t>(executor) % options_.executors
+                    : next_executor_.fetch_add(1) % options_.executors;
+  submitted_.fetch_add(1);
+  queues_[target]->Push(std::move(task));
+}
+
+void LiveMatrix::WaitAll() {
+  while (completed_.load(std::memory_order_acquire) <
+         submitted_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+Result<std::string> LiveMatrix::TaskStatus(std::uint64_t id) {
+  if (!status_client_) {
+    return Status(StatusCode::kUnavailable, "no status client");
+  }
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_client_->Lookup("task:" + std::to_string(id));
+}
+
+void LiveMatrix::ExecutorLoop(std::uint32_t self) {
+  Rng rng(0xfeed0000 + self);
+  int idle_spins = 0;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto task = queues_[self]->Pop();
+    if (!task) {
+      // Steal half from a random victim (adaptive back-off while dry).
+      if (options_.executors > 1) {
+        std::uint32_t victim = static_cast<std::uint32_t>(
+            rng.Below(options_.executors - 1));
+        if (victim >= self) ++victim;
+        auto stolen = queues_[victim]->StealHalf(/*min_to_steal=*/2);
+        if (!stolen.empty()) {
+          steals_.fetch_add(1);
+          task = std::move(stolen.back());
+          stolen.pop_back();
+          queues_[self]->PushBatch(std::move(stolen));
+        }
+      }
+      if (!task) {
+        ++idle_spins;
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min(1 << std::min(idle_spins, 10), 1000)));
+        continue;
+      }
+    }
+    idle_spins = 0;
+    if (task->work) task->work();
+    if (status_client_ && options_.record_status) {
+      std::lock_guard<std::mutex> lock(status_mu_);
+      status_client_->Insert("task:" + std::to_string(task->id), "done");
+    }
+    completed_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace zht::matrix

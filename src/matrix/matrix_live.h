@@ -1,0 +1,72 @@
+// Live (real-thread) MATRIX execution engine: one worker thread per
+// executor, each with a work-stealing queue; task state (submitted →
+// finished) lives in ZHT so any client can monitor progress by key lookup
+// (§V.C). Used by tests and the example at laptop scale; the large-scale
+// numbers come from matrix_sim.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/zht_client.h"
+#include "matrix/work_stealing.h"
+
+namespace zht::matrix {
+
+struct LiveTask {
+  std::uint64_t id = 0;
+  std::function<void()> work;  // may be empty (NO-OP)
+};
+
+struct LiveMatrixOptions {
+  std::uint32_t executors = 4;
+  // Status keys are "task:<id>" with values "queued"/"done".
+  bool record_status = true;
+};
+
+class LiveMatrix {
+ public:
+  // `status_client` may be null (no status recording).
+  LiveMatrix(const LiveMatrixOptions& options, ZhtClient* status_client);
+  ~LiveMatrix();
+
+  LiveMatrix(const LiveMatrix&) = delete;
+  LiveMatrix& operator=(const LiveMatrix&) = delete;
+
+  // Submits to a specific executor (or round-robin when executor = -1).
+  void Submit(LiveTask task, int executor = -1);
+
+  // Blocks until every submitted task has completed.
+  void WaitAll();
+
+  // Queries a task's status through ZHT.
+  Result<std::string> TaskStatus(std::uint64_t id);
+
+  std::uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ExecutorLoop(std::uint32_t self);
+
+  LiveMatrixOptions options_;
+  ZhtClient* status_client_;
+  std::mutex status_mu_;  // ZhtClient is single-threaded
+
+  std::vector<std::unique_ptr<WorkStealingQueue<LiveTask>>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint32_t> next_executor_{0};
+};
+
+}  // namespace zht::matrix

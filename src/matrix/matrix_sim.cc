@@ -1,0 +1,213 @@
+#include "matrix/matrix_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace zht::matrix {
+namespace {
+
+using sim::Simulator;
+
+struct MatrixState {
+  const MatrixSimParams& params;
+  Simulator& simulator;
+  Rng rng;
+
+  enum class Mode { kIdle, kWorking, kStealing };
+  struct Executor {
+    std::deque<std::uint32_t> queue;  // task ids (durations are uniform)
+    Mode mode = Mode::kIdle;
+    Nanos backoff;
+    int failed_steals = 0;
+  };
+
+  std::vector<Executor> executors;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  Nanos last_completion = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t successful_steals = 0;
+  std::uint64_t tasks_stolen = 0;
+
+  MatrixState(const MatrixSimParams& p, Simulator& s)
+      : params(p), simulator(s), rng(p.seed),
+        executors(p.executors) {
+    for (auto& e : executors) e.backoff = p.steal_backoff;
+  }
+
+  void Wake(std::uint32_t id) {
+    Executor& e = executors[id];
+    if (e.mode != Mode::kIdle) return;
+    if (!e.queue.empty()) {
+      RunOne(id);
+    } else if (completed < params.num_tasks) {
+      // Out of local work while the run is incomplete: go steal.
+      BeginSteal(id);
+    }
+  }
+
+  void RunOne(std::uint32_t id) {
+    Executor& e = executors[id];
+    e.queue.pop_front();
+    e.mode = Mode::kWorking;
+    e.failed_steals = 0;
+    e.backoff = params.steal_backoff;
+    Nanos done = params.per_task_overhead + params.task_duration;
+    simulator.After(done, [this, id] {
+      Executor& ex = executors[id];
+      ex.mode = Mode::kIdle;
+      ++completed;
+      last_completion = simulator.now();
+      Wake(id);
+    });
+  }
+
+  void BeginSteal(std::uint32_t id) {
+    if (executors.size() < 2) return;
+    Executor& e = executors[id];
+    e.mode = Mode::kStealing;
+    simulator.After(params.steal_cost, [this, id] { FinishSteal(id); });
+  }
+
+  void FinishSteal(std::uint32_t id) {
+    Executor& e = executors[id];
+    ++steal_attempts;
+    std::uint32_t victim_id = static_cast<std::uint32_t>(
+        rng.Below(executors.size() - 1));
+    if (victim_id >= id) ++victim_id;
+    Executor& victim = executors[victim_id];
+
+    if (victim.queue.size() >= 2) {
+      // Steal half (oldest first), the adaptive work-stealing batch.
+      std::size_t take = victim.queue.size() / 2;
+      for (std::size_t i = 0; i < take; ++i) {
+        e.queue.push_back(victim.queue.front());
+        victim.queue.pop_front();
+      }
+      ++successful_steals;
+      tasks_stolen += take;
+      e.failed_steals = 0;
+      e.backoff = params.steal_backoff;
+      e.mode = Mode::kIdle;
+      Wake(id);
+      return;
+    }
+
+    // Failed: exponential back-off before the next attempt (unless the run
+    // is over).
+    ++e.failed_steals;
+    e.backoff = std::min(e.backoff * 2, params.steal_backoff_max);
+    e.mode = Mode::kIdle;
+    if (completed < params.num_tasks) {
+      Nanos delay = e.backoff;
+      simulator.After(delay, [this, id] { Wake(id); });
+    }
+  }
+};
+
+}  // namespace
+
+MatrixSimResult RunMatrixSim(const MatrixSimParams& params) {
+  Simulator simulator;
+  MatrixState state(params, simulator);
+
+  // The submitting client pushes tasks at its serialization rate, either
+  // balanced round-robin or all to executor 0 ("the client could submit
+  // tasks to arbitrary node, or to all the nodes in a balanced
+  // distribution", §V.C — stealing redistributes in the unbalanced case).
+  for (std::uint64_t i = 0; i < params.num_tasks; ++i) {
+    Nanos when = static_cast<Nanos>(i + 1) * params.submit_cpu;
+    std::uint32_t target =
+        params.balanced_submission
+            ? static_cast<std::uint32_t>(i % params.executors)
+            : 0;
+    simulator.At(when, [&state, target, i] {
+      state.executors[target].queue.push_back(
+          static_cast<std::uint32_t>(i));
+      ++state.submitted;
+      state.Wake(target);
+    });
+  }
+  // Kick every executor once so idle ones begin probing for work even
+  // before anything lands in their own queue.
+  for (std::uint32_t e = 0; e < params.executors; ++e) {
+    simulator.At(params.submit_cpu, [&state, e] { state.Wake(e); });
+  }
+  simulator.Run();
+
+  MatrixSimResult result;
+  result.makespan_s = ToSeconds(state.last_completion);
+  if (state.last_completion > 0) {
+    result.throughput_tasks_s =
+        static_cast<double>(state.completed) /
+        ToSeconds(state.last_completion);
+  }
+  double useful = static_cast<double>(params.num_tasks) *
+                  ToSeconds(params.task_duration);
+  double total = static_cast<double>(params.executors) * result.makespan_s;
+  result.efficiency = total > 0 ? useful / total : 0;
+  result.steal_attempts = state.steal_attempts;
+  result.successful_steals = state.successful_steals;
+  result.tasks_stolen = state.tasks_stolen;
+  result.zht_status_ops = 2 * state.completed;
+  return result;
+}
+
+FalkonSimResult RunFalkonSim(const FalkonSimParams& params) {
+  Simulator simulator;
+  Rng rng(params.seed);
+
+  // Central dispatcher: a single service queue delivering one task per
+  // request; executors come back for more after finishing, but only
+  // *notice* new work at their next poll boundary.
+  Nanos dispatcher_busy = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  Nanos last_completion = 0;
+
+  std::function<void(std::uint32_t)> request_task =
+      [&](std::uint32_t executor) {
+        if (issued >= params.num_tasks) return;
+        ++issued;
+        // Queue at the central dispatcher.
+        Nanos start = std::max(simulator.now(), dispatcher_busy);
+        Nanos dispatched = start + params.dispatch_cpu;
+        dispatcher_busy = dispatched;
+        // Polling dead time: the executor asked somewhere inside its poll
+        // window; on average half an interval passes before it has the
+        // task in hand.
+        Nanos poll_delay = static_cast<Nanos>(
+            rng.Below(static_cast<std::uint64_t>(params.poll_interval) + 1));
+        Nanos begin = dispatched + poll_delay;
+        Nanos done = begin + params.task_duration;
+        simulator.At(done, [&, executor] {
+          ++completed;
+          last_completion = simulator.now();
+          request_task(executor);
+        });
+      };
+
+  for (std::uint32_t e = 0; e < params.executors; ++e) {
+    simulator.At(0, [&request_task, e] { request_task(e); });
+  }
+  simulator.Run();
+
+  FalkonSimResult result;
+  result.makespan_s = ToSeconds(last_completion);
+  if (last_completion > 0) {
+    result.throughput_tasks_s =
+        static_cast<double>(completed) / ToSeconds(last_completion);
+  }
+  double useful = static_cast<double>(params.num_tasks) *
+                  ToSeconds(params.task_duration);
+  double total =
+      static_cast<double>(params.executors) * result.makespan_s;
+  result.efficiency = total > 0 ? useful / total : 0;
+  return result;
+}
+
+}  // namespace zht::matrix

@@ -1,0 +1,75 @@
+// Virtual-time models of MATRIX (distributed, adaptive work stealing, task
+// state in ZHT) and Falkon (centralized dispatcher), driving Figures 18
+// and 19. Task durations of 0–8 s × 100K tasks make wall-clock execution
+// infeasible; the DES runs the same scheduling logic in virtual time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace zht::matrix {
+
+struct MatrixSimParams {
+  std::uint32_t executors = 256;       // cores
+  std::uint64_t num_tasks = 100'000;
+  Nanos task_duration = 0;             // NO-OP for throughput runs
+
+  // Per-task management cost at the executor: dequeue, execute fork/join,
+  // ZHT status insert + update. Calibrated to the paper's measured MATRIX
+  // prototype (Fig. 18: ~1100 tasks/s at 256 cores → ~230 ms/task of
+  // management for NO-OP storms; Fig. 19's sleep tasks see ~80 ms).
+  Nanos per_task_overhead = 230 * kNanosPerMilli;
+
+  // Client-side submission cost per task (serialize + ZHT insert + send):
+  // caps submission near 5K tasks/s, the plateau of Fig. 18.
+  Nanos submit_cpu = 200 * kNanosPerMicro;
+
+  bool balanced_submission = true;  // round-robin vs everything to node 0
+
+  // Work stealing (adaptive: exponential back-off after failed attempts).
+  Nanos steal_cost = 700 * kNanosPerMicro;  // probe round trip
+  Nanos steal_backoff = 1 * kNanosPerMilli;
+  Nanos steal_backoff_max = 512 * kNanosPerMilli;
+
+  std::uint64_t seed = 42;
+};
+
+struct MatrixSimResult {
+  double makespan_s = 0;
+  double throughput_tasks_s = 0;
+  double efficiency = 0;  // useful core-seconds / total core-seconds
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t successful_steals = 0;
+  std::uint64_t tasks_stolen = 0;
+  std::uint64_t zht_status_ops = 0;  // 2 per task (submit + completion)
+};
+
+MatrixSimResult RunMatrixSim(const MatrixSimParams& params);
+
+struct FalkonSimParams {
+  std::uint32_t executors = 256;
+  std::uint64_t num_tasks = 100'000;
+  Nanos task_duration = 0;
+
+  // Central dispatcher service time per task delivery: Falkon saturates
+  // near 1700 tasks/s on the BG/P (Fig. 18).
+  Nanos dispatch_cpu = 590 * kNanosPerMicro;
+
+  // Executors learn of new work by polling the (naively hierarchical)
+  // dispatcher; the mean half-interval is dead time charged to each task
+  // (Fig. 19's low Falkon efficiency at fine granularity).
+  Nanos poll_interval = 8 * kNanosPerSec;
+
+  std::uint64_t seed = 42;
+};
+
+struct FalkonSimResult {
+  double makespan_s = 0;
+  double throughput_tasks_s = 0;
+  double efficiency = 0;
+};
+
+FalkonSimResult RunFalkonSim(const FalkonSimParams& params);
+
+}  // namespace zht::matrix

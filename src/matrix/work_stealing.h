@@ -1,0 +1,63 @@
+// Work-stealing task queue used by MATRIX executors (§V.C, [51]): owners
+// push/pop at the bottom (LIFO, cache-friendly); thieves steal a batch of
+// half the queue from the top (the adaptive work-stealing policy's
+// steal-half heuristic). Mutex-based: MATRIX steals are rare, coarse-grain
+// events, not a lock-free fast path.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace zht::matrix {
+
+template <typename Task>
+class WorkStealingQueue {
+ public:
+  void Push(Task task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+
+  std::optional<Task> Pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return std::nullopt;
+    Task task = std::move(tasks_.back());
+    tasks_.pop_back();
+    return task;
+  }
+
+  // Steals ceil(size/2) tasks from the top (oldest first). Empty result
+  // means the victim had fewer than `min_to_steal` tasks.
+  std::vector<Task> StealHalf(std::size_t min_to_steal = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t take = (tasks_.size() + 1) / 2;
+    if (take < min_to_steal || tasks_.empty()) return {};
+    std::vector<Task> stolen;
+    stolen.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      stolen.push_back(std::move(tasks_.front()));
+      tasks_.pop_front();
+    }
+    return stolen;
+  }
+
+  void PushBatch(std::vector<Task> tasks) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& task : tasks) tasks_.push_back(std::move(task));
+  }
+
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Task> tasks_;
+};
+
+}  // namespace zht::matrix

@@ -1,0 +1,46 @@
+// NodeAddress: how a ZHT instance is reached. An instance is identified by
+// host:port (§III.B: "A ZHT instance can be identified by a combination of
+// IP address and port").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace zht {
+
+struct NodeAddress {
+  std::string host;
+  std::uint16_t port = 0;
+
+  bool valid() const { return !host.empty() && port != 0; }
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+
+  static Result<NodeAddress> Parse(const std::string& text) {
+    std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status(StatusCode::kInvalidArgument, "bad address: " + text);
+    }
+    char* end = nullptr;
+    long port = std::strtol(text.c_str() + colon + 1, &end, 10);
+    if (!end || *end != '\0' || port <= 0 || port > 65535) {
+      return Status(StatusCode::kInvalidArgument, "bad port in: " + text);
+    }
+    return NodeAddress{text.substr(0, colon),
+                       static_cast<std::uint16_t>(port)};
+  }
+
+  auto operator<=>(const NodeAddress&) const = default;
+};
+
+}  // namespace zht
+
+template <>
+struct std::hash<zht::NodeAddress> {
+  std::size_t operator()(const zht::NodeAddress& a) const noexcept {
+    return std::hash<std::string>()(a.host) * 31 + a.port;
+  }
+};

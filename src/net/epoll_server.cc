@@ -1,0 +1,314 @@
+#include "net/epoll_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+#include "net/framing.h"
+
+namespace zht {
+namespace {
+
+Status MakeNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status(StatusCode::kInternal, "fcntl O_NONBLOCK failed");
+  }
+  return Status::Ok();
+}
+
+Result<sockaddr_in> ResolveIpv4(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status(StatusCode::kInvalidArgument, "not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+EpollServer::EpollServer(EpollServerOptions options, RequestHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+Result<std::unique_ptr<EpollServer>> EpollServer::Create(
+    const EpollServerOptions& options, RequestHandler handler) {
+  std::unique_ptr<EpollServer> server(
+      new EpollServer(options, std::move(handler)));
+  Status status = server->Setup();
+  if (!status.ok()) return status;
+  return server;
+}
+
+Status EpollServer::Setup() {
+  auto addr = ResolveIpv4(options_.host, options_.port);
+  if (!addr.ok()) return addr.status();
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Status(StatusCode::kInternal, "epoll_create1");
+
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return Status(StatusCode::kInternal, "eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  std::uint16_t bound_port = options_.port;
+
+  if (options_.enable_tcp) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return Status(StatusCode::kInternal, "socket");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&*addr),
+               sizeof(*addr)) < 0) {
+      return Status(StatusCode::kInternal,
+                    std::string("bind: ") + std::strerror(errno));
+    }
+    if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+      return Status(StatusCode::kInternal, "listen");
+    }
+    Status s = MakeNonBlocking(listen_fd_);
+    if (!s.ok()) return s;
+
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&actual), &len);
+    bound_port = ntohs(actual.sin_port);
+
+    ev = {};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+
+  if (options_.enable_udp) {
+    udp_fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+    if (udp_fd_ < 0) return Status(StatusCode::kInternal, "udp socket");
+    sockaddr_in udp_addr = *addr;
+    udp_addr.sin_port = htons(bound_port);  // share the TCP port number
+    if (::bind(udp_fd_, reinterpret_cast<sockaddr*>(&udp_addr),
+               sizeof(udp_addr)) < 0) {
+      return Status(StatusCode::kInternal,
+                    std::string("udp bind: ") + std::strerror(errno));
+    }
+    if (bound_port == 0) {
+      sockaddr_in actual{};
+      socklen_t len = sizeof(actual);
+      ::getsockname(udp_fd_, reinterpret_cast<sockaddr*>(&actual), &len);
+      bound_port = ntohs(actual.sin_port);
+    }
+    Status s = MakeNonBlocking(udp_fd_);
+    if (!s.ok()) return s;
+    ev = {};
+    ev.events = EPOLLIN;
+    ev.data.fd = udp_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, udp_fd_, &ev);
+  }
+
+  address_ = NodeAddress{options_.host, bound_port};
+  return Status::Ok();
+}
+
+EpollServer::~EpollServer() {
+  Stop();
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (udp_fd_ >= 0) ::close(udp_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EpollServer::Start() {
+  if (running_.exchange(true)) return Status::Ok();
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void EpollServer::Stop() {
+  if (!running_.exchange(false)) return;
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+}
+
+void EpollServer::Loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_relaxed)) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ZHT_ERROR << "epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      std::uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        std::uint64_t drained;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptAll();
+        continue;
+      }
+      if (fd == udp_fd_) {
+        HandleUdp();
+        continue;
+      }
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(fd);
+        continue;
+      }
+      if (mask & EPOLLIN) HandleReadable(fd);
+      if (connections_.count(fd) && (mask & EPOLLOUT)) HandleWritable(fd);
+    }
+  }
+}
+
+void EpollServer::AcceptAll() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.emplace(fd, Connection{});
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void EpollServer::HandleReadable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      it->second.in.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConnection(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(fd);
+    return;
+  }
+  ProcessBuffered(fd);
+}
+
+void EpollServer::ProcessBuffered(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  bool malformed = false;
+  while (auto payload = ExtractFrame(conn.in, &malformed)) {
+    auto request = Request::Decode(*payload);
+    Response response;
+    if (request.ok()) {
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      response = handler_(std::move(*request));
+    } else {
+      response.status = Status(StatusCode::kCorruption).raw();
+    }
+    conn.out += FrameMessage(response.Encode());
+    // `handler_` may have stopped the server or the map may have rehashed
+    // behind a reentrant call; re-find defensively.
+    it = connections_.find(fd);
+    if (it == connections_.end()) return;
+  }
+  if (malformed) {
+    CloseConnection(fd);
+    return;
+  }
+  if (!conn.out.empty()) HandleWritable(fd);
+}
+
+void EpollServer::HandleWritable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  while (conn.out_offset < conn.out.size()) {
+    ssize_t n = ::write(fd, conn.out.data() + conn.out_offset,
+                        conn.out.size() - conn.out_offset);
+    if (n > 0) {
+      conn.out_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT;
+      ev.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+      return;
+    }
+    if (errno == EINTR) continue;
+    CloseConnection(fd);
+    return;
+  }
+  conn.out.clear();
+  conn.out_offset = 0;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EpollServer::HandleUdp() {
+  char buf[64 << 10];
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    ssize_t n = ::recvfrom(udp_fd_, buf, sizeof(buf), 0,
+                           reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    auto request = Request::Decode(std::string_view(buf, static_cast<std::size_t>(n)));
+    Response response;
+    if (request.ok()) {
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      response = handler_(std::move(*request));
+    } else {
+      response.status = Status(StatusCode::kCorruption).raw();
+    }
+    std::string payload = response.Encode();
+    // The response datagram doubles as the acknowledgement (§III.F).
+    ::sendto(udp_fd_, payload.data(), payload.size(), 0,
+             reinterpret_cast<sockaddr*>(&peer), peer_len);
+  }
+}
+
+void EpollServer::CloseConnection(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(fd);
+}
+
+}  // namespace zht

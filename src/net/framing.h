@@ -1,0 +1,47 @@
+// Stream framing for TCP: [length u32 LE][payload]. UDP datagrams carry the
+// payload bare (datagram boundaries are the frames).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace zht {
+
+constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB sanity cap
+
+inline std::string FrameMessage(std::string_view payload) {
+  std::string out;
+  out.reserve(4 + payload.size());
+  std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((n >> (8 * i)) & 0xff));
+  }
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+// Incremental frame extractor over an accumulating buffer. Returns the next
+// complete payload and consumes it, or nullopt if more bytes are needed.
+// Sets *malformed if the stream is unrecoverable (oversized frame).
+inline std::optional<std::string> ExtractFrame(std::string& buffer,
+                                               bool* malformed) {
+  *malformed = false;
+  if (buffer.size() < 4) return std::nullopt;
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer[i]))
+         << (8 * i);
+  }
+  if (n > kMaxFrameBytes) {
+    *malformed = true;
+    return std::nullopt;
+  }
+  if (buffer.size() < 4 + static_cast<std::size_t>(n)) return std::nullopt;
+  std::string payload = buffer.substr(4, n);
+  buffer.erase(0, 4 + n);
+  return payload;
+}
+
+}  // namespace zht

@@ -1,0 +1,69 @@
+#include "net/loopback.h"
+
+#include "common/clock.h"
+
+namespace zht {
+
+NodeAddress LoopbackNetwork::Register(RequestHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeAddress address{"loop", next_port_++};
+  handlers_[address] = std::move(handler);
+  return address;
+}
+
+void LoopbackNetwork::Register(const NodeAddress& address,
+                               RequestHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[address] = std::move(handler);
+}
+
+void LoopbackNetwork::Unregister(const NodeAddress& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(address);
+  down_.erase(address);
+}
+
+void LoopbackNetwork::SetDown(const NodeAddress& address, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_[address] = down;
+}
+
+bool LoopbackNetwork::IsDown(const NodeAddress& address) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = down_.find(address);
+  return it != down_.end() && it->second;
+}
+
+Result<Response> LoopbackNetwork::Deliver(const NodeAddress& to,
+                                          const Request& request) {
+  RequestHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto down_it = down_.find(to);
+    if (down_it != down_.end() && down_it->second) {
+      return Status(StatusCode::kTimeout, "node down: " + to.ToString());
+    }
+    double drop = drop_rate_.load(std::memory_order_relaxed);
+    if (drop > 0.0 && rng_.Chance(drop)) {
+      return Status(StatusCode::kTimeout, "message dropped");
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      return Status(StatusCode::kNetwork, "no such node: " + to.ToString());
+    }
+    handler = it->second;  // copy so the handler runs outside the lock
+  }
+  Nanos latency = latency_.load(std::memory_order_relaxed);
+  if (latency > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
+  }
+  Request copy = request;
+  Response response = handler(std::move(copy));
+  if (latency > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
+  }
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+}  // namespace zht

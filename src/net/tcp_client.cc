@@ -1,0 +1,214 @@
+#include "net/tcp_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/framing.h"
+
+namespace zht {
+namespace {
+
+// Blocking-with-deadline write of the whole buffer.
+Status WriteWithDeadline(int fd, std::string_view data, const Clock& clock,
+                         Nanos deadline) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    Nanos remaining = deadline - clock.Now();
+    if (remaining <= 0) return Status(StatusCode::kTimeout, "write timeout");
+    pollfd pfd{fd, POLLOUT, 0};
+    int pr = ::poll(&pfd, 1, static_cast<int>(remaining / kNanosPerMilli) + 1);
+    if (pr < 0 && errno != EINTR) {
+      return Status(StatusCode::kNetwork, "poll failed");
+    }
+    if (pr <= 0) continue;
+    ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Status(StatusCode::kNetwork,
+                    std::string("send: ") + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFrameWithDeadline(int fd, const Clock& clock,
+                                          Nanos deadline, std::string* carry) {
+  char buf[1 << 16];
+  for (;;) {
+    bool malformed = false;
+    if (auto payload = ExtractFrame(*carry, &malformed)) return *payload;
+    if (malformed) return Status(StatusCode::kCorruption, "bad frame");
+
+    Nanos remaining = deadline - clock.Now();
+    if (remaining <= 0) return Status(StatusCode::kTimeout, "read timeout");
+    pollfd pfd{fd, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, static_cast<int>(remaining / kNanosPerMilli) + 1);
+    if (pr < 0 && errno != EINTR) {
+      return Status(StatusCode::kNetwork, "poll failed");
+    }
+    if (pr <= 0) continue;
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) return Status(StatusCode::kNetwork, "peer closed");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Status(StatusCode::kNetwork,
+                    std::string("read: ") + std::strerror(errno));
+    }
+    carry->append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Result<int> ConnectTo(const NodeAddress& to, const Clock& clock,
+                      Nanos deadline) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(to.port);
+  if (::inet_pton(AF_INET, to.host.c_str(), &addr.sin_addr) != 1) {
+    return Status(StatusCode::kInvalidArgument, "bad host: " + to.host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status(StatusCode::kNetwork, "socket failed");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return Status(StatusCode::kNetwork,
+                  std::string("connect: ") + std::strerror(errno));
+  }
+  if (rc < 0) {
+    // Await completion with the deadline.
+    for (;;) {
+      Nanos remaining = deadline - clock.Now();
+      if (remaining <= 0) {
+        ::close(fd);
+        return Status(StatusCode::kTimeout, "connect timeout");
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      int pr =
+          ::poll(&pfd, 1, static_cast<int>(remaining / kNanosPerMilli) + 1);
+      if (pr < 0 && errno != EINTR) {
+        ::close(fd);
+        return Status(StatusCode::kNetwork, "poll failed");
+      }
+      if (pr > 0) break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return Status(StatusCode::kNetwork,
+                    std::string("connect: ") + std::strerror(err));
+    }
+  }
+  return fd;
+}
+
+}  // namespace
+
+TcpClient::~TcpClient() {
+  for (auto& [addr, cached] : cache_) ::close(cached.fd);
+}
+
+void TcpClient::EvictLru() {
+  if (lru_.empty()) return;
+  NodeAddress victim = lru_.back();
+  lru_.pop_back();
+  auto it = cache_.find(victim);
+  if (it != cache_.end()) {
+    ::close(it->second.fd);
+    cache_.erase(it);
+  }
+}
+
+void TcpClient::Release(const NodeAddress& to, int fd, bool healthy) {
+  if (!healthy || !options_.cache_connections) {
+    ::close(fd);
+    return;
+  }
+  while (cache_.size() >= options_.cache_capacity) EvictLru();
+  lru_.push_front(to);
+  cache_.emplace(to, Cached{fd, lru_.begin()});
+}
+
+void TcpClient::Invalidate(const NodeAddress& to) {
+  std::lock_guard<std::mutex> lock(call_mu_);
+  auto it = cache_.find(to);
+  if (it != cache_.end()) {
+    ::close(it->second.fd);
+    lru_.erase(it->second.lru_it);
+    cache_.erase(it);
+  }
+}
+
+Result<Response> TcpClient::Call(const NodeAddress& to, const Request& request,
+                                 Nanos timeout) {
+  std::lock_guard<std::mutex> lock(call_mu_);
+  const Clock& clock = SystemClock::Instance();
+  const Nanos deadline = clock.Now() + timeout;
+  const std::string frame = FrameMessage(request.Encode());
+
+  // A cached connection may have gone stale (server restarted, idle
+  // timeout): a failure on a cached socket earns exactly one retry on a
+  // fresh connection. Failures on a fresh connection are definitive.
+  for (int round = 0; round < 2; ++round) {
+    bool from_cache = false;
+    int fd;
+    if (round == 0 && options_.cache_connections) {
+      auto it = cache_.find(to);
+      if (it != cache_.end()) {
+        ++cache_hits_;
+        fd = it->second.fd;
+        lru_.erase(it->second.lru_it);
+        cache_.erase(it);  // removed from the cache while in use
+        from_cache = true;
+      } else {
+        ++connects_;
+        auto fresh = ConnectTo(to, clock, deadline);
+        if (!fresh.ok()) return fresh.status();
+        fd = *fresh;
+      }
+    } else {
+      ++connects_;
+      auto fresh = ConnectTo(to, clock, deadline);
+      if (!fresh.ok()) return fresh.status();
+      fd = *fresh;
+    }
+
+    Status status = WriteWithDeadline(fd, frame, clock, deadline);
+    if (status.ok()) {
+      std::string carry;
+      auto payload = ReadFrameWithDeadline(fd, clock, deadline, &carry);
+      if (payload.ok()) {
+        auto response = Response::Decode(*payload);
+        if (!response.ok()) {
+          ::close(fd);
+          return response.status();
+        }
+        Release(to, fd, /*healthy=*/true);
+        return *response;
+      }
+      status = payload.status();
+    }
+    ::close(fd);
+    if (from_cache && status.code() == StatusCode::kNetwork) {
+      continue;  // stale cached socket: one fresh retry
+    }
+    return status;
+  }
+  return Status(StatusCode::kNetwork, "unreachable");
+}
+
+}  // namespace zht

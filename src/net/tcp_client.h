@@ -1,0 +1,57 @@
+// TcpClient: synchronous TCP RPC with an LRU connection cache (§III.F —
+// "we implemented a LRU cache for TCP connections, which makes TCP work
+// almost as fast as UDP"). With caching disabled, every call pays a fresh
+// connect/teardown, the configuration the paper's "TCP without connection
+// caching" series measures.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/transport.h"
+
+namespace zht {
+
+struct TcpClientOptions {
+  bool cache_connections = true;
+  std::size_t cache_capacity = 64;  // open sockets kept per client
+};
+
+class TcpClient final : public ClientTransport {
+ public:
+  explicit TcpClient(TcpClientOptions options = {}) : options_(options) {}
+  ~TcpClient() override;
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  Result<Response> Call(const NodeAddress& to, const Request& request,
+                        Nanos timeout) override;
+
+  void Invalidate(const NodeAddress& to) override;
+
+  std::uint64_t connects() const { return connects_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  void Release(const NodeAddress& to, int fd, bool healthy);
+  void EvictLru();
+
+  TcpClientOptions options_;
+  // Serializes calls: the ZHT server shares one peer transport between its
+  // handler thread and its async-replication worker.
+  std::mutex call_mu_;
+  // LRU over cached sockets: most-recently-used at the front.
+  std::list<NodeAddress> lru_;
+  struct Cached {
+    int fd;
+    std::list<NodeAddress>::iterator lru_it;
+  };
+  std::unordered_map<NodeAddress, Cached> cache_;
+  std::uint64_t connects_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace zht

@@ -1,0 +1,54 @@
+// ThreadedServer: the thread-per-connection architecture ZHT prototyped and
+// abandoned (§III.D — "the overheads of starting, managing, and stopping
+// threads was too high ... the current epoll-based ZHT outperforms the
+// multithread version 3X"). Kept as the ablation baseline for
+// bench_ablation_server_arch. TCP only.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/address.h"
+#include "net/transport.h"
+
+namespace zht {
+
+class ThreadedServer {
+ public:
+  static Result<std::unique_ptr<ThreadedServer>> Create(
+      const std::string& host, std::uint16_t port, RequestHandler handler);
+
+  ~ThreadedServer();
+
+  ThreadedServer(const ThreadedServer&) = delete;
+  ThreadedServer& operator=(const ThreadedServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  const NodeAddress& address() const { return address_; }
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ThreadedServer(RequestHandler handler) : handler_(std::move(handler)) {}
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  RequestHandler handler_;
+  NodeAddress address_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace zht

@@ -1,0 +1,34 @@
+// Transport interfaces. ZHT separates protocol logic from byte movement so
+// the same client/server code runs over TCP (with or without connection
+// caching), UDP (ack-based), or the in-process loopback used by tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/clock.h"
+#include "net/address.h"
+#include "serialize/envelope.h"
+
+namespace zht {
+
+// Server-side: invoked once per decoded request; the return value is sent
+// back to the requester. Handlers run on the owning server's event thread
+// (ZHT instances are single-threaded by design, §IV.G).
+using RequestHandler = std::function<Response(Request&&)>;
+
+// Client-side synchronous RPC. Implementations are NOT required to be
+// thread-safe; each client thread owns its transport (matching ZHT's
+// one-client-per-process deployment model).
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+
+  virtual Result<Response> Call(const NodeAddress& to, const Request& request,
+                                Nanos timeout) = 0;
+
+  // Drops any cached connection to `to` (used when a node is marked dead).
+  virtual void Invalidate(const NodeAddress& /*to*/) {}
+};
+
+}  // namespace zht

@@ -1,0 +1,442 @@
+#include "novoht/btree_db.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace zht {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5a48544254524545ull;  // "ZHTBTREE"
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8;
+
+void EncodeU64(std::uint64_t v, char* out) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+std::uint64_t DecodeU64(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+void EncodeU32(std::uint32_t v, char* out) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+std::uint32_t DecodeU32(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Status PWriteAll(int fd, std::uint64_t offset, std::string_view data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t r = ::pwrite(fd, data.data() + done, data.size() - done,
+                         static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kInternal, "btree pwrite failed");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> PReadAll(int fd, std::uint64_t offset, std::size_t n) {
+  std::string out(n, '\0');
+  std::size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, out.data() + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kInternal, "btree pread failed");
+    }
+    if (r == 0) return Status(StatusCode::kCorruption, "btree short read");
+    done += static_cast<std::size_t>(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+BTreeDB::BTreeDB(BTreeDBOptions options) : options_(std::move(options)) {}
+
+BTreeDB::~BTreeDB() {
+  if (fd_ >= 0) {
+    WriteHeader();  // persist root/next_page/entries
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<BTreeDB>> BTreeDB::Open(const BTreeDBOptions& options) {
+  if (options.page_size < 256) {
+    return Status(StatusCode::kInvalidArgument, "page_size too small");
+  }
+  std::unique_ptr<BTreeDB> db(new BTreeDB(options));
+  db->fd_ = ::open(options.path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (db->fd_ < 0) {
+    return Status(StatusCode::kInternal, "cannot open " + options.path);
+  }
+  off_t end = ::lseek(db->fd_, 0, SEEK_END);
+  Status s = db->Bootstrap(end == 0);
+  if (!s.ok()) return s;
+  return db;
+}
+
+Status BTreeDB::Bootstrap(bool fresh) {
+  if (fresh) {
+    root_ = 1;
+    next_page_ = 2;
+    entries_ = 0;
+    Status s = WriteHeader();
+    if (!s.ok()) return s;
+    Node root;  // empty leaf
+    return Store(root_, root);
+  }
+  auto header = PReadAll(fd_, 0, kHeaderBytes);
+  if (!header.ok()) return header.status();
+  if (DecodeU64(header->data()) != kMagic) {
+    return Status(StatusCode::kCorruption, "bad btree magic");
+  }
+  root_ = DecodeU32(header->data() + 8);
+  next_page_ = DecodeU32(header->data() + 12);
+  entries_ = DecodeU64(header->data() + 16);
+  return Status::Ok();
+}
+
+Status BTreeDB::WriteHeader() {
+  std::string header(kHeaderBytes, '\0');
+  EncodeU64(kMagic, header.data());
+  EncodeU32(root_, header.data() + 8);
+  EncodeU32(next_page_, header.data() + 12);
+  EncodeU64(entries_, header.data() + 16);
+  return PWriteAll(fd_, 0, header);
+}
+
+std::string BTreeDB::SerializeNode(const Node& node) {
+  std::string out;
+  out.push_back(node.leaf ? 1 : 0);
+  char buf[4];
+  EncodeU32(static_cast<std::uint32_t>(node.keys.size()), buf);
+  out.append(buf, 4);
+  if (node.leaf) {
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      EncodeU32(static_cast<std::uint32_t>(node.keys[i].size()), buf);
+      out.append(buf, 4);
+      EncodeU32(static_cast<std::uint32_t>(node.values[i].size()), buf);
+      out.append(buf, 4);
+      out += node.keys[i];
+      out += node.values[i];
+    }
+  } else {
+    for (PageId child : node.children) {
+      EncodeU32(child, buf);
+      out.append(buf, 4);
+    }
+    for (const auto& key : node.keys) {
+      EncodeU32(static_cast<std::uint32_t>(key.size()), buf);
+      out.append(buf, 4);
+      out += key;
+    }
+  }
+  return out;
+}
+
+Result<BTreeDB::Node> BTreeDB::ParseNode(std::string_view data) {
+  if (data.size() < 5) return Status(StatusCode::kCorruption, "tiny page");
+  Node node;
+  node.leaf = data[0] != 0;
+  std::uint32_t nkeys = DecodeU32(data.data() + 1);
+  std::size_t pos = 5;
+  auto need = [&](std::size_t n) { return pos + n <= data.size(); };
+  if (node.leaf) {
+    node.keys.reserve(nkeys);
+    node.values.reserve(nkeys);
+    for (std::uint32_t i = 0; i < nkeys; ++i) {
+      if (!need(8)) return Status(StatusCode::kCorruption, "leaf header");
+      std::uint32_t klen = DecodeU32(data.data() + pos);
+      std::uint32_t vlen = DecodeU32(data.data() + pos + 4);
+      pos += 8;
+      if (!need(klen + vlen)) {
+        return Status(StatusCode::kCorruption, "leaf payload");
+      }
+      node.keys.emplace_back(data.substr(pos, klen));
+      node.values.emplace_back(data.substr(pos + klen, vlen));
+      pos += klen + vlen;
+    }
+  } else {
+    node.children.reserve(nkeys + 1);
+    for (std::uint32_t i = 0; i <= nkeys; ++i) {
+      if (!need(4)) return Status(StatusCode::kCorruption, "children");
+      node.children.push_back(DecodeU32(data.data() + pos));
+      pos += 4;
+    }
+    node.keys.reserve(nkeys);
+    for (std::uint32_t i = 0; i < nkeys; ++i) {
+      if (!need(4)) return Status(StatusCode::kCorruption, "key header");
+      std::uint32_t klen = DecodeU32(data.data() + pos);
+      pos += 4;
+      if (!need(klen)) return Status(StatusCode::kCorruption, "key payload");
+      node.keys.emplace_back(data.substr(pos, klen));
+      pos += klen;
+    }
+  }
+  return node;
+}
+
+std::size_t BTreeDB::SerializedSize(const Node& node) const {
+  std::size_t size = 5;
+  if (node.leaf) {
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      size += 8 + node.keys[i].size() + node.values[i].size();
+    }
+  } else {
+    size += node.children.size() * 4;
+    for (const auto& key : node.keys) size += 4 + key.size();
+  }
+  return size;
+}
+
+Result<BTreeDB::Node*> BTreeDB::Fetch(PageId id) const {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return &it->second.node;
+  }
+  ++cache_misses_;
+  auto raw = PReadAll(fd_, static_cast<std::uint64_t>(id) * options_.page_size,
+                      options_.page_size);
+  if (!raw.ok()) return raw.status();
+  auto node = ParseNode(*raw);
+  if (!node.ok()) return node.status();
+  CacheInsert(id, std::move(*node));
+  return &cache_.find(id)->second.node;
+}
+
+void BTreeDB::CacheInsert(PageId id, Node node) const {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    it->second.node = std::move(node);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  while (cache_.size() >= options_.cache_pages) Evict();
+  lru_.push_front(id);
+  cache_.emplace(id, CacheEntry{std::move(node), lru_.begin()});
+}
+
+void BTreeDB::Evict() const {
+  if (lru_.empty()) return;
+  PageId victim = lru_.back();
+  lru_.pop_back();
+  cache_.erase(victim);
+}
+
+Status BTreeDB::Store(PageId id, const Node& node) {
+  std::string data = SerializeNode(node);
+  if (data.size() > options_.page_size) {
+    return Status(StatusCode::kCapacity, "node exceeds page");
+  }
+  data.resize(options_.page_size, '\0');
+  Status s = PWriteAll(
+      fd_, static_cast<std::uint64_t>(id) * options_.page_size, data);
+  if (!s.ok()) return s;
+  CacheInsert(id, node);
+  return Status::Ok();
+}
+
+BTreeDB::PageId BTreeDB::Allocate() { return next_page_++; }
+
+Status BTreeDB::InsertInto(PageId id, std::string_view key,
+                           std::string_view value, bool* grew,
+                           std::string* split_key, PageId* split_page,
+                           bool* inserted_new) {
+  auto fetched = Fetch(id);
+  if (!fetched.ok()) return fetched.status();
+  Node node = **fetched;  // work on a copy; cache entries may be evicted
+
+  *grew = false;
+  if (node.leaf) {
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(),
+                               std::string(key));
+    std::size_t idx = static_cast<std::size_t>(it - node.keys.begin());
+    if (it != node.keys.end() && *it == key) {
+      node.values[idx].assign(value);
+      *inserted_new = false;
+    } else {
+      node.keys.insert(it, std::string(key));
+      node.values.insert(node.values.begin() + static_cast<std::ptrdiff_t>(idx),
+                         std::string(value));
+      *inserted_new = true;
+    }
+    if (SerializedSize(node) > options_.page_size && node.keys.size() >= 2) {
+      std::size_t mid = node.keys.size() / 2;
+      Node right;
+      right.leaf = true;
+      right.keys.assign(node.keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                        node.keys.end());
+      right.values.assign(
+          node.values.begin() + static_cast<std::ptrdiff_t>(mid),
+          node.values.end());
+      node.keys.resize(mid);
+      node.values.resize(mid);
+      PageId right_id = Allocate();
+      *split_key = right.keys.front();
+      *split_page = right_id;
+      *grew = true;
+      Status s = Store(right_id, right);
+      if (!s.ok()) return s;
+    } else if (SerializedSize(node) > options_.page_size) {
+      return Status(StatusCode::kCapacity, "record too large for page");
+    }
+    return Store(id, node);
+  }
+
+  // Internal node: child i covers keys < keys[i] (upper_bound convention).
+  std::size_t child_index = static_cast<std::size_t>(
+      std::upper_bound(node.keys.begin(), node.keys.end(), std::string(key)) -
+      node.keys.begin());
+  PageId child = node.children[child_index];
+  bool child_grew = false;
+  std::string child_split_key;
+  PageId child_split_page = 0;
+  Status s = InsertInto(child, key, value, &child_grew, &child_split_key,
+                        &child_split_page, inserted_new);
+  if (!s.ok()) return s;
+  if (!child_grew) return Status::Ok();
+
+  node.keys.insert(node.keys.begin() + static_cast<std::ptrdiff_t>(child_index),
+                   child_split_key);
+  node.children.insert(
+      node.children.begin() + static_cast<std::ptrdiff_t>(child_index) + 1,
+      child_split_page);
+
+  if (SerializedSize(node) > options_.page_size && node.keys.size() >= 3) {
+    std::size_t mid = node.keys.size() / 2;
+    Node right;
+    right.leaf = false;
+    *split_key = node.keys[mid];  // promoted, kept in neither half
+    right.keys.assign(node.keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                      node.keys.end());
+    right.children.assign(
+        node.children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+        node.children.end());
+    node.keys.resize(mid);
+    node.children.resize(mid + 1);
+    PageId right_id = Allocate();
+    *split_page = right_id;
+    *grew = true;
+    s = Store(right_id, right);
+    if (!s.ok()) return s;
+  }
+  return Store(id, node);
+}
+
+Status BTreeDB::Put(std::string_view key, std::string_view value) {
+  if (key.size() + value.size() + 64 > options_.page_size / 2) {
+    return Status(StatusCode::kCapacity, "entry too large for btree page");
+  }
+  bool grew = false;
+  bool inserted_new = false;
+  std::string split_key;
+  PageId split_page = 0;
+  Status s = InsertInto(root_, key, value, &grew, &split_key, &split_page,
+                        &inserted_new);
+  if (!s.ok()) return s;
+  if (grew) {
+    Node new_root;
+    new_root.leaf = false;
+    new_root.keys.push_back(split_key);
+    new_root.children.push_back(root_);
+    new_root.children.push_back(split_page);
+    PageId new_root_id = Allocate();
+    s = Store(new_root_id, new_root);
+    if (!s.ok()) return s;
+    root_ = new_root_id;
+  }
+  if (inserted_new) ++entries_;
+  return Status::Ok();
+}
+
+Result<std::string> BTreeDB::Get(std::string_view key) {
+  PageId id = root_;
+  for (;;) {
+    auto fetched = Fetch(id);
+    if (!fetched.ok()) return fetched.status();
+    Node* node = *fetched;
+    if (node->leaf) {
+      auto it = std::lower_bound(node->keys.begin(), node->keys.end(),
+                                 std::string(key));
+      if (it != node->keys.end() && *it == key) {
+        return node->values[static_cast<std::size_t>(it - node->keys.begin())];
+      }
+      return Status(StatusCode::kNotFound);
+    }
+    std::size_t child_index = static_cast<std::size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(),
+                         std::string(key)) -
+        node->keys.begin());
+    id = node->children[child_index];
+  }
+}
+
+Status BTreeDB::Remove(std::string_view key) {
+  // Descend to the leaf; erase in place (lazy deletion, no rebalancing).
+  PageId id = root_;
+  for (;;) {
+    auto fetched = Fetch(id);
+    if (!fetched.ok()) return fetched.status();
+    Node node = **fetched;
+    if (node.leaf) {
+      auto it = std::lower_bound(node.keys.begin(), node.keys.end(),
+                                 std::string(key));
+      if (it == node.keys.end() || *it != key) {
+        return Status(StatusCode::kNotFound);
+      }
+      std::size_t idx = static_cast<std::size_t>(it - node.keys.begin());
+      node.keys.erase(it);
+      node.values.erase(node.values.begin() + static_cast<std::ptrdiff_t>(idx));
+      Status s = Store(id, node);
+      if (!s.ok()) return s;
+      --entries_;
+      return Status::Ok();
+    }
+    std::size_t child_index = static_cast<std::size_t>(
+        std::upper_bound(node.keys.begin(), node.keys.end(),
+                         std::string(key)) -
+        node.keys.begin());
+    id = node.children[child_index];
+  }
+}
+
+void BTreeDB::ForEachFrom(
+    PageId id,
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  auto fetched = Fetch(id);
+  if (!fetched.ok()) return;
+  Node node = **fetched;  // copy: recursion would thrash the cache pointer
+  if (node.leaf) {
+    for (std::size_t i = 0; i < node.keys.size(); ++i) {
+      fn(node.keys[i], node.values[i]);
+    }
+    return;
+  }
+  for (PageId child : node.children) ForEachFrom(child, fn);
+}
+
+void BTreeDB::ForEach(
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  ForEachFrom(root_, fn);
+}
+
+}  // namespace zht

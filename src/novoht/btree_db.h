@@ -1,0 +1,104 @@
+// BTreeDB: a BerkeleyDB-like baseline — an on-disk B-tree of fixed-size
+// pages with a bounded LRU page cache and write-through updates. Lookups at
+// large key counts cost O(log n) page reads, most of which miss the cache;
+// this reproduces the latency/scale profile the paper's Figure 6 shows for
+// BerkeleyDB (low memory, slower ops).
+//
+// Deletions are lazy (no rebalancing): emptied leaves are left in place.
+// That matches the benchmark workloads (bulk insert/get/remove) and keeps
+// the structure compact.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "novoht/kv_store.h"
+
+namespace zht {
+
+struct BTreeDBOptions {
+  std::string path;
+  std::uint32_t page_size = 4096;
+  std::uint32_t cache_pages = 64;  // LRU capacity
+};
+
+class BTreeDB final : public KVStore {
+ public:
+  static Result<std::unique_ptr<BTreeDB>> Open(const BTreeDBOptions& options);
+
+  ~BTreeDB() override;
+
+  BTreeDB(const BTreeDB&) = delete;
+  BTreeDB& operator=(const BTreeDB&) = delete;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) override;
+  Status Remove(std::string_view key) override;
+
+  std::uint64_t Size() const override { return entries_; }
+  void ForEach(const std::function<void(std::string_view, std::string_view)>&
+                   fn) const override;
+
+  bool persistent() const override { return true; }
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  using PageId = std::uint32_t;
+
+  struct Node {
+    bool leaf = true;
+    std::vector<std::string> keys;
+    std::vector<std::string> values;  // leaf payloads
+    std::vector<PageId> children;     // internal: keys.size() + 1 entries
+  };
+
+  explicit BTreeDB(BTreeDBOptions options);
+
+  Status Bootstrap(bool fresh);
+  Status WriteHeader();
+
+  Result<Node*> Fetch(PageId id) const;           // via cache
+  Status Store(PageId id, const Node& node);      // write-through
+  PageId Allocate();
+
+  static std::string SerializeNode(const Node& node);
+  static Result<Node> ParseNode(std::string_view data);
+  std::size_t SerializedSize(const Node& node) const;
+
+  Status InsertInto(PageId id, std::string_view key, std::string_view value,
+                    bool* grew, std::string* split_key, PageId* split_page,
+                    bool* inserted_new);
+  Status SplitChild(Node* parent, std::size_t child_index);
+
+  void ForEachFrom(PageId id,
+                   const std::function<void(std::string_view,
+                                            std::string_view)>& fn) const;
+
+  // LRU cache (mutable: Fetch is logically const).
+  void CacheInsert(PageId id, Node node) const;
+  void Evict() const;
+
+  BTreeDBOptions options_;
+  int fd_ = -1;
+  PageId root_ = 1;
+  PageId next_page_ = 2;
+  std::uint64_t entries_ = 0;
+
+  mutable std::list<PageId> lru_;
+  struct CacheEntry {
+    Node node;
+    std::list<PageId>::iterator lru_it;
+  };
+  mutable std::unordered_map<PageId, CacheEntry> cache_;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace zht

@@ -1,0 +1,277 @@
+#include "novoht/hashdb_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hashing/hash_functions.h"
+
+namespace zht {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5a48544844420001ull;  // "ZHTHDB" v1
+constexpr std::uint64_t kHeaderBytes = 16;
+
+void EncodeU64(std::uint64_t v, char* out) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+std::uint64_t DecodeU64(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+void EncodeU32(std::uint32_t v, char* out) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+std::uint32_t DecodeU32(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<std::string> PRead(int fd, std::uint64_t offset, std::size_t n) {
+  std::string out(n, '\0');
+  std::size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, out.data() + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kInternal, "pread failed");
+    }
+    if (r == 0) return Status(StatusCode::kCorruption, "short read");
+    done += static_cast<std::size_t>(r);
+  }
+  return out;
+}
+
+Status PWrite(int fd, std::uint64_t offset, std::string_view data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t r = ::pwrite(fd, data.data() + done, data.size() - done,
+                         static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kInternal, "pwrite failed");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+HashDBFile::HashDBFile(int fd, std::string path, std::uint64_t num_buckets,
+                       std::uint64_t file_size, std::uint64_t live)
+    : fd_(fd),
+      path_(std::move(path)),
+      num_buckets_(num_buckets),
+      file_size_(file_size),
+      live_records_(live) {}
+
+HashDBFile::~HashDBFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<HashDBFile>> HashDBFile::Open(
+    const std::string& path, std::uint64_t num_buckets) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Status(StatusCode::kInternal, "cannot open " + path);
+
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end == 0) {
+    // Fresh store: write header + empty bucket array.
+    std::string header(kHeaderBytes, '\0');
+    EncodeU64(kMagic, header.data());
+    EncodeU64(num_buckets, header.data() + 8);
+    std::string buckets(num_buckets * 8, '\0');
+    Status s = PWrite(fd, 0, header);
+    if (s.ok()) s = PWrite(fd, kHeaderBytes, buckets);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+    std::uint64_t size = kHeaderBytes + num_buckets * 8;
+    return std::unique_ptr<HashDBFile>(
+        new HashDBFile(fd, path, num_buckets, size, 0));
+  }
+
+  // Existing store: validate header and count live records.
+  auto header = PRead(fd, 0, kHeaderBytes);
+  if (!header.ok()) {
+    ::close(fd);
+    return header.status();
+  }
+  if (DecodeU64(header->data()) != kMagic) {
+    ::close(fd);
+    return Status(StatusCode::kCorruption, "bad HashDB magic");
+  }
+  std::uint64_t stored_buckets = DecodeU64(header->data() + 8);
+  std::unique_ptr<HashDBFile> db(new HashDBFile(
+      fd, path, stored_buckets, static_cast<std::uint64_t>(end), 0));
+  std::uint64_t live = 0;
+  db->ForEach([&live](std::string_view, std::string_view) { ++live; });
+  db->live_records_ = live;
+  return db;
+}
+
+std::uint64_t HashDBFile::BucketOffset(std::string_view key) const {
+  return kHeaderBytes + (Fnv1a64(key) % num_buckets_) * 8;
+}
+
+Result<std::uint64_t> HashDBFile::ReadU64(std::uint64_t offset) const {
+  auto data = PRead(fd_, offset, 8);
+  if (!data.ok()) return data.status();
+  return DecodeU64(data->data());
+}
+
+Status HashDBFile::WriteU64(std::uint64_t offset, std::uint64_t value) {
+  char buf[8];
+  EncodeU64(value, buf);
+  return PWrite(fd_, offset, std::string_view(buf, 8));
+}
+
+Result<HashDBFile::RecordHeader> HashDBFile::ReadRecordHeader(
+    std::uint64_t offset) const {
+  auto data = PRead(fd_, offset, kRecordHeaderBytes);
+  if (!data.ok()) return data.status();
+  RecordHeader h;
+  h.next = DecodeU64(data->data());
+  h.klen = DecodeU32(data->data() + 8);
+  h.vlen = DecodeU32(data->data() + 12);
+  h.deleted = static_cast<std::uint8_t>((*data)[16]);
+  return h;
+}
+
+Status HashDBFile::Put(std::string_view key, std::string_view value) {
+  // Walk the chain: if the key exists and the new value fits in place and
+  // sizes match, overwrite; otherwise tombstone and append a new record.
+  std::uint64_t bucket = BucketOffset(key);
+  auto headr = ReadU64(bucket);
+  if (!headr.ok()) return headr.status();
+  std::uint64_t off = *headr;
+  bool replacing = false;
+  while (off != 0) {
+    auto h = ReadRecordHeader(off);
+    if (!h.ok()) return h.status();
+    if (!h->deleted && h->klen == key.size()) {
+      auto stored = PRead(fd_, off + kRecordHeaderBytes, h->klen);
+      if (!stored.ok()) return stored.status();
+      if (*stored == key) {
+        if (h->vlen == value.size()) {
+          return PWrite(fd_, off + kRecordHeaderBytes + h->klen, value);
+        }
+        // Size changed: tombstone old record, append new below.
+        char dead = 1;
+        Status s = PWrite(fd_, off + 16, std::string_view(&dead, 1));
+        if (!s.ok()) return s;
+        replacing = true;
+        break;
+      }
+    }
+    off = h->next;
+  }
+
+  std::string record(kRecordHeaderBytes + key.size() + value.size(), '\0');
+  EncodeU64(*headr, record.data());  // new record heads the chain
+  EncodeU32(static_cast<std::uint32_t>(key.size()), record.data() + 8);
+  EncodeU32(static_cast<std::uint32_t>(value.size()), record.data() + 12);
+  record[16] = 0;
+  std::memcpy(record.data() + kRecordHeaderBytes, key.data(), key.size());
+  std::memcpy(record.data() + kRecordHeaderBytes + key.size(), value.data(),
+              value.size());
+  std::uint64_t new_off = file_size_;
+  Status s = PWrite(fd_, new_off, record);
+  if (!s.ok()) return s;
+  file_size_ += record.size();
+  s = WriteU64(bucket, new_off);
+  if (!s.ok()) return s;
+  if (!replacing) ++live_records_;
+  return Status::Ok();
+}
+
+Result<std::string> HashDBFile::Get(std::string_view key) {
+  auto headr = ReadU64(BucketOffset(key));
+  if (!headr.ok()) return headr.status();
+  std::uint64_t off = *headr;
+  while (off != 0) {
+    auto h = ReadRecordHeader(off);
+    if (!h.ok()) return h.status();
+    if (!h->deleted && h->klen == key.size()) {
+      auto payload =
+          PRead(fd_, off + kRecordHeaderBytes, h->klen + h->vlen);
+      if (!payload.ok()) return payload.status();
+      if (std::string_view(*payload).substr(0, h->klen) == key) {
+        return payload->substr(h->klen);
+      }
+    }
+    off = h->next;
+  }
+  return Status(StatusCode::kNotFound);
+}
+
+Status HashDBFile::Remove(std::string_view key) {
+  auto headr = ReadU64(BucketOffset(key));
+  if (!headr.ok()) return headr.status();
+  std::uint64_t off = *headr;
+  while (off != 0) {
+    auto h = ReadRecordHeader(off);
+    if (!h.ok()) return h.status();
+    if (!h->deleted && h->klen == key.size()) {
+      auto stored = PRead(fd_, off + kRecordHeaderBytes, h->klen);
+      if (!stored.ok()) return stored.status();
+      if (*stored == key) {
+        char dead = 1;
+        Status s = PWrite(fd_, off + 16, std::string_view(&dead, 1));
+        if (!s.ok()) return s;
+        --live_records_;
+        return Status::Ok();
+      }
+    }
+    off = h->next;
+  }
+  return Status(StatusCode::kNotFound);
+}
+
+void HashDBFile::ForEach(
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  for (std::uint64_t b = 0; b < num_buckets_; ++b) {
+    auto headr = ReadU64(kHeaderBytes + b * 8);
+    if (!headr.ok()) return;
+    std::uint64_t off = *headr;
+    // Chains prepend, so the first live record for a key shadows older
+    // versions; track seen keys per bucket.
+    std::vector<std::string> seen;
+    while (off != 0) {
+      auto h = ReadRecordHeader(off);
+      if (!h.ok()) return;
+      auto payload = PRead(fd_, off + kRecordHeaderBytes, h->klen + h->vlen);
+      if (!payload.ok()) return;
+      std::string key = payload->substr(0, h->klen);
+      bool shadowed = false;
+      for (const auto& k : seen) {
+        if (k == key) {
+          shadowed = true;
+          break;
+        }
+      }
+      if (!shadowed) {
+        seen.push_back(key);
+        if (!h->deleted) {
+          fn(key, std::string_view(*payload).substr(h->klen));
+        }
+      }
+      off = h->next;
+    }
+  }
+}
+
+}  // namespace zht

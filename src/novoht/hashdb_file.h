@@ -1,0 +1,69 @@
+// HashDBFile: a KyotoCabinet-HashDB-like baseline — a disk-resident open
+// hash table where every lookup hits disk (the paper contrasts this with
+// NoVoHT's in-memory residency, Figure 6). On-disk layout:
+//
+//   [header: magic u64, num_buckets u64]
+//   [bucket array: num_buckets × u64 record offsets, 0 = empty]
+//   [records: next u64 | klen u32 | vlen u32 | deleted u8 | key | value]...
+//
+// Put appends a record and rewrites the bucket head; Remove marks the
+// record's deleted flag in place; Get walks the bucket chain with preads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "novoht/kv_store.h"
+
+namespace zht {
+
+class HashDBFile final : public KVStore {
+ public:
+  // Creates or opens the store. num_buckets is fixed at creation (as in
+  // KyotoCabinet, where the bucket array is sized up front).
+  static Result<std::unique_ptr<HashDBFile>> Open(const std::string& path,
+                                                  std::uint64_t num_buckets);
+
+  ~HashDBFile() override;
+
+  HashDBFile(const HashDBFile&) = delete;
+  HashDBFile& operator=(const HashDBFile&) = delete;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) override;
+  Status Remove(std::string_view key) override;
+
+  std::uint64_t Size() const override { return live_records_; }
+  void ForEach(const std::function<void(std::string_view, std::string_view)>&
+                   fn) const override;
+
+  bool persistent() const override { return true; }
+
+ private:
+  HashDBFile(int fd, std::string path, std::uint64_t num_buckets,
+             std::uint64_t file_size, std::uint64_t live);
+
+  std::uint64_t BucketOffset(std::string_view key) const;
+  Result<std::uint64_t> ReadU64(std::uint64_t offset) const;
+  Status WriteU64(std::uint64_t offset, std::uint64_t value);
+
+  struct RecordHeader {
+    std::uint64_t next;
+    std::uint32_t klen;
+    std::uint32_t vlen;
+    std::uint8_t deleted;
+  };
+  static constexpr std::size_t kRecordHeaderBytes = 8 + 4 + 4 + 1;
+
+  Result<RecordHeader> ReadRecordHeader(std::uint64_t offset) const;
+
+  int fd_;
+  std::string path_;
+  std::uint64_t num_buckets_;
+  std::uint64_t file_size_;
+  std::uint64_t live_records_ = 0;
+};
+
+}  // namespace zht

@@ -1,0 +1,47 @@
+// KVStore: the storage interface a ZHT partition is built on. NoVoHT is the
+// production implementation; the disk-resident baselines exist to reproduce
+// the paper's Figure 6 comparison (NoVoHT vs KyotoCabinet vs BerkeleyDB vs
+// std::unordered_map).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace zht {
+
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  // Insert or overwrite (ZHT inserts overwrite, matching the paper's API).
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+
+  virtual Result<std::string> Get(std::string_view key) = 0;
+
+  virtual Status Remove(std::string_view key) = 0;
+
+  // Appends to the existing value (creating the key if absent). Stores that
+  // cannot support it return kNotSupported; ZHT requires it (§III.I).
+  virtual Status Append(std::string_view key, std::string_view value) {
+    (void)key;
+    (void)value;
+    return Status(StatusCode::kNotSupported, "append not supported");
+  }
+
+  virtual std::uint64_t Size() const = 0;
+
+  // Visits every live pair (used for partition migration and checkpointing).
+  // The callback must not mutate the store.
+  virtual void ForEach(
+      const std::function<void(std::string_view key, std::string_view value)>&
+          fn) const = 0;
+
+  virtual bool persistent() const { return false; }
+  virtual bool supports_append() const { return false; }
+};
+
+}  // namespace zht

@@ -1,0 +1,49 @@
+// MemoryMap: std::unordered_map wrapped in the KVStore interface. This is
+// the "unordered_map" series of Figure 6 — the no-persistence upper bound —
+// and the store the memcached-like baseline is built on.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "novoht/kv_store.h"
+
+namespace zht {
+
+class MemoryMap final : public KVStore {
+ public:
+  Status Put(std::string_view key, std::string_view value) override {
+    map_[std::string(key)] = std::string(value);
+    return Status::Ok();
+  }
+
+  Result<std::string> Get(std::string_view key) override {
+    auto it = map_.find(std::string(key));
+    if (it == map_.end()) return Status(StatusCode::kNotFound);
+    return it->second;
+  }
+
+  Status Remove(std::string_view key) override {
+    return map_.erase(std::string(key)) ? Status::Ok()
+                                        : Status(StatusCode::kNotFound);
+  }
+
+  Status Append(std::string_view key, std::string_view value) override {
+    map_[std::string(key)].append(value);
+    return Status::Ok();
+  }
+
+  std::uint64_t Size() const override { return map_.size(); }
+
+  void ForEach(const std::function<void(std::string_view, std::string_view)>&
+                   fn) const override {
+    for (const auto& [key, value] : map_) fn(key, value);
+  }
+
+  bool supports_append() const override { return true; }
+
+ private:
+  std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace zht

@@ -1,0 +1,581 @@
+#include "novoht/novoht.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/log.h"
+#include "hashing/hash_functions.h"
+#include "serialize/wire.h"
+
+namespace zht {
+namespace {
+
+// Log record types.
+constexpr std::uint8_t kRecPut = 1;
+constexpr std::uint8_t kRecRemove = 2;
+constexpr std::uint8_t kRecAppend = 3;
+
+std::size_t VarintLen(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Record layout: [crc32:4 LE][type:1][klen varint][vlen varint][key][value]
+// crc covers everything after the crc field. *value_offset_in_record gets
+// the byte index of the value payload within the record.
+std::string EncodeRecord(std::uint8_t type, std::string_view key,
+                         std::string_view value,
+                         std::size_t* value_offset_in_record = nullptr) {
+  std::string body;
+  wire::Writer w(&body);
+  body.push_back(static_cast<char>(type));
+  w.PutVarint(key.size());
+  w.PutVarint(value.size());
+  w.PutBytes(key);
+  w.PutBytes(value);
+
+  if (value_offset_in_record) {
+    *value_offset_in_record = 4 + 1 + VarintLen(key.size()) +
+                              VarintLen(value.size()) + key.size();
+  }
+  std::uint32_t crc = Crc32c(body);
+  std::string out;
+  out.reserve(body.size() + 4);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  out += body;
+  return out;
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kInternal,
+                    std::string("log write failed: ") + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+NoVoHT::NoVoHT(NoVoHTOptions options) : options_(std::move(options)) {
+  std::uint64_t buckets =
+      options_.initial_buckets ? options_.initial_buckets : 1;
+  buckets_.assign(buckets, nullptr);
+}
+
+Result<std::unique_ptr<NoVoHT>> NoVoHT::Open(const NoVoHTOptions& options) {
+  if (options.max_resident_values != 0 && options.path.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "max_resident_values needs a persistence log");
+  }
+  std::unique_ptr<NoVoHT> store(new NoVoHT(options));
+  if (!options.path.empty()) {
+    Status status = store->RecoverFromLog();
+    if (!status.ok()) return status;
+    store->log_fd_ =
+        ::open(options.path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (store->log_fd_ < 0) {
+      return Status(StatusCode::kInternal,
+                    "cannot open log: " + options.path);
+    }
+    store->read_fd_ = ::open(options.path.c_str(), O_RDONLY);
+    if (store->read_fd_ < 0) {
+      return Status(StatusCode::kInternal,
+                    "cannot open log for reads: " + options.path);
+    }
+    store->EnforceResidencyCap();
+  }
+  return store;
+}
+
+NoVoHT::~NoVoHT() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+  if (read_fd_ >= 0) ::close(read_fd_);
+  for (Node* head : buckets_) {
+    while (head) {
+      Node* next = head->next;
+      delete head;
+      head = next;
+    }
+  }
+}
+
+std::uint64_t NoVoHT::RecordBytes(std::string_view key,
+                                  std::string_view value) {
+  // Close enough for GC accounting: header ~8 bytes + payload.
+  return 8 + key.size() + value.size();
+}
+
+std::uint64_t NoVoHT::BucketIndex(std::string_view key) const {
+  return Fnv1a64(key) % buckets_.size();
+}
+
+NoVoHT::Node* NoVoHT::FindNode(std::string_view key) const {
+  for (Node* node = buckets_[BucketIndex(key)]; node; node = node->next) {
+    if (node->key == key) return node;
+  }
+  return nullptr;
+}
+
+std::uint64_t NoVoHT::ApplyPut(std::string_view key, std::string_view value) {
+  Node* node = FindNode(key);
+  if (node) {
+    std::uint64_t dead =
+        RecordBytes(node->key, node->resident
+                                   ? std::string_view(node->value)
+                                   : std::string_view());
+    if (!node->resident) {
+      node->resident = true;
+      ++resident_values_;
+    }
+    node->value.assign(value);
+    node->value_len = static_cast<std::uint32_t>(value.size());
+    return dead;
+  }
+  auto* fresh = new Node{std::string(key), std::string(value), nullptr,
+                         0, static_cast<std::uint32_t>(value.size()),
+                         /*resident=*/true, /*offset_valid=*/false};
+  std::uint64_t index = BucketIndex(key);
+  fresh->next = buckets_[index];
+  buckets_[index] = fresh;
+  ++entries_;
+  ++resident_values_;
+  ResizeIfNeeded();
+  return 0;
+}
+
+std::uint64_t NoVoHT::ApplyRemove(std::string_view key, bool* found) {
+  std::uint64_t index = BucketIndex(key);
+  Node** link = &buckets_[index];
+  while (*link) {
+    Node* node = *link;
+    if (node->key == key) {
+      std::uint64_t dead = RecordBytes(node->key, node->value) +
+                           RecordBytes(key, "");  // the remove record itself
+      if (node->resident) --resident_values_;
+      *link = node->next;
+      delete node;
+      --entries_;
+      *found = true;
+      return dead;
+    }
+    link = &node->next;
+  }
+  *found = false;
+  return 0;
+}
+
+void NoVoHT::ApplyAppend(std::string_view key, std::string_view value) {
+  Node* node = FindNode(key);
+  if (node) {
+    node->value.append(value);
+    node->value_len = static_cast<std::uint32_t>(node->value.size());
+    node->offset_valid = false;  // the full value is no longer contiguous
+    return;
+  }
+  ApplyPut(key, value);
+  if (Node* fresh = FindNode(key)) fresh->offset_valid = false;
+}
+
+void NoVoHT::ResizeIfNeeded() {
+  double load = static_cast<double>(entries_) /
+                static_cast<double>(buckets_.size());
+  if (load <= options_.max_load_factor) return;
+  std::uint64_t next = static_cast<std::uint64_t>(
+      static_cast<double>(buckets_.size()) * options_.resize_multiplier);
+  if (next <= buckets_.size()) next = buckets_.size() + 1;
+  if (options_.max_buckets && next > options_.max_buckets) {
+    next = options_.max_buckets;
+    if (next <= buckets_.size()) return;  // at the cap; chains grow instead
+  }
+  RehashInto(next);
+  ++resizes_;
+}
+
+void NoVoHT::RehashInto(std::uint64_t new_bucket_count) {
+  std::vector<Node*> old = std::move(buckets_);
+  buckets_.assign(new_bucket_count, nullptr);
+  for (Node* head : old) {
+    while (head) {
+      Node* next = head->next;
+      std::uint64_t index = BucketIndex(head->key);
+      head->next = buckets_[index];
+      buckets_[index] = head;
+      head = next;
+    }
+  }
+}
+
+Status NoVoHT::RecoverFromLog() {
+  int fd = ::open(options_.path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::Ok();  // fresh store
+    return Status(StatusCode::kInternal, "cannot read log: " + options_.path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  std::size_t pos = 0;
+  std::size_t valid_end = 0;
+  while (pos + 5 <= data.size()) {
+    std::uint32_t stored_crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored_crc |= static_cast<std::uint32_t>(
+                        static_cast<std::uint8_t>(data[pos + i]))
+                    << (8 * i);
+    }
+    std::string_view body_start = std::string_view(data).substr(pos + 4);
+    std::uint8_t type = static_cast<std::uint8_t>(body_start[0]);
+    wire::Reader fields(body_start.substr(1));
+    std::uint64_t klen, vlen;
+    if (!fields.GetVarint(&klen) || !fields.GetVarint(&vlen)) break;
+    std::string_view key, value;
+    if (!fields.GetBytes(klen, &key) || !fields.GetBytes(vlen, &value)) break;
+
+    std::size_t body_len = 1 + (body_start.size() - 1 - fields.remaining());
+    std::string_view body = body_start.substr(0, body_len);
+    if (Crc32c(body) != stored_crc) {
+      // Torn tail from a crash is expected: truncate. Corruption mid-log
+      // (more records follow) is an error.
+      if (pos + 4 + body_len < data.size()) {
+        return Status(StatusCode::kCorruption,
+                      "log corrupt at offset " + std::to_string(pos));
+      }
+      break;
+    }
+
+    // Value payload offset within the file for residency bookkeeping.
+    std::uint64_t value_offset =
+        pos + 4 + 1 + VarintLen(klen) + VarintLen(vlen) + klen;
+
+    switch (type) {
+      case kRecPut: {
+        dead_bytes_ += ApplyPut(key, value);
+        if (Node* node = FindNode(key)) {
+          node->log_offset = value_offset;
+          node->offset_valid = true;
+        }
+        break;
+      }
+      case kRecRemove: {
+        bool found = false;
+        dead_bytes_ += ApplyRemove(key, &found);
+        break;
+      }
+      case kRecAppend:
+        ApplyAppend(key, value);
+        break;
+      default:
+        return Status(StatusCode::kCorruption,
+                      "unknown log record type " + std::to_string(type));
+    }
+    ++recovered_records_;
+    pos += 4 + body_len;
+    valid_end = pos;
+    log_bytes_ += 4 + body_len;
+  }
+
+  if (valid_end < data.size()) {
+    // Trim torn tail so future appends start at a clean boundary.
+    if (::truncate(options_.path.c_str(),
+                   static_cast<off_t>(valid_end)) != 0) {
+      return Status(StatusCode::kInternal, "cannot truncate torn log tail");
+    }
+    ZHT_WARN << "NoVoHT: trimmed torn log tail at byte " << valid_end;
+  }
+  return Status::Ok();
+}
+
+Status NoVoHT::AppendLogRecord(std::uint8_t type, std::string_view key,
+                               std::string_view value,
+                               std::uint64_t* value_offset) {
+  if (log_fd_ < 0) {
+    if (value_offset) *value_offset = 0;
+    return Status::Ok();
+  }
+  std::size_t offset_in_record = 0;
+  std::string record = EncodeRecord(type, key, value, &offset_in_record);
+  Status status = WriteAll(log_fd_, record);
+  if (!status.ok()) return status;
+  if (value_offset) *value_offset = log_bytes_ + offset_in_record;
+  log_bytes_ += record.size();
+  if (options_.fsync_every_op) ::fdatasync(log_fd_);
+  return Status::Ok();
+}
+
+Result<std::string> NoVoHT::LoadValue(const Node& node) const {
+  if (node.value_len == 0) return std::string();
+  if (read_fd_ < 0) {
+    return Status(StatusCode::kInternal, "no log to load evicted value");
+  }
+  std::string out(node.value_len, '\0');
+  std::size_t done = 0;
+  while (done < out.size()) {
+    ssize_t r = ::pread(read_fd_, out.data() + done, out.size() - done,
+                        static_cast<off_t>(node.log_offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kInternal, "pread of evicted value failed");
+    }
+    if (r == 0) {
+      return Status(StatusCode::kCorruption, "evicted value truncated");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  ++disk_reads_;
+  return out;
+}
+
+Status NoVoHT::EnsureResident(Node* node) {
+  if (node->resident) return Status::Ok();
+  auto value = LoadValue(*node);
+  if (!value.ok()) return value.status();
+  node->value = std::move(*value);
+  node->resident = true;
+  ++resident_values_;
+  return Status::Ok();
+}
+
+void NoVoHT::MaybeEvict(const Node* keep) {
+  if (options_.max_resident_values == 0 || log_fd_ < 0) return;
+  std::uint64_t guard = buckets_.size() + 1;
+  while (resident_values_ > options_.max_resident_values && guard-- > 0) {
+    Node* head = buckets_[evict_cursor_ % buckets_.size()];
+    ++evict_cursor_;
+    for (Node* node = head; node; node = node->next) {
+      if (node == keep || !node->resident) continue;
+      if (!node->offset_valid) {
+        // Append-dirtied value: re-log the full value so a contiguous copy
+        // exists, then evict.
+        std::uint64_t offset = 0;
+        Status status =
+            AppendLogRecord(kRecPut, node->key, node->value, &offset);
+        if (!status.ok()) {
+          ZHT_WARN << "NoVoHT: cannot re-log for eviction: "
+                   << status.ToString();
+          continue;
+        }
+        dead_bytes_ += RecordBytes(node->key, node->value);
+        node->log_offset = offset;
+        node->offset_valid = true;
+      }
+      node->value.clear();
+      node->value.shrink_to_fit();
+      node->resident = false;
+      --resident_values_;
+      ++evictions_;
+      if (resident_values_ <= options_.max_resident_values) return;
+    }
+  }
+}
+
+void NoVoHT::EnforceResidencyCap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeEvict(nullptr);
+}
+
+Status NoVoHT::Put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_entries && entries_ >= options_.max_entries &&
+      FindNode(key) == nullptr) {
+    return Status(StatusCode::kCapacity, "NoVoHT entry cap reached");
+  }
+  std::uint64_t offset = 0;
+  Status status = AppendLogRecord(kRecPut, key, value, &offset);
+  if (!status.ok()) return status;
+  dead_bytes_ += ApplyPut(key, value);
+  Node* node = FindNode(key);
+  if (node && log_fd_ >= 0) {
+    node->log_offset = offset;
+    node->offset_valid = true;
+  }
+  MaybeEvict(node);
+  return MaybeGc();
+}
+
+Result<std::string> NoVoHT::Get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node* node = FindNode(key);
+  if (!node) return Status(StatusCode::kNotFound);
+  if (node->resident) return node->value;
+  // Evicted: serve from the log without re-admitting (scans of cold keys
+  // must not thrash the resident set).
+  return LoadValue(*node);
+}
+
+Status NoVoHT::Remove(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool found = false;
+  // Log first (WAL discipline), then apply; logging a remove of a missing
+  // key would pollute the log, so probe first.
+  if (FindNode(key) == nullptr) return Status(StatusCode::kNotFound);
+  Status status = AppendLogRecord(kRecRemove, key, "");
+  if (!status.ok()) return status;
+  dead_bytes_ += ApplyRemove(key, &found);
+  return MaybeGc();
+}
+
+Status NoVoHT::Append(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_entries && entries_ >= options_.max_entries &&
+      FindNode(key) == nullptr) {
+    return Status(StatusCode::kCapacity, "NoVoHT entry cap reached");
+  }
+  Node* node = FindNode(key);
+  if (node && !node->resident) {
+    Status status = EnsureResident(node);
+    if (!status.ok()) return status;
+  }
+  Status status = AppendLogRecord(kRecAppend, key, value);
+  if (!status.ok()) return status;
+  ApplyAppend(key, value);
+  MaybeEvict(FindNode(key));
+  return MaybeGc();
+}
+
+std::uint64_t NoVoHT::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void NoVoHT::ForEach(
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Node* head : buckets_) {
+    for (Node* node = head; node; node = node->next) {
+      if (node->resident) {
+        fn(node->key, node->value);
+      } else {
+        auto value = LoadValue(*node);
+        fn(node->key, value.ok() ? *value : std::string());
+      }
+    }
+  }
+}
+
+Status NoVoHT::MaybeGc() {
+  if (log_fd_ < 0) return Status::Ok();
+  if (log_bytes_ < options_.gc_min_log_bytes) return Status::Ok();
+  if (static_cast<double>(dead_bytes_) <
+      options_.gc_garbage_ratio * static_cast<double>(log_bytes_)) {
+    return Status::Ok();
+  }
+  return CompactLocked();
+}
+
+Status NoVoHT::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactLocked();
+}
+
+Status NoVoHT::CompactLocked() {
+  if (options_.path.empty()) return Status::Ok();
+  std::string tmp = options_.path + ".compact";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status(StatusCode::kInternal, "cannot open compaction file");
+  }
+  std::string batch;
+  std::uint64_t new_log_bytes = 0;
+  Status failure;
+  for (Node* head : buckets_) {
+    for (Node* node = head; node; node = node->next) {
+      std::string loaded;
+      std::string_view value;
+      if (node->resident) {
+        value = node->value;
+      } else {
+        auto disk = LoadValue(*node);  // old read_fd_ stays valid
+        if (!disk.ok()) {
+          failure = disk.status();
+          break;
+        }
+        loaded = std::move(*disk);
+        value = loaded;
+      }
+      std::size_t offset_in_record = 0;
+      std::string record =
+          EncodeRecord(kRecPut, node->key, value, &offset_in_record);
+      node->log_offset = new_log_bytes + batch.size() + offset_in_record;
+      node->offset_valid = true;
+      batch += record;
+      if (batch.size() > (1u << 20)) {
+        Status status = WriteAll(fd, batch);
+        if (!status.ok()) {
+          failure = status;
+          break;
+        }
+        new_log_bytes += batch.size();
+        batch.clear();
+      }
+    }
+    if (!failure.ok()) break;
+  }
+  if (failure.ok() && !batch.empty()) {
+    Status status = WriteAll(fd, batch);
+    if (!status.ok()) failure = status;
+    new_log_bytes += batch.size();
+  }
+  if (!failure.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return failure;
+  }
+  ::fdatasync(fd);
+  ::close(fd);
+  if (::rename(tmp.c_str(), options_.path.c_str()) != 0) {
+    return Status(StatusCode::kInternal, "compaction rename failed");
+  }
+  if (log_fd_ >= 0) ::close(log_fd_);
+  log_fd_ = ::open(options_.path.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (log_fd_ < 0) {
+    return Status(StatusCode::kInternal, "cannot reopen compacted log");
+  }
+  if (read_fd_ >= 0) ::close(read_fd_);
+  read_fd_ = ::open(options_.path.c_str(), O_RDONLY);
+  if (read_fd_ < 0) {
+    return Status(StatusCode::kInternal, "cannot reopen log for reads");
+  }
+  log_bytes_ = new_log_bytes;
+  dead_bytes_ = 0;
+  ++gc_runs_;
+  return Status::Ok();
+}
+
+NoVoHTStats NoVoHT::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoVoHTStats s;
+  s.entries = entries_;
+  s.buckets = buckets_.size();
+  s.resizes = resizes_;
+  s.gc_runs = gc_runs_;
+  s.log_bytes = log_bytes_;
+  s.dead_bytes = dead_bytes_;
+  s.recovered_records = recovered_records_;
+  s.resident_values = resident_values_;
+  s.evictions = evictions_;
+  s.disk_reads = disk_reads_;
+  return s;
+}
+
+}  // namespace zht

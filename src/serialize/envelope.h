@@ -1,0 +1,75 @@
+// Request/Response envelopes: the messages ZHT sends on the wire. The paper
+// encodes the operation indicator plus the key/value pair with Google
+// Protocol Buffers (§III.G); we encode the same content with our wire codec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace zht {
+
+enum class OpCode : std::uint8_t {
+  kInsert = 1,
+  kLookup = 2,
+  kRemove = 3,
+  kAppend = 4,          // lock-free concurrent value modification (§III.I)
+  kPing = 5,            // liveness probe / failure detection
+  kMembershipPull = 6,  // fetch the current membership table
+  kMembershipPush = 7,  // manager broadcast of an incremental delta
+  kReplicate = 8,       // server→server replication forward
+  kMigrateBegin = 9,    // lock partition on source, start transfer
+  kMigrateData = 10,    // partition payload (batched key/value pairs)
+  kMigrateEnd = 11,     // unlock, ownership switched
+  kJoinRequest = 12,    // new node asks a manager to admit it
+  kDepartRequest = 13,  // planned departure (maintenance)
+  kBroadcast = 14,      // future-work broadcast primitive (§VI), implemented
+  kMigrateOut = 15,     // manager → source server: push a partition away
+  kRepair = 16,         // manager → owner: re-replicate a partition's chain
+  kStats = 17,          // admin: fetch server counters (ops, entries, ...)
+};
+
+std::string_view OpCodeName(OpCode op);
+
+struct Request {
+  OpCode op = OpCode::kPing;
+  std::uint64_t seq = 0;        // client-chosen; echoed in the response
+  std::string key;
+  std::string value;
+  std::uint32_t epoch = 0;      // sender's membership-table epoch
+  std::uint32_t partition = 0;  // explicit partition (migration/replication)
+  std::uint8_t replica_index = 0;  // depth in the replication chain
+  bool server_origin = false;      // server→server traffic
+  std::uint64_t client_id = 0;     // random per-client token; with `seq` it
+                                   // deduplicates retransmitted appends
+                                   // (UDP retries would otherwise double-
+                                   // apply the non-idempotent op)
+
+  std::string Encode() const;
+  static Result<Request> Decode(std::string_view data);
+
+  bool operator==(const Request&) const = default;
+};
+
+struct Response {
+  std::uint64_t seq = 0;
+  std::int32_t status = 0;     // StatusCode::raw()
+  std::string value;           // lookup payload
+  std::uint32_t epoch = 0;     // responder's membership epoch
+  std::string membership;      // serialized table (piggybacked on REDIRECT)
+  std::string redirect_host;   // new owner, when status == kRedirect
+  std::uint16_t redirect_port = 0;
+
+  Status status_as_object() const {
+    return Status(static_cast<StatusCode>(status));
+  }
+  bool ok() const { return status == 0; }
+
+  std::string Encode() const;
+  static Result<Response> Decode(std::string_view data);
+
+  bool operator==(const Response&) const = default;
+};
+
+}  // namespace zht

@@ -1,0 +1,96 @@
+#include "serialize/wire.h"
+
+#include <cstring>
+
+namespace zht::wire {
+
+void Writer::PutVarint(std::uint64_t value) {
+  while (value >= 0x80) {
+    out_->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out_->push_back(static_cast<char>(value));
+}
+
+void Writer::PutFixed64(std::uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out_->append(buf, 8);
+}
+
+void Writer::PutBytes(std::string_view bytes) {
+  out_->append(bytes.data(), bytes.size());
+}
+
+bool Reader::GetVarint(std::uint64_t* value) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (pos_ < data_.size() && shift <= 63) {
+    std::uint8_t byte = static_cast<std::uint8_t>(data_[pos_++]);
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated or overlong
+}
+
+bool Reader::GetFixed64(std::uint64_t* value) {
+  if (remaining() < 8) return false;
+  std::uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(data_[pos_ + i]))
+              << (8 * i);
+  }
+  pos_ += 8;
+  *value = result;
+  return true;
+}
+
+bool Reader::GetBytes(std::size_t n, std::string_view* out) {
+  if (remaining() < n) return false;
+  *out = data_.substr(pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool Reader::GetTag(std::uint32_t* field, WireType* type) {
+  std::uint64_t raw;
+  if (!GetVarint(&raw)) return false;
+  *field = static_cast<std::uint32_t>(raw >> 3);
+  std::uint8_t t = raw & 0x7;
+  if (t != 0 && t != 1 && t != 2) return false;
+  *type = static_cast<WireType>(t);
+  return true;
+}
+
+bool Reader::GetLengthDelimited(std::string_view* out) {
+  std::uint64_t len;
+  if (!GetVarint(&len)) return false;
+  return GetBytes(len, out);
+}
+
+bool Reader::SkipValue(WireType type) {
+  switch (type) {
+    case WireType::kVarint: {
+      std::uint64_t v;
+      return GetVarint(&v);
+    }
+    case WireType::kFixed64: {
+      std::uint64_t v;
+      return GetFixed64(&v);
+    }
+    case WireType::kLengthDelimited: {
+      std::string_view v;
+      return GetLengthDelimited(&v);
+    }
+  }
+  return false;
+}
+
+}  // namespace zht::wire

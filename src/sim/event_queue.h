@@ -1,0 +1,66 @@
+// Discrete-event simulation core. The paper validates ZHT beyond its 8K-node
+// testbed with a PeerSim-based simulator (§IV.E, Figure 11); this engine
+// plays that role here. Virtual time only — no wall-clock anywhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace zht::sim {
+
+class Simulator {
+ public:
+  Nanos now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+
+  // Schedules `fn` at absolute virtual time `at` (>= now).
+  void At(Nanos at, std::function<void()> fn) {
+    queue_.push(Event{at < now_ ? now_ : at, next_seq_++, std::move(fn)});
+  }
+
+  void After(Nanos delay, std::function<void()> fn) {
+    At(now_ + delay, std::move(fn));
+  }
+
+  // Runs one event; returns false when the queue is empty.
+  bool Step() {
+    if (queue_.empty()) return false;
+    // The handler may schedule more events; pop first.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+    return true;
+  }
+
+  // Runs to quiescence (or until `max_events`, a runaway guard).
+  void Run(std::uint64_t max_events = ~0ull) {
+    std::uint64_t budget = max_events;
+    while (budget-- && Step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    Nanos time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace zht::sim

@@ -1,0 +1,277 @@
+#include "sim/kvs_sim.h"
+
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace zht::sim {
+namespace {
+
+struct SimState {
+  const KvsSimParams& params;
+  Simulator& simulator;
+  TorusNetwork network;
+  Rng rng;
+
+  std::uint64_t instances;
+  std::vector<Nanos> busy_until;  // per instance
+
+  // Per-node CPU oversubscription multiplier (server+client threads vs
+  // cores), applied to all software costs on that node.
+  double cpu_slowdown;
+
+  // Stats.
+  std::uint64_t ops_done = 0;
+  Nanos latency_sum = 0;
+  Nanos latency_max = 0;
+  Nanos last_completion = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t hops_sum = 0;
+  std::uint64_t repl_messages = 0;
+  std::uint64_t repl_hops_sum = 0;
+
+  SimState(const KvsSimParams& p, Simulator& s)
+      : params(p), simulator(s), network(p.num_nodes, p.torus), rng(p.seed) {
+    instances =
+        p.num_nodes * static_cast<std::uint64_t>(p.instances_per_node);
+    busy_until.assign(instances, 0);
+    double threads = 2.0 * p.instances_per_node;  // servers + clients
+    double ratio = threads / static_cast<double>(p.cores_per_node);
+    cpu_slowdown =
+        ratio <= 1.0 ? 1.0 : std::pow(ratio, p.contention_exponent);
+  }
+
+  std::uint64_t NodeOf(std::uint64_t instance) const {
+    return instance / params.instances_per_node;
+  }
+
+  Nanos Cpu(Nanos cost) const {
+    return static_cast<Nanos>(static_cast<double>(cost) * cpu_slowdown);
+  }
+
+  Nanos Net(std::uint64_t from_instance, std::uint64_t to_instance,
+            std::uint64_t bytes) {
+    std::uint64_t a = NodeOf(from_instance), b = NodeOf(to_instance);
+    hops_sum += network.Hops(a, b);
+    ++messages;
+    Nanos latency = network.Latency(a, b, bytes);
+    if (cpu_slowdown > 1.0) {
+      // Most of the endpoint base latency is software (IP stack, message
+      // handling) executed on the node's oversubscribed cores; scale that
+      // share with the contention factor (Figure 13's latency growth with
+      // instances/node).
+      Nanos base = a == b ? params.torus.base_latency / 4
+                          : params.torus.base_latency;
+      latency += static_cast<Nanos>((cpu_slowdown - 1.0) * 0.8 *
+                                    static_cast<double>(base));
+    }
+    return latency;
+  }
+
+  // Occupies the instance's single thread starting no earlier than
+  // `arrival` for `work`; returns completion time.
+  Nanos Serve(std::uint64_t instance, Nanos arrival, Nanos work) {
+    Nanos start = std::max(arrival, busy_until[instance]);
+    Nanos end = start + work;
+    busy_until[instance] = end;
+    return end;
+  }
+};
+
+// One client's closed-loop operation sequence.
+class ClientLoop {
+ public:
+  ClientLoop(SimState* state, std::uint64_t client_instance)
+      : state_(state), self_(client_instance) {}
+
+  void Start() { NextOp(); }
+
+ private:
+  void NextOp() {
+    if (ops_issued_ >= state_->params.ops_per_client) return;
+    ++ops_issued_;
+    const Nanos op_start = state_->simulator.now();
+
+    const KvsSimParams& p = state_->params;
+    std::uint64_t target = state_->rng.Below(state_->instances);
+    std::uint64_t req_bytes = p.key_bytes + p.value_bytes + 24;
+    std::uint64_t resp_bytes = 16;
+
+    Nanos depart = op_start + state_->Cpu(p.client_cpu);
+    if (p.protocol == SimProtocol::kZhtTcpNoCache) {
+      // Connection establishment: a handshake round trip plus socket setup
+      // cost on both ends, paid before the request can be sent.
+      depart += state_->Net(self_, target, 64) +
+                state_->Net(target, self_, 64) +
+                state_->Cpu(p.conn_setup_cpu);
+    }
+    if (p.protocol == SimProtocol::kMemcached) {
+      depart += state_->Cpu(p.memcached_extra_cpu) / 2;
+    }
+
+    if (p.protocol == SimProtocol::kCassandra) {
+      RouteCassandra(op_start, depart, target, req_bytes, resp_bytes);
+      return;
+    }
+
+    Nanos arrival = depart + state_->Net(self_, target, req_bytes);
+    state_->simulator.At(arrival, [this, op_start, target, resp_bytes,
+                                   arrival] {
+      ServeAndRespond(op_start, target, arrival, resp_bytes);
+    });
+  }
+
+  void ServeAndRespond(Nanos op_start, std::uint64_t target, Nanos arrival,
+                       std::uint64_t resp_bytes) {
+    const KvsSimParams& p = state_->params;
+    Nanos work = state_->Cpu(p.server_cpu);
+    if (p.protocol != SimProtocol::kMemcached) {
+      work += state_->Cpu(p.disk_write);
+    } else {
+      work += state_->Cpu(p.memcached_extra_cpu) / 2;
+    }
+
+    // Replication (§III.H/J): the single-threaded primary serializes and
+    // sends each replica copy before writing the response; copies apply
+    // asynchronously at the replicas (their threads absorb the work later).
+    int replicas =
+        p.protocol == SimProtocol::kMemcached ? 0 : p.replicas;
+    if (replicas >= static_cast<int>(state_->instances)) {
+      replicas = static_cast<int>(state_->instances) - 1;  // distinct nodes
+    }
+    for (int r = 0; r < replicas; ++r) {
+      work += state_->Cpu(p.forward_cpu);
+    }
+    Nanos end = state_->Serve(target, arrival, work);
+
+    if (replicas > 0) {
+      for (int r = 1; r <= replicas; ++r) {
+        std::uint64_t replica =
+            p.random_replica_placement
+                ? state_->rng.Below(state_->instances)
+                : (target + r) % state_->instances;
+        state_->repl_hops_sum += state_->network.Hops(
+            state_->NodeOf(target), state_->NodeOf(replica));
+        ++state_->repl_messages;
+        Nanos copy_arrival =
+            end + state_->Net(target, replica,
+                              p.key_bytes + p.value_bytes + 24);
+        Nanos replica_work =
+            state_->Cpu(p.server_cpu) + state_->Cpu(p.disk_write);
+        if (r == 1 && p.sync_secondary) {
+          // Strongly consistent secondary: the ack precedes the response.
+          Nanos replica_done =
+              state_->Serve(replica, copy_arrival, replica_work);
+          Nanos ack = replica_done + state_->Net(replica, target, 16);
+          end = std::max(end, ack);
+          state_->busy_until[target] =
+              std::max(state_->busy_until[target], end);
+        } else {
+          state_->simulator.At(copy_arrival, [this, replica, copy_arrival,
+                                              replica_work] {
+            state_->Serve(replica, copy_arrival, replica_work);
+          });
+        }
+      }
+    }
+
+    Nanos back = end + state_->Net(target, self_, resp_bytes);
+    state_->simulator.At(back, [this, op_start, back] {
+      Complete(op_start, back);
+    });
+  }
+
+  // Chord-style multi-hop routing: the coordinator the client contacted
+  // forwards finger by finger until the owner executes.
+  void RouteCassandra(Nanos op_start, Nanos depart, std::uint64_t coordinator,
+                      std::uint64_t req_bytes, std::uint64_t resp_bytes) {
+    const KvsSimParams& p = state_->params;
+    std::uint64_t owner = state_->rng.Below(state_->instances);
+
+    Nanos t = depart + state_->Net(self_, coordinator, req_bytes);
+    std::uint64_t at = coordinator;
+    // Forward along descending powers of two of the remaining distance.
+    while (at != owner) {
+      t = state_->Serve(at, t, state_->Cpu(p.cassandra_hop_cpu));
+      std::uint64_t distance =
+          (owner + state_->instances - at) % state_->instances;
+      std::uint64_t step = std::bit_floor(distance);
+      std::uint64_t next = (at + step) % state_->instances;
+      t += state_->Net(at, next, req_bytes);
+      at = next;
+    }
+    t = state_->Serve(owner, t,
+                      state_->Cpu(p.cassandra_hop_cpu) +
+                          state_->Cpu(p.server_cpu) +
+                          state_->Cpu(p.disk_write));
+    Nanos back = t + state_->Net(owner, self_, resp_bytes);
+    state_->simulator.At(back, [this, op_start, back] {
+      Complete(op_start, back);
+    });
+  }
+
+  void Complete(Nanos op_start, Nanos now) {
+    Nanos latency = now - op_start;
+    ++state_->ops_done;
+    state_->latency_sum += latency;
+    state_->latency_max = std::max(state_->latency_max, latency);
+    state_->last_completion = std::max(state_->last_completion, now);
+    NextOp();
+  }
+
+  SimState* state_;
+  std::uint64_t self_;
+  std::uint32_t ops_issued_ = 0;
+};
+
+}  // namespace
+
+KvsSimResult RunKvsSim(const KvsSimParams& params) {
+  Simulator simulator;
+  SimState state(params, simulator);
+
+  std::vector<std::unique_ptr<ClientLoop>> clients;
+  clients.reserve(state.instances);
+  for (std::uint64_t i = 0; i < state.instances; ++i) {
+    clients.push_back(std::make_unique<ClientLoop>(&state, i));
+  }
+  // Stagger client starts over one mean service time to avoid a lockstep
+  // thundering herd at t=0 (real benchmarks ramp similarly).
+  for (auto& client : clients) {
+    simulator.After(static_cast<Nanos>(state.rng.Below(
+                        static_cast<std::uint64_t>(params.server_cpu) + 1)),
+                    [&client] { client->Start(); });
+  }
+  simulator.Run();
+
+  KvsSimResult result;
+  result.total_ops = state.ops_done;
+  if (state.ops_done > 0) {
+    result.mean_latency_ms =
+        ToMillis(state.latency_sum) / static_cast<double>(state.ops_done);
+    result.max_latency_ms = ToMillis(state.latency_max);
+  }
+  result.makespan_s = ToSeconds(state.last_completion);
+  if (state.last_completion > 0) {
+    result.throughput_ops = static_cast<double>(state.ops_done) /
+                            ToSeconds(state.last_completion);
+  }
+  if (state.messages > 0) {
+    result.mean_hops = static_cast<double>(state.hops_sum) /
+                       static_cast<double>(state.messages);
+  }
+  result.messages = state.messages;
+  if (state.repl_messages > 0) {
+    result.mean_replication_hops =
+        static_cast<double>(state.repl_hops_sum) /
+        static_cast<double>(state.repl_messages);
+  }
+  result.replication_messages = state.repl_messages;
+  return result;
+}
+
+}  // namespace zht::sim

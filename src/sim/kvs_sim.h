@@ -1,0 +1,78 @@
+// Closed-loop key/value-store simulation on the torus network: the model
+// behind the paper's large-scale results (Figures 7, 9, 11, 12, 13, 14).
+//
+// Every node runs `instances_per_node` single-threaded server instances and
+// an equal number of benchmark clients (the paper's 1:1 deployment). Each
+// client issues `ops_per_client` operations sequentially to uniformly
+// random instances (the all-to-all pattern of §IV.A). Latency emerges from
+// endpoint software cost (scaled by core oversubscription), torus hop and
+// rack-crossing delays, per-message wire time, server queueing, and the
+// protocol's extra messages (connection setup, replication forwards,
+// multi-hop routing).
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "sim/torus.h"
+
+namespace zht::sim {
+
+enum class SimProtocol {
+  kZhtTcpCached,   // LRU-cached connections: the headline configuration
+  kZhtTcpNoCache,  // connection establishment on every request
+  kZhtUdp,         // ack-based UDP
+  kMemcached,      // heavier fixed per-op cost, no disk, no replication
+  kCassandra,      // log(N) finger routing + heavier stack
+};
+
+struct KvsSimParams {
+  std::uint64_t num_nodes = 2;
+  std::uint32_t instances_per_node = 1;
+  std::uint32_t ops_per_client = 16;
+  int replicas = 0;
+  bool sync_secondary = false;  // paper's measured config replicates async
+  // §III.H/§VI: replicas default to ring successors, which are also
+  // torus-adjacent ("communicating only with neighbors in close proximity
+  // ... will ensure that replicas consume the least amount of shared
+  // network resources"). Setting this true scatters them randomly — the
+  // topology-unaware ablation.
+  bool random_replica_placement = false;
+  SimProtocol protocol = SimProtocol::kZhtTcpCached;
+
+  TorusParams torus;
+
+  // ---- Endpoint model (defaults calibrated against the paper's BG/P
+  //      numbers; see bench_fig7_latency_bgp for the calibration notes) ---
+  std::uint32_t cores_per_node = 4;      // BG/P: 4-core PowerPC 450
+  double contention_exponent = 1.05;     // oversubscription penalty shape
+  Nanos client_cpu = 30 * kNanosPerMicro;
+  Nanos server_cpu = 40 * kNanosPerMicro;
+  Nanos disk_write = 10 * kNanosPerMicro;   // ramdisk WAL append
+  Nanos forward_cpu = 150 * kNanosPerMicro;  // serialize+send one replica
+  Nanos conn_setup_cpu = 120 * kNanosPerMicro;  // socket setup both ends
+  // Memcached's fixed stack cost (its BG/P latency floor, §IV.C Fig. 7).
+  Nanos memcached_extra_cpu = 650 * kNanosPerMicro;
+  // CassandraLite per-hop handling (JVM/staged pipeline stand-in).
+  Nanos cassandra_hop_cpu = 300 * kNanosPerMicro;
+
+  std::uint64_t key_bytes = 15;    // §IV.A workload
+  std::uint64_t value_bytes = 132;
+  std::uint64_t seed = 20130521;
+};
+
+struct KvsSimResult {
+  std::uint64_t total_ops = 0;
+  double mean_latency_ms = 0;
+  double max_latency_ms = 0;
+  double makespan_s = 0;
+  double throughput_ops = 0;
+  double mean_hops = 0;            // network model diagnostic
+  std::uint64_t messages = 0;      // all messages incl. replication/routing
+  double mean_replication_hops = 0;  // hops of replica-copy messages only
+  std::uint64_t replication_messages = 0;
+};
+
+KvsSimResult RunKvsSim(const KvsSimParams& params);
+
+}  // namespace zht::sim

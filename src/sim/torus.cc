@@ -1,0 +1,82 @@
+#include "sim/torus.h"
+
+#include <cmath>
+
+namespace zht::sim {
+
+TorusNetwork::TorusNetwork(std::uint64_t nodes, TorusParams params)
+    : nodes_(nodes ? nodes : 1), params_(params) {
+  // Near-cubic dims with dx*dy*dz >= nodes, dx <= dy <= dz.
+  double cube = std::cbrt(static_cast<double>(nodes_));
+  dx_ = static_cast<std::uint32_t>(cube);
+  if (dx_ == 0) dx_ = 1;
+  while (static_cast<std::uint64_t>(dx_) * dx_ * dx_ > nodes_ && dx_ > 1) {
+    --dx_;
+  }
+  dy_ = dx_;
+  while (static_cast<std::uint64_t>(dx_) * dy_ * dy_ < nodes_) ++dy_;
+  while (static_cast<std::uint64_t>(dx_) * dy_ * dy_ > nodes_ && dy_ > dx_) {
+    --dy_;
+  }
+  dz_ = dy_;
+  while (static_cast<std::uint64_t>(dx_) * dy_ * dz_ < nodes_) ++dz_;
+}
+
+void TorusNetwork::Coordinates(std::uint64_t node, std::uint32_t* x,
+                               std::uint32_t* y, std::uint32_t* z) const {
+  *x = static_cast<std::uint32_t>(node % dx_);
+  *y = static_cast<std::uint32_t>((node / dx_) % dy_);
+  *z = static_cast<std::uint32_t>(node / (static_cast<std::uint64_t>(dx_) *
+                                          dy_));
+}
+
+std::uint32_t TorusNetwork::AxisDistance(std::uint32_t a, std::uint32_t b,
+                                         std::uint32_t dim) {
+  std::uint32_t d = a > b ? a - b : b - a;
+  return d < dim - d ? d : dim - d;  // wraparound
+}
+
+std::uint32_t TorusNetwork::Hops(std::uint64_t from, std::uint64_t to) const {
+  if (from == to) return 0;
+  std::uint32_t x1, y1, z1, x2, y2, z2;
+  Coordinates(from, &x1, &y1, &z1);
+  Coordinates(to, &x2, &y2, &z2);
+  std::uint32_t hops = AxisDistance(x1, x2, dx_) +
+                       AxisDistance(y1, y2, dy_) +
+                       AxisDistance(z1, z2, dz_);
+  return hops == 0 ? 1 : hops;  // distinct nodes are ≥ 1 hop apart
+}
+
+std::uint32_t TorusNetwork::RackCrossings(std::uint64_t from,
+                                          std::uint64_t to) const {
+  std::uint64_t rack_a = from / params_.rack_size;
+  std::uint64_t rack_b = to / params_.rack_size;
+  if (rack_a == rack_b) return 0;
+  std::uint64_t racks =
+      (nodes_ + params_.rack_size - 1) / params_.rack_size;
+  std::uint64_t d = rack_a > rack_b ? rack_a - rack_b : rack_b - rack_a;
+  std::uint64_t wrapped = racks - d;
+  return static_cast<std::uint32_t>(d < wrapped ? d : wrapped);
+}
+
+Nanos TorusNetwork::Latency(std::uint64_t from, std::uint64_t to,
+                            std::uint64_t bytes) const {
+  if (from == to) {
+    // Loopback within the node: software cost only.
+    return params_.base_latency / 4;
+  }
+  Nanos wire = static_cast<Nanos>(static_cast<double>(bytes) /
+                                  params_.bytes_per_nano);
+  return params_.base_latency + params_.per_hop * Hops(from, to) +
+         params_.rack_crossing * RackCrossings(from, to) + wire;
+}
+
+double TorusNetwork::MeanHops() const {
+  auto mean_axis = [](std::uint32_t d) {
+    return d <= 1 ? 0.0 : static_cast<double>(d) / 4.0;
+  };
+  double mean = mean_axis(dx_) + mean_axis(dy_) + mean_axis(dz_);
+  return mean < 1.0 ? 1.0 : mean;
+}
+
+}  // namespace zht::sim

@@ -1,0 +1,63 @@
+// 3D-torus network model after the IBM Blue Gene/P interconnect the paper
+// measured on (§IV.C: "the Blue Gene/P network ... is a 3D Torus network,
+// which does multi-hop routing ... one rack has 1024 nodes, any larger
+// scale will involve more than one rack").
+//
+// Nodes are laid out on a near-cubic 3D grid with wraparound links;
+// message latency = wire base + per-hop router cost × Manhattan-torus hop
+// count + size/bandwidth + an extra penalty per rack boundary crossed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace zht::sim {
+
+// Calibrated against the paper's anchor points: ~0.6 ms round trip at
+// 2 nodes, ~1.1 ms at 8K nodes (Fig. 7), ~7 ms at 1M nodes (Fig. 11's
+// simulation, "8% efficiency implies about 7 ms").
+struct TorusParams {
+  Nanos base_latency = 435 * kNanosPerMicro;   // endpoint NIC/software cost
+  Nanos per_hop = 5 * kNanosPerMicro;          // router traversal
+  double bytes_per_nano = 0.425;                // ≈ 425 MB/s per link (BG/P)
+  std::uint32_t rack_size = 1024;               // nodes per rack
+  Nanos rack_crossing = 10 * kNanosPerMicro;     // per rack-ring hop
+};
+
+class TorusNetwork {
+ public:
+  explicit TorusNetwork(std::uint64_t nodes, TorusParams params = {});
+
+  std::uint64_t nodes() const { return nodes_; }
+  std::uint32_t dim_x() const { return dx_; }
+  std::uint32_t dim_y() const { return dy_; }
+  std::uint32_t dim_z() const { return dz_; }
+
+  // Manhattan distance on the torus (each axis wraps).
+  std::uint32_t Hops(std::uint64_t from, std::uint64_t to) const;
+
+  // Racks are contiguous id blocks of rack_size nodes cabled in a ring;
+  // returns the wraparound rack distance (0 within one rack).
+  std::uint32_t RackCrossings(std::uint64_t from, std::uint64_t to) const;
+
+  // One-way latency for a message of `bytes`.
+  Nanos Latency(std::uint64_t from, std::uint64_t to,
+                std::uint64_t bytes) const;
+
+  // Average hop count for uniformly random endpoint pairs (closed form:
+  // sum over axes of d/4, the mean wrap-around distance).
+  double MeanHops() const;
+
+ private:
+  void Coordinates(std::uint64_t node, std::uint32_t* x, std::uint32_t* y,
+                   std::uint32_t* z) const;
+  static std::uint32_t AxisDistance(std::uint32_t a, std::uint32_t b,
+                                    std::uint32_t dim);
+
+  std::uint64_t nodes_;
+  TorusParams params_;
+  std::uint32_t dx_, dy_, dz_;
+};
+
+}  // namespace zht::sim

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cassandra_lite.h"
+#include "baselines/memcached_lite.h"
+#include "common/rng.h"
+#include "hashing/hash_functions.h"
+#include "net/loopback.h"
+
+namespace zht {
+namespace {
+
+// ---- MemcachedLite ----------------------------------------------------
+
+class MemcachedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) {
+      servers_.push_back(std::make_unique<MemcachedLiteServer>());
+      addresses_.push_back(network_.Register(servers_.back()->AsHandler()));
+    }
+    transport_ = std::make_unique<LoopbackTransport>(&network_);
+    client_ = std::make_unique<MemcachedLiteClient>(addresses_,
+                                                    transport_.get());
+  }
+
+  LoopbackNetwork network_;
+  std::vector<std::unique_ptr<MemcachedLiteServer>> servers_;
+  std::vector<NodeAddress> addresses_;
+  std::unique_ptr<LoopbackTransport> transport_;
+  std::unique_ptr<MemcachedLiteClient> client_;
+};
+
+TEST_F(MemcachedTest, SetGetDelete) {
+  EXPECT_TRUE(client_->Set("key", "value").ok());
+  EXPECT_EQ(client_->Get("key").value(), "value");
+  EXPECT_TRUE(client_->Delete("key").ok());
+  EXPECT_EQ(client_->Get("key").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MemcachedTest, ShardingSpreadsKeys) {
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(client_->Set(rng.AsciiString(15), "v").ok());
+  }
+  for (const auto& server : servers_) {
+    EXPECT_GT(server->ops(), 0u);
+  }
+}
+
+TEST_F(MemcachedTest, KeySizeLimitEnforced) {
+  std::string long_key(kMemcachedMaxKey + 1, 'k');
+  EXPECT_EQ(client_->Set(long_key, "v").code(), StatusCode::kCapacity);
+}
+
+TEST_F(MemcachedTest, ValueSizeLimitEnforced) {
+  std::string big(kMemcachedMaxValue + 1, 'v');
+  EXPECT_EQ(client_->Set("k", big).code(), StatusCode::kCapacity);
+}
+
+TEST_F(MemcachedTest, NoAppendSupport) {
+  MemcachedLiteServer server;
+  Request request;
+  request.op = OpCode::kAppend;
+  request.key = "k";
+  request.value = "v";
+  Response resp = server.Handle(std::move(request));
+  EXPECT_EQ(resp.status_as_object().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(MemcachedTest, StableShardPerKey) {
+  ASSERT_TRUE(client_->Set("stable", "1").ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(client_->Get("stable").value(), "1");
+  }
+}
+
+// ---- CassandraLite ----------------------------------------------------
+
+class CassandraTest : public ::testing::TestWithParam<int> {
+ protected:
+  struct Slot {
+    RequestHandler handler;
+  };
+
+  void BuildRing(std::uint32_t size, int rf) {
+    // Pre-assign addresses so nodes know the full ring up front.
+    std::vector<NodeAddress> ring;
+    slots_.clear();
+    nodes_.clear();
+    for (std::uint32_t i = 0; i < size; ++i) {
+      auto slot = std::make_shared<Slot>();
+      ring.push_back(network_.Register([slot](Request&& req) {
+        return slot->handler(std::move(req));
+      }));
+      slots_.push_back(slot);
+    }
+    ring_ = ring;
+    transport_ = std::make_unique<LoopbackTransport>(&network_);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      CassandraLiteOptions options;
+      options.self = i;
+      options.ring_size = size;
+      options.replication_factor = rf;
+      nodes_.push_back(std::make_unique<CassandraLiteNode>(options, ring,
+                                                           transport_.get()));
+      slots_[i]->handler = nodes_.back()->AsHandler();
+    }
+    client_ = std::make_unique<CassandraLiteClient>(ring, transport_.get());
+  }
+
+  LoopbackNetwork network_;
+  std::vector<std::shared_ptr<Slot>> slots_;
+  std::vector<NodeAddress> ring_;
+  std::unique_ptr<LoopbackTransport> transport_;
+  std::vector<std::unique_ptr<CassandraLiteNode>> nodes_;
+  std::unique_ptr<CassandraLiteClient> client_;
+};
+
+TEST_P(CassandraTest, CrudAcrossRing) {
+  BuildRing(static_cast<std::uint32_t>(GetParam()), 1);
+  Rng rng(9);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 200; ++i) {
+    std::string key = rng.AsciiString(15);
+    std::string value = rng.AsciiString(32);
+    ASSERT_TRUE(client_->Put(key, value).ok());
+    model[key] = value;
+  }
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(client_->Get(key).value(), value);
+  }
+  for (const auto& [key, value] : model) {
+    ASSERT_TRUE(client_->Remove(key).ok());
+  }
+  EXPECT_EQ(client_->Get(model.begin()->first).status().code(),
+            StatusCode::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, CassandraTest,
+                         ::testing::Values(1, 2, 5, 16));
+
+TEST_F(CassandraTest, RoutingIsLogarithmic) {
+  BuildRing(64, 1);
+  Rng rng(4);
+  const int kOps = 300;
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(client_->Put(rng.AsciiString(15), "v").ok());
+  }
+  std::uint64_t total_forwards = 0;
+  for (const auto& node : nodes_) total_forwards += node->forwards();
+  double hops_per_op = static_cast<double>(total_forwards) / kOps;
+  // Chord on 64 nodes: expected popcount of a uniform 6-bit distance = 3.
+  EXPECT_GT(hops_per_op, 1.5);
+  EXPECT_LT(hops_per_op, 6.0);
+}
+
+TEST_F(CassandraTest, ZeroHopForOwnedKeys) {
+  BuildRing(1, 1);
+  ASSERT_TRUE(client_->Put("k", "v").ok());
+  EXPECT_EQ(nodes_[0]->forwards(), 0u);
+}
+
+TEST_F(CassandraTest, ReplicationWritesToSuccessors) {
+  BuildRing(4, 3);
+  ASSERT_TRUE(client_->Put("replicated", "v").ok());
+  int holders = 0;
+  for (const auto& node : nodes_) {
+    if (node->executed() > 0) ++holders;
+  }
+  EXPECT_GE(holders, 3);
+}
+
+TEST_F(CassandraTest, ReadRepairHealsDivergedReplica) {
+  BuildRing(4, 2);
+  ASSERT_TRUE(client_->Put("heal", "good").ok());
+  // Find the owner and corrupt its successor by writing directly.
+  std::uint32_t owner = nodes_[0]->OwnerOf(HashKey("heal", HashKind::kFnv1a));
+  std::uint32_t replica = (owner + 1) % 4;
+  Request poison;
+  poison.op = OpCode::kInsert;
+  poison.key = "heal";
+  poison.value = "bad";
+  poison.server_origin = true;  // bypass routing/replication
+  nodes_[replica]->Handle(std::move(poison));
+
+  // A read through the owner triggers repair.
+  EXPECT_EQ(client_->Get("heal").value(), "good");
+  Request probe;
+  probe.op = OpCode::kLookup;
+  probe.key = "heal";
+  probe.server_origin = true;
+  Response after = nodes_[replica]->Handle(std::move(probe));
+  EXPECT_EQ(after.value, "good");
+}
+
+}  // namespace
+}  // namespace zht

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cmpi_lite.h"
+#include "common/rng.h"
+#include "hashing/hash_functions.h"
+#include "net/loopback.h"
+
+namespace zht {
+namespace {
+
+class CmpiTest : public ::testing::TestWithParam<int> {
+ protected:
+  struct Slot {
+    RequestHandler handler;
+  };
+
+  void BuildWorld(std::uint32_t size) {
+    std::vector<NodeAddress> world;
+    for (std::uint32_t i = 0; i < size; ++i) {
+      auto slot = std::make_shared<Slot>();
+      world.push_back(network_.Register(
+          [slot](Request&& req) { return slot->handler(std::move(req)); }));
+      slots_.push_back(slot);
+    }
+    world_ = world;
+    transport_ = std::make_unique<LoopbackTransport>(&network_);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      CmpiLiteOptions options;
+      options.rank = i;
+      options.world_size = size;
+      nodes_.push_back(
+          std::make_unique<CmpiLiteNode>(options, world, transport_.get()));
+      slots_[i]->handler = nodes_.back()->AsHandler();
+    }
+    client_ = std::make_unique<CmpiLiteClient>(world, transport_.get());
+  }
+
+  LoopbackNetwork network_;
+  std::vector<std::shared_ptr<Slot>> slots_;
+  std::vector<NodeAddress> world_;
+  std::unique_ptr<LoopbackTransport> transport_;
+  std::vector<std::unique_ptr<CmpiLiteNode>> nodes_;
+  std::unique_ptr<CmpiLiteClient> client_;
+};
+
+TEST_P(CmpiTest, CrudAcrossWorld) {
+  BuildWorld(static_cast<std::uint32_t>(GetParam()));
+  Rng rng(8);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 150; ++i) {
+    std::string key = rng.AsciiString(15);
+    std::string value = rng.AsciiString(32);
+    ASSERT_TRUE(client_->Put(key, value).ok());
+    model[key] = value;
+  }
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(client_->Get(key).value(), value);
+  }
+  for (const auto& [key, value] : model) {
+    EXPECT_TRUE(client_->Remove(key).ok());
+  }
+  EXPECT_EQ(client_->Get(model.begin()->first).status().code(),
+            StatusCode::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CmpiTest,
+                         ::testing::Values(1, 2, 7, 32));
+
+TEST_F(CmpiTest, RoutingIsLogarithmicInWorldSize) {
+  BuildWorld(64);
+  Rng rng(11);
+  const int kOps = 300;
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(client_->Put(rng.AsciiString(15), "v").ok());
+  }
+  std::uint64_t forwards = 0;
+  for (const auto& node : nodes_) forwards += node->forwards();
+  double hops = static_cast<double>(forwards) / kOps;
+  EXPECT_GT(hops, 1.2);   // definitely not zero-hop
+  EXPECT_LT(hops, 6.5);   // bounded by log2(64)
+}
+
+TEST_F(CmpiTest, EveryHopHalvesTheDistance) {
+  BuildWorld(32);
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uint64_t target = HashKey(rng.AsciiString(15), HashKind::kFnv1a);
+    std::uint32_t owner = nodes_[0]->OwnerOf(target);
+    std::uint32_t at = static_cast<std::uint32_t>(rng.Below(32));
+    int hops = 0;
+    while (at != owner && hops < 64) {
+      std::uint32_t next =
+          nodes_[at]->NextHopTowards(CmpiLiteNode::IdOf(owner));
+      if (next == at) break;  // converged locally
+      std::uint64_t before = CmpiLiteNode::IdOf(at) ^ CmpiLiteNode::IdOf(owner);
+      std::uint64_t after =
+          CmpiLiteNode::IdOf(next) ^ CmpiLiteNode::IdOf(owner);
+      EXPECT_LT(after, before);  // strict XOR progress: no routing loops
+      at = next;
+      ++hops;
+    }
+    EXPECT_LE(hops, 6);  // log2(32) + margin
+  }
+}
+
+TEST_F(CmpiTest, OwnersAgreeAcrossNodes) {
+  BuildWorld(16);
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t hash = rng.Next();
+    std::uint32_t expected = nodes_[0]->OwnerOf(hash);
+    for (const auto& node : nodes_) {
+      EXPECT_EQ(node->OwnerOf(hash), expected);
+    }
+  }
+}
+
+TEST_F(CmpiTest, NoAppendNoPersistence) {
+  BuildWorld(2);
+  Request append;
+  append.op = OpCode::kAppend;
+  append.key = "k";
+  append.value = "v";
+  Response resp = nodes_[0]->Handle(std::move(append));
+  EXPECT_EQ(resp.status_as_object().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(CmpiTest, SingleRankFailureWedgesTheWorld) {
+  // The paper's critique of MPI-based DHTs: one node failure is a
+  // system-wide failure.
+  BuildWorld(8);
+  ASSERT_TRUE(client_->Put("k", "v").ok());
+  for (auto& node : nodes_) node->SetWorldFailed(true);
+  EXPECT_EQ(client_->Get("k").status().code(), StatusCode::kUnavailable);
+  for (auto& node : nodes_) node->SetWorldFailed(false);
+  EXPECT_EQ(client_->Get("k").value(), "v");
+}
+
+}  // namespace
+}  // namespace zht

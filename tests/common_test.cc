@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace zht {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.raw(), 0);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndDetail) {
+  Status status(StatusCode::kNotFound, "missing key");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.raw(), 1);
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing key");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= 12; ++code) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(code)), "UNKNOWN")
+        << "code " << code;
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status(StatusCode::kTimeout));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ClockTest, SystemClockAdvances) {
+  SystemClock& clock = SystemClock::Instance();
+  Nanos a = clock.Now();
+  Nanos b = clock.Now();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, ManualClockControlsTime) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+  clock.Set(10);
+  EXPECT_EQ(clock.Now(), 10);
+}
+
+TEST(ClockTest, StopwatchMeasuresManualTime) {
+  ManualClock clock;
+  Stopwatch watch(clock);
+  clock.Advance(5 * kNanosPerMilli);
+  EXPECT_EQ(watch.Elapsed(), 5 * kNanosPerMilli);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), 5.0);
+}
+
+TEST(ClockTest, UnitConversions) {
+  EXPECT_DOUBLE_EQ(ToMillis(1'500'000), 1.5);
+  EXPECT_DOUBLE_EQ(ToMicros(1'500), 1.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(2'000'000'000), 2.0);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.Between(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, AsciiStringIsPrintableAndSized) {
+  Rng rng(9);
+  std::string s = rng.AsciiString(15);
+  EXPECT_EQ(s.size(), 15u);
+  for (char c : s) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ConfigTest, ParsesTypedValues) {
+  auto config = Config::Parse(
+      "port = 50000\n"
+      "# a comment\n"
+      "replicas=2\n"
+      "ratio = 0.75\n"
+      "persistent = true  # trailing comment\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("port", 0), 50000);
+  EXPECT_EQ(config->GetInt("replicas", 0), 2);
+  EXPECT_DOUBLE_EQ(config->GetDouble("ratio", 0), 0.75);
+  EXPECT_TRUE(config->GetBool("persistent", false));
+}
+
+TEST(ConfigTest, FallbacksApply) {
+  Config config;
+  EXPECT_EQ(config.GetInt("absent", 42), 42);
+  EXPECT_EQ(config.GetString("absent", "x"), "x");
+  EXPECT_FALSE(config.GetBool("absent", false));
+}
+
+TEST(ConfigTest, MalformedLineRejected) {
+  auto config = Config::Parse("no equals sign here\n");
+  EXPECT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigTest, NonNumericIntFallsBack) {
+  auto config = Config::Parse("port = not-a-number\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("port", 99), 99);
+}
+
+TEST(ConfigTest, RoundTrips) {
+  Config config;
+  config.Set("alpha", "1");
+  config.SetInt("beta", 2);
+  auto reparsed = Config::Parse(config.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->GetString("alpha", ""), "1");
+  EXPECT_EQ(reparsed->GetInt("beta", 0), 2);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283 (well-known check value).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "the quick brown fox";
+  std::uint32_t base = Crc32c(data);
+  data[3] ^= 0x01;
+  EXPECT_NE(Crc32c(data), base);
+}
+
+TEST(Crc32Test, EmptyInput) { EXPECT_EQ(Crc32c(""), 0u); }
+
+TEST(LatencyStatsTest, MeanAndPercentiles) {
+  LatencyStats stats;
+  for (int i = 1; i <= 100; ++i) stats.Record(i * kNanosPerMilli);
+  EXPECT_EQ(stats.count(), 100u);
+  EXPECT_DOUBLE_EQ(stats.MeanMillis(), 50.5);
+  EXPECT_EQ(stats.Min(), kNanosPerMilli);
+  EXPECT_EQ(stats.Max(), 100 * kNanosPerMilli);
+  EXPECT_EQ(stats.Percentile(50), 50 * kNanosPerMilli);
+  EXPECT_EQ(stats.Percentile(99), 99 * kNanosPerMilli);
+}
+
+TEST(LatencyStatsTest, MergeCombines) {
+  LatencyStats a, b;
+  a.Record(10);
+  b.Record(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), 30);
+}
+
+TEST(LatencyStatsTest, EmptyIsZero) {
+  LatencyStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.MeanMillis(), 0.0);
+  EXPECT_EQ(stats.Percentile(50), 0);
+}
+
+TEST(ThroughputTest, OpsPerSec) {
+  EXPECT_DOUBLE_EQ(OpsPerSec(1000, kNanosPerSec), 1000.0);
+  EXPECT_DOUBLE_EQ(OpsPerSec(500, kNanosPerSec / 2), 1000.0);
+  EXPECT_DOUBLE_EQ(OpsPerSec(10, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace zht

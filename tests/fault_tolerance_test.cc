@@ -1,0 +1,234 @@
+// Fault-tolerance and durability tests beyond the happy path: lossy
+// networks (dropped messages + retries + append dedup), node churn under
+// load with replication, full-cluster restart recovery from NoVoHT logs,
+// and parameterized sweeps over cluster shapes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "core/local_cluster.h"
+#include "novoht/novoht.h"
+
+namespace zht {
+namespace {
+
+namespace fs = std::filesystem;
+
+ZhtClientOptions RetryingClient() {
+  ZhtClientOptions options;
+  options.max_attempts = 24;
+  options.failure_detector.failures_to_mark_dead = 20;  // retry same node
+  options.failure_detector.initial_backoff = 0;
+  options.sleep_on_backoff = false;
+  return options;
+}
+
+TEST(FaultToleranceTest, LossyNetworkRetriesConverge) {
+  LocalClusterOptions lossy_options;
+  lossy_options.num_instances = 4;
+  auto cluster = LocalCluster::Start(lossy_options);
+  ASSERT_TRUE(cluster.ok());
+  (*cluster)->network().SetDropRate(0.3);
+  auto client = (*cluster)->CreateClient(RetryingClient());
+  Rng rng(12);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 200; ++i) {
+    std::string key = rng.AsciiString(15);
+    std::string value = rng.AsciiString(32);
+    ASSERT_TRUE(client->Insert(key, value).ok()) << i;
+    model[key] = value;
+  }
+  (*cluster)->network().SetDropRate(0.0);
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(client->Lookup(key).value(), value);
+  }
+  EXPECT_GT(client->stats().retries, 0u);
+}
+
+TEST(FaultToleranceTest, AppendExactlyOnceUnderMessageLoss) {
+  // Retries of a lost-RESPONSE append must not double-apply: the request
+  // may have reached the server even though the client saw a timeout.
+  // (Loopback's drop model rejects before delivery, so emulate the
+  // applied-but-unacked case by replaying the identical wire request.)
+  LocalClusterOptions two_options;
+  two_options.num_instances = 2;
+  auto cluster = LocalCluster::Start(two_options);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->CreateClient(RetryingClient());
+  ASSERT_TRUE(client->Append("ledger", "tx1;").ok());
+
+  // Capture-and-replay: identical (client_id, seq) as a transport retry.
+  LoopbackTransport transport(&(*cluster)->network());
+  PartitionId p = client->table().PartitionOfKey("ledger");
+  InstanceId owner = client->table().OwnerOf(p);
+  Request replay;
+  replay.op = OpCode::kAppend;
+  replay.key = "ledger";
+  replay.value = "tx2;";
+  replay.seq = 42;
+  replay.client_id = 777;
+  replay.epoch = client->table().epoch();
+  const NodeAddress& address = client->table().Instance(owner).address;
+  ASSERT_TRUE(transport.Call(address, replay, kNanosPerSec).ok());
+  ASSERT_TRUE(transport.Call(address, replay, kNanosPerSec).ok());  // retry
+  EXPECT_EQ(client->Lookup("ledger").value(), "tx1;tx2;");
+}
+
+TEST(FaultToleranceTest, ChurnUnderLoadLosesNoAckedWrite) {
+  // The paper's failure model: "we assume failed nodes do not recover"
+  // (§III.C). With 2 replicas the cluster must absorb two permanent
+  // failures under continuous writes without losing a single acked write.
+  LocalClusterOptions options;
+  options.num_instances = 6;
+  options.num_replicas = 2;
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+
+  ZhtClientOptions client_options;
+  client_options.max_attempts = 16;
+  client_options.failure_detector.failures_to_mark_dead = 1;
+  client_options.failure_detector.initial_backoff = 0;
+  client_options.sleep_on_backoff = false;
+  auto client = (*cluster)->CreateClient(client_options);
+
+  Rng rng(5);
+  std::map<std::string, std::string> acked;
+  const std::size_t victims[] = {1, 4};  // two permanent failures
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 80; ++i) {
+      std::string key =
+          "r" + std::to_string(round) + "k" + std::to_string(i);
+      std::string value = rng.AsciiString(24);
+      if (i == 30) (*cluster)->KillInstance(victims[round]);
+      if (client->Insert(key, value).ok()) acked[key] = value;
+    }
+    (*cluster)->FlushAllAsyncReplication();
+  }
+
+  int missing = 0;
+  for (const auto& [key, value] : acked) {
+    auto got = client->Lookup(key);
+    if (!got.ok() || *got != value) ++missing;
+  }
+  EXPECT_EQ(missing, 0) << "of " << acked.size() << " acked writes";
+}
+
+TEST(FaultToleranceTest, ClusterRestartRecoversFromNoVoHTLogs) {
+  fs::path dir = fs::path(::testing::TempDir()) / "zht_restart_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto factory = [dir](PartitionId partition) -> std::unique_ptr<KVStore> {
+    NoVoHTOptions options;
+    options.path = (dir / ("p" + std::to_string(partition))).string();
+    auto store = NoVoHT::Open(options);
+    return store.ok() ? std::move(*store) : nullptr;
+  };
+
+  Rng rng(31);
+  std::map<std::string, std::string> model;
+  LocalClusterOptions options;
+  options.num_instances = 3;
+  options.num_partitions = 48;  // fixed: same layout across "restarts"
+  options.store_factory = factory;
+  {
+    auto cluster = LocalCluster::Start(options);
+    ASSERT_TRUE(cluster.ok());
+    auto client = (*cluster)->CreateClient();
+    for (int i = 0; i < 200; ++i) {
+      std::string key = rng.AsciiString(15);
+      std::string value = rng.AsciiString(40);
+      ASSERT_TRUE(client->Insert(key, value).ok());
+      model[key] = value;
+    }
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(client->Append("journal", "e" + std::to_string(i)).ok());
+    }
+  }  // whole cluster torn down (maintenance/reboot, §III.H)
+
+  // A fresh cluster over the same data directory: "the entire state of
+  // ZHT could be loaded from local persistent storage".
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->CreateClient();
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(client->Lookup(key).value(), value) << key;
+  }
+  auto journal = client->Lookup("journal");
+  ASSERT_TRUE(journal.ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(journal->find("e" + std::to_string(i)), std::string::npos);
+  }
+  fs::remove_all(dir);
+}
+
+// Parameterized sweep: the basic contract holds across cluster shapes.
+struct ShapeParam {
+  std::uint32_t instances;
+  std::uint32_t instances_per_node;
+  int replicas;
+  std::uint64_t seed;
+};
+
+class ClusterShapeTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(ClusterShapeTest, CrudModelEquivalence) {
+  const ShapeParam& param = GetParam();
+  LocalClusterOptions options;
+  options.num_instances = param.instances;
+  options.instances_per_node = param.instances_per_node;
+  options.num_replicas = param.replicas;
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->CreateClient();
+
+  Rng rng(param.seed);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 400; ++i) {
+    std::string key = "s" + std::to_string(rng.Below(80));
+    double dice = rng.NextDouble();
+    if (dice < 0.45) {
+      std::string value = rng.AsciiString(20);
+      ASSERT_TRUE(client->Insert(key, value).ok());
+      model[key] = value;
+    } else if (dice < 0.65) {
+      std::string extra = rng.AsciiString(6);
+      ASSERT_TRUE(client->Append(key, extra).ok());
+      model[key] += extra;
+    } else if (dice < 0.85) {
+      Status status = client->Remove(key);
+      if (model.erase(key)) {
+        EXPECT_TRUE(status.ok());
+      } else {
+        EXPECT_EQ(status.code(), StatusCode::kNotFound);
+      }
+    } else {
+      auto got = client->Lookup(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+      } else {
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+  }
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(client->Lookup(key).value(), value);
+  }
+  (*cluster)->FlushAllAsyncReplication();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterShapeTest,
+    ::testing::Values(ShapeParam{1, 1, 0, 1}, ShapeParam{2, 1, 1, 2},
+                      ShapeParam{4, 2, 1, 3}, ShapeParam{8, 1, 2, 4},
+                      ShapeParam{9, 3, 2, 5}, ShapeParam{16, 4, 3, 6}),
+    [](const auto& info) {
+      return "i" + std::to_string(info.param.instances) + "n" +
+             std::to_string(info.param.instances_per_node) + "r" +
+             std::to_string(info.param.replicas);
+    });
+
+}  // namespace
+}  // namespace zht

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/local_cluster.h"
+#include "fusionfs/file_io.h"
+
+namespace zht::fusionfs {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LocalClusterOptions options;
+    options.num_instances = 4;
+    auto cluster = LocalCluster::Start(options);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(*cluster);
+    client_ = std::make_unique<ClientHandle>(cluster_->CreateClient());
+    metadata_ = std::make_unique<MetadataService>(client_->get());
+    ASSERT_TRUE(metadata_->Format().ok());
+    FileIoOptions io_options;
+    io_options.block_size = 256;  // small blocks exercise boundaries
+    io_ = std::make_unique<FileIo>(metadata_.get(), client_->get(),
+                                   io_options);
+  }
+
+  void Create(const std::string& path) {
+    FileMetadata meta;
+    ASSERT_TRUE(metadata_->CreateFile(path, meta).ok());
+  }
+
+  std::unique_ptr<LocalCluster> cluster_;
+  std::unique_ptr<ClientHandle> client_;
+  std::unique_ptr<MetadataService> metadata_;
+  std::unique_ptr<FileIo> io_;
+};
+
+TEST_F(FileIoTest, WriteReadSmall) {
+  Create("/f");
+  ASSERT_TRUE(io_->Write("/f", 0, "hello world").ok());
+  EXPECT_EQ(io_->ReadAll("/f").value(), "hello world");
+  EXPECT_EQ(metadata_->Stat("/f")->size, 11u);
+}
+
+TEST_F(FileIoTest, MultiBlockRoundTrip) {
+  Create("/big");
+  Rng rng(1);
+  std::string data = rng.AsciiString(5000);  // ~20 blocks of 256
+  ASSERT_TRUE(io_->Write("/big", 0, data).ok());
+  EXPECT_EQ(io_->ReadAll("/big").value(), data);
+  EXPECT_EQ(metadata_->Stat("/big")->size, 5000u);
+}
+
+TEST_F(FileIoTest, PartialReadsAtArbitraryOffsets) {
+  Create("/r");
+  Rng rng(2);
+  std::string data = rng.AsciiString(3000);
+  ASSERT_TRUE(io_->Write("/r", 0, data).ok());
+  for (std::uint64_t offset : {0ull, 1ull, 255ull, 256ull, 257ull, 1024ull,
+                               2999ull}) {
+    for (std::size_t length : {1ul, 100ul, 256ul, 1000ul}) {
+      auto got = io_->Read("/r", offset, length);
+      ASSERT_TRUE(got.ok());
+      std::size_t expected =
+          std::min<std::size_t>(length, data.size() - offset);
+      EXPECT_EQ(*got, data.substr(offset, expected));
+    }
+  }
+  EXPECT_EQ(io_->Read("/r", 5000, 10).value(), "");  // past EOF
+}
+
+TEST_F(FileIoTest, OverwriteMiddle) {
+  Create("/o");
+  ASSERT_TRUE(io_->Write("/o", 0, std::string(1000, 'a')).ok());
+  ASSERT_TRUE(io_->Write("/o", 300, "XYZ").ok());
+  std::string expected(1000, 'a');
+  expected.replace(300, 3, "XYZ");
+  EXPECT_EQ(io_->ReadAll("/o").value(), expected);
+  EXPECT_EQ(metadata_->Stat("/o")->size, 1000u);  // unchanged
+}
+
+TEST_F(FileIoTest, SparseGapReadsAsZeros) {
+  Create("/sparse");
+  ASSERT_TRUE(io_->Write("/sparse", 1000, "tail").ok());
+  auto all = io_->ReadAll("/sparse");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1004u);
+  EXPECT_EQ(all->substr(0, 1000), std::string(1000, '\0'));
+  EXPECT_EQ(all->substr(1000), "tail");
+}
+
+TEST_F(FileIoTest, TruncateShrinkAndGrow) {
+  Create("/t");
+  Rng rng(3);
+  std::string data = rng.AsciiString(1000);
+  ASSERT_TRUE(io_->Write("/t", 0, data).ok());
+  ASSERT_TRUE(io_->Truncate("/t", 300).ok());
+  EXPECT_EQ(io_->ReadAll("/t").value(), data.substr(0, 300));
+  // Re-grow: truncated region must be zeros, not resurrected bytes.
+  ASSERT_TRUE(io_->Truncate("/t", 600).ok());
+  auto regrown = io_->ReadAll("/t");
+  ASSERT_TRUE(regrown.ok());
+  EXPECT_EQ(regrown->substr(0, 300), data.substr(0, 300));
+  EXPECT_EQ(regrown->substr(300), std::string(300, '\0'));
+}
+
+TEST_F(FileIoTest, DeleteRemovesBlocksAndMetadata) {
+  Create("/d");
+  ASSERT_TRUE(io_->Write("/d", 0, std::string(1000, 'x')).ok());
+  ASSERT_TRUE(io_->Delete("/d").ok());
+  EXPECT_EQ(metadata_->Stat("/d").status().code(), StatusCode::kNotFound);
+  // Blocks gone from the DHT.
+  EXPECT_EQ((*client_)->Lookup("b:/d:0").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ((*client_)->Lookup("b:/d:3").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FileIoTest, DirectoryIoRejected) {
+  ASSERT_TRUE(metadata_->MkDir("/dir").ok());
+  EXPECT_EQ(io_->Write("/dir", 0, "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(io_->Read("/dir", 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(io_->Truncate("/dir", 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FileIoTest, MissingFileRejected) {
+  EXPECT_EQ(io_->Write("/ghost", 0, "x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(io_->Read("/ghost", 0, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FileIoTest, RandomWriteReadFuzz) {
+  Create("/fuzz");
+  Rng rng(42);
+  std::string model;
+  for (int op = 0; op < 120; ++op) {
+    std::uint64_t offset = rng.Below(2000);
+    std::string chunk = rng.AsciiString(1 + rng.Below(400));
+    ASSERT_TRUE(io_->Write("/fuzz", offset, chunk).ok());
+    if (model.size() < offset + chunk.size()) {
+      model.resize(offset + chunk.size(), '\0');
+    }
+    model.replace(static_cast<std::size_t>(offset), chunk.size(), chunk);
+  }
+  EXPECT_EQ(io_->ReadAll("/fuzz").value(), model);
+}
+
+}  // namespace
+}  // namespace zht::fusionfs

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/local_cluster.h"
+#include "fusionfs/metadata.h"
+
+namespace zht::fusionfs {
+namespace {
+
+class FusionFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LocalClusterOptions options;
+    options.num_instances = 4;
+    auto cluster = LocalCluster::Start(options);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(*cluster);
+    client_ = std::make_unique<ClientHandle>(cluster_->CreateClient());
+    service_ = std::make_unique<MetadataService>(client_->get());
+    ASSERT_TRUE(service_->Format().ok());
+  }
+
+  std::unique_ptr<LocalCluster> cluster_;
+  std::unique_ptr<ClientHandle> client_;
+  std::unique_ptr<MetadataService> service_;
+};
+
+TEST(FileMetadataTest, RoundTrip) {
+  FileMetadata meta;
+  meta.is_dir = true;
+  meta.size = 123456789;
+  meta.mode = 0755;
+  meta.ctime = -5;
+  meta.mtime = 42;
+  meta.home_node = 7;
+  auto decoded = FileMetadata::Decode(meta.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, meta);
+}
+
+TEST(PathHelpersTest, ParentAndBase) {
+  EXPECT_EQ(MetadataService::ParentOf("/a/b/c"), "/a/b");
+  EXPECT_EQ(MetadataService::ParentOf("/a"), "/");
+  EXPECT_EQ(MetadataService::ParentOf("/"), "/");
+  EXPECT_EQ(MetadataService::BaseNameOf("/a/b/c"), "c");
+  EXPECT_EQ(MetadataService::BaseNameOf("/a"), "a");
+}
+
+TEST_F(FusionFsTest, CreateStatUnlink) {
+  FileMetadata meta;
+  meta.size = 100;
+  meta.home_node = 3;
+  ASSERT_TRUE(service_->CreateFile("/data.bin", meta).ok());
+  auto stat = service_->Stat("/data.bin");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->size, 100u);
+  EXPECT_EQ(stat->home_node, 3u);
+  EXPECT_FALSE(stat->is_dir);
+  ASSERT_TRUE(service_->Unlink("/data.bin").ok());
+  EXPECT_EQ(service_->Stat("/data.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FusionFsTest, CreateRequiresParent) {
+  FileMetadata meta;
+  EXPECT_EQ(service_->CreateFile("/no/such/dir/file", meta).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FusionFsTest, DirectoriesNest) {
+  ASSERT_TRUE(service_->MkDir("/home").ok());
+  ASSERT_TRUE(service_->MkDir("/home/alice").ok());
+  FileMetadata meta;
+  ASSERT_TRUE(service_->CreateFile("/home/alice/notes.txt", meta).ok());
+  auto listing = service_->ReadDir("/home/alice");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(*listing, std::vector<std::string>{"notes.txt"});
+  auto root = service_->ReadDir("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, std::vector<std::string>{"home"});
+}
+
+TEST_F(FusionFsTest, ReadDirFoldsTombstones) {
+  FileMetadata meta;
+  ASSERT_TRUE(service_->CreateFile("/a", meta).ok());
+  ASSERT_TRUE(service_->CreateFile("/b", meta).ok());
+  ASSERT_TRUE(service_->CreateFile("/c", meta).ok());
+  ASSERT_TRUE(service_->Unlink("/b").ok());
+  auto listing = service_->ReadDir("/");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(*listing, (std::vector<std::string>{"a", "c"}));
+}
+
+TEST_F(FusionFsTest, RmDirOnlyWhenEmpty) {
+  ASSERT_TRUE(service_->MkDir("/tmp").ok());
+  FileMetadata meta;
+  ASSERT_TRUE(service_->CreateFile("/tmp/f", meta).ok());
+  EXPECT_EQ(service_->RmDir("/tmp").code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(service_->Unlink("/tmp/f").ok());
+  EXPECT_TRUE(service_->RmDir("/tmp").ok());
+  EXPECT_EQ(service_->Stat("/tmp").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FusionFsTest, RenameMovesAcrossDirectories) {
+  ASSERT_TRUE(service_->MkDir("/src").ok());
+  ASSERT_TRUE(service_->MkDir("/dst").ok());
+  FileMetadata meta;
+  meta.size = 7;
+  ASSERT_TRUE(service_->CreateFile("/src/f", meta).ok());
+  ASSERT_TRUE(service_->Rename("/src/f", "/dst/g").ok());
+  EXPECT_EQ(service_->Stat("/src/f").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service_->Stat("/dst/g").value().size, 7u);
+  EXPECT_TRUE(service_->ReadDir("/src")->empty());
+  EXPECT_EQ(*service_->ReadDir("/dst"), std::vector<std::string>{"g"});
+}
+
+TEST_F(FusionFsTest, UpdateMetadata) {
+  FileMetadata meta;
+  meta.size = 1;
+  ASSERT_TRUE(service_->CreateFile("/grow", meta).ok());
+  meta.size = 4096;
+  meta.mtime = 99;
+  ASSERT_TRUE(service_->Update("/grow", meta).ok());
+  EXPECT_EQ(service_->Stat("/grow")->size, 4096u);
+  EXPECT_EQ(service_->Update("/ghost", meta).code(), StatusCode::kNotFound);
+}
+
+TEST_F(FusionFsTest, InvalidNamesRejected) {
+  FileMetadata meta;
+  EXPECT_EQ(service_->CreateFile("/bad;name", meta).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The paper's marquee scenario (§III.I): many clients creating files in
+// ONE directory concurrently, no distributed lock, nothing lost.
+TEST_F(FusionFsTest, ConcurrentCreatesInOneDirectory) {
+  ASSERT_TRUE(service_->MkDir("/shared").ok());
+  constexpr int kThreads = 4;
+  constexpr int kFilesPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      auto client = cluster_->CreateClient();
+      MetadataService service(client.get());
+      for (int i = 0; i < kFilesPerThread; ++i) {
+        FileMetadata meta;
+        std::string path = "/shared/f" + std::to_string(t) + "_" +
+                           std::to_string(i);
+        ASSERT_TRUE(service.CreateFile(path, meta).ok()) << path;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  auto listing = service_->ReadDir("/shared");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(),
+            static_cast<std::size_t>(kThreads * kFilesPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kFilesPerThread; ++i) {
+      EXPECT_TRUE(service_
+                      ->Stat("/shared/f" + std::to_string(t) + "_" +
+                             std::to_string(i))
+                      .ok());
+    }
+  }
+}
+
+TEST(GpfsModelTest, MatchesPaperAnchors) {
+  GpfsModel model;
+  // ~5 ms uncontended; 393 ms at 512 nodes many-dir; 2449 ms one-dir.
+  EXPECT_NEAR(model.ManyDirMsPerOp(1), 5.4, 1.0);
+  EXPECT_NEAR(model.ManyDirMsPerOp(512), 393.0, 100.0);
+  EXPECT_NEAR(model.OneDirMsPerOp(512), 2449.0, 300.0);
+  // §III.I: 63 s per op at 16K processors in one directory.
+  EXPECT_NEAR(model.OneDirMsPerOp(16384) / 1000.0, 63.0, 20.0);
+  // Saturation comes early (4-32 cores): doubling clients past it nearly
+  // doubles per-op time.
+  double r = model.ManyDirMsPerOp(64) / model.ManyDirMsPerOp(32);
+  EXPECT_GT(r, 1.5);
+}
+
+}  // namespace
+}  // namespace zht::fusionfs

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "hashing/hash_functions.h"
+#include "hashing/hash_quality.h"
+#include "hashing/partition_space.h"
+
+namespace zht {
+namespace {
+
+TEST(Fnv1aTest, KnownVectors32) {
+  // Published FNV-1a 32-bit test vectors.
+  EXPECT_EQ(Fnv1a32(""), 0x811c9dc5u);
+  EXPECT_EQ(Fnv1a32("a"), 0xe40c292cu);
+  EXPECT_EQ(Fnv1a32("foobar"), 0xbf9cf968u);
+}
+
+TEST(Fnv1aTest, KnownVectors64) {
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(JenkinsTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(Jenkins32("hello"), Jenkins32("hello"));
+  EXPECT_NE(Jenkins32("hello", 0), Jenkins32("hello", 1));
+  EXPECT_EQ(Jenkins64("hello", 7), Jenkins64("hello", 7));
+  EXPECT_NE(Jenkins64("hello", 7), Jenkins64("hello", 8));
+}
+
+TEST(JenkinsTest, HandlesAllLengths) {
+  // Exercise every tail length of the 12-byte block loop.
+  std::string s;
+  std::set<std::uint32_t> hashes;
+  for (int i = 0; i < 40; ++i) {
+    hashes.insert(Jenkins32(s));
+    s.push_back(static_cast<char>('a' + (i % 26)));
+  }
+  EXPECT_EQ(hashes.size(), 40u);  // all distinct
+}
+
+TEST(OneAtATimeTest, Deterministic) {
+  EXPECT_EQ(OneAtATime32("key"), OneAtATime32("key"));
+  EXPECT_NE(OneAtATime32("key1"), OneAtATime32("key2"));
+}
+
+TEST(HashKeyTest, DispatchesAllKinds) {
+  for (HashKind kind :
+       {HashKind::kFnv1a, HashKind::kJenkins, HashKind::kOneAtATime}) {
+    EXPECT_EQ(HashKey("abc", kind), HashKey("abc", kind));
+    EXPECT_NE(HashKey("abc", kind), HashKey("abd", kind));
+  }
+}
+
+TEST(Mix64Test, Bijective) {
+  // Distinct inputs must produce distinct outputs on a sample.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+class HashQualityTest : public ::testing::TestWithParam<HashKind> {
+ protected:
+  std::vector<std::string> MakeKeys(std::size_t count, std::size_t length) {
+    Rng rng(42);
+    std::vector<std::string> keys;
+    keys.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      keys.push_back(rng.AsciiString(length));
+    }
+    return keys;
+  }
+};
+
+// §III.E property 2: distribute signatures uniformly.
+TEST_P(HashQualityTest, UniformDistribution) {
+  auto keys = MakeKeys(20000, 15);
+  double chi2 = ChiSquared(keys, 256, GetParam());
+  // For 255 dof, chi2 above ~350 would be wildly non-uniform.
+  EXPECT_LT(chi2, 350.0);
+  EXPECT_GT(chi2, 150.0);  // suspiciously perfect would also be a bug
+}
+
+// §III.E property 3: avalanche effect.
+TEST_P(HashQualityTest, Avalanche) {
+  auto keys = MakeKeys(300, 15);
+  double score = AvalancheScore(keys, GetParam());
+  EXPECT_GT(score, 0.45);
+  EXPECT_LT(score, 0.55);
+}
+
+// §III.E property 4: detect permutations on data order.
+TEST_P(HashQualityTest, PermutationSensitivity) {
+  auto keys = MakeKeys(200, 15);
+  EXPECT_DOUBLE_EQ(PermutationSensitivity(keys, GetParam()), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHashes, HashQualityTest,
+                         ::testing::Values(HashKind::kFnv1a,
+                                           HashKind::kJenkins,
+                                           HashKind::kOneAtATime),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case HashKind::kFnv1a: return "Fnv1a";
+                             case HashKind::kJenkins: return "Jenkins";
+                             case HashKind::kOneAtATime: return "OneAtATime";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(PartitionSpaceTest, CoversWholeSpace) {
+  PartitionSpace space(7);
+  EXPECT_EQ(space.PartitionOfHash(0), 0u);
+  EXPECT_EQ(space.PartitionOfHash(~0ull), 6u);
+}
+
+TEST(PartitionSpaceTest, RangesArePartition) {
+  PartitionSpace space(5);
+  // Every partition's range maps back to that partition; boundaries abut.
+  for (PartitionId p = 0; p < 5; ++p) {
+    std::uint64_t begin = space.RangeBegin(p);
+    EXPECT_EQ(space.PartitionOfHash(begin), p);
+    if (p > 0) {
+      EXPECT_EQ(space.PartitionOfHash(begin - 1), p - 1);
+    }
+  }
+  EXPECT_EQ(space.RangeBegin(0), 0u);
+  EXPECT_EQ(space.RangeEnd(4), 0u);  // wraps
+}
+
+TEST(PartitionSpaceTest, SinglePartitionOwnsEverything) {
+  PartitionSpace space(1);
+  EXPECT_EQ(space.PartitionOfKey("anything"), 0u);
+  EXPECT_EQ(space.PartitionOfHash(0x123456789abcdefull), 0u);
+}
+
+TEST(PartitionSpaceTest, KeysSpreadAcrossPartitions) {
+  PartitionSpace space(64);
+  Rng rng(5);
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < 6400; ++i) {
+    ++counts[space.PartitionOfKey(rng.AsciiString(15))];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 30) << "partition starved";
+    EXPECT_LT(c, 300) << "partition overloaded";
+  }
+}
+
+TEST(PartitionSpaceTest, StableUnderRepetition) {
+  PartitionSpace space(1024);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(space.PartitionOfKey("fixed-key"),
+              space.PartitionOfKey("fixed-key"));
+  }
+}
+
+// The core zero-hop property: partition of a key never depends on the
+// number of *instances*, only on the fixed partition count.
+TEST(PartitionSpaceTest, PartitionCountIsTheOnlyInput) {
+  PartitionSpace a(128, HashKind::kFnv1a);
+  PartitionSpace b(128, HashKind::kFnv1a);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = rng.AsciiString(15);
+    EXPECT_EQ(a.PartitionOfKey(key), b.PartitionOfKey(key));
+  }
+}
+
+}  // namespace
+}  // namespace zht

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/indexer.h"
+#include "core/local_cluster.h"
+
+namespace zht {
+namespace {
+
+class IndexerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LocalClusterOptions options;
+    options.num_instances = 4;
+    auto cluster = LocalCluster::Start(options);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(*cluster);
+    client_ = std::make_unique<ClientHandle>(cluster_->CreateClient());
+    indexer_ = std::make_unique<Indexer>(client_->get());
+  }
+
+  std::unique_ptr<LocalCluster> cluster_;
+  std::unique_ptr<ClientHandle> client_;
+  std::unique_ptr<Indexer> indexer_;
+};
+
+TEST_F(IndexerTest, PutAndFindByTag) {
+  ASSERT_TRUE(indexer_->PutIndexed("doc1", "contents", {"alpha", "beta"})
+                  .ok());
+  ASSERT_TRUE(indexer_->PutIndexed("doc2", "contents", {"beta"}).ok());
+  EXPECT_EQ(*indexer_->FindByTag("alpha"),
+            std::vector<std::string>{"doc1"});
+  EXPECT_EQ(*indexer_->FindByTag("beta"),
+            (std::vector<std::string>{"doc1", "doc2"}));
+  EXPECT_TRUE(indexer_->FindByTag("gamma")->empty());
+  // The value itself is a normal ZHT pair.
+  EXPECT_EQ((*client_)->Lookup("doc1").value(), "contents");
+}
+
+TEST_F(IndexerTest, RemoveDropsPostings) {
+  ASSERT_TRUE(indexer_->PutIndexed("doc1", "x", {"t"}).ok());
+  ASSERT_TRUE(indexer_->PutIndexed("doc2", "y", {"t"}).ok());
+  ASSERT_TRUE(indexer_->RemoveIndexed("doc1", {"t"}).ok());
+  EXPECT_EQ(*indexer_->FindByTag("t"), std::vector<std::string>{"doc2"});
+  EXPECT_EQ((*client_)->Lookup("doc1").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(IndexerTest, ReindexDoesNotDuplicatePosting) {
+  ASSERT_TRUE(indexer_->PutIndexed("doc", "v1", {"t"}).ok());
+  ASSERT_TRUE(indexer_->PutIndexed("doc", "v2", {"t"}).ok());
+  EXPECT_EQ(indexer_->FindByTag("t")->size(), 1u);
+  EXPECT_EQ((*client_)->Lookup("doc").value(), "v2");
+}
+
+TEST_F(IndexerTest, FindByAllTagsIntersects) {
+  ASSERT_TRUE(indexer_->PutIndexed("a", "", {"x", "y"}).ok());
+  ASSERT_TRUE(indexer_->PutIndexed("b", "", {"x"}).ok());
+  ASSERT_TRUE(indexer_->PutIndexed("c", "", {"x", "y", "z"}).ok());
+  EXPECT_EQ(*indexer_->FindByAllTags({"x", "y"}),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(*indexer_->FindByAllTags({"x", "y", "z"}),
+            std::vector<std::string>{"c"});
+  EXPECT_TRUE(indexer_->FindByAllTags({"x", "missing"})->empty());
+  EXPECT_TRUE(indexer_->FindByAllTags({})->empty());
+}
+
+TEST_F(IndexerTest, InvalidTagsRejected) {
+  EXPECT_FALSE(indexer_->PutIndexed("k", "v", {"bad;tag"}).ok());
+  EXPECT_FALSE(indexer_->PutIndexed("k", "v", {""}).ok());
+  EXPECT_FALSE(indexer_->PutIndexed("bad;key", "v", {"t"}).ok());
+  EXPECT_FALSE(indexer_->FindByTag("no/slash").ok());
+}
+
+TEST_F(IndexerTest, CompactTagShrinksPostingLog) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        indexer_->PutIndexed("doc" + std::to_string(i), "v", {"hot"}).ok());
+  }
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(
+        indexer_->RemoveIndexed("doc" + std::to_string(i), {"hot"}).ok());
+  }
+  std::size_t before = (*client_)->Lookup("tag:hot")->size();
+  ASSERT_TRUE(indexer_->CompactTag("hot").ok());
+  std::size_t after = (*client_)->Lookup("tag:hot")->size();
+  EXPECT_LT(after, before / 3);
+  EXPECT_EQ(indexer_->FindByTag("hot")->size(), 5u);
+}
+
+TEST_F(IndexerTest, CompactEmptyTagRemovesKey) {
+  ASSERT_TRUE(indexer_->PutIndexed("d", "v", {"once"}).ok());
+  ASSERT_TRUE(indexer_->RemoveIndexed("d", {"once"}).ok());
+  ASSERT_TRUE(indexer_->CompactTag("once").ok());
+  EXPECT_EQ((*client_)->Lookup("tag:once").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(IndexerTest, ConcurrentIndexersNoLostPostings) {
+  // The reason append exists: multiple writers extend one posting list
+  // with no distributed lock.
+  constexpr int kThreads = 4;
+  constexpr int kDocsEach = 40;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      auto client = cluster_->CreateClient();
+      Indexer indexer(client.get());
+      for (int i = 0; i < kDocsEach; ++i) {
+        std::string key =
+            "w" + std::to_string(t) + "-doc" + std::to_string(i);
+        ASSERT_TRUE(indexer.PutIndexed(key, "v", {"shared"}).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(indexer_->FindByTag("shared")->size(),
+            static_cast<std::size_t>(kThreads * kDocsEach));
+}
+
+}  // namespace
+}  // namespace zht

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/local_cluster.h"
+#include "istore/gf256.h"
+#include "istore/istore.h"
+#include "istore/reed_solomon.h"
+#include "net/loopback.h"
+
+namespace zht::istore {
+namespace {
+
+// ---- GF(256) ----------------------------------------------------------
+
+TEST(Gf256Test, FieldAxiomsSampled) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint8_t a = static_cast<std::uint8_t>(rng.Next());
+    std::uint8_t b = static_cast<std::uint8_t>(rng.Next());
+    std::uint8_t c = static_cast<std::uint8_t>(rng.Next());
+    // Commutativity and associativity of multiplication.
+    EXPECT_EQ(Gf256::Mul(a, b), Gf256::Mul(b, a));
+    EXPECT_EQ(Gf256::Mul(a, Gf256::Mul(b, c)),
+              Gf256::Mul(Gf256::Mul(a, b), c));
+    // Distributivity over addition (xor).
+    EXPECT_EQ(Gf256::Mul(a, Gf256::Add(b, c)),
+              Gf256::Add(Gf256::Mul(a, b), Gf256::Mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, MultiplicativeInverse) {
+  for (int a = 1; a < 256; ++a) {
+    std::uint8_t inv = Gf256::Inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(Gf256::Mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+  }
+}
+
+TEST(Gf256Test, DivisionInvertsMultiplication) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint8_t a = static_cast<std::uint8_t>(rng.Next());
+    std::uint8_t b = static_cast<std::uint8_t>(rng.Next() | 1);
+    EXPECT_EQ(Gf256::Div(Gf256::Mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256Test, PowMatchesRepeatedMul) {
+  std::uint8_t acc = 1;
+  for (std::uint32_t e = 0; e < 300; ++e) {
+    EXPECT_EQ(Gf256::Pow(3, e), acc) << e;
+    acc = Gf256::Mul(acc, 3);
+  }
+}
+
+TEST(GfMatrixTest, InverseRoundTrip) {
+  Rng rng(3);
+  GfMatrix m(5, 5);
+  // Random matrices over GF(256) are almost surely invertible; retry if not.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    for (std::size_t r = 0; r < 5; ++r) {
+      for (std::size_t c = 0; c < 5; ++c) {
+        m.at(r, c) = static_cast<std::uint8_t>(rng.Next());
+      }
+    }
+    auto inv = m.Inverted();
+    if (!inv.ok()) continue;
+    GfMatrix product = m.Multiply(*inv);
+    for (std::size_t r = 0; r < 5; ++r) {
+      for (std::size_t c = 0; c < 5; ++c) {
+        EXPECT_EQ(product.at(r, c), r == c ? 1 : 0);
+      }
+    }
+    return;
+  }
+  FAIL() << "no invertible matrix in 10 attempts";
+}
+
+TEST(GfMatrixTest, SingularRejected) {
+  GfMatrix zero(3, 3);
+  EXPECT_FALSE(zero.Inverted().ok());
+}
+
+// ---- Reed-Solomon -------------------------------------------------------
+
+class ReedSolomonTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ReedSolomonTest, AnyKChunksReconstruct) {
+  auto [k, n] = GetParam();
+  auto codec = ReedSolomon::Create(k, n);
+  ASSERT_TRUE(codec.ok());
+  Rng rng(17);
+  std::string data = rng.AsciiString(1000 + rng.Below(500));
+  auto chunks = codec->Encode(data);
+  ASSERT_EQ(chunks.size(), static_cast<std::size_t>(n));
+
+  // Try several k-subsets, including all-parity ones.
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<int> ids;
+    std::vector<std::string> subset;
+    // Random distinct k chunk ids.
+    std::vector<int> pool(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+    for (int i = 0; i < k; ++i) {
+      std::size_t pick = rng.Below(pool.size());
+      ids.push_back(pool[pick]);
+      subset.push_back(chunks[static_cast<std::size_t>(pool[pick])]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    auto decoded = codec->Decode(ids, subset, data.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, data) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReedSolomonTest,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(1, 3),
+                      std::make_pair(2, 4), std::make_pair(4, 6),
+                      std::make_pair(6, 8), std::make_pair(10, 14),
+                      std::make_pair(30, 32)));
+
+TEST(ReedSolomonBasicTest, SystematicFirstKChunksAreData) {
+  auto codec = ReedSolomon::Create(3, 5);
+  ASSERT_TRUE(codec.ok());
+  std::string data = "abcdefghi";  // 3 stripes of 3
+  auto chunks = codec->Encode(data);
+  EXPECT_EQ(chunks[0], "abc");
+  EXPECT_EQ(chunks[1], "def");
+  EXPECT_EQ(chunks[2], "ghi");
+}
+
+TEST(ReedSolomonBasicTest, FewerThanKFails) {
+  auto codec = ReedSolomon::Create(3, 5);
+  ASSERT_TRUE(codec.ok());
+  auto chunks = codec->Encode("hello world!");
+  auto decoded = codec->Decode({0, 1}, {chunks[0], chunks[1]}, 12);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ReedSolomonBasicTest, PaddingTrimmedExactly) {
+  auto codec = ReedSolomon::Create(4, 6);
+  ASSERT_TRUE(codec.ok());
+  std::string data = "xyz";  // much smaller than k
+  auto chunks = codec->Encode(data);
+  auto decoded = codec->Decode({2, 3, 4, 5},
+                               {chunks[2], chunks[3], chunks[4], chunks[5]},
+                               data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomonBasicTest, InvalidParamsRejected) {
+  EXPECT_FALSE(ReedSolomon::Create(0, 4).ok());
+  EXPECT_FALSE(ReedSolomon::Create(5, 4).ok());
+  EXPECT_FALSE(ReedSolomon::Create(1, 300).ok());
+}
+
+// ---- IStore end-to-end ---------------------------------------------------
+
+class IStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LocalClusterOptions options;
+    options.num_instances = 4;
+    auto cluster = LocalCluster::Start(options);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(*cluster);
+    client_ = std::make_unique<ClientHandle>(cluster_->CreateClient());
+
+    for (int i = 0; i < 8; ++i) {
+      chunk_servers_.push_back(std::make_unique<ChunkServer>());
+      chunk_addresses_.push_back(
+          chunk_network_.Register(chunk_servers_.back()->AsHandler()));
+    }
+    chunk_transport_ = std::make_unique<LoopbackTransport>(&chunk_network_);
+    store_ = std::make_unique<IStore>(client_->get(), chunk_addresses_,
+                                      chunk_transport_.get());
+  }
+
+  std::unique_ptr<LocalCluster> cluster_;
+  std::unique_ptr<ClientHandle> client_;
+  LoopbackNetwork chunk_network_;
+  std::vector<std::unique_ptr<ChunkServer>> chunk_servers_;
+  std::vector<NodeAddress> chunk_addresses_;
+  std::unique_ptr<LoopbackTransport> chunk_transport_;
+  std::unique_ptr<IStore> store_;
+};
+
+TEST_F(IStoreTest, PutGetRoundTrip) {
+  Rng rng(5);
+  std::string data = rng.AsciiString(10000);
+  ASSERT_TRUE(store_->Put("obj1", data).ok());
+  auto back = store_->Get("obj1");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(IStoreTest, ChunksAreDispersedAcrossAllNodes) {
+  ASSERT_TRUE(store_->Put("spread", std::string(4096, 'x')).ok());
+  for (const auto& server : chunk_servers_) {
+    EXPECT_EQ(server->chunks_stored(), 1u);
+  }
+}
+
+TEST_F(IStoreTest, SurvivesParityManyFailures) {
+  Rng rng(6);
+  std::string data = rng.AsciiString(5000);
+  ASSERT_TRUE(store_->Put("resilient", data).ok());
+  // Default parity = 2: kill two chunk servers.
+  chunk_network_.SetDown(chunk_addresses_[0], true);
+  chunk_network_.SetDown(chunk_addresses_[3], true);
+  auto back = store_->Get("resilient");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(IStoreTest, TooManyFailuresUnrecoverable) {
+  ASSERT_TRUE(store_->Put("lost", "precious data").ok());
+  for (int i = 0; i < 3; ++i) {
+    chunk_network_.SetDown(chunk_addresses_[static_cast<std::size_t>(i)],
+                           true);
+  }
+  EXPECT_FALSE(store_->Get("lost").ok());
+}
+
+TEST_F(IStoreTest, DeleteRemovesChunksAndMetadata) {
+  ASSERT_TRUE(store_->Put("temp", std::string(1000, 'y')).ok());
+  ASSERT_TRUE(store_->Delete("temp").ok());
+  EXPECT_EQ(store_->Get("temp").status().code(), StatusCode::kNotFound);
+  for (const auto& server : chunk_servers_) {
+    EXPECT_EQ(server->chunks_stored(), 0u);
+  }
+}
+
+TEST_F(IStoreTest, ManifestRoundTrip) {
+  ObjectManifest m;
+  m.k = 6;
+  m.n = 8;
+  m.size = 123456;
+  m.chunk_nodes = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto decoded = ObjectManifest::Decode(m.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST_F(IStoreTest, SurvivesMetadataNodeFailureWithReplication) {
+  // Full-stack failure test: the ZHT cluster holding the manifests runs
+  // with replication; killing the manifest's primary must not lose the
+  // object (chunk servers are all healthy).
+  LocalClusterOptions options;
+  options.num_instances = 4;
+  options.num_replicas = 1;
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  ZhtClientOptions client_options;
+  client_options.failure_detector.failures_to_mark_dead = 1;
+  client_options.failure_detector.initial_backoff = 0;
+  client_options.sleep_on_backoff = false;
+  auto metadata_client = (*cluster)->CreateClient(client_options);
+  IStore store(metadata_client.get(), chunk_addresses_,
+               chunk_transport_.get());
+
+  ASSERT_TRUE(store.Put("critical", "object-bytes").ok());
+  (*cluster)->FlushAllAsyncReplication();
+
+  PartitionId p = metadata_client->table().PartitionOfKey("i:critical");
+  InstanceId owner = metadata_client->table().OwnerOf(p);
+  (*cluster)->KillInstance(owner);
+
+  auto back = store.Get("critical");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, "object-bytes");
+}
+
+TEST_F(IStoreTest, MetadataLivesInZht) {
+  ASSERT_TRUE(store_->Put("meta-check", "data").ok());
+  auto raw = (*client_)->Lookup("i:meta-check");
+  ASSERT_TRUE(raw.ok());
+  auto manifest = ObjectManifest::Decode(*raw);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->n, 8);
+  EXPECT_EQ(manifest->k, 6);
+  EXPECT_GE(store_->metadata_ops(), 1u);
+}
+
+}  // namespace
+}  // namespace zht::istore

@@ -1,0 +1,169 @@
+// Direct unit tests of the Manager: join admission mechanics, departure
+// edge cases, failure idempotency, delta broadcast to instances and peer
+// managers, and the network entry points (JoinRequest/DepartRequest).
+#include <gtest/gtest.h>
+
+#include "core/local_cluster.h"
+#include "core/manager.h"
+
+namespace zht {
+namespace {
+
+TEST(ManagerTest, FailureHandlingIsIdempotent) {
+  LocalClusterOptions options;
+  options.num_instances = 4;
+  options.num_replicas = 1;
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  Manager* manager = (*cluster)->manager(0);
+  ASSERT_TRUE(manager->HandleFailure(2).ok());
+  std::uint32_t epoch = manager->TableSnapshot().epoch();
+  ASSERT_TRUE(manager->HandleFailure(2).ok());  // second report: no-op
+  EXPECT_EQ(manager->TableSnapshot().epoch(), epoch);
+  EXPECT_EQ(manager->stats().failures_handled, 1u);
+}
+
+TEST(ManagerTest, FailureRejectsUnknownInstance) {
+  LocalClusterOptions two_options;
+  two_options.num_instances = 2;
+  auto cluster = LocalCluster::Start(two_options);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ((*cluster)->manager(0)->HandleFailure(99).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*cluster)->manager(0)->Depart(99).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ManagerTest, BroadcastReachesPeerManagers) {
+  LocalClusterOptions options;
+  options.num_instances = 4;  // 4 physical nodes → 4 managers
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  Manager* m0 = (*cluster)->manager(0);
+  ASSERT_TRUE(m0->HandleFailure(3).ok());
+  // Every other manager learned the death through the broadcast.
+  for (std::size_t node = 1; node < (*cluster)->manager_count(); ++node) {
+    MembershipTable table = (*cluster)->manager(node)->TableSnapshot();
+    EXPECT_FALSE(table.Instance(3).alive) << "manager " << node;
+    EXPECT_EQ(table.epoch(), m0->TableSnapshot().epoch());
+  }
+  // And every surviving server.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE((*cluster)->server(i)->table().Instance(3).alive);
+  }
+}
+
+TEST(ManagerTest, AnyManagerCanAdmitAJoin) {
+  LocalClusterOptions options;
+  options.num_instances = 4;
+  options.instances_per_node = 2;  // 2 managers
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->CreateClient();
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(client->Insert("j" + std::to_string(i), "v").ok());
+  }
+  // Join through manager 1 (not 0).
+  auto joined = (*cluster)->JoinNewInstance(/*via_node=*/1);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  // Manager 0 learned about it via peer broadcast.
+  MembershipTable table = (*cluster)->manager(0)->TableSnapshot();
+  EXPECT_EQ(table.instance_count(), 5u);
+  EXPECT_GT(table.PartitionsOf(*joined).size(), 0u);
+  for (int i = 0; i < 80; ++i) {
+    EXPECT_TRUE(client->Lookup("j" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(ManagerTest, JoinRequestOverTheWire) {
+  // Exercise the kJoinRequest network entry rather than AdmitJoin directly.
+  LocalClusterOptions options;
+  options.num_instances = 2;
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+
+  // Stand up a fresh empty server reachable on the loopback network.
+  auto transport =
+      std::make_unique<LoopbackTransport>(&(*cluster)->network());
+  ZhtServerOptions server_options;
+  server_options.self = 2;
+  ZhtServer fresh(MembershipTable((*cluster)->TableSnapshot().num_partitions(),
+                                  HashKind::kFnv1a),
+                  server_options, transport.get());
+  NodeAddress address = (*cluster)->network().Register(fresh.AsHandler());
+
+  Request join;
+  join.op = OpCode::kJoinRequest;
+  join.seq = 1;
+  join.key = address.ToString();
+  join.value = "7";  // physical node id
+  LoopbackTransport caller(&(*cluster)->network());
+  auto resp = caller.Call((*cluster)->manager_address(0), join,
+                          2 * kNanosPerSec);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok()) << resp->status_as_object().ToString();
+  EXPECT_EQ(resp->value, "2");  // admitted instance id
+  // The response carries the full membership for the joiner's client side.
+  auto table = MembershipTable::DecodeFull(resp->membership);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->instance_count(), 3u);
+  EXPECT_EQ(table->Instance(2).physical_node, 7u);
+  // The fresh server received partitions and a pushed table.
+  EXPECT_GT(fresh.table().instance_count(), 0u);
+}
+
+TEST(ManagerTest, DepartRequestOverTheWire) {
+  LocalClusterOptions options;
+  options.num_instances = 3;
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->CreateClient();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(client->Insert("d" + std::to_string(i), "v").ok());
+  }
+  Request depart;
+  depart.op = OpCode::kDepartRequest;
+  depart.seq = 1;
+  depart.key = "1";
+  depart.value = "planned";
+  LoopbackTransport caller(&(*cluster)->network());
+  auto resp = caller.Call((*cluster)->manager_address(0), depart,
+                          2 * kNanosPerSec);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok());
+  MembershipTable table = (*cluster)->manager(0)->TableSnapshot();
+  EXPECT_TRUE(table.PartitionsOf(1).empty());
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(client->Lookup("d" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(ManagerTest, DepartLastInstanceRefused) {
+  LocalClusterOptions one_options;
+  one_options.num_instances = 1;
+  auto cluster = LocalCluster::Start(one_options);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ((*cluster)->manager(0)->Depart(0).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(ManagerTest, MembershipPullFromManager) {
+  LocalClusterOptions three_options;
+  three_options.num_instances = 3;
+  auto cluster = LocalCluster::Start(three_options);
+  ASSERT_TRUE(cluster.ok());
+  Request pull;
+  pull.op = OpCode::kMembershipPull;
+  pull.seq = 5;
+  pull.epoch = 0;
+  LoopbackTransport caller(&(*cluster)->network());
+  auto resp = caller.Call((*cluster)->manager_address(0), pull,
+                          2 * kNanosPerSec);
+  ASSERT_TRUE(resp.ok());
+  auto table = MembershipTable::DecodeFull(resp->membership);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->instance_count(), 3u);
+}
+
+}  // namespace
+}  // namespace zht

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/local_cluster.h"
+#include "matrix/matrix_live.h"
+#include "matrix/matrix_sim.h"
+#include "matrix/work_stealing.h"
+
+namespace zht::matrix {
+namespace {
+
+// ---- WorkStealingQueue --------------------------------------------------
+
+TEST(WorkStealingQueueTest, LifoOwnerFifoThief) {
+  WorkStealingQueue<int> queue;
+  for (int i = 1; i <= 4; ++i) queue.Push(i);
+  EXPECT_EQ(queue.Pop().value(), 4);  // owner pops newest
+  auto stolen = queue.StealHalf();
+  ASSERT_EQ(stolen.size(), 2u);  // ceil(3/2)
+  EXPECT_EQ(stolen[0], 1);       // thief takes oldest
+  EXPECT_EQ(stolen[1], 2);
+  EXPECT_EQ(queue.Pop().value(), 3);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(WorkStealingQueueTest, MinToStealRespected) {
+  WorkStealingQueue<int> queue;
+  queue.Push(1);
+  EXPECT_TRUE(queue.StealHalf(/*min_to_steal=*/2).empty());
+  EXPECT_EQ(queue.Size(), 1u);
+  EXPECT_EQ(queue.StealHalf(/*min_to_steal=*/1).size(), 1u);
+}
+
+TEST(WorkStealingQueueTest, PushBatchKeepsOrder) {
+  WorkStealingQueue<int> queue;
+  queue.PushBatch({1, 2, 3});
+  EXPECT_EQ(queue.Pop().value(), 3);
+  EXPECT_EQ(queue.Pop().value(), 2);
+}
+
+// ---- MATRIX simulation ----------------------------------------------------
+
+TEST(MatrixSimTest, AllTasksComplete) {
+  MatrixSimParams params;
+  params.executors = 16;
+  params.num_tasks = 1000;
+  auto result = RunMatrixSim(params);
+  EXPECT_GT(result.throughput_tasks_s, 0);
+  EXPECT_EQ(result.zht_status_ops, 2000u);
+}
+
+TEST(MatrixSimTest, Deterministic) {
+  MatrixSimParams params;
+  params.executors = 32;
+  params.num_tasks = 2000;
+  auto a = RunMatrixSim(params);
+  auto b = RunMatrixSim(params);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.steal_attempts, b.steal_attempts);
+}
+
+TEST(MatrixSimTest, ThroughputGrowsWithCoresThenSubmissionBound) {
+  // Figure 18's MATRIX curve: growth 256→2048 cores, flattening near the
+  // client submission cap (~5K tasks/s).
+  MatrixSimParams params;
+  params.num_tasks = 20000;
+  params.executors = 256;
+  double t256 = RunMatrixSim(params).throughput_tasks_s;
+  params.executors = 1024;
+  double t1024 = RunMatrixSim(params).throughput_tasks_s;
+  params.executors = 2048;
+  double t2048 = RunMatrixSim(params).throughput_tasks_s;
+  EXPECT_NEAR(t256, 1100, 220);    // paper: ~1100 tasks/s at 256 cores
+  EXPECT_GT(t1024, 3.5 * t256);    // near-linear growth
+  EXPECT_NEAR(t2048, 4900, 900);   // paper: ~4900 tasks/s at 2048 cores
+}
+
+TEST(MatrixSimTest, UnbalancedSubmissionRedistributedByStealing) {
+  MatrixSimParams params;
+  params.executors = 32;
+  params.num_tasks = 3000;
+  params.balanced_submission = false;  // everything lands on executor 0
+  params.task_duration = 50 * kNanosPerMilli;
+  params.per_task_overhead = kNanosPerMilli;
+  auto result = RunMatrixSim(params);
+  EXPECT_GT(result.successful_steals, 10u);
+  EXPECT_GT(result.tasks_stolen, 100u);
+  // Work stealing must beat the serial bound by a wide margin.
+  double serial_s = 3000 * 0.051;
+  EXPECT_LT(result.makespan_s, serial_s / 8);
+}
+
+TEST(MatrixSimTest, SleepTaskEfficiencyMatchesPaper) {
+  // Figure 19: MATRIX averages 92%-97% for 1-8 s tasks.
+  for (double d : {1.0, 8.0}) {
+    MatrixSimParams params;
+    params.executors = 1024;
+    params.num_tasks = 20000;
+    params.task_duration = static_cast<Nanos>(d * kNanosPerSec);
+    params.per_task_overhead = 80 * kNanosPerMilli;
+    auto result = RunMatrixSim(params);
+    // (the 20K-task run pays a visible submission tail at 1024 cores; the
+    // paper's 100K-task runs amortize it — the bench uses the full count)
+    EXPECT_GT(result.efficiency, 0.88) << d;
+    EXPECT_LE(result.efficiency, 1.0) << d;
+  }
+}
+
+TEST(FalkonSimTest, CentralDispatcherSaturates) {
+  // Figure 18: Falkon saturates near 1700 tasks/s regardless of scale.
+  FalkonSimParams params;
+  params.num_tasks = 20000;
+  params.poll_interval = 250 * kNanosPerMilli;
+  params.executors = 256;
+  double t256 = RunFalkonSim(params).throughput_tasks_s;
+  params.executors = 2048;
+  double t2048 = RunFalkonSim(params).throughput_tasks_s;
+  EXPECT_NEAR(t256, 1700, 400);
+  EXPECT_NEAR(t2048, 1700, 400);  // no growth: central bottleneck
+}
+
+TEST(FalkonSimTest, EfficiencyFarBelowMatrix) {
+  // Figure 19: Falkon 18% (1 s tasks) rising with granularity but staying
+  // well under MATRIX.
+  FalkonSimParams falkon;
+  falkon.executors = 1024;
+  falkon.num_tasks = 10000;
+  falkon.task_duration = kNanosPerSec;
+  double falkon_eff = RunFalkonSim(falkon).efficiency;
+
+  MatrixSimParams matrix;
+  matrix.executors = 1024;
+  matrix.num_tasks = 10000;
+  matrix.task_duration = kNanosPerSec;
+  matrix.per_task_overhead = 80 * kNanosPerMilli;
+  double matrix_eff = RunMatrixSim(matrix).efficiency;
+
+  EXPECT_LT(falkon_eff, 0.4);
+  EXPECT_GT(matrix_eff, 2.0 * falkon_eff);
+}
+
+TEST(FalkonSimTest, EfficiencyGrowsWithTaskDuration) {
+  FalkonSimParams params;
+  params.executors = 512;
+  params.num_tasks = 5000;
+  double prev = 0;
+  for (double d : {1.0, 2.0, 4.0, 8.0}) {
+    params.task_duration = static_cast<Nanos>(d * kNanosPerSec);
+    double eff = RunFalkonSim(params).efficiency;
+    EXPECT_GT(eff, prev);
+    prev = eff;
+  }
+}
+
+// ---- Live MATRIX ----------------------------------------------------------
+
+TEST(LiveMatrixTest, RunsTasksAndRecordsStatusInZht) {
+  LocalClusterOptions cluster_options;
+  cluster_options.num_instances = 2;
+  auto cluster = LocalCluster::Start(cluster_options);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->CreateClient();
+
+  std::atomic<int> executed{0};
+  {
+    LiveMatrixOptions options;
+    options.executors = 4;
+    LiveMatrix engine(options, client.get());
+    for (int i = 0; i < 100; ++i) {
+      engine.Submit(LiveTask{static_cast<std::uint64_t>(i),
+                             [&executed] { ++executed; }});
+    }
+    engine.WaitAll();
+    EXPECT_EQ(engine.completed(), 100u);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(engine.TaskStatus(static_cast<std::uint64_t>(i)).value(),
+                "done")
+          << i;
+    }
+  }
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(LiveMatrixTest, StealingBalancesSkewedSubmission) {
+  LiveMatrixOptions options;
+  options.executors = 4;
+  options.record_status = false;
+  LiveMatrix engine(options, nullptr);
+  std::atomic<int> executed{0};
+  // All tasks to executor 0; others must steal.
+  for (int i = 0; i < 200; ++i) {
+    engine.Submit(LiveTask{static_cast<std::uint64_t>(i),
+                           [&executed] {
+                             ++executed;
+                             std::this_thread::sleep_for(
+                                 std::chrono::microseconds(200));
+                           }},
+                  /*executor=*/0);
+  }
+  engine.WaitAll();
+  EXPECT_EQ(executed.load(), 200);
+  EXPECT_GT(engine.steals(), 0u);
+}
+
+TEST(LiveMatrixTest, NoStatusClientStillRuns) {
+  LiveMatrixOptions options;
+  options.executors = 2;
+  LiveMatrix engine(options, nullptr);
+  engine.Submit(LiveTask{1, nullptr});  // NO-OP task
+  engine.WaitAll();
+  EXPECT_EQ(engine.completed(), 1u);
+  EXPECT_FALSE(engine.TaskStatus(1).ok());
+}
+
+}  // namespace
+}  // namespace zht::matrix

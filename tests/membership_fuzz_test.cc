@@ -1,0 +1,119 @@
+// Property tests of membership synchronization: two tables kept in sync
+// through random mutation + delta exchange must converge for any mutation
+// sequence; snapshots taken at any point must equal the source; replica
+// chains stay valid through churn.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "membership/membership_table.h"
+
+namespace zht {
+namespace {
+
+std::vector<NodeAddress> Addresses(int n) {
+  std::vector<NodeAddress> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(NodeAddress{"10.1.0." + std::to_string(i + 1),
+                              static_cast<std::uint16_t>(40000 + i)});
+  }
+  return out;
+}
+
+class MembershipFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MembershipFuzzTest, DeltaSyncConvergesUnderRandomChurn) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  auto source = MembershipTable::CreateUniform(96, Addresses(6));
+  MembershipTable follower = source;
+
+  for (int round = 0; round < 40; ++round) {
+    // Random burst of mutations on the source.
+    int burst = 1 + static_cast<int>(rng.Below(8));
+    for (int m = 0; m < burst; ++m) {
+      double dice = rng.NextDouble();
+      if (dice < 0.55) {
+        source.SetOwner(
+            static_cast<PartitionId>(rng.Below(source.num_partitions())),
+            static_cast<InstanceId>(rng.Below(source.instance_count())));
+      } else if (dice < 0.75 && source.instance_count() < 20) {
+        source.AddInstance(
+            NodeAddress{"10.2.0." + std::to_string(source.instance_count()),
+                        41000},
+            static_cast<std::uint32_t>(source.instance_count()));
+      } else if (dice < 0.9) {
+        source.MarkDead(
+            static_cast<InstanceId>(rng.Below(source.instance_count())));
+      } else {
+        source.MarkAlive(
+            static_cast<InstanceId>(rng.Below(source.instance_count())));
+      }
+    }
+    // Sometimes sync via delta, sometimes skip a round (the follower
+    // falls behind and must catch up across multiple bursts).
+    if (rng.Chance(0.7)) {
+      ASSERT_TRUE(
+          follower.ApplyUpdate(source.EncodeDelta(follower.epoch())).ok());
+      ASSERT_EQ(follower, source) << "round " << round;
+    }
+  }
+  ASSERT_TRUE(
+      follower.ApplyUpdate(source.EncodeDelta(follower.epoch())).ok());
+  EXPECT_EQ(follower, source);
+
+  // Full snapshot equals the delta-built state.
+  auto snapshot = MembershipTable::DecodeFull(source.EncodeFull());
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(*snapshot, source);
+}
+
+TEST_P(MembershipFuzzTest, ReplicaChainsStayValidUnderChurn) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  auto table = MembershipTable::CreateUniform(64, Addresses(8), 2);
+  for (int round = 0; round < 60; ++round) {
+    if (rng.Chance(0.3)) {
+      table.MarkDead(static_cast<InstanceId>(rng.Below(8)));
+    }
+    if (rng.Chance(0.3)) {
+      table.MarkAlive(static_cast<InstanceId>(rng.Below(8)));
+    }
+    if (rng.Chance(0.4)) {
+      table.SetOwner(static_cast<PartitionId>(rng.Below(64)),
+                     static_cast<InstanceId>(rng.Below(8)));
+    }
+    for (PartitionId p = 0; p < 64; p += 7) {
+      auto chain = table.ReplicaChain(p, 2);
+      ASSERT_FALSE(chain.empty());
+      EXPECT_EQ(chain[0], table.OwnerOf(p));
+      // No duplicate instances; successors alive and on distinct nodes.
+      std::set<InstanceId> unique(chain.begin(), chain.end());
+      EXPECT_EQ(unique.size(), chain.size());
+      std::set<std::uint32_t> nodes;
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (i > 0) {
+          EXPECT_TRUE(table.Instance(chain[i]).alive);
+        }
+        nodes.insert(table.Instance(chain[i]).physical_node);
+      }
+      EXPECT_EQ(nodes.size(), chain.size());
+    }
+  }
+}
+
+TEST_P(MembershipFuzzTest, ChangelogTrimmingFallsBackToSnapshot) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto source = MembershipTable::CreateUniform(32, Addresses(4));
+  MembershipTable stale = source;
+  // Push far more changes than the changelog retains.
+  for (int i = 0; i < 6000; ++i) {
+    source.SetOwner(static_cast<PartitionId>(rng.Below(32)),
+                    static_cast<InstanceId>(rng.Below(4)));
+  }
+  std::string update = source.EncodeDelta(stale.epoch());
+  ASSERT_TRUE(stale.ApplyUpdate(update).ok());
+  EXPECT_EQ(stale, source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MembershipFuzzTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace zht

@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "net/epoll_server.h"
+#include "net/framing.h"
+#include "net/loopback.h"
+#include "net/tcp_client.h"
+#include "net/threaded_server.h"
+#include "net/udp_client.h"
+
+namespace zht {
+namespace {
+
+constexpr Nanos kTestTimeout = 2 * kNanosPerSec;
+
+Response EchoHandler(Request&& request) {
+  Response resp;
+  resp.seq = request.seq;
+  resp.value = request.key + "|" + request.value;
+  return resp;
+}
+
+TEST(FramingTest, RoundTrip) {
+  std::string buffer = FrameMessage("hello");
+  bool malformed = false;
+  auto payload = ExtractFrame(buffer, &malformed);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "hello");
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_FALSE(malformed);
+}
+
+TEST(FramingTest, PartialFrameWaits) {
+  std::string full = FrameMessage("payload");
+  std::string buffer = full.substr(0, 6);
+  bool malformed = false;
+  EXPECT_FALSE(ExtractFrame(buffer, &malformed).has_value());
+  EXPECT_FALSE(malformed);
+  buffer += full.substr(6);
+  auto payload = ExtractFrame(buffer, &malformed);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "payload");
+}
+
+TEST(FramingTest, MultipleFramesInOneBuffer) {
+  std::string buffer = FrameMessage("a") + FrameMessage("bb");
+  bool malformed = false;
+  EXPECT_EQ(*ExtractFrame(buffer, &malformed), "a");
+  EXPECT_EQ(*ExtractFrame(buffer, &malformed), "bb");
+  EXPECT_FALSE(ExtractFrame(buffer, &malformed).has_value());
+}
+
+TEST(FramingTest, OversizedFrameMalformed) {
+  std::string buffer = "\xff\xff\xff\xff payload";
+  bool malformed = false;
+  EXPECT_FALSE(ExtractFrame(buffer, &malformed).has_value());
+  EXPECT_TRUE(malformed);
+}
+
+TEST(FramingTest, EmptyPayloadFrame) {
+  std::string buffer = FrameMessage("");
+  bool malformed = false;
+  auto payload = ExtractFrame(buffer, &malformed);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "");
+}
+
+// ---- Loopback --------------------------------------------------------
+
+TEST(LoopbackTest, DeliversToHandler) {
+  LoopbackNetwork network;
+  NodeAddress address = network.Register(EchoHandler);
+  LoopbackTransport transport(&network);
+  Request request;
+  request.op = OpCode::kLookup;
+  request.seq = 5;
+  request.key = "k";
+  request.value = "v";
+  auto response = transport.Call(address, request, kTestTimeout);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->seq, 5u);
+  EXPECT_EQ(response->value, "k|v");
+  EXPECT_EQ(network.delivered(), 1u);
+}
+
+TEST(LoopbackTest, UnknownAddressFails) {
+  LoopbackNetwork network;
+  LoopbackTransport transport(&network);
+  Request request;
+  request.op = OpCode::kPing;
+  auto response =
+      transport.Call(NodeAddress{"loop", 999}, request, kTestTimeout);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kNetwork);
+}
+
+TEST(LoopbackTest, DownNodeTimesOut) {
+  LoopbackNetwork network;
+  NodeAddress address = network.Register(EchoHandler);
+  network.SetDown(address, true);
+  LoopbackTransport transport(&network);
+  Request request;
+  request.op = OpCode::kPing;
+  auto response = transport.Call(address, request, kTestTimeout);
+  EXPECT_EQ(response.status().code(), StatusCode::kTimeout);
+  network.SetDown(address, false);
+  EXPECT_TRUE(transport.Call(address, request, kTestTimeout).ok());
+}
+
+TEST(LoopbackTest, DropRateDropsEverythingAtOne) {
+  LoopbackNetwork network;
+  NodeAddress address = network.Register(EchoHandler);
+  network.SetDropRate(1.0);
+  LoopbackTransport transport(&network);
+  Request request;
+  request.op = OpCode::kPing;
+  EXPECT_EQ(transport.Call(address, request, kTestTimeout).status().code(),
+            StatusCode::kTimeout);
+  network.SetDropRate(0.0);
+  EXPECT_TRUE(transport.Call(address, request, kTestTimeout).ok());
+}
+
+TEST(LoopbackTest, UnregisterRemoves) {
+  LoopbackNetwork network;
+  NodeAddress address = network.Register(EchoHandler);
+  network.Unregister(address);
+  LoopbackTransport transport(&network);
+  Request request;
+  request.op = OpCode::kPing;
+  EXPECT_EQ(transport.Call(address, request, kTestTimeout).status().code(),
+            StatusCode::kNetwork);
+}
+
+// ---- Real sockets -----------------------------------------------------
+
+class EpollServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto server = EpollServer::Create(EpollServerOptions{}, EchoHandler);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  std::unique_ptr<EpollServer> server_;
+};
+
+TEST_F(EpollServerTest, TcpRequestResponse) {
+  TcpClient client;
+  Request request;
+  request.op = OpCode::kInsert;
+  request.seq = 11;
+  request.key = "alpha";
+  request.value = "beta";
+  auto response = client.Call(server_->address(), request, kTestTimeout);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->seq, 11u);
+  EXPECT_EQ(response->value, "alpha|beta");
+  EXPECT_EQ(server_->requests_served(), 1u);
+}
+
+TEST_F(EpollServerTest, ConnectionCacheReusesSocket) {
+  TcpClient client;
+  Request request;
+  request.op = OpCode::kPing;
+  for (int i = 0; i < 10; ++i) {
+    request.seq = static_cast<std::uint64_t>(i + 1);
+    ASSERT_TRUE(client.Call(server_->address(), request, kTestTimeout).ok());
+  }
+  EXPECT_EQ(client.connects(), 1u);
+  EXPECT_EQ(client.cache_hits(), 9u);
+  EXPECT_EQ(server_->connections_accepted(), 1u);
+}
+
+TEST_F(EpollServerTest, NoCacheConnectsEveryCall) {
+  TcpClient client(TcpClientOptions{.cache_connections = false});
+  Request request;
+  request.op = OpCode::kPing;
+  for (int i = 0; i < 5; ++i) {
+    request.seq = static_cast<std::uint64_t>(i + 1);
+    ASSERT_TRUE(client.Call(server_->address(), request, kTestTimeout).ok());
+  }
+  EXPECT_EQ(client.connects(), 5u);
+  EXPECT_EQ(client.cache_hits(), 0u);
+}
+
+TEST_F(EpollServerTest, LargePayloadRoundTrip) {
+  TcpClient client;
+  Request request;
+  request.op = OpCode::kInsert;
+  request.seq = 1;
+  request.key = "big";
+  request.value.assign(2 << 20, 'x');  // 2 MiB crosses many read() calls
+  auto response = client.Call(server_->address(), request, kTestTimeout);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->value.size(), request.value.size() + 4);
+}
+
+TEST_F(EpollServerTest, UdpRequestResponse) {
+  UdpClient client;
+  Request request;
+  request.op = OpCode::kLookup;
+  request.seq = 21;
+  request.key = "u";
+  request.value = "dp";
+  auto response = client.Call(server_->address(), request, kTestTimeout);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->seq, 21u);
+  EXPECT_EQ(response->value, "u|dp");
+}
+
+TEST_F(EpollServerTest, UdpTimesOutAgainstDeadPort) {
+  UdpClient client(UdpClientOptions{.max_attempts = 2,
+                                    .initial_rto = 20 * kNanosPerMilli});
+  Request request;
+  request.op = OpCode::kPing;
+  // Very likely unused port.
+  auto response = client.Call(NodeAddress{"127.0.0.1", 1},
+                              request, 200 * kNanosPerMilli);
+  EXPECT_FALSE(response.ok());
+  EXPECT_GE(client.retransmits(), 1u);
+}
+
+TEST_F(EpollServerTest, TcpConnectRefusedFails) {
+  TcpClient client;
+  Request request;
+  request.op = OpCode::kPing;
+  auto response =
+      client.Call(NodeAddress{"127.0.0.1", 1}, request, kTestTimeout);
+  EXPECT_FALSE(response.ok());
+}
+
+TEST_F(EpollServerTest, ServerSurvivesGarbageBytes) {
+  // Hand-roll a socket sending junk; the server must close it and keep
+  // serving real clients.
+  TcpClient junk_sender(TcpClientOptions{.cache_connections = false});
+  Request ping;
+  ping.op = OpCode::kPing;
+  ping.seq = 1;
+  ASSERT_TRUE(junk_sender.Call(server_->address(), ping, kTestTimeout).ok());
+
+  // Oversized length prefix = malformed stream.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->address().port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char junk[] = "\xff\xff\xff\xff garbage";
+  ASSERT_GT(::write(fd, junk, sizeof(junk)), 0);
+  ::close(fd);
+
+  TcpClient client;
+  ping.seq = 2;
+  EXPECT_TRUE(client.Call(server_->address(), ping, kTestTimeout).ok());
+}
+
+TEST_F(EpollServerTest, StopIsIdempotentAndRestartable) {
+  server_->Stop();
+  server_->Stop();
+  EXPECT_TRUE(server_->Start().ok());
+  TcpClient client;
+  Request ping;
+  ping.op = OpCode::kPing;
+  ping.seq = 3;
+  EXPECT_TRUE(client.Call(server_->address(), ping, kTestTimeout).ok());
+}
+
+TEST(ThreadedServerTest, ServesRequests) {
+  std::atomic<int> served{0};
+  auto server = ThreadedServer::Create(
+      "127.0.0.1", 0, [&served](Request&& request) {
+        ++served;
+        return EchoHandler(std::move(request));
+      });
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  TcpClient client(TcpClientOptions{.cache_connections = false});
+  Request request;
+  request.op = OpCode::kInsert;
+  for (int i = 0; i < 8; ++i) {
+    request.seq = static_cast<std::uint64_t>(i + 1);
+    request.key = "k" + std::to_string(i);
+    auto response = client.Call((*server)->address(), request, kTestTimeout);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  EXPECT_EQ(served.load(), 8);
+  (*server)->Stop();
+}
+
+TEST(EpollStressTest, ManyConcurrentCachedClients) {
+  // One single-threaded epoll loop absorbing several concurrent cached
+  // TCP clients; every request must be answered and counted.
+  auto server = EpollServer::Create(EpollServerOptions{}, EchoHandler);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+
+  constexpr int kThreads = 6;
+  constexpr int kOpsEach = 400;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TcpClient client;
+      Request request;
+      request.op = OpCode::kInsert;
+      for (int i = 0; i < kOpsEach; ++i) {
+        request.seq = static_cast<std::uint64_t>(t) * kOpsEach + i + 1;
+        request.key = "k" + std::to_string(i);
+        request.value = std::string(132, 'v');
+        auto response =
+            client.Call((*server)->address(), request, 5 * kNanosPerSec);
+        if (!response.ok() || response->seq != request.seq) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*server)->requests_served(),
+            static_cast<std::uint64_t>(kThreads) * kOpsEach);
+  EXPECT_EQ((*server)->connections_accepted(),
+            static_cast<std::uint64_t>(kThreads));  // one cached conn each
+}
+
+TEST(TcpClientTest, CacheEvictionClosesOldest) {
+  // Three servers, cache capacity 2: talking to the third evicts the first.
+  std::vector<std::unique_ptr<EpollServer>> servers;
+  for (int i = 0; i < 3; ++i) {
+    auto server = EpollServer::Create(EpollServerOptions{}, EchoHandler);
+    ASSERT_TRUE(server.ok());
+    ASSERT_TRUE((*server)->Start().ok());
+    servers.push_back(std::move(*server));
+  }
+  TcpClient client(TcpClientOptions{.cache_connections = true,
+                                    .cache_capacity = 2});
+  Request ping;
+  ping.op = OpCode::kPing;
+  ping.seq = 1;
+  for (auto& server : servers) {
+    ASSERT_TRUE(client.Call(server->address(), ping, kTestTimeout).ok());
+  }
+  EXPECT_EQ(client.connects(), 3u);
+  // Server 0 was evicted → reconnect; servers 1,2 still cached.
+  ASSERT_TRUE(client.Call(servers[0]->address(), ping, kTestTimeout).ok());
+  EXPECT_EQ(client.connects(), 4u);
+}
+
+TEST(TcpClientTest, StaleCachedConnectionRecovers) {
+  auto server = EpollServer::Create(EpollServerOptions{}, EchoHandler);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  NodeAddress address = (*server)->address();
+
+  TcpClient client;
+  Request ping;
+  ping.op = OpCode::kPing;
+  ping.seq = 1;
+  ASSERT_TRUE(client.Call(address, ping, kTestTimeout).ok());
+
+  // Destroy and restart the server on the same port: the cached socket
+  // goes stale (Stop alone keeps the listen fd; destruction releases it).
+  (*server).reset();
+  EpollServerOptions options;
+  options.port = address.port;
+  auto reborn = EpollServer::Create(options, EchoHandler);
+  ASSERT_TRUE(reborn.ok()) << reborn.status().ToString();
+  ASSERT_TRUE((*reborn)->Start().ok());
+
+  ping.seq = 2;
+  auto response = client.Call(address, ping, kTestTimeout);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+}
+
+}  // namespace
+}  // namespace zht

@@ -1,0 +1,218 @@
+// Tests of NoVoHT's bounded-memory residency (§III.A: "by tuning the
+// number of Key-Value pairs that are allowed [to] stay in memory, users
+// can achieve the balance between performance and memory consumption"):
+// values beyond the cap are evicted and served from the log by offset.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "novoht/novoht.h"
+
+namespace zht {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResidencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("zht_res_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  NoVoHTOptions Options(std::uint64_t cap) {
+    NoVoHTOptions options;
+    options.path = (dir_ / "store.nvt").string();
+    options.max_resident_values = cap;
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ResidencyTest, CapRequiresPersistence) {
+  NoVoHTOptions options;
+  options.max_resident_values = 10;  // no path
+  EXPECT_FALSE(NoVoHT::Open(options).ok());
+}
+
+TEST_F(ResidencyTest, ResidentCountStaysUnderCap) {
+  auto store = NoVoHT::Open(Options(8));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("key" + std::to_string(i), "value" + std::to_string(i))
+            .ok());
+  }
+  auto stats = (*store)->stats();
+  EXPECT_EQ(stats.entries, 100u);
+  EXPECT_LE(stats.resident_values, 8u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST_F(ResidencyTest, EvictedValuesReadBackCorrectly) {
+  auto store = NoVoHT::Open(Options(4));
+  ASSERT_TRUE(store.ok());
+  Rng rng(9);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 50; ++i) {
+    std::string key = "k" + std::to_string(i);
+    std::string value = rng.AsciiString(64);
+    model[key] = value;
+    ASSERT_TRUE((*store)->Put(key, value).ok());
+  }
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ((*store)->Get(key).value(), value) << key;
+  }
+  EXPECT_GT((*store)->stats().disk_reads, 0u);  // cold keys hit the log
+}
+
+TEST_F(ResidencyTest, OverwriteOfEvictedKeyWorks) {
+  auto store = NoVoHT::Open(Options(2));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*store)->Put("k" + std::to_string(i), "old").ok());
+  }
+  // k0 is surely evicted by now; overwrite and read back.
+  ASSERT_TRUE((*store)->Put("k0", "new-value").ok());
+  EXPECT_EQ((*store)->Get("k0").value(), "new-value");
+}
+
+TEST_F(ResidencyTest, AppendToEvictedKeyLoadsThenExtends) {
+  auto store = NoVoHT::Open(Options(2));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("target", "base").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*store)->Put("filler" + std::to_string(i), "x").ok());
+  }
+  ASSERT_TRUE((*store)->Append("target", "+more").ok());
+  EXPECT_EQ((*store)->Get("target").value(), "base+more");
+}
+
+TEST_F(ResidencyTest, AppendDirtyValuesSurviveEviction) {
+  // Appended values are not contiguous in the log; eviction must re-log
+  // them as full puts first.
+  auto store = NoVoHT::Open(Options(3));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*store)->Append("list" + std::to_string(i), "a").ok());
+    ASSERT_TRUE((*store)->Append("list" + std::to_string(i), "b").ok());
+    ASSERT_TRUE((*store)->Append("list" + std::to_string(i), "c").ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE((*store)->Put("evict-fuel" + std::to_string(i), "x").ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*store)->Get("list" + std::to_string(i)).value(), "abc") << i;
+  }
+}
+
+TEST_F(ResidencyTest, RemoveEvictedKey) {
+  auto store = NoVoHT::Open(Options(2));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*store)->Put("k" + std::to_string(i), "v").ok());
+  }
+  EXPECT_TRUE((*store)->Remove("k0").ok());
+  EXPECT_EQ((*store)->Get("k0").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*store)->Size(), 19u);
+}
+
+TEST_F(ResidencyTest, ForEachIncludesEvictedPairs) {
+  auto store = NoVoHT::Open(Options(3));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE((*store)
+                    ->Put("k" + std::to_string(i), "v" + std::to_string(i))
+                    .ok());
+  }
+  std::map<std::string, std::string> seen;
+  (*store)->ForEach([&seen](std::string_view k, std::string_view v) {
+    seen.emplace(k, v);
+  });
+  EXPECT_EQ(seen.size(), 25u);
+  EXPECT_EQ(seen["k7"], "v7");
+}
+
+TEST_F(ResidencyTest, CompactionPreservesEvictedValues) {
+  NoVoHTOptions options = Options(4);
+  options.gc_garbage_ratio = 1e9;  // manual compaction only
+  auto store = NoVoHT::Open(options);
+  ASSERT_TRUE(store.ok());
+  Rng rng(3);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 40; ++i) {
+    std::string key = "k" + std::to_string(i);
+    model[key] = rng.AsciiString(32);
+    ASSERT_TRUE((*store)->Put(key, model[key]).ok());
+  }
+  ASSERT_TRUE((*store)->Compact().ok());
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ((*store)->Get(key).value(), value) << key;
+  }
+  // Offsets were rewritten into the compacted log; still under cap.
+  EXPECT_LE((*store)->stats().resident_values, 4u);
+}
+
+TEST_F(ResidencyTest, ReopenEnforcesCap) {
+  {
+    auto store = NoVoHT::Open(Options(0));  // unbounded first life
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*store)->Put("k" + std::to_string(i), "v").ok());
+    }
+  }
+  auto store = NoVoHT::Open(Options(5));
+  ASSERT_TRUE(store.ok());
+  auto stats = (*store)->stats();
+  EXPECT_EQ(stats.entries, 50u);
+  EXPECT_LE(stats.resident_values, 5u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ((*store)->Get("k" + std::to_string(i)).value(), "v");
+  }
+}
+
+TEST_F(ResidencyTest, StressWithEvictionCompactionAndReopen) {
+  NoVoHTOptions options = Options(16);
+  options.gc_min_log_bytes = 2048;
+  options.gc_garbage_ratio = 0.4;
+  std::map<std::string, std::string> model;
+  Rng rng(77);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto store = NoVoHT::Open(options);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 800; ++i) {
+      std::string key = "key" + std::to_string(rng.Below(120));
+      double dice = rng.NextDouble();
+      if (dice < 0.5) {
+        std::string value = rng.AsciiString(24);
+        ASSERT_TRUE((*store)->Put(key, value).ok());
+        model[key] = value;
+      } else if (dice < 0.75) {
+        std::string extra = rng.AsciiString(8);
+        ASSERT_TRUE((*store)->Append(key, extra).ok());
+        model[key] += extra;
+      } else {
+        Status status = (*store)->Remove(key);
+        if (model.erase(key)) {
+          EXPECT_TRUE(status.ok());
+        } else {
+          EXPECT_EQ(status.code(), StatusCode::kNotFound);
+        }
+      }
+    }
+    for (const auto& [key, value] : model) {
+      ASSERT_EQ((*store)->Get(key).value(), value) << "cycle " << cycle;
+    }
+    EXPECT_LE((*store)->stats().resident_values, 16u);
+  }
+}
+
+}  // namespace
+}  // namespace zht

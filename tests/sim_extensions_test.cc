@@ -1,0 +1,69 @@
+// Tests of the simulator's extension knobs: replica placement topology
+// (§VI network-aware placement) and replication accounting.
+#include <gtest/gtest.h>
+
+#include "sim/kvs_sim.h"
+
+namespace zht::sim {
+namespace {
+
+TEST(ReplicaPlacementTest, SuccessorPlacementStaysNearAtEveryScale) {
+  for (std::uint64_t nodes : {64ull, 4096ull}) {
+    KvsSimParams params;
+    params.num_nodes = nodes;
+    params.replicas = 2;
+    params.ops_per_client = 8;
+    auto result = RunKvsSim(params);
+    EXPECT_GT(result.replication_messages, 0u);
+    // Ring successors are torus neighbors: O(1) hops regardless of scale.
+    EXPECT_LT(result.mean_replication_hops, 4.0) << nodes;
+  }
+}
+
+TEST(ReplicaPlacementTest, RandomPlacementHopsGrowWithScale) {
+  KvsSimParams small;
+  small.num_nodes = 64;
+  small.replicas = 2;
+  small.ops_per_client = 8;
+  small.random_replica_placement = true;
+  KvsSimParams big = small;
+  big.num_nodes = 8192;
+  auto small_result = RunKvsSim(small);
+  auto big_result = RunKvsSim(big);
+  EXPECT_GT(big_result.mean_replication_hops,
+            2.5 * small_result.mean_replication_hops);
+}
+
+TEST(ReplicaPlacementTest, SuccessorBeatsRandomOnSharedNetworkLoad) {
+  KvsSimParams successor;
+  successor.num_nodes = 4096;
+  successor.replicas = 2;
+  successor.ops_per_client = 8;
+  KvsSimParams random = successor;
+  random.random_replica_placement = true;
+  auto s = RunKvsSim(successor);
+  auto r = RunKvsSim(random);
+  EXPECT_LT(s.mean_replication_hops, 0.4 * r.mean_replication_hops);
+}
+
+TEST(ReplicaPlacementTest, ReplicationMessageCountMatchesOps) {
+  KvsSimParams params;
+  params.num_nodes = 32;
+  params.replicas = 2;
+  params.ops_per_client = 10;
+  auto result = RunKvsSim(params);
+  // Every op is an insert with 2 replica copies.
+  EXPECT_EQ(result.replication_messages, result.total_ops * 2);
+}
+
+TEST(ReplicaPlacementTest, ReplicaCountClampedToClusterSize) {
+  KvsSimParams params;
+  params.num_nodes = 2;
+  params.replicas = 5;  // only one other instance exists
+  params.ops_per_client = 10;
+  auto result = RunKvsSim(params);
+  EXPECT_EQ(result.replication_messages, result.total_ops * 1);
+}
+
+}  // namespace
+}  // namespace zht::sim

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "sim/bootstrap_model.h"
+#include "sim/event_queue.h"
+#include "sim/kvs_sim.h"
+#include "sim/torus.h"
+
+namespace zht::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.At(30, [&] { order.push_back(3); });
+  simulator.At(10, [&] { order.push_back(1); });
+  simulator.At(20, [&] { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), 30);
+  EXPECT_EQ(simulator.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, SimultaneousEventsFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.At(5, [&order, i] { order.push_back(i); });
+  }
+  simulator.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, HandlersScheduleMoreEvents) {
+  Simulator simulator;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) simulator.After(1, chain);
+  };
+  simulator.After(1, chain);
+  simulator.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(simulator.now(), 100);
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator simulator;
+  Nanos seen = -1;
+  simulator.At(50, [&] {
+    simulator.At(10, [&] { seen = simulator.now(); });  // in the past
+  });
+  simulator.Run();
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(SimulatorTest, RunawayGuardStops) {
+  Simulator simulator;
+  std::function<void()> forever = [&] { simulator.After(1, forever); };
+  simulator.After(1, forever);
+  simulator.Run(/*max_events=*/1000);
+  EXPECT_LE(simulator.events_processed(), 1001u);
+}
+
+TEST(TorusTest, DimensionsCoverNodes) {
+  for (std::uint64_t n : {1ull, 2ull, 64ull, 1000ull, 8192ull, 1048576ull}) {
+    TorusNetwork net(n);
+    EXPECT_GE(static_cast<std::uint64_t>(net.dim_x()) * net.dim_y() *
+                  net.dim_z(),
+              n)
+        << "n=" << n;
+  }
+}
+
+TEST(TorusTest, EightKNodesIsBgpLike) {
+  // 8K BG/P nodes were physically 16x16x32; our near-cubic fit should land
+  // in that ballpark with mean hops ~16.
+  TorusNetwork net(8192);
+  EXPECT_NEAR(net.MeanHops(), 16.0, 4.0);
+}
+
+TEST(TorusTest, HopsSymmetricAndWrap) {
+  TorusNetwork net(64);  // 4x4x4
+  for (std::uint64_t a = 0; a < 64; a += 7) {
+    for (std::uint64_t b = 0; b < 64; b += 5) {
+      EXPECT_EQ(net.Hops(a, b), net.Hops(b, a));
+    }
+  }
+  // Wraparound: distance 3 along one axis of size 4 is 1 hop.
+  EXPECT_EQ(net.Hops(0, 3), 1u);
+}
+
+TEST(TorusTest, SelfLatencyIsSoftwareOnly) {
+  TorusNetwork net(64);
+  EXPECT_LT(net.Latency(5, 5, 100), net.Latency(5, 6, 100));
+  EXPECT_EQ(net.Hops(7, 7), 0u);
+}
+
+TEST(TorusTest, LatencyGrowsWithScaleAndSize) {
+  TorusParams params;
+  TorusNetwork small(64, params), big(1u << 20, params);
+  // Random far pair in the big torus vs corner pair in the small one.
+  EXPECT_GT(big.Latency(0, (1u << 20) / 2, 147),
+            small.Latency(0, 32, 147));
+  TorusNetwork net(1024);
+  EXPECT_GT(net.Latency(0, 512, 1 << 20), net.Latency(0, 512, 16));
+}
+
+TEST(TorusTest, RackCrossingsWrap) {
+  TorusNetwork net(8192);  // 8 racks
+  EXPECT_EQ(net.RackCrossings(0, 100), 0u);        // same rack
+  EXPECT_EQ(net.RackCrossings(0, 1024), 1u);       // neighbors
+  EXPECT_EQ(net.RackCrossings(0, 7 * 1024), 1u);   // wraps around
+  EXPECT_EQ(net.RackCrossings(0, 4 * 1024), 4u);   // farthest
+}
+
+// ---- KVS simulation: the paper's headline shapes ------------------------
+
+TEST(KvsSimTest, CompletesAllOps) {
+  KvsSimParams params;
+  params.num_nodes = 16;
+  params.ops_per_client = 8;
+  auto result = RunKvsSim(params);
+  EXPECT_EQ(result.total_ops, 16u * 8u);
+  EXPECT_GT(result.mean_latency_ms, 0);
+  EXPECT_GT(result.throughput_ops, 0);
+}
+
+TEST(KvsSimTest, DeterministicForSeed) {
+  KvsSimParams params;
+  params.num_nodes = 64;
+  params.seed = 99;
+  auto a = RunKvsSim(params);
+  auto b = RunKvsSim(params);
+  EXPECT_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(KvsSimTest, TwoNodeLatencyMatchesPaperAnchor) {
+  KvsSimParams params;
+  params.num_nodes = 2;
+  params.ops_per_client = 64;
+  auto result = RunKvsSim(params);
+  EXPECT_NEAR(result.mean_latency_ms, 0.6, 0.15);  // paper: ~0.6 ms
+}
+
+TEST(KvsSimTest, EightKLatencyMatchesPaperAnchor) {
+  KvsSimParams params;
+  params.num_nodes = 8192;
+  params.ops_per_client = 8;
+  auto result = RunKvsSim(params);
+  EXPECT_NEAR(result.mean_latency_ms, 1.1, 0.25);  // paper: 1.1 ms
+  EXPECT_GT(result.throughput_ops, 5e6);           // paper: 7.4M ops/s
+}
+
+TEST(KvsSimTest, UncachedTcpRoughlyDoubles) {
+  KvsSimParams cached, uncached;
+  cached.num_nodes = uncached.num_nodes = 256;
+  cached.ops_per_client = uncached.ops_per_client = 8;
+  uncached.protocol = SimProtocol::kZhtTcpNoCache;
+  auto a = RunKvsSim(cached);
+  auto b = RunKvsSim(uncached);
+  EXPECT_GT(b.mean_latency_ms, 1.7 * a.mean_latency_ms);
+  EXPECT_LT(b.mean_latency_ms, 2.6 * a.mean_latency_ms);
+}
+
+TEST(KvsSimTest, UdpMatchesCachedTcp) {
+  // §III.F: connection caching makes TCP work almost as fast as UDP.
+  KvsSimParams tcp, udp;
+  tcp.num_nodes = udp.num_nodes = 256;
+  udp.protocol = SimProtocol::kZhtUdp;
+  auto a = RunKvsSim(tcp);
+  auto b = RunKvsSim(udp);
+  EXPECT_NEAR(a.mean_latency_ms, b.mean_latency_ms,
+              0.05 * a.mean_latency_ms);
+}
+
+TEST(KvsSimTest, MemcachedSlowerThanZht) {
+  KvsSimParams zht, mc;
+  zht.num_nodes = mc.num_nodes = 1024;
+  zht.ops_per_client = mc.ops_per_client = 8;
+  mc.protocol = SimProtocol::kMemcached;
+  auto a = RunKvsSim(zht);
+  auto b = RunKvsSim(mc);
+  EXPECT_GT(b.mean_latency_ms, 1.2 * a.mean_latency_ms);
+}
+
+TEST(KvsSimTest, CassandraPaysLogNRouting) {
+  KvsSimParams zht, cass;
+  zht.num_nodes = cass.num_nodes = 64;
+  cass.protocol = SimProtocol::kCassandra;
+  auto a = RunKvsSim(zht);
+  auto b = RunKvsSim(cass);
+  EXPECT_GT(b.mean_latency_ms, 2.0 * a.mean_latency_ms);
+  EXPECT_GT(b.messages, a.messages);  // routing hops are real messages
+}
+
+TEST(KvsSimTest, ReplicationOverheadIsModest) {
+  // Figure 12: +1 replica ≈ +20%, +2 replicas ≈ +30% (async).
+  KvsSimParams base, one, two;
+  base.num_nodes = one.num_nodes = two.num_nodes = 1024;
+  base.ops_per_client = one.ops_per_client = two.ops_per_client = 8;
+  one.replicas = 1;
+  two.replicas = 2;
+  auto r0 = RunKvsSim(base);
+  auto r1 = RunKvsSim(one);
+  auto r2 = RunKvsSim(two);
+  double overhead1 = r1.mean_latency_ms / r0.mean_latency_ms - 1.0;
+  double overhead2 = r2.mean_latency_ms / r0.mean_latency_ms - 1.0;
+  EXPECT_GT(overhead1, 0.05);
+  EXPECT_LT(overhead1, 0.40);
+  EXPECT_GT(overhead2, overhead1);
+  EXPECT_LT(overhead2, 0.60);
+}
+
+TEST(KvsSimTest, SyncReplicationCostsFullRoundTrip) {
+  // §IV.F: synchronous replication would have cost ~100% per replica.
+  KvsSimParams base, sync;
+  base.num_nodes = sync.num_nodes = 256;
+  sync.replicas = 1;
+  sync.sync_secondary = true;
+  auto r0 = RunKvsSim(base);
+  auto r1 = RunKvsSim(sync);
+  EXPECT_GT(r1.mean_latency_ms, 1.6 * r0.mean_latency_ms);
+}
+
+TEST(KvsSimTest, MoreInstancesPerNodeRaiseLatencyAndThroughput) {
+  // Figures 13/14: 4 instances/node at 8K nodes → ~2ms latency but ~2.2×
+  // aggregate throughput.
+  KvsSimParams one, four;
+  one.num_nodes = four.num_nodes = 1024;
+  one.ops_per_client = four.ops_per_client = 4;
+  four.instances_per_node = 4;
+  auto a = RunKvsSim(one);
+  auto b = RunKvsSim(four);
+  EXPECT_GT(b.mean_latency_ms, a.mean_latency_ms);
+  EXPECT_GT(b.throughput_ops, 1.5 * a.throughput_ops);
+}
+
+TEST(KvsSimTest, EfficiencyFallsTowardEightPercentAtScale) {
+  // Figure 11's simulation series.
+  KvsSimParams two;
+  two.num_nodes = 2;
+  two.ops_per_client = 64;
+  double t2 = RunKvsSim(two).mean_latency_ms;
+
+  KvsSimParams big;
+  big.num_nodes = 1u << 20;
+  big.ops_per_client = 2;
+  double t1m = RunKvsSim(big).mean_latency_ms;
+  double efficiency = t2 / t1m;
+  EXPECT_GT(efficiency, 0.04);
+  EXPECT_LT(efficiency, 0.15);  // paper: 8%
+}
+
+TEST(BootstrapModelTest, MatchesPaperAnchors) {
+  // §III.H: ~8 s ZHT bootstrap at 1K nodes, ~10 s at 8K.
+  auto b1k = ModelBootstrap(1024);
+  auto b8k = ModelBootstrap(8192);
+  EXPECT_NEAR(b1k.zht_server_start_s + b1k.neighbor_list_s, 8.0, 2.0);
+  EXPECT_NEAR(b8k.zht_server_start_s + b8k.neighbor_list_s, 10.0, 2.5);
+  // Total grows with scale; BG/P boot dominates (Figure 5's stacking).
+  EXPECT_GT(b8k.total_s, b1k.total_s);
+  EXPECT_GT(b8k.bgp_partition_boot_s, b8k.zht_server_start_s);
+}
+
+}  // namespace
+}  // namespace zht::sim

@@ -1,0 +1,34 @@
+#!/bin/sh
+# End-to-end test of the standalone deployment: 4 zht-server daemons over
+# real TCP/UDP on localhost, driven by zht-cli.
+set -e
+BUILD_DIR="$1"
+SRC_DIR="$2"
+WORK=$(mktemp -d)
+trap 'kill $P0 $P1 $P2 $P3 2>/dev/null; rm -rf "$WORK"' EXIT
+
+cat > "$WORK/neighbors.conf" <<NEIGH
+127.0.0.1:53910
+127.0.0.1:53911
+127.0.0.1:53912
+127.0.0.1:53913
+NEIGH
+
+"$BUILD_DIR/tools/zht-server" --neighbors "$WORK/neighbors.conf" --self 0 > "$WORK/s0.log" 2>&1 & P0=$!
+"$BUILD_DIR/tools/zht-server" --neighbors "$WORK/neighbors.conf" --self 1 > "$WORK/s1.log" 2>&1 & P1=$!
+"$BUILD_DIR/tools/zht-server" --neighbors "$WORK/neighbors.conf" --self 2 > "$WORK/s2.log" 2>&1 & P2=$!
+"$BUILD_DIR/tools/zht-server" --neighbors "$WORK/neighbors.conf" --self 3 > "$WORK/s3.log" 2>&1 & P3=$!
+sleep 1
+
+CLI="$BUILD_DIR/tools/zht-cli --neighbors $WORK/neighbors.conf"
+test "$($CLI insert alpha one)" = "OK"
+test "$($CLI lookup alpha)" = "one"
+test "$($CLI append alpha -two)" = "OK"
+test "$($CLI lookup alpha)" = "one-two"
+test "$($CLI remove alpha)" = "OK"
+$CLI lookup alpha | grep -q NOT_FOUND
+$CLI ping 2 | grep -q OK
+$CLI stats 0 | grep -q "instance = 0"
+$CLI bench 100 | grep -q "0 failures"
+$CLI --udp bench 100 | grep -q "0 failures"
+echo "tools e2e: all checks passed"

@@ -1,0 +1,194 @@
+// zht-cli: command-line client for a running ZHT deployment.
+//
+//   ./tools/zht-cli --neighbors neighbors.conf insert KEY VALUE
+//   ./tools/zht-cli --neighbors neighbors.conf lookup KEY
+//   ./tools/zht-cli --neighbors neighbors.conf remove KEY
+//   ./tools/zht-cli --neighbors neighbors.conf append KEY VALUE
+//   ./tools/zht-cli --neighbors neighbors.conf ping INSTANCE
+//   ./tools/zht-cli --neighbors neighbors.conf bench N     # N random ops
+//
+// Optional: --replicas R (must match the servers), --partitions P,
+// --udp (use the ack-based UDP transport instead of cached TCP).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/zht_client.h"
+#include "net/tcp_client.h"
+#include "net/udp_client.h"
+
+namespace {
+
+zht::Result<std::vector<zht::NodeAddress>> LoadNeighbors(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return zht::Status(zht::StatusCode::kNotFound,
+                       "cannot open neighbor file: " + path);
+  }
+  std::vector<zht::NodeAddress> neighbors;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    std::size_t end = line.find_last_not_of(" \t\r");
+    auto address = zht::NodeAddress::Parse(
+        line.substr(begin, end - begin + 1));
+    if (!address.ok()) return address.status();
+    neighbors.push_back(*address);
+  }
+  return neighbors;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --neighbors FILE [--replicas R] [--partitions P] "
+               "[--udp] COMMAND ...\n"
+               "commands: insert K V | lookup K | remove K | append K V | "
+               "ping INSTANCE | stats INSTANCE | bench N\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zht;
+
+  std::string neighbor_path;
+  int replicas = 0;
+  std::uint32_t partitions = 0;
+  bool use_udp = false;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    if (!std::strcmp(argv[arg], "--neighbors") && arg + 1 < argc) {
+      neighbor_path = argv[++arg];
+    } else if (!std::strcmp(argv[arg], "--replicas") && arg + 1 < argc) {
+      replicas = static_cast<int>(std::strtol(argv[++arg], nullptr, 10));
+    } else if (!std::strcmp(argv[arg], "--partitions") && arg + 1 < argc) {
+      partitions = static_cast<std::uint32_t>(
+          std::strtoul(argv[++arg], nullptr, 10));
+    } else if (!std::strcmp(argv[arg], "--udp")) {
+      use_udp = true;
+    } else {
+      return Usage(argv[0]);
+    }
+    ++arg;
+  }
+  if (neighbor_path.empty() || arg >= argc) return Usage(argv[0]);
+
+  auto neighbors = LoadNeighbors(neighbor_path);
+  if (!neighbors.ok() || neighbors->empty()) {
+    std::fprintf(stderr, "neighbors: %s\n",
+                 neighbors.ok() ? "empty file"
+                                : neighbors.status().ToString().c_str());
+    return 1;
+  }
+  if (partitions == 0) {
+    partitions = static_cast<std::uint32_t>(neighbors->size()) * 1024;
+  }
+
+  MembershipTable table =
+      MembershipTable::CreateUniform(partitions, *neighbors);
+  std::unique_ptr<ClientTransport> transport;
+  if (use_udp) {
+    transport = std::make_unique<UdpClient>();
+  } else {
+    transport = std::make_unique<TcpClient>();
+  }
+  ZhtClientOptions options;
+  options.num_replicas = replicas;
+  options.op_timeout = 2 * kNanosPerSec;
+  ZhtClient client(std::move(table), options, transport.get());
+
+  std::string command = argv[arg++];
+  auto need = [&](int n) {
+    if (argc - arg < n) {
+      Usage(argv[0]);
+      std::exit(2);
+    }
+  };
+
+  if (command == "insert") {
+    need(2);
+    Status status = client.Insert(argv[arg], argv[arg + 1]);
+    std::printf("%s\n", status.ToString().c_str());
+    return status.ok() ? 0 : 1;
+  }
+  if (command == "lookup") {
+    need(1);
+    auto value = client.Lookup(argv[arg]);
+    if (!value.ok()) {
+      std::printf("%s\n", value.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", value->c_str());
+    return 0;
+  }
+  if (command == "remove") {
+    need(1);
+    Status status = client.Remove(argv[arg]);
+    std::printf("%s\n", status.ToString().c_str());
+    return status.ok() ? 0 : 1;
+  }
+  if (command == "append") {
+    need(2);
+    Status status = client.Append(argv[arg], argv[arg + 1]);
+    std::printf("%s\n", status.ToString().c_str());
+    return status.ok() ? 0 : 1;
+  }
+  if (command == "ping") {
+    need(1);
+    Status status = client.Ping(static_cast<InstanceId>(
+        std::strtoul(argv[arg], nullptr, 10)));
+    std::printf("%s\n", status.ToString().c_str());
+    return status.ok() ? 0 : 1;
+  }
+  if (command == "stats") {
+    need(1);
+    InstanceId instance = static_cast<InstanceId>(
+        std::strtoul(argv[arg], nullptr, 10));
+    if (instance >= client.table().instance_count()) {
+      std::fprintf(stderr, "no such instance\n");
+      return 1;
+    }
+    Request request;
+    request.op = OpCode::kStats;
+    request.seq = 1;
+    auto result = transport->Call(client.table().Instance(instance).address,
+                                  request, 2 * kNanosPerSec);
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", result->value.c_str());
+    return 0;
+  }
+  if (command == "bench") {
+    need(1);
+    long n = std::strtol(argv[arg], nullptr, 10);
+    Rng rng(static_cast<std::uint64_t>(n) * 7919);
+    LatencyStats stats;
+    long failures = 0;
+    for (long i = 0; i < n; ++i) {
+      std::string key = rng.AsciiString(15);
+      std::string value = rng.AsciiString(132);
+      Stopwatch op(SystemClock::Instance());
+      if (!client.Insert(key, value).ok() || !client.Lookup(key).ok() ||
+          !client.Remove(key).ok()) {
+        ++failures;
+      }
+      stats.Record(op.Elapsed());
+    }
+    std::printf("%ld op-triples, mean %.1f us, p99 %.1f us, %ld failures\n",
+                n, stats.MeanMicros() / 3.0,
+                ToMicros(stats.Percentile(99)) / 3.0, failures);
+    return failures == 0 ? 0 : 1;
+  }
+  return Usage(argv[0]);
+}
