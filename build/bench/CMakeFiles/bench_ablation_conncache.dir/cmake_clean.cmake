@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conncache.dir/bench_ablation_conncache.cc.o"
+  "CMakeFiles/bench_ablation_conncache.dir/bench_ablation_conncache.cc.o.d"
+  "bench_ablation_conncache"
+  "bench_ablation_conncache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conncache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_residency.cc" "bench/CMakeFiles/bench_ablation_residency.dir/bench_ablation_residency.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_residency.dir/bench_ablation_residency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/novoht/CMakeFiles/zht_novoht.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/zht_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/zht_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

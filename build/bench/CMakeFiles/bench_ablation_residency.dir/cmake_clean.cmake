@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_residency.dir/bench_ablation_residency.cc.o"
+  "CMakeFiles/bench_ablation_residency.dir/bench_ablation_residency.cc.o.d"
+  "bench_ablation_residency"
+  "bench_ablation_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

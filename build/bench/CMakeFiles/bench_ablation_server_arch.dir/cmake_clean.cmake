@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_server_arch.dir/bench_ablation_server_arch.cc.o"
+  "CMakeFiles/bench_ablation_server_arch.dir/bench_ablation_server_arch.cc.o.d"
+  "bench_ablation_server_arch"
+  "bench_ablation_server_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_server_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_fusionfs.dir/bench_fig16_fusionfs.cc.o"
+  "CMakeFiles/bench_fig16_fusionfs.dir/bench_fig16_fusionfs.cc.o.d"
+  "bench_fig16_fusionfs"
+  "bench_fig16_fusionfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_fusionfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_istore.dir/bench_fig17_istore.cc.o"
+  "CMakeFiles/bench_fig17_istore.dir/bench_fig17_istore.cc.o.d"
+  "bench_fig17_istore"
+  "bench_fig17_istore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_istore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_gpfs.dir/bench_fig1_gpfs.cc.o"
+  "CMakeFiles/bench_fig1_gpfs.dir/bench_fig1_gpfs.cc.o.d"
+  "bench_fig1_gpfs"
+  "bench_fig1_gpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_gpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bootstrap.dir/bench_fig5_bootstrap.cc.o"
+  "CMakeFiles/bench_fig5_bootstrap.dir/bench_fig5_bootstrap.cc.o.d"
+  "bench_fig5_bootstrap"
+  "bench_fig5_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

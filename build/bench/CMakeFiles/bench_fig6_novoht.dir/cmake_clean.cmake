@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_novoht.dir/bench_fig6_novoht.cc.o"
+  "CMakeFiles/bench_fig6_novoht.dir/bench_fig6_novoht.cc.o.d"
+  "bench_fig6_novoht"
+  "bench_fig6_novoht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_novoht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

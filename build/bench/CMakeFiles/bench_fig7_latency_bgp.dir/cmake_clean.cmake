@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_latency_bgp.dir/bench_fig7_latency_bgp.cc.o"
+  "CMakeFiles/bench_fig7_latency_bgp.dir/bench_fig7_latency_bgp.cc.o.d"
+  "bench_fig7_latency_bgp"
+  "bench_fig7_latency_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_latency_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

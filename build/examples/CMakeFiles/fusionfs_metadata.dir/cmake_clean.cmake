@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusionfs_metadata.dir/fusionfs_metadata.cpp.o"
+  "CMakeFiles/fusionfs_metadata.dir/fusionfs_metadata.cpp.o.d"
+  "fusionfs_metadata"
+  "fusionfs_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusionfs_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

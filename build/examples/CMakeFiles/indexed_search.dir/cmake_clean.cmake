@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_search.dir/indexed_search.cpp.o"
+  "CMakeFiles/indexed_search.dir/indexed_search.cpp.o.d"
+  "indexed_search"
+  "indexed_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

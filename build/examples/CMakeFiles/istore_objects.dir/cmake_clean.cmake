@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/istore_objects.dir/istore_objects.cpp.o"
+  "CMakeFiles/istore_objects.dir/istore_objects.cpp.o.d"
+  "istore_objects"
+  "istore_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/istore_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

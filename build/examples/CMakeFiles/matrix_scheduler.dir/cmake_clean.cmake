@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_scheduler.dir/matrix_scheduler.cpp.o"
+  "CMakeFiles/matrix_scheduler.dir/matrix_scheduler.cpp.o.d"
+  "matrix_scheduler"
+  "matrix_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hashing")
+subdirs("serialize")
+subdirs("novoht")
+subdirs("net")
+subdirs("membership")
+subdirs("core")
+subdirs("sim")
+subdirs("baselines")
+subdirs("fusionfs")
+subdirs("istore")
+subdirs("matrix")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_baselines.dir/cassandra_lite.cc.o"
+  "CMakeFiles/zht_baselines.dir/cassandra_lite.cc.o.d"
+  "CMakeFiles/zht_baselines.dir/cmpi_lite.cc.o"
+  "CMakeFiles/zht_baselines.dir/cmpi_lite.cc.o.d"
+  "CMakeFiles/zht_baselines.dir/memcached_lite.cc.o"
+  "CMakeFiles/zht_baselines.dir/memcached_lite.cc.o.d"
+  "libzht_baselines.a"
+  "libzht_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

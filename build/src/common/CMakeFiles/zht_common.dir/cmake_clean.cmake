@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_common.dir/clock.cc.o"
+  "CMakeFiles/zht_common.dir/clock.cc.o.d"
+  "CMakeFiles/zht_common.dir/config.cc.o"
+  "CMakeFiles/zht_common.dir/config.cc.o.d"
+  "CMakeFiles/zht_common.dir/crc32.cc.o"
+  "CMakeFiles/zht_common.dir/crc32.cc.o.d"
+  "CMakeFiles/zht_common.dir/log.cc.o"
+  "CMakeFiles/zht_common.dir/log.cc.o.d"
+  "CMakeFiles/zht_common.dir/status.cc.o"
+  "CMakeFiles/zht_common.dir/status.cc.o.d"
+  "libzht_common.a"
+  "libzht_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

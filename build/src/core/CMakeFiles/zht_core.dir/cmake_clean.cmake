@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_core.dir/indexer.cc.o"
+  "CMakeFiles/zht_core.dir/indexer.cc.o.d"
+  "CMakeFiles/zht_core.dir/local_cluster.cc.o"
+  "CMakeFiles/zht_core.dir/local_cluster.cc.o.d"
+  "CMakeFiles/zht_core.dir/manager.cc.o"
+  "CMakeFiles/zht_core.dir/manager.cc.o.d"
+  "CMakeFiles/zht_core.dir/zht_client.cc.o"
+  "CMakeFiles/zht_core.dir/zht_client.cc.o.d"
+  "CMakeFiles/zht_core.dir/zht_server.cc.o"
+  "CMakeFiles/zht_core.dir/zht_server.cc.o.d"
+  "libzht_core.a"
+  "libzht_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_fusionfs.dir/file_io.cc.o"
+  "CMakeFiles/zht_fusionfs.dir/file_io.cc.o.d"
+  "CMakeFiles/zht_fusionfs.dir/metadata.cc.o"
+  "CMakeFiles/zht_fusionfs.dir/metadata.cc.o.d"
+  "libzht_fusionfs.a"
+  "libzht_fusionfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_fusionfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

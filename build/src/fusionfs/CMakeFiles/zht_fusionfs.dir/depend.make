@@ -1,0 +1,2 @@
+# Empty dependencies file for zht_fusionfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashing/hash_functions.cc" "src/hashing/CMakeFiles/zht_hashing.dir/hash_functions.cc.o" "gcc" "src/hashing/CMakeFiles/zht_hashing.dir/hash_functions.cc.o.d"
+  "/root/repo/src/hashing/hash_quality.cc" "src/hashing/CMakeFiles/zht_hashing.dir/hash_quality.cc.o" "gcc" "src/hashing/CMakeFiles/zht_hashing.dir/hash_quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

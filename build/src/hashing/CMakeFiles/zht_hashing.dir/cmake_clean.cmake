@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_hashing.dir/hash_functions.cc.o"
+  "CMakeFiles/zht_hashing.dir/hash_functions.cc.o.d"
+  "CMakeFiles/zht_hashing.dir/hash_quality.cc.o"
+  "CMakeFiles/zht_hashing.dir/hash_quality.cc.o.d"
+  "libzht_hashing.a"
+  "libzht_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

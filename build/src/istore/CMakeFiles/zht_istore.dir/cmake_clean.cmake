@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_istore.dir/gf256.cc.o"
+  "CMakeFiles/zht_istore.dir/gf256.cc.o.d"
+  "CMakeFiles/zht_istore.dir/istore.cc.o"
+  "CMakeFiles/zht_istore.dir/istore.cc.o.d"
+  "CMakeFiles/zht_istore.dir/reed_solomon.cc.o"
+  "CMakeFiles/zht_istore.dir/reed_solomon.cc.o.d"
+  "libzht_istore.a"
+  "libzht_istore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_istore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_matrix.dir/matrix_live.cc.o"
+  "CMakeFiles/zht_matrix.dir/matrix_live.cc.o.d"
+  "CMakeFiles/zht_matrix.dir/matrix_sim.cc.o"
+  "CMakeFiles/zht_matrix.dir/matrix_sim.cc.o.d"
+  "libzht_matrix.a"
+  "libzht_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

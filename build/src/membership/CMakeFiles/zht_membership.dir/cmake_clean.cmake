@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_membership.dir/membership_table.cc.o"
+  "CMakeFiles/zht_membership.dir/membership_table.cc.o.d"
+  "libzht_membership.a"
+  "libzht_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

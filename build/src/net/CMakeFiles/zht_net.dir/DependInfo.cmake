@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/epoll_server.cc" "src/net/CMakeFiles/zht_net.dir/epoll_server.cc.o" "gcc" "src/net/CMakeFiles/zht_net.dir/epoll_server.cc.o.d"
+  "/root/repo/src/net/loopback.cc" "src/net/CMakeFiles/zht_net.dir/loopback.cc.o" "gcc" "src/net/CMakeFiles/zht_net.dir/loopback.cc.o.d"
+  "/root/repo/src/net/tcp_client.cc" "src/net/CMakeFiles/zht_net.dir/tcp_client.cc.o" "gcc" "src/net/CMakeFiles/zht_net.dir/tcp_client.cc.o.d"
+  "/root/repo/src/net/threaded_server.cc" "src/net/CMakeFiles/zht_net.dir/threaded_server.cc.o" "gcc" "src/net/CMakeFiles/zht_net.dir/threaded_server.cc.o.d"
+  "/root/repo/src/net/udp_client.cc" "src/net/CMakeFiles/zht_net.dir/udp_client.cc.o" "gcc" "src/net/CMakeFiles/zht_net.dir/udp_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/zht_serialize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

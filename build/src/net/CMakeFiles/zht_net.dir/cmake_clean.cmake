@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_net.dir/epoll_server.cc.o"
+  "CMakeFiles/zht_net.dir/epoll_server.cc.o.d"
+  "CMakeFiles/zht_net.dir/loopback.cc.o"
+  "CMakeFiles/zht_net.dir/loopback.cc.o.d"
+  "CMakeFiles/zht_net.dir/tcp_client.cc.o"
+  "CMakeFiles/zht_net.dir/tcp_client.cc.o.d"
+  "CMakeFiles/zht_net.dir/threaded_server.cc.o"
+  "CMakeFiles/zht_net.dir/threaded_server.cc.o.d"
+  "CMakeFiles/zht_net.dir/udp_client.cc.o"
+  "CMakeFiles/zht_net.dir/udp_client.cc.o.d"
+  "libzht_net.a"
+  "libzht_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

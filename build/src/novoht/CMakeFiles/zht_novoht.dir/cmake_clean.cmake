@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_novoht.dir/btree_db.cc.o"
+  "CMakeFiles/zht_novoht.dir/btree_db.cc.o.d"
+  "CMakeFiles/zht_novoht.dir/hashdb_file.cc.o"
+  "CMakeFiles/zht_novoht.dir/hashdb_file.cc.o.d"
+  "CMakeFiles/zht_novoht.dir/novoht.cc.o"
+  "CMakeFiles/zht_novoht.dir/novoht.cc.o.d"
+  "libzht_novoht.a"
+  "libzht_novoht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_novoht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

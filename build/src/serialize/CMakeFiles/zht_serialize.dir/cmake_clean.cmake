@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_serialize.dir/envelope.cc.o"
+  "CMakeFiles/zht_serialize.dir/envelope.cc.o.d"
+  "CMakeFiles/zht_serialize.dir/wire.cc.o"
+  "CMakeFiles/zht_serialize.dir/wire.cc.o.d"
+  "libzht_serialize.a"
+  "libzht_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_sim.dir/kvs_sim.cc.o"
+  "CMakeFiles/zht_sim.dir/kvs_sim.cc.o.d"
+  "CMakeFiles/zht_sim.dir/torus.cc.o"
+  "CMakeFiles/zht_sim.dir/torus.cc.o.d"
+  "libzht_sim.a"
+  "libzht_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

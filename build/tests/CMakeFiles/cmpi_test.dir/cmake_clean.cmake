@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpi_test.dir/cmpi_test.cc.o"
+  "CMakeFiles/cmpi_test.dir/cmpi_test.cc.o.d"
+  "cmpi_test"
+  "cmpi_test.pdb"
+  "cmpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusionfs_test.dir/fusionfs_test.cc.o"
+  "CMakeFiles/fusionfs_test.dir/fusionfs_test.cc.o.d"
+  "fusionfs_test"
+  "fusionfs_test.pdb"
+  "fusionfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusionfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexer_test.dir/indexer_test.cc.o"
+  "CMakeFiles/indexer_test.dir/indexer_test.cc.o.d"
+  "indexer_test"
+  "indexer_test.pdb"
+  "indexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

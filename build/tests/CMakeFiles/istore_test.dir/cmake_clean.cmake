@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/istore_test.dir/istore_test.cc.o"
+  "CMakeFiles/istore_test.dir/istore_test.cc.o.d"
+  "istore_test"
+  "istore_test.pdb"
+  "istore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/istore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/novoht_residency_test.dir/novoht_residency_test.cc.o"
+  "CMakeFiles/novoht_residency_test.dir/novoht_residency_test.cc.o.d"
+  "novoht_residency_test"
+  "novoht_residency_test.pdb"
+  "novoht_residency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/novoht_residency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/zht_server_test.cc" "tests/CMakeFiles/zht_server_test.dir/zht_server_test.cc.o" "gcc" "tests/CMakeFiles/zht_server_test.dir/zht_server_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/novoht/CMakeFiles/zht_novoht.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/zht_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/zht_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zht_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/zht_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht_server_test.dir/zht_server_test.cc.o"
+  "CMakeFiles/zht_server_test.dir/zht_server_test.cc.o.d"
+  "zht_server_test"
+  "zht_server_test.pdb"
+  "zht_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/hashing_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/novoht_test[1]_include.cmake")
+include("/root/repo/build/tests/membership_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/fusionfs_test[1]_include.cmake")
+include("/root/repo/build/tests/istore_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/zht_server_test[1]_include.cmake")
+include("/root/repo/build/tests/novoht_residency_test[1]_include.cmake")
+include("/root/repo/build/tests/indexer_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_tolerance_test[1]_include.cmake")
+include("/root/repo/build/tests/manager_test[1]_include.cmake")
+include("/root/repo/build/tests/file_io_test[1]_include.cmake")
+include("/root/repo/build/tests/cmpi_test[1]_include.cmake")
+include("/root/repo/build/tests/membership_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_fuzz_test[1]_include.cmake")
+add_test(tools_e2e "/root/repo/tests/tools_e2e_test.sh" "/root/repo/build" "/root/repo")
+set_tests_properties(tools_e2e PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")

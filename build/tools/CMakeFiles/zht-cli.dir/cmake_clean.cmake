@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht-cli.dir/zht_cli.cc.o"
+  "CMakeFiles/zht-cli.dir/zht_cli.cc.o.d"
+  "zht-cli"
+  "zht-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zht-server.dir/zht_server_main.cc.o"
+  "CMakeFiles/zht-server.dir/zht_server_main.cc.o.d"
+  "zht-server"
+  "zht-server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zht-server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
