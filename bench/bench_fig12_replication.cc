@@ -15,7 +15,7 @@ namespace {
 double LiveInsertLatencyUs(int replicas) {
   LocalClusterOptions options;
   options.num_instances = 8;
-  options.num_replicas = replicas;
+  options.cluster.num_replicas = replicas;
   auto cluster = LocalCluster::Start(options);
   if (!cluster.ok()) return -1;
   // A touch of wire latency so the sync-replication round trip is visible.

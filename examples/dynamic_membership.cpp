@@ -15,7 +15,7 @@ int main() {
 
   LocalClusterOptions options;
   options.num_instances = 2;
-  options.num_replicas = 1;
+  options.cluster.num_replicas = 1;
   auto cluster = LocalCluster::Start(options);
   if (!cluster.ok()) return 1;
 

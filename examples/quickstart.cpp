@@ -4,6 +4,8 @@
 //
 //   ./examples/quickstart
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/local_cluster.h"
 
@@ -15,7 +17,7 @@ int main() {
   // for real sockets on localhost.
   LocalClusterOptions options;
   options.num_instances = 4;
-  options.num_replicas = 1;
+  options.cluster.num_replicas = 1;
   auto cluster = LocalCluster::Start(options);
   if (!cluster.ok()) {
     std::fprintf(stderr, "cluster start failed: %s\n",
@@ -40,6 +42,19 @@ int main() {
   client->Append("/dataset/index", "block-18;");
   std::printf("append  → index = %s\n",
               client->Lookup("/dataset/index")->c_str());
+
+  // Batched path: MultiInsert shards the keys by owner instance and sends
+  // one BATCH envelope per instance instead of one round-trip per key.
+  std::vector<KeyValue> blocks;
+  for (int i = 0; i < 8; ++i) {
+    blocks.push_back(KeyValue{"/dataset/chunk-" + std::to_string(i),
+                              "node0" + std::to_string(i % 4)});
+  }
+  auto batch_statuses = client->MultiInsert(blocks);
+  std::size_t batch_ok = 0;
+  for (const Status& s : batch_statuses) batch_ok += s.ok() ? 1 : 0;
+  std::printf("mput    → %zu/%zu OK in one batch\n", batch_ok,
+              batch_statuses.size());
 
   status = client->Remove("/dataset/block-17");
   std::printf("remove  → %s\n", status.ToString().c_str());

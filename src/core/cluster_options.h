@@ -1,0 +1,44 @@
+// ClusterOptions: the knobs every participant of one ZHT deployment must
+// agree on. Clients, servers, and managers each embed the same struct, so a
+// deployment configures replication and timeouts once instead of keeping
+// three copies in sync (a mismatched num_replicas silently breaks the
+// replica-chain routing both sides derive from the membership table).
+#pragma once
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace zht {
+
+struct ClusterOptions {
+  // Replicas beyond the primary. Must match across every client, server,
+  // and manager of the deployment: the replica chain is derived, not
+  // negotiated (§III.J).
+  int num_replicas = 0;
+
+  // Budget for one client-facing operation, covering a whole BATCH call.
+  Nanos op_timeout = 200 * kNanosPerMilli;
+
+  // Budget for one server-to-server hop (replication, migration, repair).
+  Nanos peer_timeout = 500 * kNanosPerMilli;
+
+  Status Validate() const {
+    if (num_replicas < 0 || num_replicas > 254) {
+      // replica_index travels as one byte on the wire.
+      return Status(StatusCode::kInvalidArgument,
+                    "num_replicas out of range [0, 254]: " +
+                        std::to_string(num_replicas));
+    }
+    if (op_timeout <= 0) {
+      return Status(StatusCode::kInvalidArgument, "op_timeout must be > 0");
+    }
+    if (peer_timeout <= 0) {
+      return Status(StatusCode::kInvalidArgument, "peer_timeout must be > 0");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace zht

@@ -67,6 +67,8 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
 Status LocalCluster::Boot() {
   const std::uint32_t n = options_.num_instances;
   if (n == 0) return Status(StatusCode::kInvalidArgument, "no instances");
+  Status valid = options_.cluster.Validate();
+  if (!valid.ok()) return valid;
   if (options_.num_partitions == 0) options_.num_partitions = n * 64;
 
   // 1. Expose every instance (addresses first: the table needs them).
@@ -89,7 +91,7 @@ Status LocalCluster::Boot() {
     auto transport = MakeTransport();
     ZhtServerOptions so;
     so.self = i;
-    so.num_replicas = options_.num_replicas;
+    so.cluster = options_.cluster;
     so.store_factory = options_.store_factory;
     auto server = std::make_unique<ZhtServer>(table, so, transport.get());
     server_slots[i]->target = server->AsHandler();
@@ -104,7 +106,7 @@ Status LocalCluster::Boot() {
   for (std::uint32_t node = 0; node < nodes; ++node) {
     auto transport = MakeTransport();
     ManagerOptions mo;
-    mo.num_replicas = options_.num_replicas;
+    mo.cluster = options_.cluster;
     auto manager = std::make_unique<Manager>(table, mo, transport.get());
     auto slot = std::make_shared<HandlerSlot>();
     auto address = Expose(slot);
@@ -125,7 +127,7 @@ Status LocalCluster::Boot() {
 }
 
 ClientHandle LocalCluster::CreateClient(ZhtClientOptions overrides) {
-  overrides.num_replicas = options_.num_replicas;
+  overrides.cluster.num_replicas = options_.cluster.num_replicas;
   if (!overrides.manager && !manager_addresses_.empty()) {
     overrides.manager = manager_addresses_[0];
   }
@@ -169,7 +171,7 @@ Result<InstanceId> LocalCluster::JoinNewInstance(std::size_t via_node) {
   auto transport = MakeTransport();
   ZhtServerOptions so;
   so.self = static_cast<InstanceId>(servers_.size());
-  so.num_replicas = options_.num_replicas;
+  so.cluster = options_.cluster;
   so.store_factory = options_.store_factory;
   // Starts with an empty table; the manager pushes a snapshot during join.
   auto server = std::make_unique<ZhtServer>(

@@ -22,7 +22,9 @@ struct LocalClusterOptions {
   std::uint32_t num_instances = 4;
   std::uint32_t instances_per_node = 1;
   std::uint32_t num_partitions = 0;  // 0 → 64 per initial instance
-  int num_replicas = 0;
+  // Shared replica/timeout settings handed to every server, manager, and
+  // client of the cluster (validated at Boot).
+  ClusterOptions cluster;
   ClusterTransport transport = ClusterTransport::kLoopback;
   bool tcp_connection_cache = true;  // for kTcp client transports
   StoreFactory store_factory;       // default: in-memory NoVoHT

@@ -29,7 +29,8 @@ Status Manager::CommandMigration(const NodeAddress& source,
   request.partition = partition;
   request.value = target.ToString();
   request.server_origin = true;
-  auto result = transport_->Call(source, request, options_.peer_timeout);
+  auto result =
+      transport_->Call(source, request, 2 * options_.cluster.peer_timeout);
   if (!result.ok()) return result.status();
   return result->status_as_object();
 }
@@ -44,7 +45,7 @@ void Manager::PushTableTo(const NodeAddress& address,
     push.seq = next_seq_++;
     push.value = table_.EncodeDelta(since_epoch);
   }
-  auto result = transport_->Call(address, push, options_.peer_timeout);
+  auto result = transport_->Call(address, push, options_.cluster.peer_timeout);
   if (!result.ok()) {
     ZHT_DEBUG << "membership push to " << address.ToString()
               << " failed: " << result.status().ToString();
@@ -196,7 +197,7 @@ Status Manager::HandleFailure(InstanceId id) {
     for (PartitionId p : table_.PartitionsOf(id)) {
       // First alive replica becomes the owner; data is already there
       // because replication placed it (§III.H).
-      auto chain = table_.ReplicaChain(p, options_.num_replicas + 1);
+      auto chain = table_.ReplicaChain(p, options_.cluster.num_replicas + 1);
       InstanceId replacement = id;
       for (InstanceId candidate : chain) {
         if (candidate != id && table_.Instance(candidate).alive) {
@@ -230,7 +231,7 @@ Status Manager::HandleFailure(InstanceId id) {
     repair.partition = p;
     repair.server_origin = true;
     auto result = transport_->Call(owner_address, repair,
-                                   options_.peer_timeout);
+                                   2 * options_.cluster.peer_timeout);
     if (!result.ok()) {
       ZHT_WARN << "repair of partition " << p
                << " failed: " << result.status().ToString();

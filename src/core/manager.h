@@ -11,14 +11,16 @@
 #include <mutex>
 
 #include "common/status.h"
+#include "core/cluster_options.h"
 #include "membership/membership_table.h"
 #include "net/transport.h"
 
 namespace zht {
 
 struct ManagerOptions {
-  int num_replicas = 0;
-  Nanos peer_timeout = 1000 * kNanosPerMilli;
+  // Shared with servers and clients; migration/repair commands get 2x the
+  // peer budget because they stream whole partitions, not single ops.
+  ClusterOptions cluster;
 };
 
 struct ManagerStats {

@@ -2,6 +2,7 @@
 
 #include <random>
 #include <thread>
+#include <unordered_map>
 
 #include "common/log.h"
 
@@ -41,7 +42,7 @@ void ZhtClient::ReportFailure(InstanceId instance) {
   report.value = "failed";
   report.epoch = table_.epoch();
   auto result =
-      transport_->Call(*options_.manager, report, options_.op_timeout);
+      transport_->Call(*options_.manager, report, options_.cluster.op_timeout);
   if (!result.ok()) {
     ZHT_WARN << "failure report to manager failed: "
              << result.status().ToString();
@@ -52,6 +53,9 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
                                     std::string_view value) {
   ++stats_.ops;
   int replica_try = 0;
+  // Tracks the most recent transport-level failure so exhaustion can
+  // distinguish a slow cluster (kTimeout) from a dead one (kUnavailable).
+  StatusCode last_transport = StatusCode::kTimeout;
   // One sequence number per logical operation: retries and transport
   // retransmissions carry the same (client_id, seq), so the server's
   // dedup window makes append at-most-once.
@@ -59,7 +63,7 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
 
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     PartitionId partition = table_.PartitionOfKey(key);
-    auto chain = table_.ReplicaChain(partition, options_.num_replicas);
+    auto chain = table_.ReplicaChain(partition, options_.cluster.num_replicas);
     if (chain.empty()) {
       return Status(StatusCode::kUnavailable, "no alive instance for key");
     }
@@ -86,12 +90,14 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
     request.replica_index = static_cast<std::uint8_t>(replica_try);
     request.client_id = client_id_;
 
-    auto result = transport_->Call(address, request, options_.op_timeout);
+    auto result =
+        transport_->Call(address, request, options_.cluster.op_timeout);
 
     if (!result.ok()) {
       // Transport failure: exponential back-off, then either retry the
       // same node or fail over to the next replica once the detector
       // declares it dead.
+      last_transport = result.status().code();
       ++stats_.retries;
       Backoff(detector_.BackoffFor(address));
       if (detector_.RecordFailure(address)) {
@@ -116,7 +122,7 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
           pull.op = OpCode::kMembershipPull;
           pull.seq = next_seq_++;
           auto snapshot =
-              transport_->Call(address, pull, options_.op_timeout);
+              transport_->Call(address, pull, options_.cluster.op_timeout);
           if (snapshot.ok() && !snapshot->membership.empty()) {
             table_.ApplyUpdate(snapshot->membership);
           }
@@ -132,7 +138,154 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
     }
     return *result;
   }
+  if (last_transport == StatusCode::kNetwork) {
+    return Status(StatusCode::kUnavailable, "node unreachable");
+  }
   return Status(StatusCode::kTimeout, "attempts exhausted");
+}
+
+std::vector<Result<Response>> ZhtClient::ExecuteBatch(
+    OpCode op, std::span<const std::string> keys,
+    std::span<const std::string> values) {
+  const std::size_t n = keys.size();
+  stats_.ops += n;
+  std::vector<Result<Response>> results(
+      n, Result<Response>(Status(StatusCode::kTimeout, "attempts exhausted")));
+  if (n == 0) return results;
+
+  // One sequence number per sub-operation, fixed across retries and
+  // retransmitted carriers: the server dedups appends on (client_id, seq).
+  std::vector<std::uint64_t> seqs(n);
+  for (auto& seq : seqs) seq = next_seq_++;
+
+  std::vector<int> replica_try(n, 0);
+  std::vector<StatusCode> last_transport(n, StatusCode::kTimeout);
+  std::vector<std::size_t> pending(n);
+  for (std::size_t i = 0; i < n; ++i) pending[i] = i;
+
+  for (int attempt = 0; attempt < options_.max_attempts && !pending.empty();
+       ++attempt) {
+    // Shard the still-pending keys by target instance: the primary for
+    // most, further down the chain for sub-ops already failing over.
+    std::unordered_map<InstanceId, std::vector<std::size_t>> shards;
+    std::vector<std::size_t> still_pending;
+    for (std::size_t i : pending) {
+      PartitionId partition = table_.PartitionOfKey(keys[i]);
+      auto chain =
+          table_.ReplicaChain(partition, options_.cluster.num_replicas);
+      if (chain.empty()) {
+        results[i] =
+            Status(StatusCode::kUnavailable, "no alive instance for key");
+        continue;
+      }
+      bool placed = false;
+      while (replica_try[i] < static_cast<int>(chain.size())) {
+        InstanceId target = chain[static_cast<std::size_t>(replica_try[i])];
+        if (!table_.Instance(target).alive) {
+          ++replica_try[i];  // locally known dead: skip without a hop
+          continue;
+        }
+        shards[target].push_back(i);
+        placed = true;
+        break;
+      }
+      if (!placed) {
+        results[i] = Status(StatusCode::kUnavailable,
+                            "all replicas of partition " +
+                                std::to_string(partition) + " unreachable");
+      }
+    }
+
+    bool migrating_seen = false;
+    for (auto& [target, indices] : shards) {
+      const NodeAddress address = table_.Instance(target).address;
+      std::vector<Request> batch;
+      batch.reserve(indices.size());
+      for (std::size_t i : indices) {
+        Request request;
+        request.op = op;
+        request.seq = seqs[i];
+        request.key = keys[i];
+        if (!values.empty()) request.value = values[i];
+        request.epoch = table_.epoch();
+        request.replica_index = static_cast<std::uint8_t>(replica_try[i]);
+        request.client_id = client_id_;
+        batch.push_back(std::move(request));
+      }
+
+      auto replies =
+          transport_->CallBatch(address, batch, options_.cluster.op_timeout);
+      if (!replies.ok()) {
+        // The shard shared one network exchange: back off once, and fail
+        // the whole shard over together when the detector declares death.
+        ++stats_.retries;
+        Backoff(detector_.BackoffFor(address));
+        const bool dead = detector_.RecordFailure(address);
+        if (dead) {
+          ReportFailure(target);
+          transport_->Invalidate(address);
+          ++stats_.failovers;
+        }
+        for (std::size_t i : indices) {
+          last_transport[i] = replies.status().code();
+          if (dead) ++replica_try[i];
+          still_pending.push_back(i);
+        }
+        continue;
+      }
+      detector_.RecordSuccess(address);
+
+      bool membership_applied = false;
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        const std::size_t i = indices[j];
+        Response& sub = (*replies)[j];
+        const StatusCode code = static_cast<StatusCode>(sub.status);
+        if (code == StatusCode::kRedirect) {
+          // Partition moved mid-batch: apply the piggybacked delta once
+          // (the server attaches it to the first redirected sub-op) and
+          // re-shard the key next round.
+          ++stats_.redirects_followed;
+          if (!sub.membership.empty() && !membership_applied) {
+            membership_applied = true;
+            Status applied = table_.ApplyUpdate(sub.membership);
+            if (!applied.ok()) {
+              Request pull;
+              pull.op = OpCode::kMembershipPull;
+              pull.seq = next_seq_++;
+              auto snapshot = transport_->Call(address, pull,
+                                               options_.cluster.op_timeout);
+              if (snapshot.ok() && !snapshot->membership.empty()) {
+                table_.ApplyUpdate(snapshot->membership);
+              }
+            }
+          }
+          replica_try[i] = 0;
+          last_transport[i] = StatusCode::kTimeout;
+          still_pending.push_back(i);
+          continue;
+        }
+        if (code == StatusCode::kMigrating) {
+          ++stats_.retries;
+          migrating_seen = true;
+          last_transport[i] = StatusCode::kTimeout;
+          still_pending.push_back(i);
+          continue;
+        }
+        results[i] = std::move(sub);
+      }
+    }
+    if (migrating_seen) Backoff(options_.migrating_backoff);
+    pending = std::move(still_pending);
+  }
+
+  for (std::size_t i : pending) {
+    results[i] = last_transport[i] == StatusCode::kNetwork
+                     ? Result<Response>(
+                           Status(StatusCode::kUnavailable, "node unreachable"))
+                     : Result<Response>(Status(StatusCode::kTimeout,
+                                               "attempts exhausted"));
+  }
+  return results;
 }
 
 Status ZhtClient::Insert(std::string_view key, std::string_view value) {
@@ -160,6 +313,53 @@ Status ZhtClient::Append(std::string_view key, std::string_view value) {
   return result->status_as_object();
 }
 
+namespace {
+
+std::vector<Status> FlattenStatuses(std::vector<Result<Response>> responses) {
+  std::vector<Status> out;
+  out.reserve(responses.size());
+  for (auto& response : responses) {
+    out.push_back(response.ok() ? response->status_as_object()
+                                : response.status());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Status> ZhtClient::MultiInsert(std::span<const KeyValue> pairs) {
+  std::vector<std::string> keys;
+  std::vector<std::string> values;
+  keys.reserve(pairs.size());
+  values.reserve(pairs.size());
+  for (const KeyValue& pair : pairs) {
+    keys.push_back(pair.key);
+    values.push_back(pair.value);
+  }
+  return FlattenStatuses(ExecuteBatch(OpCode::kInsert, keys, values));
+}
+
+std::vector<Result<std::string>> ZhtClient::MultiLookup(
+    std::span<const std::string> keys) {
+  auto responses = ExecuteBatch(OpCode::kLookup, keys, {});
+  std::vector<Result<std::string>> out;
+  out.reserve(responses.size());
+  for (auto& response : responses) {
+    if (!response.ok()) {
+      out.push_back(response.status());
+    } else if (!response->ok()) {
+      out.push_back(response->status_as_object());
+    } else {
+      out.push_back(std::move(response->value));
+    }
+  }
+  return out;
+}
+
+std::vector<Status> ZhtClient::MultiRemove(std::span<const std::string> keys) {
+  return FlattenStatuses(ExecuteBatch(OpCode::kRemove, keys, {}));
+}
+
 Status ZhtClient::Ping(InstanceId instance) {
   if (instance >= table_.instance_count()) {
     return Status(StatusCode::kInvalidArgument, "no such instance");
@@ -169,7 +369,7 @@ Status ZhtClient::Ping(InstanceId instance) {
   request.seq = next_seq_++;
   request.epoch = table_.epoch();
   auto result = transport_->Call(table_.Instance(instance).address, request,
-                                 options_.op_timeout);
+                                 options_.cluster.op_timeout);
   if (!result.ok()) return result.status();
   return result->status_as_object();
 }
@@ -183,7 +383,7 @@ Status ZhtClient::Broadcast(std::string_view key, std::string_view value) {
   request.epoch = table_.epoch();
   // Root of the spanning tree is instance 0.
   auto result = transport_->Call(table_.Instance(0).address, request,
-                                 options_.op_timeout);
+                                 options_.cluster.op_timeout);
   if (!result.ok()) return result.status();
   return result->status_as_object();
 }
@@ -198,7 +398,7 @@ Status ZhtClient::RefreshMembership(std::optional<InstanceId> from) {
   pull.seq = next_seq_++;
   pull.epoch = table_.epoch();
   auto result = transport_->Call(table_.Instance(source).address, pull,
-                                 options_.op_timeout);
+                                 options_.cluster.op_timeout);
   if (!result.ok()) return result.status();
   if (result->membership.empty()) {
     return Status(StatusCode::kInternal, "empty membership response");

@@ -5,17 +5,40 @@
 //   int    remove(key);
 //   int    append(key, value);
 //
-// plus ping and the broadcast primitive. The client owns a full membership
-// table (zero-hop routing), refreshes it lazily from REDIRECT responses,
-// retries with exponential back-off on timeouts, fails over along the
-// replica chain, and reports dead nodes to a manager when one is
-// configured (§III.C "Node departures").
+// plus ping, the broadcast primitive, and the batched Multi* variants.
+// The client owns a full membership table (zero-hop routing), refreshes it
+// lazily from REDIRECT responses, retries with exponential back-off on
+// timeouts, fails over along the replica chain, and reports dead nodes to
+// a manager when one is configured (§III.C "Node departures").
+//
+// ## Status contract
+//
+// Every public call resolves to exactly one of these codes:
+//
+//   kOk              the operation applied (or the key was found).
+//   kNotFound        Lookup/Remove of an absent key. Never a failure of
+//                    the transport — the owning server answered.
+//   kInvalidArgument the request is malformed (e.g. unknown instance id).
+//   kTimeout         servers were reachable but no attempt completed
+//                    within the per-op budget (includes a partition stuck
+//                    in kMigrating past max_attempts).
+//   kUnavailable     a transport-level failure: no alive replica for the
+//                    key, or every candidate connection failed outright.
+//                    Distinguished from kTimeout so callers can tell "slow
+//                    cluster" from "dead cluster".
+//
+// kRedirect and kMigrating NEVER escape this API: redirects are followed
+// (applying the piggybacked membership delta) and migrating partitions are
+// retried with back-off, both within the same logical operation.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "core/cluster_options.h"
 #include "core/failure_detector.h"
 #include "membership/membership_table.h"
 #include "net/transport.h"
@@ -23,8 +46,7 @@
 namespace zht {
 
 struct ZhtClientOptions {
-  int num_replicas = 0;            // must match the servers' setting
-  Nanos op_timeout = 200 * kNanosPerMilli;
+  ClusterOptions cluster;          // must match the servers' setting
   int max_attempts = 8;            // total tries across redirects/retries
   Nanos migrating_backoff = 1 * kNanosPerMilli;
   FailureDetectorOptions failure_detector;
@@ -33,6 +55,12 @@ struct ZhtClientOptions {
   std::uint64_t client_id = 0;     // 0 = pick a random identity; paired
                                    // with seq it makes append at-most-once
                                    // under retransmission
+};
+
+// One key/value pair for the batched mutation calls.
+struct KeyValue {
+  std::string key;
+  std::string value;
 };
 
 struct ZhtClientStats {
@@ -55,6 +83,18 @@ class ZhtClient {
   Status Remove(std::string_view key);
   Status Append(std::string_view key, std::string_view value);
 
+  // Batched variants: keys are sharded by owning instance (zero-hop, from
+  // the local membership table), one pipelined BATCH call goes to each
+  // owner, and the per-key outcomes are spliced back into input order.
+  // Each element obeys the status contract above — a redirected or
+  // migrating sub-operation is retried within the call, and one slow shard
+  // cannot fail the others. Results are positional: result[i] is the
+  // outcome for input i.
+  std::vector<Status> MultiInsert(std::span<const KeyValue> pairs);
+  std::vector<Result<std::string>> MultiLookup(
+      std::span<const std::string> keys);
+  std::vector<Status> MultiRemove(std::span<const std::string> keys);
+
   // Liveness probe of a specific instance.
   Status Ping(InstanceId instance);
 
@@ -72,6 +112,11 @@ class ZhtClient {
  private:
   Result<Response> Execute(OpCode op, std::string_view key,
                            std::string_view value);
+  // Shard-by-owner batch engine behind the Multi* calls: returns one final
+  // Response per input, in input order.
+  std::vector<Result<Response>> ExecuteBatch(
+      OpCode op, std::span<const std::string> keys,
+      std::span<const std::string> values);
   void ReportFailure(InstanceId instance);
   void Backoff(Nanos duration);
 

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "novoht/novoht.h"
+#include "serialize/batch.h"
 #include "serialize/wire.h"
 
 namespace zht {
@@ -120,7 +121,8 @@ bool ZhtServer::IsDuplicateAppend(const Request& request) {
 }
 
 Response ZhtServer::RedirectTo(InstanceId owner, std::uint64_t seq,
-                               std::uint32_t requester_epoch) {
+                               std::uint32_t requester_epoch,
+                               bool include_membership) {
   // Lazy membership update (§III.C): the wrong-owner reply carries the
   // delta the requester is missing — one message per client per partition
   // move.
@@ -128,7 +130,9 @@ Response ZhtServer::RedirectTo(InstanceId owner, std::uint64_t seq,
   resp.seq = seq;
   resp.status = Status(StatusCode::kRedirect).raw();
   resp.epoch = table_.epoch();
-  resp.membership = table_.EncodeDelta(requester_epoch);
+  if (include_membership) {
+    resp.membership = table_.EncodeDelta(requester_epoch);
+  }
   if (owner < table_.instance_count()) {
     const auto& info = table_.Instance(owner);
     resp.redirect_host = info.address.host;
@@ -144,6 +148,8 @@ Response ZhtServer::Handle(Request&& request) {
     case OpCode::kRemove:
     case OpCode::kAppend:
       return HandleData(std::move(request));
+    case OpCode::kBatch:
+      return HandleBatch(std::move(request));
     case OpCode::kPing: {
       Response resp;
       resp.seq = request.seq;
@@ -207,72 +213,80 @@ Response ZhtServer::Handle(Request&& request) {
   }
 }
 
-Response ZhtServer::HandleData(Request&& request) {
+Response ZhtServer::ApplyDataOpLocked(const Request& request,
+                                      bool include_redirect_delta,
+                                      bool* replicate, PartitionId* partition,
+                                      std::vector<InstanceId>* chain) {
   Response resp;
   resp.seq = request.seq;
+  *replicate = false;
 
-  PartitionId partition = 0;
-  std::vector<InstanceId> chain;
-  Status status;
-  std::string lookup_value;
-  bool replicate = false;
+  *partition = table_.PartitionOfKey(request.key);
+  resp.epoch = table_.epoch();
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    partition = table_.PartitionOfKey(request.key);
-    resp.epoch = table_.epoch();
-
-    if (migrating_.count(partition)) {
-      // Partition is locked mid-migration (§III.C "Data Migration"): state
-      // cannot be modified; the client backs off and retries, which
-      // realizes the paper's request queueing at the sender.
-      resp.status = Status(StatusCode::kMigrating).raw();
-      return resp;
-    }
-
-    chain = table_.ReplicaChain(partition, options_.num_replicas);
-
-    const bool is_replica_traffic =
-        request.server_origin && request.replica_index > 0;
-    const bool is_client_failover = !request.server_origin &&
-                                    request.replica_index > 0;
-
-    if (!is_replica_traffic) {
-      bool in_chain = false;
-      for (std::size_t i = 0; i < chain.size(); ++i) {
-        if (chain[i] == options_.self) {
-          in_chain = true;
-          break;
-        }
-      }
-      const bool is_primary = !chain.empty() && chain[0] == options_.self;
-      if (!is_primary && !(is_client_failover && in_chain)) {
-        ++stats_.redirects;
-        return RedirectTo(chain.empty() ? 0 : chain[0], request.seq,
-                          request.epoch);
-      }
-    }
-
-    if (request.op == OpCode::kAppend && IsDuplicateAppend(request)) {
-      // Retransmission of an append we already applied: acknowledge
-      // success without re-applying.
-      ++stats_.duplicate_appends_dropped;
-      resp.status = Status::Ok().raw();
-      return resp;
-    }
-
-    status = ApplyToStore(request.op, partition, request.key, request.value,
-                          &lookup_value);
-    ++stats_.ops;
-
-    replicate = status.ok() && request.op != OpCode::kLookup &&
-                options_.num_replicas > 0 && !request.server_origin &&
-                request.replica_index == 0 && chain.size() > 1;
+  if (migrating_.count(*partition)) {
+    // Partition is locked mid-migration (§III.C "Data Migration"): state
+    // cannot be modified; the client backs off and retries, which
+    // realizes the paper's request queueing at the sender.
+    resp.status = Status(StatusCode::kMigrating).raw();
+    return resp;
   }
+
+  *chain = table_.ReplicaChain(*partition, options_.cluster.num_replicas);
+
+  const bool is_replica_traffic =
+      request.server_origin && request.replica_index > 0;
+  const bool is_client_failover =
+      !request.server_origin && request.replica_index > 0;
+
+  if (!is_replica_traffic) {
+    bool in_chain = false;
+    for (InstanceId member : *chain) {
+      if (member == options_.self) {
+        in_chain = true;
+        break;
+      }
+    }
+    const bool is_primary = !chain->empty() && (*chain)[0] == options_.self;
+    if (!is_primary && !(is_client_failover && in_chain)) {
+      ++stats_.redirects;
+      return RedirectTo(chain->empty() ? 0 : (*chain)[0], request.seq,
+                        request.epoch, include_redirect_delta);
+    }
+  }
+
+  if (request.op == OpCode::kAppend && IsDuplicateAppend(request)) {
+    // Retransmission of an append we already applied: acknowledge
+    // success without re-applying.
+    ++stats_.duplicate_appends_dropped;
+    resp.status = Status::Ok().raw();
+    return resp;
+  }
+
+  std::string lookup_value;
+  Status status = ApplyToStore(request.op, *partition, request.key,
+                               request.value, &lookup_value);
+  ++stats_.ops;
+
+  *replicate = status.ok() && request.op != OpCode::kLookup &&
+               options_.cluster.num_replicas > 0 && !request.server_origin &&
+               request.replica_index == 0 && chain->size() > 1;
 
   resp.status = status.raw();
   resp.value = std::move(lookup_value);
+  return resp;
+}
 
+Response ZhtServer::HandleData(Request&& request) {
+  PartitionId partition = 0;
+  std::vector<InstanceId> chain;
+  bool replicate = false;
+  Response resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    resp = ApplyDataOpLocked(request, /*include_redirect_delta=*/true,
+                             &replicate, &partition, &chain);
+  }
   if (replicate) {
     // Outside the server lock: a synchronous hop to the secondary keeps
     // primary+secondary strongly consistent; further replicas go through
@@ -280,6 +294,71 @@ Response ZhtServer::HandleData(Request&& request) {
     ReplicateSync(request, partition, chain);
   }
   return resp;
+}
+
+Response ZhtServer::HandleBatch(Request&& request) {
+  Response carrier;
+  carrier.seq = request.seq;
+  auto batch = BatchRequest::Decode(request.value);
+  if (!batch.ok()) {
+    carrier.status = batch.status().raw();
+    return carrier;
+  }
+
+  BatchResponse out;
+  out.responses.reserve(batch->ops.size());
+  std::vector<Request> replicate_ops;
+  std::vector<PartitionId> replicate_partitions;
+  std::vector<std::vector<InstanceId>> replicate_chains;
+  std::uint32_t epoch = 0;
+
+  // One lock acquisition applies every sub-op: the batch lands as a unit
+  // with no interleaved single-op traffic.
+  bool delta_sent = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = table_.epoch();
+    for (Request& op : batch->ops) {
+      switch (op.op) {
+        case OpCode::kInsert:
+        case OpCode::kLookup:
+        case OpCode::kRemove:
+        case OpCode::kAppend: {
+          bool replicate = false;
+          PartitionId partition = 0;
+          std::vector<InstanceId> chain;
+          Response sub = ApplyDataOpLocked(op, !delta_sent, &replicate,
+                                           &partition, &chain);
+          if (sub.status == Status(StatusCode::kRedirect).raw() &&
+              !sub.membership.empty()) {
+            delta_sent = true;
+          }
+          if (replicate) {
+            replicate_ops.push_back(op);
+            replicate_partitions.push_back(partition);
+            replicate_chains.push_back(std::move(chain));
+          }
+          out.responses.push_back(std::move(sub));
+          break;
+        }
+        default: {
+          // Batches carry data operations only; nested batches and control
+          // messages are rejected per sub-op, not per batch.
+          Response sub;
+          sub.seq = op.seq;
+          sub.status = Status(StatusCode::kInvalidArgument).raw();
+          out.responses.push_back(std::move(sub));
+          break;
+        }
+      }
+    }
+  }
+
+  if (!replicate_ops.empty()) {
+    ReplicateBatch(std::move(replicate_ops), replicate_partitions,
+                   replicate_chains);
+  }
+  return PackBatchResponse(out, request.seq, epoch);
 }
 
 void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
@@ -297,7 +376,7 @@ void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
       ++stats_.replications_sync;
     }
     auto result =
-        peer_transport_->Call(secondary, forward, options_.peer_timeout);
+        peer_transport_->Call(secondary, forward, options_.cluster.peer_timeout);
     if (!result.ok()) {
       ZHT_WARN << "sync replication to " << secondary.ToString()
                << " failed: " << result.status().ToString();
@@ -310,6 +389,68 @@ void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
     EnqueueAsyncReplication(std::move(async), chain[i]);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.replications_async;
+  }
+}
+
+void ZhtServer::ReplicateBatch(
+    std::vector<Request> ops, const std::vector<PartitionId>& partitions,
+    const std::vector<std::vector<InstanceId>>& chains) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ops[i].server_origin = true;
+    ops[i].partition = partitions[i];
+  }
+
+  // Synchronous leg: group sub-ops by their secondary and push each group
+  // as one pipelined BATCH call before acknowledging the client.
+  if (options_.sync_secondary) {
+    std::unordered_map<InstanceId, std::vector<Request>> groups;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (chains[i].size() > 1) {
+        Request forward = ops[i];
+        forward.replica_index = 1;
+        groups[chains[i][1]].push_back(std::move(forward));
+      }
+    }
+    for (auto& [target_id, group] : groups) {
+      NodeAddress target;
+      bool have_target = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (target_id < table_.instance_count()) {
+          target = table_.Instance(target_id).address;
+          have_target = true;
+          stats_.replications_sync += group.size();
+        }
+      }
+      if (!have_target) continue;
+      auto result =
+          peer_transport_->CallBatch(target, group, options_.cluster.peer_timeout);
+      if (!result.ok()) {
+        ZHT_WARN << "sync batch replication to " << target.ToString()
+                 << " failed: " << result.status().ToString();
+      }
+    }
+  }
+
+  // Asynchronous legs: one queued BATCH carrier per (replica slot, target)
+  // group, so further replicas also receive the batch as a unit.
+  std::size_t first_async = options_.sync_secondary ? 2 : 1;
+  std::unordered_map<InstanceId, std::vector<Request>> async_groups;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t r = first_async; r < chains[i].size(); ++r) {
+      Request forward = ops[i];
+      forward.replica_index = static_cast<std::uint8_t>(r);
+      async_groups[chains[i][r]].push_back(std::move(forward));
+    }
+  }
+  for (auto& [target_id, group] : async_groups) {
+    Request packed =
+        PackBatchRequest(group, group.front().seq, /*server_origin=*/true);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.replications_async += group.size();
+    }
+    EnqueueAsyncReplication(std::move(packed), target_id);
   }
 }
 
@@ -344,7 +485,7 @@ void ZhtServer::AsyncReplicationLoop() {
     }
     if (have_target) {
       auto result =
-          peer_transport_->Call(target, item.first, options_.peer_timeout);
+          peer_transport_->Call(target, item.first, options_.cluster.peer_timeout);
       if (!result.ok()) {
         ZHT_DEBUG << "async replication to " << target.ToString()
                   << " failed: " << result.status().ToString();
@@ -455,7 +596,7 @@ Status ZhtServer::MigratePartitionTo(PartitionId partition,
   begin.partition = partition;
   begin.server_origin = true;
   auto begin_result =
-      peer_transport_->Call(target, begin, options_.peer_timeout);
+      peer_transport_->Call(target, begin, options_.cluster.peer_timeout);
   if (!begin_result.ok()) return fail(begin_result.status());
   if (!begin_result->ok()) return fail(begin_result->status_as_object());
 
@@ -471,7 +612,7 @@ Status ZhtServer::MigratePartitionTo(PartitionId partition,
     data.value = PackPairs(batch);
     batch.clear();
     batch_bytes = 0;
-    auto result = peer_transport_->Call(target, data, options_.peer_timeout);
+    auto result = peer_transport_->Call(target, data, options_.cluster.peer_timeout);
     if (!result.ok()) return result.status();
     if (!result->ok()) return result->status_as_object();
     return Status::Ok();
@@ -491,7 +632,7 @@ Status ZhtServer::MigratePartitionTo(PartitionId partition,
   end.op = OpCode::kMigrateEnd;
   end.partition = partition;
   end.server_origin = true;
-  auto end_result = peer_transport_->Call(target, end, options_.peer_timeout);
+  auto end_result = peer_transport_->Call(target, end, options_.cluster.peer_timeout);
   if (!end_result.ok()) return fail(end_result.status());
   if (!end_result->ok()) return fail(end_result->status_as_object());
 
@@ -534,7 +675,7 @@ Status ZhtServer::RepairPartition(PartitionId partition) {
         pairs.emplace_back(std::string(k), std::string(v));
       });
     }
-    chain = table_.ReplicaChain(partition, options_.num_replicas);
+    chain = table_.ReplicaChain(partition, options_.cluster.num_replicas);
   }
   for (const auto& [key, value] : pairs) {
     for (std::size_t i = 1; i < chain.size(); ++i) {

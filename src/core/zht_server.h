@@ -19,6 +19,7 @@
 #include <unordered_set>
 
 #include "common/status.h"
+#include "core/cluster_options.h"
 #include "membership/membership_table.h"
 #include "net/transport.h"
 #include "novoht/kv_store.h"
@@ -30,9 +31,8 @@ using StoreFactory =
 
 struct ZhtServerOptions {
   InstanceId self = 0;
-  int num_replicas = 0;          // replicas beyond the primary
+  ClusterOptions cluster;        // deployment-wide: replicas + timeouts
   bool sync_secondary = true;    // primary+secondary strong consistency
-  Nanos peer_timeout = 500 * kNanosPerMilli;
   std::size_t migrate_batch_bytes = 256 * 1024;
   // Factory for partition stores. Defaults to in-memory NoVoHT.
   StoreFactory store_factory;
@@ -84,6 +84,7 @@ class ZhtServer {
 
  private:
   Response HandleData(Request&& request);
+  Response HandleBatch(Request&& request);
   Response HandleReplicate(Request&& request);
   Response HandleMigrateBegin(Request&& request);
   Response HandleMigrateData(Request&& request);
@@ -98,10 +99,27 @@ class ZhtServer {
                       std::string_view value, std::string* out);
   KVStore* StoreFor(PartitionId partition);  // creates on demand
   Response RedirectTo(InstanceId owner, std::uint64_t seq,
-                      std::uint32_t requester_epoch);
+                      std::uint32_t requester_epoch,
+                      bool include_membership = true);
+
+  // Applies one data operation: ownership check (REDIRECT), migration lock,
+  // append dedup, store mutation. Shared by the single-op and BATCH paths.
+  // Caller holds mu_. `include_redirect_delta` controls whether a REDIRECT
+  // reply carries the membership delta (a batch piggybacks it once, on its
+  // first redirected sub-op, not on every sub-response).
+  Response ApplyDataOpLocked(const Request& request,
+                             bool include_redirect_delta, bool* replicate,
+                             PartitionId* partition,
+                             std::vector<InstanceId>* chain);
 
   void ReplicateSync(const Request& original, PartitionId partition,
                      const std::vector<InstanceId>& chain);
+  // Replicates a batch's mutating sub-ops as units: sub-ops are grouped by
+  // chain target and each group crosses the wire as one BATCH message
+  // (synchronously to secondaries, queued for further replicas).
+  void ReplicateBatch(std::vector<Request> ops,
+                      const std::vector<PartitionId>& partitions,
+                      const std::vector<std::vector<InstanceId>>& chains);
   void EnqueueAsyncReplication(Request request, InstanceId target);
   void AsyncReplicationLoop();
 

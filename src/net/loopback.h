@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "net/transport.h"
+#include "serialize/batch.h"
 
 namespace zht {
 
@@ -57,6 +58,24 @@ class LoopbackTransport final : public ClientTransport {
                         Nanos timeout) override {
     (void)timeout;  // loopback failures surface as kTimeout directly
     return network_->Deliver(to, request);
+  }
+
+  // One delivery for the whole batch: the BATCH envelope crosses the
+  // in-process "wire" as a single message, matching a single frame on TCP.
+  Result<std::vector<Response>> CallBatch(const NodeAddress& to,
+                                          std::span<const Request> requests,
+                                          Nanos timeout) override {
+    if (requests.empty()) return std::vector<Response>{};
+    Request carrier = PackBatchRequest(requests, requests.front().seq);
+    auto response = network_->Deliver(to, carrier);
+    if (!response.ok()) return response.status();
+    if (response->status ==
+            Status(StatusCode::kInvalidArgument).raw() &&
+        response->value.empty()) {
+      // Peer does not speak BATCH (e.g. a manager): fall back to per-op.
+      return ClientTransport::CallBatch(to, requests, timeout);
+    }
+    return UnpackBatchResponse(*response, requests.size());
   }
 
  private:

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "net/framing.h"
+#include "serialize/batch.h"
 
 namespace zht {
 namespace {
@@ -153,6 +154,24 @@ void TcpClient::Invalidate(const NodeAddress& to) {
   }
 }
 
+Result<int> TcpClient::Acquire(const NodeAddress& to, const Clock& clock,
+                               Nanos deadline, bool* from_cache) {
+  *from_cache = false;
+  if (options_.cache_connections) {
+    auto it = cache_.find(to);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      int fd = it->second.fd;
+      lru_.erase(it->second.lru_it);
+      cache_.erase(it);  // removed from the cache while in use
+      *from_cache = true;
+      return fd;
+    }
+  }
+  ++connects_;
+  return ConnectTo(to, clock, deadline);
+}
+
 Result<Response> TcpClient::Call(const NodeAddress& to, const Request& request,
                                  Nanos timeout) {
   std::lock_guard<std::mutex> lock(call_mu_);
@@ -165,27 +184,10 @@ Result<Response> TcpClient::Call(const NodeAddress& to, const Request& request,
   // fresh connection. Failures on a fresh connection are definitive.
   for (int round = 0; round < 2; ++round) {
     bool from_cache = false;
-    int fd;
-    if (round == 0 && options_.cache_connections) {
-      auto it = cache_.find(to);
-      if (it != cache_.end()) {
-        ++cache_hits_;
-        fd = it->second.fd;
-        lru_.erase(it->second.lru_it);
-        cache_.erase(it);  // removed from the cache while in use
-        from_cache = true;
-      } else {
-        ++connects_;
-        auto fresh = ConnectTo(to, clock, deadline);
-        if (!fresh.ok()) return fresh.status();
-        fd = *fresh;
-      }
-    } else {
-      ++connects_;
-      auto fresh = ConnectTo(to, clock, deadline);
-      if (!fresh.ok()) return fresh.status();
-      fd = *fresh;
-    }
+    auto acquired = Acquire(to, clock, deadline, &from_cache);
+    if (!acquired.ok()) return acquired.status();
+    int fd = *acquired;
+    if (round > 0) from_cache = false;
 
     Status status = WriteWithDeadline(fd, frame, clock, deadline);
     if (status.ok()) {
@@ -201,6 +203,74 @@ Result<Response> TcpClient::Call(const NodeAddress& to, const Request& request,
         return *response;
       }
       status = payload.status();
+    }
+    ::close(fd);
+    if (from_cache && status.code() == StatusCode::kNetwork) {
+      continue;  // stale cached socket: one fresh retry
+    }
+    return status;
+  }
+  return Status(StatusCode::kNetwork, "unreachable");
+}
+
+Result<std::vector<Response>> TcpClient::CallBatch(
+    const NodeAddress& to, std::span<const Request> requests, Nanos timeout) {
+  if (requests.empty()) return std::vector<Response>{};
+  if (requests.size() == 1) {
+    auto response = Call(to, requests.front(), timeout);
+    if (!response.ok()) return response.status();
+    return std::vector<Response>{std::move(*response)};
+  }
+
+  std::lock_guard<std::mutex> lock(call_mu_);
+  const Clock& clock = SystemClock::Instance();
+  const Nanos deadline = clock.Now() + timeout;
+
+  // Chunk under the frame budget, then concatenate every chunk's BATCH
+  // frame: one write puts the whole pipeline on the wire before the first
+  // response is read.
+  auto chunks = ChunkBatch(requests, options_.max_batch_bytes);
+  std::string wire_bytes;
+  std::uint64_t seq = requests.front().seq != 0 ? requests.front().seq : 1;
+  for (const auto& chunk : chunks) {
+    Request carrier = PackBatchRequest(chunk, seq++);
+    wire_bytes += FrameMessage(carrier.Encode());
+  }
+
+  for (int round = 0; round < 2; ++round) {
+    bool from_cache = false;
+    auto acquired = Acquire(to, clock, deadline, &from_cache);
+    if (!acquired.ok()) return acquired.status();
+    int fd = *acquired;
+    if (round > 0) from_cache = false;
+
+    Status status = WriteWithDeadline(fd, wire_bytes, clock, deadline);
+    if (status.ok()) {
+      std::string carry;
+      std::vector<Response> responses;
+      responses.reserve(requests.size());
+      for (const auto& chunk : chunks) {
+        auto payload = ReadFrameWithDeadline(fd, clock, deadline, &carry);
+        if (!payload.ok()) {
+          status = payload.status();
+          break;
+        }
+        auto carrier = Response::Decode(*payload);
+        if (!carrier.ok()) {
+          ::close(fd);
+          return carrier.status();
+        }
+        auto subs = UnpackBatchResponse(*carrier, chunk.size());
+        if (!subs.ok()) {
+          ::close(fd);
+          return subs.status();
+        }
+        for (auto& sub : *subs) responses.push_back(std::move(sub));
+      }
+      if (responses.size() == requests.size()) {
+        Release(to, fd, /*healthy=*/true);
+        return responses;
+      }
     }
     ::close(fd);
     if (from_cache && status.code() == StatusCode::kNetwork) {

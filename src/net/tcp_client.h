@@ -17,6 +17,10 @@ namespace zht {
 struct TcpClientOptions {
   bool cache_connections = true;
   std::size_t cache_capacity = 64;  // open sockets kept per client
+  // CallBatch splits batches into BATCH-envelope frames of at most this
+  // payload size; the frames are written back-to-back (one send for the
+  // common single-frame case) and their responses read pipelined.
+  std::size_t max_batch_bytes = 1u << 20;
 };
 
 class TcpClient final : public ClientTransport {
@@ -30,12 +34,23 @@ class TcpClient final : public ClientTransport {
   Result<Response> Call(const NodeAddress& to, const Request& request,
                         Nanos timeout) override;
 
+  // Pipelined batch: every BATCH-envelope frame goes out before the first
+  // response is read, so the batch pays one round-trip (per frame chunk)
+  // instead of one per operation.
+  Result<std::vector<Response>> CallBatch(const NodeAddress& to,
+                                          std::span<const Request> requests,
+                                          Nanos timeout) override;
+
   void Invalidate(const NodeAddress& to) override;
 
   std::uint64_t connects() const { return connects_; }
   std::uint64_t cache_hits() const { return cache_hits_; }
 
  private:
+  // Pops a cached connection to `to` or opens a fresh one. Caller holds
+  // call_mu_ and owns the returned fd until Release/close.
+  Result<int> Acquire(const NodeAddress& to, const Clock& clock,
+                      Nanos deadline, bool* from_cache);
   void Release(const NodeAddress& to, int fd, bool healthy);
   void EvictLru();
 

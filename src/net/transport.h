@@ -5,6 +5,8 @@
 
 #include <functional>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/clock.h"
 #include "net/address.h"
@@ -26,6 +28,27 @@ class ClientTransport {
 
   virtual Result<Response> Call(const NodeAddress& to, const Request& request,
                                 Nanos timeout) = 0;
+
+  // Batched RPC: sends `requests` to one destination and returns exactly
+  // requests.size() responses in order, or a batch-level error (transport
+  // failure / undecodable reply) in which case no partial results are
+  // surfaced. `timeout` covers the whole batch. The default walks the batch
+  // with one Call() per request, so every transport is batch-correct;
+  // transports override it to put many sub-requests on the wire per frame
+  // (TCP: one framed write + pipelined reads, UDP: MTU-sized fragments,
+  // loopback: a single delivery).
+  virtual Result<std::vector<Response>> CallBatch(
+      const NodeAddress& to, std::span<const Request> requests,
+      Nanos timeout) {
+    std::vector<Response> responses;
+    responses.reserve(requests.size());
+    for (const Request& request : requests) {
+      auto response = Call(to, request, timeout);
+      if (!response.ok()) return response.status();
+      responses.push_back(std::move(*response));
+    }
+    return responses;
+  }
 
   // Drops any cached connection to `to` (used when a node is marked dead).
   virtual void Invalidate(const NodeAddress& /*to*/) {}

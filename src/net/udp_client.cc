@@ -10,6 +10,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "serialize/batch.h"
+
 namespace zht {
 
 UdpClient::UdpClient(UdpClientOptions options) : options_(options) {
@@ -79,6 +81,37 @@ Result<Response> UdpClient::Call(const NodeAddress& to, const Request& request,
   }
   return Status(StatusCode::kTimeout,
                 "no acknowledgement from " + to.ToString());
+}
+
+Result<std::vector<Response>> UdpClient::CallBatch(
+    const NodeAddress& to, std::span<const Request> requests, Nanos timeout) {
+  if (requests.empty()) return std::vector<Response>{};
+  if (requests.size() == 1) {
+    auto response = Call(to, requests.front(), timeout);
+    if (!response.ok()) return response.status();
+    return std::vector<Response>{std::move(*response)};
+  }
+
+  const Clock& clock = SystemClock::Instance();
+  const Nanos deadline = clock.Now() + timeout;
+
+  auto chunks = ChunkBatch(requests, options_.max_datagram_bytes);
+  std::vector<Response> responses;
+  responses.reserve(requests.size());
+  for (const auto& chunk : chunks) {
+    Nanos remaining = deadline - clock.Now();
+    if (remaining <= 0) return Status(StatusCode::kTimeout, "batch timeout");
+    // Call() assigns the carrier's datagram seq, acks it, and retransmits
+    // on loss; a retransmitted carrier re-applies sub-ops whose own seqs
+    // are unchanged, so server-side append dedup still holds.
+    Request carrier = PackBatchRequest(chunk, /*seq=*/0);
+    auto reply = Call(to, carrier, remaining);
+    if (!reply.ok()) return reply.status();
+    auto subs = UnpackBatchResponse(*reply, chunk.size());
+    if (!subs.ok()) return subs.status();
+    for (auto& sub : *subs) responses.push_back(std::move(sub));
+  }
+  return responses;
 }
 
 }  // namespace zht

@@ -14,6 +14,10 @@ namespace zht {
 struct UdpClientOptions {
   int max_attempts = 4;           // initial send + retransmits
   Nanos initial_rto = 50 * kNanosPerMilli;  // doubles per retransmit
+  // CallBatch packs sub-requests into BATCH-envelope datagrams of at most
+  // this payload size, kept under a typical Ethernet MTU so no fragment
+  // relies on IP-level fragmentation.
+  std::size_t max_datagram_bytes = 1400;
 };
 
 class UdpClient final : public ClientTransport {
@@ -26,6 +30,13 @@ class UdpClient final : public ClientTransport {
 
   Result<Response> Call(const NodeAddress& to, const Request& request,
                         Nanos timeout) override;
+
+  // Fragments the batch into MTU-sized BATCH datagrams; each fragment is an
+  // independent ack'd exchange (a lost fragment retransmits alone). Safe
+  // across retransmits: append dedup keys on each sub-op's (client, seq).
+  Result<std::vector<Response>> CallBatch(const NodeAddress& to,
+                                          std::span<const Request> requests,
+                                          Nanos timeout) override;
 
   std::uint64_t retransmits() const { return retransmits_; }
 

@@ -1,0 +1,158 @@
+#include "serialize/batch.h"
+
+#include "serialize/wire.h"
+
+namespace zht {
+namespace {
+
+// A decoded batch may claim any count; cap what we preallocate so a
+// malicious header cannot balloon memory before the payload check fails.
+constexpr std::uint64_t kMaxBatchOps = 1u << 20;
+
+std::size_t EncodedSliceSize(const std::string& encoded) {
+  // varint length prefix (≤5 bytes for any sane message) + payload.
+  std::size_t n = encoded.size();
+  std::size_t prefix = 1;
+  while (n >= 128) {
+    n >>= 7;
+    ++prefix;
+  }
+  return prefix + encoded.size();
+}
+
+}  // namespace
+
+std::string BatchRequest::Encode() const {
+  std::string out;
+  wire::Writer w(&out);
+  w.PutVarint(ops.size());
+  for (const Request& op : ops) {
+    std::string encoded = op.Encode();
+    w.PutVarint(encoded.size());
+    w.PutBytes(encoded);
+  }
+  return out;
+}
+
+Result<BatchRequest> BatchRequest::Decode(std::string_view data) {
+  wire::Reader r(data);
+  std::uint64_t count = 0;
+  if (!r.GetVarint(&count)) {
+    return Status(StatusCode::kCorruption, "batch request header");
+  }
+  if (count > kMaxBatchOps || count > r.remaining()) {
+    return Status(StatusCode::kCorruption, "batch request count");
+  }
+  BatchRequest batch;
+  batch.ops.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t len = 0;
+    std::string_view slice;
+    if (!r.GetVarint(&len) || !r.GetBytes(len, &slice)) {
+      return Status(StatusCode::kCorruption, "batch request slice");
+    }
+    auto op = Request::Decode(slice);
+    if (!op.ok()) return op.status();
+    batch.ops.push_back(std::move(*op));
+  }
+  if (!r.AtEnd()) {
+    return Status(StatusCode::kCorruption, "batch request trailing bytes");
+  }
+  return batch;
+}
+
+std::string BatchResponse::Encode() const {
+  std::string out;
+  wire::Writer w(&out);
+  w.PutVarint(responses.size());
+  for (const Response& resp : responses) {
+    std::string encoded = resp.Encode();
+    w.PutVarint(encoded.size());
+    w.PutBytes(encoded);
+  }
+  return out;
+}
+
+Result<BatchResponse> BatchResponse::Decode(std::string_view data) {
+  wire::Reader r(data);
+  std::uint64_t count = 0;
+  if (!r.GetVarint(&count)) {
+    return Status(StatusCode::kCorruption, "batch response header");
+  }
+  if (count > kMaxBatchOps || count > r.remaining()) {
+    return Status(StatusCode::kCorruption, "batch response count");
+  }
+  BatchResponse batch;
+  batch.responses.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t len = 0;
+    std::string_view slice;
+    if (!r.GetVarint(&len) || !r.GetBytes(len, &slice)) {
+      return Status(StatusCode::kCorruption, "batch response slice");
+    }
+    auto resp = Response::Decode(slice);
+    if (!resp.ok()) return resp.status();
+    batch.responses.push_back(std::move(*resp));
+  }
+  if (!r.AtEnd()) {
+    return Status(StatusCode::kCorruption, "batch response trailing bytes");
+  }
+  return batch;
+}
+
+Request PackBatchRequest(std::span<const Request> ops, std::uint64_t seq,
+                         bool server_origin) {
+  BatchRequest batch;
+  batch.ops.assign(ops.begin(), ops.end());
+  Request carrier;
+  carrier.op = OpCode::kBatch;
+  carrier.seq = seq;
+  carrier.server_origin = server_origin;
+  carrier.value = batch.Encode();
+  return carrier;
+}
+
+Response PackBatchResponse(const BatchResponse& batch, std::uint64_t seq,
+                           std::uint32_t epoch) {
+  Response carrier;
+  carrier.seq = seq;
+  carrier.epoch = epoch;
+  carrier.value = batch.Encode();
+  return carrier;
+}
+
+Result<std::vector<Response>> UnpackBatchResponse(const Response& carrier,
+                                                  std::size_t expected) {
+  if (!carrier.ok() && carrier.value.empty()) {
+    // Batch-level failure: the peer rejected the envelope outright.
+    return Status(static_cast<StatusCode>(carrier.status),
+                  "batch rejected by peer");
+  }
+  auto batch = BatchResponse::Decode(carrier.value);
+  if (!batch.ok()) return batch.status();
+  if (batch->responses.size() != expected) {
+    return Status(StatusCode::kCorruption, "batch response count mismatch");
+  }
+  return std::move(batch->responses);
+}
+
+std::vector<std::vector<Request>> ChunkBatch(std::span<const Request> ops,
+                                             std::size_t max_bytes) {
+  std::vector<std::vector<Request>> chunks;
+  std::vector<Request> current;
+  std::size_t current_bytes = 0;
+  for (const Request& op : ops) {
+    std::size_t op_bytes = EncodedSliceSize(op.Encode());
+    if (!current.empty() && current_bytes + op_bytes > max_bytes) {
+      chunks.push_back(std::move(current));
+      current.clear();
+      current_bytes = 0;
+    }
+    current.push_back(op);
+    current_bytes += op_bytes;
+  }
+  if (!current.empty()) chunks.push_back(std::move(current));
+  return chunks;
+}
+
+}  // namespace zht

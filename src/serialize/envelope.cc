@@ -49,6 +49,7 @@ std::string_view OpCodeName(OpCode op) {
     case OpCode::kMigrateOut: return "MIGRATE_OUT";
     case OpCode::kRepair: return "REPAIR";
     case OpCode::kStats: return "STATS";
+    case OpCode::kBatch: return "BATCH";
   }
   return "UNKNOWN";
 }
@@ -83,7 +84,7 @@ Result<Request> Request::Decode(std::string_view data) {
     switch (field) {
       case kReqOp:
         if (!r.GetVarint(&v)) return Status(StatusCode::kCorruption, "op");
-        if (v < 1 || v > 17) {
+        if (v < 1 || v > 18) {
           return Status(StatusCode::kCorruption, "unknown opcode");
         }
         req.op = static_cast<OpCode>(v);

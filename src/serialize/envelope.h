@@ -28,6 +28,8 @@ enum class OpCode : std::uint8_t {
   kMigrateOut = 15,     // manager → source server: push a partition away
   kRepair = 16,         // manager → owner: re-replicate a partition's chain
   kStats = 17,          // admin: fetch server counters (ops, entries, ...)
+  kBatch = 18,          // BATCH envelope: N sub-requests in one frame
+                        // (serialize/batch.h); response packs N sub-responses
 };
 
 std::string_view OpCodeName(OpCode op);

@@ -15,13 +15,13 @@ namespace {
 LocalClusterOptions SmallCluster(int instances, int replicas = 0) {
   LocalClusterOptions options;
   options.num_instances = static_cast<std::uint32_t>(instances);
-  options.num_replicas = replicas;
+  options.cluster.num_replicas = replicas;
   return options;
 }
 
 ZhtClientOptions FastClient() {
   ZhtClientOptions options;
-  options.op_timeout = 200 * kNanosPerMilli;
+  options.cluster.op_timeout = 200 * kNanosPerMilli;
   options.failure_detector.failures_to_mark_dead = 1;
   options.failure_detector.initial_backoff = 0;
   options.sleep_on_backoff = false;
@@ -393,6 +393,46 @@ TEST(ZhtCoreTest, ConcurrentAppendsAllSurvive) {
       }
     }
   }
+}
+
+// Pins the documented client status contract (see zht_client.h):
+//  - absent keys surface kNotFound from Lookup and Remove,
+//  - kRedirect/kMigrating never escape the public API even while the
+//    membership moves under the client,
+//  - a dead replica chain surfaces kUnavailable, not a raw transport code.
+TEST(ZhtCoreTest, StatusContractHoldsAcrossClusterEvents) {
+  auto cluster = LocalCluster::Start(SmallCluster(3));
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->CreateClient(FastClient());
+
+  EXPECT_EQ(client->Lookup("absent").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client->Remove("absent").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(client->Insert("contract", "v1").ok());
+  EXPECT_TRUE(client->Insert("contract", "v2").ok());  // overwrite is kOk
+  EXPECT_EQ(client->Lookup("contract").value(), "v2");
+
+  // Shuffle ownership behind the client's back; every op must still resolve
+  // to a terminal status — the redirect loop is internal.
+  ASSERT_TRUE((*cluster)->JoinNewInstance().ok());
+  for (int i = 0; i < 50; ++i) {
+    std::string key = "contract-" + std::to_string(i);
+    ASSERT_TRUE(client->Insert(key, "v").ok());
+    StatusCode code = client->Lookup(key).status().code();
+    EXPECT_TRUE(code == StatusCode::kOk || code == StatusCode::kNotFound)
+        << StatusCodeName(code);
+    EXPECT_NE(code, StatusCode::kRedirect);
+    EXPECT_NE(code, StatusCode::kMigrating);
+  }
+
+  // Kill the whole cluster: the fast detector marks each instance dead and
+  // the chain exhausts, which the contract maps to kUnavailable.
+  for (std::size_t i = 0; i < (*cluster)->instance_count(); ++i) {
+    (*cluster)->KillInstance(static_cast<InstanceId>(i));
+  }
+  EXPECT_EQ(client->Insert("contract", "v3").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(client->Lookup("contract").status().code(),
+            StatusCode::kUnavailable);
 }
 
 }  // namespace

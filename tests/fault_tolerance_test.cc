@@ -81,7 +81,7 @@ TEST(FaultToleranceTest, ChurnUnderLoadLosesNoAckedWrite) {
   // failures under continuous writes without losing a single acked write.
   LocalClusterOptions options;
   options.num_instances = 6;
-  options.num_replicas = 2;
+  options.cluster.num_replicas = 2;
   auto cluster = LocalCluster::Start(options);
   ASSERT_TRUE(cluster.ok());
 
@@ -177,7 +177,7 @@ TEST_P(ClusterShapeTest, CrudModelEquivalence) {
   LocalClusterOptions options;
   options.num_instances = param.instances;
   options.instances_per_node = param.instances_per_node;
-  options.num_replicas = param.replicas;
+  options.cluster.num_replicas = param.replicas;
   auto cluster = LocalCluster::Start(options);
   ASSERT_TRUE(cluster.ok());
   auto client = (*cluster)->CreateClient();

@@ -251,7 +251,7 @@ TEST_F(IStoreTest, SurvivesMetadataNodeFailureWithReplication) {
   // object (chunk servers are all healthy).
   LocalClusterOptions options;
   options.num_instances = 4;
-  options.num_replicas = 1;
+  options.cluster.num_replicas = 1;
   auto cluster = LocalCluster::Start(options);
   ASSERT_TRUE(cluster.ok());
   ZhtClientOptions client_options;

@@ -12,7 +12,7 @@ namespace {
 TEST(ManagerTest, FailureHandlingIsIdempotent) {
   LocalClusterOptions options;
   options.num_instances = 4;
-  options.num_replicas = 1;
+  options.cluster.num_replicas = 1;
   auto cluster = LocalCluster::Start(options);
   ASSERT_TRUE(cluster.ok());
   Manager* manager = (*cluster)->manager(0);

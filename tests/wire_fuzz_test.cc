@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "membership/membership_table.h"
+#include "serialize/batch.h"
 #include "serialize/envelope.h"
 
 namespace zht {
@@ -14,7 +15,7 @@ class WireFuzzTest : public ::testing::TestWithParam<int> {};
 
 Request RandomRequest(Rng& rng) {
   Request req;
-  req.op = static_cast<OpCode>(1 + rng.Below(17));
+  req.op = static_cast<OpCode>(1 + rng.Below(18));
   req.seq = rng.Next();
   req.key = rng.AsciiString(rng.Below(30));
   req.value = rng.AsciiString(rng.Below(100));
@@ -94,6 +95,54 @@ TEST_P(WireFuzzTest, TruncatedMembershipSnapshotsRejected) {
     // but never the full table.
     if (decoded.ok()) {
       EXPECT_NE(*decoded, table);
+    }
+  }
+}
+
+TEST_P(WireFuzzTest, BatchEnvelopeRoundTripsAndRejectsTruncation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 47);
+  for (int i = 0; i < 50; ++i) {
+    BatchRequest batch;
+    std::size_t count = rng.Below(12);
+    for (std::size_t op = 0; op < count; ++op) {
+      batch.ops.push_back(RandomRequest(rng));
+    }
+    Request carrier = PackBatchRequest(batch.ops, rng.Next());
+    ASSERT_EQ(carrier.op, OpCode::kBatch);
+
+    // The carrier is an ordinary Request: the base codec round-trips it.
+    auto carried = Request::Decode(carrier.Encode());
+    ASSERT_TRUE(carried.ok());
+    auto decoded = BatchRequest::Decode(carried->value);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, batch);
+
+    // Truncations must never crash nor silently alias the original.
+    std::string payload = carrier.value;
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+      auto partial = BatchRequest::Decode(payload.substr(0, cut));
+      if (partial.ok()) {
+        EXPECT_NE(*partial, batch) << "cut=" << cut;
+      }
+    }
+
+    // Response leg: pack/unpack N sub-responses.
+    BatchResponse responses;
+    for (std::size_t op = 0; op < count; ++op) {
+      Response sub;
+      sub.seq = rng.Next();
+      sub.status = static_cast<std::int32_t>(rng.Below(13));
+      sub.value = rng.AsciiString(rng.Below(60));
+      responses.responses.push_back(std::move(sub));
+    }
+    Response packed = PackBatchResponse(
+        responses, rng.Next(), static_cast<std::uint32_t>(rng.Next()));
+    auto unpacked = UnpackBatchResponse(packed, count);
+    ASSERT_TRUE(unpacked.ok());
+    EXPECT_EQ(*unpacked, responses.responses);
+    // A count mismatch is corruption, not a partial result.
+    if (count > 0) {
+      EXPECT_FALSE(UnpackBatchResponse(packed, count + 1).ok());
     }
   }
 }

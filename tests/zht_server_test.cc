@@ -24,7 +24,7 @@ class ZhtServerUnitTest : public ::testing::Test {
   std::unique_ptr<ZhtServer> MakeServer(InstanceId self, int replicas = 0) {
     ZhtServerOptions options;
     options.self = self;
-    options.num_replicas = replicas;
+    options.cluster.num_replicas = replicas;
     return std::make_unique<ZhtServer>(table_, options, transport_.get());
   }
 

@@ -6,6 +6,8 @@
 //   ./tools/zht-cli --neighbors neighbors.conf append KEY VALUE
 //   ./tools/zht-cli --neighbors neighbors.conf ping INSTANCE
 //   ./tools/zht-cli --neighbors neighbors.conf bench N     # N random ops
+//   ./tools/zht-cli --neighbors neighbors.conf mput K V [K V ...]  # batch
+//   ./tools/zht-cli --neighbors neighbors.conf mget K [K ...]      # batch
 //
 // Optional: --replicas R (must match the servers), --partitions P,
 // --udp (use the ack-based UDP transport instead of cached TCP).
@@ -50,6 +52,7 @@ int Usage(const char* argv0) {
                "usage: %s --neighbors FILE [--replicas R] [--partitions P] "
                "[--udp] COMMAND ...\n"
                "commands: insert K V | lookup K | remove K | append K V | "
+               "mput K V [K V ...] | mget K [K ...] | "
                "ping INSTANCE | stats INSTANCE | bench N\n",
                argv0);
   return 2;
@@ -102,8 +105,14 @@ int main(int argc, char** argv) {
     transport = std::make_unique<TcpClient>();
   }
   ZhtClientOptions options;
-  options.num_replicas = replicas;
-  options.op_timeout = 2 * kNanosPerSec;
+  options.cluster.num_replicas = replicas;
+  options.cluster.op_timeout = 2 * kNanosPerSec;
+  Status cluster_valid = options.cluster.Validate();
+  if (!cluster_valid.ok()) {
+    std::fprintf(stderr, "bad cluster options: %s\n",
+                 cluster_valid.ToString().c_str());
+    return 2;
+  }
   ZhtClient client(std::move(table), options, transport.get());
 
   std::string command = argv[arg++];
@@ -141,6 +150,38 @@ int main(int argc, char** argv) {
     Status status = client.Append(argv[arg], argv[arg + 1]);
     std::printf("%s\n", status.ToString().c_str());
     return status.ok() ? 0 : 1;
+  }
+  if (command == "mput") {
+    need(2);
+    std::vector<KeyValue> pairs;
+    for (; arg + 1 < argc; arg += 2) {
+      pairs.push_back(KeyValue{argv[arg], argv[arg + 1]});
+    }
+    auto statuses = client.MultiInsert(pairs);
+    int failures = 0;
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+      std::printf("%s %s\n", pairs[i].key.c_str(),
+                  statuses[i].ToString().c_str());
+      if (!statuses[i].ok()) ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  if (command == "mget") {
+    need(1);
+    std::vector<std::string> keys;
+    for (; arg < argc; ++arg) keys.emplace_back(argv[arg]);
+    auto values = client.MultiLookup(keys);
+    int failures = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i].ok()) {
+        std::printf("%s %s\n", keys[i].c_str(), values[i]->c_str());
+      } else {
+        std::printf("%s %s\n", keys[i].c_str(),
+                    values[i].status().ToString().c_str());
+        ++failures;
+      }
+    }
+    return failures == 0 ? 0 : 1;
   }
   if (command == "ping") {
     need(1);

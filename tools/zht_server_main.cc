@@ -135,8 +135,16 @@ int main(int argc, char** argv) {
 
   ZhtServerOptions server_options;
   server_options.self = static_cast<InstanceId>(self);
-  server_options.num_replicas =
+  server_options.cluster.num_replicas =
       static_cast<int>(config.GetInt("replicas", 0));
+  server_options.cluster.peer_timeout =
+      config.GetInt("peer_timeout_ms", 500) * kNanosPerMilli;
+  Status cluster_valid = server_options.cluster.Validate();
+  if (!cluster_valid.ok()) {
+    std::fprintf(stderr, "bad cluster options: %s\n",
+                 cluster_valid.ToString().c_str());
+    return 1;
+  }
   std::string data_dir = config.GetString("data_dir", "");
   if (!data_dir.empty()) {
     server_options.store_factory =
@@ -171,7 +179,7 @@ int main(int argc, char** argv) {
   std::printf("zht-server: instance %ld of %zu serving on %s "
               "(%u partitions, %d replicas, %s)\n",
               self, neighbors->size(), (*net)->address().ToString().c_str(),
-              partitions, server_options.num_replicas,
+              partitions, server_options.cluster.num_replicas,
               data_dir.empty() ? "in-memory" : data_dir.c_str());
 
   std::signal(SIGINT, HandleSignal);
