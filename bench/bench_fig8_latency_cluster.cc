@@ -25,9 +25,12 @@ constexpr int kOps = 120;
 // ZHT persists every mutation (the paper attributes its small latency gap
 // vs Memcached to exactly this disk write).
 StoreFactory PersistentStores(const std::filesystem::path& dir) {
-  return [dir](PartitionId partition) -> std::unique_ptr<KVStore> {
+  return [dir](InstanceId self,
+               PartitionId partition) -> std::unique_ptr<KVStore> {
     NoVoHTOptions options;
-    options.path = (dir / ("p" + std::to_string(partition))).string();
+    options.path = (dir / ("i" + std::to_string(self) + "_p" +
+                           std::to_string(partition)))
+                       .string();
     auto store = NoVoHT::Open(options);
     return store.ok() ? std::move(*store) : nullptr;
   };

@@ -2,11 +2,17 @@
 // requests repeatedly as failed (using exponential back off)". This tracks
 // consecutive failures per destination and computes the retry back-off; the
 // client marks the node dead once the threshold is crossed.
+//
+// Tracked state is bounded two ways: PruneExcept drops entries for nodes
+// that left the membership table (a long-lived client across many
+// departures/joins would otherwise grow without limit), and max_tracked
+// caps the map even if the caller never prunes.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/clock.h"
 #include "net/address.h"
@@ -17,17 +23,29 @@ struct FailureDetectorOptions {
   int failures_to_mark_dead = 3;
   Nanos initial_backoff = 1 * kNanosPerMilli;
   Nanos max_backoff = 256 * kNanosPerMilli;
+  // Hard cap on tracked destinations; an arbitrary entry is evicted when a
+  // new destination would exceed it (safety net behind PruneExcept).
+  std::size_t max_tracked = 1024;
 };
 
 class FailureDetector {
  public:
   explicit FailureDetector(FailureDetectorOptions options = {})
-      : options_(options) {}
+      : options_(options) {
+    if (options_.max_tracked == 0) options_.max_tracked = 1;
+  }
 
   // Records a failed request. Returns true if the node should now be
   // considered dead.
   bool RecordFailure(const NodeAddress& node) {
-    auto& state = states_[node];
+    auto it = states_.find(node);
+    if (it == states_.end()) {
+      if (states_.size() >= options_.max_tracked) {
+        states_.erase(states_.begin());
+      }
+      it = states_.emplace(node, State{}).first;
+    }
+    State& state = it->second;
     ++state.consecutive_failures;
     state.backoff = state.backoff == 0
                         ? options_.initial_backoff
@@ -36,6 +54,13 @@ class FailureDetector {
   }
 
   void RecordSuccess(const NodeAddress& node) { states_.erase(node); }
+
+  // Drops state for every node not in `keep` — call after a membership
+  // update so departed nodes stop occupying the table.
+  void PruneExcept(const std::unordered_set<NodeAddress>& keep) {
+    std::erase_if(states_,
+                  [&keep](const auto& entry) { return !keep.count(entry.first); });
+  }
 
   // Back-off to wait before the next attempt at this node.
   Nanos BackoffFor(const NodeAddress& node) const {
@@ -47,6 +72,8 @@ class FailureDetector {
     auto it = states_.find(node);
     return it == states_.end() ? 0 : it->second.consecutive_failures;
   }
+
+  std::size_t tracked_count() const { return states_.size(); }
 
  private:
   struct State {

@@ -1,5 +1,7 @@
 #include "core/local_cluster.h"
 
+#include <algorithm>
+
 #include "net/tcp_client.h"
 #include "net/udp_client.h"
 
@@ -14,22 +16,32 @@ LocalCluster::~LocalCluster() {
   for (auto& es : epoll_servers_) es->Stop();
 }
 
-std::unique_ptr<ClientTransport> LocalCluster::MakeTransport() {
+std::unique_ptr<ClientTransport> LocalCluster::MakeTransport(
+    std::optional<NodeAddress> self) {
+  std::unique_ptr<ClientTransport> inner;
   switch (options_.transport) {
     case ClusterTransport::kLoopback:
-      return std::make_unique<LoopbackTransport>(&network_);
+      inner = std::make_unique<LoopbackTransport>(&network_);
+      break;
     case ClusterTransport::kTcp: {
       TcpClientOptions tcp;
       tcp.cache_connections = options_.tcp_connection_cache;
-      return std::make_unique<TcpClient>(tcp);
+      inner = std::make_unique<TcpClient>(tcp);
+      break;
     }
     case ClusterTransport::kUdp:
-      return std::make_unique<UdpClient>();
+      inner = std::make_unique<UdpClient>();
+      break;
   }
-  return nullptr;
+  if (inner && options_.fault_plan) {
+    return std::make_unique<FaultInjectingTransport>(
+        std::move(inner), options_.fault_plan, std::move(self));
+  }
+  return inner;
 }
 
-Result<NodeAddress> LocalCluster::Expose(std::shared_ptr<HandlerSlot> slot) {
+Result<NodeAddress> LocalCluster::Expose(std::shared_ptr<HandlerSlot> slot,
+                                         std::optional<NodeAddress> fixed) {
   slots_.push_back(slot);
   RequestHandler handler = [slot](Request&& request) -> Response {
     if (!slot->target) {
@@ -42,7 +54,15 @@ Result<NodeAddress> LocalCluster::Expose(std::shared_ptr<HandlerSlot> slot) {
   };
 
   if (options_.transport == ClusterTransport::kLoopback) {
+    if (fixed) {
+      network_.Register(*fixed, std::move(handler));
+      return *fixed;
+    }
     return network_.Register(std::move(handler));
+  }
+  if (fixed) {
+    return Status(StatusCode::kInvalidArgument,
+                  "fixed addresses are loopback-only");
   }
   EpollServerOptions es;
   es.enable_tcp = true;
@@ -65,30 +85,55 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
 }
 
 Status LocalCluster::Boot() {
-  const std::uint32_t n = options_.num_instances;
-  if (n == 0) return Status(StatusCode::kInvalidArgument, "no instances");
   Status valid = options_.cluster.Validate();
   if (!valid.ok()) return valid;
-  if (options_.num_partitions == 0) options_.num_partitions = n * 64;
 
-  // 1. Expose every instance (addresses first: the table needs them).
+  // 1. Expose every instance (addresses first: the table needs them) and
+  //    establish the bootstrap membership — either the static uniform
+  //    layout (§III.C) or a restored snapshot from a prior incarnation.
+  MembershipTable table;
+  std::uint32_t nodes = 0;
   std::vector<std::shared_ptr<HandlerSlot>> server_slots;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    auto slot = std::make_shared<HandlerSlot>();
-    auto address = Expose(slot);
-    if (!address.ok()) return address.status();
-    server_slots.push_back(slot);
-    instance_addresses_.push_back(*address);
+  if (options_.initial_table) {
+    if (options_.transport != ClusterTransport::kLoopback) {
+      return Status(StatusCode::kInvalidArgument,
+                    "initial_table restart is loopback-only");
+    }
+    table = *options_.initial_table;
+    if (table.instance_count() == 0) {
+      return Status(StatusCode::kInvalidArgument, "empty initial table");
+    }
+    options_.num_instances = static_cast<std::uint32_t>(table.instance_count());
+    options_.num_partitions = table.num_partitions();
+    for (const InstanceInfo& info : table.instances()) {
+      auto slot = std::make_shared<HandlerSlot>();
+      auto address = Expose(slot, info.address);
+      if (!address.ok()) return address.status();
+      server_slots.push_back(slot);
+      instance_addresses_.push_back(*address);
+      nodes = std::max(nodes, info.physical_node + 1);
+    }
+  } else {
+    const std::uint32_t n = options_.num_instances;
+    if (n == 0) return Status(StatusCode::kInvalidArgument, "no instances");
+    if (options_.num_partitions == 0) options_.num_partitions = n * 64;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto slot = std::make_shared<HandlerSlot>();
+      auto address = Expose(slot);
+      if (!address.ok()) return address.status();
+      server_slots.push_back(slot);
+      instance_addresses_.push_back(*address);
+    }
+    table = MembershipTable::CreateUniform(
+        options_.num_partitions, instance_addresses_,
+        options_.instances_per_node, options_.hash_kind);
+    nodes = (n + options_.instances_per_node - 1) /
+            options_.instances_per_node;
   }
 
-  // 2. Static bootstrap table (§III.C).
-  MembershipTable table = MembershipTable::CreateUniform(
-      options_.num_partitions, instance_addresses_,
-      options_.instances_per_node, options_.hash_kind);
-
-  // 3. Servers.
-  for (std::uint32_t i = 0; i < n; ++i) {
-    auto transport = MakeTransport();
+  // 2. Servers.
+  for (std::uint32_t i = 0; i < options_.num_instances; ++i) {
+    auto transport = MakeTransport(instance_addresses_[i]);
     ZhtServerOptions so;
     so.self = i;
     so.cluster = options_.cluster;
@@ -99,18 +144,16 @@ Status LocalCluster::Boot() {
     servers_.push_back(std::move(server));
   }
 
-  // 4. One manager per physical node.
-  const std::uint32_t nodes =
-      (n + options_.instances_per_node - 1) / options_.instances_per_node;
+  // 3. One manager per physical node.
   next_physical_node_ = nodes;
   for (std::uint32_t node = 0; node < nodes; ++node) {
-    auto transport = MakeTransport();
-    ManagerOptions mo;
-    mo.cluster = options_.cluster;
-    auto manager = std::make_unique<Manager>(table, mo, transport.get());
     auto slot = std::make_shared<HandlerSlot>();
     auto address = Expose(slot);
     if (!address.ok()) return address.status();
+    auto transport = MakeTransport(*address);
+    ManagerOptions mo;
+    mo.cluster = options_.cluster;
+    auto manager = std::make_unique<Manager>(table, mo, transport.get());
     slot->target = manager->AsHandler();
     peer_transports_.push_back(std::move(transport));
     managers_.push_back(std::move(manager));
@@ -168,7 +211,7 @@ Result<InstanceId> LocalCluster::JoinNewInstance(std::size_t via_node) {
   auto address = Expose(slot);
   if (!address.ok()) return address.status();
 
-  auto transport = MakeTransport();
+  auto transport = MakeTransport(*address);
   ZhtServerOptions so;
   so.self = static_cast<InstanceId>(servers_.size());
   so.cluster = options_.cluster;

@@ -6,12 +6,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/manager.h"
 #include "core/zht_client.h"
 #include "core/zht_server.h"
 #include "net/epoll_server.h"
+#include "net/fault_injection.h"
 #include "net/loopback.h"
 
 namespace zht {
@@ -29,6 +31,18 @@ struct LocalClusterOptions {
   bool tcp_connection_cache = true;  // for kTcp client transports
   StoreFactory store_factory;       // default: in-memory NoVoHT
   HashKind hash_kind = HashKind::kFnv1a;
+  // When set, every transport of the cluster (clients, server peer links,
+  // managers) is wrapped in a FaultInjectingTransport sharing this plan.
+  // An empty plan injects nothing, so existing behavior is unchanged until
+  // the test scripts faults.
+  std::shared_ptr<FaultPlan> fault_plan;
+  // Restart support (loopback only): boot from a previously captured
+  // membership snapshot instead of a fresh uniform layout. Instances are
+  // re-registered at their recorded addresses with their recorded ids and
+  // partition ownership, so persistent store factories reload the data a
+  // prior incarnation wrote — including ownership moved by migrations and
+  // failovers. Overrides num_instances/num_partitions/hash settings.
+  std::optional<MembershipTable> initial_table;
 };
 
 // A client plus the transport it owns.
@@ -88,13 +102,19 @@ class LocalCluster {
  private:
   explicit LocalCluster(const LocalClusterOptions& options);
   Status Boot();
-  std::unique_ptr<ClientTransport> MakeTransport();
+  // `self` identifies whose traffic the transport carries (fault-plan
+  // partitions match on it); clients pass nullopt.
+  std::unique_ptr<ClientTransport> MakeTransport(
+      std::optional<NodeAddress> self = std::nullopt);
 
-  // Registers a handler slot; returns the reachable address.
+  // Registers a handler slot; returns the reachable address. A fixed
+  // address (loopback only) re-registers a restarted instance where its
+  // previous incarnation lived.
   struct HandlerSlot {
     RequestHandler target;  // set once the component exists
   };
-  Result<NodeAddress> Expose(std::shared_ptr<HandlerSlot> slot);
+  Result<NodeAddress> Expose(std::shared_ptr<HandlerSlot> slot,
+                             std::optional<NodeAddress> fixed = std::nullopt);
 
   LocalClusterOptions options_;
   LoopbackNetwork network_;

@@ -3,6 +3,7 @@
 #include <random>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/log.h"
 
@@ -27,6 +28,16 @@ void ZhtClient::Backoff(Nanos duration) {
   if (duration > 0 && options_.sleep_on_backoff) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(duration));
   }
+}
+
+Status ZhtClient::ApplyMembership(std::string_view update) {
+  Status applied = table_.ApplyUpdate(update);
+  if (applied.ok()) {
+    std::unordered_set<NodeAddress> current;
+    for (const auto& info : table_.instances()) current.insert(info.address);
+    detector_.PruneExcept(current);
+  }
+  return applied;
 }
 
 void ZhtClient::ReportFailure(InstanceId instance) {
@@ -114,7 +125,7 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
     if (code == StatusCode::kRedirect) {
       ++stats_.redirects_followed;
       if (!result->membership.empty()) {
-        Status applied = table_.ApplyUpdate(result->membership);
+        Status applied = ApplyMembership(result->membership);
         if (!applied.ok()) {
           // Delta did not apply (e.g. we were too far behind): pull a
           // snapshot from the node that redirected us.
@@ -124,7 +135,7 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
           auto snapshot =
               transport_->Call(address, pull, options_.cluster.op_timeout);
           if (snapshot.ok() && !snapshot->membership.empty()) {
-            table_.ApplyUpdate(snapshot->membership);
+            ApplyMembership(snapshot->membership);
           }
         }
       }
@@ -247,7 +258,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
           ++stats_.redirects_followed;
           if (!sub.membership.empty() && !membership_applied) {
             membership_applied = true;
-            Status applied = table_.ApplyUpdate(sub.membership);
+            Status applied = ApplyMembership(sub.membership);
             if (!applied.ok()) {
               Request pull;
               pull.op = OpCode::kMembershipPull;
@@ -255,7 +266,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
               auto snapshot = transport_->Call(address, pull,
                                                options_.cluster.op_timeout);
               if (snapshot.ok() && !snapshot->membership.empty()) {
-                table_.ApplyUpdate(snapshot->membership);
+                ApplyMembership(snapshot->membership);
               }
             }
           }
@@ -403,7 +414,7 @@ Status ZhtClient::RefreshMembership(std::optional<InstanceId> from) {
   if (result->membership.empty()) {
     return Status(StatusCode::kInternal, "empty membership response");
   }
-  return table_.ApplyUpdate(result->membership);
+  return ApplyMembership(result->membership);
 }
 
 }  // namespace zht

@@ -108,6 +108,11 @@ class ZhtClient {
   MembershipTable& table() { return table_; }
   const MembershipTable& table() const { return table_; }
   const ZhtClientStats& stats() const { return stats_; }
+  // Observability for the detector's bounded-state guarantee: how many
+  // destinations it currently tracks (pruned on membership updates).
+  std::size_t detector_tracked_count() const {
+    return detector_.tracked_count();
+  }
 
  private:
   Result<Response> Execute(OpCode op, std::string_view key,
@@ -119,6 +124,9 @@ class ZhtClient {
       std::span<const std::string> values);
   void ReportFailure(InstanceId instance);
   void Backoff(Nanos duration);
+  // Applies a membership update and evicts failure-detector state for
+  // addresses that left the table.
+  Status ApplyMembership(std::string_view update);
 
   MembershipTable table_;
   ZhtClientOptions options_;

@@ -48,7 +48,7 @@ Result<std::vector<std::pair<std::string, std::string>>> UnpackPairs(
   return pairs;
 }
 
-std::unique_ptr<KVStore> DefaultStoreFactory(PartitionId) {
+std::unique_ptr<KVStore> DefaultStoreFactory(InstanceId, PartitionId) {
   auto store = NoVoHT::Open(NoVoHTOptions{});  // in-memory NoVoHT
   return store.ok() ? std::move(*store) : nullptr;
 }
@@ -75,7 +75,7 @@ ZhtServer::~ZhtServer() {
 KVStore* ZhtServer::StoreFor(PartitionId partition) {
   auto it = partitions_.find(partition);
   if (it != partitions_.end()) return it->second.get();
-  auto store = options_.store_factory(partition);
+  auto store = options_.store_factory(options_.self, partition);
   KVStore* raw = store.get();
   partitions_.emplace(partition, std::move(store));
   return raw;
@@ -105,11 +105,8 @@ Status ZhtServer::ApplyToStore(OpCode op, PartitionId partition,
 }
 
 bool ZhtServer::IsDuplicateAppend(const Request& request) {
-  if (request.client_id == 0 || request.seq == 0) return false;
-  // Mix the three identifiers into one cache key.
-  std::uint64_t key = request.client_id * 0x9e3779b97f4a7c15ull ^
-                      request.seq * 0xff51afd7ed558ccdull ^
-                      request.replica_index;
+  const std::uint64_t key = request.DedupKey();
+  if (key == 0) return false;
   if (dedup_set_.count(key)) return true;
   dedup_ring_.push_back(key);
   dedup_set_.insert(key);
@@ -532,7 +529,8 @@ Response ZhtServer::HandleMigrateBegin(Request&& request) {
   std::lock_guard<std::mutex> lock(mu_);
   // Fresh store for the incoming partition (replaces any stale replica
   // copy; the authoritative data is what the source streams to us).
-  partitions_[request.partition] = options_.store_factory(request.partition);
+  partitions_[request.partition] =
+      options_.store_factory(options_.self, request.partition);
   resp.epoch = table_.epoch();
   return resp;
 }

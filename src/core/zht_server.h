@@ -26,8 +26,12 @@
 
 namespace zht {
 
-using StoreFactory =
-    std::function<std::unique_ptr<KVStore>(PartitionId partition)>;
+// Builds the store for one partition held by one instance. The instance id
+// is part of the identity: with replication (or after a migration) several
+// instances hold stores for the same partition, and persistent factories
+// must give each its own path or they would share one file.
+using StoreFactory = std::function<std::unique_ptr<KVStore>(
+    InstanceId self, PartitionId partition)>;
 
 struct ZhtServerOptions {
   InstanceId self = 0;

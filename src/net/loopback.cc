@@ -15,6 +15,11 @@ void LoopbackNetwork::Register(const NodeAddress& address,
                                RequestHandler handler) {
   std::lock_guard<std::mutex> lock(mu_);
   handlers_[address] = std::move(handler);
+  // Keep auto-assigned ports clear of explicitly chosen ones (a restarted
+  // cluster re-registers instances at their recorded addresses).
+  if (address.host == "loop" && address.port >= next_port_) {
+    next_port_ = static_cast<std::uint16_t>(address.port + 1);
+  }
 }
 
 void LoopbackNetwork::Unregister(const NodeAddress& address) {
@@ -42,10 +47,6 @@ Result<Response> LoopbackNetwork::Deliver(const NodeAddress& to,
     auto down_it = down_.find(to);
     if (down_it != down_.end() && down_it->second) {
       return Status(StatusCode::kTimeout, "node down: " + to.ToString());
-    }
-    double drop = drop_rate_.load(std::memory_order_relaxed);
-    if (drop > 0.0 && rng_.Chance(drop)) {
-      return Status(StatusCode::kTimeout, "message dropped");
     }
     auto it = handlers_.find(to);
     if (it == handlers_.end()) {

@@ -1,7 +1,9 @@
 // Loopback transport: an in-process "network" mapping addresses to request
 // handlers. Lets a whole ZHT cluster (servers + managers + clients) run in
-// one process with zero kernel round-trips, and provides failure injection
-// (down nodes, dropped messages, added latency) for fault-tolerance tests.
+// one process with zero kernel round-trips. Infrastructure-level failure
+// (down nodes) and latency modeling live here; message-level faults (drops,
+// duplicates, partitions) are injected by wrapping any transport — this one
+// included — in FaultInjectingTransport (net/fault_injection.h).
 #pragma once
 
 #include <atomic>
@@ -9,7 +11,6 @@
 #include <thread>
 #include <unordered_map>
 
-#include "common/rng.h"
 #include "net/transport.h"
 #include "serialize/batch.h"
 
@@ -23,11 +24,9 @@ class LoopbackNetwork {
   void Register(const NodeAddress& address, RequestHandler handler);
   void Unregister(const NodeAddress& address);
 
-  // Failure injection.
+  // Infrastructure failure: a down node times out every delivery.
   void SetDown(const NodeAddress& address, bool down);
   bool IsDown(const NodeAddress& address) const;
-  // Fraction of calls dropped (timeout) for every destination.
-  void SetDropRate(double rate) { drop_rate_ = rate; }
   // Fixed artificial one-way latency applied twice per call (slows real
   // time; use only in small tests).
   void SetLatency(Nanos latency) { latency_ = latency; }
@@ -44,10 +43,8 @@ class LoopbackNetwork {
   std::unordered_map<NodeAddress, RequestHandler> handlers_;
   std::unordered_map<NodeAddress, bool> down_;
   std::atomic<std::uint64_t> delivered_{0};
-  std::atomic<double> drop_rate_{0.0};
   std::atomic<Nanos> latency_{0};
   std::uint16_t next_port_ = 1;
-  Rng rng_{0x100bbacULL};
 };
 
 class LoopbackTransport final : public ClientTransport {

@@ -54,6 +54,12 @@ std::string_view OpCodeName(OpCode op) {
   return "UNKNOWN";
 }
 
+std::uint64_t Request::DedupKey() const {
+  if (client_id == 0 || seq == 0) return 0;
+  return client_id * 0x9e3779b97f4a7c15ull ^ seq * 0xff51afd7ed558ccdull ^
+         replica_index;
+}
+
 std::string Request::Encode() const {
   std::string out;
   wire::Writer w(&out);

@@ -48,6 +48,13 @@ struct Request {
                                    // (UDP retries would otherwise double-
                                    // apply the non-idempotent op)
 
+  // Identity of this operation for at-most-once handling: retransmissions
+  // of one logical op carry the same (client_id, seq, replica_index) and
+  // hash to the same key; 0 means "not dedupable" (no client identity).
+  // Shared by the server's dedup window and the dedup-aware history
+  // checker, so both sides agree on what counts as a duplicate.
+  std::uint64_t DedupKey() const;
+
   std::string Encode() const;
   static Result<Request> Decode(std::string_view data);
 

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "core/local_cluster.h"
 #include "core/zht_server.h"
+#include "net/fault_injection.h"
 #include "net/loopback.h"
 #include "net/tcp_client.h"
 #include "net/udp_client.h"
@@ -334,6 +335,112 @@ TEST(BatchReplicationTest, BatchedInsertsReachAllReplicas) {
     total += (*cluster)->server(i)->TotalEntries();
   }
   EXPECT_EQ(total, pairs.size() * 3);
+}
+
+// ---- Batches under injected faults -------------------------------------
+
+// A single-instance server exposed on a loopback network, reached through
+// a FaultInjectingTransport — the minimal rig for carrier-level faults.
+class BatchFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    address_ = NodeAddress{"10.0.0.1", 50000};
+    table_ = MembershipTable::CreateUniform(8, {address_});
+    peer_transport_ = std::make_unique<LoopbackTransport>(&network_);
+    ZhtServerOptions options;
+    options.self = 0;
+    server_ = std::make_unique<ZhtServer>(table_, options,
+                                          peer_transport_.get());
+    network_.Register(address_, server_->AsHandler());
+    plan_ = std::make_shared<FaultPlan>(/*seed=*/9);
+    faulty_ = std::make_unique<FaultInjectingTransport>(
+        std::make_unique<LoopbackTransport>(&network_), plan_);
+  }
+
+  std::string Ledger() {
+    Request lookup = DataOp(OpCode::kLookup, "log", "", 99);
+    auto response = faulty_->Call(address_, lookup, kNanosPerSec);
+    return response.ok() ? response->value : "<" + response.status().ToString() + ">";
+  }
+
+  LoopbackNetwork network_;
+  NodeAddress address_;
+  MembershipTable table_{8, HashKind::kFnv1a};
+  std::unique_ptr<LoopbackTransport> peer_transport_;
+  std::unique_ptr<ZhtServer> server_;
+  std::shared_ptr<FaultPlan> plan_;
+  std::unique_ptr<FaultInjectingTransport> faulty_;
+};
+
+TEST_F(BatchFaultTest, DuplicatedBatchCarrierAppliesAppendsOnce) {
+  // A duplicated UDP carrier delivers every sub-op twice; the dedup window
+  // must absorb the second application of each append.
+  plan_->AddRule({.kind = FaultKind::kDuplicate, .op = OpCode::kBatch});
+  std::vector<Request> ops = {DataOp(OpCode::kAppend, "log", "first;", 11),
+                              DataOp(OpCode::kAppend, "log", "second;", 12)};
+  auto responses = faulty_->CallBatch(address_, ops, kNanosPerSec);
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  for (const Response& sub : *responses) EXPECT_TRUE(sub.ok());
+  plan_->Clear();
+  EXPECT_EQ(Ledger(), "first;second;");
+  EXPECT_EQ(server_->stats().duplicate_appends_dropped, 2u);
+}
+
+TEST_F(BatchFaultTest, BatchRetryAfterDroppedResponseDoesNotDoubleApply) {
+  // The whole batch applied but its ack was lost; the client-level retry
+  // resends the identical carrier and every sub-op must dedup.
+  plan_->AddRule({.kind = FaultKind::kDropResponse,
+                  .op = OpCode::kBatch,
+                  .max_faults = 1});
+  std::vector<Request> ops = {DataOp(OpCode::kAppend, "log", "first;", 21),
+                              DataOp(OpCode::kAppend, "log", "second;", 22)};
+  auto lost = faulty_->CallBatch(address_, ops, kNanosPerSec);
+  EXPECT_EQ(lost.status().code(), StatusCode::kTimeout);
+  auto retry = faulty_->CallBatch(address_, ops, kNanosPerSec);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  for (const Response& sub : *retry) EXPECT_TRUE(sub.ok());
+  EXPECT_EQ(Ledger(), "first;second;");
+  EXPECT_EQ(server_->stats().duplicate_appends_dropped, 2u);
+}
+
+TEST(BatchClientFaultTest, PartialBatchDropRetriesOnlyTheLostShard) {
+  // A multi-shard MultiInsert where exactly one shard's carrier is lost:
+  // the other shards land on their first attempt and the lost one succeeds
+  // on the client's internal retry.
+  LocalClusterOptions options;
+  options.num_instances = 4;
+  options.fault_plan = std::make_shared<FaultPlan>(/*seed=*/4);
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  ZhtClientOptions client_options;
+  client_options.failure_detector.failures_to_mark_dead = 20;
+  client_options.failure_detector.initial_backoff = 0;
+  client_options.sleep_on_backoff = false;
+  auto client = (*cluster)->CreateClient(client_options);
+
+  options.fault_plan->AddRule({.kind = FaultKind::kDropRequest,
+                               .to = (*cluster)->instance_address(2),
+                               .op = OpCode::kBatch,
+                               .max_faults = 1});
+  std::vector<KeyValue> pairs;
+  std::vector<std::string> keys;
+  Rng rng(23);
+  for (int i = 0; i < 64; ++i) {
+    std::string key = rng.AsciiString(14);
+    pairs.push_back(KeyValue{key, "value-" + std::to_string(i)});
+    keys.push_back(key);
+  }
+  for (const Status& status : client->MultiInsert(pairs)) {
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(options.fault_plan->stats().dropped_requests, 1u);
+  EXPECT_GT(client->stats().retries, 0u);
+
+  auto values = client->MultiLookup(keys);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_TRUE(values[i].ok());
+    EXPECT_EQ(*values[i], pairs[i].value);
+  }
 }
 
 }  // namespace

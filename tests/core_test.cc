@@ -435,5 +435,65 @@ TEST(ZhtCoreTest, StatusContractHoldsAcrossClusterEvents) {
             StatusCode::kUnavailable);
 }
 
+TEST(FailureDetectorTest, TrackedStateIsBounded) {
+  FailureDetectorOptions options;
+  options.max_tracked = 8;
+  FailureDetector detector(options);
+  // Far more distinct destinations than the cap: the map must not grow
+  // past it (a long-lived client touching many short-lived nodes would
+  // otherwise leak an entry per departed node).
+  for (std::uint16_t port = 1; port <= 100; ++port) {
+    detector.RecordFailure(NodeAddress{"10.0.0.1", port});
+    EXPECT_LE(detector.tracked_count(), 8u);
+  }
+  EXPECT_EQ(detector.tracked_count(), 8u);
+}
+
+TEST(FailureDetectorTest, PruneExceptDropsDepartedNodes) {
+  FailureDetector detector;
+  NodeAddress kept{"10.0.0.1", 1};
+  NodeAddress departed{"10.0.0.1", 2};
+  detector.RecordFailure(kept);
+  detector.RecordFailure(departed);
+  detector.RecordFailure(departed);
+  ASSERT_EQ(detector.tracked_count(), 2u);
+
+  detector.PruneExcept({kept});
+  EXPECT_EQ(detector.tracked_count(), 1u);
+  EXPECT_EQ(detector.ConsecutiveFailures(kept), 1);
+  // The departed node's streak is gone: if it ever rejoins at the same
+  // address it starts from a clean slate.
+  EXPECT_EQ(detector.ConsecutiveFailures(departed), 0);
+  EXPECT_EQ(detector.BackoffFor(departed), 0);
+}
+
+TEST(FailureDetectorTest, ClientPrunesDetectorOnMembershipUpdate) {
+  // End-to-end: a client that marked a node dead must shed that state when
+  // a membership update removes the node from the table.
+  auto cluster = LocalCluster::Start(SmallCluster(3, /*replicas=*/1));
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->CreateClient(FastClient());
+  ASSERT_TRUE(client->Insert("prune-probe", "v").ok());
+
+  (*cluster)->KillInstance(2);
+  // Drive traffic until the dead node is reported and the manager's delta
+  // (which drops it from the chain) reaches this client.
+  for (int i = 0; i < 50; ++i) {
+    client->Insert("prune-" + std::to_string(i), "v");
+  }
+  ASSERT_TRUE(client->RefreshMembership(0).ok());
+  std::size_t live = 0;
+  for (const InstanceInfo& info : client->table().instances()) {
+    if (info.alive) ++live;
+  }
+  ASSERT_LT(live, 3u);
+  // The detector only tracks addresses still in the table; the dead node's
+  // entry must have been evicted by the update-driven prune. (All table
+  // addresses are still present, dead or not, so the bound is the table
+  // size — the point is it cannot exceed it.)
+  EXPECT_LE(client->detector_tracked_count(),
+            client->table().instance_count());
+}
+
 }  // namespace
 }  // namespace zht

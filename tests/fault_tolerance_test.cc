@@ -27,9 +27,11 @@ ZhtClientOptions RetryingClient() {
 TEST(FaultToleranceTest, LossyNetworkRetriesConverge) {
   LocalClusterOptions lossy_options;
   lossy_options.num_instances = 4;
+  lossy_options.fault_plan = std::make_shared<FaultPlan>(/*seed=*/12);
   auto cluster = LocalCluster::Start(lossy_options);
   ASSERT_TRUE(cluster.ok());
-  (*cluster)->network().SetDropRate(0.3);
+  int lossy = lossy_options.fault_plan->AddRule(
+      {.kind = FaultKind::kDropRequest, .probability = 0.3});
   auto client = (*cluster)->CreateClient(RetryingClient());
   Rng rng(12);
   std::map<std::string, std::string> model;
@@ -39,40 +41,41 @@ TEST(FaultToleranceTest, LossyNetworkRetriesConverge) {
     ASSERT_TRUE(client->Insert(key, value).ok()) << i;
     model[key] = value;
   }
-  (*cluster)->network().SetDropRate(0.0);
+  lossy_options.fault_plan->RemoveRule(lossy);
   for (const auto& [key, value] : model) {
     EXPECT_EQ(client->Lookup(key).value(), value);
   }
   EXPECT_GT(client->stats().retries, 0u);
+  EXPECT_GT(lossy_options.fault_plan->stats().dropped_requests, 0u);
 }
 
 TEST(FaultToleranceTest, AppendExactlyOnceUnderMessageLoss) {
   // Retries of a lost-RESPONSE append must not double-apply: the request
-  // may have reached the server even though the client saw a timeout.
-  // (Loopback's drop model rejects before delivery, so emulate the
-  // applied-but-unacked case by replaying the identical wire request.)
+  // reached the server and mutated state even though the client saw a
+  // timeout. Inject exactly that — one dropped append response — and let
+  // the client's own retry loop resend the identical (client_id, seq).
   LocalClusterOptions two_options;
   two_options.num_instances = 2;
+  two_options.fault_plan = std::make_shared<FaultPlan>(/*seed=*/7);
   auto cluster = LocalCluster::Start(two_options);
   ASSERT_TRUE(cluster.ok());
   auto client = (*cluster)->CreateClient(RetryingClient());
   ASSERT_TRUE(client->Append("ledger", "tx1;").ok());
 
-  // Capture-and-replay: identical (client_id, seq) as a transport retry.
-  LoopbackTransport transport(&(*cluster)->network());
-  PartitionId p = client->table().PartitionOfKey("ledger");
-  InstanceId owner = client->table().OwnerOf(p);
-  Request replay;
-  replay.op = OpCode::kAppend;
-  replay.key = "ledger";
-  replay.value = "tx2;";
-  replay.seq = 42;
-  replay.client_id = 777;
-  replay.epoch = client->table().epoch();
-  const NodeAddress& address = client->table().Instance(owner).address;
-  ASSERT_TRUE(transport.Call(address, replay, kNanosPerSec).ok());
-  ASSERT_TRUE(transport.Call(address, replay, kNanosPerSec).ok());  // retry
+  two_options.fault_plan->AddRule({.kind = FaultKind::kDropResponse,
+                                   .op = OpCode::kAppend,
+                                   .max_faults = 1});
+  ASSERT_TRUE(client->Append("ledger", "tx2;").ok());
+  EXPECT_EQ(two_options.fault_plan->stats().dropped_responses, 1u);
+  EXPECT_GT(client->stats().retries, 0u);
+
+  // Applied once, not once per attempt; the server saw and rejected the dup.
   EXPECT_EQ(client->Lookup("ledger").value(), "tx1;tx2;");
+  std::uint64_t dups = 0;
+  for (std::size_t i = 0; i < (*cluster)->instance_count(); ++i) {
+    dups += (*cluster)->server(i)->stats().duplicate_appends_dropped;
+  }
+  EXPECT_GE(dups, 1u);
 }
 
 TEST(FaultToleranceTest, ChurnUnderLoadLosesNoAckedWrite) {
@@ -118,9 +121,12 @@ TEST(FaultToleranceTest, ClusterRestartRecoversFromNoVoHTLogs) {
   fs::path dir = fs::path(::testing::TempDir()) / "zht_restart_test";
   fs::remove_all(dir);
   fs::create_directories(dir);
-  auto factory = [dir](PartitionId partition) -> std::unique_ptr<KVStore> {
+  auto factory = [dir](InstanceId self,
+                       PartitionId partition) -> std::unique_ptr<KVStore> {
     NoVoHTOptions options;
-    options.path = (dir / ("p" + std::to_string(partition))).string();
+    options.path = (dir / ("i" + std::to_string(self) + "_p" +
+                           std::to_string(partition)))
+                       .string();
     auto store = NoVoHT::Open(options);
     return store.ok() ? std::move(*store) : nullptr;
   };

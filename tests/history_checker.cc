@@ -1,0 +1,316 @@
+#include "history_checker.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace zht {
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+// When the operation definitely finished (its effect, if any, is no later
+// than this). Pending operations may still apply arbitrarily late.
+std::uint64_t Done(const HistoryEvent& e) {
+  return e.completed == 0 ? kNever : e.completed;
+}
+
+// The result proves the op took effect (for mutations: was applied).
+bool AckedOk(const HistoryEvent& e) {
+  return e.completed != 0 && e.result == StatusCode::kOk;
+}
+
+// The op may or may not have taken effect: it timed out, failed in the
+// transport after possibly reaching the server, or never returned.
+bool Indeterminate(const HistoryEvent& e) {
+  return e.completed == 0 || e.result == StatusCode::kTimeout ||
+         e.result == StatusCode::kUnavailable ||
+         e.result == StatusCode::kNetwork;
+}
+
+bool MayHaveApplied(const HistoryEvent& e) {
+  return AckedOk(e) || Indeterminate(e);
+}
+
+// Splits a ledger value into its ';'-terminated tokens; a trailing
+// fragment without its terminator is returned as a token too (the caller
+// flags it as torn).
+std::vector<std::string> LedgerTokens(const std::string& value) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start < value.size()) {
+    std::size_t semi = value.find(';', start);
+    if (semi == std::string::npos) {
+      tokens.push_back(value.substr(start));
+      break;
+    }
+    tokens.push_back(value.substr(start, semi - start + 1));
+    start = semi + 1;
+  }
+  return tokens;
+}
+
+class Checker {
+ public:
+  explicit Checker(const std::vector<HistoryEvent>& events)
+      : events_(events) {}
+
+  HistoryCheckResult Run() {
+    std::map<std::string, std::vector<const HistoryEvent*>> by_key;
+    for (const HistoryEvent& e : events_) {
+      switch (e.op) {
+        case OpCode::kInsert:
+        case OpCode::kLookup:
+        case OpCode::kRemove:
+        case OpCode::kAppend:
+          by_key[e.key].push_back(&e);
+          break;
+        default:
+          break;  // pings etc. carry no data semantics
+      }
+    }
+    for (const auto& [key, ops] : by_key) CheckKey(key, ops);
+    result_.events_checked = events_.size();
+    return std::move(result_);
+  }
+
+ private:
+  void Flag(const HistoryEvent& e, const std::string& message) {
+    result_.violations.push_back({e.id, e.key, message});
+  }
+
+  void CheckKey(const std::string& key,
+                const std::vector<const HistoryEvent*>& ops) {
+    bool has_append = false, has_register_write = false;
+    for (const HistoryEvent* e : ops) {
+      has_append |= e->op == OpCode::kAppend;
+      has_register_write |=
+          e->op == OpCode::kInsert || e->op == OpCode::kRemove;
+    }
+    if (has_append && has_register_write) {
+      Flag(*ops.front(), "key '" + key +
+                             "' mixes append with insert/remove; the "
+                             "checker needs single-discipline keys");
+      return;
+    }
+    if (has_append) {
+      CheckLedgerKey(ops);
+    } else {
+      CheckRegisterKey(key, ops);
+    }
+  }
+
+  // ---- register keys ----------------------------------------------------
+
+  void CheckRegisterKey(const std::string& key,
+                        const std::vector<const HistoryEvent*>& ops) {
+    std::vector<const HistoryEvent*> inserts, removes, lookups;
+    std::map<std::string, const HistoryEvent*> insert_by_value;
+    for (const HistoryEvent* e : ops) {
+      if (e->op == OpCode::kInsert) {
+        inserts.push_back(e);
+        auto [it, fresh] = insert_by_value.emplace(e->argument, e);
+        if (!fresh) {
+          Flag(*e, "insert value '" + e->argument + "' reused on key '" +
+                       key + "'; unique values are required for checking");
+          return;
+        }
+      } else if (e->op == OpCode::kRemove) {
+        removes.push_back(e);
+      } else if (e->op == OpCode::kLookup) {
+        lookups.push_back(e);
+      }
+    }
+
+    for (const HistoryEvent* lookup : lookups) {
+      if (lookup->completed == 0) continue;  // never returned: no claim made
+      if (lookup->result == StatusCode::kOk) {
+        CheckRegisterRead(*lookup, insert_by_value, inserts, removes);
+      } else if (lookup->result == StatusCode::kNotFound) {
+        CheckRegisterNotFound(*lookup, inserts, removes);
+      }
+      // Other results (timeout etc.) assert nothing about the value.
+    }
+  }
+
+  // Lookup returned a value: it must name a write that could have been the
+  // latest one at some point inside the lookup's window.
+  void CheckRegisterRead(
+      const HistoryEvent& lookup,
+      const std::map<std::string, const HistoryEvent*>& insert_by_value,
+      const std::vector<const HistoryEvent*>& inserts,
+      const std::vector<const HistoryEvent*>& removes) {
+    auto it = insert_by_value.find(lookup.returned);
+    if (it == insert_by_value.end()) {
+      Flag(lookup, "read value '" + lookup.returned +
+                       "' that no insert ever wrote");
+      return;
+    }
+    const HistoryEvent& w = *it->second;
+    if (w.invoked >= lookup.completed) {
+      Flag(lookup, "read value '" + lookup.returned +
+                       "' before its insert was invoked (event " +
+                       std::to_string(w.id) + ")");
+      return;
+    }
+    // Definitely-stale: an acked overwrite (different insert, or a
+    // successful remove) sits entirely between w and the lookup. Unique
+    // values mean nothing could have restored w's value.
+    for (const HistoryEvent* o : inserts) {
+      if (o == &w || !AckedOk(*o)) continue;
+      if (o->invoked > Done(w) && Done(*o) < lookup.invoked) {
+        Flag(lookup, "stale read of '" + lookup.returned +
+                         "': insert event " + std::to_string(o->id) +
+                         " definitely overwrote it first");
+        return;
+      }
+    }
+    for (const HistoryEvent* r : removes) {
+      if (!AckedOk(*r)) continue;
+      if (r->invoked > Done(w) && Done(*r) < lookup.invoked) {
+        Flag(lookup, "stale read of '" + lookup.returned +
+                         "': remove event " + std::to_string(r->id) +
+                         " definitely removed it first");
+        return;
+      }
+    }
+  }
+
+  // Lookup returned NotFound: no acked insert may be definitely-before it
+  // unless a remove could have landed in between.
+  void CheckRegisterNotFound(const HistoryEvent& lookup,
+                             const std::vector<const HistoryEvent*>& inserts,
+                             const std::vector<const HistoryEvent*>& removes) {
+    for (const HistoryEvent* w : inserts) {
+      if (!AckedOk(*w) || Done(*w) >= lookup.invoked) continue;
+      bool removable = false;
+      for (const HistoryEvent* r : removes) {
+        if (!MayHaveApplied(*r)) continue;
+        // r can linearize after w and before the lookup's return.
+        if (r->invoked < lookup.completed && Done(*r) > w->invoked) {
+          removable = true;
+          break;
+        }
+      }
+      if (!removable) {
+        Flag(lookup, "NotFound despite acked insert event " +
+                         std::to_string(w->id) +
+                         " with no remove that could explain it");
+        return;
+      }
+    }
+  }
+
+  // ---- ledger keys ------------------------------------------------------
+
+  void CheckLedgerKey(const std::vector<const HistoryEvent*>& ops) {
+    std::vector<const HistoryEvent*> appends, lookups;
+    std::map<std::string, const HistoryEvent*> append_by_token;
+    for (const HistoryEvent* e : ops) {
+      if (e->op == OpCode::kAppend) {
+        appends.push_back(e);
+        auto [it, fresh] = append_by_token.emplace(e->argument, e);
+        if (!fresh) {
+          Flag(*e, "append token '" + e->argument +
+                       "' reused; unique tokens are required for checking");
+          return;
+        }
+      } else if (e->op == OpCode::kLookup) {
+        lookups.push_back(e);
+      }
+    }
+
+    for (const HistoryEvent* lookup : lookups) {
+      if (lookup->completed == 0) continue;
+      if (lookup->result == StatusCode::kNotFound) {
+        for (const HistoryEvent* a : appends) {
+          if (AckedOk(*a) && Done(*a) < lookup->invoked) {
+            Flag(*lookup, "NotFound despite acked append event " +
+                              std::to_string(a->id));
+            break;
+          }
+        }
+        continue;
+      }
+      if (lookup->result != StatusCode::kOk) continue;
+      CheckLedgerRead(*lookup, append_by_token, appends);
+    }
+  }
+
+  void CheckLedgerRead(
+      const HistoryEvent& lookup,
+      const std::map<std::string, const HistoryEvent*>& append_by_token,
+      const std::vector<const HistoryEvent*>& appends) {
+    std::vector<std::string> tokens = LedgerTokens(lookup.returned);
+    std::map<std::string, std::size_t> position;
+    std::map<const HistoryEvent*, std::size_t> present;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const std::string& token = tokens[i];
+      if (token.empty() || token.back() != ';') {
+        Flag(lookup, "torn ledger value: fragment '" + token +
+                         "' lacks its terminator");
+        return;
+      }
+      auto known = append_by_token.find(token);
+      if (known == append_by_token.end()) {
+        Flag(lookup, "ledger holds token '" + token +
+                         "' that no append ever wrote");
+        return;
+      }
+      if (!position.emplace(token, i).second) {
+        Flag(lookup, "token '" + token +
+                         "' appears twice: an append was double-applied");
+        return;
+      }
+      if (known->second->invoked >= lookup.completed) {
+        Flag(lookup, "ledger holds token '" + token +
+                         "' before its append was invoked");
+        return;
+      }
+      present.emplace(known->second, i);
+    }
+    // Nothing acked before the lookup began may be missing.
+    for (const HistoryEvent* a : appends) {
+      if (AckedOk(*a) && Done(*a) < lookup.invoked && !present.count(a)) {
+        Flag(lookup, "acked append event " + std::to_string(a->id) +
+                         " (token '" + a->argument +
+                         "') missing from ledger");
+        return;
+      }
+    }
+    // Real-time order: if a definitely finished before b began and both
+    // are present, a's token must precede b's.
+    for (const auto& [a, pos_a] : present) {
+      for (const auto& [b, pos_b] : present) {
+        if (Done(*a) < b->invoked && pos_a > pos_b) {
+          Flag(lookup, "ledger order inverts real time: token '" +
+                           a->argument + "' after '" + b->argument + "'");
+          return;
+        }
+      }
+    }
+  }
+
+  const std::vector<HistoryEvent>& events_;
+  HistoryCheckResult result_;
+};
+
+}  // namespace
+
+std::string HistoryCheckResult::ToString() const {
+  if (violations.empty()) return "";
+  std::ostringstream out;
+  out << violations.size() << " history violation(s):\n";
+  for (const HistoryViolation& v : violations) {
+    out << "  event " << v.event_id << " key '" << v.key << "': "
+        << v.message << "\n";
+  }
+  return out.str();
+}
+
+HistoryCheckResult CheckHistory(const std::vector<HistoryEvent>& events) {
+  return Checker(events).Run();
+}
+
+}  // namespace zht

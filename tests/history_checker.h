@@ -1,0 +1,44 @@
+// History checker for chaos tests: validates a recorded operation history
+// (net/fault_injection.h HistoryRecorder) against a sequential map model.
+//
+// The checker is sound, not complete: it flags only DEFINITE violations —
+// results no sequential execution consistent with the recorded real-time
+// windows could produce — and tolerates everything a timeout leaves
+// ambiguous (an op whose result was kTimeout/kUnavailable/kNetwork, or that
+// never completed, may or may not have taken effect, at any point after its
+// invocation).
+//
+// It understands two key disciplines, chosen so ambiguity never hides a
+// real bug:
+//  - register keys: insert/lookup/remove, every insert to a key carries a
+//    value unique for that key (so a read names exactly one write);
+//  - ledger keys: append-only, every append carries a ';'-terminated token
+//    unique for that key (so double-application shows up as a duplicate
+//    token and loss as a missing one).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/fault_injection.h"
+
+namespace zht {
+
+struct HistoryViolation {
+  std::uint64_t event_id = 0;  // the lookup (or offending op) flagged
+  std::string key;
+  std::string message;
+};
+
+struct HistoryCheckResult {
+  std::size_t events_checked = 0;
+  std::vector<HistoryViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  // Human-readable report (empty string when ok) for test failure output.
+  std::string ToString() const;
+};
+
+HistoryCheckResult CheckHistory(const std::vector<HistoryEvent>& events);
+
+}  // namespace zht

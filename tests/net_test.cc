@@ -7,7 +7,10 @@
 
 #include <atomic>
 
+#include <chrono>
+
 #include "net/epoll_server.h"
+#include "net/fault_injection.h"
 #include "net/framing.h"
 #include "net/loopback.h"
 #include "net/tcp_client.h"
@@ -113,19 +116,6 @@ TEST(LoopbackTest, DownNodeTimesOut) {
   EXPECT_TRUE(transport.Call(address, request, kTestTimeout).ok());
 }
 
-TEST(LoopbackTest, DropRateDropsEverythingAtOne) {
-  LoopbackNetwork network;
-  NodeAddress address = network.Register(EchoHandler);
-  network.SetDropRate(1.0);
-  LoopbackTransport transport(&network);
-  Request request;
-  request.op = OpCode::kPing;
-  EXPECT_EQ(transport.Call(address, request, kTestTimeout).status().code(),
-            StatusCode::kTimeout);
-  network.SetDropRate(0.0);
-  EXPECT_TRUE(transport.Call(address, request, kTestTimeout).ok());
-}
-
 TEST(LoopbackTest, UnregisterRemoves) {
   LoopbackNetwork network;
   NodeAddress address = network.Register(EchoHandler);
@@ -135,6 +125,160 @@ TEST(LoopbackTest, UnregisterRemoves) {
   request.op = OpCode::kPing;
   EXPECT_EQ(transport.Call(address, request, kTestTimeout).status().code(),
             StatusCode::kNetwork);
+}
+
+// ---- Fault injection ---------------------------------------------------
+
+// A handler that counts deliveries: the proof that a "dropped response"
+// still mutated server-side state while a "dropped request" never arrived.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plan_ = std::make_shared<FaultPlan>(/*seed=*/42);
+    address_ = network_.Register([this](Request&& request) {
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      return EchoHandler(std::move(request));
+    });
+    transport_ = std::make_unique<FaultInjectingTransport>(
+        std::make_unique<LoopbackTransport>(&network_), plan_);
+  }
+
+  Result<Response> Ping(OpCode op = OpCode::kPing) {
+    Request request;
+    request.op = op;
+    request.key = "k";
+    return transport_->Call(address_, request, kTestTimeout);
+  }
+
+  LoopbackNetwork network_;
+  std::shared_ptr<FaultPlan> plan_;
+  NodeAddress address_;
+  std::unique_ptr<FaultInjectingTransport> transport_;
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+TEST_F(FaultInjectionTest, DropRequestNeverReachesHandler) {
+  plan_->AddRule({.kind = FaultKind::kDropRequest});
+  EXPECT_EQ(Ping().status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(delivered_.load(), 0u);
+  plan_->Clear();
+  EXPECT_TRUE(Ping().ok());
+  EXPECT_EQ(plan_->stats().dropped_requests, 1u);
+}
+
+TEST_F(FaultInjectionTest, DropResponseStillAppliesServerState) {
+  plan_->AddRule({.kind = FaultKind::kDropResponse});
+  EXPECT_EQ(Ping().status().code(), StatusCode::kTimeout);
+  // The handler ran: the op applied even though the caller saw a timeout.
+  EXPECT_EQ(delivered_.load(), 1u);
+  EXPECT_EQ(plan_->stats().dropped_responses, 1u);
+}
+
+TEST_F(FaultInjectionTest, DuplicateDeliversTwice) {
+  plan_->AddRule({.kind = FaultKind::kDuplicate});
+  auto response = Ping();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->value, "k|");
+  EXPECT_EQ(delivered_.load(), 2u);
+  EXPECT_EQ(plan_->stats().duplicates, 1u);
+}
+
+TEST_F(FaultInjectionTest, DelayPausesDelivery) {
+  plan_->AddRule({.kind = FaultKind::kDelay, .delay = 20 * kNanosPerMilli});
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(Ping().ok());
+  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 20 * kNanosPerMilli);
+  EXPECT_EQ(delivered_.load(), 1u);
+  EXPECT_EQ(plan_->stats().delays, 1u);
+}
+
+TEST_F(FaultInjectionTest, WindowSkipsFirstAndCapsFaults) {
+  // Let one call through, then drop exactly one, then stand down.
+  plan_->AddRule({.kind = FaultKind::kDropRequest,
+                  .skip_first = 1,
+                  .max_faults = 1});
+  EXPECT_TRUE(Ping().ok());
+  EXPECT_EQ(Ping().status().code(), StatusCode::kTimeout);
+  EXPECT_TRUE(Ping().ok());
+  EXPECT_TRUE(Ping().ok());
+  EXPECT_EQ(plan_->stats().dropped_requests, 1u);
+}
+
+TEST_F(FaultInjectionTest, FiltersMatchDestinationAndOpcode) {
+  NodeAddress other = network_.Register(EchoHandler);
+  plan_->AddRule({.kind = FaultKind::kDropRequest,
+                  .to = address_,
+                  .op = OpCode::kInsert});
+  EXPECT_EQ(Ping(OpCode::kInsert).status().code(), StatusCode::kTimeout);
+  EXPECT_TRUE(Ping(OpCode::kLookup).ok());  // wrong opcode
+  Request request;
+  request.op = OpCode::kInsert;
+  EXPECT_TRUE(transport_->Call(other, request, kTestTimeout).ok());
+}
+
+TEST_F(FaultInjectionTest, RemoveRuleStopsInjection) {
+  int id = plan_->AddRule({.kind = FaultKind::kDropRequest});
+  EXPECT_FALSE(Ping().ok());
+  plan_->RemoveRule(id);
+  EXPECT_TRUE(Ping().ok());
+}
+
+TEST_F(FaultInjectionTest, PartitionBlocksBothDirectionsButNotClients) {
+  NodeAddress peer = network_.Register(EchoHandler);
+  FaultInjectingTransport from_self(
+      std::make_unique<LoopbackTransport>(&network_), plan_, address_);
+  FaultInjectingTransport from_peer(
+      std::make_unique<LoopbackTransport>(&network_), plan_, peer);
+  int id = plan_->AddPartition({address_}, {peer});
+
+  Request request;
+  request.op = OpCode::kPing;
+  EXPECT_EQ(from_self.Call(peer, request, kTestTimeout).status().code(),
+            StatusCode::kTimeout);
+  EXPECT_EQ(from_peer.Call(address_, request, kTestTimeout).status().code(),
+            StatusCode::kTimeout);
+  // A transport with no identity (a client outside both groups) is unaffected.
+  EXPECT_TRUE(transport_->Call(peer, request, kTestTimeout).ok());
+  EXPECT_EQ(plan_->stats().partition_blocks, 2u);
+
+  plan_->RemovePartition(id);
+  EXPECT_TRUE(from_self.Call(peer, request, kTestTimeout).ok());
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticRulesReplayFromSeed) {
+  // The same seed must reproduce the same drop pattern call-for-call; a
+  // different seed is allowed (and overwhelmingly likely) to differ.
+  auto pattern = [this](std::uint64_t seed) {
+    auto plan = std::make_shared<FaultPlan>(seed);
+    plan->AddRule({.kind = FaultKind::kDropRequest, .probability = 0.5});
+    FaultInjectingTransport transport(
+        std::make_unique<LoopbackTransport>(&network_), plan);
+    std::string bits;
+    Request request;
+    request.op = OpCode::kPing;
+    for (int i = 0; i < 64; ++i) {
+      bits += transport.Call(address_, request, kTestTimeout).ok() ? '1' : '0';
+    }
+    return bits;
+  };
+  std::string first = pattern(7);
+  EXPECT_EQ(first, pattern(7));
+  EXPECT_NE(first, std::string(64, '0'));
+  EXPECT_NE(first, std::string(64, '1'));
+}
+
+TEST_F(FaultInjectionTest, BatchSuffersOneDecision) {
+  plan_->AddRule({.kind = FaultKind::kDropResponse, .op = OpCode::kBatch});
+  std::vector<Request> requests(3);
+  for (auto& r : requests) r.op = OpCode::kLookup;
+  auto responses = transport_->CallBatch(address_, requests, kTestTimeout);
+  EXPECT_EQ(responses.status().code(), StatusCode::kTimeout);
+  // The batch crossed the wire as one carrier, delivered before the reply
+  // was discarded — so the peer applied it even though the caller timed out.
+  EXPECT_EQ(delivered_.load(), 1u);
 }
 
 // ---- Real sockets -----------------------------------------------------

@@ -148,10 +148,11 @@ int main(int argc, char** argv) {
   std::string data_dir = config.GetString("data_dir", "");
   if (!data_dir.empty()) {
     server_options.store_factory =
-        [data_dir](PartitionId partition) -> std::unique_ptr<KVStore> {
+        [data_dir](InstanceId self,
+                   PartitionId partition) -> std::unique_ptr<KVStore> {
       NoVoHTOptions options;
-      options.path =
-          data_dir + "/partition_" + std::to_string(partition) + ".nvt";
+      options.path = data_dir + "/i" + std::to_string(self) + "_partition_" +
+                     std::to_string(partition) + ".nvt";
       auto store = NoVoHT::Open(options);
       if (!store.ok()) {
         ZHT_ERROR << "cannot open partition store: "
