@@ -51,7 +51,7 @@ int main() {
   (*server)->Start();
   NodeAddress address = (*server)->address();
 
-  Workload w = MakeWorkload(2000);
+  Workload w = MakeWorkload(Smoke<std::size_t>(2000, 300));
 
   TcpClient cached(TcpClientOptions{.cache_connections = true});
   double cached_us = MeanLatencyUs(cached, address, w);
@@ -72,11 +72,23 @@ int main() {
             Fmt(uncached_us / udp_us, 2) + "x"},
            22);
   PrintRow({"UDP (ack-based)", Fmt(udp_us, 1), "1.00x"}, 22);
-  std::printf("\ncache hits: %llu / connects: %llu (uncached client made "
-              "%llu connects)\n",
+  std::printf("\ncache hits: %llu / connects: %llu / evictions: %llu "
+              "(uncached client made %llu connects)\n",
               static_cast<unsigned long long>(cached.cache_hits()),
               static_cast<unsigned long long>(cached.connects()),
+              static_cast<unsigned long long>(cached.evictions()),
               static_cast<unsigned long long>(uncached.connects()));
+  Report().AddMetric("tcp_cached.latency_us", cached_us);
+  Report().AddMetric("tcp_uncached.latency_us", uncached_us);
+  Report().AddMetric("udp.latency_us", udp_us);
+  Report().AddMetric("tcp_cached.cache_hits",
+                     static_cast<double>(cached.cache_hits()));
+  Report().AddMetric("tcp_cached.connects",
+                     static_cast<double>(cached.connects()));
+  Report().AddMetric("tcp_cached.evictions",
+                     static_cast<double>(cached.evictions()));
+  Report().AddMetric("tcp_uncached.connects",
+                     static_cast<double>(uncached.connects()));
   Note("paper claim: caching makes TCP track UDP; without the cache every "
        "op pays connection establishment");
   return 0;

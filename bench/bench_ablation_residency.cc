@@ -21,15 +21,15 @@ int main() {
   fs::remove_all(dir);
   fs::create_directories(dir);
 
-  constexpr std::size_t kPairs = 100'000;
+  const std::size_t kPairs = Smoke<std::size_t>(100'000, 5'000);
   Workload w = MakeWorkload(kPairs, 7);
 
   PrintRow({"resident cap", "resident", "get (us)", "disk reads",
             "evictions"},
            15);
-  for (std::uint64_t cap :
-       {std::uint64_t{0}, std::uint64_t{100'000}, std::uint64_t{50'000},
-        std::uint64_t{10'000}, std::uint64_t{1'000}}) {
+  std::vector<std::uint64_t> caps{0, kPairs, kPairs / 2, kPairs / 10,
+                                  kPairs / 100};
+  for (std::uint64_t cap : caps) {
     NoVoHTOptions options;
     options.path = (dir / ("cap" + std::to_string(cap))).string();
     options.max_resident_values = cap;
@@ -42,7 +42,7 @@ int main() {
     // Uniform random reads over the whole key space.
     Rng rng(cap + 3);
     Stopwatch watch(SystemClock::Instance());
-    constexpr int kReads = 50'000;
+    const int kReads = Smoke(50'000, 2'000);
     for (int i = 0; i < kReads; ++i) {
       (*store)->Get(w.keys[rng.Below(kPairs)]);
     }

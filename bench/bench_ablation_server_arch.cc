@@ -74,7 +74,7 @@ int main() {
          "connection-per-request clients");
 
   constexpr int kThreads = 4;
-  constexpr int kOpsEach = 500;
+  const int kOpsEach = Smoke(500, 100);
 
   MemoryMap epoll_store;
   std::mutex epoll_mu;
@@ -86,6 +86,8 @@ int main() {
   (*epoll_server)->Start();
   double epoll_tput = RunStorm((*epoll_server)->address(), kThreads,
                                kOpsEach);
+  Report().AddMetric("epoll.loop_wakeups",
+                     static_cast<double>((*epoll_server)->loop_wakeups()));
   (*epoll_server)->Stop();
 
   MemoryMap threaded_store;
@@ -106,5 +108,7 @@ int main() {
   std::printf("\nepoll / threaded = %.2fx (paper: 3x on BG/P-era "
               "hardware; thread create/teardown per request is the cost)\n",
               epoll_tput / threaded_tput);
+  Report().AddMetric("epoll.ops_per_s", epoll_tput);
+  Report().AddMetric("threaded.ops_per_s", threaded_tput);
   return 0;
 }

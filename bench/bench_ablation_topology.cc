@@ -18,7 +18,11 @@ int main() {
             "rand lat(ms)"},
            15);
 
-  for (std::uint64_t nodes : {64ull, 512ull, 4096ull, 32768ull}) {
+  const std::vector<std::uint64_t> kNodeSweep =
+      SmokeMode() ? std::vector<std::uint64_t>{64ull, 512ull}
+                  : std::vector<std::uint64_t>{64ull, 512ull, 4096ull,
+                                               32768ull};
+  for (std::uint64_t nodes : kNodeSweep) {
     KvsSimParams successor;
     successor.num_nodes = nodes;
     successor.replicas = 2;

@@ -19,7 +19,7 @@ namespace zht::bench {
 namespace {
 
 constexpr Nanos kWireLatency = 100 * kNanosPerMicro;
-constexpr int kOpsPerThread = 150;
+const int kOpsPerThread = Smoke(150, 40);
 
 // One closed-loop client per node (capped): calls mostly sleep on the
 // injected wire latency, so they overlap even on one physical core.
@@ -142,10 +142,15 @@ int main() {
          "ZHT vs Cassandra vs Memcached — throughput vs scale, live "
          "cluster (ops/s)");
   PrintRow({"nodes", "ZHT", "Cassandra", "Memcached"});
-  for (std::uint32_t nodes : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    PrintRow({FmtInt(nodes), Fmt(ZhtThroughput(nodes), 0),
-              Fmt(CassandraThroughput(nodes), 0),
+  Report().SetParam("ops_per_thread", kOpsPerThread);
+  const std::vector<std::uint32_t> kNodeSweep =
+      SmokeMode() ? std::vector<std::uint32_t>{1u, 4u}
+                  : std::vector<std::uint32_t>{1u, 2u, 4u, 8u, 16u, 32u, 64u};
+  for (std::uint32_t nodes : kNodeSweep) {
+    const double zht = ZhtThroughput(nodes);
+    PrintRow({FmtInt(nodes), Fmt(zht, 0), Fmt(CassandraThroughput(nodes), 0),
               Fmt(MemcachedThroughput(nodes), 0)});
+    Report().AddMetric("zht.ops_per_s.n" + std::to_string(nodes), zht);
   }
   Note("shape to reproduce (paper): ZHT several times Cassandra's "
        "throughput (multi-hop routing consumes ring capacity); Memcached "

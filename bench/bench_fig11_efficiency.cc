@@ -19,8 +19,12 @@ int main() {
 
   PrintRow({"nodes", "latency (ms)", "efficiency", "throughput (ops/s)"},
            20);
-  for (std::uint64_t nodes : {2ull, 64ull, 1024ull, 8192ull, 65536ull,
-                              262144ull, 1048576ull}) {
+  const std::vector<std::uint64_t> kNodeSweep =
+      SmokeMode() ? std::vector<std::uint64_t>{2ull, 64ull, 1024ull}
+                  : std::vector<std::uint64_t>{2ull, 64ull, 1024ull, 8192ull,
+                                               65536ull, 262144ull,
+                                               1048576ull};
+  for (std::uint64_t nodes : kNodeSweep) {
     KvsSimParams params;
     params.num_nodes = nodes;
     params.ops_per_client = nodes >= 65536 ? 2 : 16;

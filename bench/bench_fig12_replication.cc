@@ -21,7 +21,7 @@ double LiveInsertLatencyUs(int replicas) {
   // A touch of wire latency so the sync-replication round trip is visible.
   (*cluster)->network().SetLatency(20 * zht::kNanosPerMicro);
   auto client = (*cluster)->CreateClient();
-  Workload w = MakeWorkload(400);
+  Workload w = MakeWorkload(Smoke<std::size_t>(400, 100));
   LatencyStats stats;
   for (std::size_t i = 0; i < w.keys.size(); ++i) {
     Stopwatch op(SystemClock::Instance());
@@ -30,6 +30,9 @@ double LiveInsertLatencyUs(int replicas) {
   }
   (*cluster)->network().SetLatency(0);
   (*cluster)->FlushAllAsyncReplication();
+  Report().AddLatency("live.insert.r" + std::to_string(replicas), stats);
+  Report().AddSnapshot("live.r" + std::to_string(replicas) + ".server0",
+                       (*cluster)->server(0)->MetricsSnapshotNow());
   return stats.MeanMicros();
 }
 
@@ -44,7 +47,11 @@ int main() {
   PrintRow({"nodes", "no replica (ms)", "1 replica", "overhead", "2 replicas",
             "overhead"},
            16);
-  for (std::uint64_t nodes : {2ull, 16ull, 64ull, 256ull, 1024ull}) {
+  const std::vector<std::uint64_t> kNodeSweep =
+      SmokeMode() ? std::vector<std::uint64_t>{2ull, 16ull}
+                  : std::vector<std::uint64_t>{2ull, 16ull, 64ull, 256ull,
+                                               1024ull};
+  for (std::uint64_t nodes : kNodeSweep) {
     std::vector<std::string> row{FmtInt(nodes)};
     double base = 0;
     for (int replicas : {0, 1, 2}) {

@@ -13,8 +13,11 @@ int main() {
   PrintRow({"nodes", "1 inst/node", "2 inst/node", "4 inst/node",
             "8 inst/node"},
            15);
-  for (std::uint64_t nodes : {1ull, 16ull, 64ull, 256ull, 1024ull, 4096ull,
-                              8192ull}) {
+  const std::vector<std::uint64_t> kNodeSweep =
+      SmokeMode() ? std::vector<std::uint64_t>{1ull, 16ull}
+                  : std::vector<std::uint64_t>{1ull, 16ull, 64ull, 256ull,
+                                               1024ull, 4096ull, 8192ull};
+  for (std::uint64_t nodes : kNodeSweep) {
     std::vector<std::string> row{FmtInt(nodes)};
     for (std::uint32_t instances : {1u, 2u, 4u, 8u}) {
       KvsSimParams params;

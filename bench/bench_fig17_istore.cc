@@ -73,14 +73,20 @@ int main() {
     Note("largest series scaled to 64MB (set ZHT_BENCH_FULL=1 for 1GB)");
   }
 
-  const std::vector<SizePoint> sizes = {
-      {"10KB", 10 * 1024, 64},
-      {"100KB", 100 * 1024, 32},
-      {"1MB", 1 << 20, 16},
-      {"10MB", 10 << 20, 4},
-      {"100MB", full ? std::size_t{100} << 20 : std::size_t{32} << 20, 2},
-      {"1GB", full ? std::size_t{1} << 30 : std::size_t{64} << 20, 1},
-  };
+  const std::vector<SizePoint> sizes =
+      SmokeMode()
+          ? std::vector<SizePoint>{{"10KB", 10 * 1024, 8},
+                                   {"1MB", 1 << 20, 2}}
+          : std::vector<SizePoint>{
+                {"10KB", 10 * 1024, 64},
+                {"100KB", 100 * 1024, 32},
+                {"1MB", 1 << 20, 16},
+                {"10MB", 10 << 20, 4},
+                {"100MB",
+                 full ? std::size_t{100} << 20 : std::size_t{32} << 20, 2},
+                {"1GB", full ? std::size_t{1} << 30 : std::size_t{64} << 20,
+                 1},
+            };
 
   LocalClusterOptions zht_options;
   zht_options.num_instances = 4;

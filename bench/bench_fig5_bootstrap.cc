@@ -18,8 +18,12 @@ int main() {
             "total (s)", "measured neigh (ms)"},
            18);
 
-  for (std::uint64_t nodes : {64ull, 128ull, 256ull, 512ull, 1024ull,
-                              2048ull, 4096ull, 8192ull}) {
+  const std::vector<std::uint64_t> kNodeSweep =
+      SmokeMode() ? std::vector<std::uint64_t>{64ull, 256ull}
+                  : std::vector<std::uint64_t>{64ull, 128ull, 256ull, 512ull,
+                                               1024ull, 2048ull, 4096ull,
+                                               8192ull};
+  for (std::uint64_t nodes : kNodeSweep) {
     auto model = sim::ModelBootstrap(nodes);
 
     // Live measurement of the neighbor-list build: full membership table

@@ -20,7 +20,7 @@ namespace zht::bench {
 namespace {
 
 constexpr Nanos kWireLatency = 100 * kNanosPerMicro;  // one way
-constexpr int kOps = 120;
+const int kOps = Smoke(120, 30);
 
 // ZHT persists every mutation (the paper attributes its small latency gap
 // vs Memcached to exactly this disk write).
@@ -57,6 +57,9 @@ double ZhtLatencyMs(std::uint32_t nodes, const Workload& w) {
     client->Remove(w.keys[static_cast<std::size_t>(i)]);
     stats.Record(op.Elapsed());
   }
+  Report().AddLatency("zht.e2e.n" + std::to_string(nodes), stats);
+  Report().AddSnapshot("zht.n" + std::to_string(nodes) + ".client",
+                       client->metrics().Snapshot());
   (*cluster)->network().SetLatency(0);  // teardown paths shouldn't sleep
   cluster->reset();
   std::filesystem::remove_all(dir);
@@ -148,8 +151,12 @@ int main() {
          "(ms per op; 100 us injected wire latency)");
   PrintRow({"nodes", "ZHT", "Cassandra", "Memcached"});
 
-  Workload w = MakeWorkload(kOps);
-  for (std::uint32_t nodes : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+  Workload w = MakeWorkload(static_cast<std::size_t>(kOps));
+  Report().SetParam("ops_per_scale", kOps);
+  const std::vector<std::uint32_t> kNodeSweep =
+      SmokeMode() ? std::vector<std::uint32_t>{1u, 4u}
+                  : std::vector<std::uint32_t>{1u, 2u, 4u, 8u, 16u, 32u, 64u};
+  for (std::uint32_t nodes : kNodeSweep) {
     PrintRow({FmtInt(nodes), Fmt(ZhtLatencyMs(nodes, w), 3),
               Fmt(CassandraLatencyMs(nodes, w), 3),
               Fmt(MemcachedLatencyMs(nodes, w), 3)});

@@ -5,6 +5,7 @@
 
 #include <filesystem>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "hashing/hash_functions.h"
 #include "hashing/partition_space.h"
@@ -56,6 +57,31 @@ void BM_PartitionOfKey(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PartitionOfKey);
+
+// The observability hot path: one histogram Record per handled request.
+// Must stay a handful of relaxed atomic ops (no locks, no allocation).
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(7);
+  std::vector<std::int64_t> samples(1024);
+  for (auto& sample : samples) {
+    sample = static_cast<std::int64_t>(rng.Below(100'000'000));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    histogram.Record(samples[i++ & 1023]);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+}
+BENCHMARK(BM_CounterIncrement);
 
 void BM_RequestEncode(benchmark::State& state) {
   Request request;

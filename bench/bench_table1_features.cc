@@ -16,6 +16,8 @@
 namespace zht::bench {
 namespace {
 
+const std::size_t kProbeOps = Smoke<std::size_t>(200, 50);
+
 // Measured routing hops for ZHT: requests answered directly = 0 hops.
 std::string ProbeZhtRouting() {
   LocalClusterOptions options;
@@ -23,7 +25,7 @@ std::string ProbeZhtRouting() {
   auto cluster = LocalCluster::Start(options);
   if (!cluster.ok()) return "?";
   auto client = (*cluster)->CreateClient();
-  Workload w = MakeWorkload(200);
+  Workload w = MakeWorkload(kProbeOps);
   for (std::size_t i = 0; i < w.keys.size(); ++i) {
     client->Insert(w.keys[i], w.values[i]);
   }
@@ -58,13 +60,13 @@ std::string ProbeCassandraRouting() {
     slots[i]->handler = nodes.back()->AsHandler();
   }
   CassandraLiteClient client(ring, &transport);
-  Workload w = MakeWorkload(200);
+  Workload w = MakeWorkload(kProbeOps);
   for (std::size_t i = 0; i < w.keys.size(); ++i) {
     client.Put(w.keys[i], w.values[i]);
   }
   std::uint64_t forwards = 0;
   for (const auto& node : nodes) forwards += node->forwards();
-  double hops = static_cast<double>(forwards) / 200.0;
+  double hops = static_cast<double>(forwards) / static_cast<double>(kProbeOps);
   return "log(N) (probed " + Fmt(hops, 1) + " hops @64)";
 }
 
@@ -93,13 +95,13 @@ std::string ProbeCmpiRouting() {
     slots[i]->handler = nodes.back()->AsHandler();
   }
   CmpiLiteClient client(world, &transport);
-  Workload w = MakeWorkload(200);
+  Workload w = MakeWorkload(kProbeOps);
   for (std::size_t i = 0; i < w.keys.size(); ++i) {
     client.Put(w.keys[i], w.values[i]);
   }
   std::uint64_t forwards = 0;
   for (const auto& node : nodes) forwards += node->forwards();
-  return "log(N) (probed " + Fmt(static_cast<double>(forwards) / 200.0, 1) +
+  return "log(N) (probed " + Fmt(static_cast<double>(forwards) / static_cast<double>(kProbeOps), 1) +
          " hops @64)";
 }
 

@@ -1,31 +1,293 @@
 // Shared helpers for the paper-reproduction benchmark binaries: consistent
 // table printing (one bench per table/figure; rows mirror the paper's
-// series) and workload generation (§IV.A: 15-byte ASCII keys, 132-byte
-// values, all-to-all random access).
+// series), workload generation (§IV.A: 15-byte ASCII keys, 132-byte
+// values, all-to-all random access), and the JSON telemetry pipeline —
+// every bench emits a machine-readable BENCH_<name>.json next to its
+// human-readable table (see DESIGN.md §8 and tools/run_benches.sh).
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/json.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/stats.h"
 
 namespace zht::bench {
+
+// ---- Smoke mode ------------------------------------------------------------
+
+// ZHT_BENCH_SMOKE=1 shrinks every sweep to seconds-sized parameters so
+// `ctest -L bench_smoke` can run each bench and validate its JSON report.
+inline bool SmokeMode() {
+  const char* env = std::getenv("ZHT_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+// Pick the full-size or smoke-size value for a sweep parameter.
+template <typename T>
+inline T Smoke(T full, T smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+// ---- BenchReport -----------------------------------------------------------
+
+// Process-wide collector behind Banner()/PrintRow(): sections and table
+// rows are captured automatically; benches add params, scalar metrics,
+// latency summaries, histograms, and metrics snapshots explicitly. The
+// report writes itself at process exit as BENCH_<name>.json (binary name
+// minus the bench_ prefix) into $ZHT_BENCH_DIR (default: cwd).
+class BenchReport {
+ public:
+  static BenchReport& Instance() {
+    static BenchReport* report = new BenchReport();  // leaked: alive at exit
+    return *report;
+  }
+
+  void Begin(const std::string& id, const std::string& title) {
+    sections_.push_back(Section{id, title, {}, {}});
+    if (!registered_) {
+      registered_ = true;
+      std::atexit(&BenchReport::WriteAtExit);
+    }
+  }
+
+  // First row after Begin() is the table header (column names).
+  void Row(const std::vector<std::string>& cells) {
+    if (sections_.empty()) return;
+    Section& section = sections_.back();
+    if (section.columns.empty()) {
+      section.columns = cells;
+    } else {
+      section.rows.push_back(cells);
+    }
+  }
+
+  void SetParam(const std::string& key, const std::string& value) {
+    SetOrReplace(params_, key, json::Quote(value));
+  }
+  void SetParam(const std::string& key, double value) {
+    SetOrReplace(params_, key, json::Number(value));
+  }
+
+  // Scalar result (throughput, speedup, ...).
+  void AddMetric(const std::string& name, double value) {
+    SetOrReplace(metrics_, name, json::Number(value));
+  }
+
+  // Exact-percentile summary of a LatencyStats (no buckets).
+  void AddLatency(const std::string& name, LatencyStats& stats) {
+    json::Writer w;
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(stats.count());
+    w.Key("mean_ns");
+    w.Double(stats.MeanMicros() * 1000.0);
+    w.Key("min_ns");
+    w.Int(stats.Min());
+    w.Key("max_ns");
+    w.Int(stats.Max());
+    w.Key("p50_ns");
+    w.Int(stats.Percentile(50));
+    w.Key("p90_ns");
+    w.Int(stats.Percentile(90));
+    w.Key("p99_ns");
+    w.Int(stats.Percentile(99));
+    w.Key("buckets");
+    w.BeginArray();
+    w.EndArray();
+    w.EndObject();
+    SetOrReplace(histograms_, name, w.out());
+  }
+
+  // Full log-scale histogram including its sparse buckets.
+  void AddHistogram(const std::string& name, const HistogramData& h) {
+    json::Writer w;
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(h.count);
+    w.Key("mean_ns");
+    w.Double(h.Mean());
+    w.Key("min_ns");
+    w.Uint(h.min);
+    w.Key("max_ns");
+    w.Uint(h.max);
+    w.Key("p50_ns");
+    w.Double(h.Percentile(50));
+    w.Key("p90_ns");
+    w.Double(h.Percentile(90));
+    w.Key("p99_ns");
+    w.Double(h.Percentile(99));
+    w.Key("buckets");
+    w.BeginArray();
+    for (const auto& [index, count] : h.buckets) {
+      w.BeginArray();
+      w.Uint(HistogramData::BucketLower(index));
+      w.Uint(HistogramData::BucketUpper(index));
+      w.Uint(count);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+    SetOrReplace(histograms_, name, w.out());
+  }
+
+  // Splices a metrics snapshot in: counters/gauges land under metrics,
+  // histograms under histograms, all prefixed `<prefix>.`.
+  void AddSnapshot(const std::string& prefix, const MetricsSnapshot& snapshot) {
+    for (const MetricValue& entry : snapshot.entries) {
+      const std::string name =
+          prefix.empty() ? entry.name : prefix + "." + entry.name;
+      if (entry.kind == MetricKind::kHistogram) {
+        AddHistogram(name, entry.histogram);
+      } else {
+        AddMetric(name, static_cast<double>(entry.value));
+      }
+    }
+  }
+
+  std::string ToJson() const {
+    json::Writer w;
+    w.BeginObject();
+    w.Key("schema_version");
+    w.Int(1);
+    w.Key("name");
+    w.String(ReportName());
+    w.Key("smoke");
+    w.Bool(SmokeMode());
+    w.Key("params");
+    w.BeginObject();
+    for (const auto& [key, rendered] : params_) {
+      w.Key(key);
+      w.Raw(rendered);
+    }
+    w.EndObject();
+    w.Key("sections");
+    w.BeginArray();
+    for (const Section& section : sections_) {
+      w.BeginObject();
+      w.Key("id");
+      w.String(section.id);
+      w.Key("title");
+      w.String(section.title);
+      w.Key("columns");
+      w.BeginArray();
+      for (const std::string& column : section.columns) w.String(column);
+      w.EndArray();
+      w.Key("rows");
+      w.BeginArray();
+      for (const auto& row : section.rows) {
+        w.BeginArray();
+        for (const std::string& cell : row) w.String(cell);
+        w.EndArray();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("histograms");
+    w.BeginObject();
+    for (const auto& [name, rendered] : histograms_) {
+      w.Key(name);
+      w.Raw(rendered);
+    }
+    w.EndObject();
+    w.Key("metrics");
+    w.BeginObject();
+    for (const auto& [name, rendered] : metrics_) {
+      w.Key(name);
+      w.Raw(rendered);
+    }
+    w.EndObject();
+    w.EndObject();
+    return w.out();
+  }
+
+  // BENCH_<binary name minus "bench_">.json
+  static std::string ReportName() {
+#ifdef __GLIBC__
+    std::string name = program_invocation_short_name;
+#else
+    std::string name = "report";
+#endif
+    if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+    return name;
+  }
+
+  bool Write() const {
+    const char* dir = std::getenv("ZHT_BENCH_DIR");
+    std::string path = (dir != nullptr && *dir != '\0')
+                           ? std::string(dir) + "/"
+                           : std::string();
+    path += "BENCH_" + ReportName() + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench report: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = ToJson();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Section {
+    std::string id;
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+
+  static void WriteAtExit() { Instance().Write(); }
+
+  static void SetOrReplace(Entries& entries, const std::string& key,
+                           std::string rendered) {
+    for (auto& [name, value] : entries) {
+      if (name == key) {
+        value = std::move(rendered);
+        return;
+      }
+    }
+    entries.emplace_back(key, std::move(rendered));
+  }
+
+  std::vector<Section> sections_;
+  Entries params_;
+  Entries metrics_;
+  Entries histograms_;  // name → pre-rendered JSON object
+  bool registered_ = false;
+};
+
+inline BenchReport& Report() { return BenchReport::Instance(); }
+
+// ---- Table printing --------------------------------------------------------
 
 inline void Banner(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("================================================================\n");
+  Report().Begin(id, title);
 }
 
 inline void Note(const std::string& text) {
   std::printf("note: %s\n", text.c_str());
 }
 
-// Fixed-width row printing: pass header once, then rows of cells.
+// Fixed-width row printing: pass header once, then rows of cells. Rows are
+// also captured into the JSON report (first row per section = columns).
 inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
   for (const auto& cell : cells) std::printf("%*s", width, cell.c_str());
   std::printf("\n");
+  Report().Row(cells);
 }
 
 inline std::string Fmt(double value, int decimals = 3) {

@@ -1,0 +1,328 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace zht::json {
+
+std::string Quote(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Number(double value) {
+  if (!std::isfinite(value)) return "0";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// ---- Writer ----------------------------------------------------------------
+
+void Writer::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!comma_.empty()) {
+    if (comma_.back()) out_.push_back(',');
+    comma_.back() = true;
+  }
+}
+
+void Writer::Open(char c) {
+  MaybeComma();
+  out_.push_back(c);
+  comma_.push_back(false);
+}
+
+void Writer::Close(char c) {
+  out_.push_back(c);
+  if (!comma_.empty()) comma_.pop_back();
+}
+
+void Writer::Key(std::string_view key) {
+  MaybeComma();
+  out_ += Quote(key);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+void Writer::Value(const std::string& rendered) {
+  MaybeComma();
+  out_ += rendered;
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+const Value* Value::Get(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status(StatusCode::kInvalidArgument,
+                  "json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    if (++depth_ > 128) return Fail("nesting too deep");
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{depth_};
+
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') {
+      if (!ConsumeWord("null")) return Fail("bad literal");
+      Value v;
+      v.kind = Kind::kNull;
+      return v;
+    }
+    return ParseNumber();
+  }
+
+  Result<Value> ParseObject() {
+    Value v;
+    v.kind = Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    for (;;) {
+      SkipWhitespace();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      auto member = ParseValue();
+      if (!member.ok()) return member;
+      v.object[key->string] = std::move(*member);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> ParseArray() {
+    Value v;
+    v.kind = Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    for (;;) {
+      auto element = ParseValue();
+      if (!element.ok()) return element;
+      v.array.push_back(std::move(*element));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Value> ParseString() {
+    if (!Consume('"')) return Fail("expected string");
+    Value v;
+    v.kind = Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          v.string.push_back(e);
+          break;
+        case 'n':
+          v.string.push_back('\n');
+          break;
+        case 'r':
+          v.string.push_back('\r');
+          break;
+        case 't':
+          v.string.push_back('\t');
+          break;
+        case 'b':
+          v.string.push_back('\b');
+          break;
+        case 'f':
+          v.string.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogates pass through as
+          // replacement-free bytes; telemetry strings are ASCII).
+          if (code < 0x80) {
+            v.string.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            v.string.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            v.string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            v.string.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            v.string.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            v.string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Value> ParseBool() {
+    Value v;
+    v.kind = Kind::kBool;
+    if (ConsumeWord("true")) {
+      v.boolean = true;
+      return v;
+    }
+    if (ConsumeWord("false")) {
+      v.boolean = false;
+      return v;
+    }
+    return Fail("bad literal");
+  }
+
+  Result<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        digits = digits || (c >= '0' && c <= '9');
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return Fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    Value v;
+    v.kind = Kind::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace zht::json

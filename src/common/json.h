@@ -1,0 +1,96 @@
+// Minimal JSON support for the telemetry pipeline: an append-style writer
+// (used by BenchReport and the structured-stats renderers) and a small
+// recursive-descent parser (used by the bench schema checker and tests).
+// No external dependencies; numbers are doubles, objects preserve insertion
+// order on write and are key→value maps on read.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zht::json {
+
+// Escapes and quotes a string per RFC 8259.
+std::string Quote(std::string_view raw);
+
+// Formats a double as a JSON number (integers render without a fraction;
+// non-finite values render as 0 — JSON has no NaN/Inf).
+std::string Number(double value);
+
+// ---- Writer ----------------------------------------------------------------
+
+// Streaming writer: push containers/values in document order. Commas and
+// key separators are inserted automatically.
+class Writer {
+ public:
+  std::string& out() { return out_; }
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  // Inside an object: writes `"key":` and leaves the value to the caller's
+  // next push (value, BeginObject, or BeginArray).
+  void Key(std::string_view key);
+
+  void String(std::string_view value) { Value(Quote(value)); }
+  void Double(double value) { Value(Number(value)); }
+  void Int(std::int64_t value) { Value(std::to_string(value)); }
+  void Uint(std::uint64_t value) { Value(std::to_string(value)); }
+  void Bool(bool value) { Value(value ? "true" : "false"); }
+  void Null() { Value("null"); }
+  // Pre-rendered JSON fragment.
+  void Raw(std::string_view fragment) { Value(std::string(fragment)); }
+
+ private:
+  void Open(char c);
+  void Close(char c);
+  void Value(const std::string& rendered);
+  void MaybeComma();
+
+  std::string out_;
+  // Per-depth "needs a comma before the next element" flags.
+  std::vector<bool> comma_;
+  bool pending_key_ = false;
+};
+
+// ---- Parsed values ---------------------------------------------------------
+
+enum class Kind : std::uint8_t {
+  kNull,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+struct Value {
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // Object member access; nullptr when absent or not an object.
+  const Value* Get(std::string_view key) const;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage is an error).
+Result<Value> Parse(std::string_view text);
+
+}  // namespace zht::json

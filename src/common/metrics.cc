@@ -1,0 +1,204 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+namespace zht {
+
+// ---- HistogramData ---------------------------------------------------------
+
+double HistogramData::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Target rank in [1, count]; interpolate within the bucket that holds it.
+  const double target = std::max(1.0, (p / 100.0) * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (const auto& [index, n] : buckets) {
+    if (n == 0) continue;
+    if (static_cast<double>(cumulative + n) >= target) {
+      const double lo = static_cast<double>(
+          std::max(BucketLower(index), min));
+      const double hi = static_cast<double>(
+          std::min(BucketUpper(index), max + 1));
+      const double within =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(n);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative += n;
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  // Merge two index-sorted sparse runs.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t i = 0, j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j >= other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i >= buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first,
+                          buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+void Histogram::Record(std::int64_t value) {
+  const std::uint64_t v =
+      value < 0 ? 0 : static_cast<std::uint64_t>(value);
+  buckets_[HistogramData::BucketIndex(v)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t lo = min_.load(std::memory_order_relaxed);
+  out.min = lo == UINT64_MAX ? 0 : lo;
+  out.max = max_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < HistogramData::kNumBuckets; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.buckets.emplace_back(i, n);
+  }
+  return out;
+}
+
+void Histogram::Merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  for (const auto& [index, n] : other.buckets) {
+    if (index < HistogramData::kNumBuckets) {
+      buckets_[index].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (other.min < seen && !min_.compare_exchange_weak(
+                                 seen, other.min, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (other.max > seen && !max_.compare_exchange_weak(
+                                 seen, other.max, std::memory_order_relaxed)) {
+  }
+}
+
+// ---- MetricsSnapshot -------------------------------------------------------
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
+  for (const auto& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::int64_t MetricsSnapshot::ValueOf(std::string_view name) const {
+  const MetricValue* entry = Find(name);
+  if (entry == nullptr || entry->kind == MetricKind::kHistogram) return 0;
+  return entry->value;
+}
+
+void MetricsSnapshot::AddCounter(std::string name, std::uint64_t value) {
+  MetricValue entry;
+  entry.name = std::move(name);
+  entry.kind = MetricKind::kCounter;
+  entry.value = static_cast<std::int64_t>(value);
+  entries.push_back(std::move(entry));
+}
+
+void MetricsSnapshot::AddGauge(std::string name, std::int64_t value) {
+  MetricValue entry;
+  entry.name = std::move(name);
+  entry.kind = MetricKind::kGauge;
+  entry.value = value;
+  entries.push_back(std::move(entry));
+}
+
+void MetricsSnapshot::AddHistogram(std::string name, HistogramData data) {
+  MetricValue entry;
+  entry.name = std::move(name);
+  entry.kind = MetricKind::kHistogram;
+  entry.histogram = std::move(data);
+  entries.push_back(std::move(entry));
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  out.entries.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.AddCounter(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.AddGauge(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.AddHistogram(name, histogram->Snapshot());
+  }
+  // Each kind's map is sorted; interleave them into one global name order.
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace zht

@@ -1,0 +1,186 @@
+// MetricsRegistry: named monotonic counters, gauges, and fixed-bucket
+// log-scale latency histograms. The hot-path contract is strict: once a
+// component has resolved its Counter*/Gauge*/Histogram* pointers (at
+// construction), Record/Add are lock-free relaxed atomics — the registry
+// mutex is taken only when a metric is first registered or when a snapshot
+// is cut. Histograms are mergeable (bucket-wise) and answer p50/p90/p99
+// within one sub-bucket's relative error (1/16) in O(buckets).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zht {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Point-in-time signed level (queue depth, resident bytes, ...).
+class Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Plain (non-atomic) histogram state: what a snapshot carries, what goes on
+// the wire, and where percentile math lives. Bucket layout is log-linear
+// (HdrHistogram-style): values 0..15 get exact unit buckets; above that,
+// each power-of-two octave is split into 16 linear sub-buckets, so the
+// relative width of any bucket is at most 1/16.
+struct HistogramData {
+  // 16 exact buckets + 16 sub-buckets for each octave 4..63.
+  static constexpr std::uint32_t kNumBuckets = 16 + 60 * 16;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // meaningful only when count > 0
+  std::uint64_t max = 0;
+  // Sparse: only non-zero buckets, ascending by index.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+  // Maps a value to its bucket index.
+  static std::uint32_t BucketIndex(std::uint64_t value) {
+    if (value < 16) return static_cast<std::uint32_t>(value);
+    const int octave = std::bit_width(value) - 1;  // >= 4
+    const int shift = octave - 4;
+    return static_cast<std::uint32_t>(
+        16 + (octave - 4) * 16 +
+        ((value >> shift) & 15));
+  }
+  // Inclusive lower / exclusive upper bound of a bucket.
+  static std::uint64_t BucketLower(std::uint32_t index) {
+    if (index < 16) return index;
+    const std::uint32_t b = index - 16;
+    const int octave = static_cast<int>(b / 16) + 4;
+    const std::uint64_t sub = b % 16;
+    return (std::uint64_t{16} + sub) << (octave - 4);
+  }
+  static std::uint64_t BucketUpper(std::uint32_t index) {
+    if (index < 16) return index + 1;
+    const std::uint32_t b = index - 16;
+    const int octave = static_cast<int>(b / 16) + 4;
+    return BucketLower(index) + (std::uint64_t{1} << (octave - 4));
+  }
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  // p in [0, 100]. Walks the cumulative distribution and interpolates
+  // linearly inside the target bucket; exact for values < 16 (unit
+  // buckets), within one sub-bucket (<= 1/16 relative) above.
+  double Percentile(double p) const;
+
+  // Bucket-wise addition; equivalent to having recorded the union.
+  void Merge(const HistogramData& other);
+};
+
+// Thread-safe recorder over the HistogramData bucket layout. Record is
+// O(1): a handful of relaxed atomic adds plus CAS loops for min/max —
+// never a lock.
+class Histogram {
+ public:
+  void Record(std::int64_t value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  double Percentile(double p) const { return Snapshot().Percentile(p); }
+  double Mean() const { return Snapshot().Mean(); }
+
+  // Consistent-enough copy for reporting (individual loads are relaxed;
+  // concurrent recording may skew count vs buckets by in-flight ops).
+  HistogramData Snapshot() const;
+
+  // Adds a plain snapshot into this recorder (bucket-wise).
+  void Merge(const HistogramData& other);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[HistogramData::kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// ---- Snapshots -------------------------------------------------------------
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 1,
+  kGauge = 2,
+  kHistogram = 3,
+};
+
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;      // counter / gauge payload
+  HistogramData histogram;     // histogram payload
+};
+
+// A point-in-time copy of a registry (plus any values spliced in by the
+// reporter). Entries stay sorted by name when produced by Snapshot().
+struct MetricsSnapshot {
+  std::vector<MetricValue> entries;
+
+  const MetricValue* Find(std::string_view name) const;
+  // 0 when absent or not a counter/gauge.
+  std::int64_t ValueOf(std::string_view name) const;
+
+  void AddCounter(std::string name, std::uint64_t value);
+  void AddGauge(std::string name, std::int64_t value);
+  void AddHistogram(std::string name, HistogramData data);
+};
+
+// ---- Registry --------------------------------------------------------------
+
+// Get-or-create by name; returned pointers are stable for the registry's
+// lifetime (node-based storage), so callers resolve once and record
+// lock-free forever after.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace zht

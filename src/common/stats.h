@@ -45,20 +45,41 @@ class LatencyStats {
                : *std::max_element(samples_.begin(), samples_.end());
   }
 
-  // p in [0, 100].
+  // p in [0, 100]. Linear interpolation between the two ranks straddling
+  // the requested quantile (the "exclusive" definition: p=50 over {a, b}
+  // is their midpoint, not a).
   Nanos Percentile(double p) {
     if (samples_.empty()) return 0;
     Sort();
-    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
-    auto idx = static_cast<std::size_t>(rank);
-    return samples_[idx];
+    if (p <= 0) return samples_.front();
+    if (p >= 100) return samples_.back();
+    const double rank =
+        (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double fraction = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    const double interpolated =
+        static_cast<double>(samples_[lo]) +
+        fraction *
+            static_cast<double>(samples_[lo + 1] - samples_[lo]);
+    return static_cast<Nanos>(interpolated + 0.5);
   }
 
+  // When both sides are already sorted the runs are merged in place
+  // (O(n+m)) and the result stays sorted; otherwise the merged vector is
+  // lazily re-sorted on the next percentile query.
   void Merge(const LatencyStats& other) {
+    const std::size_t middle = samples_.size();
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
     sum_ += other.sum_;
-    sorted_ = false;
+    if (sorted_ && other.sorted_) {
+      std::inplace_merge(samples_.begin(),
+                         samples_.begin() + static_cast<std::ptrdiff_t>(middle),
+                         samples_.end());
+    } else {
+      sorted_ = false;
+    }
   }
 
   void Clear() {

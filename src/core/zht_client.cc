@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/clock.h"
 #include "common/log.h"
 
 namespace zht {
@@ -15,6 +16,17 @@ ZhtClient::ZhtClient(MembershipTable table, const ZhtClientOptions& options,
       options_(options),
       transport_(transport),
       detector_(options.failure_detector) {
+  static constexpr const char* kDataOpNames[4] = {"insert", "lookup", "remove",
+                                                  "append"};
+  for (int i = 0; i < 4; ++i) {
+    op_hist_[i] = metrics_.GetHistogram(std::string("client.op.") +
+                                        kDataOpNames[i] + ".latency_ns");
+  }
+  batch_hist_ = metrics_.GetHistogram("client.op.batch.latency_ns");
+  batch_size_hist_ = metrics_.GetHistogram("client.batch.size");
+  retry_counter_ = metrics_.GetCounter("client.retries");
+  failover_counter_ = metrics_.GetCounter("client.failovers");
+  redirect_counter_ = metrics_.GetCounter("client.redirects_followed");
   if (options.client_id != 0) {
     client_id_ = options.client_id;
   } else {
@@ -62,6 +74,15 @@ void ZhtClient::ReportFailure(InstanceId instance) {
 
 Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
                                     std::string_view value) {
+  const Stopwatch watch(SystemClock::Instance());
+  auto result = ExecuteInternal(op, key, value);
+  const auto op_index = static_cast<std::size_t>(op) - 1;
+  if (op_index < 4) op_hist_[op_index]->Record(watch.Elapsed());
+  return result;
+}
+
+Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
+                                            std::string_view value) {
   ++stats_.ops;
   int replica_try = 0;
   // Tracks the most recent transport-level failure so exhaustion can
@@ -110,11 +131,13 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
       // declares it dead.
       last_transport = result.status().code();
       ++stats_.retries;
+      retry_counter_->Increment();
       Backoff(detector_.BackoffFor(address));
       if (detector_.RecordFailure(address)) {
         ReportFailure(target);
         transport_->Invalidate(address);
         ++stats_.failovers;
+        failover_counter_->Increment();
         ++replica_try;
       }
       continue;
@@ -124,6 +147,7 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
     StatusCode code = static_cast<StatusCode>(result->status);
     if (code == StatusCode::kRedirect) {
       ++stats_.redirects_followed;
+      redirect_counter_->Increment();
       if (!result->membership.empty()) {
         Status applied = ApplyMembership(result->membership);
         if (!applied.ok()) {
@@ -144,6 +168,7 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
     }
     if (code == StatusCode::kMigrating) {
       ++stats_.retries;
+      retry_counter_->Increment();
       Backoff(options_.migrating_backoff);
       continue;
     }
@@ -158,8 +183,10 @@ Result<Response> ZhtClient::Execute(OpCode op, std::string_view key,
 std::vector<Result<Response>> ZhtClient::ExecuteBatch(
     OpCode op, std::span<const std::string> keys,
     std::span<const std::string> values) {
+  const Stopwatch watch(SystemClock::Instance());
   const std::size_t n = keys.size();
   stats_.ops += n;
+  batch_size_hist_->Record(static_cast<std::int64_t>(n));
   std::vector<Result<Response>> results(
       n, Result<Response>(Status(StatusCode::kTimeout, "attempts exhausted")));
   if (n == 0) return results;
@@ -230,12 +257,14 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
         // The shard shared one network exchange: back off once, and fail
         // the whole shard over together when the detector declares death.
         ++stats_.retries;
+        retry_counter_->Increment();
         Backoff(detector_.BackoffFor(address));
         const bool dead = detector_.RecordFailure(address);
         if (dead) {
           ReportFailure(target);
           transport_->Invalidate(address);
           ++stats_.failovers;
+          failover_counter_->Increment();
         }
         for (std::size_t i : indices) {
           last_transport[i] = replies.status().code();
@@ -256,6 +285,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
           // (the server attaches it to the first redirected sub-op) and
           // re-shard the key next round.
           ++stats_.redirects_followed;
+          redirect_counter_->Increment();
           if (!sub.membership.empty() && !membership_applied) {
             membership_applied = true;
             Status applied = ApplyMembership(sub.membership);
@@ -277,6 +307,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
         }
         if (code == StatusCode::kMigrating) {
           ++stats_.retries;
+          retry_counter_->Increment();
           migrating_seen = true;
           last_transport[i] = StatusCode::kTimeout;
           still_pending.push_back(i);
@@ -296,6 +327,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
                      : Result<Response>(Status(StatusCode::kTimeout,
                                                "attempts exhausted"));
   }
+  batch_hist_->Record(watch.Elapsed());
   return results;
 }
 

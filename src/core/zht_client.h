@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/cluster_options.h"
 #include "core/failure_detector.h"
 #include "membership/membership_table.h"
@@ -108,6 +109,10 @@ class ZhtClient {
   MembershipTable& table() { return table_; }
   const MembershipTable& table() const { return table_; }
   const ZhtClientStats& stats() const { return stats_; }
+  // End-to-end per-op latency histograms (client.op.<name>.latency_ns,
+  // covering redirects/retries/failovers within one logical op) plus
+  // counters mirroring ZhtClientStats.
+  const MetricsRegistry& metrics() const { return metrics_; }
   // Observability for the detector's bounded-state guarantee: how many
   // destinations it currently tracks (pruned on membership updates).
   std::size_t detector_tracked_count() const {
@@ -115,8 +120,11 @@ class ZhtClient {
   }
 
  private:
+  // Wraps ExecuteInternal with the end-to-end latency histogram.
   Result<Response> Execute(OpCode op, std::string_view key,
                            std::string_view value);
+  Result<Response> ExecuteInternal(OpCode op, std::string_view key,
+                                   std::string_view value);
   // Shard-by-owner batch engine behind the Multi* calls: returns one final
   // Response per input, in input order.
   std::vector<Result<Response>> ExecuteBatch(
@@ -135,6 +143,16 @@ class ZhtClient {
   ZhtClientStats stats_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t client_id_ = 0;
+
+  // Hot-path metric handles resolved at construction (see
+  // common/metrics.h); op_hist_[op-1] covers kInsert..kAppend.
+  MetricsRegistry metrics_;
+  Histogram* op_hist_[4] = {};
+  Histogram* batch_hist_ = nullptr;       // one Multi* call end to end
+  Histogram* batch_size_hist_ = nullptr;  // keys per Multi* call
+  Counter* retry_counter_ = nullptr;
+  Counter* failover_counter_ = nullptr;
+  Counter* redirect_counter_ = nullptr;
 };
 
 }  // namespace zht

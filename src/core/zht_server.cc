@@ -3,9 +3,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/log.h"
 #include "novoht/novoht.h"
 #include "serialize/batch.h"
+#include "serialize/metrics_codec.h"
 #include "serialize/wire.h"
 
 namespace zht {
@@ -60,6 +62,20 @@ ZhtServer::ZhtServer(MembershipTable table, const ZhtServerOptions& options,
     : options_(options), peer_transport_(peer_transport),
       table_(std::move(table)) {
   if (!options_.store_factory) options_.store_factory = DefaultStoreFactory;
+  // Resolve every hot-path metric handle once; Record()/Increment() through
+  // these pointers never acquires a lock.
+  static constexpr const char* kDataOpNames[4] = {"insert", "lookup", "remove",
+                                                  "append"};
+  for (int i = 0; i < 4; ++i) {
+    data_op_hist_[i] = metrics_.GetHistogram(
+        std::string("server.op.") + kDataOpNames[i] + ".latency_ns");
+  }
+  batch_hist_ = metrics_.GetHistogram("server.op.batch.latency_ns");
+  batch_size_hist_ = metrics_.GetHistogram("server.batch.size");
+  replication_fanout_hist_ = metrics_.GetHistogram("server.replication.fanout");
+  replication_sync_counter_ = metrics_.GetCounter("server.replication.sync");
+  replication_async_counter_ = metrics_.GetCounter("server.replication.async");
+  redirect_counter_ = metrics_.GetCounter("server.redirects");
   async_worker_ = std::thread([this] { AsyncReplicationLoop(); });
 }
 
@@ -171,34 +187,17 @@ Response ZhtServer::Handle(Request&& request) {
     case OpCode::kBroadcast:
       return HandleBroadcast(std::move(request));
     case OpCode::kStats: {
-      // Admin introspection: counters as a config-style text blob (easy
-      // for tools to parse, stable keys).
+      // Admin introspection: a versioned structured snapshot (counters,
+      // gauges, per-opcode latency histograms) encoded with
+      // serialize/metrics_codec.h. Tools decode and render; unknown
+      // entries/fields are skipped by old readers.
       Response resp;
       resp.seq = request.seq;
-      std::lock_guard<std::mutex> lock(mu_);
-      std::uint64_t entries = 0;
-      for (const auto& [partition, store] : partitions_) {
-        entries += store->Size();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        resp.epoch = table_.epoch();
       }
-      resp.epoch = table_.epoch();
-      resp.value = "instance = " + std::to_string(options_.self) +
-                   "\nepoch = " + std::to_string(table_.epoch()) +
-                   "\npartitions_held = " +
-                   std::to_string(partitions_.size()) +
-                   "\nentries = " + std::to_string(entries) +
-                   "\nops = " + std::to_string(stats_.ops) +
-                   "\nredirects = " + std::to_string(stats_.redirects) +
-                   "\nreplications_sync = " +
-                   std::to_string(stats_.replications_sync) +
-                   "\nreplications_async = " +
-                   std::to_string(stats_.replications_async) +
-                   "\nmigrations_in = " +
-                   std::to_string(stats_.migrations_in) +
-                   "\nmigrations_out = " +
-                   std::to_string(stats_.migrations_out) +
-                   "\nbroadcasts = " + std::to_string(stats_.broadcasts) +
-                   "\nduplicate_appends_dropped = " +
-                   std::to_string(stats_.duplicate_appends_dropped) + "\n";
+      resp.value = EncodeMetricsSnapshot(MetricsSnapshotNow());
       return resp;
     }
     default: {
@@ -247,6 +246,7 @@ Response ZhtServer::ApplyDataOpLocked(const Request& request,
     const bool is_primary = !chain->empty() && (*chain)[0] == options_.self;
     if (!is_primary && !(is_client_failover && in_chain)) {
       ++stats_.redirects;
+      redirect_counter_->Increment();
       return RedirectTo(chain->empty() ? 0 : (*chain)[0], request.seq,
                         request.epoch, include_redirect_delta);
     }
@@ -275,6 +275,7 @@ Response ZhtServer::ApplyDataOpLocked(const Request& request,
 }
 
 Response ZhtServer::HandleData(Request&& request) {
+  const Stopwatch watch(SystemClock::Instance());
   PartitionId partition = 0;
   std::vector<InstanceId> chain;
   bool replicate = false;
@@ -290,10 +291,15 @@ Response ZhtServer::HandleData(Request&& request) {
     // the asynchronous queue (§III.J).
     ReplicateSync(request, partition, chain);
   }
+  // Service time including the synchronous replication leg — what a client
+  // waits for. Lock-free (atomic bucket increments).
+  const auto op_index = static_cast<std::size_t>(request.op) - 1;
+  if (op_index < 4) data_op_hist_[op_index]->Record(watch.Elapsed());
   return resp;
 }
 
 Response ZhtServer::HandleBatch(Request&& request) {
+  const Stopwatch watch(SystemClock::Instance());
   Response carrier;
   carrier.seq = request.seq;
   auto batch = BatchRequest::Decode(request.value);
@@ -301,6 +307,7 @@ Response ZhtServer::HandleBatch(Request&& request) {
     carrier.status = batch.status().raw();
     return carrier;
   }
+  batch_size_hist_->Record(static_cast<std::int64_t>(batch->ops.size()));
 
   BatchResponse out;
   out.responses.reserve(batch->ops.size());
@@ -355,7 +362,9 @@ Response ZhtServer::HandleBatch(Request&& request) {
     ReplicateBatch(std::move(replicate_ops), replicate_partitions,
                    replicate_chains);
   }
-  return PackBatchResponse(out, request.seq, epoch);
+  Response packed = PackBatchResponse(out, request.seq, epoch);
+  batch_hist_->Record(watch.Elapsed());
+  return packed;
 }
 
 void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
@@ -363,6 +372,10 @@ void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
   Request forward = original;
   forward.server_origin = true;
   forward.partition = partition;
+
+  // Fan-out of this mutation: every chain member beyond the primary.
+  replication_fanout_hist_->Record(
+      static_cast<std::int64_t>(chain.size()) - 1);
 
   if (options_.sync_secondary && chain.size() > 1) {
     forward.replica_index = 1;
@@ -372,6 +385,7 @@ void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
       secondary = table_.Instance(chain[1]).address;
       ++stats_.replications_sync;
     }
+    replication_sync_counter_->Increment();
     auto result =
         peer_transport_->Call(secondary, forward, options_.cluster.peer_timeout);
     if (!result.ok()) {
@@ -384,6 +398,7 @@ void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
     Request async = forward;
     async.replica_index = static_cast<std::uint8_t>(i);
     EnqueueAsyncReplication(std::move(async), chain[i]);
+    replication_async_counter_->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.replications_async;
   }
@@ -395,6 +410,11 @@ void ZhtServer::ReplicateBatch(
   for (std::size_t i = 0; i < ops.size(); ++i) {
     ops[i].server_origin = true;
     ops[i].partition = partitions[i];
+  }
+
+  for (const auto& chain : chains) {
+    replication_fanout_hist_->Record(static_cast<std::int64_t>(chain.size()) -
+                                     1);
   }
 
   // Synchronous leg: group sub-ops by their secondary and push each group
@@ -420,6 +440,7 @@ void ZhtServer::ReplicateBatch(
         }
       }
       if (!have_target) continue;
+      replication_sync_counter_->Increment(group.size());
       auto result =
           peer_transport_->CallBatch(target, group, options_.cluster.peer_timeout);
       if (!result.ok()) {
@@ -443,6 +464,7 @@ void ZhtServer::ReplicateBatch(
   for (auto& [target_id, group] : async_groups) {
     Request packed =
         PackBatchRequest(group, group.front().seq, /*server_origin=*/true);
+    replication_async_counter_->Increment(group.size());
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.replications_async += group.size();
@@ -730,6 +752,38 @@ Response ZhtServer::HandleBroadcast(Request&& request) {
 ZhtServerStats ZhtServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+MetricsSnapshot ZhtServer::MetricsSnapshotNow() const {
+  // Legacy counters and instance-level gauges first (stable names the
+  // tools print as `name = value`), then everything in the registry.
+  MetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t entries = 0;
+    for (const auto& [partition, store] : partitions_) {
+      entries += store->Size();
+    }
+    snapshot.AddGauge("instance", static_cast<std::int64_t>(options_.self));
+    snapshot.AddGauge("epoch", table_.epoch());
+    snapshot.AddGauge("partitions_held",
+                      static_cast<std::int64_t>(partitions_.size()));
+    snapshot.AddGauge("entries", static_cast<std::int64_t>(entries));
+    snapshot.AddCounter("ops", stats_.ops);
+    snapshot.AddCounter("redirects", stats_.redirects);
+    snapshot.AddCounter("replications_sync", stats_.replications_sync);
+    snapshot.AddCounter("replications_async", stats_.replications_async);
+    snapshot.AddCounter("migrations_in", stats_.migrations_in);
+    snapshot.AddCounter("migrations_out", stats_.migrations_out);
+    snapshot.AddCounter("broadcasts", stats_.broadcasts);
+    snapshot.AddCounter("duplicate_appends_dropped",
+                        stats_.duplicate_appends_dropped);
+  }
+  MetricsSnapshot registry = metrics_.Snapshot();
+  snapshot.entries.insert(snapshot.entries.end(),
+                          std::make_move_iterator(registry.entries.begin()),
+                          std::make_move_iterator(registry.entries.end()));
+  return snapshot;
 }
 
 std::uint64_t ZhtServer::TotalEntries() const {

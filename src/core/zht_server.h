@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/cluster_options.h"
 #include "membership/membership_table.h"
@@ -80,6 +81,14 @@ class ZhtServer {
   InstanceId self() const { return options_.self; }
   ZhtServerStats stats() const;
 
+  // Structured observability (§8 of DESIGN.md): per-opcode service-time
+  // histograms, batch sizes, replication fan-out. Recording is lock-free;
+  // the registry mutex is touched only here and at construction.
+  const MetricsRegistry& metrics() const { return metrics_; }
+  // The full STATS payload: registry metrics plus the legacy counters and
+  // instance-level gauges, as encoded by serialize/metrics_codec.h.
+  MetricsSnapshot MetricsSnapshotNow() const;
+
   // Total pairs held (all partitions, primary and replica).
   std::uint64_t TotalEntries() const;
 
@@ -129,6 +138,18 @@ class ZhtServer {
 
   ZhtServerOptions options_;
   ClientTransport* peer_transport_;
+
+  // Metrics registry plus hot-path handles resolved at construction, so the
+  // request path records through raw pointers (atomic ops, no lock, no
+  // lookup). data_op_hist_[op-1] covers kInsert..kAppend.
+  MetricsRegistry metrics_;
+  Histogram* data_op_hist_[4] = {};
+  Histogram* batch_hist_ = nullptr;       // whole-batch service time
+  Histogram* batch_size_hist_ = nullptr;  // sub-ops per BATCH envelope
+  Histogram* replication_fanout_hist_ = nullptr;  // replicas per mutation
+  Counter* replication_sync_counter_ = nullptr;
+  Counter* replication_async_counter_ = nullptr;
+  Counter* redirect_counter_ = nullptr;
 
   // Returns true when this (client_id, seq, replica_index) append was seen
   // recently — a retransmission whose first copy already applied. Caller

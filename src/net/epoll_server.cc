@@ -153,6 +153,7 @@ void EpollServer::Loop() {
       ZHT_ERROR << "epoll_wait failed: " << std::strerror(errno);
       break;
     }
+    if (n > 0) loop_wakeups_.fetch_add(1, std::memory_order_relaxed);
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
       std::uint32_t mask = events[i].events;
@@ -290,6 +291,7 @@ void EpollServer::HandleUdp() {
       if (errno == EINTR) continue;
       return;
     }
+    udp_datagrams_.fetch_add(1, std::memory_order_relaxed);
     auto request = Request::Decode(std::string_view(buf, static_cast<std::size_t>(n)));
     Response response;
     if (request.ok()) {

@@ -50,6 +50,14 @@ class EpollServer {
   std::uint64_t connections_accepted() const {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
+  // Readiness-loop telemetry: epoll_wait returns that delivered at least
+  // one event, and UDP datagrams pulled off the socket.
+  std::uint64_t loop_wakeups() const {
+    return loop_wakeups_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t udp_datagrams() const {
+    return udp_datagrams_.load(std::memory_order_relaxed);
+  }
 
  private:
   EpollServer(EpollServerOptions options, RequestHandler handler);
@@ -83,6 +91,8 @@ class EpollServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> loop_wakeups_{0};
+  std::atomic<std::uint64_t> udp_datagrams_{0};
 };
 
 }  // namespace zht

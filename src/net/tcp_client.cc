@@ -131,6 +131,7 @@ void TcpClient::EvictLru() {
   if (it != cache_.end()) {
     ::close(it->second.fd);
     cache_.erase(it);
+    ++evictions_;
   }
 }
 

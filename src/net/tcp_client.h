@@ -43,8 +43,12 @@ class TcpClient final : public ClientTransport {
 
   void Invalidate(const NodeAddress& to) override;
 
+  // Cache telemetry (§III.F): a miss opens a fresh connection (so misses
+  // == connects when caching is on); evictions count sockets closed to
+  // stay within cache_capacity.
   std::uint64_t connects() const { return connects_; }
   std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
   // Pops a cached connection to `to` or opens a fresh one. Caller holds
@@ -67,6 +71,7 @@ class TcpClient final : public ClientTransport {
   std::unordered_map<NodeAddress, Cached> cache_;
   std::uint64_t connects_ = 0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace zht

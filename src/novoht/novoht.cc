@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/clock.h"
 #include "common/crc32.h"
 #include "common/log.h"
 #include "hashing/hash_functions.h"
@@ -490,6 +491,7 @@ Status NoVoHT::Compact() {
 
 Status NoVoHT::CompactLocked() {
   if (options_.path.empty()) return Status::Ok();
+  const Stopwatch watch(SystemClock::Instance());
   std::string tmp = options_.path + ".compact";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
@@ -559,6 +561,9 @@ Status NoVoHT::CompactLocked() {
   log_bytes_ = new_log_bytes;
   dead_bytes_ = 0;
   ++gc_runs_;
+  const Nanos elapsed = watch.Elapsed();
+  gc_duration_ns_.Record(elapsed);
+  gc_nanos_total_ += static_cast<std::uint64_t>(elapsed);
   return Status::Ok();
 }
 
@@ -575,6 +580,8 @@ NoVoHTStats NoVoHT::stats() const {
   s.resident_values = resident_values_;
   s.evictions = evictions_;
   s.disk_reads = disk_reads_;
+  s.live_bytes = log_bytes_ - dead_bytes_;
+  s.gc_nanos_total = gc_nanos_total_;
   return s;
 }
 

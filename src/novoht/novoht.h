@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "novoht/kv_store.h"
 
@@ -71,6 +72,8 @@ struct NoVoHTStats {
   std::uint64_t resident_values = 0;    // values held in memory
   std::uint64_t evictions = 0;
   std::uint64_t disk_reads = 0;         // Gets served from the log
+  std::uint64_t live_bytes = 0;         // log_bytes - dead_bytes
+  std::uint64_t gc_nanos_total = 0;     // cumulative time inside compaction
 };
 
 class NoVoHT final : public KVStore {
@@ -100,6 +103,12 @@ class NoVoHT final : public KVStore {
   Status Compact();
 
   NoVoHTStats stats() const;
+
+  // Distribution of compaction (GC/checkpoint) durations in nanoseconds;
+  // one sample per log rewrite. Lock-free to read.
+  HistogramData GcDurationHistogram() const {
+    return gc_duration_ns_.Snapshot();
+  }
 
  private:
   explicit NoVoHT(NoVoHTOptions options);
@@ -158,6 +167,8 @@ class NoVoHT final : public KVStore {
   std::uint64_t evictions_ = 0;
   mutable std::uint64_t disk_reads_ = 0;
   std::uint64_t evict_cursor_ = 0;  // clock hand over buckets
+  Histogram gc_duration_ns_;        // compaction wall time per run
+  std::uint64_t gc_nanos_total_ = 0;
   int log_fd_ = -1;
   int read_fd_ = -1;  // O_RDONLY view of the log for evicted values
 

@@ -1,0 +1,197 @@
+#include "serialize/metrics_codec.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "serialize/wire.h"
+
+namespace zht {
+namespace {
+
+std::string EncodeHistogram(const HistogramData& histogram) {
+  std::string out;
+  wire::Writer w(&out);
+  w.PutVarintField(1, histogram.count);
+  w.PutVarintField(2, histogram.sum);
+  w.PutVarintField(3, histogram.min);
+  w.PutVarintField(4, histogram.max);
+  for (const auto& [index, count] : histogram.buckets) {
+    std::string bucket;
+    wire::Writer bw(&bucket);
+    bw.PutVarintField(1, index);
+    bw.PutVarintField(2, count);
+    w.PutStringField(5, bucket);
+  }
+  return out;
+}
+
+bool DecodeHistogram(std::string_view data, HistogramData* out) {
+  wire::Reader r(data);
+  while (!r.AtEnd()) {
+    std::uint32_t field;
+    wire::WireType type;
+    if (!r.GetTag(&field, &type)) return false;
+    std::uint64_t v;
+    std::string_view bytes;
+    switch (field) {
+      case 1:
+        if (!r.GetVarint(&v)) return false;
+        out->count = v;
+        break;
+      case 2:
+        if (!r.GetVarint(&v)) return false;
+        out->sum = v;
+        break;
+      case 3:
+        if (!r.GetVarint(&v)) return false;
+        out->min = v;
+        break;
+      case 4:
+        if (!r.GetVarint(&v)) return false;
+        out->max = v;
+        break;
+      case 5: {
+        if (!r.GetLengthDelimited(&bytes)) return false;
+        wire::Reader br(bytes);
+        std::uint64_t index = 0, count = 0;
+        while (!br.AtEnd()) {
+          std::uint32_t bf;
+          wire::WireType bt;
+          if (!br.GetTag(&bf, &bt)) return false;
+          if (bf == 1) {
+            if (!br.GetVarint(&index)) return false;
+          } else if (bf == 2) {
+            if (!br.GetVarint(&count)) return false;
+          } else if (!br.SkipValue(bt)) {
+            return false;
+          }
+        }
+        out->buckets.emplace_back(static_cast<std::uint32_t>(index), count);
+        break;
+      }
+      default:
+        if (!r.SkipValue(type)) return false;
+    }
+  }
+  return true;
+}
+
+bool DecodeEntry(std::string_view data, MetricValue* out) {
+  wire::Reader r(data);
+  while (!r.AtEnd()) {
+    std::uint32_t field;
+    wire::WireType type;
+    if (!r.GetTag(&field, &type)) return false;
+    std::uint64_t v;
+    std::string_view bytes;
+    switch (field) {
+      case 1:
+        if (!r.GetLengthDelimited(&bytes)) return false;
+        out->name.assign(bytes);
+        break;
+      case 2:
+        if (!r.GetVarint(&v)) return false;
+        out->kind = static_cast<MetricKind>(v);
+        break;
+      case 3:
+        if (!r.GetVarint(&v)) return false;
+        out->value = wire::Reader::ZigZagDecode(v);
+        break;
+      case 4:
+        if (!r.GetLengthDelimited(&bytes)) return false;
+        if (!DecodeHistogram(bytes, &out->histogram)) return false;
+        break;
+      default:
+        if (!r.SkipValue(type)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeMetricsSnapshot(const MetricsSnapshot& snapshot) {
+  std::string out;
+  wire::Writer w(&out);
+  w.PutVarintField(1, kMetricsWireVersion);
+  for (const MetricValue& entry : snapshot.entries) {
+    std::string encoded;
+    wire::Writer ew(&encoded);
+    ew.PutStringField(1, entry.name);
+    ew.PutVarintField(2, static_cast<std::uint64_t>(entry.kind));
+    if (entry.kind == MetricKind::kHistogram) {
+      ew.PutStringField(4, EncodeHistogram(entry.histogram));
+    } else {
+      ew.PutSignedField(3, entry.value);
+    }
+    w.PutStringField(2, encoded);
+  }
+  return out;
+}
+
+Result<MetricsSnapshot> DecodeMetricsSnapshot(std::string_view data) {
+  MetricsSnapshot out;
+  std::uint64_t version = 0;
+  wire::Reader r(data);
+  while (!r.AtEnd()) {
+    std::uint32_t field;
+    wire::WireType type;
+    if (!r.GetTag(&field, &type)) {
+      return Status(StatusCode::kCorruption, "metrics snapshot tag");
+    }
+    switch (field) {
+      case 1:
+        if (!r.GetVarint(&version)) {
+          return Status(StatusCode::kCorruption, "metrics snapshot version");
+        }
+        if (version > kMetricsWireVersion) {
+          return Status(StatusCode::kInvalidArgument,
+                        "metrics snapshot version " + std::to_string(version) +
+                            " newer than reader");
+        }
+        break;
+      case 2: {
+        std::string_view bytes;
+        if (!r.GetLengthDelimited(&bytes)) {
+          return Status(StatusCode::kCorruption, "metrics snapshot entry");
+        }
+        MetricValue entry;
+        if (!DecodeEntry(bytes, &entry)) {
+          return Status(StatusCode::kCorruption, "metrics entry payload");
+        }
+        out.entries.push_back(std::move(entry));
+        break;
+      }
+      default:
+        if (!r.SkipValue(type)) {
+          return Status(StatusCode::kCorruption, "metrics snapshot field");
+        }
+    }
+  }
+  if (version == 0) {
+    return Status(StatusCode::kCorruption, "metrics snapshot missing version");
+  }
+  return out;
+}
+
+std::string RenderMetricsSnapshot(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  for (const MetricValue& entry : snapshot.entries) {
+    if (entry.kind == MetricKind::kHistogram) {
+      const HistogramData& h = entry.histogram;
+      std::snprintf(line, sizeof(line),
+                    "%s: count=%" PRIu64 " mean=%.0f p50=%.0f p90=%.0f "
+                    "p99=%.0f max=%" PRIu64 "\n",
+                    entry.name.c_str(), h.count, h.Mean(), h.Percentile(50),
+                    h.Percentile(90), h.Percentile(99), h.max);
+    } else {
+      std::snprintf(line, sizeof(line), "%s = %" PRId64 "\n",
+                    entry.name.c_str(), entry.value);
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace zht

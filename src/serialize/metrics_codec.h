@@ -1,0 +1,43 @@
+// Versioned wire encoding of a MetricsSnapshot — what a STATS response
+// carries in Response::value. Same codec discipline as every other message
+// (serialize/wire.h): varint-tagged fields, length-delimited submessages,
+// unknown fields skipped so old readers tolerate new metric attributes.
+//
+//   snapshot  := field 1 (varint)  version          (currently 1)
+//                field 2 (bytes)*  entry
+//   entry     := field 1 (bytes)   name
+//                field 2 (varint)  kind             (MetricKind)
+//                field 3 (zigzag)  value            (counter/gauge)
+//                field 4 (bytes)   histogram        (kind == histogram)
+//   histogram := field 1 (varint)  count
+//                field 2 (varint)  sum
+//                field 3 (varint)  min
+//                field 4 (varint)  max
+//                field 5 (bytes)*  bucket
+//   bucket    := field 1 (varint)  bucket index
+//                field 2 (varint)  bucket count
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace zht {
+
+inline constexpr std::uint32_t kMetricsWireVersion = 1;
+
+std::string EncodeMetricsSnapshot(const MetricsSnapshot& snapshot);
+
+// Rejects documents whose version is newer than this reader understands;
+// unknown fields inside any message are skipped (forward compatibility for
+// same-version additions).
+Result<MetricsSnapshot> DecodeMetricsSnapshot(std::string_view data);
+
+// Human-readable rendering used by zht-cli: counters and gauges print one
+// `name = value` line each; histograms print a one-line summary with
+// count/mean/p50/p90/p99 (values are nanoseconds in *latency_ns metrics).
+std::string RenderMetricsSnapshot(const MetricsSnapshot& snapshot);
+
+}  // namespace zht

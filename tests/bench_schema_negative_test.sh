@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Negative tests for the BENCH_*.json schema validator: malformed, empty,
+# and schema-violating reports MUST be rejected (exit 1), and a minimal
+# valid report MUST pass. Guards the `ctest -L bench_smoke` gate itself.
+#
+#   bench_schema_negative_test.sh <bench-schema-check-binary>
+set -euo pipefail
+
+check="${1:?usage: bench_schema_negative_test.sh SCHEMA_CHECK}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+expect_reject() {
+  local label="$1" file="$2"
+  if "$check" "$file" >/dev/null 2>&1; then
+    echo "FAIL: $label was accepted"
+    exit 1
+  fi
+}
+
+: > "$tmp/empty.json"
+expect_reject "empty file" "$tmp/empty.json"
+
+echo '{"schema_version": 1, "name": "x", ' > "$tmp/truncated.json"
+expect_reject "truncated JSON" "$tmp/truncated.json"
+
+echo 'not json at all' > "$tmp/garbage.json"
+expect_reject "non-JSON" "$tmp/garbage.json"
+
+echo '{"schema_version": 2, "name": "x", "params": {}, "sections": [], "histograms": {}, "metrics": {}}' > "$tmp/badversion.json"
+expect_reject "wrong schema_version" "$tmp/badversion.json"
+
+echo '{"schema_version": 1, "name": "x", "params": {}, "sections": [], "histograms": {}, "metrics": {}}' > "$tmp/nosections.json"
+expect_reject "empty sections" "$tmp/nosections.json"
+
+echo '{"schema_version": 1, "name": "x", "params": {}, "sections": [{"id": "s", "title": "t", "columns": ["a"], "rows": []}], "histograms": {}, "metrics": {}}' > "$tmp/norows.json"
+expect_reject "no data rows" "$tmp/norows.json"
+
+echo '{"schema_version": 1, "name": "x", "params": {}, "sections": [{"id": "s", "title": "t", "columns": ["a"], "rows": [["1"]]}], "histograms": {"h": {"count": 1, "mean_ns": 1, "min_ns": 1, "max_ns": 1, "p50_ns": 1, "p90_ns": 1, "p99_ns": 1, "buckets": [[5, 5, 1]]}}, "metrics": {}}' > "$tmp/badbucket.json"
+expect_reject "bucket with lo >= hi" "$tmp/badbucket.json"
+
+echo '{"schema_version": 1, "name": "x", "params": {}, "sections": [{"id": "s", "title": "t", "columns": ["a"], "rows": [["1"]]}], "histograms": {"h": {"count": 1, "mean_ns": 1, "min_ns": 1, "max_ns": 1, "p50_ns": 1, "p90_ns": 1, "p99_ns": 1, "buckets": [[4, 8, 1]]}}, "metrics": {"m": 3.5}}' > "$tmp/valid.json"
+"$check" --index "$tmp/index.json" "$tmp/valid.json" >/dev/null
+[ -s "$tmp/index.json" ] || { echo "FAIL: index not written"; exit 1; }
+
+echo ok

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# bench_smoke ctest body: runs one bench binary with tiny parameters
+# (ZHT_BENCH_SMOKE=1) in a scratch directory and validates the BENCH_*.json
+# it emits against the telemetry schema. A bench that crashes, emits no
+# report, an empty report, or a schema-violating report fails the test.
+#
+#   bench_smoke_test.sh <bench-binary> <bench-schema-check-binary>
+set -euo pipefail
+
+bench="${1:?usage: bench_smoke_test.sh BENCH SCHEMA_CHECK}"
+check="${2:?usage: bench_smoke_test.sh BENCH SCHEMA_CHECK}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+ZHT_BENCH_SMOKE=1 ZHT_BENCH_DIR="$tmp" "$bench" > "$tmp/stdout.txt" 2>&1 || {
+  echo "bench failed:"
+  cat "$tmp/stdout.txt"
+  exit 1
+}
+
+shopt -s nullglob
+reports=("$tmp"/BENCH_*.json)
+if [ "${#reports[@]}" -ne 1 ]; then
+  echo "expected exactly one BENCH_*.json, found ${#reports[@]}"
+  exit 1
+fi
+if [ ! -s "${reports[0]}" ]; then
+  echo "empty report: ${reports[0]}"
+  exit 1
+fi
+"$check" "${reports[0]}"

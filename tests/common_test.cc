@@ -195,8 +195,54 @@ TEST(LatencyStatsTest, MeanAndPercentiles) {
   EXPECT_DOUBLE_EQ(stats.MeanMillis(), 50.5);
   EXPECT_EQ(stats.Min(), kNanosPerMilli);
   EXPECT_EQ(stats.Max(), 100 * kNanosPerMilli);
-  EXPECT_EQ(stats.Percentile(50), 50 * kNanosPerMilli);
-  EXPECT_EQ(stats.Percentile(99), 99 * kNanosPerMilli);
+  // Interpolated quantiles: p50 over 1..100 ms is the midpoint of the
+  // 50th/51st samples, p99 sits 1% of the way from 99 ms to 100 ms.
+  EXPECT_EQ(stats.Percentile(50), 50 * kNanosPerMilli + kNanosPerMilli / 2);
+  EXPECT_EQ(stats.Percentile(99),
+            99 * kNanosPerMilli + kNanosPerMilli / 100);
+  EXPECT_EQ(stats.Percentile(0), kNanosPerMilli);
+  EXPECT_EQ(stats.Percentile(100), 100 * kNanosPerMilli);
+}
+
+// Regression: Percentile used to truncate to the floor rank, so the median
+// of {10, 20} came back as 10 and a 2-sample p99 as the first sample.
+TEST(LatencyStatsTest, PercentileInterpolatesBetweenRanks) {
+  LatencyStats stats;
+  stats.Record(10);
+  stats.Record(20);
+  EXPECT_EQ(stats.Percentile(50), 15);
+  EXPECT_EQ(stats.Percentile(75), 18);  // 10 + 0.75 * 10, rounded
+  EXPECT_EQ(stats.Percentile(99), 20);  // 19.9 rounds up to max
+}
+
+// Regression: Merge used to unconditionally mark the result unsorted and
+// re-sort from scratch; merging two sorted runs must keep exact
+// percentiles (and the sorted invariant) intact.
+TEST(LatencyStatsTest, MergeOfSortedRunsKeepsPercentilesExact) {
+  LatencyStats evens, odds;
+  for (int i = 1; i <= 50; ++i) evens.Record(2 * i);       // 2..100
+  for (int i = 0; i < 50; ++i) odds.Record(2 * i + 1);     // 1..99
+  evens.Percentile(50);  // force both sides sorted
+  odds.Percentile(50);
+  evens.Merge(odds);
+  EXPECT_EQ(evens.count(), 100u);
+  EXPECT_EQ(evens.Min(), 1);
+  EXPECT_EQ(evens.Max(), 100);
+  LatencyStats reference;
+  for (int i = 1; i <= 100; ++i) reference.Record(i);
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0}) {
+    EXPECT_EQ(evens.Percentile(p), reference.Percentile(p)) << p;
+  }
+}
+
+TEST(LatencyStatsTest, MergeUnsortedSideStillCorrect) {
+  LatencyStats a, b;
+  a.Record(30);
+  a.Record(10);  // a unsorted
+  b.Record(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.Percentile(50), 20);
 }
 
 TEST(LatencyStatsTest, MergeCombines) {

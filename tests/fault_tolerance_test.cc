@@ -49,6 +49,81 @@ TEST(FaultToleranceTest, LossyNetworkRetriesConverge) {
   EXPECT_GT(lossy_options.fault_plan->stats().dropped_requests, 0u);
 }
 
+// The client's metrics registry must mirror ZhtClientStats exactly —
+// retries under a seeded lossy plan, failovers under a killed node — and
+// carry per-op end-to-end latency histograms for the issued workload.
+TEST(FaultToleranceTest, ClientMetricsCountersMatchStatsUnderFaults) {
+  LocalClusterOptions lossy_options;
+  lossy_options.num_instances = 4;
+  lossy_options.fault_plan = std::make_shared<FaultPlan>(/*seed=*/31);
+  auto cluster = LocalCluster::Start(lossy_options);
+  ASSERT_TRUE(cluster.ok());
+  int lossy = lossy_options.fault_plan->AddRule(
+      {.kind = FaultKind::kDropRequest, .probability = 0.25});
+  auto client = (*cluster)->CreateClient(RetryingClient());
+  Rng rng(31);
+  for (int i = 0; i < 120; ++i) {
+    std::string key = rng.AsciiString(15);
+    ASSERT_TRUE(client->Insert(key, rng.AsciiString(32)).ok()) << i;
+    ASSERT_TRUE(client->Lookup(key).ok()) << i;
+  }
+  lossy_options.fault_plan->RemoveRule(lossy);
+
+  MetricsSnapshot snapshot = client->metrics().Snapshot();
+  const ZhtClientStats& stats = client->stats();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(snapshot.ValueOf("client.retries"),
+            static_cast<std::int64_t>(stats.retries));
+  EXPECT_EQ(snapshot.ValueOf("client.failovers"),
+            static_cast<std::int64_t>(stats.failovers));
+  EXPECT_EQ(snapshot.ValueOf("client.redirects_followed"),
+            static_cast<std::int64_t>(stats.redirects_followed));
+  const MetricValue* insert_hist =
+      snapshot.Find("client.op.insert.latency_ns");
+  ASSERT_NE(insert_hist, nullptr);
+  EXPECT_EQ(insert_hist->histogram.count, 120u);
+  const MetricValue* lookup_hist =
+      snapshot.Find("client.op.lookup.latency_ns");
+  ASSERT_NE(lookup_hist, nullptr);
+  EXPECT_EQ(lookup_hist->histogram.count, 120u);
+}
+
+TEST(FaultToleranceTest, ClientFailoverCounterTracksKilledPrimary) {
+  LocalClusterOptions options;
+  options.num_instances = 4;
+  options.cluster.num_replicas = 2;
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+
+  ZhtClientOptions client_options;
+  client_options.max_attempts = 16;
+  client_options.failure_detector.failures_to_mark_dead = 1;
+  client_options.failure_detector.initial_backoff = 0;
+  client_options.sleep_on_backoff = false;
+  auto client = (*cluster)->CreateClient(client_options);
+
+  Rng rng(17);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        client->Insert("pre" + std::to_string(i), rng.AsciiString(16)).ok());
+  }
+  (*cluster)->FlushAllAsyncReplication();
+  (*cluster)->KillInstance(2);
+  int served = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (client->Lookup("pre" + std::to_string(i)).ok()) ++served;
+  }
+  EXPECT_GT(served, 0);
+
+  const ZhtClientStats& stats = client->stats();
+  MetricsSnapshot snapshot = client->metrics().Snapshot();
+  EXPECT_GT(stats.failovers, 0u);
+  EXPECT_EQ(snapshot.ValueOf("client.failovers"),
+            static_cast<std::int64_t>(stats.failovers));
+  EXPECT_EQ(snapshot.ValueOf("client.retries"),
+            static_cast<std::int64_t>(stats.retries));
+}
+
 TEST(FaultToleranceTest, AppendExactlyOnceUnderMessageLoss) {
   // Retries of a lost-RESPONSE append must not double-apply: the request
   // reached the server and mutated state even though the client saw a

@@ -1,0 +1,347 @@
+// Observability-surface tests: the MetricsRegistry (counters, gauges,
+// log-linear histograms), the structured metrics wire format behind STATS,
+// and the JSON writer/parser used by the benchmark telemetry pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "serialize/metrics_codec.h"
+#include "serialize/wire.h"
+
+namespace zht {
+namespace {
+
+// ---- Bucket layout ---------------------------------------------------------
+
+TEST(HistogramLayoutTest, ValueFallsInsideItsBucket) {
+  std::vector<std::uint64_t> probes;
+  for (std::uint64_t v = 0; v < 1024; ++v) probes.push_back(v);
+  for (int shift = 10; shift < 62; ++shift) {
+    probes.push_back((std::uint64_t{1} << shift) - 1);
+    probes.push_back(std::uint64_t{1} << shift);
+    probes.push_back((std::uint64_t{1} << shift) + 12345 % (1ull << shift));
+  }
+  for (std::uint64_t v : probes) {
+    const std::uint32_t index = HistogramData::BucketIndex(v);
+    ASSERT_LT(index, HistogramData::kNumBuckets) << v;
+    EXPECT_GE(v, HistogramData::BucketLower(index)) << v;
+    EXPECT_LT(v, HistogramData::BucketUpper(index)) << v;
+  }
+}
+
+TEST(HistogramLayoutTest, BucketsArePairwiseContiguousAndMonotonic) {
+  for (std::uint32_t i = 0; i + 1 < HistogramData::kNumBuckets; ++i) {
+    EXPECT_EQ(HistogramData::BucketUpper(i), HistogramData::BucketLower(i + 1))
+        << i;
+  }
+}
+
+TEST(HistogramLayoutTest, RelativeBucketWidthAtMostOneSixteenth) {
+  for (std::uint32_t i = 16; i < HistogramData::kNumBuckets; ++i) {
+    const double lo = static_cast<double>(HistogramData::BucketLower(i));
+    const double width =
+        static_cast<double>(HistogramData::BucketUpper(i)) - lo;
+    EXPECT_LE(width / lo, 1.0 / 16.0 + 1e-12) << i;
+  }
+}
+
+// ---- Recording and percentiles --------------------------------------------
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 16; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 16u);
+  HistogramData data = h.Snapshot();
+  EXPECT_EQ(data.min, 0u);
+  EXPECT_EQ(data.max, 15u);
+  EXPECT_EQ(data.buckets.size(), 16u);
+  // Unit buckets below 16: percentiles are exact values.
+  EXPECT_GE(data.Percentile(100), 15.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  HistogramData data = h.Snapshot();
+  EXPECT_EQ(data.count, 1u);
+  EXPECT_EQ(data.min, 0u);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  HistogramData empty;
+  EXPECT_EQ(empty.Percentile(50), 0.0);
+  EXPECT_EQ(empty.Mean(), 0.0);
+}
+
+// Satellite property test: record the same random samples into a Histogram
+// and a LatencyStats; at every probed quantile the histogram's estimate
+// must land within one bucket of the exact order-statistic answer.
+TEST(HistogramTest, PercentilesMatchExactStatsWithinOneBucket) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    Rng rng(seed);
+    Histogram h;
+    LatencyStats exact;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+      // Log-uniform over ~7 orders of magnitude, like latencies.
+      const int octave = static_cast<int>(rng.Below(24));
+      const std::uint64_t value = rng.Below(std::uint64_t{16} << octave);
+      h.Record(static_cast<std::int64_t>(value));
+      exact.Record(static_cast<Nanos>(value));
+    }
+    HistogramData data = h.Snapshot();
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+      const auto approx =
+          static_cast<std::uint64_t>(std::max(0.0, data.Percentile(p)));
+      const auto truth = static_cast<std::uint64_t>(exact.Percentile(p));
+      const std::uint32_t approx_bucket = HistogramData::BucketIndex(approx);
+      const std::uint32_t truth_bucket = HistogramData::BucketIndex(truth);
+      const std::uint32_t lo = std::min(approx_bucket, truth_bucket);
+      const std::uint32_t hi = std::max(approx_bucket, truth_bucket);
+      EXPECT_LE(hi - lo, 1u)
+          << "seed " << seed << " p" << p << ": histogram " << approx
+          << " vs exact " << truth;
+    }
+  }
+}
+
+// Satellite property test: merging two histograms must be exactly
+// equivalent to having recorded the union of their samples.
+TEST(HistogramTest, MergeEqualsRecordingUnion) {
+  for (std::uint64_t seed : {3ull, 99ull}) {
+    Rng rng(seed);
+    Histogram a, b, both;
+    for (int i = 0; i < 1500; ++i) {
+      const std::uint64_t value =
+          rng.Below(std::uint64_t{16} << rng.Below(20));
+      if (i % 2 == 0) {
+        a.Record(static_cast<std::int64_t>(value));
+      } else {
+        b.Record(static_cast<std::int64_t>(value));
+      }
+      both.Record(static_cast<std::int64_t>(value));
+    }
+    HistogramData merged = a.Snapshot();
+    merged.Merge(b.Snapshot());
+    HistogramData expected = both.Snapshot();
+    EXPECT_EQ(merged.count, expected.count);
+    EXPECT_EQ(merged.sum, expected.sum);
+    EXPECT_EQ(merged.min, expected.min);
+    EXPECT_EQ(merged.max, expected.max);
+    ASSERT_EQ(merged.buckets, expected.buckets);
+    for (double p : {10.0, 50.0, 90.0, 99.0}) {
+      EXPECT_DOUBLE_EQ(merged.Percentile(p), expected.Percentile(p)) << p;
+    }
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllLand) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(t * 1000 + i);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  HistogramData data = h.Snapshot();
+  std::uint64_t bucket_total = 0;
+  for (const auto& [index, count] : data.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, data.count);
+}
+
+// ---- Registry --------------------------------------------------------------
+
+TEST(MetricsRegistryTest, PointersAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("ops");
+  Counter* c2 = registry.GetCounter("ops");
+  EXPECT_EQ(c1, c2);
+  c1->Increment(3);
+  EXPECT_EQ(c2->value(), 3u);
+  Gauge* g = registry.GetGauge("depth");
+  g->Set(-7);
+  g->Add(2);
+  EXPECT_EQ(g->value(), -5);
+  Histogram* h = registry.GetHistogram("lat");
+  h->Record(100);
+  EXPECT_EQ(registry.GetHistogram("lat"), h);
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesAllKindsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz.counter")->Increment(5);
+  registry.GetGauge("aa.gauge")->Set(-9);
+  registry.GetHistogram("mm.hist")->Record(42);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.entries.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.entries.begin(), snapshot.entries.end(),
+      [](const MetricValue& x, const MetricValue& y) {
+        return x.name < y.name;
+      }));
+  EXPECT_EQ(snapshot.ValueOf("zz.counter"), 5);
+  EXPECT_EQ(snapshot.ValueOf("aa.gauge"), -9);
+  EXPECT_EQ(snapshot.ValueOf("missing"), 0);
+  const MetricValue* hist = snapshot.Find("mm.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, MetricKind::kHistogram);
+  EXPECT_EQ(hist->histogram.count, 1u);
+}
+
+// ---- Wire format -----------------------------------------------------------
+
+MetricsSnapshot MakeSampleSnapshot() {
+  MetricsSnapshot snapshot;
+  snapshot.AddCounter("server.ops", 12345);
+  snapshot.AddGauge("server.entries", -17);  // gauges are signed
+  Histogram h;
+  h.Record(3);
+  h.Record(900);
+  h.Record(1'000'000);
+  snapshot.AddHistogram("server.op.insert.latency_ns", h.Snapshot());
+  return snapshot;
+}
+
+// Satellite: every metric kind survives an encode/decode round trip.
+TEST(MetricsCodecTest, RoundTripsEveryKind) {
+  MetricsSnapshot snapshot = MakeSampleSnapshot();
+  const std::string encoded = EncodeMetricsSnapshot(snapshot);
+  auto decoded = DecodeMetricsSnapshot(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->entries.size(), snapshot.entries.size());
+  for (std::size_t i = 0; i < snapshot.entries.size(); ++i) {
+    const MetricValue& want = snapshot.entries[i];
+    const MetricValue& got = decoded->entries[i];
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.value, want.value);
+    EXPECT_EQ(got.histogram.count, want.histogram.count);
+    EXPECT_EQ(got.histogram.sum, want.histogram.sum);
+    EXPECT_EQ(got.histogram.min, want.histogram.min);
+    EXPECT_EQ(got.histogram.max, want.histogram.max);
+    EXPECT_EQ(got.histogram.buckets, want.histogram.buckets);
+  }
+}
+
+// Satellite: unknown fields appended by a future writer are skipped at
+// every nesting level, so old readers keep decoding what they understand.
+TEST(MetricsCodecTest, UnknownFieldsAreSkippedForForwardCompat) {
+  MetricsSnapshot snapshot = MakeSampleSnapshot();
+  std::string encoded = EncodeMetricsSnapshot(snapshot);
+
+  // Top level: a future varint field 9 and a blob field 10.
+  {
+    wire::Writer w(&encoded);
+    w.PutVarintField(9, 777);
+    w.PutStringField(10, "future-feature");
+  }
+  auto decoded = DecodeMetricsSnapshot(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->entries.size(), snapshot.entries.size());
+
+  // Entry level: an entry carrying an extra field 7 plus the usual ones.
+  std::string entry;
+  {
+    wire::Writer ew(&entry);
+    ew.PutStringField(1, "future.metric");
+    ew.PutVarintField(2, static_cast<std::uint64_t>(MetricKind::kCounter));
+    ew.PutSignedField(3, 5);
+    ew.PutStringField(7, "annotations");
+  }
+  std::string with_entry = EncodeMetricsSnapshot(snapshot);
+  {
+    wire::Writer w(&with_entry);
+    w.PutStringField(2, entry);
+  }
+  decoded = DecodeMetricsSnapshot(with_entry);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->entries.size(), snapshot.entries.size() + 1);
+  EXPECT_EQ(decoded->entries.back().name, "future.metric");
+  EXPECT_EQ(decoded->entries.back().value, 5);
+}
+
+TEST(MetricsCodecTest, RejectsNewerVersion) {
+  std::string encoded;
+  wire::Writer w(&encoded);
+  w.PutVarintField(1, kMetricsWireVersion + 1);
+  auto decoded = DecodeMetricsSnapshot(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MetricsCodecTest, RejectsMissingVersionAndCorruption) {
+  // No version field at all.
+  std::string no_version;
+  {
+    wire::Writer w(&no_version);
+    w.PutStringField(2, "");
+  }
+  EXPECT_EQ(DecodeMetricsSnapshot(no_version).status().code(),
+            StatusCode::kCorruption);
+  // Truncated payload.
+  std::string encoded = EncodeMetricsSnapshot(MakeSampleSnapshot());
+  encoded.resize(encoded.size() - 3);
+  EXPECT_FALSE(DecodeMetricsSnapshot(encoded).ok());
+}
+
+TEST(MetricsCodecTest, RenderShowsGaugesAndHistogramSummaries) {
+  const std::string text = RenderMetricsSnapshot(MakeSampleSnapshot());
+  EXPECT_NE(text.find("server.ops = 12345"), std::string::npos);
+  EXPECT_NE(text.find("server.entries = -17"), std::string::npos);
+  EXPECT_NE(text.find("server.op.insert.latency_ns: count=3"),
+            std::string::npos);
+}
+
+// ---- JSON ------------------------------------------------------------------
+
+TEST(JsonTest, WriterOutputParsesBack) {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("bench \"quoted\" \n");
+  w.Key("values");
+  w.BeginArray();
+  w.Int(-3);
+  w.Double(1.5);
+  w.Bool(true);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("x");
+  w.Uint(18'000'000'000ull);
+  w.EndObject();
+  w.EndObject();
+
+  auto doc = json::Parse(w.out());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Get("name")->string, "bench \"quoted\" \n");
+  ASSERT_EQ(doc->Get("values")->array.size(), 3u);
+  EXPECT_EQ(doc->Get("values")->array[0].number, -3.0);
+  EXPECT_EQ(doc->Get("values")->array[1].number, 1.5);
+  EXPECT_TRUE(doc->Get("values")->array[2].boolean);
+  EXPECT_EQ(doc->Get("nested")->Get("x")->number, 18e9);
+}
+
+TEST(JsonTest, ParseRejectsMalformedDocuments) {
+  EXPECT_FALSE(json::Parse("").ok());
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(json::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(json::Parse("{} trailing").ok());
+  EXPECT_FALSE(json::Parse("\"unterminated").ok());
+  EXPECT_TRUE(json::Parse("{\"a\": [1, {\"b\": null}]}").ok());
+}
+
+}  // namespace
+}  // namespace zht

@@ -332,6 +332,51 @@ TEST_F(EpollServerTest, NoCacheConnectsEveryCall) {
   }
   EXPECT_EQ(client.connects(), 5u);
   EXPECT_EQ(client.cache_hits(), 0u);
+  EXPECT_EQ(client.evictions(), 0u);
+}
+
+// LRU pressure: a 2-socket cache cycling over 3 peers evicts on every call
+// after warm-up and never hits; bumping the capacity to 3 stops evictions.
+TEST_F(EpollServerTest, CacheEvictionCounterUnderLruPressure) {
+  std::vector<std::unique_ptr<EpollServer>> peers;
+  std::vector<NodeAddress> addresses{server_->address()};
+  for (int i = 0; i < 2; ++i) {
+    auto peer = EpollServer::Create(EpollServerOptions{}, EchoHandler);
+    ASSERT_TRUE(peer.ok());
+    ASSERT_TRUE((*peer)->Start().ok());
+    addresses.push_back((*peer)->address());
+    peers.push_back(std::move(*peer));
+  }
+
+  TcpClient client(TcpClientOptions{.cache_capacity = 2});
+  Request request;
+  request.op = OpCode::kPing;
+  constexpr int kRounds = 4;
+  for (int i = 0; i < kRounds * 3; ++i) {
+    request.seq = static_cast<std::uint64_t>(i + 1);
+    ASSERT_TRUE(
+        client.Call(addresses[static_cast<std::size_t>(i) % 3], request,
+                    kTestTimeout)
+            .ok());
+  }
+  // Round-robin over 3 peers with room for 2: every call past the first
+  // two misses, and each miss closes the least-recently-used socket.
+  EXPECT_EQ(client.cache_hits(), 0u);
+  EXPECT_EQ(client.connects(), static_cast<std::uint64_t>(kRounds) * 3);
+  EXPECT_EQ(client.evictions(), kRounds * 3 - 2u);
+
+  TcpClient roomy(TcpClientOptions{.cache_capacity = 3});
+  for (int i = 0; i < kRounds * 3; ++i) {
+    request.seq = static_cast<std::uint64_t>(i + 1);
+    ASSERT_TRUE(
+        roomy.Call(addresses[static_cast<std::size_t>(i) % 3], request,
+                   kTestTimeout)
+            .ok());
+  }
+  EXPECT_EQ(roomy.connects(), 3u);
+  EXPECT_EQ(roomy.cache_hits(), kRounds * 3 - 3u);
+  EXPECT_EQ(roomy.evictions(), 0u);
+  for (auto& peer : peers) peer->Stop();
 }
 
 TEST_F(EpollServerTest, LargePayloadRoundTrip) {

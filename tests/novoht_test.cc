@@ -217,6 +217,35 @@ TEST_F(NoVoHTTest, CompactionShrinksLogAndPreservesData) {
   EXPECT_EQ((*reopened)->Get("churn").value(), "value99");
 }
 
+// Observability of garbage collection: each compaction records its
+// duration into a histogram and the cumulative gc time; live_bytes tracks
+// log_bytes minus dead_bytes.
+TEST_F(NoVoHTTest, GcDurationAndLiveBytesExposed) {
+  NoVoHTOptions options;
+  options.path = Path("gc_metrics.nvt");
+  options.gc_min_log_bytes = 1;
+  options.gc_garbage_ratio = 100.0;  // manual Compact() only
+  auto store = NoVoHT::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 50; ++i) {
+    (*store)->Put("k", "value" + std::to_string(i));
+  }
+  auto before = (*store)->stats();
+  EXPECT_EQ(before.live_bytes, before.log_bytes - before.dead_bytes);
+  EXPECT_GT(before.dead_bytes, 0u);
+  EXPECT_EQ((*store)->GcDurationHistogram().count, 0u);
+
+  ASSERT_TRUE((*store)->Compact().ok());
+  ASSERT_TRUE((*store)->Compact().ok());
+
+  auto after = (*store)->stats();
+  EXPECT_EQ(after.live_bytes, after.log_bytes);  // no garbage left
+  HistogramData gc = (*store)->GcDurationHistogram();
+  EXPECT_EQ(gc.count, 2u);
+  EXPECT_EQ(gc.sum, after.gc_nanos_total);
+  EXPECT_GT(after.gc_nanos_total, 0u);
+}
+
 TEST_F(NoVoHTTest, AutoGcTriggersOnGarbageRatio) {
   NoVoHTOptions options;
   options.path = Path("autogc.nvt");

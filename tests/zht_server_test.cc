@@ -7,6 +7,7 @@
 
 #include "core/zht_server.h"
 #include "net/loopback.h"
+#include "serialize/metrics_codec.h"
 
 namespace zht {
 namespace {
@@ -270,6 +271,100 @@ TEST_F(ZhtServerUnitTest, RemoveMissingKeyNotFound) {
   std::string key = KeyOwnedBy(0);
   Response resp = server->Handle(DataRequest(OpCode::kRemove, key));
   EXPECT_EQ(resp.status_as_object().code(), StatusCode::kNotFound);
+}
+
+// STATS now answers with the versioned structured metrics encoding; the
+// legacy text keys survive as named gauges/counters.
+TEST_F(ZhtServerUnitTest, StatsReturnsDecodableStructuredMetrics) {
+  auto server = MakeServer(0);
+  std::string key = KeyOwnedBy(0);
+  EXPECT_TRUE(server->Handle(DataRequest(OpCode::kInsert, key, "v")).ok());
+  EXPECT_TRUE(server->Handle(DataRequest(OpCode::kLookup, key)).ok());
+
+  Request stats_req;
+  stats_req.op = OpCode::kStats;
+  stats_req.seq = 99;
+  Response resp = server->Handle(std::move(stats_req));
+  ASSERT_TRUE(resp.ok());
+
+  auto snapshot = DecodeMetricsSnapshot(resp.value);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->ValueOf("instance"), 0);
+  EXPECT_EQ(snapshot->ValueOf("entries"), 1);
+  EXPECT_GE(snapshot->ValueOf("ops"), 2);
+  // Acceptance: at least one per-opcode latency histogram with samples.
+  const MetricValue* insert_hist =
+      snapshot->Find("server.op.insert.latency_ns");
+  ASSERT_NE(insert_hist, nullptr);
+  EXPECT_EQ(insert_hist->kind, MetricKind::kHistogram);
+  EXPECT_EQ(insert_hist->histogram.count, 1u);
+  const MetricValue* lookup_hist =
+      snapshot->Find("server.op.lookup.latency_ns");
+  ASSERT_NE(lookup_hist, nullptr);
+  EXPECT_EQ(lookup_hist->histogram.count, 1u);
+}
+
+// Scripted ops → exact counter deltas, via two STATS snapshots.
+TEST_F(ZhtServerUnitTest, StatsCountersTrackScriptedOps) {
+  auto server = MakeServer(0);
+  auto snapshot_now = [&] {
+    Request req;
+    req.op = OpCode::kStats;
+    req.seq = ++seq_;
+    Response resp = server->Handle(std::move(req));
+    auto snapshot = DecodeMetricsSnapshot(resp.value);
+    EXPECT_TRUE(snapshot.ok());
+    return std::move(*snapshot);
+  };
+
+  MetricsSnapshot before = snapshot_now();
+  std::string key = KeyOwnedBy(0);
+  std::string other = KeyOwnedBy(1);  // not ours: redirected, not served
+  EXPECT_TRUE(server->Handle(DataRequest(OpCode::kInsert, key, "v")).ok());
+  EXPECT_TRUE(server->Handle(DataRequest(OpCode::kAppend, key, "w")).ok());
+  EXPECT_TRUE(server->Handle(DataRequest(OpCode::kLookup, key)).ok());
+  server->Handle(DataRequest(OpCode::kInsert, other, "x"));
+  MetricsSnapshot after = snapshot_now();
+
+  // `ops` counts store-applied operations only — the redirected insert
+  // never reaches the store; the per-opcode histograms time every handled
+  // request (what a client waits for), so the redirect IS in there.
+  EXPECT_EQ(after.ValueOf("ops") - before.ValueOf("ops"), 3);
+  EXPECT_EQ(after.ValueOf("redirects") - before.ValueOf("redirects"), 1);
+  EXPECT_EQ(after.ValueOf("server.redirects") -
+                before.ValueOf("server.redirects"),
+            1);
+  auto hist_count = [](const MetricsSnapshot& snapshot, const char* name) {
+    const MetricValue* entry = snapshot.Find(name);
+    return entry == nullptr ? std::uint64_t{0} : entry->histogram.count;
+  };
+  EXPECT_EQ(hist_count(after, "server.op.insert.latency_ns") -
+                hist_count(before, "server.op.insert.latency_ns"),
+            2u);
+  EXPECT_EQ(hist_count(after, "server.op.append.latency_ns") -
+                hist_count(before, "server.op.append.latency_ns"),
+            1u);
+  EXPECT_EQ(hist_count(after, "server.op.lookup.latency_ns") -
+                hist_count(before, "server.op.lookup.latency_ns"),
+            1u);
+}
+
+// Replication fan-out lands in the histogram and sync/async counters.
+TEST_F(ZhtServerUnitTest, StatsReplicationMetrics) {
+  auto server = MakeServer(0, /*replicas=*/2);
+  std::string key = KeyOwnedBy(0);
+  EXPECT_TRUE(server->Handle(DataRequest(OpCode::kInsert, key, "v")).ok());
+  server->FlushAsyncReplication();
+
+  MetricsSnapshot snapshot = server->MetricsSnapshotNow();
+  const MetricValue* fanout = snapshot.Find("server.replication.fanout");
+  ASSERT_NE(fanout, nullptr);
+  EXPECT_EQ(fanout->histogram.count, 1u);
+  EXPECT_EQ(fanout->histogram.sum, 2u);  // two replicas per chain write
+  EXPECT_EQ(snapshot.ValueOf("server.replication.sync"), 1);
+  EXPECT_EQ(snapshot.ValueOf("server.replication.async"), 1);
+  EXPECT_EQ(snapshot.ValueOf("replications_sync"), 1);
+  EXPECT_EQ(snapshot.ValueOf("replications_async"), 1);
 }
 
 }  // namespace

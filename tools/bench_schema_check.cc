@@ -1,0 +1,200 @@
+// Validates BENCH_*.json telemetry reports against the schema documented
+// in DESIGN.md §8 (schema_version 1). Used by the `bench_smoke` ctest
+// label and tools/run_benches.sh; a malformed, empty, or schema-violating
+// report exits non-zero with a diagnostic per file.
+//
+//   bench-schema-check FILE...            validate each file
+//   bench-schema-check --index OUT FILE…  also write an aggregate index
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace {
+
+using zht::json::Kind;
+using zht::json::Value;
+
+bool Fail(const std::string& file, const std::string& what) {
+  std::fprintf(stderr, "%s: %s\n", file.c_str(), what.c_str());
+  return false;
+}
+
+// Every histogram object must carry the summary fields; buckets are
+// [lo, hi, count] triples with lo < hi.
+bool ValidateHistogram(const std::string& file, const std::string& name,
+                       const Value& h) {
+  if (!h.is_object()) return Fail(file, "histogram " + name + " not an object");
+  for (const char* key :
+       {"count", "mean_ns", "min_ns", "max_ns", "p50_ns", "p90_ns", "p99_ns"}) {
+    const Value* member = h.Get(key);
+    if (member == nullptr || !member->is_number()) {
+      return Fail(file, "histogram " + name + " missing numeric " + key);
+    }
+  }
+  const Value* buckets = h.Get("buckets");
+  if (buckets == nullptr || !buckets->is_array()) {
+    return Fail(file, "histogram " + name + " missing buckets array");
+  }
+  for (const Value& bucket : buckets->array) {
+    if (!bucket.is_array() || bucket.array.size() != 3 ||
+        !bucket.array[0].is_number() || !bucket.array[1].is_number() ||
+        !bucket.array[2].is_number() ||
+        bucket.array[0].number >= bucket.array[1].number) {
+      return Fail(file, "histogram " + name + " has a malformed bucket");
+    }
+  }
+  return true;
+}
+
+bool ValidateReport(const std::string& file, const Value& doc) {
+  if (!doc.is_object()) return Fail(file, "top level is not an object");
+
+  const Value* version = doc.Get("schema_version");
+  if (version == nullptr || !version->is_number() || version->number != 1) {
+    return Fail(file, "schema_version missing or not 1");
+  }
+  const Value* name = doc.Get("name");
+  if (name == nullptr || !name->is_string() || name->string.empty()) {
+    return Fail(file, "name missing or empty");
+  }
+  const Value* params = doc.Get("params");
+  if (params == nullptr || !params->is_object()) {
+    return Fail(file, "params missing or not an object");
+  }
+
+  const Value* sections = doc.Get("sections");
+  if (sections == nullptr || !sections->is_array() || sections->array.empty()) {
+    return Fail(file, "sections missing or empty");
+  }
+  bool any_rows = false;
+  for (const Value& section : sections->array) {
+    if (!section.is_object()) return Fail(file, "section is not an object");
+    const Value* id = section.Get("id");
+    const Value* columns = section.Get("columns");
+    const Value* rows = section.Get("rows");
+    if (id == nullptr || !id->is_string() || id->string.empty()) {
+      return Fail(file, "section id missing");
+    }
+    if (columns == nullptr || !columns->is_array() || columns->array.empty()) {
+      return Fail(file, "section '" + id->string + "' has no columns");
+    }
+    if (rows == nullptr || !rows->is_array()) {
+      return Fail(file, "section '" + id->string + "' has no rows array");
+    }
+    for (const Value& row : rows->array) {
+      if (!row.is_array() || row.array.empty()) {
+        return Fail(file, "section '" + id->string + "' has an empty row");
+      }
+      any_rows = true;
+    }
+  }
+  if (!any_rows) return Fail(file, "report has no data rows");
+
+  const Value* histograms = doc.Get("histograms");
+  if (histograms == nullptr || !histograms->is_object()) {
+    return Fail(file, "histograms missing or not an object");
+  }
+  for (const auto& [hist_name, hist] : histograms->object) {
+    if (!ValidateHistogram(file, hist_name, hist)) return false;
+  }
+  const Value* metrics = doc.Get("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return Fail(file, "metrics missing or not an object");
+  }
+  for (const auto& [metric_name, metric] : metrics->object) {
+    if (!metric.is_number()) {
+      return Fail(file, "metric " + metric_name + " is not a number");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string index_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--index") == 0 && i + 1 < argc) {
+      index_path = argv[++i];
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench-schema-check [--index OUT.json] FILE...\n");
+    return 2;
+  }
+
+  zht::json::Writer index;
+  index.BeginObject();
+  index.Key("reports");
+  index.BeginArray();
+
+  int failures = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      Fail(file, "cannot open");
+      ++failures;
+      continue;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const std::string text = contents.str();
+    if (text.empty()) {
+      Fail(file, "empty report");
+      ++failures;
+      continue;
+    }
+    auto doc = zht::json::Parse(text);
+    if (!doc.ok()) {
+      Fail(file, doc.status().ToString());
+      ++failures;
+      continue;
+    }
+    if (!ValidateReport(file, *doc)) {
+      ++failures;
+      continue;
+    }
+    std::printf("ok %s\n", file.c_str());
+    index.BeginObject();
+    index.Key("file");
+    index.String(file);
+    index.Key("name");
+    index.String(doc->Get("name")->string);
+    const zht::json::Value* smoke = doc->Get("smoke");
+    index.Key("smoke");
+    index.Bool(smoke != nullptr && smoke->kind == Kind::kBool &&
+               smoke->boolean);
+    index.Key("sections");
+    index.Uint(doc->Get("sections")->array.size());
+    index.Key("histograms");
+    index.Uint(doc->Get("histograms")->object.size());
+    index.Key("metrics");
+    index.Uint(doc->Get("metrics")->object.size());
+    index.EndObject();
+  }
+  index.EndArray();
+  index.Key("failures");
+  index.Int(failures);
+  index.EndObject();
+
+  if (!index_path.empty()) {
+    std::FILE* f = std::fopen(index_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write index %s\n", index_path.c_str());
+      return 2;
+    }
+    std::fwrite(index.out().data(), 1, index.out().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs every fig/ablation bench from a build tree, collects the BENCH_*.json
+# telemetry each one emits, validates every report against the schema, and
+# aggregates them into BENCH_INDEX.json.
+#
+#   tools/run_benches.sh BUILD_DIR [OUT_DIR]
+#
+# Full-size sweeps by default; set ZHT_BENCH_SMOKE=1 for the seconds-sized
+# variants the `ctest -L bench_smoke` label runs.
+set -euo pipefail
+
+build="${1:?usage: run_benches.sh BUILD_DIR [OUT_DIR]}"
+out="${2:-bench_reports}"
+mkdir -p "$out"
+
+status=0
+for bench in "$build"/bench/bench_fig* "$build"/bench/bench_ablation* \
+             "$build"/bench/bench_batching "$build"/bench/bench_table1_features; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "== $name"
+  if ! ZHT_BENCH_DIR="$out" "$bench" > "$out/$name.txt" 2>&1; then
+    echo "FAILED: $name (output in $out/$name.txt)"
+    status=1
+  fi
+done
+
+"$build"/tools/bench-schema-check --index "$out/BENCH_INDEX.json" \
+    "$out"/BENCH_*.json || status=1
+
+echo "reports and index in $out/"
+exit $status

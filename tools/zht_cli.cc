@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/zht_client.h"
+#include "serialize/metrics_codec.h"
 #include "net/tcp_client.h"
 #include "net/udp_client.h"
 
@@ -207,7 +208,15 @@ int main(int argc, char** argv) {
       std::printf("%s\n", result.status().ToString().c_str());
       return 1;
     }
-    std::printf("%s", result->value.c_str());
+    // STATS carries a versioned structured snapshot; render counters and
+    // gauges as `name = value` lines and histograms as one-line summaries.
+    auto snapshot = DecodeMetricsSnapshot(result->value);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "undecodable stats payload: %s\n",
+                   snapshot.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", RenderMetricsSnapshot(*snapshot).c_str());
     return 0;
   }
   if (command == "bench") {
