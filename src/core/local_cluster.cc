@@ -67,6 +67,7 @@ Result<NodeAddress> LocalCluster::Expose(std::shared_ptr<HandlerSlot> slot,
   EpollServerOptions es;
   es.enable_tcp = true;
   es.enable_udp = true;
+  es.num_reactors = options_.num_reactors;
   auto server = EpollServer::Create(es, std::move(handler));
   if (!server.ok()) return server.status();
   Status started = (*server)->Start();

@@ -29,6 +29,10 @@ struct LocalClusterOptions {
   ClusterOptions cluster;
   ClusterTransport transport = ClusterTransport::kLoopback;
   bool tcp_connection_cache = true;  // for kTcp client transports
+  // Event-loop threads per EpollServer (kTcp/kUdp only). With > 1, each
+  // instance serves requests from several reactors concurrently
+  // (ZhtServer::Handle is striped; DESIGN.md §9).
+  int num_reactors = 1;
   StoreFactory store_factory;       // default: in-memory NoVoHT
   HashKind hash_kind = HashKind::kFnv1a;
   // When set, every transport of the cluster (clients, server peer links,

@@ -1,5 +1,6 @@
 #include "core/zht_server.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -55,6 +56,8 @@ std::unique_ptr<KVStore> DefaultStoreFactory(InstanceId, PartitionId) {
   return store.ok() ? std::move(*store) : nullptr;
 }
 
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
 }  // namespace
 
 ZhtServer::ZhtServer(MembershipTable table, const ZhtServerOptions& options,
@@ -89,6 +92,10 @@ ZhtServer::~ZhtServer() {
 }
 
 KVStore* ZhtServer::StoreFor(PartitionId partition) {
+  // Caller holds StripeFor(partition).mu, which makes the returned pointer
+  // safe to use after partitions_mu_ is dropped: stores are only replaced
+  // (MigrateBegin) or destroyed (migrate-out) under their stripe.
+  std::lock_guard<std::mutex> lock(partitions_mu_);
   auto it = partitions_.find(partition);
   if (it != partitions_.end()) return it->second.get();
   auto store = options_.store_factory(options_.self, partition);
@@ -120,15 +127,15 @@ Status ZhtServer::ApplyToStore(OpCode op, PartitionId partition,
   }
 }
 
-bool ZhtServer::IsDuplicateAppend(const Request& request) {
+bool ZhtServer::IsDuplicateAppend(Stripe& stripe, const Request& request) {
   const std::uint64_t key = request.DedupKey();
   if (key == 0) return false;
-  if (dedup_set_.count(key)) return true;
-  dedup_ring_.push_back(key);
-  dedup_set_.insert(key);
-  if (dedup_ring_.size() > kDedupWindow) {
-    dedup_set_.erase(dedup_ring_.front());
-    dedup_ring_.pop_front();
+  if (stripe.dedup_set.count(key)) return true;
+  stripe.dedup_ring.push_back(key);
+  stripe.dedup_set.insert(key);
+  if (stripe.dedup_ring.size() > kDedupWindowPerStripe) {
+    stripe.dedup_set.erase(stripe.dedup_ring.front());
+    stripe.dedup_ring.pop_front();
   }
   return false;
 }
@@ -138,7 +145,7 @@ Response ZhtServer::RedirectTo(InstanceId owner, std::uint64_t seq,
                                bool include_membership) {
   // Lazy membership update (§III.C): the wrong-owner reply carries the
   // delta the requester is missing — one message per client per partition
-  // move.
+  // move. Caller holds table_mu_ (shared).
   Response resp;
   resp.seq = seq;
   resp.status = Status(StatusCode::kRedirect).raw();
@@ -166,7 +173,7 @@ Response ZhtServer::Handle(Request&& request) {
     case OpCode::kPing: {
       Response resp;
       resp.seq = request.seq;
-      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_lock<std::shared_mutex> lock(table_mu_);
       resp.epoch = table_.epoch();
       return resp;
     }
@@ -194,7 +201,7 @@ Response ZhtServer::Handle(Request&& request) {
       Response resp;
       resp.seq = request.seq;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::shared_lock<std::shared_mutex> lock(table_mu_);
         resp.epoch = table_.epoch();
       }
       resp.value = EncodeMetricsSnapshot(MetricsSnapshotNow());
@@ -209,26 +216,13 @@ Response ZhtServer::Handle(Request&& request) {
   }
 }
 
-Response ZhtServer::ApplyDataOpLocked(const Request& request,
-                                      bool include_redirect_delta,
-                                      bool* replicate, PartitionId* partition,
-                                      std::vector<InstanceId>* chain) {
-  Response resp;
-  resp.seq = request.seq;
-  *replicate = false;
-
-  *partition = table_.PartitionOfKey(request.key);
-  resp.epoch = table_.epoch();
-
-  if (migrating_.count(*partition)) {
-    // Partition is locked mid-migration (§III.C "Data Migration"): state
-    // cannot be modified; the client backs off and retries, which
-    // realizes the paper's request queueing at the sender.
-    resp.status = Status(StatusCode::kMigrating).raw();
-    return resp;
-  }
-
-  *chain = table_.ReplicaChain(*partition, options_.cluster.num_replicas);
+ZhtServer::DataRoute ZhtServer::RouteDataOpLocked(const Request& request,
+                                                  bool include_redirect_delta) {
+  DataRoute route;
+  route.partition = table_.PartitionOfKey(request.key);
+  route.epoch = table_.epoch();
+  route.chain =
+      table_.ReplicaChain(route.partition, options_.cluster.num_replicas);
 
   const bool is_replica_traffic =
       request.server_origin && request.replica_index > 0;
@@ -237,37 +231,58 @@ Response ZhtServer::ApplyDataOpLocked(const Request& request,
 
   if (!is_replica_traffic) {
     bool in_chain = false;
-    for (InstanceId member : *chain) {
+    for (InstanceId member : route.chain) {
       if (member == options_.self) {
         in_chain = true;
         break;
       }
     }
-    const bool is_primary = !chain->empty() && (*chain)[0] == options_.self;
+    const bool is_primary =
+        !route.chain.empty() && route.chain[0] == options_.self;
     if (!is_primary && !(is_client_failover && in_chain)) {
-      ++stats_.redirects;
+      stats_.redirects.fetch_add(1, kRelaxed);
       redirect_counter_->Increment();
-      return RedirectTo(chain->empty() ? 0 : (*chain)[0], request.seq,
-                        request.epoch, include_redirect_delta);
+      route.redirect =
+          RedirectTo(route.chain.empty() ? 0 : route.chain[0], request.seq,
+                     request.epoch, include_redirect_delta);
     }
   }
+  return route;
+}
 
-  if (request.op == OpCode::kAppend && IsDuplicateAppend(request)) {
+Response ZhtServer::ApplyDataOpStriped(const Request& request,
+                                       const DataRoute& route,
+                                       bool* replicate) {
+  Response resp;
+  resp.seq = request.seq;
+  resp.epoch = route.epoch;
+  *replicate = false;
+
+  Stripe& stripe = StripeFor(route.partition);  // mutex held by caller
+  if (stripe.migrating.count(route.partition)) {
+    // Partition is locked mid-migration (§III.C "Data Migration"): state
+    // cannot be modified; the client backs off and retries, which
+    // realizes the paper's request queueing at the sender.
+    resp.status = Status(StatusCode::kMigrating).raw();
+    return resp;
+  }
+
+  if (request.op == OpCode::kAppend && IsDuplicateAppend(stripe, request)) {
     // Retransmission of an append we already applied: acknowledge
     // success without re-applying.
-    ++stats_.duplicate_appends_dropped;
+    stats_.duplicate_appends_dropped.fetch_add(1, kRelaxed);
     resp.status = Status::Ok().raw();
     return resp;
   }
 
   std::string lookup_value;
-  Status status = ApplyToStore(request.op, *partition, request.key,
+  Status status = ApplyToStore(request.op, route.partition, request.key,
                                request.value, &lookup_value);
-  ++stats_.ops;
+  stats_.ops.fetch_add(1, kRelaxed);
 
   *replicate = status.ok() && request.op != OpCode::kLookup &&
                options_.cluster.num_replicas > 0 && !request.server_origin &&
-               request.replica_index == 0 && chain->size() > 1;
+               request.replica_index == 0 && route.chain.size() > 1;
 
   resp.status = status.raw();
   resp.value = std::move(lookup_value);
@@ -276,20 +291,26 @@ Response ZhtServer::ApplyDataOpLocked(const Request& request,
 
 Response ZhtServer::HandleData(Request&& request) {
   const Stopwatch watch(SystemClock::Instance());
-  PartitionId partition = 0;
-  std::vector<InstanceId> chain;
-  bool replicate = false;
-  Response resp;
+  DataRoute route;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    resp = ApplyDataOpLocked(request, /*include_redirect_delta=*/true,
-                             &replicate, &partition, &chain);
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
+    route = RouteDataOpLocked(request, /*include_redirect_delta=*/true);
+  }
+
+  Response resp;
+  bool replicate = false;
+  if (route.redirect) {
+    resp = std::move(*route.redirect);
+  } else {
+    Stripe& stripe = StripeFor(route.partition);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    resp = ApplyDataOpStriped(request, route, &replicate);
   }
   if (replicate) {
-    // Outside the server lock: a synchronous hop to the secondary keeps
+    // Outside every lock: a synchronous hop to the secondary keeps
     // primary+secondary strongly consistent; further replicas go through
     // the asynchronous queue (§III.J).
-    ReplicateSync(request, partition, chain);
+    ReplicateSync(request, route.partition, route.chain);
   }
   // Service time including the synchronous replication leg — what a client
   // waits for. Lock-free (atomic bucket increments).
@@ -309,54 +330,83 @@ Response ZhtServer::HandleBatch(Request&& request) {
   }
   batch_size_hist_->Record(static_cast<std::int64_t>(batch->ops.size()));
 
-  BatchResponse out;
-  out.responses.reserve(batch->ops.size());
-  std::vector<Request> replicate_ops;
-  std::vector<PartitionId> replicate_partitions;
-  std::vector<std::vector<InstanceId>> replicate_chains;
+  const std::size_t n = batch->ops.size();
+  std::vector<DataRoute> routes(n);
+  std::vector<char> is_data(n, 0);
   std::uint32_t epoch = 0;
 
-  // One lock acquisition applies every sub-op: the batch lands as a unit
-  // with no interleaved single-op traffic.
-  bool delta_sent = false;
+  // Route every sub-op under one shared table acquisition.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
     epoch = table_.epoch();
-    for (Request& op : batch->ops) {
+    bool delta_sent = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Request& op = batch->ops[i];
       switch (op.op) {
         case OpCode::kInsert:
         case OpCode::kLookup:
         case OpCode::kRemove:
-        case OpCode::kAppend: {
-          bool replicate = false;
-          PartitionId partition = 0;
-          std::vector<InstanceId> chain;
-          Response sub = ApplyDataOpLocked(op, !delta_sent, &replicate,
-                                           &partition, &chain);
-          if (sub.status == Status(StatusCode::kRedirect).raw() &&
-              !sub.membership.empty()) {
+        case OpCode::kAppend:
+          is_data[i] = 1;
+          routes[i] = RouteDataOpLocked(op, !delta_sent);
+          if (routes[i].redirect && !routes[i].redirect->membership.empty()) {
             delta_sent = true;
           }
-          if (replicate) {
-            replicate_ops.push_back(op);
-            replicate_partitions.push_back(partition);
-            replicate_chains.push_back(std::move(chain));
-          }
-          out.responses.push_back(std::move(sub));
           break;
-        }
-        default: {
-          // Batches carry data operations only; nested batches and control
-          // messages are rejected per sub-op, not per batch.
-          Response sub;
-          sub.seq = op.seq;
-          sub.status = Status(StatusCode::kInvalidArgument).raw();
-          out.responses.push_back(std::move(sub));
+        default:
           break;
-        }
       }
     }
   }
+
+  // Take every stripe the batch touches, in ascending index order
+  // (deadlock-free against concurrent batches), and hold them across the
+  // whole apply: the batch lands as a unit on its partitions, with no
+  // interleaved single-op traffic on those keys.
+  std::vector<std::size_t> stripe_order;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_data[i] && !routes[i].redirect) {
+      stripe_order.push_back(StripeIndexFor(routes[i].partition));
+    }
+  }
+  std::sort(stripe_order.begin(), stripe_order.end());
+  stripe_order.erase(std::unique(stripe_order.begin(), stripe_order.end()),
+                     stripe_order.end());
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(stripe_order.size());
+  for (std::size_t idx : stripe_order) held.emplace_back(stripes_[idx].mu);
+
+  BatchResponse out;
+  out.responses.reserve(n);
+  std::vector<Request> replicate_ops;
+  std::vector<PartitionId> replicate_partitions;
+  std::vector<std::vector<InstanceId>> replicate_chains;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Request& op = batch->ops[i];
+    if (!is_data[i]) {
+      // Batches carry data operations only; nested batches and control
+      // messages are rejected per sub-op, not per batch.
+      Response sub;
+      sub.seq = op.seq;
+      sub.status = Status(StatusCode::kInvalidArgument).raw();
+      out.responses.push_back(std::move(sub));
+      continue;
+    }
+    if (routes[i].redirect) {
+      out.responses.push_back(std::move(*routes[i].redirect));
+      continue;
+    }
+    bool replicate = false;
+    Response sub = ApplyDataOpStriped(op, routes[i], &replicate);
+    if (replicate) {
+      replicate_ops.push_back(op);
+      replicate_partitions.push_back(routes[i].partition);
+      replicate_chains.push_back(std::move(routes[i].chain));
+    }
+    out.responses.push_back(std::move(sub));
+  }
+  held.clear();  // release the stripes before the replication legs
 
   if (!replicate_ops.empty()) {
     ReplicateBatch(std::move(replicate_ops), replicate_partitions,
@@ -381,10 +431,10 @@ void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
     forward.replica_index = 1;
     NodeAddress secondary;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_lock<std::shared_mutex> lock(table_mu_);
       secondary = table_.Instance(chain[1]).address;
-      ++stats_.replications_sync;
     }
+    stats_.replications_sync.fetch_add(1, kRelaxed);
     replication_sync_counter_->Increment();
     auto result =
         peer_transport_->Call(secondary, forward, options_.cluster.peer_timeout);
@@ -399,8 +449,7 @@ void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
     async.replica_index = static_cast<std::uint8_t>(i);
     EnqueueAsyncReplication(std::move(async), chain[i]);
     replication_async_counter_->Increment();
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.replications_async;
+    stats_.replications_async.fetch_add(1, kRelaxed);
   }
 }
 
@@ -432,14 +481,14 @@ void ZhtServer::ReplicateBatch(
       NodeAddress target;
       bool have_target = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::shared_lock<std::shared_mutex> lock(table_mu_);
         if (target_id < table_.instance_count()) {
           target = table_.Instance(target_id).address;
           have_target = true;
-          stats_.replications_sync += group.size();
         }
       }
       if (!have_target) continue;
+      stats_.replications_sync.fetch_add(group.size(), kRelaxed);
       replication_sync_counter_->Increment(group.size());
       auto result =
           peer_transport_->CallBatch(target, group, options_.cluster.peer_timeout);
@@ -465,10 +514,7 @@ void ZhtServer::ReplicateBatch(
     Request packed =
         PackBatchRequest(group, group.front().seq, /*server_origin=*/true);
     replication_async_counter_->Increment(group.size());
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.replications_async += group.size();
-    }
+    stats_.replications_async.fetch_add(group.size(), kRelaxed);
     EnqueueAsyncReplication(std::move(packed), target_id);
   }
 }
@@ -496,7 +542,7 @@ void ZhtServer::AsyncReplicationLoop() {
     NodeAddress target;
     bool have_target = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_lock<std::shared_mutex> lock(table_mu_);
       if (item.second < table_.instance_count()) {
         target = table_.Instance(item.second).address;
         have_target = true;
@@ -528,7 +574,7 @@ void ZhtServer::FlushAsyncReplication() {
 Response ZhtServer::HandleMembershipPull(Request&& request) {
   Response resp;
   resp.seq = request.seq;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
   resp.epoch = table_.epoch();
   resp.membership = request.epoch == 0 ? table_.EncodeFull()
                                        : table_.EncodeDelta(request.epoch);
@@ -538,7 +584,7 @@ Response ZhtServer::HandleMembershipPull(Request&& request) {
 Response ZhtServer::HandleMembershipPush(Request&& request) {
   Response resp;
   resp.seq = request.seq;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(table_mu_);
   Status status = table_.ApplyUpdate(request.value);
   resp.status = status.raw();
   resp.epoch = table_.epoch();
@@ -548,12 +594,26 @@ Response ZhtServer::HandleMembershipPush(Request&& request) {
 Response ZhtServer::HandleMigrateBegin(Request&& request) {
   Response resp;
   resp.seq = request.seq;
-  std::lock_guard<std::mutex> lock(mu_);
   // Fresh store for the incoming partition (replaces any stale replica
-  // copy; the authoritative data is what the source streams to us).
-  partitions_[request.partition] =
-      options_.store_factory(options_.self, request.partition);
-  resp.epoch = table_.epoch();
+  // copy; the authoritative data is what the source streams to us). The
+  // stripe hold fences out readers of the old store; the retired store is
+  // destroyed inside it.
+  auto store = options_.store_factory(options_.self, request.partition);
+  {
+    Stripe& stripe = StripeFor(request.partition);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    std::unique_ptr<KVStore> retired;
+    {
+      std::lock_guard<std::mutex> map_lock(partitions_mu_);
+      auto it = partitions_.find(request.partition);
+      if (it != partitions_.end()) retired = std::move(it->second);
+      partitions_[request.partition] = std::move(store);
+    }
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
+    resp.epoch = table_.epoch();
+  }
   return resp;
 }
 
@@ -565,7 +625,8 @@ Response ZhtServer::HandleMigrateData(Request&& request) {
     resp.status = pairs.status().raw();
     return resp;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  Stripe& stripe = StripeFor(request.partition);
+  std::lock_guard<std::mutex> lock(stripe.mu);
   KVStore* store = StoreFor(request.partition);
   for (const auto& [key, value] : *pairs) {
     store->Put(key, value);
@@ -576,38 +637,43 @@ Response ZhtServer::HandleMigrateData(Request&& request) {
 Response ZhtServer::HandleMigrateEnd(Request&& request) {
   Response resp;
   resp.seq = request.seq;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.migrations_in;
+  stats_.migrations_in.fetch_add(1, kRelaxed);
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
   resp.epoch = table_.epoch();
   return resp;
 }
 
 Status ZhtServer::MigratePartitionTo(PartitionId partition,
                                      const NodeAddress& target) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (migrating_.count(partition)) {
-      return Status(StatusCode::kMigrating, "partition already migrating");
-    }
-    migrating_.insert(partition);
-  }
-
-  // Snapshot the partition (the migrating_ lock guarantees no writes land
-  // while we stream; readers of other partitions proceed unhindered).
+  // Mark the partition migrating and snapshot it under one stripe hold:
+  // no write can land between the lock and the snapshot, so the stream is
+  // exact. Writers arriving after see kMigrating and retry (§III.C "Data
+  // Migration"); readers/writers of other partitions proceed unhindered.
   std::vector<std::pair<std::string, std::string>> pairs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = partitions_.find(partition);
-    if (it != partitions_.end()) {
-      it->second->ForEach([&pairs](std::string_view k, std::string_view v) {
+    Stripe& stripe = StripeFor(partition);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    if (stripe.migrating.count(partition)) {
+      return Status(StatusCode::kMigrating, "partition already migrating");
+    }
+    stripe.migrating.insert(partition);
+    KVStore* store = nullptr;
+    {
+      std::lock_guard<std::mutex> map_lock(partitions_mu_);
+      auto it = partitions_.find(partition);
+      if (it != partitions_.end()) store = it->second.get();
+    }
+    if (store) {
+      store->ForEach([&pairs](std::string_view k, std::string_view v) {
         pairs.emplace_back(std::string(k), std::string(v));
       });
     }
   }
 
   auto fail = [this, partition](Status status) {
-    std::lock_guard<std::mutex> lock(mu_);
-    migrating_.erase(partition);
+    Stripe& stripe = StripeFor(partition);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    stripe.migrating.erase(partition);
     return status;
   };
 
@@ -657,11 +723,20 @@ Status ZhtServer::MigratePartitionTo(PartitionId partition,
   if (!end_result->ok()) return fail(end_result->status_as_object());
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    partitions_.erase(partition);
-    migrating_.erase(partition);
-    ++stats_.migrations_out;
+    Stripe& stripe = StripeFor(partition);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    std::unique_ptr<KVStore> retired;
+    {
+      std::lock_guard<std::mutex> map_lock(partitions_mu_);
+      auto it = partitions_.find(partition);
+      if (it != partitions_.end()) {
+        retired = std::move(it->second);
+        partitions_.erase(it);
+      }
+    }
+    stripe.migrating.erase(partition);
   }
+  stats_.migrations_out.fetch_add(1, kRelaxed);
   return Status::Ok();
 }
 
@@ -676,7 +751,7 @@ Response ZhtServer::HandleMigrateOut(Request&& request) {
   Status status = MigratePartitionTo(request.partition, *target);
   resp.status = status.raw();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
     resp.epoch = table_.epoch();
   }
   return resp;
@@ -685,17 +760,26 @@ Response ZhtServer::HandleMigrateOut(Request&& request) {
 Status ZhtServer::RepairPartition(PartitionId partition) {
   // Push every pair to every chain member (idempotent puts restore the
   // replication level after a failure, §III.C "Node departures").
-  std::vector<std::pair<std::string, std::string>> pairs;
   std::vector<InstanceId> chain;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = partitions_.find(partition);
-    if (it != partitions_.end()) {
-      it->second->ForEach([&pairs](std::string_view k, std::string_view v) {
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
+    chain = table_.ReplicaChain(partition, options_.cluster.num_replicas);
+  }
+  std::vector<std::pair<std::string, std::string>> pairs;
+  {
+    Stripe& stripe = StripeFor(partition);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    KVStore* store = nullptr;
+    {
+      std::lock_guard<std::mutex> map_lock(partitions_mu_);
+      auto it = partitions_.find(partition);
+      if (it != partitions_.end()) store = it->second.get();
+    }
+    if (store) {
+      store->ForEach([&pairs](std::string_view k, std::string_view v) {
         pairs.emplace_back(std::string(k), std::string(v));
       });
     }
-    chain = table_.ReplicaChain(partition, options_.cluster.num_replicas);
   }
   for (const auto& [key, value] : pairs) {
     for (std::size_t i = 1; i < chain.size(); ++i) {
@@ -724,18 +808,21 @@ Response ZhtServer::HandleBroadcast(Request&& request) {
   Response resp;
   resp.seq = request.seq;
 
-  std::size_t self_index = 0;
+  PartitionId partition = 0;
   std::size_t count = 0;
+  const std::size_t self_index = options_.self;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    PartitionId partition = table_.PartitionOfKey(request.key);
-    KVStore* store = StoreFor(partition);
-    Status status = store->Put(request.key, request.value);
-    resp.status = status.raw();
-    ++stats_.broadcasts;
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
+    partition = table_.PartitionOfKey(request.key);
     count = table_.instance_count();
-    self_index = options_.self;
   }
+  {
+    Stripe& stripe = StripeFor(partition);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    KVStore* store = StoreFor(partition);
+    resp.status = store->Put(request.key, request.value).raw();
+  }
+  stats_.broadcasts.fetch_add(1, kRelaxed);
 
   // Binary spanning tree over instance ids (§VI "Broadcast primitive"):
   // node i forwards to 2i+1 and 2i+2.
@@ -750,35 +837,65 @@ Response ZhtServer::HandleBroadcast(Request&& request) {
 }
 
 ZhtServerStats ZhtServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ZhtServerStats s;
+  s.ops = stats_.ops.load(kRelaxed);
+  s.redirects = stats_.redirects.load(kRelaxed);
+  s.replications_sync = stats_.replications_sync.load(kRelaxed);
+  s.replications_async = stats_.replications_async.load(kRelaxed);
+  s.migrations_out = stats_.migrations_out.load(kRelaxed);
+  s.migrations_in = stats_.migrations_in.load(kRelaxed);
+  s.broadcasts = stats_.broadcasts.load(kRelaxed);
+  s.duplicate_appends_dropped = stats_.duplicate_appends_dropped.load(kRelaxed);
+  return s;
+}
+
+std::uint64_t ZhtServer::CountEntries(std::size_t* held) const {
+  // Snapshot the partition ids, then size each store under its stripe (a
+  // store pointer is only safe to dereference with the stripe held).
+  std::vector<PartitionId> ids;
+  {
+    std::lock_guard<std::mutex> lock(partitions_mu_);
+    ids.reserve(partitions_.size());
+    for (const auto& [partition, store] : partitions_) ids.push_back(partition);
+  }
+  if (held) *held = ids.size();
+  std::uint64_t entries = 0;
+  for (PartitionId partition : ids) {
+    Stripe& stripe = StripeFor(partition);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    std::lock_guard<std::mutex> map_lock(partitions_mu_);
+    auto it = partitions_.find(partition);
+    if (it != partitions_.end()) entries += it->second->Size();
+  }
+  return entries;
 }
 
 MetricsSnapshot ZhtServer::MetricsSnapshotNow() const {
   // Legacy counters and instance-level gauges first (stable names the
   // tools print as `name = value`), then everything in the registry.
   MetricsSnapshot snapshot;
+  std::size_t held = 0;
+  const std::uint64_t entries = CountEntries(&held);
+  std::uint32_t epoch = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::uint64_t entries = 0;
-    for (const auto& [partition, store] : partitions_) {
-      entries += store->Size();
-    }
-    snapshot.AddGauge("instance", static_cast<std::int64_t>(options_.self));
-    snapshot.AddGauge("epoch", table_.epoch());
-    snapshot.AddGauge("partitions_held",
-                      static_cast<std::int64_t>(partitions_.size()));
-    snapshot.AddGauge("entries", static_cast<std::int64_t>(entries));
-    snapshot.AddCounter("ops", stats_.ops);
-    snapshot.AddCounter("redirects", stats_.redirects);
-    snapshot.AddCounter("replications_sync", stats_.replications_sync);
-    snapshot.AddCounter("replications_async", stats_.replications_async);
-    snapshot.AddCounter("migrations_in", stats_.migrations_in);
-    snapshot.AddCounter("migrations_out", stats_.migrations_out);
-    snapshot.AddCounter("broadcasts", stats_.broadcasts);
-    snapshot.AddCounter("duplicate_appends_dropped",
-                        stats_.duplicate_appends_dropped);
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
+    epoch = table_.epoch();
   }
+  snapshot.AddGauge("instance", static_cast<std::int64_t>(options_.self));
+  snapshot.AddGauge("epoch", epoch);
+  snapshot.AddGauge("partitions_held", static_cast<std::int64_t>(held));
+  snapshot.AddGauge("entries", static_cast<std::int64_t>(entries));
+  snapshot.AddCounter("ops", stats_.ops.load(kRelaxed));
+  snapshot.AddCounter("redirects", stats_.redirects.load(kRelaxed));
+  snapshot.AddCounter("replications_sync",
+                      stats_.replications_sync.load(kRelaxed));
+  snapshot.AddCounter("replications_async",
+                      stats_.replications_async.load(kRelaxed));
+  snapshot.AddCounter("migrations_in", stats_.migrations_in.load(kRelaxed));
+  snapshot.AddCounter("migrations_out", stats_.migrations_out.load(kRelaxed));
+  snapshot.AddCounter("broadcasts", stats_.broadcasts.load(kRelaxed));
+  snapshot.AddCounter("duplicate_appends_dropped",
+                      stats_.duplicate_appends_dropped.load(kRelaxed));
   MetricsSnapshot registry = metrics_.Snapshot();
   snapshot.entries.insert(snapshot.entries.end(),
                           std::make_move_iterator(registry.entries.begin()),
@@ -786,13 +903,6 @@ MetricsSnapshot ZhtServer::MetricsSnapshotNow() const {
   return snapshot;
 }
 
-std::uint64_t ZhtServer::TotalEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::uint64_t total = 0;
-  for (const auto& [partition, store] : partitions_) {
-    total += store->Size();
-  }
-  return total;
-}
+std::uint64_t ZhtServer::TotalEntries() const { return CountEntries(nullptr); }
 
 }  // namespace zht

@@ -7,13 +7,31 @@
 // The request handler is transport-agnostic: bind Handle() to an
 // EpollServer (live TCP/UDP), a LoopbackNetwork (in-process clusters), or
 // call it directly in unit tests.
+//
+// Handle() is thread-safe and striped (DESIGN.md §9): the multi-reactor
+// EpollServer calls it concurrently from every reactor. Concurrency is
+// partition-grained — operations on different partitions proceed in
+// parallel; operations on the same partition serialize on that partition's
+// stripe mutex. The membership table sits behind a shared_mutex (routing
+// takes it shared; pushes take it exclusive), and the append-dedup window
+// is sharded per stripe so it needs no extra lock.
+//
+// Lock order (acquire strictly left to right, release before going left):
+//   table_mu_  →  stripe mutexes (ascending index)  →  partitions_mu_
+//   →  queue_mu_
+// No code path acquires table_mu_ while holding a stripe, or a lower
+// stripe while holding a higher one.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -63,7 +81,8 @@ class ZhtServer {
   ZhtServer(const ZhtServer&) = delete;
   ZhtServer& operator=(const ZhtServer&) = delete;
 
-  // The transport-facing entry point.
+  // The transport-facing entry point. Thread-safe; see the lock-order note
+  // at the top of this header.
   Response Handle(Request&& request);
   RequestHandler AsHandler() {
     return [this](Request&& req) { return Handle(std::move(req)); };
@@ -77,6 +96,8 @@ class ZhtServer {
   // it. The caller (manager) updates and broadcasts membership afterwards.
   Status MigratePartitionTo(PartitionId partition, const NodeAddress& target);
 
+  // Unsynchronized view for single-threaded tests/admin introspection; do
+  // not call concurrently with membership pushes.
   const MembershipTable& table() const { return table_; }
   InstanceId self() const { return options_.self; }
   ZhtServerStats stats() const;
@@ -96,9 +117,41 @@ class ZhtServer {
   void FlushAsyncReplication();
 
  private:
+  // Partition-grained lock striping: partition p is guarded by stripe
+  // p % kNumStripes. A stripe's mutex covers its partitions' store
+  // contents, migration locks, and dedup shard.
+  static constexpr std::size_t kNumStripes = 64;
+  // Per-stripe at-most-once window for the non-idempotent append
+  // (retransmitted UDP requests must not double-apply, §III.F ack-based
+  // retries). Sharding the window with the stripes keeps dedup lookups
+  // under the lock the request already holds.
+  static constexpr std::size_t kDedupWindowPerStripe = 1024;
+  struct alignas(64) Stripe {
+    std::mutex mu;
+    std::deque<std::uint64_t> dedup_ring;
+    std::unordered_set<std::uint64_t> dedup_set;
+    // This stripe's partitions locked mid-migration (§III.C).
+    std::unordered_set<PartitionId> migrating;
+  };
+  static std::size_t StripeIndexFor(PartitionId partition) {
+    return static_cast<std::size_t>(partition) % kNumStripes;
+  }
+  Stripe& StripeFor(PartitionId partition) const {
+    return stripes_[StripeIndexFor(partition)];
+  }
+
+  // Routing decision for one data op, computed under table_mu_ (shared):
+  // target partition, replica chain, epoch, and — when this instance is
+  // the wrong owner — the ready-made REDIRECT response.
+  struct DataRoute {
+    PartitionId partition = 0;
+    std::uint32_t epoch = 0;
+    std::vector<InstanceId> chain;
+    std::optional<Response> redirect;
+  };
+
   Response HandleData(Request&& request);
   Response HandleBatch(Request&& request);
-  Response HandleReplicate(Request&& request);
   Response HandleMigrateBegin(Request&& request);
   Response HandleMigrateData(Request&& request);
   Response HandleMigrateEnd(Request&& request);
@@ -108,6 +161,8 @@ class ZhtServer {
   Response HandleMembershipPull(Request&& request);
   Response HandleMembershipPush(Request&& request);
 
+  // Caller holds StripeFor(partition).mu (store contents are stripe-
+  // guarded; StoreFor itself takes partitions_mu_ for the map).
   Status ApplyToStore(OpCode op, PartitionId partition, std::string_view key,
                       std::string_view value, std::string* out);
   KVStore* StoreFor(PartitionId partition);  // creates on demand
@@ -115,15 +170,18 @@ class ZhtServer {
                       std::uint32_t requester_epoch,
                       bool include_membership = true);
 
-  // Applies one data operation: ownership check (REDIRECT), migration lock,
-  // append dedup, store mutation. Shared by the single-op and BATCH paths.
-  // Caller holds mu_. `include_redirect_delta` controls whether a REDIRECT
-  // reply carries the membership delta (a batch piggybacks it once, on its
-  // first redirected sub-op, not on every sub-response).
-  Response ApplyDataOpLocked(const Request& request,
-                             bool include_redirect_delta, bool* replicate,
-                             PartitionId* partition,
-                             std::vector<InstanceId>* chain);
+  // Ownership check + chain/epoch snapshot for one data op. Caller holds
+  // table_mu_ (shared suffices). `include_redirect_delta` controls whether
+  // a REDIRECT reply carries the membership delta (a batch piggybacks it
+  // once, on its first redirected sub-op, not on every sub-response).
+  DataRoute RouteDataOpLocked(const Request& request,
+                              bool include_redirect_delta);
+  // Applies one routed data operation: migration lock, append dedup, store
+  // mutation. Caller holds StripeFor(route.partition).mu and must have
+  // already answered route.redirect if set. Shared by the single-op and
+  // BATCH paths.
+  Response ApplyDataOpStriped(const Request& request, const DataRoute& route,
+                              bool* replicate);
 
   void ReplicateSync(const Request& original, PartitionId partition,
                      const std::vector<InstanceId>& chain);
@@ -135,6 +193,15 @@ class ZhtServer {
                       const std::vector<std::vector<InstanceId>>& chains);
   void EnqueueAsyncReplication(Request request, InstanceId target);
   void AsyncReplicationLoop();
+
+  // Returns true when this (client_id, seq, replica_index) append was seen
+  // recently — a retransmission whose first copy already applied. Caller
+  // holds stripe.mu.
+  bool IsDuplicateAppend(Stripe& stripe, const Request& request);
+
+  // Entry/partition census for metrics: snapshots the partition ids, then
+  // visits each store under its stripe. `held` gets the partition count.
+  std::uint64_t CountEntries(std::size_t* held) const;
 
   ZhtServerOptions options_;
   ClientTransport* peer_transport_;
@@ -151,22 +218,31 @@ class ZhtServer {
   Counter* replication_async_counter_ = nullptr;
   Counter* redirect_counter_ = nullptr;
 
-  // Returns true when this (client_id, seq, replica_index) append was seen
-  // recently — a retransmission whose first copy already applied. Caller
-  // holds mu_.
-  bool IsDuplicateAppend(const Request& request);
-
-  mutable std::mutex mu_;  // guards table_, partitions_, migrating_, stats_
+  // Membership snapshot: read-mostly. Routing/epoch reads take it shared;
+  // membership pushes take it exclusive.
+  mutable std::shared_mutex table_mu_;
   MembershipTable table_;
-  std::unordered_map<PartitionId, std::unique_ptr<KVStore>> partitions_;
-  std::unordered_set<PartitionId> migrating_;
-  ZhtServerStats stats_;
 
-  // At-most-once window for the non-idempotent append (retransmitted UDP
-  // requests must not double-apply, §III.F ack-based retries).
-  static constexpr std::size_t kDedupWindow = 8192;
-  std::deque<std::uint64_t> dedup_ring_;
-  std::unordered_set<std::uint64_t> dedup_set_;
+  // Guards the partition → store *map* only (which partitions exist).
+  // Store contents are guarded by the owning stripe, and a store is only
+  // created, replaced, or destroyed with its stripe held.
+  mutable std::mutex partitions_mu_;
+  std::unordered_map<PartitionId, std::unique_ptr<KVStore>> partitions_;
+
+  mutable std::array<Stripe, kNumStripes> stripes_;
+
+  // Monotonic counters; relaxed atomics (read via stats()).
+  struct StatsCounters {
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> redirects{0};
+    std::atomic<std::uint64_t> replications_sync{0};
+    std::atomic<std::uint64_t> replications_async{0};
+    std::atomic<std::uint64_t> migrations_out{0};
+    std::atomic<std::uint64_t> migrations_in{0};
+    std::atomic<std::uint64_t> broadcasts{0};
+    std::atomic<std::uint64_t> duplicate_appends_dropped{0};
+  };
+  mutable StatsCounters stats_;
 
   // Asynchronous replication worker (replicas beyond the secondary).
   std::mutex queue_mu_;

@@ -54,15 +54,23 @@ Status EpollServer::Setup() {
   auto addr = ResolveIpv4(options_.host, options_.port);
   if (!addr.ok()) return addr.status();
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) return Status(StatusCode::kInternal, "epoll_create1");
-
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (wake_fd_ < 0) return Status(StatusCode::kInternal, "eventfd");
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  const int n_reactors = options_.num_reactors < 1 ? 1 : options_.num_reactors;
+  for (int i = 0; i < n_reactors; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->index = i;
+    r->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (r->epoll_fd < 0) return Status(StatusCode::kInternal, "epoll_create1");
+    r->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (r->wake_fd < 0) return Status(StatusCode::kInternal, "eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r->wake_fd;
+    ::epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->wake_fd, &ev);
+    reactors_.push_back(std::move(r));
+  }
+  // The UDP socket is owned by the last reactor: distinct from the acceptor
+  // when N > 1, and the same single loop when N == 1.
+  udp_reactor_ = reactors_.size() - 1;
 
   std::uint16_t bound_port = options_.port;
 
@@ -87,10 +95,10 @@ Status EpollServer::Setup() {
     ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&actual), &len);
     bound_port = ntohs(actual.sin_port);
 
-    ev = {};
+    epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = listen_fd_;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+    ::epoll_ctl(reactors_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
   }
 
   if (options_.enable_udp) {
@@ -111,10 +119,11 @@ Status EpollServer::Setup() {
     }
     Status s = MakeNonBlocking(udp_fd_);
     if (!s.ok()) return s;
-    ev = {};
+    epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = udp_fd_;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, udp_fd_, &ev);
+    ::epoll_ctl(reactors_[udp_reactor_]->epoll_fd, EPOLL_CTL_ADD, udp_fd_,
+                &ev);
   }
 
   address_ = NodeAddress{options_.host, bound_port};
@@ -123,31 +132,43 @@ Status EpollServer::Setup() {
 
 EpollServer::~EpollServer() {
   Stop();
-  for (auto& [fd, conn] : connections_) ::close(fd);
+  for (auto& r : reactors_) {
+    for (auto& [fd, conn] : r->connections) ::close(fd);
+    {
+      std::lock_guard<std::mutex> lock(r->handoff_mu);
+      for (int fd : r->handoff) ::close(fd);
+      r->handoff.clear();
+    }
+    if (r->wake_fd >= 0) ::close(r->wake_fd);
+    if (r->epoll_fd >= 0) ::close(r->epoll_fd);
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (udp_fd_ >= 0) ::close(udp_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
 Status EpollServer::Start() {
   if (running_.exchange(true)) return Status::Ok();
-  thread_ = std::thread([this] { Loop(); });
+  for (auto& r : reactors_) {
+    Reactor* raw = r.get();
+    raw->thread = std::thread([this, raw] { Loop(*raw); });
+  }
   return Status::Ok();
 }
 
 void EpollServer::Stop() {
   if (!running_.exchange(false)) return;
-  std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
-  if (thread_.joinable()) thread_.join();
+  for (auto& r : reactors_) {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(r->wake_fd, &one, sizeof(one));
+    if (r->thread.joinable()) r->thread.join();
+  }
 }
 
-void EpollServer::Loop() {
+void EpollServer::Loop(Reactor& r) {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (running_.load(std::memory_order_relaxed)) {
-    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    int n = ::epoll_wait(r.epoll_fd, events, kMaxEvents, 100);
     if (n < 0) {
       if (errno == EINTR) continue;
       ZHT_ERROR << "epoll_wait failed: " << std::strerror(errno);
@@ -157,9 +178,11 @@ void EpollServer::Loop() {
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
       std::uint32_t mask = events[i].events;
-      if (fd == wake_fd_) {
+      if (fd == r.wake_fd) {
         std::uint64_t drained;
-        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drained, sizeof(drained));
+        [[maybe_unused]] ssize_t rd =
+            ::read(r.wake_fd, &drained, sizeof(drained));
+        AdoptHandoff(r);
         continue;
       }
       if (fd == listen_fd_) {
@@ -171,16 +194,17 @@ void EpollServer::Loop() {
         continue;
       }
       if (mask & (EPOLLHUP | EPOLLERR)) {
-        CloseConnection(fd);
+        CloseConnection(r, fd);
         continue;
       }
-      if (mask & EPOLLIN) HandleReadable(fd);
-      if (connections_.count(fd) && (mask & EPOLLOUT)) HandleWritable(fd);
+      if (mask & EPOLLIN) HandleReadable(r, fd);
+      if (r.connections.count(fd) && (mask & EPOLLOUT)) HandleWritable(r, fd);
     }
   }
 }
 
 void EpollServer::AcceptAll() {
+  Reactor& r0 = *reactors_[0];
   for (;;) {
     int fd = ::accept4(listen_fd_, nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -191,18 +215,50 @@ void EpollServer::AcceptAll() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    connections_.emplace(fd, Connection{});
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+
+    // Round-robin distribution: reactor 0 adopts its own share directly;
+    // every other reactor gets the fd through its handoff queue and is
+    // woken via its eventfd, registering the fd in its own epoll set.
+    Reactor& target = *reactors_[next_reactor_ % reactors_.size()];
+    ++next_reactor_;
+    target.assigned.fetch_add(1, std::memory_order_relaxed);
+    if (&target == &r0) {
+      r0.connections.emplace(fd, Connection{});
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      ::epoll_ctl(r0.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(target.handoff_mu);
+        target.handoff.push_back(fd);
+      }
+      std::uint64_t one_ev = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(target.wake_fd, &one_ev, sizeof(one_ev));
+    }
   }
 }
 
-void EpollServer::HandleReadable(int fd) {
-  auto it = connections_.find(fd);
-  if (it == connections_.end()) return;
+void EpollServer::AdoptHandoff(Reactor& r) {
+  std::vector<int> adopted;
+  {
+    std::lock_guard<std::mutex> lock(r.handoff_mu);
+    adopted.swap(r.handoff);
+  }
+  for (int fd : adopted) {
+    r.connections.emplace(fd, Connection{});
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void EpollServer::HandleReadable(Reactor& r, int fd) {
+  auto it = r.connections.find(fd);
+  if (it == r.connections.end()) return;
   char buf[1 << 16];
   for (;;) {
     ssize_t n = ::read(fd, buf, sizeof(buf));
@@ -211,24 +267,32 @@ void EpollServer::HandleReadable(int fd) {
       continue;
     }
     if (n == 0) {  // peer closed
-      CloseConnection(fd);
+      CloseConnection(r, fd);
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    CloseConnection(fd);
+    CloseConnection(r, fd);
     return;
   }
-  ProcessBuffered(fd);
+  ProcessBuffered(r, fd);
 }
 
-void EpollServer::ProcessBuffered(int fd) {
-  auto it = connections_.find(fd);
-  if (it == connections_.end()) return;
-  Connection& conn = it->second;
+void EpollServer::ProcessBuffered(Reactor& r, int fd) {
+  // Frames are consumed through the connection's cursor (no per-frame
+  // erase); the buffer compacts once after the drain. `handler_` may be
+  // reentrant (it can stop the server or, indirectly, grow this reactor's
+  // connection map, rehashing it), so no reference into the map is held
+  // across a handler call: the connection is re-found — and the reference
+  // re-bound — after every request.
   bool malformed = false;
-  while (auto payload = ExtractFrame(conn.in, &malformed)) {
-    auto request = Request::Decode(*payload);
+  for (;;) {
+    auto it = r.connections.find(fd);
+    if (it == r.connections.end()) return;
+    Connection& conn = it->second;
+    auto payload = ExtractFrameAt(conn.in, &conn.in_offset, &malformed);
+    if (!payload) break;
+    auto request = Request::Decode(*payload);  // copies out of conn.in
     Response response;
     if (request.ok()) {
       requests_served_.fetch_add(1, std::memory_order_relaxed);
@@ -236,22 +300,27 @@ void EpollServer::ProcessBuffered(int fd) {
     } else {
       response.status = Status(StatusCode::kCorruption).raw();
     }
-    conn.out += FrameMessage(response.Encode());
-    // `handler_` may have stopped the server or the map may have rehashed
-    // behind a reentrant call; re-find defensively.
-    it = connections_.find(fd);
-    if (it == connections_.end()) return;
+    auto again = r.connections.find(fd);
+    if (again == r.connections.end()) return;
+    again->second.out += FrameMessage(response.Encode());
   }
+  auto it = r.connections.find(fd);
+  if (it == r.connections.end()) return;
   if (malformed) {
-    CloseConnection(fd);
+    CloseConnection(r, fd);
     return;
   }
-  if (!conn.out.empty()) HandleWritable(fd);
+  Connection& conn = it->second;
+  if (conn.in_offset > 0) {
+    conn.in.erase(0, conn.in_offset);
+    conn.in_offset = 0;
+  }
+  if (!conn.out.empty()) HandleWritable(r, fd);
 }
 
-void EpollServer::HandleWritable(int fd) {
-  auto it = connections_.find(fd);
-  if (it == connections_.end()) return;
+void EpollServer::HandleWritable(Reactor& r, int fd) {
+  auto it = r.connections.find(fd);
+  if (it == r.connections.end()) return;
   Connection& conn = it->second;
   while (conn.out_offset < conn.out.size()) {
     ssize_t n = ::write(fd, conn.out.data() + conn.out_offset,
@@ -264,11 +333,11 @@ void EpollServer::HandleWritable(int fd) {
       epoll_event ev{};
       ev.events = EPOLLIN | EPOLLOUT;
       ev.data.fd = fd;
-      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+      ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, fd, &ev);
       return;
     }
     if (errno == EINTR) continue;
-    CloseConnection(fd);
+    CloseConnection(r, fd);
     return;
   }
   conn.out.clear();
@@ -276,7 +345,7 @@ void EpollServer::HandleWritable(int fd) {
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, fd, &ev);
 }
 
 void EpollServer::HandleUdp() {
@@ -307,10 +376,10 @@ void EpollServer::HandleUdp() {
   }
 }
 
-void EpollServer::CloseConnection(int fd) {
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+void EpollServer::CloseConnection(Reactor& r, int fd) {
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
-  connections_.erase(fd);
+  r.connections.erase(fd);
 }
 
 }  // namespace zht

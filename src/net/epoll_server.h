@@ -1,16 +1,30 @@
 // EpollServer: the event-driven server architecture the paper converged on
-// (§III.D) after finding thread-per-request 3× slower. One epoll loop per
-// ZHT instance serves both the TCP listener and the UDP socket; request
-// handling is single-threaded (multiple instances per node scale across
-// cores, §IV.G).
+// (§III.D) after finding thread-per-request 3× slower. The paper runs one
+// single-threaded event loop per ZHT instance and scales across cores by
+// deploying multiple instances per node (§IV.G); this implementation
+// generalizes that to a multi-reactor design — `num_reactors` event-loop
+// threads, each with its own epoll fd and its own connection map:
+//
+//  - reactor 0 owns the TCP listener; accepted connections are assigned
+//    round-robin and handed off through a per-reactor eventfd + queue;
+//  - the UDP socket is owned by one designated reactor (the last), so
+//    datagram handling and response sends never race;
+//  - each connection lives on exactly one reactor for its whole life, so
+//    the read/decode/handle/write path touches no shared mutable state.
+//
+// With num_reactors = 1 this degenerates to the paper's architecture. With
+// N reactors a single instance drives N cores, which requires the request
+// handler to be thread-safe (ZhtServer::Handle is; see DESIGN.md §9).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "net/address.h"
@@ -24,6 +38,10 @@ struct EpollServerOptions {
   bool enable_tcp = true;
   bool enable_udp = true;
   int listen_backlog = 128;
+  // Event-loop threads. Values < 1 are clamped to 1. The handler runs on
+  // whichever reactor owns the connection (or the UDP socket), so any
+  // handler used with num_reactors > 1 must be thread-safe.
+  int num_reactors = 1;
 };
 
 class EpollServer {
@@ -36,13 +54,15 @@ class EpollServer {
   EpollServer(const EpollServer&) = delete;
   EpollServer& operator=(const EpollServer&) = delete;
 
-  // Spawns the event-loop thread. Idempotent.
+  // Spawns the event-loop threads. Idempotent.
   Status Start();
-  // Stops the loop and joins the thread. Idempotent.
+  // Stops the loops and joins the threads. Idempotent.
   void Stop();
 
   // Bound address (with the actual port when 0 was requested).
   const NodeAddress& address() const { return address_; }
+
+  int num_reactors() const { return static_cast<int>(reactors_.size()); }
 
   std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
@@ -51,43 +71,67 @@ class EpollServer {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
   // Readiness-loop telemetry: epoll_wait returns that delivered at least
-  // one event, and UDP datagrams pulled off the socket.
+  // one event (summed over reactors), and UDP datagrams pulled off the
+  // socket.
   std::uint64_t loop_wakeups() const {
     return loop_wakeups_.load(std::memory_order_relaxed);
   }
   std::uint64_t udp_datagrams() const {
     return udp_datagrams_.load(std::memory_order_relaxed);
   }
+  // Connections ever assigned to reactor `i` (accept-time distribution).
+  std::uint64_t connections_assigned(int i) const {
+    return reactors_[static_cast<std::size_t>(i)]->assigned.load(
+        std::memory_order_relaxed);
+  }
 
  private:
   EpollServer(EpollServerOptions options, RequestHandler handler);
 
-  Status Setup();
-  void Loop();
-  void AcceptAll();
-  void HandleReadable(int fd);
-  void HandleWritable(int fd);
-  void HandleUdp();
-  void CloseConnection(int fd);
-  void ProcessBuffered(int fd);
-
   struct Connection {
     std::string in;
+    std::size_t in_offset = 0;  // consumed-frame cursor into `in`
     std::string out;
     std::size_t out_offset = 0;
   };
+
+  // One event loop: epoll fd + wake eventfd + the connections it owns.
+  // Everything except `handoff` is touched only by this reactor's thread.
+  struct Reactor {
+    int index = 0;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::unordered_map<int, Connection> connections;
+    std::atomic<std::uint64_t> assigned{0};
+    // Accepted fds parked by reactor 0 until this reactor adopts them.
+    std::mutex handoff_mu;
+    std::vector<int> handoff;
+  };
+
+  Status Setup();
+  void Loop(Reactor& r);
+  void AcceptAll();           // reactor 0 only
+  void AdoptHandoff(Reactor& r);
+  void HandleReadable(Reactor& r, int fd);
+  void HandleWritable(Reactor& r, int fd);
+  void HandleUdp();           // UDP reactor only
+  void CloseConnection(Reactor& r, int fd);
+  void ProcessBuffered(Reactor& r, int fd);
+
+  friend struct EpollServerTestPeer;  // reaches ProcessBuffered in tests
 
   EpollServerOptions options_;
   RequestHandler handler_;
   NodeAddress address_;
 
-  int epoll_fd_ = -1;
   int listen_fd_ = -1;
   int udp_fd_ = -1;
-  int wake_fd_ = -1;
+  std::size_t udp_reactor_ = 0;  // which reactor owns udp_fd_
 
-  std::unordered_map<int, Connection> connections_;
-  std::thread thread_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::size_t next_reactor_ = 0;  // acceptor's round-robin cursor
+
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};

@@ -22,26 +22,48 @@ inline std::string FrameMessage(std::string_view payload) {
   return out;
 }
 
-// Incremental frame extractor over an accumulating buffer. Returns the next
-// complete payload and consumes it, or nullopt if more bytes are needed.
+// Cursor-based frame extractor: reads the next complete frame at *offset
+// and advances *offset past it, WITHOUT mutating the buffer. Draining a
+// pipelined burst is O(bytes) total — the caller compacts the consumed
+// prefix once at the end (vs an erase-per-frame front shift, which made a
+// k-frame burst O(bytes × k)). The returned view aliases `buffer`: it is
+// invalidated by any mutation of the underlying string, so copy out (or
+// fully decode) before appending/compacting.
 // Sets *malformed if the stream is unrecoverable (oversized frame).
-inline std::optional<std::string> ExtractFrame(std::string& buffer,
-                                               bool* malformed) {
+inline std::optional<std::string_view> ExtractFrameAt(std::string_view buffer,
+                                                      std::size_t* offset,
+                                                      bool* malformed) {
   *malformed = false;
-  if (buffer.size() < 4) return std::nullopt;
+  if (buffer.size() < *offset + 4) return std::nullopt;
   std::uint32_t n = 0;
   for (int i = 0; i < 4; ++i) {
-    n |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer[i]))
+    n |= static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(buffer[*offset + i]))
          << (8 * i);
   }
   if (n > kMaxFrameBytes) {
     *malformed = true;
     return std::nullopt;
   }
-  if (buffer.size() < 4 + static_cast<std::size_t>(n)) return std::nullopt;
-  std::string payload = buffer.substr(4, n);
-  buffer.erase(0, 4 + n);
+  if (buffer.size() - *offset - 4 < static_cast<std::size_t>(n)) {
+    return std::nullopt;
+  }
+  std::string_view payload = buffer.substr(*offset + 4, n);
+  *offset += 4 + static_cast<std::size_t>(n);
   return payload;
+}
+
+// Convenience form for callers that extract a frame at a time and want the
+// buffer consumed eagerly (one erase per frame — fine for single-response
+// reads; hot multi-frame paths use ExtractFrameAt + a single compact).
+inline std::optional<std::string> ExtractFrame(std::string& buffer,
+                                               bool* malformed) {
+  std::size_t offset = 0;
+  auto payload = ExtractFrameAt(buffer, &offset, malformed);
+  if (!payload) return std::nullopt;
+  std::string out(*payload);
+  buffer.erase(0, offset);
+  return out;
 }
 
 }  // namespace zht

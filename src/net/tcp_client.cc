@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -42,12 +43,19 @@ Status WriteWithDeadline(int fd, std::string_view data, const Clock& clock,
   return Status::Ok();
 }
 
+// Reads one frame. `carry` accumulates stream bytes across calls;
+// `carry_offset` is the consumed-frame cursor (frames are not erased per
+// read — the pipelined CallBatch loop drains many frames from one buffer,
+// and a per-frame front erase would make that quadratic).
 Result<std::string> ReadFrameWithDeadline(int fd, const Clock& clock,
-                                          Nanos deadline, std::string* carry) {
+                                          Nanos deadline, std::string* carry,
+                                          std::size_t* carry_offset) {
   char buf[1 << 16];
   for (;;) {
     bool malformed = false;
-    if (auto payload = ExtractFrame(*carry, &malformed)) return *payload;
+    if (auto payload = ExtractFrameAt(*carry, carry_offset, &malformed)) {
+      return std::string(*payload);
+    }
     if (malformed) return Status(StatusCode::kCorruption, "bad frame");
 
     Nanos remaining = deadline - clock.Now();
@@ -120,19 +128,23 @@ Result<int> ConnectTo(const NodeAddress& to, const Clock& clock,
 }  // namespace
 
 TcpClient::~TcpClient() {
-  for (auto& [addr, cached] : cache_) ::close(cached.fd);
+  for (auto& idle : lru_) ::close(idle.fd);
 }
 
-void TcpClient::EvictLru() {
+void TcpClient::EvictLruLocked() {
   if (lru_.empty()) return;
-  NodeAddress victim = lru_.back();
-  lru_.pop_back();
-  auto it = cache_.find(victim);
-  if (it != cache_.end()) {
-    ::close(it->second.fd);
-    cache_.erase(it);
-    ++evictions_;
+  IdleSocket victim = lru_.back();
+  auto victim_it = std::prev(lru_.end());
+  auto pool = idle_.find(victim.to);
+  if (pool != idle_.end()) {
+    auto& slots = pool->second;
+    slots.erase(std::remove(slots.begin(), slots.end(), victim_it),
+                slots.end());
+    if (slots.empty()) idle_.erase(pool);
   }
+  lru_.pop_back();
+  ::close(victim.fd);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TcpClient::Release(const NodeAddress& to, int fd, bool healthy) {
@@ -140,42 +152,48 @@ void TcpClient::Release(const NodeAddress& to, int fd, bool healthy) {
     ::close(fd);
     return;
   }
-  while (cache_.size() >= options_.cache_capacity) EvictLru();
-  lru_.push_front(to);
-  cache_.emplace(to, Cached{fd, lru_.begin()});
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  while (lru_.size() >= options_.cache_capacity) EvictLruLocked();
+  lru_.push_front(IdleSocket{to, fd});
+  idle_[to].push_back(lru_.begin());
 }
 
 void TcpClient::Invalidate(const NodeAddress& to) {
-  std::lock_guard<std::mutex> lock(call_mu_);
-  auto it = cache_.find(to);
-  if (it != cache_.end()) {
-    ::close(it->second.fd);
-    lru_.erase(it->second.lru_it);
-    cache_.erase(it);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto pool = idle_.find(to);
+  if (pool == idle_.end()) return;
+  for (auto it : pool->second) {
+    ::close(it->fd);
+    lru_.erase(it);
   }
+  idle_.erase(pool);
 }
 
 Result<int> TcpClient::Acquire(const NodeAddress& to, const Clock& clock,
                                Nanos deadline, bool* from_cache) {
   *from_cache = false;
   if (options_.cache_connections) {
-    auto it = cache_.find(to);
-    if (it != cache_.end()) {
-      ++cache_hits_;
-      int fd = it->second.fd;
-      lru_.erase(it->second.lru_it);
-      cache_.erase(it);  // removed from the cache while in use
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto pool = idle_.find(to);
+    if (pool != idle_.end() && !pool->second.empty()) {
+      // Most-recently-released socket first (it is the least likely to
+      // have gone stale behind an idle timeout).
+      auto it = pool->second.back();
+      pool->second.pop_back();
+      if (pool->second.empty()) idle_.erase(pool);
+      int fd = it->fd;
+      lru_.erase(it);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
       *from_cache = true;
       return fd;
     }
   }
-  ++connects_;
+  connects_.fetch_add(1, std::memory_order_relaxed);
   return ConnectTo(to, clock, deadline);
 }
 
 Result<Response> TcpClient::Call(const NodeAddress& to, const Request& request,
                                  Nanos timeout) {
-  std::lock_guard<std::mutex> lock(call_mu_);
   const Clock& clock = SystemClock::Instance();
   const Nanos deadline = clock.Now() + timeout;
   const std::string frame = FrameMessage(request.Encode());
@@ -193,7 +211,9 @@ Result<Response> TcpClient::Call(const NodeAddress& to, const Request& request,
     Status status = WriteWithDeadline(fd, frame, clock, deadline);
     if (status.ok()) {
       std::string carry;
-      auto payload = ReadFrameWithDeadline(fd, clock, deadline, &carry);
+      std::size_t carry_offset = 0;
+      auto payload =
+          ReadFrameWithDeadline(fd, clock, deadline, &carry, &carry_offset);
       if (payload.ok()) {
         auto response = Response::Decode(*payload);
         if (!response.ok()) {
@@ -223,7 +243,6 @@ Result<std::vector<Response>> TcpClient::CallBatch(
     return std::vector<Response>{std::move(*response)};
   }
 
-  std::lock_guard<std::mutex> lock(call_mu_);
   const Clock& clock = SystemClock::Instance();
   const Nanos deadline = clock.Now() + timeout;
 
@@ -248,10 +267,12 @@ Result<std::vector<Response>> TcpClient::CallBatch(
     Status status = WriteWithDeadline(fd, wire_bytes, clock, deadline);
     if (status.ok()) {
       std::string carry;
+      std::size_t carry_offset = 0;
       std::vector<Response> responses;
       responses.reserve(requests.size());
       for (const auto& chunk : chunks) {
-        auto payload = ReadFrameWithDeadline(fd, clock, deadline, &carry);
+        auto payload =
+            ReadFrameWithDeadline(fd, clock, deadline, &carry, &carry_offset);
         if (!payload.ok()) {
           status = payload.status();
           break;

@@ -15,13 +15,18 @@
 namespace zht {
 
 // Server-side: invoked once per decoded request; the return value is sent
-// back to the requester. Handlers run on the owning server's event thread
-// (ZHT instances are single-threaded by design, §IV.G).
+// back to the requester. With a single-reactor EpollServer the handler runs
+// on one event thread (the paper's architecture, §IV.G); with multiple
+// reactors — or the loopback network, whose callers may be concurrent — it
+// is invoked from several threads at once and must be thread-safe
+// (ZhtServer::Handle is; see DESIGN.md §9).
 using RequestHandler = std::function<Response(Request&&)>;
 
-// Client-side synchronous RPC. Implementations are NOT required to be
-// thread-safe; each client thread owns its transport (matching ZHT's
-// one-client-per-process deployment model).
+// Client-side synchronous RPC. Implementations used as server peer links
+// (replication, migration) are called from every reactor plus the async-
+// replication worker, so the bundled transports are thread-safe: TcpClient
+// uses a per-destination connection pool, and loopback delivery is
+// re-entrant. Per-call state stays on the caller's stack.
 class ClientTransport {
  public:
   virtual ~ClientTransport() = default;

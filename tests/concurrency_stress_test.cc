@@ -1,0 +1,323 @@
+// Concurrency stress suite (`ctest -L concurrency`; also run under TSan
+// via `cmake --preset tsan && ctest --preset tsan`): many client threads
+// hammering ZhtServer::Handle concurrently — the striped request path the
+// multi-reactor EpollServer exercises in production. Three angles:
+//
+//  1. loopback, r=2: mixed single ops + MultiInsert batches from 8 threads
+//     on overlapping register keys, disjoint per-thread keys, and shared
+//     append ledgers, every client-visible op recorded and the history
+//     validated by the checker;
+//  2. real sockets: a 4-reactor EpollServer per instance, concurrent
+//     cached TCP clients, round-robin reactor distribution asserted;
+//  3. a chaos schedule (delay + duplicate + dropped responses) under the
+//     multi-reactor TCP cluster, with the checker again as the oracle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/local_cluster.h"
+#include "history_checker.h"
+#include "net/epoll_server.h"
+#include "net/tcp_client.h"
+
+namespace zht {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kRegisterKeys = 12;
+constexpr int kLedgerKeys = 4;
+
+std::string RegisterKey(int i) { return "reg" + std::to_string(i); }
+std::string LedgerKey(int i) { return "led" + std::to_string(i); }
+std::string PrivateKey(int thread, int i) {
+  return "own" + std::to_string(thread) + "_" + std::to_string(i);
+}
+
+ZhtClientOptions StressClient() {
+  ZhtClientOptions options;
+  options.max_attempts = 24;
+  options.failure_detector.failures_to_mark_dead = 4;
+  options.failure_detector.initial_backoff = 0;
+  options.sleep_on_backoff = false;
+  return options;
+}
+
+// One worker's operation mix. Overlapping register keys force stripe
+// contention and concurrent same-key writes; private keys exercise the
+// parallel disjoint-partition path; ledger appends must each apply exactly
+// once; every ~12th op is a MultiInsert batch, so BATCH's multi-stripe
+// ordered acquisition runs against single-op traffic on the same stripes.
+void IssueMixedOps(std::uint64_t id, ZhtClient& client,
+                   HistoryRecorder& recorder, Rng& rng, int ops,
+                   std::atomic<int>& batch_failures) {
+  int counter = 0;
+  for (int op = 0; op < ops; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.25) {
+      std::string key = RegisterKey(static_cast<int>(rng.Below(kRegisterKeys)));
+      std::string value =
+          "v" + std::to_string(id) + "_" + std::to_string(++counter);
+      std::uint64_t rec = recorder.Begin(id, OpCode::kInsert, key, value);
+      recorder.End(rec, client.Insert(key, value).code());
+    } else if (dice < 0.45) {
+      std::string key = RegisterKey(static_cast<int>(rng.Below(kRegisterKeys)));
+      std::uint64_t rec = recorder.Begin(id, OpCode::kLookup, key, "");
+      auto got = client.Lookup(key);
+      recorder.End(rec, got.status().code(), got.ok() ? *got : "");
+    } else if (dice < 0.52) {
+      std::string key = RegisterKey(static_cast<int>(rng.Below(kRegisterKeys)));
+      std::uint64_t rec = recorder.Begin(id, OpCode::kRemove, key, "");
+      recorder.End(rec, client.Remove(key).code());
+    } else if (dice < 0.72) {
+      std::string key = LedgerKey(static_cast<int>(rng.Below(kLedgerKeys)));
+      std::string token =
+          "c" + std::to_string(id) + "t" + std::to_string(++counter) + ";";
+      std::uint64_t rec = recorder.Begin(id, OpCode::kAppend, key, token);
+      recorder.End(rec, client.Append(key, token).code());
+    } else if (dice < 0.80) {
+      std::string key = LedgerKey(static_cast<int>(rng.Below(kLedgerKeys)));
+      std::uint64_t rec = recorder.Begin(id, OpCode::kLookup, key, "");
+      auto got = client.Lookup(key);
+      recorder.End(rec, got.status().code(), got.ok() ? *got : "");
+    } else if (dice < 0.92) {
+      // Disjoint per-thread keys: no cross-thread contention by design.
+      std::string key =
+          PrivateKey(static_cast<int>(id), static_cast<int>(rng.Below(32)));
+      std::string value =
+          "p" + std::to_string(id) + "_" + std::to_string(++counter);
+      std::uint64_t rec = recorder.Begin(id, OpCode::kInsert, key, value);
+      recorder.End(rec, client.Insert(key, value).code());
+    } else {
+      // BATCH: several partitions in one carrier (multi-stripe apply).
+      std::vector<KeyValue> pairs;
+      std::vector<std::uint64_t> recs;
+      for (int i = 0; i < 5; ++i) {
+        std::string key =
+            i < 2 ? RegisterKey(static_cast<int>(rng.Below(kRegisterKeys)))
+                  : PrivateKey(static_cast<int>(id),
+                               static_cast<int>(rng.Below(32)));
+        std::string value =
+            "b" + std::to_string(id) + "_" + std::to_string(++counter);
+        recs.push_back(recorder.Begin(id, OpCode::kInsert, key, value));
+        pairs.push_back(KeyValue{std::move(key), std::move(value)});
+      }
+      std::vector<Status> statuses = client.MultiInsert(pairs);
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        recorder.End(recs[i], statuses[i].code());
+        if (!statuses[i].ok() &&
+            statuses[i].code() != StatusCode::kTimeout) {
+          ++batch_failures;
+        }
+      }
+    }
+  }
+}
+
+// Final recorded reads anchor the checker's view of the converged state.
+void RecordedReadAll(ZhtClient& client, HistoryRecorder& recorder) {
+  auto read = [&](const std::string& key) {
+    std::uint64_t rec = recorder.Begin(999, OpCode::kLookup, key, "");
+    auto got = client.Lookup(key);
+    recorder.End(rec, got.status().code(), got.ok() ? *got : "");
+  };
+  for (int i = 0; i < kRegisterKeys; ++i) read(RegisterKey(i));
+  for (int i = 0; i < kLedgerKeys; ++i) read(LedgerKey(i));
+}
+
+TEST(ConcurrencyStressTest, LoopbackStripedHistoryLinearizes) {
+  LocalClusterOptions options;
+  options.num_instances = 4;
+  options.num_partitions = 32;
+  options.cluster.num_replicas = 2;
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  HistoryRecorder recorder;
+  std::atomic<int> batch_failures{0};
+  std::vector<ClientHandle> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back((*cluster)->CreateClient(StressClient()));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(7000 + t);
+      IssueMixedOps(static_cast<std::uint64_t>(t + 1), *clients[t].get(),
+                    recorder, rng, 150, batch_failures);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(batch_failures.load(), 0);
+
+  (*cluster)->FlushAllAsyncReplication();
+  auto reader = (*cluster)->CreateClient(StressClient());
+  RecordedReadAll(*reader.get(), recorder);
+
+  auto result = CheckHistory(recorder.Events());
+  EXPECT_TRUE(result.ok())
+      << result.events_checked << " events:\n" << result.ToString();
+
+  // Operations landed on every instance (striping did not serialize the
+  // cluster through one server).
+  std::uint64_t total_ops = 0;
+  for (std::size_t i = 0; i < (*cluster)->instance_count(); ++i) {
+    total_ops += (*cluster)->server(i)->stats().ops;
+  }
+  EXPECT_GT(total_ops, static_cast<std::uint64_t>(kThreads) * 150 / 2);
+}
+
+TEST(ConcurrencyStressTest, MultiReactorTcpServesConcurrentClients) {
+  LocalClusterOptions options;
+  options.num_instances = 2;
+  options.num_partitions = 16;
+  options.cluster.num_replicas = 1;
+  options.transport = ClusterTransport::kTcp;
+  options.num_reactors = 4;
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  HistoryRecorder recorder;
+  std::atomic<int> batch_failures{0};
+  std::vector<ClientHandle> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back((*cluster)->CreateClient(StressClient()));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(8000 + t);
+      IssueMixedOps(static_cast<std::uint64_t>(t + 1), *clients[t].get(),
+                    recorder, rng, 60, batch_failures);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(batch_failures.load(), 0);
+
+  (*cluster)->FlushAllAsyncReplication();
+  auto reader = (*cluster)->CreateClient(StressClient());
+  RecordedReadAll(*reader.get(), recorder);
+
+  auto result = CheckHistory(recorder.Events());
+  EXPECT_TRUE(result.ok())
+      << result.events_checked << " events:\n" << result.ToString();
+}
+
+TEST(ConcurrencyStressTest, MultiReactorChaosScheduleLinearizes) {
+  // Faults that are safe under real threads (cf. the chaos suite's
+  // `threaded` schedules): delays and duplicates never change outcomes,
+  // and dropped responses only force client retries, which dedup must
+  // absorb. All under the 4-reactor TCP server.
+  LocalClusterOptions options;
+  options.num_instances = 4;
+  options.num_partitions = 32;
+  options.cluster.num_replicas = 1;
+  options.transport = ClusterTransport::kTcp;
+  options.num_reactors = 4;
+  options.fault_plan = std::make_shared<FaultPlan>(4242);
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  options.fault_plan->AddRule({.kind = FaultKind::kDelay,
+                               .probability = 0.10,
+                               .delay = 2 * kNanosPerMilli});
+  options.fault_plan->AddRule(
+      {.kind = FaultKind::kDuplicate, .probability = 0.08});
+  options.fault_plan->AddRule({.kind = FaultKind::kDropResponse,
+                               .op = OpCode::kAppend,
+                               .client_only = true,
+                               .probability = 0.08});
+
+  HistoryRecorder recorder;
+  std::atomic<int> batch_failures{0};
+  std::vector<ClientHandle> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back((*cluster)->CreateClient(StressClient()));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(9000 + t);
+      IssueMixedOps(static_cast<std::uint64_t>(t + 1), *clients[t].get(),
+                    recorder, rng, 50, batch_failures);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  options.fault_plan->Clear();
+  (*cluster)->FlushAllAsyncReplication();
+  auto reader = (*cluster)->CreateClient(StressClient());
+  RecordedReadAll(*reader.get(), recorder);
+
+  auto result = CheckHistory(recorder.Events());
+  EXPECT_TRUE(result.ok())
+      << result.events_checked << " events:\n" << result.ToString();
+}
+
+// Pure server-level stripe hammering: no cluster, no replication — raw
+// concurrent Handle() calls on one ZhtServer, mixing data ops with
+// membership pulls and STATS snapshots (shared_mutex readers) to catch
+// lock-order or snapshot races under TSan.
+TEST(ConcurrencyStressTest, RawHandleStripesAndSnapshotsRace) {
+  LoopbackNetwork network;
+  std::vector<NodeAddress> addresses;
+  for (int i = 0; i < 2; ++i) {
+    addresses.push_back(network.Register([](Request&&) { return Response{}; }));
+  }
+  MembershipTable table =
+      MembershipTable::CreateUniform(16, addresses, 1, HashKind::kFnv1a);
+  ZhtServerOptions server_options;
+  server_options.self = 0;
+  server_options.cluster.num_replicas = 0;
+  auto transport = std::make_unique<LoopbackTransport>(&network);
+  ZhtServer server(std::move(table), server_options, transport.get());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < 400; ++i) {
+        Request request;
+        request.seq = static_cast<std::uint64_t>(t) * 1000 + i + 1;
+        request.client_id = static_cast<std::uint64_t>(t + 1);
+        const double dice = rng.NextDouble();
+        if (dice < 0.4) {
+          request.op = OpCode::kInsert;
+          request.key = "k" + std::to_string(rng.Below(64));
+          request.value = "v";
+        } else if (dice < 0.7) {
+          request.op = OpCode::kLookup;
+          request.key = "k" + std::to_string(rng.Below(64));
+        } else if (dice < 0.85) {
+          request.op = OpCode::kAppend;
+          request.key = "led" + std::to_string(rng.Below(4));
+          request.value = "t" + std::to_string(i) + ";";
+        } else if (dice < 0.95) {
+          request.op = OpCode::kMembershipPull;
+        } else {
+          request.op = OpCode::kStats;
+        }
+        Response response = server.Handle(std::move(request));
+        if (response.seq == 0 && !response.ok()) ++failures;
+      }
+    });
+  }
+  // Metrics/census readers riding along with the writers.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 100; ++i) {
+      (void)server.TotalEntries();
+      (void)server.MetricsSnapshotNow();
+      (void)server.stats();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(server.stats().ops, 0u);
+  server.FlushAsyncReplication();
+}
+
+}  // namespace
+}  // namespace zht

@@ -8,6 +8,7 @@
 #include <atomic>
 
 #include <chrono>
+#include <thread>
 
 #include "net/epoll_server.h"
 #include "net/fault_injection.h"
@@ -565,6 +566,167 @@ TEST(TcpClientTest, StaleCachedConnectionRecovers) {
   ping.seq = 2;
   auto response = client.Call(address, ping, kTestTimeout);
   EXPECT_TRUE(response.ok()) << response.status().ToString();
+}
+
+}  // namespace
+
+// Reaches EpollServer internals (declared a friend) so tests can drive
+// ProcessBuffered deterministically — single-threaded, no Start() — and
+// force the reactor's connection map to rehash mid-drain.
+struct EpollServerTestPeer {
+  static void InjectConnection(EpollServer& server, int fd) {
+    server.reactors_[0]->connections.emplace(fd, EpollServer::Connection{});
+  }
+  static void FeedBytes(EpollServer& server, int fd, std::string_view bytes) {
+    server.reactors_[0]->connections[fd].in.append(bytes.data(), bytes.size());
+  }
+  static void Process(EpollServer& server, int fd) {
+    server.ProcessBuffered(*server.reactors_[0], fd);
+  }
+  static std::size_t ConnectionCount(const EpollServer& server) {
+    return server.reactors_[0]->connections.size();
+  }
+};
+
+namespace {
+
+// Regression: the handler may grow this reactor's connection map (here via
+// the test peer; in production a reentrant accept), rehashing it and
+// invalidating any Connection reference held across the call. The drain
+// loop must re-find the connection after every handler invocation, or this
+// reads freed memory (caught by ASan before the fix).
+TEST(EpollServerProcessTest, SurvivesConnectionMapRehashMidDrain) {
+  EpollServerOptions options;
+  options.enable_tcp = false;
+  options.enable_udp = false;
+
+  EpollServer* raw_server = nullptr;
+  int fake_fd = 1 << 20;  // far above any real descriptor
+  auto handler = [&raw_server, &fake_fd](Request&& request) {
+    // 16 inserts per request: the map outgrows its bucket array many
+    // times while the drain below is mid-loop.
+    for (int i = 0; i < 16; ++i) {
+      EpollServerTestPeer::InjectConnection(*raw_server, fake_fd++);
+    }
+    Response resp;
+    resp.seq = request.seq;
+    resp.value = request.key;
+    return resp;
+  };
+  auto server = EpollServer::Create(options, handler);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  raw_server = server->get();
+
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  EpollServerTestPeer::InjectConnection(**server, pair[0]);
+
+  constexpr int kRequests = 64;
+  std::string inbound;
+  for (int i = 0; i < kRequests; ++i) {
+    Request request;
+    request.op = OpCode::kInsert;
+    request.seq = static_cast<std::uint64_t>(i + 1);
+    request.key = "k" + std::to_string(i);
+    inbound += FrameMessage(request.Encode());
+  }
+  EpollServerTestPeer::FeedBytes(**server, pair[0], inbound);
+  EpollServerTestPeer::Process(**server, pair[0]);
+
+  // Every request was handled (1 real + 64*16 injected connections prove
+  // the rehashes happened) and every framed response is intact.
+  EXPECT_EQ(EpollServerTestPeer::ConnectionCount(**server),
+            1u + kRequests * 16);
+  std::string outbound;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::recv(pair[1], buf, sizeof(buf), MSG_DONTWAIT);
+    if (n <= 0) break;
+    outbound.append(buf, static_cast<std::size_t>(n));
+  }
+  std::size_t offset = 0;
+  bool malformed = false;
+  for (int i = 0; i < kRequests; ++i) {
+    auto payload = ExtractFrameAt(outbound, &offset, &malformed);
+    ASSERT_TRUE(payload.has_value()) << "response " << i << " missing";
+    ASSERT_FALSE(malformed);
+    auto response = Response::Decode(*payload);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->seq, static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(response->value, "k" + std::to_string(i));
+  }
+  EXPECT_FALSE(ExtractFrameAt(outbound, &offset, &malformed).has_value());
+  ::close(pair[1]);
+}
+
+// A 10k-frame burst drains in one pass over the buffer: the cursor never
+// mutates the underlying string (no per-frame front erase), and a single
+// compact at the end consumes everything.
+TEST(FramingTest, CursorDrainsTenThousandFramesInOnePass) {
+  constexpr int kFrames = 10000;
+  std::string buffer;
+  for (int i = 0; i < kFrames; ++i) {
+    buffer += FrameMessage("payload-" + std::to_string(i));
+  }
+  const std::string snapshot = buffer;
+
+  std::size_t offset = 0;
+  bool malformed = false;
+  for (int i = 0; i < kFrames; ++i) {
+    auto payload = ExtractFrameAt(buffer, &offset, &malformed);
+    ASSERT_TRUE(payload.has_value()) << "frame " << i;
+    ASSERT_FALSE(malformed);
+    ASSERT_EQ(*payload, "payload-" + std::to_string(i));
+  }
+  EXPECT_FALSE(ExtractFrameAt(buffer, &offset, &malformed).has_value());
+  EXPECT_EQ(offset, buffer.size());
+  EXPECT_EQ(buffer, snapshot) << "drain must not mutate the buffer";
+  buffer.erase(0, offset);  // the caller's single compact
+  EXPECT_TRUE(buffer.empty());
+}
+
+// Multi-reactor smoke: four event loops behind one listener; cached
+// clients land round-robin across all reactors and every request is
+// answered on whichever reactor owns its connection.
+TEST(EpollServerProcessTest, MultiReactorServesAndDistributes) {
+  EpollServerOptions options;
+  options.num_reactors = 4;
+  auto server = EpollServer::Create(options, EchoHandler);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_TRUE((*server)->Start().ok());
+  EXPECT_EQ((*server)->num_reactors(), 4);
+
+  constexpr int kClients = 8;
+  constexpr int kOpsEach = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      TcpClient client;  // one cached connection per client
+      Request request;
+      request.op = OpCode::kInsert;
+      for (int i = 0; i < kOpsEach; ++i) {
+        request.seq = static_cast<std::uint64_t>(t) * kOpsEach + i + 1;
+        request.key = "k" + std::to_string(t) + "_" + std::to_string(i);
+        request.value = "v";
+        auto response =
+            client.Call((*server)->address(), request, 5 * kNanosPerSec);
+        if (!response.ok() || response->seq != request.seq) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*server)->requests_served(),
+            static_cast<std::uint64_t>(kClients) * kOpsEach);
+  std::uint64_t assigned = 0;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE((*server)->connections_assigned(i), 1u)
+        << "reactor " << i << " never received a connection";
+    assigned += (*server)->connections_assigned(i);
+  }
+  EXPECT_EQ(assigned, (*server)->connections_accepted());
+  (*server)->Stop();
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //   partitions      = 0           # 0 → 1024 per instance
 //   data_dir        = /tmp/zht    # empty → in-memory stores
 //   instances_per_node = 1
+//   num_reactors    = 1           # event-loop threads (cores to drive)
 //   hash            = fnv | jenkins
 //   log_level       = info | debug | warn | error
 #include <csignal>
@@ -171,6 +172,8 @@ int main(int argc, char** argv) {
   net_options.host = me.host;
   net_options.port = static_cast<std::uint16_t>(
       config.GetInt("port", me.port));
+  net_options.num_reactors =
+      static_cast<int>(config.GetInt("num_reactors", 1));
   auto net = EpollServer::Create(net_options, server.AsHandler());
   if (!net.ok()) {
     std::fprintf(stderr, "listen: %s\n", net.status().ToString().c_str());
@@ -178,9 +181,10 @@ int main(int argc, char** argv) {
   }
   (*net)->Start();
   std::printf("zht-server: instance %ld of %zu serving on %s "
-              "(%u partitions, %d replicas, %s)\n",
+              "(%u partitions, %d replicas, %d reactors, %s)\n",
               self, neighbors->size(), (*net)->address().ToString().c_str(),
               partitions, server_options.cluster.num_replicas,
+              (*net)->num_reactors(),
               data_dir.empty() ? "in-memory" : data_dir.c_str());
 
   std::signal(SIGINT, HandleSignal);
