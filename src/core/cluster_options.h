@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "novoht/kv_store.h"
 
 namespace zht {
 
@@ -24,6 +25,16 @@ struct ClusterOptions {
   // Budget for one server-to-server hop (replication, migration, repair).
   Nanos peer_timeout = 500 * kNanosPerMilli;
 
+  // Durability of acked mutations on persistent partition stores. Servers
+  // ack insert/remove/append only after the owning store reports the op
+  // durable under this mode; in-memory deployments ignore it.
+  DurabilityMode durability = DurabilityMode::kNone;
+
+  // Group commit only: how long the store's flusher waits for more writers
+  // to join a commit window before issuing the shared fdatasync. 0 = sync
+  // as soon as the flusher wakes.
+  Nanos max_commit_latency = 0;
+
   Status Validate() const {
     if (num_replicas < 0 || num_replicas > 254) {
       // replica_index travels as one byte on the wire.
@@ -36,6 +47,10 @@ struct ClusterOptions {
     }
     if (peer_timeout <= 0) {
       return Status(StatusCode::kInvalidArgument, "peer_timeout must be > 0");
+    }
+    if (max_commit_latency < 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "max_commit_latency must be >= 0");
     }
     return Status::Ok();
   }

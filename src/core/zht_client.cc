@@ -10,6 +10,16 @@
 
 namespace zht {
 
+Nanos DecorrelatedBackoff(Nanos prev, Nanos base, Nanos cap, Rng& rng) {
+  if (base <= 0) return 0;
+  if (cap < base) cap = base;
+  if (prev < base) return base;  // first retry: start at the base
+  const Nanos hi = prev > cap / 3 ? cap : prev * 3;
+  if (hi <= base) return base;
+  return base + static_cast<Nanos>(
+                    rng.Below(static_cast<std::uint64_t>(hi - base) + 1));
+}
+
 ZhtClient::ZhtClient(MembershipTable table, const ZhtClientOptions& options,
                      ClientTransport* transport)
     : table_(std::move(table)),
@@ -34,6 +44,7 @@ ZhtClient::ZhtClient(MembershipTable table, const ZhtClientOptions& options,
     client_id_ = (static_cast<std::uint64_t>(device()) << 32) | device();
     if (client_id_ == 0) client_id_ = 1;
   }
+  backoff_rng_.Seed(client_id_);
 }
 
 void ZhtClient::Backoff(Nanos duration) {
@@ -92,6 +103,7 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
   // retransmissions carry the same (client_id, seq), so the server's
   // dedup window makes append at-most-once.
   const std::uint64_t op_seq = next_seq_++;
+  Nanos migrating_wait = 0;  // grows per kMigrating retry of this op
 
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     PartitionId partition = table_.PartitionOfKey(key);
@@ -169,7 +181,16 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
     if (code == StatusCode::kMigrating) {
       ++stats_.retries;
       retry_counter_->Increment();
-      Backoff(options_.migrating_backoff);
+      // Jittered growth desynchronizes the herd stuck behind one
+      // migration; the fixed base is kept when sleeps are disabled so
+      // simulated-time tests stay deterministic (no RNG draw).
+      migrating_wait =
+          options_.sleep_on_backoff
+              ? DecorrelatedBackoff(migrating_wait, options_.migrating_backoff,
+                                    options_.migrating_backoff_cap,
+                                    backoff_rng_)
+              : options_.migrating_backoff;
+      Backoff(migrating_wait);
       continue;
     }
     return *result;
@@ -198,6 +219,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
 
   std::vector<int> replica_try(n, 0);
   std::vector<StatusCode> last_transport(n, StatusCode::kTimeout);
+  Nanos migrating_wait = 0;  // grows per round that saw kMigrating
   std::vector<std::size_t> pending(n);
   for (std::size_t i = 0; i < n; ++i) pending[i] = i;
 
@@ -316,7 +338,15 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
         results[i] = std::move(sub);
       }
     }
-    if (migrating_seen) Backoff(options_.migrating_backoff);
+    if (migrating_seen) {
+      migrating_wait =
+          options_.sleep_on_backoff
+              ? DecorrelatedBackoff(migrating_wait, options_.migrating_backoff,
+                                    options_.migrating_backoff_cap,
+                                    backoff_rng_)
+              : options_.migrating_backoff;
+      Backoff(migrating_wait);
+    }
     pending = std::move(still_pending);
   }
 

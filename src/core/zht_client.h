@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "core/cluster_options.h"
 #include "core/failure_detector.h"
 #include "membership/membership_table.h"
@@ -49,7 +50,13 @@ namespace zht {
 struct ZhtClientOptions {
   ClusterOptions cluster;          // must match the servers' setting
   int max_attempts = 8;            // total tries across redirects/retries
+  // Retry backoff for kMigrating: the first retry sleeps migrating_backoff,
+  // then grows with decorrelated jitter up to migrating_backoff_cap (so a
+  // herd of clients stuck behind one migration desynchronizes). With
+  // sleep_on_backoff=false the schedule stays a deterministic fixed base
+  // for simulated-time tests.
   Nanos migrating_backoff = 1 * kNanosPerMilli;
+  Nanos migrating_backoff_cap = 64 * kNanosPerMilli;
   FailureDetectorOptions failure_detector;
   std::optional<NodeAddress> manager;  // failure-report destination
   bool sleep_on_backoff = true;    // disable in simulated-time tests
@@ -57,6 +64,12 @@ struct ZhtClientOptions {
                                    // with seq it makes append at-most-once
                                    // under retransmission
 };
+
+// Decorrelated-jitter backoff (exponential in expectation, uncorrelated
+// across clients): returns `base` on the first retry (prev < base), then a
+// uniform draw from [base, min(cap, prev * 3)]. Pure in (prev, base, cap,
+// rng state) so the growth schedule is unit-testable.
+Nanos DecorrelatedBackoff(Nanos prev, Nanos base, Nanos cap, Rng& rng);
 
 // One key/value pair for the batched mutation calls.
 struct KeyValue {
@@ -143,6 +156,7 @@ class ZhtClient {
   ZhtClientStats stats_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t client_id_ = 0;
+  Rng backoff_rng_;  // jitter source, seeded from client_id_
 
   // Hot-path metric handles resolved at construction (see
   // common/metrics.h); op_hist_[op-1] covers kInsert..kAppend.

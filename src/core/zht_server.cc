@@ -60,6 +60,29 @@ constexpr auto kRelaxed = std::memory_order_relaxed;
 
 }  // namespace
 
+StoreFactory MakeNoVoHTStoreFactory(std::string dir,
+                                    const ClusterOptions& cluster) {
+  return [dir = std::move(dir), cluster](
+             InstanceId self,
+             PartitionId partition) -> std::unique_ptr<KVStore> {
+    NoVoHTOptions options;
+    options.path = dir + "/i" + std::to_string(self) + "_p" +
+                   std::to_string(partition) + ".novoht";
+    options.durability = cluster.durability;
+    options.max_commit_latency = cluster.max_commit_latency;
+    // The server acks once per request/carrier via WaitDurable; mutators
+    // must not also block per-op inside the stripe.
+    options.wait_for_durable = false;
+    auto store = NoVoHT::Open(options);
+    if (!store.ok()) {
+      ZHT_WARN << "NoVoHT store factory failed for " << options.path << ": "
+               << store.status().ToString();
+      return nullptr;
+    }
+    return std::move(*store);
+  };
+}
+
 ZhtServer::ZhtServer(MembershipTable table, const ZhtServerOptions& options,
                      ClientTransport* peer_transport)
     : options_(options), peer_transport_(peer_transport),
@@ -102,6 +125,12 @@ KVStore* ZhtServer::StoreFor(PartitionId partition) {
   KVStore* raw = store.get();
   partitions_.emplace(partition, std::move(store));
   return raw;
+}
+
+std::shared_ptr<KVStore> ZhtServer::SharedStoreFor(PartitionId partition) {
+  std::lock_guard<std::mutex> lock(partitions_mu_);
+  auto it = partitions_.find(partition);
+  return it != partitions_.end() ? it->second : nullptr;
 }
 
 Status ZhtServer::ApplyToStore(OpCode op, PartitionId partition,
@@ -299,12 +328,28 @@ Response ZhtServer::HandleData(Request&& request) {
 
   Response resp;
   bool replicate = false;
+  DurableWait wait;
   if (route.redirect) {
     resp = std::move(*route.redirect);
   } else {
     Stripe& stripe = StripeFor(route.partition);
     std::lock_guard<std::mutex> lock(stripe.mu);
     resp = ApplyDataOpStriped(request, route, &replicate);
+    if (resp.ok() && request.op != OpCode::kLookup) {
+      // Capture the commit token while the stripe still orders this store:
+      // it covers exactly the mutations applied so far, including ours.
+      wait.store = SharedStoreFor(route.partition);
+      if (wait.store) wait.token = wait.store->last_commit_token();
+    }
+  }
+  if (wait.token != 0) {
+    // Ack only once the owning store reports the op durable. Outside the
+    // stripe, so concurrent writers join the same group-commit window.
+    Status durable = wait.store->WaitDurable(wait.token);
+    if (!durable.ok()) {
+      resp.status = durable.raw();
+      replicate = false;
+    }
   }
   if (replicate) {
     // Outside every lock: a synchronous hop to the secondary keeps
@@ -406,7 +451,52 @@ Response ZhtServer::HandleBatch(Request&& request) {
     }
     out.responses.push_back(std::move(sub));
   }
-  held.clear();  // release the stripes before the replication legs
+
+  // Durable ack, once per carrier: capture one commit token per store the
+  // batch mutated (the token is monotone, so the latest covers every sub-op
+  // on that store) while the stripes are still held, wait after release.
+  std::unordered_map<PartitionId, DurableWait> waits;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_data[i] || routes[i].redirect ||
+        batch->ops[i].op == OpCode::kLookup || !out.responses[i].ok()) {
+      continue;
+    }
+    DurableWait& wait = waits[routes[i].partition];
+    if (!wait.store) {
+      wait.store = SharedStoreFor(routes[i].partition);
+      if (wait.store) wait.token = wait.store->last_commit_token();
+    }
+  }
+  held.clear();  // release the stripes before the durable wait + replication
+
+  std::unordered_set<PartitionId> not_durable;
+  for (auto& [partition, wait] : waits) {
+    if (wait.token == 0) continue;
+    if (!wait.store->WaitDurable(wait.token).ok()) not_durable.insert(partition);
+  }
+  if (!not_durable.empty()) {
+    // Sub-ops on a store that failed to sync were never durable: fail them
+    // and drop their replication legs.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_data[i] && !routes[i].redirect &&
+          batch->ops[i].op != OpCode::kLookup &&
+          not_durable.count(routes[i].partition) && out.responses[i].ok()) {
+        out.responses[i].status = Status(StatusCode::kInternal).raw();
+      }
+    }
+    std::vector<Request> kept_ops;
+    std::vector<PartitionId> kept_partitions;
+    std::vector<std::vector<InstanceId>> kept_chains;
+    for (std::size_t i = 0; i < replicate_ops.size(); ++i) {
+      if (not_durable.count(replicate_partitions[i])) continue;
+      kept_ops.push_back(std::move(replicate_ops[i]));
+      kept_partitions.push_back(replicate_partitions[i]);
+      kept_chains.push_back(std::move(replicate_chains[i]));
+    }
+    replicate_ops = std::move(kept_ops);
+    replicate_partitions = std::move(kept_partitions);
+    replicate_chains = std::move(kept_chains);
+  }
 
   if (!replicate_ops.empty()) {
     ReplicateBatch(std::move(replicate_ops), replicate_partitions,
@@ -602,7 +692,7 @@ Response ZhtServer::HandleMigrateBegin(Request&& request) {
   {
     Stripe& stripe = StripeFor(request.partition);
     std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    std::unique_ptr<KVStore> retired;
+    std::shared_ptr<KVStore> retired;
     {
       std::lock_guard<std::mutex> map_lock(partitions_mu_);
       auto it = partitions_.find(request.partition);
@@ -631,6 +721,10 @@ Response ZhtServer::HandleMigrateData(Request&& request) {
   for (const auto& [key, value] : *pairs) {
     store->Put(key, value);
   }
+  // Ack the carrier only once its pairs are durable (one wait per carrier);
+  // the source treats the ack as "these pairs are safely moved".
+  Status durable = store->WaitDurable(store->last_commit_token());
+  if (!durable.ok()) resp.status = durable.raw();
   return resp;
 }
 
@@ -725,7 +819,7 @@ Status ZhtServer::MigratePartitionTo(PartitionId partition,
   {
     Stripe& stripe = StripeFor(partition);
     std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    std::unique_ptr<KVStore> retired;
+    std::shared_ptr<KVStore> retired;
     {
       std::lock_guard<std::mutex> map_lock(partitions_mu_);
       auto it = partitions_.find(partition);
@@ -820,7 +914,9 @@ Response ZhtServer::HandleBroadcast(Request&& request) {
     Stripe& stripe = StripeFor(partition);
     std::lock_guard<std::mutex> stripe_lock(stripe.mu);
     KVStore* store = StoreFor(partition);
-    resp.status = store->Put(request.key, request.value).raw();
+    Status status = store->Put(request.key, request.value);
+    if (status.ok()) status = store->WaitDurable(store->last_commit_token());
+    resp.status = status.raw();
   }
   stats_.broadcasts.fetch_add(1, kRelaxed);
 
@@ -870,6 +966,33 @@ std::uint64_t ZhtServer::CountEntries(std::size_t* held) const {
   return entries;
 }
 
+bool ZhtServer::AggregateDurability(StoreDurabilityMetrics* out) const {
+  // Same discipline as CountEntries: snapshot partition ids, then visit
+  // each store under its stripe.
+  std::vector<PartitionId> ids;
+  {
+    std::lock_guard<std::mutex> lock(partitions_mu_);
+    ids.reserve(partitions_.size());
+    for (const auto& [partition, store] : partitions_) ids.push_back(partition);
+  }
+  bool any = false;
+  for (PartitionId partition : ids) {
+    Stripe& stripe = StripeFor(partition);
+    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+    std::lock_guard<std::mutex> map_lock(partitions_mu_);
+    auto it = partitions_.find(partition);
+    if (it == partitions_.end()) continue;
+    StoreDurabilityMetrics one;
+    if (!it->second->durability_metrics(&one)) continue;
+    out->group_commit_batch.Merge(one.group_commit_batch);
+    out->fsync_micros.Merge(one.fsync_micros);
+    out->fsync_errors += one.fsync_errors;
+    out->group_commits += one.group_commits;
+    any = true;
+  }
+  return any;
+}
+
 MetricsSnapshot ZhtServer::MetricsSnapshotNow() const {
   // Legacy counters and instance-level gauges first (stable names the
   // tools print as `name = value`), then everything in the registry.
@@ -896,6 +1019,15 @@ MetricsSnapshot ZhtServer::MetricsSnapshotNow() const {
   snapshot.AddCounter("broadcasts", stats_.broadcasts.load(kRelaxed));
   snapshot.AddCounter("duplicate_appends_dropped",
                       stats_.duplicate_appends_dropped.load(kRelaxed));
+  StoreDurabilityMetrics durability;
+  if (AggregateDurability(&durability)) {
+    snapshot.AddCounter("novoht.fsync_errors", durability.fsync_errors);
+    snapshot.AddCounter("novoht.group_commits", durability.group_commits);
+    snapshot.AddHistogram("novoht.group_commit.batch_size",
+                          durability.group_commit_batch);
+    snapshot.AddHistogram("novoht.group_commit.fsync_micros",
+                          durability.fsync_micros);
+  }
   MetricsSnapshot registry = metrics_.Snapshot();
   snapshot.entries.insert(snapshot.entries.end(),
                           std::make_move_iterator(registry.entries.begin()),

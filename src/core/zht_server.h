@@ -52,6 +52,14 @@ namespace zht {
 using StoreFactory = std::function<std::unique_ptr<KVStore>(
     InstanceId self, PartitionId partition)>;
 
+// Persistent NoVoHT partition stores: one log file per (instance, partition)
+// under `dir`, with durability taken from `cluster`. The stores defer the
+// group-commit wait (wait_for_durable = false): ZhtServer pairs
+// last_commit_token() with WaitDurable() so each request — or each BATCH
+// carrier — is acked exactly once, after its mutations are durable.
+StoreFactory MakeNoVoHTStoreFactory(std::string dir,
+                                    const ClusterOptions& cluster);
+
 struct ZhtServerOptions {
   InstanceId self = 0;
   ClusterOptions cluster;        // deployment-wide: replicas + timeouts
@@ -166,6 +174,20 @@ class ZhtServer {
   Status ApplyToStore(OpCode op, PartitionId partition, std::string_view key,
                       std::string_view value, std::string* out);
   KVStore* StoreFor(PartitionId partition);  // creates on demand
+
+  // Durable-ack plumbing. A mutation's commit token is captured under the
+  // stripe that ordered it; the wait happens after the stripe is released,
+  // with the shared_ptr keeping the store alive across a concurrent
+  // migrate-out. Stores without a commit pipeline yield token 0 (no wait).
+  struct DurableWait {
+    std::shared_ptr<KVStore> store;
+    std::uint64_t token = 0;
+  };
+  // Existing stores only (never creates). Caller holds the stripe.
+  std::shared_ptr<KVStore> SharedStoreFor(PartitionId partition);
+  // Merges durability metrics across every partition store; false when no
+  // store reports any.
+  bool AggregateDurability(StoreDurabilityMetrics* out) const;
   Response RedirectTo(InstanceId owner, std::uint64_t seq,
                       std::uint32_t requester_epoch,
                       bool include_membership = true);
@@ -225,9 +247,11 @@ class ZhtServer {
 
   // Guards the partition → store *map* only (which partitions exist).
   // Store contents are guarded by the owning stripe, and a store is only
-  // created, replaced, or destroyed with its stripe held.
+  // created, replaced, or destroyed with its stripe held. Entries are
+  // shared_ptr so a durable-ack wait can pin a store after releasing the
+  // stripe (destruction then happens at the last release, outside locks).
   mutable std::mutex partitions_mu_;
-  std::unordered_map<PartitionId, std::unique_ptr<KVStore>> partitions_;
+  std::unordered_map<PartitionId, std::shared_ptr<KVStore>> partitions_;
 
   mutable std::array<Stripe, kNumStripes> stripes_;
 

@@ -9,9 +9,41 @@
 #include <string>
 #include <string_view>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace zht {
+
+// How a persistent store makes acked mutations crash-safe.
+enum class DurabilityMode : std::uint8_t {
+  // Mutations are acked once appended to the OS page cache; a crash may
+  // lose acked ops (the seed behaviour, fastest).
+  kNone = 0,
+  // Mutations enqueue a commit sequence number; a dedicated flusher thread
+  // fdatasyncs the log and one sync covers every writer in the window.
+  kGroupCommit = 1,
+  // One fdatasync per mutation (strongest, serializes the write path).
+  kEveryOp = 2,
+};
+
+inline const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kNone: return "none";
+    case DurabilityMode::kGroupCommit: return "group_commit";
+    case DurabilityMode::kEveryOp: return "every_op";
+  }
+  return "unknown";
+}
+
+// Durability observability exported by stores that sync a log. Histograms
+// use the shared log-linear bucket layout so callers can Merge() across
+// partition stores.
+struct StoreDurabilityMetrics {
+  HistogramData group_commit_batch;  // mutations covered per group fsync
+  HistogramData fsync_micros;        // wall time of each log fsync
+  std::uint64_t fsync_errors = 0;    // failed fsyncs (store goes read-only)
+  std::uint64_t group_commits = 0;   // fsyncs issued by the flusher
+};
 
 class KVStore {
  public:
@@ -42,6 +74,27 @@ class KVStore {
 
   virtual bool persistent() const { return false; }
   virtual bool supports_append() const { return false; }
+
+  // Group-commit handshake. A store with an asynchronous commit pipeline
+  // returns, from last_commit_token(), a token covering every mutation it
+  // has accepted so far; the mutation is durable once WaitDurable(token)
+  // returns Ok. Callers capture the token under the same lock that ordered
+  // the mutation and may wait after releasing it. Stores without a pipeline
+  // (in-memory, or sync-on-every-op) return 0, and WaitDurable(0) is a
+  // no-op, so the sequence "mutate; token = last_commit_token();
+  // WaitDurable(token)" is correct against any store.
+  virtual std::uint64_t last_commit_token() const { return 0; }
+  virtual Status WaitDurable(std::uint64_t token) {
+    (void)token;
+    return Status::Ok();
+  }
+
+  // Fills `out` with durability counters/histograms; returns false when the
+  // store records none (callers skip it when aggregating).
+  virtual bool durability_metrics(StoreDurabilityMetrics* out) const {
+    (void)out;
+    return false;
+  }
 };
 
 }  // namespace zht

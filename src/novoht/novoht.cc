@@ -1,9 +1,12 @@
 #include "novoht/novoht.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/clock.h"
@@ -71,6 +74,21 @@ Status WriteAll(int fd, const std::string& data) {
   return Status::Ok();
 }
 
+bool PreadExact(int fd, std::uint64_t offset, char* out, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd, out + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
 }  // namespace
 
 NoVoHT::NoVoHT(NoVoHTOptions options) : options_(std::move(options)) {
@@ -100,11 +118,22 @@ Result<std::unique_ptr<NoVoHT>> NoVoHT::Open(const NoVoHTOptions& options) {
                     "cannot open log for reads: " + options.path);
     }
     store->EnforceResidencyCap();
+    if (options.durability == DurabilityMode::kGroupCommit) {
+      store->flusher_ = std::thread([s = store.get()] { s->FlusherLoop(); });
+    }
   }
   return store;
 }
 
 NoVoHT::~NoVoHT() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(commit_mu_);
+      stop_flusher_ = true;
+    }
+    flusher_cv_.notify_all();
+    flusher_.join();
+  }
   if (log_fd_ >= 0) ::close(log_fd_);
   if (read_fd_ >= 0) ::close(read_fd_);
   for (Node* head : buckets_) {
@@ -222,52 +251,139 @@ void NoVoHT::RehashInto(std::uint64_t new_bucket_count) {
   }
 }
 
+bool NoVoHT::ValidRecordFollows(int fd, std::uint64_t from,
+                                std::uint64_t file_size) {
+  // Brute-force resync: try every byte offset as a candidate record start
+  // and accept the first whose CRC checks out over a complete body. Only
+  // runs on recovery's parse-failure path, so quadratic cost is fine; a
+  // false positive needs a 1-in-2^32 CRC collision per candidate.
+  std::string buf;
+  for (std::uint64_t q = from; q + 5 <= file_size; ++q) {
+    // Header-worth of bytes: crc + type + two max-length varints.
+    const std::size_t header_want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(file_size - q, 4 + 1 + 10 + 10));
+    buf.resize(header_want);
+    if (!PreadExact(fd, q, buf.data(), buf.size())) return false;
+    const std::uint32_t stored_crc =
+        static_cast<std::uint8_t>(buf[0]) |
+        static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf[1])) << 8 |
+        static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf[2])) << 16 |
+        static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf[3])) << 24;
+    wire::Reader fields(std::string_view(buf).substr(5));
+    std::uint64_t klen = 0, vlen = 0;
+    if (!fields.GetVarint(&klen) || !fields.GetVarint(&vlen)) continue;
+    const std::uint64_t body_len =
+        1 + VarintLen(klen) + VarintLen(vlen) + klen + vlen;
+    if (q + 4 + body_len > file_size) continue;
+    buf.resize(static_cast<std::size_t>(body_len));
+    if (!PreadExact(fd, q + 4, buf.data(), buf.size())) return false;
+    if (Crc32c(buf) == stored_crc) return true;
+  }
+  return false;
+}
+
 Status NoVoHT::RecoverFromLog() {
   int fd = ::open(options_.path.c_str(), O_RDONLY);
   if (fd < 0) {
     if (errno == ENOENT) return Status::Ok();  // fresh store
     return Status(StatusCode::kInternal, "cannot read log: " + options_.path);
   }
-  std::string data;
-  char buf[1 << 16];
-  ssize_t n;
-  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
-    data.append(buf, static_cast<std::size_t>(n));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kInternal, "cannot stat log: " + options_.path);
   }
-  ::close(fd);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
 
-  std::size_t pos = 0;
-  std::size_t valid_end = 0;
-  while (pos + 5 <= data.size()) {
+  // Replay through a bounded sliding window covering bytes
+  // [window_start, window_start + window.size()) of the file, so recovery
+  // memory stays O(recover_buffer_bytes) regardless of log size. The window
+  // grows past the cap only for a single over-sized record.
+  const std::uint64_t window_cap =
+      std::max<std::uint64_t>(options_.recover_buffer_bytes, 4096);
+  std::string window;
+  std::uint64_t window_start = 0;
+  auto ensure = [&](std::uint64_t pos, std::uint64_t end) -> bool {
+    if (pos > window_start) {
+      window.erase(0, static_cast<std::size_t>(pos - window_start));
+      window_start = pos;
+    }
+    end = std::min(std::max(end, pos + window_cap), file_size);
+    while (window_start + window.size() < end) {
+      char buf[1 << 16];
+      const std::uint64_t at = window_start + window.size();
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(sizeof(buf), end - at));
+      const ssize_t n = ::pread(fd, buf, want, static_cast<off_t>(at));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;  // file shrank under us
+      window.append(buf, static_cast<std::size_t>(n));
+    }
+    return true;
+  };
+
+  std::uint64_t pos = 0;
+  std::uint64_t valid_end = 0;
+  Status failure;
+  while (pos + 5 <= file_size) {
+    if (!ensure(pos, pos + 4 + 1 + 10 + 10)) {
+      failure = Status(StatusCode::kInternal, "log read failed in recovery");
+      break;
+    }
+    const char* base = window.data() + (pos - window_start);
+    const std::size_t avail = static_cast<std::size_t>(
+        window.size() - (pos - window_start));
     std::uint32_t stored_crc = 0;
     for (int i = 0; i < 4; ++i) {
       stored_crc |= static_cast<std::uint32_t>(
-                        static_cast<std::uint8_t>(data[pos + i]))
+                        static_cast<std::uint8_t>(base[i]))
                     << (8 * i);
     }
-    std::string_view body_start = std::string_view(data).substr(pos + 4);
-    std::uint8_t type = static_cast<std::uint8_t>(body_start[0]);
-    wire::Reader fields(body_start.substr(1));
-    std::uint64_t klen, vlen;
-    if (!fields.GetVarint(&klen) || !fields.GetVarint(&vlen)) break;
-    std::string_view key, value;
-    if (!fields.GetBytes(klen, &key) || !fields.GetBytes(vlen, &value)) break;
-
-    std::size_t body_len = 1 + (body_start.size() - 1 - fields.remaining());
-    std::string_view body = body_start.substr(0, body_len);
+    wire::Reader fields(std::string_view(base + 5, avail - 5));
+    std::uint64_t klen = 0, vlen = 0;
+    const bool parsed = fields.GetVarint(&klen) && fields.GetVarint(&vlen);
+    const std::uint64_t record_len =
+        parsed ? 4 + 1 + VarintLen(klen) + VarintLen(vlen) + klen + vlen : 0;
+    if (!parsed || pos + record_len > file_size) {
+      // The tail does not hold one whole well-formed record. A crash mid-
+      // append looks exactly like this (torn tail: trim it) — but so does a
+      // damaged length field mid-log, which used to silently discard every
+      // later record. Resync: if any complete CRC-valid record follows,
+      // this is corruption, not a torn tail.
+      if (ValidRecordFollows(fd, pos + 1, file_size)) {
+        failure = Status(StatusCode::kCorruption,
+                         "log corrupt at offset " + std::to_string(pos));
+      }
+      break;
+    }
+    if (!ensure(pos, pos + record_len)) {
+      failure = Status(StatusCode::kInternal, "log read failed in recovery");
+      break;
+    }
+    base = window.data() + (pos - window_start);
+    const std::string_view body(base + 4,
+                                static_cast<std::size_t>(record_len - 4));
     if (Crc32c(body) != stored_crc) {
       // Torn tail from a crash is expected: truncate. Corruption mid-log
       // (more records follow) is an error.
-      if (pos + 4 + body_len < data.size()) {
-        return Status(StatusCode::kCorruption,
-                      "log corrupt at offset " + std::to_string(pos));
+      if (pos + record_len < file_size) {
+        failure = Status(StatusCode::kCorruption,
+                         "log corrupt at offset " + std::to_string(pos));
       }
       break;
     }
 
+    const std::uint8_t type = static_cast<std::uint8_t>(base[4]);
+    const std::size_t header = 1 + VarintLen(klen) + VarintLen(vlen);
+    const std::string_view key(base + 4 + header,
+                               static_cast<std::size_t>(klen));
+    const std::string_view value(base + 4 + header + klen,
+                                 static_cast<std::size_t>(vlen));
     // Value payload offset within the file for residency bookkeeping.
-    std::uint64_t value_offset =
-        pos + 4 + 1 + VarintLen(klen) + VarintLen(vlen) + klen;
+    const std::uint64_t value_offset = pos + 4 + header + klen;
 
     switch (type) {
       case kRecPut: {
@@ -287,16 +403,20 @@ Status NoVoHT::RecoverFromLog() {
         ApplyAppend(key, value);
         break;
       default:
-        return Status(StatusCode::kCorruption,
-                      "unknown log record type " + std::to_string(type));
+        failure = Status(StatusCode::kCorruption,
+                         "unknown log record type " + std::to_string(type));
+        break;
     }
+    if (!failure.ok()) break;
     ++recovered_records_;
-    pos += 4 + body_len;
+    pos += record_len;
     valid_end = pos;
-    log_bytes_ += 4 + body_len;
+    log_bytes_ += record_len;
   }
+  ::close(fd);
+  if (!failure.ok()) return failure;
 
-  if (valid_end < data.size()) {
+  if (valid_end < file_size) {
     // Trim torn tail so future appends start at a clean boundary.
     if (::truncate(options_.path.c_str(),
                    static_cast<off_t>(valid_end)) != 0) {
@@ -307,9 +427,25 @@ Status NoVoHT::RecoverFromLog() {
   return Status::Ok();
 }
 
+int NoVoHT::SyncFd(int fd) const {
+  if (options_.fsync_hook) return options_.fsync_hook(fd);
+  return ::fdatasync(fd);
+}
+
+Status NoVoHT::FailSync(const char* what) {
+  fsync_errors_.fetch_add(1, std::memory_order_relaxed);
+  read_only_.store(true, std::memory_order_relaxed);
+  return Status(StatusCode::kInternal,
+                std::string(what) +
+                    " failed; page-cache state is unknowable, store is now "
+                    "read-only");
+}
+
 Status NoVoHT::AppendLogRecord(std::uint8_t type, std::string_view key,
                                std::string_view value,
-                               std::uint64_t* value_offset) {
+                               std::uint64_t* value_offset,
+                               std::uint64_t* commit_token) {
+  if (commit_token) *commit_token = 0;
   if (log_fd_ < 0) {
     if (value_offset) *value_offset = 0;
     return Status::Ok();
@@ -317,11 +453,132 @@ Status NoVoHT::AppendLogRecord(std::uint8_t type, std::string_view key,
   std::size_t offset_in_record = 0;
   std::string record = EncodeRecord(type, key, value, &offset_in_record);
   Status status = WriteAll(log_fd_, record);
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    // A short write can leave a partial record in the page cache; every
+    // later append would then land after garbage.
+    read_only_.store(true, std::memory_order_relaxed);
+    return status;
+  }
   if (value_offset) *value_offset = log_bytes_ + offset_in_record;
   log_bytes_ += record.size();
-  if (options_.fsync_every_op) ::fdatasync(log_fd_);
+  switch (options_.durability) {
+    case DurabilityMode::kNone:
+      break;
+    case DurabilityMode::kEveryOp: {
+      const Stopwatch watch(SystemClock::Instance());
+      if (SyncFd(log_fd_) != 0) return FailSync("log fsync");
+      fsync_micros_.Record(watch.Elapsed() / kNanosPerMicro);
+      break;
+    }
+    case DurabilityMode::kGroupCommit: {
+      {
+        std::lock_guard<std::mutex> commit_lock(commit_mu_);
+        ++appended_seq_;
+        ++pending_ops_;
+        if (commit_token) *commit_token = appended_seq_;
+      }
+      // Notify outside the lock: a sleeping flusher wakes straight into an
+      // uncontended commit_mu_.
+      flusher_cv_.notify_one();
+      break;
+    }
+  }
   return Status::Ok();
+}
+
+void NoVoHT::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  for (;;) {
+    flusher_cv_.wait(lock, [&] {
+      return stop_flusher_ || (!sync_failed_ && appended_seq_ > durable_seq_);
+    });
+    if (sync_failed_ || appended_seq_ <= durable_seq_) {
+      if (stop_flusher_) return;
+      continue;
+    }
+    // Commit window: give concurrent writers a chance to join this fsync.
+    if (options_.max_commit_latency > 0 && !stop_flusher_) {
+      flusher_cv_.wait_for(
+          lock, std::chrono::nanoseconds(options_.max_commit_latency),
+          [&] { return stop_flusher_; });
+    }
+    const std::uint64_t target = appended_seq_;
+    const std::uint64_t batch = pending_ops_;
+    pending_ops_ = 0;
+    // log_fd_ is stable here: compaction drains the pipeline (under
+    // commit_mu_) before swapping fds.
+    const int fd = log_fd_;
+    lock.unlock();
+    const Stopwatch watch(SystemClock::Instance());
+    const int rc = SyncFd(fd);
+    const Nanos elapsed = watch.Elapsed();
+    lock.lock();
+    fsync_micros_.Record(elapsed / kNanosPerMicro);
+    if (rc != 0) {
+      fsync_errors_.fetch_add(1, std::memory_order_relaxed);
+      read_only_.store(true, std::memory_order_relaxed);
+      sync_failed_ = true;
+    } else {
+      durable_seq_ = target;
+      group_commit_batch_.Record(static_cast<std::int64_t>(batch));
+      ++group_commits_;
+    }
+    const bool stopping = stop_flusher_;
+    // Notify with the lock released so the (up to batch-many) woken
+    // writers reacquire commit_mu_ without contending with this thread.
+    lock.unlock();
+    commit_cv_.notify_all();
+    if (stopping) return;
+    lock.lock();
+  }
+}
+
+std::uint64_t NoVoHT::last_commit_token() const {
+  if (options_.durability != DurabilityMode::kGroupCommit) return 0;
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return appended_seq_;
+}
+
+Status NoVoHT::WaitDurable(std::uint64_t token) {
+  if (token == 0 || options_.durability != DurabilityMode::kGroupCommit ||
+      !flusher_.joinable()) {
+    return Status::Ok();
+  }
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_cv_.wait(lock, [&] { return durable_seq_ >= token || sync_failed_; });
+  if (durable_seq_ >= token) return Status::Ok();
+  return Status(StatusCode::kInternal,
+                "log fsync failed; store is read-only");
+}
+
+Status NoVoHT::MaybeWaitDurable(std::uint64_t token) {
+  if (token == 0 || !options_.wait_for_durable) return Status::Ok();
+  return WaitDurable(token);
+}
+
+Status NoVoHT::DrainCommitsLocked() {
+  if (!flusher_.joinable()) return Status::Ok();
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  flusher_cv_.notify_one();
+  commit_cv_.wait(lock,
+                  [&] { return durable_seq_ >= appended_seq_ || sync_failed_; });
+  if (sync_failed_) {
+    return Status(StatusCode::kInternal,
+                  "log fsync failed; store is read-only");
+  }
+  return Status::Ok();
+}
+
+bool NoVoHT::durability_metrics(StoreDurabilityMetrics* out) const {
+  if (options_.path.empty()) return false;
+  out->group_commit_batch = group_commit_batch_.Snapshot();
+  out->fsync_micros = fsync_micros_.Snapshot();
+  out->fsync_errors = fsync_errors_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    out->group_commits = group_commits_;
+  }
+  return true;
 }
 
 Result<std::string> NoVoHT::LoadValue(const Node& node) const {
@@ -396,22 +653,33 @@ void NoVoHT::EnforceResidencyCap() {
 }
 
 Status NoVoHT::Put(std::string_view key, std::string_view value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (options_.max_entries && entries_ >= options_.max_entries &&
-      FindNode(key) == nullptr) {
-    return Status(StatusCode::kCapacity, "NoVoHT entry cap reached");
+  std::uint64_t commit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (read_only_.load(std::memory_order_relaxed)) {
+      return Status(StatusCode::kInternal,
+                    "NoVoHT is read-only after a failed fsync");
+    }
+    if (options_.max_entries && entries_ >= options_.max_entries &&
+        FindNode(key) == nullptr) {
+      return Status(StatusCode::kCapacity, "NoVoHT entry cap reached");
+    }
+    std::uint64_t offset = 0;
+    Status status = AppendLogRecord(kRecPut, key, value, &offset, &commit);
+    if (!status.ok()) return status;
+    dead_bytes_ += ApplyPut(key, value);
+    Node* node = FindNode(key);
+    if (node && log_fd_ >= 0) {
+      node->log_offset = offset;
+      node->offset_valid = true;
+    }
+    MaybeEvict(node);
+    status = MaybeGc();
+    if (!status.ok()) return status;
   }
-  std::uint64_t offset = 0;
-  Status status = AppendLogRecord(kRecPut, key, value, &offset);
-  if (!status.ok()) return status;
-  dead_bytes_ += ApplyPut(key, value);
-  Node* node = FindNode(key);
-  if (node && log_fd_ >= 0) {
-    node->log_offset = offset;
-    node->offset_valid = true;
-  }
-  MaybeEvict(node);
-  return MaybeGc();
+  // Block for the group fsync after dropping mu_, so concurrent writers can
+  // join the same commit window.
+  return MaybeWaitDurable(commit);
 }
 
 Result<std::string> NoVoHT::Get(std::string_view key) {
@@ -425,33 +693,51 @@ Result<std::string> NoVoHT::Get(std::string_view key) {
 }
 
 Status NoVoHT::Remove(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  bool found = false;
-  // Log first (WAL discipline), then apply; logging a remove of a missing
-  // key would pollute the log, so probe first.
-  if (FindNode(key) == nullptr) return Status(StatusCode::kNotFound);
-  Status status = AppendLogRecord(kRecRemove, key, "");
-  if (!status.ok()) return status;
-  dead_bytes_ += ApplyRemove(key, &found);
-  return MaybeGc();
+  std::uint64_t commit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (read_only_.load(std::memory_order_relaxed)) {
+      return Status(StatusCode::kInternal,
+                    "NoVoHT is read-only after a failed fsync");
+    }
+    bool found = false;
+    // Log first (WAL discipline), then apply; logging a remove of a missing
+    // key would pollute the log, so probe first.
+    if (FindNode(key) == nullptr) return Status(StatusCode::kNotFound);
+    Status status = AppendLogRecord(kRecRemove, key, "", nullptr, &commit);
+    if (!status.ok()) return status;
+    dead_bytes_ += ApplyRemove(key, &found);
+    status = MaybeGc();
+    if (!status.ok()) return status;
+  }
+  return MaybeWaitDurable(commit);
 }
 
 Status NoVoHT::Append(std::string_view key, std::string_view value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (options_.max_entries && entries_ >= options_.max_entries &&
-      FindNode(key) == nullptr) {
-    return Status(StatusCode::kCapacity, "NoVoHT entry cap reached");
-  }
-  Node* node = FindNode(key);
-  if (node && !node->resident) {
-    Status status = EnsureResident(node);
+  std::uint64_t commit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (read_only_.load(std::memory_order_relaxed)) {
+      return Status(StatusCode::kInternal,
+                    "NoVoHT is read-only after a failed fsync");
+    }
+    if (options_.max_entries && entries_ >= options_.max_entries &&
+        FindNode(key) == nullptr) {
+      return Status(StatusCode::kCapacity, "NoVoHT entry cap reached");
+    }
+    Node* node = FindNode(key);
+    if (node && !node->resident) {
+      Status status = EnsureResident(node);
+      if (!status.ok()) return status;
+    }
+    Status status = AppendLogRecord(kRecAppend, key, value, nullptr, &commit);
+    if (!status.ok()) return status;
+    ApplyAppend(key, value);
+    MaybeEvict(FindNode(key));
+    status = MaybeGc();
     if (!status.ok()) return status;
   }
-  Status status = AppendLogRecord(kRecAppend, key, value);
-  if (!status.ok()) return status;
-  ApplyAppend(key, value);
-  MaybeEvict(FindNode(key));
-  return MaybeGc();
+  return MaybeWaitDurable(commit);
 }
 
 std::uint64_t NoVoHT::Size() const {
@@ -491,6 +777,10 @@ Status NoVoHT::Compact() {
 
 Status NoVoHT::CompactLocked() {
   if (options_.path.empty()) return Status::Ok();
+  // Quiesce the group-commit flusher: it must not be fdatasync'ing log_fd_
+  // while we swap it for the compacted file.
+  Status drained = DrainCommitsLocked();
+  if (!drained.ok()) return drained;
   const Stopwatch watch(SystemClock::Instance());
   std::string tmp = options_.path + ".compact";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -543,19 +833,33 @@ Status NoVoHT::CompactLocked() {
     ::unlink(tmp.c_str());
     return failure;
   }
-  ::fdatasync(fd);
+  if (SyncFd(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return FailSync("checkpoint fsync");
+  }
   ::close(fd);
   if (::rename(tmp.c_str(), options_.path.c_str()) != 0) {
+    // Node offsets were already rewritten against the new file; the store
+    // can no longer trust its log bookkeeping.
+    read_only_.store(true, std::memory_order_relaxed);
     return Status(StatusCode::kInternal, "compaction rename failed");
   }
-  if (log_fd_ >= 0) ::close(log_fd_);
-  log_fd_ = ::open(options_.path.c_str(), O_WRONLY | O_APPEND, 0644);
+  {
+    // The flusher reads log_fd_ under commit_mu_; it is idle (drained
+    // above, and mu_ blocks new appends), so this is uncontended.
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    if (log_fd_ >= 0) ::close(log_fd_);
+    log_fd_ = ::open(options_.path.c_str(), O_WRONLY | O_APPEND, 0644);
+  }
   if (log_fd_ < 0) {
+    read_only_.store(true, std::memory_order_relaxed);
     return Status(StatusCode::kInternal, "cannot reopen compacted log");
   }
   if (read_fd_ >= 0) ::close(read_fd_);
   read_fd_ = ::open(options_.path.c_str(), O_RDONLY);
   if (read_fd_ < 0) {
+    read_only_.store(true, std::memory_order_relaxed);
     return Status(StatusCode::kInternal, "cannot reopen log for reads");
   }
   log_bytes_ = new_log_bytes;
@@ -582,6 +886,12 @@ NoVoHTStats NoVoHT::stats() const {
   s.disk_reads = disk_reads_;
   s.live_bytes = log_bytes_ - dead_bytes_;
   s.gc_nanos_total = gc_nanos_total_;
+  s.fsync_errors = fsync_errors_.load(std::memory_order_relaxed);
+  s.read_only = read_only_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> commit_lock(commit_mu_);
+    s.group_commits = group_commits_;
+  }
   return s;
 }
 

@@ -12,12 +12,17 @@
 // log when the dead-record ratio passes a threshold.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "novoht/kv_store.h"
@@ -50,8 +55,30 @@ struct NoVoHTOptions {
   double gc_garbage_ratio = 0.5;
   std::uint64_t gc_min_log_bytes = 1 << 20;
 
-  // fsync the log after every mutation (durability vs latency).
-  bool fsync_every_op = false;
+  // Durability of acked mutations (see DurabilityMode). kGroupCommit runs a
+  // flusher thread that amortizes one fdatasync over every writer in the
+  // commit window; kEveryOp syncs inline per mutation.
+  DurabilityMode durability = DurabilityMode::kNone;
+
+  // Group commit only: after the first pending commit wakes the flusher, it
+  // waits up to this long for more writers to join the window before
+  // syncing. 0 = sync as soon as the flusher wakes (lowest latency; batches
+  // still form while a sync is in flight).
+  Nanos max_commit_latency = 0;
+
+  // Group commit only: when true (the default), mutators block until the
+  // flusher has synced past their commit. Servers that ack once per request
+  // set this false and pair last_commit_token() with WaitDurable() instead.
+  bool wait_for_durable = true;
+
+  // Recovery replays the log through a streaming window of this many bytes
+  // (grown temporarily for a single over-sized record), so recovery memory
+  // is bounded regardless of log size.
+  std::uint64_t recover_buffer_bytes = 256 * 1024;
+
+  // Test hook: stands in for ::fdatasync on the log fd when set. Lets tests
+  // inject fsync failures without a faulty disk.
+  std::function<int(int fd)> fsync_hook;
 
   // "By tuning the number of Key-Value pairs that are allowed [to] stay in
   // memory, users can achieve the balance between performance and memory
@@ -74,6 +101,9 @@ struct NoVoHTStats {
   std::uint64_t disk_reads = 0;         // Gets served from the log
   std::uint64_t live_bytes = 0;         // log_bytes - dead_bytes
   std::uint64_t gc_nanos_total = 0;     // cumulative time inside compaction
+  std::uint64_t fsync_errors = 0;       // failed log/checkpoint fsyncs
+  std::uint64_t group_commits = 0;      // fsyncs issued by the flusher
+  bool read_only = false;               // poisoned by a failed fsync/write
 };
 
 class NoVoHT final : public KVStore {
@@ -102,6 +132,13 @@ class NoVoHT final : public KVStore {
   // invoked automatically by the GC policy. Thread-safe.
   Status Compact();
 
+  // Group-commit handshake (KVStore). Tokens are monotone commit sequence
+  // numbers (not byte offsets, so compaction cannot invalidate them). Both
+  // are trivial outside kGroupCommit mode.
+  std::uint64_t last_commit_token() const override;
+  Status WaitDurable(std::uint64_t token) override;
+  bool durability_metrics(StoreDurabilityMetrics* out) const override;
+
   NoVoHTStats stats() const;
 
   // Distribution of compaction (GC/checkpoint) durations in nanoseconds;
@@ -128,12 +165,27 @@ class NoVoHT final : public KVStore {
 
   Status RecoverFromLog();
   // Appends the record; when value_offset is non-null, receives the byte
-  // offset of the value payload inside the log.
+  // offset of the value payload inside the log. In kGroupCommit mode the
+  // record's commit sequence number is published for the flusher and, when
+  // commit_token is non-null, returned to the caller.
   Status AppendLogRecord(std::uint8_t type, std::string_view key,
                          std::string_view value,
-                         std::uint64_t* value_offset = nullptr);
+                         std::uint64_t* value_offset = nullptr,
+                         std::uint64_t* commit_token = nullptr);
   Status MaybeGc();
   Status CompactLocked();
+
+  // Durability plumbing.
+  int SyncFd(int fd) const;       // options_.fsync_hook or ::fdatasync
+  Status FailSync(const char* what);  // poison the store after a bad fsync
+  Status MaybeWaitDurable(std::uint64_t token);  // honors wait_for_durable
+  Status DrainCommitsLocked();    // callers hold mu_; quiesces the flusher
+  void FlusherLoop();
+  // Scans [from, file_size) for any offset holding a complete CRC-valid
+  // record — distinguishes a torn tail (nothing valid follows) from mid-log
+  // corruption (later records would be silently dropped).
+  static bool ValidRecordFollows(int fd, std::uint64_t from,
+                                 std::uint64_t file_size);
 
   // Residency management (max_resident_values).
   void MaybeEvict(const Node* keep);
@@ -176,6 +228,28 @@ class NoVoHT final : public KVStore {
   // enabling lock-free *distributed* concurrent modification) and makes the
   // whole store safe for the multi-threaded server ablation.
   mutable std::mutex mu_;
+
+  // Commit pipeline (kGroupCommit). Lock order: mu_ -> commit_mu_; the
+  // flusher thread takes only commit_mu_ and never mu_. Mutators publish
+  // their sequence number under both locks; waiters take only commit_mu_.
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_;   // signaled as durable_seq_ advances
+  std::condition_variable flusher_cv_;  // signaled when work arrives
+  std::uint64_t appended_seq_ = 0;      // commits accepted so far
+  std::uint64_t durable_seq_ = 0;       // commits covered by an fsync
+  std::uint64_t pending_ops_ = 0;       // commits since the last fsync
+  std::uint64_t group_commits_ = 0;
+  bool sync_failed_ = false;            // a flusher fsync failed
+  bool stop_flusher_ = false;
+  std::thread flusher_;
+
+  // A failed fsync (or torn log write) leaves the on-disk tail unknowable:
+  // the store refuses further mutations. Atomic so stats() and the flusher
+  // can set/read it without mu_.
+  std::atomic<bool> read_only_{false};
+  std::atomic<std::uint64_t> fsync_errors_{0};
+  Histogram group_commit_batch_;  // mutations covered per group fsync
+  Histogram fsync_micros_;        // wall time of every log fsync
 };
 
 }  // namespace zht

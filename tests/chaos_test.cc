@@ -174,6 +174,12 @@ struct ChaosSchedule {
   MidEvent mid = MidEvent::kNone;
   std::size_t victim = 1;
   bool threaded = false;  // real threads: only delay/duplicate faults!
+  // Durability of the partition stores. With kGroupCommit the servers ack a
+  // mutation only after the flusher has synced past it, so a mid-schedule
+  // kill lands inside open commit windows — acked ops must still survive
+  // the restart.
+  DurabilityMode durability = DurabilityMode::kNone;
+  Nanos max_commit_latency = 0;
 };
 
 constexpr int kRegisterKeys = 10;
@@ -205,12 +211,20 @@ class ChaosHarness {
 
   StoreFactory PersistentStores() const {
     fs::path dir = dir_;
-    return [dir](InstanceId self,
-                 PartitionId partition) -> std::unique_ptr<KVStore> {
+    DurabilityMode durability = schedule_.durability;
+    Nanos latency = schedule_.max_commit_latency;
+    return [dir, durability, latency](
+               InstanceId self,
+               PartitionId partition) -> std::unique_ptr<KVStore> {
       NoVoHTOptions options;
       options.path = (dir / ("i" + std::to_string(self) + "_p" +
                              std::to_string(partition)))
                          .string();
+      options.durability = durability;
+      options.max_commit_latency = latency;
+      // The server acks once per request via the last_commit_token() /
+      // WaitDurable() handshake; the store must not block internally.
+      options.wait_for_durable = false;
       auto store = NoVoHT::Open(options);
       return store.ok() ? std::move(*store) : nullptr;
     };
@@ -523,6 +537,30 @@ INSTANTIATE_TEST_SUITE_P(
                          .probability = 0.2}},
                        {}},
             .mid = MidEvent::kJoin,
+        },
+        ChaosSchedule{
+            // Durable acks under fire: group-commit stores with an open
+            // commit window, a lossy client path, and a kill between
+            // phases. The checker verifies acked ops survive (lost ops may
+            // only report kTimeout/kUnavailable), and VerifyRestart proves
+            // they reload from the logs.
+            .name = "kill_group_commit_r1",
+            .seed = 808,
+            .replicas = 1,
+            .instances = 4,
+            .clients = 2,
+            .ops_per_phase = 40,
+            .phases = {{{.kind = FaultKind::kDropRequest,
+                         .client_only = true,
+                         .probability = 0.2}},
+                       {{.kind = FaultKind::kDropResponse,
+                         .client_only = true,
+                         .probability = 0.15}},
+                       {}},
+            .mid = MidEvent::kKill,
+            .victim = 2,
+            .durability = DurabilityMode::kGroupCommit,
+            .max_commit_latency = 200 * kNanosPerMicro,
         },
         ChaosSchedule{
             .name = "threaded_delay_dup_r1",

@@ -4,10 +4,12 @@
 // planned departures, and the broadcast primitive.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
-#include "core/local_cluster.h"
 #include "common/rng.h"
+#include "core/local_cluster.h"
+#include "core/zht_client.h"
 
 namespace zht {
 namespace {
@@ -493,6 +495,55 @@ TEST(FailureDetectorTest, ClientPrunesDetectorOnMembershipUpdate) {
   // size — the point is it cannot exceed it.)
   EXPECT_LE(client->detector_tracked_count(),
             client->table().instance_count());
+}
+
+TEST(DecorrelatedBackoffTest, GrowthScheduleAndCap) {
+  const Nanos base = 1 * kNanosPerMilli;
+  const Nanos cap = 64 * kNanosPerMilli;
+  Rng rng(42);
+
+  // First retry (prev below base) is always exactly the base — no jitter,
+  // so a single transient migration costs the minimum wait.
+  EXPECT_EQ(DecorrelatedBackoff(0, base, cap, rng), base);
+  EXPECT_EQ(DecorrelatedBackoff(base - 1, base, cap, rng), base);
+
+  // From then on every draw falls in [base, min(cap, prev * 3)]: bounded
+  // below (never busy-spins) and growing exponentially in expectation.
+  Nanos prev = base;
+  Nanos largest = 0;
+  for (int i = 0; i < 200; ++i) {
+    Nanos next = DecorrelatedBackoff(prev, base, cap, rng);
+    EXPECT_GE(next, base);
+    EXPECT_LE(next, cap);
+    EXPECT_LE(next, std::max(base, prev * 3));
+    largest = std::max(largest, next);
+    prev = next;
+  }
+  // With 200 draws the schedule must have climbed into the cap's
+  // neighborhood (it cannot, with any plausible seed, stay near the base).
+  EXPECT_GE(largest, cap / 2);
+
+  // Degenerate knobs stay sane: cap below base clamps to base, and a zero
+  // base disables the wait entirely.
+  EXPECT_EQ(DecorrelatedBackoff(0, base, base / 2, rng), base);
+  EXPECT_EQ(DecorrelatedBackoff(123, 0, cap, rng), 0);
+
+  // prev at the cap must not overflow: the window stays [base, cap].
+  for (int i = 0; i < 50; ++i) {
+    Nanos at_cap = DecorrelatedBackoff(cap, base, cap, rng);
+    EXPECT_GE(at_cap, base);
+    EXPECT_LE(at_cap, cap);
+  }
+
+  // Determinism: the same seed yields the same schedule (what makes a
+  // failing retry trace reproducible).
+  Rng a(7), b(7);
+  Nanos pa = 0, pb = 0;
+  for (int i = 0; i < 32; ++i) {
+    pa = DecorrelatedBackoff(pa, base, cap, a);
+    pb = DecorrelatedBackoff(pb, base, cap, b);
+    EXPECT_EQ(pa, pb);
+  }
 }
 
 }  // namespace

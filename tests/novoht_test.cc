@@ -294,6 +294,184 @@ TEST_F(NoVoHTTest, EveryMutationHitsTheLog) {
   EXPECT_GT(log_size(), s2);
 }
 
+// ------------------------------------------------- NoVoHT durability ----
+
+TEST_F(NoVoHTTest, EveryOpFsyncFailurePoisonsStore) {
+  NoVoHTOptions options;
+  options.path = Path("fsfail.nvt");
+  options.durability = DurabilityMode::kEveryOp;
+  int calls = 0;
+  options.fsync_hook = [&calls](int) { return ++calls > 1 ? -1 : 0; };
+  auto store = NoVoHT::Open(options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->Put("ok", "synced").ok());
+
+  Status failed = (*store)->Put("lost", "maybe");
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  auto stats = (*store)->stats();
+  EXPECT_TRUE(stats.read_only);
+  EXPECT_GE(stats.fsync_errors, 1u);
+  // The store stays poisoned: every further mutation fails, reads still work.
+  EXPECT_EQ((*store)->Put("again", "no").code(), StatusCode::kInternal);
+  EXPECT_EQ((*store)->Remove("ok").code(), StatusCode::kInternal);
+  EXPECT_EQ((*store)->Get("ok").value(), "synced");
+}
+
+TEST_F(NoVoHTTest, GroupCommitFsyncFailureFailsWaiters) {
+  NoVoHTOptions options;
+  options.path = Path("gcfail.nvt");
+  options.durability = DurabilityMode::kGroupCommit;
+  options.fsync_hook = [](int) { return -1; };
+  auto store = NoVoHT::Open(options);
+  ASSERT_TRUE(store.ok());
+  // wait_for_durable defaults to true: the blocked writer gets the error.
+  EXPECT_EQ((*store)->Put("k", "v").code(), StatusCode::kInternal);
+  auto stats = (*store)->stats();
+  EXPECT_TRUE(stats.read_only);
+  EXPECT_GE(stats.fsync_errors, 1u);
+}
+
+TEST_F(NoVoHTTest, GroupCommitAcksAreDurable) {
+  NoVoHTOptions options;
+  options.path = Path("gc.nvt");
+  options.durability = DurabilityMode::kGroupCommit;
+  {
+    auto store = NoVoHT::Open(options);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(
+          (*store)->Put("k" + std::to_string(i), std::to_string(i)).ok());
+    }
+    auto stats = (*store)->stats();
+    EXPECT_GE(stats.group_commits, 1u);
+    StoreDurabilityMetrics metrics;
+    ASSERT_TRUE((*store)->durability_metrics(&metrics));
+    EXPECT_GE(metrics.group_commits, 1u);
+    EXPECT_GT(metrics.fsync_micros.count, 0u);
+  }
+  auto reopened = NoVoHT::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ((*reopened)->Get("k" + std::to_string(i)).value(),
+              std::to_string(i));
+  }
+}
+
+TEST_F(NoVoHTTest, DeferredWaitHandshake) {
+  NoVoHTOptions options;
+  options.path = Path("handshake.nvt");
+  options.durability = DurabilityMode::kGroupCommit;
+  options.wait_for_durable = false;  // the server-side acking discipline
+  auto store = NoVoHT::Open(options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->last_commit_token(), 0u);
+  ASSERT_TRUE((*store)->Put("a", "1").ok());
+  std::uint64_t t1 = (*store)->last_commit_token();
+  EXPECT_GT(t1, 0u);
+  ASSERT_TRUE((*store)->Put("b", "2").ok());
+  std::uint64_t t2 = (*store)->last_commit_token();
+  EXPECT_GT(t2, t1);
+  EXPECT_TRUE((*store)->WaitDurable(t2).ok());
+  // Waiting on an already-durable (or zero) token is a no-op.
+  EXPECT_TRUE((*store)->WaitDurable(t1).ok());
+  EXPECT_TRUE((*store)->WaitDurable(0).ok());
+}
+
+TEST_F(NoVoHTTest, GroupCommitSurvivesCompaction) {
+  NoVoHTOptions options;
+  options.path = Path("gc_compact.nvt");
+  options.durability = DurabilityMode::kGroupCommit;
+  auto store = NoVoHT::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*store)->Put("k", std::string(64, 'a' + (i % 26))).ok());
+  }
+  ASSERT_TRUE((*store)->Compact().ok());
+  // Commit tokens are sequence numbers, not byte offsets: the pipeline keeps
+  // working after the log is rewritten.
+  ASSERT_TRUE((*store)->Put("post", "compact").ok());
+  EXPECT_TRUE((*store)->WaitDurable((*store)->last_commit_token()).ok());
+  EXPECT_EQ((*store)->Get("post").value(), "compact");
+}
+
+// Satellite 2 regression: damage to a *length field* mid-log must be
+// reported as corruption, not silently truncate every later record.
+TEST_F(NoVoHTTest, MidLogLengthFieldDamageRejected) {
+  NoVoHTOptions options;
+  options.path = Path("lenfield.nvt");
+  std::uint64_t first_end = 0;
+  {
+    auto store = NoVoHT::Open(options);
+    ASSERT_TRUE(store.ok());
+    (*store)->Put("aaa", "111");
+    first_end = fs::file_size(options.path);
+    (*store)->Put("bbb", "222");
+    (*store)->Put("ccc", "333");
+  }
+  {
+    // Corrupt the second record's klen varint (crc:4 + type:1 → offset 5).
+    std::fstream f(options.path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(first_end + 5));
+    f.put(static_cast<char>(0xEF));
+  }
+  auto reopened = NoVoHT::Open(options);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+// A torn *length field* in the final record is still a torn tail: trimmed,
+// not corruption.
+TEST_F(NoVoHTTest, TornTailLengthFieldTrimmed) {
+  NoVoHTOptions options;
+  options.path = Path("tornlen.nvt");
+  std::uint64_t first_end = 0;
+  {
+    auto store = NoVoHT::Open(options);
+    ASSERT_TRUE(store.ok());
+    (*store)->Put("kept", "value");
+    first_end = fs::file_size(options.path);
+    (*store)->Put("torn", std::string(300, 'x'));  // vlen takes 2 bytes
+  }
+  // Truncate inside the last record's header, mid-varint.
+  fs::resize_file(options.path, first_end + 6);
+
+  auto reopened = NoVoHT::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Get("kept").value(), "value");
+  EXPECT_EQ((*reopened)->Get("torn").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE((*reopened)->Put("after", "crash").ok());
+}
+
+// Satellite 3: recovery streams the log through a bounded window; a log far
+// larger than the window (including one over-sized record) replays fully.
+TEST_F(NoVoHTTest, RecoveryStreamsLargeLog) {
+  NoVoHTOptions options;
+  options.path = Path("biglog.nvt");
+  options.recover_buffer_bytes = 4096;
+  options.gc_garbage_ratio = 100.0;  // keep every record in the log
+  const std::string big(64 * 1024, 'B');  // one record >> the window
+  {
+    auto store = NoVoHT::Open(options);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE((*store)->Put("key" + std::to_string(i),
+                                "value" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*store)->Put("big", big).ok());
+    ASSERT_TRUE((*store)->Remove("key0").ok());
+  }
+  ASSERT_GT(fs::file_size(options.path), 8 * options.recover_buffer_bytes);
+
+  auto reopened = NoVoHT::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Size(), 500u);  // 500 keys - key0 + big
+  EXPECT_EQ((*reopened)->Get("key0").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*reopened)->Get("key499").value(), "value499");
+  EXPECT_EQ((*reopened)->Get("big").value(), big);
+  EXPECT_EQ((*reopened)->stats().recovered_records, 502u);
+}
+
 // ------------------------------------------------------------- HashDB ----
 
 using HashDBTest = TempDirTest;

@@ -14,6 +14,8 @@
 //   num_reactors    = 1           # event-loop threads (cores to drive)
 //   hash            = fnv | jenkins
 //   log_level       = info | debug | warn | error
+//   durability      = none | group_commit | every_op   # acked-write safety
+//   max_commit_latency_us = 0     # group-commit window (microseconds)
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -140,6 +142,17 @@ int main(int argc, char** argv) {
       static_cast<int>(config.GetInt("replicas", 0));
   server_options.cluster.peer_timeout =
       config.GetInt("peer_timeout_ms", 500) * kNanosPerMilli;
+  const std::string durability = config.GetString("durability", "none");
+  if (durability == "group_commit") {
+    server_options.cluster.durability = DurabilityMode::kGroupCommit;
+  } else if (durability == "every_op") {
+    server_options.cluster.durability = DurabilityMode::kEveryOp;
+  } else if (durability != "none") {
+    std::fprintf(stderr, "bad durability mode: %s\n", durability.c_str());
+    return 1;
+  }
+  server_options.cluster.max_commit_latency =
+      config.GetInt("max_commit_latency_us", 0) * kNanosPerMicro;
   Status cluster_valid = server_options.cluster.Validate();
   if (!cluster_valid.ok()) {
     std::fprintf(stderr, "bad cluster options: %s\n",
@@ -148,20 +161,10 @@ int main(int argc, char** argv) {
   }
   std::string data_dir = config.GetString("data_dir", "");
   if (!data_dir.empty()) {
+    // Persistent stores with the configured durability; the server acks a
+    // mutation only after the store reports it durable.
     server_options.store_factory =
-        [data_dir](InstanceId self,
-                   PartitionId partition) -> std::unique_ptr<KVStore> {
-      NoVoHTOptions options;
-      options.path = data_dir + "/i" + std::to_string(self) + "_partition_" +
-                     std::to_string(partition) + ".nvt";
-      auto store = NoVoHT::Open(options);
-      if (!store.ok()) {
-        ZHT_ERROR << "cannot open partition store: "
-                  << store.status().ToString();
-        return nullptr;
-      }
-      return std::move(*store);
-    };
+        MakeNoVoHTStoreFactory(data_dir, server_options.cluster);
   }
 
   TcpClient peer_transport;
