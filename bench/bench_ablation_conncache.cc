@@ -46,7 +46,7 @@ int main() {
   TcpClient peer_transport;
   ZhtServerOptions server_options;
   ZhtServer zht(table, server_options, &peer_transport);
-  auto server = EpollServer::Create(EpollServerOptions{}, zht.AsHandler());
+  auto server = EpollServer::Create(EpollServerOptions{}, zht.AsyncHandler());
   if (!server.ok()) return 1;
   (*server)->Start();
   NodeAddress address = (*server)->address();

@@ -41,16 +41,19 @@ std::unique_ptr<ClientTransport> LocalCluster::MakeTransport(
 }
 
 Result<NodeAddress> LocalCluster::Expose(std::shared_ptr<HandlerSlot> slot,
-                                         std::optional<NodeAddress> fixed) {
+                                         std::optional<NodeAddress> fixed,
+                                         bool start_now) {
   slots_.push_back(slot);
-  RequestHandler handler = [slot](Request&& request) -> Response {
+  AsyncRequestHandler handler = [slot](Request&& request,
+                                       ResponseCallback done) {
     if (!slot->target) {
       Response resp;
       resp.seq = request.seq;
       resp.status = Status(StatusCode::kUnavailable).raw();
-      return resp;
+      done(std::move(resp));
+      return;
     }
-    return slot->target(std::move(request));
+    slot->target(std::move(request), std::move(done));
   };
 
   if (options_.transport == ClusterTransport::kLoopback) {
@@ -70,11 +73,30 @@ Result<NodeAddress> LocalCluster::Expose(std::shared_ptr<HandlerSlot> slot,
   es.num_reactors = options_.num_reactors;
   auto server = EpollServer::Create(es, std::move(handler));
   if (!server.ok()) return server.status();
-  Status started = (*server)->Start();
-  if (!started.ok()) return started;
+  if (start_now) {
+    Status started = (*server)->Start();
+    if (!started.ok()) return started;
+  }
   NodeAddress address = (*server)->address();
   epoll_servers_.push_back(std::move(*server));
   return address;
+}
+
+void LocalCluster::WireReactors(ZhtServer& server, EpollServer& es) {
+  ZhtServer* srv = &server;
+  const int reactors = es.num_reactors();
+  for (int e = 0; e < reactors; ++e) {
+    es.SetReactorHooks(
+        e, [srv, e] { srv->EnterExecutorThread(e); },
+        [srv, e] { srv->RunExecutor(e); });
+  }
+  for (std::size_t shard = 0; shard < srv->num_shards(); ++shard) {
+    const int executor = static_cast<int>(shard % reactors);
+    srv->BindShardExecutor(shard, executor, es.ReactorWaker(executor));
+  }
+  es.SetPlacement(
+      [srv](const Request& request) { return srv->PreferredExecutor(request); });
+  es.Start();
 }
 
 Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
@@ -120,7 +142,9 @@ Status LocalCluster::Boot() {
     if (options_.num_partitions == 0) options_.num_partitions = n * 64;
     for (std::uint32_t i = 0; i < n; ++i) {
       auto slot = std::make_shared<HandlerSlot>();
-      auto address = Expose(slot);
+      // Reactor hooks and placement must be wired before the loops start,
+      // which needs the ZhtServer; start after step 2.
+      auto address = Expose(slot, std::nullopt, /*start_now=*/false);
       if (!address.ok()) return address.status();
       server_slots.push_back(slot);
       instance_addresses_.push_back(*address);
@@ -132,15 +156,23 @@ Status LocalCluster::Boot() {
             options_.instances_per_node;
   }
 
-  // 2. Servers.
+  // 2. Servers. Over sockets, one shard per reactor so each event loop
+  // owns a disjoint partition set end to end; the loops only start once
+  // the executors are bound.
+  const bool sockets = options_.transport != ClusterTransport::kLoopback;
   for (std::uint32_t i = 0; i < options_.num_instances; ++i) {
     auto transport = MakeTransport(instance_addresses_[i]);
     ZhtServerOptions so;
     so.self = i;
     so.cluster = options_.cluster;
     so.store_factory = options_.store_factory;
+    if (sockets) {
+      so.num_shards = static_cast<std::size_t>(
+          options_.num_reactors < 1 ? 1 : options_.num_reactors);
+    }
     auto server = std::make_unique<ZhtServer>(table, so, transport.get());
-    server_slots[i]->target = server->AsHandler();
+    server_slots[i]->target = server->AsyncHandler();
+    if (sockets) WireReactors(*server, *epoll_servers_[i]);
     peer_transports_.push_back(std::move(transport));
     servers_.push_back(std::move(server));
   }
@@ -155,7 +187,7 @@ Status LocalCluster::Boot() {
     ManagerOptions mo;
     mo.cluster = options_.cluster;
     auto manager = std::make_unique<Manager>(table, mo, transport.get());
-    slot->target = manager->AsHandler();
+    slot->target = ToAsync(manager->AsHandler());
     peer_transports_.push_back(std::move(transport));
     managers_.push_back(std::move(manager));
     manager_addresses_.push_back(*address);
@@ -208,8 +240,9 @@ Result<InstanceId> LocalCluster::JoinNewInstance(std::size_t via_node) {
   }
   // Bring up the new (empty) instance first, then ask the manager to admit
   // it; the manager pulls partitions onto it and broadcasts (§III.C).
+  const bool sockets = options_.transport != ClusterTransport::kLoopback;
   auto slot = std::make_shared<HandlerSlot>();
-  auto address = Expose(slot);
+  auto address = Expose(slot, std::nullopt, /*start_now=*/!sockets);
   if (!address.ok()) return address.status();
 
   auto transport = MakeTransport(*address);
@@ -217,11 +250,16 @@ Result<InstanceId> LocalCluster::JoinNewInstance(std::size_t via_node) {
   so.self = static_cast<InstanceId>(servers_.size());
   so.cluster = options_.cluster;
   so.store_factory = options_.store_factory;
+  if (sockets) {
+    so.num_shards = static_cast<std::size_t>(
+        options_.num_reactors < 1 ? 1 : options_.num_reactors);
+  }
   // Starts with an empty table; the manager pushes a snapshot during join.
   auto server = std::make_unique<ZhtServer>(
       MembershipTable(options_.num_partitions, options_.hash_kind), so,
       transport.get());
-  slot->target = server->AsHandler();
+  slot->target = server->AsyncHandler();
+  if (sockets) WireReactors(*server, *epoll_servers_.back());
   peer_transports_.push_back(std::move(transport));
   servers_.push_back(std::move(server));
   instance_addresses_.push_back(*address);

@@ -30,8 +30,9 @@ struct LocalClusterOptions {
   ClusterTransport transport = ClusterTransport::kLoopback;
   bool tcp_connection_cache = true;  // for kTcp client transports
   // Event-loop threads per EpollServer (kTcp/kUdp only). With > 1, each
-  // instance serves requests from several reactors concurrently
-  // (ZhtServer::Handle is striped; DESIGN.md §9).
+  // instance runs one shard (disjoint partition set + mailbox) per reactor
+  // and connections are re-homed to the reactor owning their first key's
+  // partition (DESIGN.md §9).
   int num_reactors = 1;
   StoreFactory store_factory;       // default: in-memory NoVoHT
   HashKind hash_kind = HashKind::kFnv1a;
@@ -103,6 +104,11 @@ class LocalCluster {
 
   void FlushAllAsyncReplication();
 
+  // Binds a server's shard mailboxes to an epoll server's reactors
+  // (executor identity, wakers, connection placement) and starts the
+  // loops. Also used by the standalone zht-server binary.
+  static void WireReactors(ZhtServer& server, EpollServer& es);
+
  private:
   explicit LocalCluster(const LocalClusterOptions& options);
   Status Boot();
@@ -113,12 +119,15 @@ class LocalCluster {
 
   // Registers a handler slot; returns the reachable address. A fixed
   // address (loopback only) re-registers a restarted instance where its
-  // previous incarnation lived.
+  // previous incarnation lived. With start_now = false (kTcp/kUdp only)
+  // the EpollServer is created and bound but not started, so the caller
+  // can wire reactor hooks / placement before the loops spin up.
   struct HandlerSlot {
-    RequestHandler target;  // set once the component exists
+    AsyncRequestHandler target;  // set once the component exists
   };
   Result<NodeAddress> Expose(std::shared_ptr<HandlerSlot> slot,
-                             std::optional<NodeAddress> fixed = std::nullopt);
+                             std::optional<NodeAddress> fixed = std::nullopt,
+                             bool start_now = true);
 
   LocalClusterOptions options_;
   LoopbackNetwork network_;

@@ -1,10 +1,10 @@
 #include "core/zht_server.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 #include <vector>
 
-#include "common/clock.h"
 #include "common/log.h"
 #include "novoht/novoht.h"
 #include "serialize/batch.h"
@@ -56,6 +56,30 @@ std::unique_ptr<KVStore> DefaultStoreFactory(InstanceId, PartitionId) {
   return store.ok() ? std::move(*store) : nullptr;
 }
 
+bool IsDataOp(OpCode op) {
+  switch (op) {
+    case OpCode::kInsert:
+    case OpCode::kLookup:
+    case OpCode::kRemove:
+    case OpCode::kAppend:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// At-most-once window for the non-idempotent append, per shard (the shard
+// is the unit of single-threaded ownership, so dedup needs no lock).
+constexpr std::size_t kDedupWindow = 8192;
+
+// Executor identity of the current thread, per server. A reactor registers
+// itself via EnterExecutorThread; every other thread reads as -1.
+struct ExecutorTls {
+  const void* owner = nullptr;
+  int executor = -1;
+};
+thread_local ExecutorTls tls_executor;
+
 constexpr auto kRelaxed = std::memory_order_relaxed;
 
 }  // namespace
@@ -70,8 +94,9 @@ StoreFactory MakeNoVoHTStoreFactory(std::string dir,
                    std::to_string(partition) + ".novoht";
     options.durability = cluster.durability;
     options.max_commit_latency = cluster.max_commit_latency;
-    // The server acks once per request/carrier via WaitDurable; mutators
-    // must not also block per-op inside the stripe.
+    // The server acks once per request/carrier from the flusher's
+    // NotifyDurable callback; mutators must not also block per-op inside
+    // the shard drain.
     options.wait_for_durable = false;
     auto store = NoVoHT::Open(options);
     if (!store.ok()) {
@@ -85,9 +110,25 @@ StoreFactory MakeNoVoHTStoreFactory(std::string dir,
 
 ZhtServer::ZhtServer(MembershipTable table, const ZhtServerOptions& options,
                      ClientTransport* peer_transport)
-    : options_(options), peer_transport_(peer_transport),
-      table_(std::move(table)) {
+    : options_(options),
+      peer_transport_(peer_transport),
+      space_(table.space()),
+      epoch_(table.epoch()) {
   if (!options_.store_factory) options_.store_factory = DefaultStoreFactory;
+
+  std::size_t num_shards = options_.num_shards;
+  if (num_shards == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_shards = std::max(1u, std::min(4u, hw == 0 ? 1u : hw));
+  }
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    auto shard = s + 1 == num_shards ? std::make_unique<Shard>(std::move(table))
+                                     : std::make_unique<Shard>(table);
+    shard->index = s;
+    shards_.push_back(std::move(shard));
+  }
+
   // Resolve every hot-path metric handle once; Record()/Increment() through
   // these pointers never acquires a lock.
   static constexpr const char* kDataOpNames[4] = {"insert", "lookup", "remove",
@@ -99,159 +140,418 @@ ZhtServer::ZhtServer(MembershipTable table, const ZhtServerOptions& options,
   batch_hist_ = metrics_.GetHistogram("server.op.batch.latency_ns");
   batch_size_hist_ = metrics_.GetHistogram("server.batch.size");
   replication_fanout_hist_ = metrics_.GetHistogram("server.replication.fanout");
+  mailbox_depth_hist_ = metrics_.GetHistogram("server.mailbox.depth");
   replication_sync_counter_ = metrics_.GetCounter("server.replication.sync");
   replication_async_counter_ = metrics_.GetCounter("server.replication.async");
   redirect_counter_ = metrics_.GetCounter("server.redirects");
+  forwards_counter_ = metrics_.GetCounter("reactor.forwards");
+  mailbox_full_counter_ = metrics_.GetCounter("reactor.mailbox_full");
+
+  const std::size_t num_finishers =
+      std::max<std::size_t>(2, std::min<std::size_t>(4, num_shards));
+  finishers_.reserve(num_finishers);
+  for (std::size_t i = 0; i < num_finishers; ++i) {
+    finishers_.emplace_back([this] { FinisherLoop(); });
+  }
   async_worker_ = std::thread([this] { AsyncReplicationLoop(); });
 }
 
 ZhtServer::~ZhtServer() {
+  stopping_.store(true, std::memory_order_release);
+  // Contract: the hosting front-end has stopped (joined) its reactors
+  // before destroying the server, so this thread may drain every shard
+  // itself. Finishers and store flushers are still running and may Post
+  // concurrently — the unbind is an atomic store and the waker stays
+  // callable (the front-end's fds outlive this server).
+  for (auto& shard : shards_) {
+    shard->executor.store(-1, std::memory_order_release);
+  }
+  // Drain remaining mailbox work and wait for every in-flight request to
+  // complete (durability callbacks park on store flushers; replication
+  // finishers are still running and are stopped only after this).
+  for (;;) {
+    for (auto& shard : shards_) DrainShared(*shard);
+    if (inflight_.load(std::memory_order_acquire) == 0) break;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(finisher_mu_);
+    finishers_stop_ = true;
+  }
+  finisher_cv_.notify_all();
+  for (std::thread& t : finishers_) {
+    if (t.joinable()) t.join();
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    stopping_ = true;
+    async_stop_ = true;
   }
   queue_cv_.notify_all();
   if (async_worker_.joinable()) async_worker_.join();
+  // Tear the stores down while this server's mutexes and condition
+  // variables are still alive: destroying a store joins its flusher
+  // thread, which may still be exiting a signal (EnqueueFinisher,
+  // OnRequestComplete) issued from its final durability callback.
+  for (auto& shard : shards_) shard->stores.clear();
 }
 
-KVStore* ZhtServer::StoreFor(PartitionId partition) {
-  // Caller holds StripeFor(partition).mu, which makes the returned pointer
-  // safe to use after partitions_mu_ is dropped: stores are only replaced
-  // (MigrateBegin) or destroyed (migrate-out) under their stripe.
-  std::lock_guard<std::mutex> lock(partitions_mu_);
-  auto it = partitions_.find(partition);
-  if (it != partitions_.end()) return it->second.get();
-  auto store = options_.store_factory(options_.self, partition);
-  KVStore* raw = store.get();
-  partitions_.emplace(partition, std::move(store));
-  return raw;
+// ---------------------------------------------------------------------------
+// Mailbox machinery
+// ---------------------------------------------------------------------------
+
+int ZhtServer::CurrentExecutor() const {
+  return tls_executor.owner == this ? tls_executor.executor : -1;
 }
 
-std::shared_ptr<KVStore> ZhtServer::SharedStoreFor(PartitionId partition) {
-  std::lock_guard<std::mutex> lock(partitions_mu_);
-  auto it = partitions_.find(partition);
-  return it != partitions_.end() ? it->second : nullptr;
+void ZhtServer::EnterExecutorThread(int executor) {
+  tls_executor.owner = this;
+  tls_executor.executor = executor;
 }
 
-Status ZhtServer::ApplyToStore(OpCode op, PartitionId partition,
-                               std::string_view key, std::string_view value,
-                               std::string* out) {
-  KVStore* store = StoreFor(partition);
-  if (!store) return Status(StatusCode::kInternal, "store factory failed");
-  switch (op) {
-    case OpCode::kInsert:
-      return store->Put(key, value);
-    case OpCode::kLookup: {
-      auto result = store->Get(key);
-      if (!result.ok()) return result.status();
-      if (out) *out = std::move(*result);
-      return Status::Ok();
+void ZhtServer::BindShardExecutor(std::size_t shard, int executor,
+                                  std::function<void()> waker) {
+  if (shard >= shards_.size() || executor < 0) return;
+  // Every executor gets its own SPSC ring into every shard (any reactor may
+  // forward to any shard). Binds happen on the setup thread before traffic.
+  for (auto& s : shards_) {
+    while (s->rings.size() <= static_cast<std::size_t>(executor)) {
+      s->rings.push_back(
+          std::make_unique<SpscTaskRing>(options_.mailbox_ring_capacity));
     }
+  }
+  shards_[shard]->executor.store(executor, std::memory_order_release);
+  shards_[shard]->waker = std::move(waker);
+}
+
+void ZhtServer::Post(Shard& shard, ShardTask task) {
+  Enqueue(shard, std::move(task));
+  Kick(shard);
+}
+
+void ZhtServer::Enqueue(Shard& shard, ShardTask task) {
+  const int from = CurrentExecutor();
+  const int owner = shard.executor.load(std::memory_order_acquire);
+  if (owner >= 0 && from != owner) {
+    // Cross-reactor forward: a message into the owner's mailbox, not a
+    // lock on the owner's state.
+    shard.forwarded.fetch_add(1, kRelaxed);
+    forwards_counter_->Increment();
+  }
+  if (from >= 0 && static_cast<std::size_t>(from) < shard.rings.size()) {
+    if (!shard.rings[from]->Push(std::move(task))) {
+      // Bounded ring overflowed; spill to the MPSC queue (unbounded) so
+      // the producer never blocks inside its own event loop.
+      mailbox_full_counter_->Increment();
+      shard.overflow.Push(std::move(task));
+    }
+  } else {
+    shard.overflow.Push(std::move(task));
+  }
+  shard.queued.fetch_add(1, std::memory_order_release);
+}
+
+void ZhtServer::Kick(Shard& shard) {
+  const int owner = shard.executor.load(std::memory_order_acquire);
+  if (owner >= 0) {
+    if (CurrentExecutor() == owner) {
+      DrainBound(shard);
+    } else if (shard.waker) {
+      shard.waker();
+    }
+    return;
+  }
+  DrainShared(shard);
+}
+
+void ZhtServer::DrainBound(Shard& shard) {
+  // Owner executor thread only; `draining` guards against a task posting
+  // back into its own shard re-entering the drain.
+  if (shard.draining) return;
+  if (shard.queued.load(std::memory_order_acquire) == 0) return;
+  shard.draining = true;
+  DrainAll(shard);
+  shard.draining = false;
+}
+
+void ZhtServer::DrainShared(Shard& shard) {
+  // Unbound shards: whichever thread posts drains, serialized by a CAS on
+  // `active`. A loser returns — the winner's drain loop covers its task.
+  while (shard.queued.load(std::memory_order_acquire) > 0) {
+    if (shard.active.exchange(true, std::memory_order_acquire)) return;
+    const std::size_t ran = DrainAll(shard);
+    shard.active.store(false, std::memory_order_release);
+    // queued > 0 with nothing poppable means a producer is mid-push (the
+    // MPSC link window); give it a beat and re-check.
+    if (ran == 0) std::this_thread::yield();
+  }
+}
+
+std::size_t ZhtServer::DrainAll(Shard& shard) {
+  const std::uint64_t depth = shard.queued.load(std::memory_order_acquire);
+  if (depth > 0) {
+    shard.mailbox_depth.Record(static_cast<std::int64_t>(depth));
+    mailbox_depth_hist_->Record(static_cast<std::int64_t>(depth));
+  }
+  std::size_t ran = 0;
+  for (;;) {
+    ShardTask task;
+    bool got = false;
+    for (auto& ring : shard.rings) {
+      if (ring->Pop(&task)) {
+        got = true;
+        break;
+      }
+    }
+    if (!got) got = shard.overflow.Pop(&task);
+    if (!got) break;
+    shard.queued.fetch_sub(1, std::memory_order_acq_rel);
+    ++ran;
+    task(shard);
+  }
+  return ran;
+}
+
+void ZhtServer::RunExecutor(int executor) {
+  for (auto& shard : shards_) {
+    if (shard->executor.load(std::memory_order_acquire) == executor) {
+      DrainBound(*shard);
+    }
+  }
+}
+
+int ZhtServer::PreferredExecutor(const Request& request) const {
+  if (!IsDataOp(request.op)) return -1;
+  return ShardForPartition(space_.PartitionOfKey(request.key))
+      .executor.load(std::memory_order_acquire);
+}
+
+void ZhtServer::OnRequestComplete() {
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      stopping_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ZhtServer::RecordDataOpLatency(OpCode op, Nanos start) {
+  const auto op_index = static_cast<std::size_t>(op) - 1;
+  if (op_index < 4) {
+    data_op_hist_[op_index]->Record(SystemClock::Instance().Now() - start);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ingress dispatch
+// ---------------------------------------------------------------------------
+
+void ZhtServer::HandleAsync(Request&& request, ResponseCallback done) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    Response resp;
+    resp.seq = request.seq;
+    resp.status = Status(StatusCode::kUnavailable, "server stopping").raw();
+    done(std::move(resp));
+    return;
+  }
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  // Every exit path below runs through `finish`, which releases the
+  // in-flight reference the destructor waits on.
+  ResponseCallback finish = [this,
+                             done = std::move(done)](Response&& resp) mutable {
+    done(std::move(resp));
+    OnRequestComplete();
+  };
+
+  switch (request.op) {
+    case OpCode::kInsert:
+    case OpCode::kLookup:
     case OpCode::kRemove:
-      return store->Remove(key);
-    case OpCode::kAppend:
-      return store->Append(key, value);
-    default:
-      return Status(StatusCode::kInvalidArgument, "not a data op");
+    case OpCode::kAppend: {
+      // Single-key hot path: partition from the immutable space copy, then
+      // one hop into the owning shard's mailbox. No locks anywhere.
+      const Nanos start = SystemClock::Instance().Now();
+      Shard& shard = ShardForPartition(space_.PartitionOfKey(request.key));
+      Post(shard, [this, request = std::move(request),
+                   done = std::move(finish), start](Shard& sh) mutable {
+        ExecDataOp(sh, std::move(request), std::move(done), start);
+      });
+      return;
+    }
+    case OpCode::kBatch:
+      StartBatch(std::move(request), std::move(finish));
+      return;
+    case OpCode::kPing: {
+      Response resp;
+      resp.seq = request.seq;
+      resp.epoch = epoch_.load(kRelaxed);
+      finish(std::move(resp));
+      return;
+    }
+    case OpCode::kMembershipPull: {
+      Post(*shards_.front(),
+           [seq = request.seq, since = request.epoch,
+            done = std::move(finish)](Shard& sh) mutable {
+             Response resp;
+             resp.seq = seq;
+             resp.epoch = sh.table.epoch();
+             resp.membership = since == 0 ? sh.table.EncodeFull()
+                                          : sh.table.EncodeDelta(since);
+             done(std::move(resp));
+           });
+      return;
+    }
+    case OpCode::kMembershipPush:
+      StartMembershipPush(std::move(request), std::move(finish));
+      return;
+    case OpCode::kMigrateBegin: {
+      Post(ShardForPartition(request.partition),
+           [this, request = std::move(request),
+            done = std::move(finish)](Shard& sh) mutable {
+             ExecMigrateBegin(sh, std::move(request), std::move(done));
+           });
+      return;
+    }
+    case OpCode::kMigrateData: {
+      Post(ShardForPartition(request.partition),
+           [this, request = std::move(request),
+            done = std::move(finish)](Shard& sh) mutable {
+             ExecMigrateData(sh, std::move(request), std::move(done));
+           });
+      return;
+    }
+    case OpCode::kMigrateEnd: {
+      Post(ShardForPartition(request.partition),
+           [this, request = std::move(request),
+            done = std::move(finish)](Shard& sh) mutable {
+             ExecMigrateEnd(sh, std::move(request), std::move(done));
+           });
+      return;
+    }
+    case OpCode::kMigrateOut: {
+      const std::uint64_t seq = request.seq;
+      auto target = NodeAddress::Parse(request.value);
+      if (!target.ok()) {
+        Response resp;
+        resp.seq = seq;
+        resp.status = target.status().raw();
+        finish(std::move(resp));
+        return;
+      }
+      StartMigrateOut(request.partition, *target,
+                      [this, seq, done = std::move(finish)](
+                          Status status) mutable {
+                        Response resp;
+                        resp.seq = seq;
+                        resp.status = status.raw();
+                        resp.epoch = epoch_.load(kRelaxed);
+                        done(std::move(resp));
+                      });
+      return;
+    }
+    case OpCode::kRepair: {
+      const std::uint64_t seq = request.seq;
+      const PartitionId partition = request.partition;
+      Post(ShardForPartition(partition),
+           [this, partition, seq, done = std::move(finish)](Shard& sh) mutable {
+             ExecRepair(sh, partition,
+                        [seq, done = std::move(done)](Status status) mutable {
+                          Response resp;
+                          resp.seq = seq;
+                          resp.status = status.raw();
+                          done(std::move(resp));
+                        });
+           });
+      return;
+    }
+    case OpCode::kBroadcast: {
+      Post(ShardForPartition(space_.PartitionOfKey(request.key)),
+           [this, request = std::move(request),
+            done = std::move(finish)](Shard& sh) mutable {
+             ExecBroadcast(sh, std::move(request), std::move(done));
+           });
+      return;
+    }
+    case OpCode::kStats: {
+      // Admin introspection: a versioned structured snapshot (counters,
+      // gauges, per-opcode latency histograms) encoded with
+      // serialize/metrics_codec.h. The census scatters across every shard;
+      // the last shard's continuation encodes and completes — no blocking
+      // on the ingress thread.
+      const std::uint64_t seq = request.seq;
+      ScatterCensus([this, seq, done = std::move(finish)](
+                        std::vector<ShardCensus> census) mutable {
+        Response resp;
+        resp.seq = seq;
+        resp.epoch = epoch_.load(kRelaxed);
+        resp.value = EncodeMetricsSnapshot(BuildSnapshot(census));
+        done(std::move(resp));
+      });
+      return;
+    }
+    default: {
+      Response resp;
+      resp.seq = request.seq;
+      resp.status = Status(StatusCode::kInvalidArgument).raw();
+      finish(std::move(resp));
+      return;
+    }
   }
 }
 
-bool ZhtServer::IsDuplicateAppend(Stripe& stripe, const Request& request) {
-  const std::uint64_t key = request.DedupKey();
-  if (key == 0) return false;
-  if (stripe.dedup_set.count(key)) return true;
-  stripe.dedup_ring.push_back(key);
-  stripe.dedup_set.insert(key);
-  if (stripe.dedup_ring.size() > kDedupWindowPerStripe) {
-    stripe.dedup_set.erase(stripe.dedup_ring.front());
-    stripe.dedup_ring.pop_front();
-  }
-  return false;
+Response ZhtServer::Handle(Request&& request) {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  };
+  auto latch = std::make_shared<Latch>();
+  HandleAsync(std::move(request), [latch](Response&& response) {
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->response = std::move(response);
+      latch->done = true;
+    }
+    latch->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+  return std::move(latch->response);
 }
 
-Response ZhtServer::RedirectTo(InstanceId owner, std::uint64_t seq,
-                               std::uint32_t requester_epoch,
+// ---------------------------------------------------------------------------
+// Data ops (inside shard drains)
+// ---------------------------------------------------------------------------
+
+Response ZhtServer::RedirectTo(const Shard& shard, InstanceId owner,
+                               std::uint64_t seq, std::uint32_t requester_epoch,
                                bool include_membership) {
   // Lazy membership update (§III.C): the wrong-owner reply carries the
   // delta the requester is missing — one message per client per partition
-  // move. Caller holds table_mu_ (shared).
+  // move.
   Response resp;
   resp.seq = seq;
   resp.status = Status(StatusCode::kRedirect).raw();
-  resp.epoch = table_.epoch();
+  resp.epoch = shard.table.epoch();
   if (include_membership) {
-    resp.membership = table_.EncodeDelta(requester_epoch);
+    resp.membership = shard.table.EncodeDelta(requester_epoch);
   }
-  if (owner < table_.instance_count()) {
-    const auto& info = table_.Instance(owner);
+  if (owner < shard.table.instance_count()) {
+    const auto& info = shard.table.Instance(owner);
     resp.redirect_host = info.address.host;
     resp.redirect_port = info.address.port;
   }
   return resp;
 }
 
-Response ZhtServer::Handle(Request&& request) {
-  switch (request.op) {
-    case OpCode::kInsert:
-    case OpCode::kLookup:
-    case OpCode::kRemove:
-    case OpCode::kAppend:
-      return HandleData(std::move(request));
-    case OpCode::kBatch:
-      return HandleBatch(std::move(request));
-    case OpCode::kPing: {
-      Response resp;
-      resp.seq = request.seq;
-      std::shared_lock<std::shared_mutex> lock(table_mu_);
-      resp.epoch = table_.epoch();
-      return resp;
-    }
-    case OpCode::kMembershipPull:
-      return HandleMembershipPull(std::move(request));
-    case OpCode::kMembershipPush:
-      return HandleMembershipPush(std::move(request));
-    case OpCode::kMigrateBegin:
-      return HandleMigrateBegin(std::move(request));
-    case OpCode::kMigrateData:
-      return HandleMigrateData(std::move(request));
-    case OpCode::kMigrateEnd:
-      return HandleMigrateEnd(std::move(request));
-    case OpCode::kMigrateOut:
-      return HandleMigrateOut(std::move(request));
-    case OpCode::kRepair:
-      return HandleRepair(std::move(request));
-    case OpCode::kBroadcast:
-      return HandleBroadcast(std::move(request));
-    case OpCode::kStats: {
-      // Admin introspection: a versioned structured snapshot (counters,
-      // gauges, per-opcode latency histograms) encoded with
-      // serialize/metrics_codec.h. Tools decode and render; unknown
-      // entries/fields are skipped by old readers.
-      Response resp;
-      resp.seq = request.seq;
-      {
-        std::shared_lock<std::shared_mutex> lock(table_mu_);
-        resp.epoch = table_.epoch();
-      }
-      resp.value = EncodeMetricsSnapshot(MetricsSnapshotNow());
-      return resp;
-    }
-    default: {
-      Response resp;
-      resp.seq = request.seq;
-      resp.status = Status(StatusCode::kInvalidArgument).raw();
-      return resp;
-    }
-  }
-}
-
-ZhtServer::DataRoute ZhtServer::RouteDataOpLocked(const Request& request,
-                                                  bool include_redirect_delta) {
+ZhtServer::DataRoute ZhtServer::RouteDataOp(Shard& shard,
+                                            const Request& request,
+                                            std::atomic<bool>* delta_gate) {
   DataRoute route;
-  route.partition = table_.PartitionOfKey(request.key);
-  route.epoch = table_.epoch();
+  route.partition = shard.table.PartitionOfKey(request.key);
+  route.epoch = shard.table.epoch();
   route.chain =
-      table_.ReplicaChain(route.partition, options_.cluster.num_replicas);
+      shard.table.ReplicaChain(route.partition, options_.cluster.num_replicas);
 
   const bool is_replica_traffic =
       request.server_origin && request.replica_index > 0;
@@ -272,318 +572,796 @@ ZhtServer::DataRoute ZhtServer::RouteDataOpLocked(const Request& request,
       stats_.redirects.fetch_add(1, kRelaxed);
       redirect_counter_->Increment();
       route.redirect =
-          RedirectTo(route.chain.empty() ? 0 : route.chain[0], request.seq,
-                     request.epoch, include_redirect_delta);
+          RedirectTo(shard, route.chain.empty() ? 0 : route.chain[0],
+                     request.seq, request.epoch, /*include_membership=*/true);
+      if (delta_gate && !route.redirect->membership.empty()) {
+        // A batch piggybacks the delta once, on its first redirected
+        // sub-op; shard groups race for the claim and losers strip it.
+        bool expected = false;
+        if (!delta_gate->compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          route.redirect->membership.clear();
+        }
+      }
     }
   }
   return route;
 }
 
-Response ZhtServer::ApplyDataOpStriped(const Request& request,
-                                       const DataRoute& route,
-                                       bool* replicate) {
+bool ZhtServer::IsDuplicateAppend(Shard& shard, const Request& request) {
+  const std::uint64_t key = request.DedupKey();
+  if (key == 0) return false;
+  if (shard.dedup_set.count(key)) return true;
+  shard.dedup_ring.push_back(key);
+  shard.dedup_set.insert(key);
+  if (shard.dedup_ring.size() > kDedupWindow) {
+    shard.dedup_set.erase(shard.dedup_ring.front());
+    shard.dedup_ring.pop_front();
+  }
+  return false;
+}
+
+KVStore* ZhtServer::StoreIn(Shard& shard, PartitionId partition) {
+  auto it = shard.stores.find(partition);
+  if (it != shard.stores.end()) return it->second.get();
+  std::shared_ptr<KVStore> store =
+      options_.store_factory(options_.self, partition);
+  KVStore* raw = store.get();
+  shard.stores.emplace(partition, std::move(store));
+  return raw;
+}
+
+Status ZhtServer::ApplyToStore(Shard& shard, OpCode op, PartitionId partition,
+                               std::string_view key, std::string_view value,
+                               std::string* out) {
+  KVStore* store = StoreIn(shard, partition);
+  if (!store) return Status(StatusCode::kInternal, "store factory failed");
+  switch (op) {
+    case OpCode::kInsert:
+      return store->Put(key, value);
+    case OpCode::kLookup: {
+      auto result = store->Get(key);
+      if (!result.ok()) return result.status();
+      if (out) *out = std::move(*result);
+      return Status::Ok();
+    }
+    case OpCode::kRemove:
+      return store->Remove(key);
+    case OpCode::kAppend:
+      return store->Append(key, value);
+    default:
+      return Status(StatusCode::kInvalidArgument, "not a data op");
+  }
+}
+
+ZhtServer::ReplicaPlan ZhtServer::MakeReplicaPlan(
+    const Shard& shard, const std::vector<InstanceId>& chain) const {
+  // Resolve every chain address while the shard's table is at hand, so
+  // finishers and the async worker never touch a membership table.
+  ReplicaPlan plan;
+  plan.chain = chain;
+  plan.addresses.reserve(chain.size());
+  for (InstanceId id : chain) {
+    plan.addresses.push_back(id < shard.table.instance_count()
+                                 ? shard.table.Instance(id).address
+                                 : NodeAddress{});
+  }
+  return plan;
+}
+
+void ZhtServer::ExecDataOp(Shard& shard, Request&& request,
+                           ResponseCallback done, Nanos start) {
+  DataRoute route = RouteDataOp(shard, request, nullptr);
+  const OpCode op = request.op;
+  if (route.redirect) {
+    done(std::move(*route.redirect));
+    RecordDataOpLatency(op, start);
+    return;
+  }
+
   Response resp;
   resp.seq = request.seq;
   resp.epoch = route.epoch;
-  *replicate = false;
-
-  Stripe& stripe = StripeFor(route.partition);  // mutex held by caller
-  if (stripe.migrating.count(route.partition)) {
+  if (shard.migrating.count(route.partition)) {
     // Partition is locked mid-migration (§III.C "Data Migration"): state
-    // cannot be modified; the client backs off and retries, which
-    // realizes the paper's request queueing at the sender.
+    // cannot be modified; the client backs off and retries, which realizes
+    // the paper's request queueing at the sender.
     resp.status = Status(StatusCode::kMigrating).raw();
-    return resp;
+    done(std::move(resp));
+    RecordDataOpLatency(op, start);
+    return;
   }
-
-  if (request.op == OpCode::kAppend && IsDuplicateAppend(stripe, request)) {
-    // Retransmission of an append we already applied: acknowledge
-    // success without re-applying.
+  if (op == OpCode::kAppend && IsDuplicateAppend(shard, request)) {
+    // Retransmission of an append we already applied: acknowledge success
+    // without re-applying.
     stats_.duplicate_appends_dropped.fetch_add(1, kRelaxed);
     resp.status = Status::Ok().raw();
-    return resp;
+    done(std::move(resp));
+    RecordDataOpLatency(op, start);
+    return;
   }
 
   std::string lookup_value;
-  Status status = ApplyToStore(request.op, route.partition, request.key,
+  Status status = ApplyToStore(shard, op, route.partition, request.key,
                                request.value, &lookup_value);
   stats_.ops.fetch_add(1, kRelaxed);
-
-  *replicate = status.ok() && request.op != OpCode::kLookup &&
-               options_.cluster.num_replicas > 0 && !request.server_origin &&
-               request.replica_index == 0 && route.chain.size() > 1;
-
+  const bool replicate = status.ok() && op != OpCode::kLookup &&
+                         options_.cluster.num_replicas > 0 &&
+                         !request.server_origin &&
+                         request.replica_index == 0 && route.chain.size() > 1;
   resp.status = status.raw();
   resp.value = std::move(lookup_value);
-  return resp;
-}
 
-Response ZhtServer::HandleData(Request&& request) {
-  const Stopwatch watch(SystemClock::Instance());
-  DataRoute route;
-  {
-    std::shared_lock<std::shared_mutex> lock(table_mu_);
-    route = RouteDataOpLocked(request, /*include_redirect_delta=*/true);
-  }
-
-  Response resp;
-  bool replicate = false;
-  DurableWait wait;
-  if (route.redirect) {
-    resp = std::move(*route.redirect);
-  } else {
-    Stripe& stripe = StripeFor(route.partition);
-    std::lock_guard<std::mutex> lock(stripe.mu);
-    resp = ApplyDataOpStriped(request, route, &replicate);
-    if (resp.ok() && request.op != OpCode::kLookup) {
-      // Capture the commit token while the stripe still orders this store:
-      // it covers exactly the mutations applied so far, including ours.
-      wait.store = SharedStoreFor(route.partition);
-      if (wait.store) wait.token = wait.store->last_commit_token();
+  std::shared_ptr<KVStore> store;
+  std::uint64_t token = 0;
+  if (resp.ok() && op != OpCode::kLookup) {
+    auto it = shard.stores.find(route.partition);
+    if (it != shard.stores.end() && it->second) {
+      // The token covers exactly the mutations applied so far, including
+      // ours — captured in-shard, where this store is ordered.
+      store = it->second;
+      token = store->last_commit_token();
     }
   }
-  if (wait.token != 0) {
-    // Ack only once the owning store reports the op durable. Outside the
-    // stripe, so concurrent writers join the same group-commit window.
-    Status durable = wait.store->WaitDurable(wait.token);
+  if (token == 0 && !replicate) {
+    // Hot path: routed, applied, and acked on the owning shard — zero
+    // mutexes end to end.
+    done(std::move(resp));
+    RecordDataOpLatency(op, start);
+    return;
+  }
+
+  ReplicaPlan plan;
+  if (replicate) plan = MakeReplicaPlan(shard, route.chain);
+  const PartitionId partition = route.partition;
+  auto fin = [this, resp = std::move(resp), request = std::move(request),
+              plan = std::move(plan), partition, replicate, op, start,
+              done = std::move(done)](Status durable) mutable {
+    bool do_replicate = replicate;
     if (!durable.ok()) {
       resp.status = durable.raw();
-      replicate = false;
+      do_replicate = false;
     }
+    if (!do_replicate) {
+      done(std::move(resp));
+      RecordDataOpLatency(op, start);
+      return;
+    }
+    // A synchronous hop to the secondary keeps primary+secondary strongly
+    // consistent; it is peer I/O, so it runs on a finisher, never inside a
+    // shard drain or a flusher callback.
+    EnqueueFinisher([this, resp = std::move(resp),
+                     request = std::move(request), plan = std::move(plan),
+                     partition, op, start, done = std::move(done)]() mutable {
+      ReplicateSync(request, partition, plan);
+      done(std::move(resp));
+      RecordDataOpLatency(op, start);
+    });
+  };
+  if (token != 0) {
+    // Ack parks on the store's flusher; no thread blocks for the group
+    // commit. Concurrent writers join the same commit window.
+    store->NotifyDurable(token, std::move(fin));
+  } else {
+    fin(Status::Ok());
   }
-  if (replicate) {
-    // Outside every lock: a synchronous hop to the secondary keeps
-    // primary+secondary strongly consistent; further replicas go through
-    // the asynchronous queue (§III.J).
-    ReplicateSync(request, route.partition, route.chain);
-  }
-  // Service time including the synchronous replication leg — what a client
-  // waits for. Lock-free (atomic bucket increments).
-  const auto op_index = static_cast<std::size_t>(request.op) - 1;
-  if (op_index < 4) data_op_hist_[op_index]->Record(watch.Elapsed());
-  return resp;
 }
 
-Response ZhtServer::HandleBatch(Request&& request) {
-  const Stopwatch watch(SystemClock::Instance());
+// ---------------------------------------------------------------------------
+// BATCH: scatter per-shard groups, gather with completion counting
+// ---------------------------------------------------------------------------
+
+void ZhtServer::StartBatch(Request&& request, ResponseCallback done) {
+  const Nanos start = SystemClock::Instance().Now();
   Response carrier;
   carrier.seq = request.seq;
   auto batch = BatchRequest::Decode(request.value);
   if (!batch.ok()) {
     carrier.status = batch.status().raw();
-    return carrier;
+    done(std::move(carrier));
+    return;
   }
   batch_size_hist_->Record(static_cast<std::int64_t>(batch->ops.size()));
 
-  const std::size_t n = batch->ops.size();
-  std::vector<DataRoute> routes(n);
-  std::vector<char> is_data(n, 0);
-  std::uint32_t epoch = 0;
+  auto gather = std::make_shared<BatchGather>();
+  gather->seq = request.seq;
+  gather->epoch = epoch_.load(kRelaxed);
+  gather->start = start;
+  gather->ops = std::move(batch->ops);
+  const std::size_t n = gather->ops.size();
+  gather->responses.resize(n);
+  gather->replicate.assign(n, 0);
+  gather->partitions.assign(n, 0);
+  gather->plans.resize(n);
+  gather->done = std::move(done);
 
-  // Route every sub-op under one shared table acquisition.
-  {
-    std::shared_lock<std::shared_mutex> lock(table_mu_);
-    epoch = table_.epoch();
-    bool delta_sent = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      const Request& op = batch->ops[i];
-      switch (op.op) {
-        case OpCode::kInsert:
-        case OpCode::kLookup:
-        case OpCode::kRemove:
-        case OpCode::kAppend:
-          is_data[i] = 1;
-          routes[i] = RouteDataOpLocked(op, !delta_sent);
-          if (routes[i].redirect && !routes[i].redirect->membership.empty()) {
-            delta_sent = true;
-          }
-          break;
-        default:
-          break;
-      }
-    }
-  }
-
-  // Take every stripe the batch touches, in ascending index order
-  // (deadlock-free against concurrent batches), and hold them across the
-  // whole apply: the batch lands as a unit on its partitions, with no
-  // interleaved single-op traffic on those keys.
-  std::vector<std::size_t> stripe_order;
+  // Scatter: group sub-op indices by owning shard; each group lands in its
+  // shard's mailbox and fills disjoint response slots.
+  std::vector<std::vector<std::size_t>> groups(shards_.size());
   for (std::size_t i = 0; i < n; ++i) {
-    if (is_data[i] && !routes[i].redirect) {
-      stripe_order.push_back(StripeIndexFor(routes[i].partition));
-    }
-  }
-  std::sort(stripe_order.begin(), stripe_order.end());
-  stripe_order.erase(std::unique(stripe_order.begin(), stripe_order.end()),
-                     stripe_order.end());
-  std::vector<std::unique_lock<std::mutex>> held;
-  held.reserve(stripe_order.size());
-  for (std::size_t idx : stripe_order) held.emplace_back(stripes_[idx].mu);
-
-  BatchResponse out;
-  out.responses.reserve(n);
-  std::vector<Request> replicate_ops;
-  std::vector<PartitionId> replicate_partitions;
-  std::vector<std::vector<InstanceId>> replicate_chains;
-
-  for (std::size_t i = 0; i < n; ++i) {
-    Request& op = batch->ops[i];
-    if (!is_data[i]) {
+    const Request& op = gather->ops[i];
+    if (IsDataOp(op.op)) {
+      const PartitionId partition = space_.PartitionOfKey(op.key);
+      gather->partitions[i] = partition;
+      groups[partition % shards_.size()].push_back(i);
+    } else {
       // Batches carry data operations only; nested batches and control
       // messages are rejected per sub-op, not per batch.
       Response sub;
       sub.seq = op.seq;
       sub.status = Status(StatusCode::kInvalidArgument).raw();
-      out.responses.push_back(std::move(sub));
-      continue;
-    }
-    if (routes[i].redirect) {
-      out.responses.push_back(std::move(*routes[i].redirect));
-      continue;
-    }
-    bool replicate = false;
-    Response sub = ApplyDataOpStriped(op, routes[i], &replicate);
-    if (replicate) {
-      replicate_ops.push_back(op);
-      replicate_partitions.push_back(routes[i].partition);
-      replicate_chains.push_back(std::move(routes[i].chain));
-    }
-    out.responses.push_back(std::move(sub));
-  }
-
-  // Durable ack, once per carrier: capture one commit token per store the
-  // batch mutated (the token is monotone, so the latest covers every sub-op
-  // on that store) while the stripes are still held, wait after release.
-  std::unordered_map<PartitionId, DurableWait> waits;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!is_data[i] || routes[i].redirect ||
-        batch->ops[i].op == OpCode::kLookup || !out.responses[i].ok()) {
-      continue;
-    }
-    DurableWait& wait = waits[routes[i].partition];
-    if (!wait.store) {
-      wait.store = SharedStoreFor(routes[i].partition);
-      if (wait.store) wait.token = wait.store->last_commit_token();
+      gather->responses[i] = std::move(sub);
     }
   }
-  held.clear();  // release the stripes before the durable wait + replication
-
-  std::unordered_set<PartitionId> not_durable;
-  for (auto& [partition, wait] : waits) {
-    if (wait.token == 0) continue;
-    if (!wait.store->WaitDurable(wait.token).ok()) not_durable.insert(partition);
+  std::size_t active_groups = 0;
+  for (const auto& indices : groups) {
+    if (!indices.empty()) ++active_groups;
   }
-  if (!not_durable.empty()) {
-    // Sub-ops on a store that failed to sync were never durable: fail them
-    // and drop their replication legs.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (is_data[i] && !routes[i].redirect &&
-          batch->ops[i].op != OpCode::kLookup &&
-          not_durable.count(routes[i].partition) && out.responses[i].ok()) {
-        out.responses[i].status = Status(StatusCode::kInternal).raw();
-      }
-    }
-    std::vector<Request> kept_ops;
-    std::vector<PartitionId> kept_partitions;
-    std::vector<std::vector<InstanceId>> kept_chains;
-    for (std::size_t i = 0; i < replicate_ops.size(); ++i) {
-      if (not_durable.count(replicate_partitions[i])) continue;
-      kept_ops.push_back(std::move(replicate_ops[i]));
-      kept_partitions.push_back(replicate_partitions[i]);
-      kept_chains.push_back(std::move(replicate_chains[i]));
-    }
-    replicate_ops = std::move(kept_ops);
-    replicate_partitions = std::move(kept_partitions);
-    replicate_chains = std::move(kept_chains);
+  if (active_groups == 0) {
+    gather->remaining.store(1, kRelaxed);
+    CompleteBatchGroup(gather);
+    return;
   }
-
-  if (!replicate_ops.empty()) {
-    ReplicateBatch(std::move(replicate_ops), replicate_partitions,
-                   replicate_chains);
+  gather->remaining.store(active_groups, kRelaxed);
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    Post(*shards_[s],
+         [this, gather, indices = std::move(groups[s])](Shard& sh) mutable {
+           ExecBatchGroup(sh, gather, std::move(indices));
+         });
   }
-  Response packed = PackBatchResponse(out, request.seq, epoch);
-  batch_hist_->Record(watch.Elapsed());
-  return packed;
 }
 
+void ZhtServer::ExecBatchGroup(Shard& shard,
+                               const std::shared_ptr<BatchGather>& gather,
+                               std::vector<std::size_t> indices) {
+  for (std::size_t i : indices) {
+    const Request& op = gather->ops[i];
+    DataRoute route = RouteDataOp(shard, op, &gather->delta_sent);
+    gather->partitions[i] = route.partition;
+    if (route.redirect) {
+      gather->responses[i] = std::move(*route.redirect);
+      continue;
+    }
+    Response sub;
+    sub.seq = op.seq;
+    sub.epoch = route.epoch;
+    if (shard.migrating.count(route.partition)) {
+      sub.status = Status(StatusCode::kMigrating).raw();
+      gather->responses[i] = std::move(sub);
+      continue;
+    }
+    if (op.op == OpCode::kAppend && IsDuplicateAppend(shard, op)) {
+      stats_.duplicate_appends_dropped.fetch_add(1, kRelaxed);
+      sub.status = Status::Ok().raw();
+      gather->responses[i] = std::move(sub);
+      continue;
+    }
+    std::string lookup_value;
+    Status status = ApplyToStore(shard, op.op, route.partition, op.key,
+                                 op.value, &lookup_value);
+    stats_.ops.fetch_add(1, kRelaxed);
+    if (status.ok() && op.op != OpCode::kLookup &&
+        options_.cluster.num_replicas > 0 && !op.server_origin &&
+        op.replica_index == 0 && route.chain.size() > 1) {
+      gather->replicate[i] = 1;
+      gather->plans[i] = MakeReplicaPlan(shard, route.chain);
+    }
+    sub.status = status.raw();
+    sub.value = std::move(lookup_value);
+    gather->responses[i] = std::move(sub);
+  }
+
+  // Durable ack, once per touched store: tokens are captured after every
+  // sub-op applied (monotone, so the latest covers them all), and one
+  // NotifyDurable per store parks on its flusher. The last callback fixes
+  // any failed partitions' sub-ops and reports the group done.
+  struct TouchedStore {
+    std::shared_ptr<KVStore> store;
+    std::uint64_t token = 0;
+    PartitionId partition = 0;
+  };
+  std::vector<TouchedStore> touched;
+  std::unordered_set<PartitionId> seen;
+  for (std::size_t i : indices) {
+    const Request& op = gather->ops[i];
+    if (op.op == OpCode::kLookup) continue;
+    if (!gather->responses[i].ok()) continue;  // redirects/migrating/errors
+    const PartitionId partition = gather->partitions[i];
+    if (!seen.insert(partition).second) continue;
+    auto it = shard.stores.find(partition);
+    if (it == shard.stores.end() || !it->second) continue;
+    const std::uint64_t token = it->second->last_commit_token();
+    if (token != 0) touched.push_back({it->second, token, partition});
+  }
+  if (touched.empty()) {
+    CompleteBatchGroup(gather);
+    return;
+  }
+
+  struct GroupDurable {
+    std::vector<std::size_t> indices;
+    std::vector<std::pair<PartitionId, Status>> results;
+    std::atomic<std::size_t> pending{0};
+  };
+  auto group = std::make_shared<GroupDurable>();
+  group->indices = std::move(indices);
+  group->results.resize(touched.size());
+  group->pending.store(touched.size(), kRelaxed);
+  for (std::size_t j = 0; j < touched.size(); ++j) {
+    const PartitionId partition = touched[j].partition;
+    touched[j].store->NotifyDurable(
+        touched[j].token, [this, gather, group, j, partition](Status status) {
+          group->results[j] = {partition, status};
+          if (group->pending.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+            return;
+          }
+          std::unordered_set<PartitionId> failed;
+          for (const auto& [p, st] : group->results) {
+            if (!st.ok()) failed.insert(p);
+          }
+          if (!failed.empty()) {
+            // Sub-ops on a store that failed to sync were never durable:
+            // fail them and drop their replication legs.
+            for (std::size_t i : group->indices) {
+              if (gather->ops[i].op == OpCode::kLookup) continue;
+              if (!failed.count(gather->partitions[i])) continue;
+              if (!gather->responses[i].ok()) continue;
+              gather->responses[i].status =
+                  Status(StatusCode::kInternal).raw();
+              gather->replicate[i] = 0;
+            }
+          }
+          CompleteBatchGroup(gather);
+        });
+  }
+}
+
+void ZhtServer::CompleteBatchGroup(
+    const std::shared_ptr<BatchGather>& gather) {
+  if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    FinalizeBatch(gather);
+  }
+}
+
+void ZhtServer::FinalizeBatch(const std::shared_ptr<BatchGather>& gather) {
+  BatchResponse out;
+  out.responses = std::move(gather->responses);
+  std::vector<Request> rep_ops;
+  std::vector<PartitionId> rep_parts;
+  std::vector<ReplicaPlan> rep_plans;
+  for (std::size_t i = 0; i < gather->ops.size(); ++i) {
+    if (!gather->replicate[i] || !out.responses[i].ok()) continue;
+    rep_ops.push_back(std::move(gather->ops[i]));
+    rep_parts.push_back(gather->partitions[i]);
+    rep_plans.push_back(std::move(gather->plans[i]));
+  }
+  Response packed = PackBatchResponse(out, gather->seq, gather->epoch);
+  if (rep_ops.empty()) {
+    batch_hist_->Record(SystemClock::Instance().Now() - gather->start);
+    gather->done(std::move(packed));
+    return;
+  }
+  // Replication is peer I/O: a finisher runs it, then completes the
+  // carrier — the client's wait covers the synchronous secondary leg.
+  EnqueueFinisher(
+      [this, packed = std::move(packed), rep_ops = std::move(rep_ops),
+       rep_parts = std::move(rep_parts), rep_plans = std::move(rep_plans),
+       start = gather->start, done = std::move(gather->done)]() mutable {
+        ReplicateBatchResolved(std::move(rep_ops), rep_parts, rep_plans);
+        batch_hist_->Record(SystemClock::Instance().Now() - start);
+        done(std::move(packed));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Membership: shard 0 is the epoch authority; pushes fan out to every shard
+// ---------------------------------------------------------------------------
+
+void ZhtServer::StartMembershipPush(Request&& request, ResponseCallback done) {
+  auto payload = std::make_shared<std::string>(std::move(request.value));
+  const std::uint64_t seq = request.seq;
+  Post(*shards_.front(), [this, payload, seq,
+                          done = std::move(done)](Shard& s0) mutable {
+    Status status = s0.table.ApplyUpdate(*payload);
+    const std::uint32_t epoch = s0.table.epoch();
+    epoch_.store(epoch, kRelaxed);
+    if (shards_.size() == 1) {
+      Response resp;
+      resp.seq = seq;
+      resp.status = status.raw();
+      resp.epoch = epoch;
+      done(std::move(resp));
+      return;
+    }
+    // Scatter the payload to every other shard; the ack waits for all of
+    // them so a subsequent request routed anywhere sees the new table —
+    // the same fence the old exclusive table lock provided.
+    auto gather = std::make_shared<PushGather>();
+    gather->seq = seq;
+    gather->epoch = epoch;
+    gather->status = status;
+    gather->remaining.store(shards_.size() - 1, kRelaxed);
+    gather->done = std::move(done);
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      Post(*shards_[s], [this, payload, gather](Shard& sh) {
+        sh.table.ApplyUpdate(*payload);
+        if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          Response resp;
+          resp.seq = gather->seq;
+          resp.status = gather->status.raw();
+          resp.epoch = gather->epoch;
+          gather->done(std::move(resp));
+        }
+      });
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Migration (§III.C): incoming Begin/Data/End are shard tasks; outgoing
+// marks the shard, streams from a finisher, and posts completion back
+// ---------------------------------------------------------------------------
+
+void ZhtServer::ExecMigrateBegin(Shard& shard, Request&& request,
+                                 ResponseCallback done) {
+  Response resp;
+  resp.seq = request.seq;
+  // Fresh store for the incoming partition (replaces any stale replica
+  // copy; the authoritative data is what the source streams to us). The
+  // shard drain fences out readers of the old store.
+  std::shared_ptr<KVStore> store =
+      options_.store_factory(options_.self, request.partition);
+  shard.stores[request.partition] = std::move(store);
+  resp.epoch = shard.table.epoch();
+  done(std::move(resp));
+}
+
+void ZhtServer::ExecMigrateData(Shard& shard, Request&& request,
+                                ResponseCallback done) {
+  Response resp;
+  resp.seq = request.seq;
+  auto pairs = UnpackPairs(request.value);
+  if (!pairs.ok()) {
+    resp.status = pairs.status().raw();
+    done(std::move(resp));
+    return;
+  }
+  KVStore* store = StoreIn(shard, request.partition);
+  if (!store) {
+    resp.status = Status(StatusCode::kInternal, "store factory failed").raw();
+    done(std::move(resp));
+    return;
+  }
+  for (const auto& [key, value] : *pairs) {
+    store->Put(key, value);
+  }
+  // Ack the carrier only once its pairs are durable (one wait per carrier);
+  // the source treats the ack as "these pairs are safely moved".
+  const std::uint64_t token = store->last_commit_token();
+  if (token == 0) {
+    done(std::move(resp));
+    return;
+  }
+  std::shared_ptr<KVStore> pinned = shard.stores[request.partition];
+  pinned->NotifyDurable(
+      token, [resp = std::move(resp), done = std::move(done)](
+                 Status durable) mutable {
+        if (!durable.ok()) resp.status = durable.raw();
+        done(std::move(resp));
+      });
+}
+
+void ZhtServer::ExecMigrateEnd(Shard& shard, Request&& request,
+                               ResponseCallback done) {
+  Response resp;
+  resp.seq = request.seq;
+  stats_.migrations_in.fetch_add(1, kRelaxed);
+  resp.epoch = shard.table.epoch();
+  done(std::move(resp));
+}
+
+void ZhtServer::StartMigrateOut(PartitionId partition,
+                                const NodeAddress& target,
+                                std::function<void(Status)> done) {
+  Post(ShardForPartition(partition),
+       [this, partition, target, done = std::move(done)](Shard& sh) mutable {
+         if (sh.migrating.count(partition)) {
+           done(Status(StatusCode::kMigrating, "partition already migrating"));
+           return;
+         }
+         // Mark and snapshot inside the shard drain: no write can land
+         // between the mark and the snapshot, so the stream is exact.
+         // Writers arriving after see kMigrating and retry (§III.C "Data
+         // Migration").
+         sh.migrating.insert(partition);
+         auto pairs = std::make_shared<
+             std::vector<std::pair<std::string, std::string>>>();
+         auto it = sh.stores.find(partition);
+         if (it != sh.stores.end() && it->second) {
+           it->second->ForEach(
+               [&pairs](std::string_view k, std::string_view v) {
+                 pairs->emplace_back(std::string(k), std::string(v));
+               });
+         }
+         EnqueueFinisher(
+             [this, partition, target, pairs, done = std::move(done)]() mutable {
+               Status status = StreamPartition(partition, target, *pairs);
+               FinishMigrateOut(partition, std::move(status), std::move(done));
+             });
+       });
+}
+
+Status ZhtServer::StreamPartition(
+    PartitionId partition, const NodeAddress& target,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  Request begin;
+  begin.op = OpCode::kMigrateBegin;
+  begin.partition = partition;
+  begin.server_origin = true;
+  auto begin_result =
+      peer_transport_->Call(target, begin, options_.cluster.peer_timeout);
+  if (!begin_result.ok()) return begin_result.status();
+  if (!begin_result->ok()) return begin_result->status_as_object();
+
+  // Stream in batches ("moving a partition is as easy as moving a file").
+  std::vector<std::pair<std::string, std::string>> batch;
+  std::size_t batch_bytes = 0;
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::Ok();
+    Request data;
+    data.op = OpCode::kMigrateData;
+    data.partition = partition;
+    data.server_origin = true;
+    data.value = PackPairs(batch);
+    batch.clear();
+    batch_bytes = 0;
+    auto result =
+        peer_transport_->Call(target, data, options_.cluster.peer_timeout);
+    if (!result.ok()) return result.status();
+    if (!result->ok()) return result->status_as_object();
+    return Status::Ok();
+  };
+  for (const auto& pair : pairs) {
+    batch_bytes += pair.first.size() + pair.second.size() + 16;
+    batch.push_back(pair);
+    if (batch_bytes >= options_.migrate_batch_bytes) {
+      Status status = flush();
+      if (!status.ok()) return status;
+    }
+  }
+  Status status = flush();
+  if (!status.ok()) return status;
+
+  Request end;
+  end.op = OpCode::kMigrateEnd;
+  end.partition = partition;
+  end.server_origin = true;
+  auto end_result =
+      peer_transport_->Call(target, end, options_.cluster.peer_timeout);
+  if (!end_result.ok()) return end_result.status();
+  if (!end_result->ok()) return end_result->status_as_object();
+  return Status::Ok();
+}
+
+void ZhtServer::FinishMigrateOut(PartitionId partition, Status status,
+                                 std::function<void(Status)> done) {
+  // Completion posts back to the owning shard: on success the partition is
+  // relinquished; either way the migration lock lifts.
+  Post(ShardForPartition(partition),
+       [this, partition, status = std::move(status),
+        done = std::move(done)](Shard& sh) mutable {
+         if (status.ok()) {
+           sh.stores.erase(partition);
+           stats_.migrations_out.fetch_add(1, kRelaxed);
+         }
+         sh.migrating.erase(partition);
+         done(std::move(status));
+       });
+}
+
+Status ZhtServer::MigratePartitionTo(PartitionId partition,
+                                     const NodeAddress& target) {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+  };
+  auto latch = std::make_shared<Latch>();
+  StartMigrateOut(partition, target, [latch](Status status) {
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->status = std::move(status);
+      latch->done = true;
+    }
+    latch->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+  return latch->status;
+}
+
+// ---------------------------------------------------------------------------
+// Repair and broadcast
+// ---------------------------------------------------------------------------
+
+void ZhtServer::ExecRepair(Shard& shard, PartitionId partition,
+                           std::function<void(Status)> done) {
+  // Push every pair to every chain member (idempotent puts restore the
+  // replication level after a failure, §III.C "Node departures"). Pairs,
+  // chain, and addresses all resolve in-shard; the legs go through the
+  // async queue.
+  ReplicaPlan plan = MakeReplicaPlan(
+      shard,
+      shard.table.ReplicaChain(partition, options_.cluster.num_replicas));
+  std::vector<std::pair<std::string, std::string>> pairs;
+  auto it = shard.stores.find(partition);
+  if (it != shard.stores.end() && it->second) {
+    it->second->ForEach([&pairs](std::string_view k, std::string_view v) {
+      pairs.emplace_back(std::string(k), std::string(v));
+    });
+  }
+  for (const auto& [key, value] : pairs) {
+    for (std::size_t i = 1; i < plan.chain.size(); ++i) {
+      if (plan.chain[i] == options_.self) continue;
+      Request request;
+      request.op = OpCode::kInsert;
+      request.key = key;
+      request.value = value;
+      request.partition = partition;
+      request.server_origin = true;
+      request.replica_index = static_cast<std::uint8_t>(i);
+      EnqueueAsyncReplication(std::move(request), plan.addresses[i]);
+    }
+  }
+  done(Status::Ok());
+}
+
+Status ZhtServer::RepairPartition(PartitionId partition) {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+  };
+  auto latch = std::make_shared<Latch>();
+  Post(ShardForPartition(partition), [this, partition, latch](Shard& sh) {
+    ExecRepair(sh, partition, [latch](Status status) {
+      {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        latch->status = std::move(status);
+        latch->done = true;
+      }
+      latch->cv.notify_one();
+    });
+  });
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+  return latch->status;
+}
+
+void ZhtServer::ExecBroadcast(Shard& shard, Request&& request,
+                              ResponseCallback done) {
+  const PartitionId partition = shard.table.PartitionOfKey(request.key);
+  const std::size_t count = shard.table.instance_count();
+  const std::size_t self_index = options_.self;
+
+  KVStore* store = StoreIn(shard, partition);
+  Status put = store ? store->Put(request.key, request.value)
+                     : Status(StatusCode::kInternal, "store factory failed");
+  stats_.broadcasts.fetch_add(1, kRelaxed);
+
+  // Binary spanning tree over instance ids (§VI "Broadcast primitive"):
+  // node i forwards to 2i+1 and 2i+2. Children's addresses resolve here,
+  // in-shard.
+  std::vector<NodeAddress> children;
+  for (std::size_t child : {2 * self_index + 1, 2 * self_index + 2}) {
+    if (child >= count) continue;
+    if (child < shard.table.instance_count()) {
+      children.push_back(
+          shard.table.Instance(static_cast<InstanceId>(child)).address);
+    }
+  }
+
+  std::shared_ptr<KVStore> pinned;
+  std::uint64_t token = 0;
+  if (put.ok()) {
+    auto it = shard.stores.find(partition);
+    if (it != shard.stores.end() && it->second) {
+      pinned = it->second;
+      token = pinned->last_commit_token();
+    }
+  }
+  auto fin = [this, seq = request.seq, forward = std::move(request),
+              children = std::move(children), put,
+              done = std::move(done)](Status durable) mutable {
+    Response resp;
+    resp.seq = seq;
+    resp.status = (put.ok() ? durable : put).raw();
+    for (const NodeAddress& child : children) {
+      Request hop = forward;
+      hop.server_origin = true;
+      EnqueueAsyncReplication(std::move(hop), child);
+    }
+    done(std::move(resp));
+  };
+  if (token != 0) {
+    pinned->NotifyDurable(token, std::move(fin));
+  } else {
+    fin(Status::Ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replication (finisher/async-worker threads; addresses pre-resolved)
+// ---------------------------------------------------------------------------
+
 void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
-                              const std::vector<InstanceId>& chain) {
+                              const ReplicaPlan& plan) {
   Request forward = original;
   forward.server_origin = true;
   forward.partition = partition;
 
   // Fan-out of this mutation: every chain member beyond the primary.
   replication_fanout_hist_->Record(
-      static_cast<std::int64_t>(chain.size()) - 1);
+      static_cast<std::int64_t>(plan.chain.size()) - 1);
 
-  if (options_.sync_secondary && chain.size() > 1) {
+  if (options_.sync_secondary && plan.chain.size() > 1) {
     forward.replica_index = 1;
-    NodeAddress secondary;
-    {
-      std::shared_lock<std::shared_mutex> lock(table_mu_);
-      secondary = table_.Instance(chain[1]).address;
-    }
     stats_.replications_sync.fetch_add(1, kRelaxed);
     replication_sync_counter_->Increment();
-    auto result =
-        peer_transport_->Call(secondary, forward, options_.cluster.peer_timeout);
+    auto result = peer_transport_->Call(plan.addresses[1], forward,
+                                        options_.cluster.peer_timeout);
     if (!result.ok()) {
-      ZHT_WARN << "sync replication to " << secondary.ToString()
+      ZHT_WARN << "sync replication to " << plan.addresses[1].ToString()
                << " failed: " << result.status().ToString();
     }
   }
-  std::size_t first_async = options_.sync_secondary ? 2 : 1;
-  for (std::size_t i = first_async; i < chain.size(); ++i) {
+  const std::size_t first_async = options_.sync_secondary ? 2 : 1;
+  for (std::size_t i = first_async; i < plan.chain.size(); ++i) {
     Request async = forward;
     async.replica_index = static_cast<std::uint8_t>(i);
-    EnqueueAsyncReplication(std::move(async), chain[i]);
+    EnqueueAsyncReplication(std::move(async), plan.addresses[i]);
     replication_async_counter_->Increment();
     stats_.replications_async.fetch_add(1, kRelaxed);
   }
 }
 
-void ZhtServer::ReplicateBatch(
+void ZhtServer::ReplicateBatchResolved(
     std::vector<Request> ops, const std::vector<PartitionId>& partitions,
-    const std::vector<std::vector<InstanceId>>& chains) {
+    const std::vector<ReplicaPlan>& plans) {
   for (std::size_t i = 0; i < ops.size(); ++i) {
     ops[i].server_origin = true;
     ops[i].partition = partitions[i];
   }
-
-  for (const auto& chain : chains) {
-    replication_fanout_hist_->Record(static_cast<std::int64_t>(chain.size()) -
-                                     1);
+  for (const ReplicaPlan& plan : plans) {
+    replication_fanout_hist_->Record(
+        static_cast<std::int64_t>(plan.chain.size()) - 1);
   }
 
   // Synchronous leg: group sub-ops by their secondary and push each group
   // as one pipelined BATCH call before acknowledging the client.
   if (options_.sync_secondary) {
-    std::unordered_map<InstanceId, std::vector<Request>> groups;
+    std::unordered_map<InstanceId,
+                       std::pair<NodeAddress, std::vector<Request>>>
+        groups;
     for (std::size_t i = 0; i < ops.size(); ++i) {
-      if (chains[i].size() > 1) {
+      if (plans[i].chain.size() > 1) {
         Request forward = ops[i];
         forward.replica_index = 1;
-        groups[chains[i][1]].push_back(std::move(forward));
+        auto& group = groups[plans[i].chain[1]];
+        group.first = plans[i].addresses[1];
+        group.second.push_back(std::move(forward));
       }
     }
     for (auto& [target_id, group] : groups) {
-      NodeAddress target;
-      bool have_target = false;
-      {
-        std::shared_lock<std::shared_mutex> lock(table_mu_);
-        if (target_id < table_.instance_count()) {
-          target = table_.Instance(target_id).address;
-          have_target = true;
-        }
-      }
-      if (!have_target) continue;
-      stats_.replications_sync.fetch_add(group.size(), kRelaxed);
-      replication_sync_counter_->Increment(group.size());
-      auto result =
-          peer_transport_->CallBatch(target, group, options_.cluster.peer_timeout);
+      stats_.replications_sync.fetch_add(group.second.size(), kRelaxed);
+      replication_sync_counter_->Increment(group.second.size());
+      auto result = peer_transport_->CallBatch(group.first, group.second,
+                                               options_.cluster.peer_timeout);
       if (!result.ok()) {
-        ZHT_WARN << "sync batch replication to " << target.ToString()
+        ZHT_WARN << "sync batch replication to " << group.first.ToString()
                  << " failed: " << result.status().ToString();
       }
     }
@@ -591,25 +1369,29 @@ void ZhtServer::ReplicateBatch(
 
   // Asynchronous legs: one queued BATCH carrier per (replica slot, target)
   // group, so further replicas also receive the batch as a unit.
-  std::size_t first_async = options_.sync_secondary ? 2 : 1;
-  std::unordered_map<InstanceId, std::vector<Request>> async_groups;
+  const std::size_t first_async = options_.sync_secondary ? 2 : 1;
+  std::unordered_map<InstanceId, std::pair<NodeAddress, std::vector<Request>>>
+      async_groups;
   for (std::size_t i = 0; i < ops.size(); ++i) {
-    for (std::size_t r = first_async; r < chains[i].size(); ++r) {
+    for (std::size_t r = first_async; r < plans[i].chain.size(); ++r) {
       Request forward = ops[i];
       forward.replica_index = static_cast<std::uint8_t>(r);
-      async_groups[chains[i][r]].push_back(std::move(forward));
+      auto& group = async_groups[plans[i].chain[r]];
+      group.first = plans[i].addresses[r];
+      group.second.push_back(std::move(forward));
     }
   }
   for (auto& [target_id, group] : async_groups) {
-    Request packed =
-        PackBatchRequest(group, group.front().seq, /*server_origin=*/true);
-    replication_async_counter_->Increment(group.size());
-    stats_.replications_async.fetch_add(group.size(), kRelaxed);
-    EnqueueAsyncReplication(std::move(packed), target_id);
+    Request packed = PackBatchRequest(group.second, group.second.front().seq,
+                                      /*server_origin=*/true);
+    replication_async_counter_->Increment(group.second.size());
+    stats_.replications_async.fetch_add(group.second.size(), kRelaxed);
+    EnqueueAsyncReplication(std::move(packed), group.first);
   }
 }
 
-void ZhtServer::EnqueueAsyncReplication(Request request, InstanceId target) {
+void ZhtServer::EnqueueAsyncReplication(Request request,
+                                        const NodeAddress& target) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     async_queue_.emplace_back(std::move(request), target);
@@ -619,30 +1401,21 @@ void ZhtServer::EnqueueAsyncReplication(Request request, InstanceId target) {
 
 void ZhtServer::AsyncReplicationLoop() {
   for (;;) {
-    std::pair<Request, InstanceId> item;
+    std::pair<Request, NodeAddress> item;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
-                     [this] { return stopping_ || !async_queue_.empty(); });
-      if (stopping_ && async_queue_.empty()) return;
+                     [this] { return async_stop_ || !async_queue_.empty(); });
+      if (async_queue_.empty()) return;  // async_stop_ && drained
       item = std::move(async_queue_.front());
       async_queue_.pop_front();
       ++async_inflight_;
     }
-    NodeAddress target;
-    bool have_target = false;
-    {
-      std::shared_lock<std::shared_mutex> lock(table_mu_);
-      if (item.second < table_.instance_count()) {
-        target = table_.Instance(item.second).address;
-        have_target = true;
-      }
-    }
-    if (have_target) {
-      auto result =
-          peer_transport_->Call(target, item.first, options_.cluster.peer_timeout);
+    if (!item.second.host.empty() || item.second.port != 0) {
+      auto result = peer_transport_->Call(item.second, item.first,
+                                          options_.cluster.peer_timeout);
       if (!result.ok()) {
-        ZHT_DEBUG << "async replication to " << target.ToString()
+        ZHT_DEBUG << "async replication to " << item.second.ToString()
                   << " failed: " << result.status().ToString();
       }
     }
@@ -661,276 +1434,32 @@ void ZhtServer::FlushAsyncReplication() {
   });
 }
 
-Response ZhtServer::HandleMembershipPull(Request&& request) {
-  Response resp;
-  resp.seq = request.seq;
-  std::shared_lock<std::shared_mutex> lock(table_mu_);
-  resp.epoch = table_.epoch();
-  resp.membership = request.epoch == 0 ? table_.EncodeFull()
-                                       : table_.EncodeDelta(request.epoch);
-  return resp;
-}
-
-Response ZhtServer::HandleMembershipPush(Request&& request) {
-  Response resp;
-  resp.seq = request.seq;
-  std::unique_lock<std::shared_mutex> lock(table_mu_);
-  Status status = table_.ApplyUpdate(request.value);
-  resp.status = status.raw();
-  resp.epoch = table_.epoch();
-  return resp;
-}
-
-Response ZhtServer::HandleMigrateBegin(Request&& request) {
-  Response resp;
-  resp.seq = request.seq;
-  // Fresh store for the incoming partition (replaces any stale replica
-  // copy; the authoritative data is what the source streams to us). The
-  // stripe hold fences out readers of the old store; the retired store is
-  // destroyed inside it.
-  auto store = options_.store_factory(options_.self, request.partition);
+void ZhtServer::EnqueueFinisher(std::function<void()> job) {
   {
-    Stripe& stripe = StripeFor(request.partition);
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    std::shared_ptr<KVStore> retired;
+    std::lock_guard<std::mutex> lock(finisher_mu_);
+    finisher_queue_.push_back(std::move(job));
+  }
+  finisher_cv_.notify_one();
+}
+
+void ZhtServer::FinisherLoop() {
+  for (;;) {
+    std::function<void()> job;
     {
-      std::lock_guard<std::mutex> map_lock(partitions_mu_);
-      auto it = partitions_.find(request.partition);
-      if (it != partitions_.end()) retired = std::move(it->second);
-      partitions_[request.partition] = std::move(store);
+      std::unique_lock<std::mutex> lock(finisher_mu_);
+      finisher_cv_.wait(
+          lock, [this] { return finishers_stop_ || !finisher_queue_.empty(); });
+      if (finisher_queue_.empty()) return;  // finishers_stop_ && drained
+      job = std::move(finisher_queue_.front());
+      finisher_queue_.pop_front();
     }
+    job();
   }
-  {
-    std::shared_lock<std::shared_mutex> lock(table_mu_);
-    resp.epoch = table_.epoch();
-  }
-  return resp;
 }
 
-Response ZhtServer::HandleMigrateData(Request&& request) {
-  Response resp;
-  resp.seq = request.seq;
-  auto pairs = UnpackPairs(request.value);
-  if (!pairs.ok()) {
-    resp.status = pairs.status().raw();
-    return resp;
-  }
-  Stripe& stripe = StripeFor(request.partition);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  KVStore* store = StoreFor(request.partition);
-  for (const auto& [key, value] : *pairs) {
-    store->Put(key, value);
-  }
-  // Ack the carrier only once its pairs are durable (one wait per carrier);
-  // the source treats the ack as "these pairs are safely moved".
-  Status durable = store->WaitDurable(store->last_commit_token());
-  if (!durable.ok()) resp.status = durable.raw();
-  return resp;
-}
-
-Response ZhtServer::HandleMigrateEnd(Request&& request) {
-  Response resp;
-  resp.seq = request.seq;
-  stats_.migrations_in.fetch_add(1, kRelaxed);
-  std::shared_lock<std::shared_mutex> lock(table_mu_);
-  resp.epoch = table_.epoch();
-  return resp;
-}
-
-Status ZhtServer::MigratePartitionTo(PartitionId partition,
-                                     const NodeAddress& target) {
-  // Mark the partition migrating and snapshot it under one stripe hold:
-  // no write can land between the lock and the snapshot, so the stream is
-  // exact. Writers arriving after see kMigrating and retry (§III.C "Data
-  // Migration"); readers/writers of other partitions proceed unhindered.
-  std::vector<std::pair<std::string, std::string>> pairs;
-  {
-    Stripe& stripe = StripeFor(partition);
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    if (stripe.migrating.count(partition)) {
-      return Status(StatusCode::kMigrating, "partition already migrating");
-    }
-    stripe.migrating.insert(partition);
-    KVStore* store = nullptr;
-    {
-      std::lock_guard<std::mutex> map_lock(partitions_mu_);
-      auto it = partitions_.find(partition);
-      if (it != partitions_.end()) store = it->second.get();
-    }
-    if (store) {
-      store->ForEach([&pairs](std::string_view k, std::string_view v) {
-        pairs.emplace_back(std::string(k), std::string(v));
-      });
-    }
-  }
-
-  auto fail = [this, partition](Status status) {
-    Stripe& stripe = StripeFor(partition);
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    stripe.migrating.erase(partition);
-    return status;
-  };
-
-  Request begin;
-  begin.op = OpCode::kMigrateBegin;
-  begin.partition = partition;
-  begin.server_origin = true;
-  auto begin_result =
-      peer_transport_->Call(target, begin, options_.cluster.peer_timeout);
-  if (!begin_result.ok()) return fail(begin_result.status());
-  if (!begin_result->ok()) return fail(begin_result->status_as_object());
-
-  // Stream in batches ("moving a partition is as easy as moving a file").
-  std::vector<std::pair<std::string, std::string>> batch;
-  std::size_t batch_bytes = 0;
-  auto flush = [&]() -> Status {
-    if (batch.empty()) return Status::Ok();
-    Request data;
-    data.op = OpCode::kMigrateData;
-    data.partition = partition;
-    data.server_origin = true;
-    data.value = PackPairs(batch);
-    batch.clear();
-    batch_bytes = 0;
-    auto result = peer_transport_->Call(target, data, options_.cluster.peer_timeout);
-    if (!result.ok()) return result.status();
-    if (!result->ok()) return result->status_as_object();
-    return Status::Ok();
-  };
-  for (auto& pair : pairs) {
-    batch_bytes += pair.first.size() + pair.second.size() + 16;
-    batch.push_back(std::move(pair));
-    if (batch_bytes >= options_.migrate_batch_bytes) {
-      Status status = flush();
-      if (!status.ok()) return fail(status);
-    }
-  }
-  Status status = flush();
-  if (!status.ok()) return fail(status);
-
-  Request end;
-  end.op = OpCode::kMigrateEnd;
-  end.partition = partition;
-  end.server_origin = true;
-  auto end_result = peer_transport_->Call(target, end, options_.cluster.peer_timeout);
-  if (!end_result.ok()) return fail(end_result.status());
-  if (!end_result->ok()) return fail(end_result->status_as_object());
-
-  {
-    Stripe& stripe = StripeFor(partition);
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    std::shared_ptr<KVStore> retired;
-    {
-      std::lock_guard<std::mutex> map_lock(partitions_mu_);
-      auto it = partitions_.find(partition);
-      if (it != partitions_.end()) {
-        retired = std::move(it->second);
-        partitions_.erase(it);
-      }
-    }
-    stripe.migrating.erase(partition);
-  }
-  stats_.migrations_out.fetch_add(1, kRelaxed);
-  return Status::Ok();
-}
-
-Response ZhtServer::HandleMigrateOut(Request&& request) {
-  Response resp;
-  resp.seq = request.seq;
-  auto target = NodeAddress::Parse(request.value);
-  if (!target.ok()) {
-    resp.status = target.status().raw();
-    return resp;
-  }
-  Status status = MigratePartitionTo(request.partition, *target);
-  resp.status = status.raw();
-  {
-    std::shared_lock<std::shared_mutex> lock(table_mu_);
-    resp.epoch = table_.epoch();
-  }
-  return resp;
-}
-
-Status ZhtServer::RepairPartition(PartitionId partition) {
-  // Push every pair to every chain member (idempotent puts restore the
-  // replication level after a failure, §III.C "Node departures").
-  std::vector<InstanceId> chain;
-  {
-    std::shared_lock<std::shared_mutex> lock(table_mu_);
-    chain = table_.ReplicaChain(partition, options_.cluster.num_replicas);
-  }
-  std::vector<std::pair<std::string, std::string>> pairs;
-  {
-    Stripe& stripe = StripeFor(partition);
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    KVStore* store = nullptr;
-    {
-      std::lock_guard<std::mutex> map_lock(partitions_mu_);
-      auto it = partitions_.find(partition);
-      if (it != partitions_.end()) store = it->second.get();
-    }
-    if (store) {
-      store->ForEach([&pairs](std::string_view k, std::string_view v) {
-        pairs.emplace_back(std::string(k), std::string(v));
-      });
-    }
-  }
-  for (const auto& [key, value] : pairs) {
-    for (std::size_t i = 1; i < chain.size(); ++i) {
-      if (chain[i] == options_.self) continue;
-      Request request;
-      request.op = OpCode::kInsert;
-      request.key = key;
-      request.value = value;
-      request.partition = partition;
-      request.server_origin = true;
-      request.replica_index = static_cast<std::uint8_t>(i);
-      EnqueueAsyncReplication(std::move(request), chain[i]);
-    }
-  }
-  return Status::Ok();
-}
-
-Response ZhtServer::HandleRepair(Request&& request) {
-  Response resp;
-  resp.seq = request.seq;
-  resp.status = RepairPartition(request.partition).raw();
-  return resp;
-}
-
-Response ZhtServer::HandleBroadcast(Request&& request) {
-  Response resp;
-  resp.seq = request.seq;
-
-  PartitionId partition = 0;
-  std::size_t count = 0;
-  const std::size_t self_index = options_.self;
-  {
-    std::shared_lock<std::shared_mutex> lock(table_mu_);
-    partition = table_.PartitionOfKey(request.key);
-    count = table_.instance_count();
-  }
-  {
-    Stripe& stripe = StripeFor(partition);
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    KVStore* store = StoreFor(partition);
-    Status status = store->Put(request.key, request.value);
-    if (status.ok()) status = store->WaitDurable(store->last_commit_token());
-    resp.status = status.raw();
-  }
-  stats_.broadcasts.fetch_add(1, kRelaxed);
-
-  // Binary spanning tree over instance ids (§VI "Broadcast primitive"):
-  // node i forwards to 2i+1 and 2i+2.
-  for (std::size_t child : {2 * self_index + 1, 2 * self_index + 2}) {
-    if (child >= count) continue;
-    Request forward = request;
-    forward.server_origin = true;
-    EnqueueAsyncReplication(std::move(forward),
-                            static_cast<InstanceId>(child));
-  }
-  return resp;
-}
+// ---------------------------------------------------------------------------
+// Stats / census (scatter over every shard, gather with completion count)
+// ---------------------------------------------------------------------------
 
 ZhtServerStats ZhtServer::stats() const {
   ZhtServerStats s;
@@ -945,67 +1474,65 @@ ZhtServerStats ZhtServer::stats() const {
   return s;
 }
 
-std::uint64_t ZhtServer::CountEntries(std::size_t* held) const {
-  // Snapshot the partition ids, then size each store under its stripe (a
-  // store pointer is only safe to dereference with the stripe held).
-  std::vector<PartitionId> ids;
-  {
-    std::lock_guard<std::mutex> lock(partitions_mu_);
-    ids.reserve(partitions_.size());
-    for (const auto& [partition, store] : partitions_) ids.push_back(partition);
+void ZhtServer::ScatterCensus(
+    std::function<void(std::vector<ShardCensus>)> done) const {
+  // Posting census tasks mutates only mailbox state; the census itself
+  // reads shard-owned stores inside their drains.
+  auto* self = const_cast<ZhtServer*>(this);
+  struct Gather {
+    std::vector<ShardCensus> per;
+    std::atomic<std::size_t> remaining{0};
+    std::function<void(std::vector<ShardCensus>)> done;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->per.resize(shards_.size());
+  gather->remaining.store(shards_.size(), kRelaxed);
+  gather->done = std::move(done);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    self->Post(*shards_[s], [gather, s](Shard& sh) {
+      ShardCensus& census = gather->per[s];
+      census.held = sh.stores.size();
+      for (const auto& [partition, store] : sh.stores) {
+        if (!store) continue;
+        census.entries += store->Size();
+        StoreDurabilityMetrics one;
+        if (store->durability_metrics(&one)) {
+          census.durability.group_commit_batch.Merge(one.group_commit_batch);
+          census.durability.fsync_micros.Merge(one.fsync_micros);
+          census.durability.fsync_errors += one.fsync_errors;
+          census.durability.group_commits += one.group_commits;
+          census.any_durability = true;
+        }
+      }
+      if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        gather->done(std::move(gather->per));
+      }
+    });
   }
-  if (held) *held = ids.size();
-  std::uint64_t entries = 0;
-  for (PartitionId partition : ids) {
-    Stripe& stripe = StripeFor(partition);
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    std::lock_guard<std::mutex> map_lock(partitions_mu_);
-    auto it = partitions_.find(partition);
-    if (it != partitions_.end()) entries += it->second->Size();
-  }
-  return entries;
 }
 
-bool ZhtServer::AggregateDurability(StoreDurabilityMetrics* out) const {
-  // Same discipline as CountEntries: snapshot partition ids, then visit
-  // each store under its stripe.
-  std::vector<PartitionId> ids;
-  {
-    std::lock_guard<std::mutex> lock(partitions_mu_);
-    ids.reserve(partitions_.size());
-    for (const auto& [partition, store] : partitions_) ids.push_back(partition);
-  }
-  bool any = false;
-  for (PartitionId partition : ids) {
-    Stripe& stripe = StripeFor(partition);
-    std::lock_guard<std::mutex> stripe_lock(stripe.mu);
-    std::lock_guard<std::mutex> map_lock(partitions_mu_);
-    auto it = partitions_.find(partition);
-    if (it == partitions_.end()) continue;
-    StoreDurabilityMetrics one;
-    if (!it->second->durability_metrics(&one)) continue;
-    out->group_commit_batch.Merge(one.group_commit_batch);
-    out->fsync_micros.Merge(one.fsync_micros);
-    out->fsync_errors += one.fsync_errors;
-    out->group_commits += one.group_commits;
-    any = true;
-  }
-  return any;
-}
-
-MetricsSnapshot ZhtServer::MetricsSnapshotNow() const {
+MetricsSnapshot ZhtServer::BuildSnapshot(
+    const std::vector<ShardCensus>& census) const {
   // Legacy counters and instance-level gauges first (stable names the
   // tools print as `name = value`), then everything in the registry.
   MetricsSnapshot snapshot;
+  std::uint64_t entries = 0;
   std::size_t held = 0;
-  const std::uint64_t entries = CountEntries(&held);
-  std::uint32_t epoch = 0;
-  {
-    std::shared_lock<std::shared_mutex> lock(table_mu_);
-    epoch = table_.epoch();
+  StoreDurabilityMetrics durability;
+  bool any_durability = false;
+  for (const ShardCensus& c : census) {
+    entries += c.entries;
+    held += c.held;
+    if (c.any_durability) {
+      durability.group_commit_batch.Merge(c.durability.group_commit_batch);
+      durability.fsync_micros.Merge(c.durability.fsync_micros);
+      durability.fsync_errors += c.durability.fsync_errors;
+      durability.group_commits += c.durability.group_commits;
+      any_durability = true;
+    }
   }
   snapshot.AddGauge("instance", static_cast<std::int64_t>(options_.self));
-  snapshot.AddGauge("epoch", epoch);
+  snapshot.AddGauge("epoch", epoch_.load(kRelaxed));
   snapshot.AddGauge("partitions_held", static_cast<std::int64_t>(held));
   snapshot.AddGauge("entries", static_cast<std::int64_t>(entries));
   snapshot.AddCounter("ops", stats_.ops.load(kRelaxed));
@@ -1019,8 +1546,7 @@ MetricsSnapshot ZhtServer::MetricsSnapshotNow() const {
   snapshot.AddCounter("broadcasts", stats_.broadcasts.load(kRelaxed));
   snapshot.AddCounter("duplicate_appends_dropped",
                       stats_.duplicate_appends_dropped.load(kRelaxed));
-  StoreDurabilityMetrics durability;
-  if (AggregateDurability(&durability)) {
+  if (any_durability) {
     snapshot.AddCounter("novoht.fsync_errors", durability.fsync_errors);
     snapshot.AddCounter("novoht.group_commits", durability.group_commits);
     snapshot.AddHistogram("novoht.group_commit.batch_size",
@@ -1035,6 +1561,81 @@ MetricsSnapshot ZhtServer::MetricsSnapshotNow() const {
   return snapshot;
 }
 
-std::uint64_t ZhtServer::TotalEntries() const { return CountEntries(nullptr); }
+MetricsSnapshot ZhtServer::MetricsSnapshotNow() const {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<ShardCensus> census;
+  };
+  auto latch = std::make_shared<Latch>();
+  ScatterCensus([latch](std::vector<ShardCensus> census) {
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->census = std::move(census);
+      latch->done = true;
+    }
+    latch->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+  return BuildSnapshot(latch->census);
+}
+
+std::uint64_t ZhtServer::TotalEntries() const {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::uint64_t entries = 0;
+  };
+  auto latch = std::make_shared<Latch>();
+  ScatterCensus([latch](std::vector<ShardCensus> census) {
+    std::uint64_t total = 0;
+    for (const ShardCensus& c : census) total += c.entries;
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->entries = total;
+      latch->done = true;
+    }
+    latch->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+  return latch->entries;
+}
+
+std::vector<std::size_t> ZhtServer::ShardPartitionCounts() const {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<std::size_t> counts;
+  };
+  auto latch = std::make_shared<Latch>();
+  ScatterCensus([latch](std::vector<ShardCensus> census) {
+    std::vector<std::size_t> counts;
+    counts.reserve(census.size());
+    for (const ShardCensus& c : census) counts.push_back(c.held);
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->counts = std::move(counts);
+      latch->done = true;
+    }
+    latch->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+  return latch->counts;
+}
+
+std::uint64_t ZhtServer::ShardForwardedOps(std::size_t shard) const {
+  return shard < shards_.size() ? shards_[shard]->forwarded.load(kRelaxed) : 0;
+}
+
+HistogramData ZhtServer::ShardMailboxDepth(std::size_t shard) const {
+  return shard < shards_.size() ? shards_[shard]->mailbox_depth.Snapshot()
+                                : HistogramData{};
+}
 
 }  // namespace zht

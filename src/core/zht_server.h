@@ -4,41 +4,63 @@
 // lazy client update), applies operations, and drives replication:
 // synchronous to the secondary, asynchronous to further replicas (§III.J).
 //
-// The request handler is transport-agnostic: bind Handle() to an
-// EpollServer (live TCP/UDP), a LoopbackNetwork (in-process clusters), or
-// call it directly in unit tests.
+// The request API is asynchronous and ownership-routed (DESIGN.md §9):
+// HandleAsync(Request&&, ResponseCallback) routes each request to the shard
+// that owns its partition and completes via callback. A shard owns a
+// disjoint set of partitions end-to-end — stores, membership-table copy,
+// append-dedup window, migration locks — and only ever executes on one
+// thread at a time, so the single-key hot path acquires ZERO mutexes:
+// ingress computes the partition from an immutable PartitionSpace copy,
+// posts a task into the shard's mailbox, and the owning reactor drains it.
 //
-// Handle() is thread-safe and striped (DESIGN.md §9): the multi-reactor
-// EpollServer calls it concurrently from every reactor. Concurrency is
-// partition-grained — operations on different partitions proceed in
-// parallel; operations on the same partition serialize on that partition's
-// stripe mutex. The membership table sits behind a shared_mutex (routing
-// takes it shared; pushes take it exclusive), and the append-dedup window
-// is sharded per stripe so it needs no extra lock.
+// Shard mailboxes: one bounded SPSC ring per bound executor (reactor) plus
+// a lock-free MPSC queue for every other producer (finishers, durability
+// flushers, external threads) and for ring overflow. A request arriving on
+// the wrong reactor is forwarded through the target shard's mailbox — a
+// message, not a lock (`reactor.forwards` counts these; `reactor.
+// mailbox_full` counts ring overflows that spilled to the MPSC queue).
 //
-// Lock order (acquire strictly left to right, release before going left):
-//   table_mu_  →  stripe mutexes (ascending index)  →  partitions_mu_
-//   →  queue_mu_
-// No code path acquires table_mu_ while holding a stripe, or a lower
-// stripe while holding a higher one.
+// Execution model:
+//   * bound shard (BindShardExecutor): only the owning reactor thread runs
+//     shard tasks — it drains after enqueueing its own posts and when its
+//     waker (eventfd) fires for cross-thread posts;
+//   * unbound shard (loopback clusters, unit tests): whichever thread
+//     posts drains, serialized by a CAS on the shard's `active` flag.
+//
+// Cross-partition operations are explicit scatter/gather messages with
+// completion counting: a BATCH spanning owners scatters per-shard groups
+// and the last group's durability callback finalizes the carrier; a
+// membership push applies on shard 0 (the epoch authority) then fans the
+// payload to every other shard before acking. Durability acks park on the
+// store's flusher via KVStore::NotifyDurable — no thread blocks in the
+// server for a group commit. Synchronous replication legs and migration
+// streaming run on a small finisher pool so shard drains never do network
+// I/O.
+//
+// Blocking adapters (Handle, MigratePartitionTo, RepairPartition,
+// TotalEntries, MetricsSnapshotNow) exist for tests, tools, and managers.
+// Never call them from a reactor thread that drives this server's shards —
+// they wait on work those shards must execute.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "core/cluster_options.h"
+#include "hashing/partition_space.h"
 #include "membership/membership_table.h"
 #include "net/transport.h"
 #include "novoht/kv_store.h"
@@ -54,9 +76,9 @@ using StoreFactory = std::function<std::unique_ptr<KVStore>(
 
 // Persistent NoVoHT partition stores: one log file per (instance, partition)
 // under `dir`, with durability taken from `cluster`. The stores defer the
-// group-commit wait (wait_for_durable = false): ZhtServer pairs
-// last_commit_token() with WaitDurable() so each request — or each BATCH
-// carrier — is acked exactly once, after its mutations are durable.
+// group-commit wait (wait_for_durable = false): ZhtServer acks each request
+// — or each BATCH carrier — exactly once, from the flusher's NotifyDurable
+// callback, after its mutations are durable.
 StoreFactory MakeNoVoHTStoreFactory(std::string dir,
                                     const ClusterOptions& cluster);
 
@@ -67,6 +89,13 @@ struct ZhtServerOptions {
   std::size_t migrate_batch_bytes = 256 * 1024;
   // Factory for partition stores. Defaults to in-memory NoVoHT.
   StoreFactory store_factory;
+  // Partition-ownership shards. 0 = auto (min(4, hardware_concurrency)).
+  // A multi-reactor front-end passes its reactor count so shards and
+  // reactors pair 1:1 (shard s bound to executor s % num_reactors).
+  std::size_t num_shards = 0;
+  // Capacity of each bounded SPSC cross-reactor mailbox ring. Overflow
+  // spills to the shard's MPSC queue and bumps `reactor.mailbox_full`.
+  std::size_t mailbox_ring_capacity = 1024;
 };
 
 struct ZhtServerStats {
@@ -89,12 +118,18 @@ class ZhtServer {
   ZhtServer(const ZhtServer&) = delete;
   ZhtServer& operator=(const ZhtServer&) = delete;
 
-  // The transport-facing entry point. Thread-safe; see the lock-order note
-  // at the top of this header.
-  Response Handle(Request&& request);
-  RequestHandler AsHandler() {
-    return [this](Request&& req) { return Handle(std::move(req)); };
+  // The transport-facing entry point: routes to the owning shard and
+  // invokes `done` exactly once — inline for redirects/rejections and the
+  // no-durability hot path, from a flusher or finisher thread otherwise.
+  // Safe to call from any thread, including reactor threads.
+  void HandleAsync(Request&& request, ResponseCallback done);
+  AsyncRequestHandler AsyncHandler() {
+    return [this](Request&& request, ResponseCallback done) {
+      HandleAsync(std::move(request), std::move(done));
+    };
   }
+  // Thin blocking adapter over HandleAsync for tests and simple callers.
+  Response Handle(Request&& request);
 
   // Re-replicates every pair of `partition` to the replica chain (used by
   // the manager to restore the replication level after a failure).
@@ -104,51 +139,176 @@ class ZhtServer {
   // it. The caller (manager) updates and broadcasts membership afterwards.
   Status MigratePartitionTo(PartitionId partition, const NodeAddress& target);
 
-  // Unsynchronized view for single-threaded tests/admin introspection; do
-  // not call concurrently with membership pushes.
-  const MembershipTable& table() const { return table_; }
+  // Unsynchronized view of shard 0's table for single-threaded tests/admin
+  // introspection; do not call concurrently with membership pushes.
+  const MembershipTable& table() const { return shards_.front()->table; }
   InstanceId self() const { return options_.self; }
   ZhtServerStats stats() const;
 
+  // --- shard/executor topology (wired by the hosting front-end) ---
+
+  std::size_t num_shards() const { return shards_.size(); }
+  // Executor that owns the shard of `request`'s key (-1 for control ops or
+  // unbound shards). The EpollServer uses this as its connection-placement
+  // hint so a well-sharded client's requests arrive on the owning reactor.
+  int PreferredExecutor(const Request& request) const;
+  // Binds shard `shard` to executor `executor` (a reactor index); `waker`
+  // must wake that executor's event loop so it drains the shard. Call
+  // before traffic starts, from the setup thread.
+  void BindShardExecutor(std::size_t shard, int executor,
+                         std::function<void()> waker);
+  // Registers the calling thread as executor `executor` for this server.
+  // Reactor on-start hook.
+  void EnterExecutorThread(int executor);
+  // Drains every shard bound to `executor`. Reactor on-wake hook; must be
+  // called from the thread that entered as `executor`.
+  void RunExecutor(int executor);
+
+  // --- per-shard telemetry (bench/tooling) ---
+
+  // Cross-executor posts into each shard's mailbox ("forwarded ops").
+  std::uint64_t ShardForwardedOps(std::size_t shard) const;
+  // Mailbox depth observed at each drain of `shard`.
+  HistogramData ShardMailboxDepth(std::size_t shard) const;
+  // Partition-store count per shard ("owned partitions"). Blocking scatter.
+  std::vector<std::size_t> ShardPartitionCounts() const;
+
   // Structured observability (§8 of DESIGN.md): per-opcode service-time
-  // histograms, batch sizes, replication fan-out. Recording is lock-free;
-  // the registry mutex is touched only here and at construction.
+  // histograms, batch sizes, replication fan-out, mailbox counters.
+  // Recording is lock-free; the registry mutex is touched only here and at
+  // construction.
   const MetricsRegistry& metrics() const { return metrics_; }
   // The full STATS payload: registry metrics plus the legacy counters and
   // instance-level gauges, as encoded by serialize/metrics_codec.h.
+  // Blocking (census scatter); not for reactor threads.
   MetricsSnapshot MetricsSnapshotNow() const;
 
-  // Total pairs held (all partitions, primary and replica).
+  // Total pairs held (all partitions, primary and replica). Blocking.
   std::uint64_t TotalEntries() const;
 
   // Waits until the async replication queue drains (tests/benches).
   void FlushAsyncReplication();
 
  private:
-  // Partition-grained lock striping: partition p is guarded by stripe
-  // p % kNumStripes. A stripe's mutex covers its partitions' store
-  // contents, migration locks, and dedup shard.
-  static constexpr std::size_t kNumStripes = 64;
-  // Per-stripe at-most-once window for the non-idempotent append
-  // (retransmitted UDP requests must not double-apply, §III.F ack-based
-  // retries). Sharding the window with the stripes keeps dedup lookups
-  // under the lock the request already holds.
-  static constexpr std::size_t kDedupWindowPerStripe = 1024;
-  struct alignas(64) Stripe {
-    std::mutex mu;
-    std::deque<std::uint64_t> dedup_ring;
-    std::unordered_set<std::uint64_t> dedup_set;
-    // This stripe's partitions locked mid-migration (§III.C).
-    std::unordered_set<PartitionId> migrating;
-  };
-  static std::size_t StripeIndexFor(PartitionId partition) {
-    return static_cast<std::size_t>(partition) % kNumStripes;
-  }
-  Stripe& StripeFor(PartitionId partition) const {
-    return stripes_[StripeIndexFor(partition)];
-  }
+  struct Shard;
+  // A unit of shard work. Runs with exclusive ownership of the shard's
+  // state; must not block on I/O, locks held elsewhere, or other shards.
+  using ShardTask = std::function<void(Shard&)>;
 
-  // Routing decision for one data op, computed under table_mu_ (shared):
+  // Intrusive MPSC queue (Vyukov): wait-free multi-producer push; the
+  // single consumer is whichever thread holds the shard's drain ownership.
+  // Pop can transiently observe an empty queue while a producer is between
+  // the exchange and the next-pointer store; drain loops reconcile against
+  // the shard's `queued` counter.
+  class MpscTaskQueue {
+   public:
+    MpscTaskQueue() {
+      Node* stub = new Node();
+      head_.store(stub, std::memory_order_relaxed);
+      tail_ = stub;
+    }
+    ~MpscTaskQueue() {
+      Node* node = tail_;
+      while (node) {
+        Node* next = node->next.load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+      }
+    }
+    void Push(ShardTask&& task) {
+      Node* node = new Node();
+      node->task = std::move(task);
+      Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+      prev->next.store(node, std::memory_order_release);
+    }
+    bool Pop(ShardTask* out) {
+      Node* tail = tail_;
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (!next) return false;
+      *out = std::move(next->task);
+      next->task = nullptr;
+      tail_ = next;
+      delete tail;
+      return true;
+    }
+
+   private:
+    struct Node {
+      ShardTask task;
+      std::atomic<Node*> next{nullptr};
+    };
+    alignas(64) std::atomic<Node*> head_;  // producers
+    alignas(64) Node* tail_;               // consumer
+  };
+
+  // Bounded SPSC ring: the producer is one specific executor thread, the
+  // consumer is the shard drain. Lock-free; Push fails (ring full) rather
+  // than blocking — the caller spills to the MPSC queue.
+  class SpscTaskRing {
+   public:
+    explicit SpscTaskRing(std::size_t capacity)
+        : slots_(capacity == 0 ? 1 : capacity) {}
+    bool Push(ShardTask&& task) {
+      const std::uint64_t head = head_.load(std::memory_order_relaxed);
+      if (head - tail_.load(std::memory_order_acquire) == slots_.size()) {
+        return false;
+      }
+      slots_[head % slots_.size()] = std::move(task);
+      head_.store(head + 1, std::memory_order_release);
+      return true;
+    }
+    bool Pop(ShardTask* out) {
+      const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+      if (tail == head_.load(std::memory_order_acquire)) return false;
+      *out = std::move(slots_[tail % slots_.size()]);
+      slots_[tail % slots_.size()] = nullptr;
+      tail_.store(tail + 1, std::memory_order_release);
+      return true;
+    }
+
+   private:
+    std::vector<ShardTask> slots_;
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+  };
+
+  // One partition-ownership shard: shard s owns every partition p with
+  // p % num_shards() == s. All non-mailbox members are touched only inside
+  // the shard's drain (single-threaded by construction), so none of this
+  // state is locked.
+  struct alignas(64) Shard {
+    std::size_t index = 0;
+
+    // --- shard-owned state (drain-exclusive, no locks) ---
+    MembershipTable table;  // private copy; updated by membership scatter
+    std::unordered_map<PartitionId, std::shared_ptr<KVStore>> stores;
+    std::deque<std::uint64_t> dedup_ring;  // at-most-once append window
+    std::unordered_set<std::uint64_t> dedup_set;
+    std::unordered_set<PartitionId> migrating;  // locked mid-migration
+
+    // --- mailbox ---
+    std::vector<std::unique_ptr<SpscTaskRing>> rings;  // [producer executor]
+    MpscTaskQueue overflow;  // non-executor producers + ring spill
+    std::atomic<std::uint64_t> queued{0};
+    std::atomic<bool> active{false};  // unbound-drain exclusivity (CAS)
+    bool draining = false;            // bound: owner-thread reentrancy guard
+    // Owning executor; -1 = unbound. Written before traffic starts
+    // (BindShardExecutor) and at unbind (~ZhtServer); atomic because
+    // finisher and flusher threads may Post concurrently with the unbind.
+    std::atomic<int> executor{-1};
+    // Wakes the owning executor's loop. Set before traffic, never cleared:
+    // the front-end outlives this server (its fds stay open through Stop),
+    // so a straggler wake after unbind is a harmless eventfd write.
+    std::function<void()> waker;
+
+    // --- telemetry ---
+    std::atomic<std::uint64_t> forwarded{0};  // cross-executor posts
+    Histogram mailbox_depth;                  // depth seen at each drain
+
+    explicit Shard(MembershipTable t) : table(std::move(t)) {}
+  };
+
+  // Routing decision for one data op, computed against the shard's table:
   // target partition, replica chain, epoch, and — when this instance is
   // the wrong owner — the ready-made REDIRECT response.
   struct DataRoute {
@@ -158,75 +318,128 @@ class ZhtServer {
     std::optional<Response> redirect;
   };
 
-  Response HandleData(Request&& request);
-  Response HandleBatch(Request&& request);
-  Response HandleMigrateBegin(Request&& request);
-  Response HandleMigrateData(Request&& request);
-  Response HandleMigrateEnd(Request&& request);
-  Response HandleMigrateOut(Request&& request);
-  Response HandleRepair(Request&& request);
-  Response HandleBroadcast(Request&& request);
-  Response HandleMembershipPull(Request&& request);
-  Response HandleMembershipPush(Request&& request);
-
-  // Caller holds StripeFor(partition).mu (store contents are stripe-
-  // guarded; StoreFor itself takes partitions_mu_ for the map).
-  Status ApplyToStore(OpCode op, PartitionId partition, std::string_view key,
-                      std::string_view value, std::string* out);
-  KVStore* StoreFor(PartitionId partition);  // creates on demand
-
-  // Durable-ack plumbing. A mutation's commit token is captured under the
-  // stripe that ordered it; the wait happens after the stripe is released,
-  // with the shared_ptr keeping the store alive across a concurrent
-  // migrate-out. Stores without a commit pipeline yield token 0 (no wait).
-  struct DurableWait {
-    std::shared_ptr<KVStore> store;
-    std::uint64_t token = 0;
+  // Replica chain with its addresses resolved in-shard, so replication
+  // finishers never touch a membership table.
+  struct ReplicaPlan {
+    std::vector<InstanceId> chain;
+    std::vector<NodeAddress> addresses;  // parallel to chain
   };
-  // Existing stores only (never creates). Caller holds the stripe.
-  std::shared_ptr<KVStore> SharedStoreFor(PartitionId partition);
-  // Merges durability metrics across every partition store; false when no
-  // store reports any.
-  bool AggregateDurability(StoreDurabilityMetrics* out) const;
-  Response RedirectTo(InstanceId owner, std::uint64_t seq,
-                      std::uint32_t requester_epoch,
-                      bool include_membership = true);
 
-  // Ownership check + chain/epoch snapshot for one data op. Caller holds
-  // table_mu_ (shared suffices). `include_redirect_delta` controls whether
-  // a REDIRECT reply carries the membership delta (a batch piggybacks it
-  // once, on its first redirected sub-op, not on every sub-response).
-  DataRoute RouteDataOpLocked(const Request& request,
-                              bool include_redirect_delta);
-  // Applies one routed data operation: migration lock, append dedup, store
-  // mutation. Caller holds StripeFor(route.partition).mu and must have
-  // already answered route.redirect if set. Shared by the single-op and
-  // BATCH paths.
-  Response ApplyDataOpStriped(const Request& request, const DataRoute& route,
-                              bool* replicate);
+  // Scatter/gather state for a BATCH spanning shard owners. Each shard
+  // group fills its own disjoint response slots; the last group to finish
+  // its durability wait finalizes the carrier.
+  struct BatchGather {
+    std::uint64_t seq = 0;
+    std::uint32_t epoch = 0;
+    Nanos start = 0;
+    std::vector<Request> ops;
+    std::vector<Response> responses;
+    std::vector<char> replicate;        // sub-op needs a replication leg
+    std::vector<PartitionId> partitions;
+    std::vector<ReplicaPlan> plans;
+    std::atomic<bool> delta_sent{false};  // one membership delta per batch
+    std::atomic<std::size_t> remaining{0};  // shard groups still running
+    ResponseCallback done;
+  };
 
+  // Gather state for a membership push fanned out to every shard.
+  struct PushGather {
+    std::uint64_t seq = 0;
+    std::uint32_t epoch = 0;
+    Status status;
+    std::atomic<std::size_t> remaining{0};
+    ResponseCallback done;
+  };
+
+  // Per-shard census slice for stats/metrics scatter.
+  struct ShardCensus {
+    std::uint64_t entries = 0;
+    std::size_t held = 0;
+    StoreDurabilityMetrics durability;
+    bool any_durability = false;
+  };
+
+  Shard& ShardForPartition(PartitionId partition) const {
+    return *shards_[partition % shards_.size()];
+  }
+
+  // --- mailbox machinery ---
+  int CurrentExecutor() const;  // this thread's executor for this server
+  void Post(Shard& shard, ShardTask task);
+  void Enqueue(Shard& shard, ShardTask task);
+  void Kick(Shard& shard);
+  void DrainBound(Shard& shard);   // owner executor thread only
+  void DrainShared(Shard& shard);  // unbound shards: CAS-serialized
+  std::size_t DrainAll(Shard& shard);
+
+  // --- request execution (inside shard drains unless noted) ---
+  void ExecDataOp(Shard& shard, Request&& request, ResponseCallback done,
+                  Nanos start);
+  DataRoute RouteDataOp(Shard& shard, const Request& request,
+                        std::atomic<bool>* delta_gate);
+  Response RedirectTo(const Shard& shard, InstanceId owner, std::uint64_t seq,
+                      std::uint32_t requester_epoch, bool include_membership);
+  bool IsDuplicateAppend(Shard& shard, const Request& request);
+  Status ApplyToStore(Shard& shard, OpCode op, PartitionId partition,
+                      std::string_view key, std::string_view value,
+                      std::string* out);
+  KVStore* StoreIn(Shard& shard, PartitionId partition);  // creates on demand
+  ReplicaPlan MakeReplicaPlan(const Shard& shard,
+                              const std::vector<InstanceId>& chain) const;
+
+  void StartBatch(Request&& request, ResponseCallback done);  // ingress
+  void ExecBatchGroup(Shard& shard, const std::shared_ptr<BatchGather>& gather,
+                      std::vector<std::size_t> indices);
+  void CompleteBatchGroup(const std::shared_ptr<BatchGather>& gather);
+  void FinalizeBatch(const std::shared_ptr<BatchGather>& gather);
+
+  void StartMembershipPush(Request&& request, ResponseCallback done);
+  void ExecMigrateBegin(Shard& shard, Request&& request, ResponseCallback done);
+  void ExecMigrateData(Shard& shard, Request&& request, ResponseCallback done);
+  void ExecMigrateEnd(Shard& shard, Request&& request, ResponseCallback done);
+  void ExecBroadcast(Shard& shard, Request&& request, ResponseCallback done);
+  void ExecRepair(Shard& shard, PartitionId partition,
+                  std::function<void(Status)> done);
+  // Marks `partition` migrating in its shard, snapshots it, then streams
+  // Begin/Data/End from a finisher; completion posts back to the shard.
+  void StartMigrateOut(PartitionId partition, const NodeAddress& target,
+                       std::function<void(Status)> done);
+  // Finisher-thread body: the Begin/Data/End peer conversation.
+  Status StreamPartition(
+      PartitionId partition, const NodeAddress& target,
+      const std::vector<std::pair<std::string, std::string>>& pairs);
+  void FinishMigrateOut(PartitionId partition, Status status,
+                        std::function<void(Status)> done);
+
+  // Scatters a census task across every shard; `done` runs on the shard
+  // that finishes last (or inline when a shard chain completes inline).
+  void ScatterCensus(
+      std::function<void(std::vector<ShardCensus>)> done) const;
+  MetricsSnapshot BuildSnapshot(const std::vector<ShardCensus>& census) const;
+
+  // --- replication (finisher/async threads; addresses pre-resolved) ---
   void ReplicateSync(const Request& original, PartitionId partition,
-                     const std::vector<InstanceId>& chain);
-  // Replicates a batch's mutating sub-ops as units: sub-ops are grouped by
-  // chain target and each group crosses the wire as one BATCH message
-  // (synchronously to secondaries, queued for further replicas).
-  void ReplicateBatch(std::vector<Request> ops,
-                      const std::vector<PartitionId>& partitions,
-                      const std::vector<std::vector<InstanceId>>& chains);
-  void EnqueueAsyncReplication(Request request, InstanceId target);
+                     const ReplicaPlan& plan);
+  void ReplicateBatchResolved(std::vector<Request> ops,
+                              const std::vector<PartitionId>& partitions,
+                              const std::vector<ReplicaPlan>& plans);
+  void EnqueueAsyncReplication(Request request, const NodeAddress& target);
   void AsyncReplicationLoop();
 
-  // Returns true when this (client_id, seq, replica_index) append was seen
-  // recently — a retransmission whose first copy already applied. Caller
-  // holds stripe.mu.
-  bool IsDuplicateAppend(Stripe& stripe, const Request& request);
+  void EnqueueFinisher(std::function<void()> job);
+  void FinisherLoop();
 
-  // Entry/partition census for metrics: snapshots the partition ids, then
-  // visits each store under its stripe. `held` gets the partition count.
-  std::uint64_t CountEntries(std::size_t* held) const;
+  void RecordDataOpLatency(OpCode op, Nanos start);
+  void OnRequestComplete();
 
   ZhtServerOptions options_;
   ClientTransport* peer_transport_;
+
+  // Ingress routing state: an immutable copy of the partition space (key →
+  // partition needs no ownership data) plus the latest epoch. The hot-path
+  // ingress reads only these — no lock, no shared table.
+  PartitionSpace space_;
+  std::atomic<std::uint32_t> epoch_;
 
   // Metrics registry plus hot-path handles resolved at construction, so the
   // request path records through raw pointers (atomic ops, no lock, no
@@ -236,24 +449,14 @@ class ZhtServer {
   Histogram* batch_hist_ = nullptr;       // whole-batch service time
   Histogram* batch_size_hist_ = nullptr;  // sub-ops per BATCH envelope
   Histogram* replication_fanout_hist_ = nullptr;  // replicas per mutation
+  Histogram* mailbox_depth_hist_ = nullptr;       // all shards merged
   Counter* replication_sync_counter_ = nullptr;
   Counter* replication_async_counter_ = nullptr;
   Counter* redirect_counter_ = nullptr;
+  Counter* forwards_counter_ = nullptr;      // reactor.forwards
+  Counter* mailbox_full_counter_ = nullptr;  // reactor.mailbox_full
 
-  // Membership snapshot: read-mostly. Routing/epoch reads take it shared;
-  // membership pushes take it exclusive.
-  mutable std::shared_mutex table_mu_;
-  MembershipTable table_;
-
-  // Guards the partition → store *map* only (which partitions exist).
-  // Store contents are guarded by the owning stripe, and a store is only
-  // created, replaced, or destroyed with its stripe held. Entries are
-  // shared_ptr so a durable-ack wait can pin a store after releasing the
-  // stripe (destruction then happens at the last release, outside locks).
-  mutable std::mutex partitions_mu_;
-  std::unordered_map<PartitionId, std::shared_ptr<KVStore>> partitions_;
-
-  mutable std::array<Stripe, kNumStripes> stripes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   // Monotonic counters; relaxed atomics (read via stats()).
   struct StatsCounters {
@@ -268,12 +471,28 @@ class ZhtServer {
   };
   mutable StatsCounters stats_;
 
+  // Lifecycle: every HandleAsync holds an in-flight reference until its
+  // callback fires; the destructor drains the mailboxes and waits for zero.
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex idle_mu_;
+  mutable std::condition_variable idle_cv_;
+
+  // Finisher pool: synchronous replication legs, migration streaming,
+  // batch replication — peer I/O that must never run inside a shard drain.
+  std::mutex finisher_mu_;
+  std::condition_variable finisher_cv_;
+  std::deque<std::function<void()>> finisher_queue_;
+  bool finishers_stop_ = false;
+  std::vector<std::thread> finishers_;
+
   // Asynchronous replication worker (replicas beyond the secondary).
+  // Targets carry addresses resolved in-shard at enqueue time.
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<std::pair<Request, InstanceId>> async_queue_;
+  std::deque<std::pair<Request, NodeAddress>> async_queue_;
   std::size_t async_inflight_ = 0;
-  bool stopping_ = false;
+  bool async_stop_ = false;
   std::thread async_worker_;
 };
 

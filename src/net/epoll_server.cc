@@ -38,16 +38,22 @@ Result<sockaddr_in> ResolveIpv4(const std::string& host, std::uint16_t port) {
 
 }  // namespace
 
-EpollServer::EpollServer(EpollServerOptions options, RequestHandler handler)
+EpollServer::EpollServer(EpollServerOptions options,
+                         AsyncRequestHandler handler)
     : options_(std::move(options)), handler_(std::move(handler)) {}
 
 Result<std::unique_ptr<EpollServer>> EpollServer::Create(
-    const EpollServerOptions& options, RequestHandler handler) {
+    const EpollServerOptions& options, AsyncRequestHandler handler) {
   std::unique_ptr<EpollServer> server(
       new EpollServer(options, std::move(handler)));
   Status status = server->Setup();
   if (!status.ok()) return status;
   return server;
+}
+
+Result<std::unique_ptr<EpollServer>> EpollServer::Create(
+    const EpollServerOptions& options, RequestHandler handler) {
+  return Create(options, ToAsync(std::move(handler)));
 }
 
 Status EpollServer::Setup() {
@@ -136,7 +142,7 @@ EpollServer::~EpollServer() {
     for (auto& [fd, conn] : r->connections) ::close(fd);
     {
       std::lock_guard<std::mutex> lock(r->handoff_mu);
-      for (int fd : r->handoff) ::close(fd);
+      for (auto& [fd, conn] : r->handoff) ::close(fd);
       r->handoff.clear();
     }
     if (r->wake_fd >= 0) ::close(r->wake_fd);
@@ -144,6 +150,25 @@ EpollServer::~EpollServer() {
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (udp_fd_ >= 0) ::close(udp_fd_);
+}
+
+void EpollServer::SetReactorHooks(int reactor, std::function<void()> on_start,
+                                  std::function<void()> on_wake) {
+  auto& r = reactors_[static_cast<std::size_t>(reactor)];
+  r->on_start = std::move(on_start);
+  r->on_wake = std::move(on_wake);
+}
+
+void EpollServer::SetPlacement(std::function<int(const Request&)> placement) {
+  placement_ = std::move(placement);
+}
+
+std::function<void()> EpollServer::ReactorWaker(int reactor) {
+  int wake_fd = reactors_[static_cast<std::size_t>(reactor)]->wake_fd;
+  return [wake_fd] {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  };
 }
 
 Status EpollServer::Start() {
@@ -165,6 +190,8 @@ void EpollServer::Stop() {
 }
 
 void EpollServer::Loop(Reactor& r) {
+  r.thread_id = std::this_thread::get_id();
+  if (r.on_start) r.on_start();
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (running_.load(std::memory_order_relaxed)) {
@@ -200,6 +227,11 @@ void EpollServer::Loop(Reactor& r) {
       if (mask & EPOLLIN) HandleReadable(r, fd);
       if (r.connections.count(fd) && (mask & EPOLLOUT)) HandleWritable(r, fd);
     }
+    // Responses that completed on other threads (flusher, finisher, another
+    // reactor's shard) since the last pass, then the executor hook so
+    // shard mailbox posts targeting this reactor are drained promptly.
+    DrainCompletions(r);
+    if (r.on_wake) r.on_wake();
   }
 }
 
@@ -217,6 +249,9 @@ void EpollServer::AcceptAll() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
 
+    Connection conn;
+    conn.id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+
     // Round-robin distribution: reactor 0 adopts its own share directly;
     // every other reactor gets the fd through its handoff queue and is
     // woken via its eventfd, registering the fd in its own epoll set.
@@ -224,7 +259,7 @@ void EpollServer::AcceptAll() {
     ++next_reactor_;
     target.assigned.fetch_add(1, std::memory_order_relaxed);
     if (&target == &r0) {
-      r0.connections.emplace(fd, Connection{});
+      r0.connections.emplace(fd, std::move(conn));
       epoll_event ev{};
       ev.events = EPOLLIN;
       ev.data.fd = fd;
@@ -232,7 +267,7 @@ void EpollServer::AcceptAll() {
     } else {
       {
         std::lock_guard<std::mutex> lock(target.handoff_mu);
-        target.handoff.push_back(fd);
+        target.handoff.emplace_back(fd, std::move(conn));
       }
       std::uint64_t one_ev = 1;
       [[maybe_unused]] ssize_t n =
@@ -242,18 +277,31 @@ void EpollServer::AcceptAll() {
 }
 
 void EpollServer::AdoptHandoff(Reactor& r) {
-  std::vector<int> adopted;
+  std::vector<std::pair<int, Connection>> adopted;
   {
     std::lock_guard<std::mutex> lock(r.handoff_mu);
     adopted.swap(r.handoff);
   }
-  for (int fd : adopted) {
-    r.connections.emplace(fd, Connection{});
+  for (auto& [fd, conn] : adopted) {
+    r.connections.emplace(fd, std::move(conn));
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
     ::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+    // A re-homed connection arrives with its first frame already buffered
+    // (rewound by MoveConnection); consume it now rather than waiting for
+    // more bytes.
+    ProcessBuffered(r, fd);
   }
+}
+
+void EpollServer::DrainCompletions(Reactor& r) {
+  std::vector<std::function<void()>> done;
+  {
+    std::lock_guard<std::mutex> lock(r.done_mu);
+    done.swap(r.done);
+  }
+  for (auto& fn : done) fn();
 }
 
 void EpollServer::HandleReadable(Reactor& r, int fd) {
@@ -278,10 +326,28 @@ void EpollServer::HandleReadable(Reactor& r, int fd) {
   ProcessBuffered(r, fd);
 }
 
+void EpollServer::MoveConnection(Reactor& r, int fd, std::size_t rewind_offset,
+                                 Reactor& target) {
+  auto it = r.connections.find(fd);
+  if (it == r.connections.end()) return;
+  Connection moved = std::move(it->second);
+  moved.in_offset = rewind_offset;  // target re-decodes the triggering frame
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  r.connections.erase(it);
+  connections_rehomed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(target.handoff_mu);
+    target.handoff.emplace_back(fd, std::move(moved));
+  }
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(target.wake_fd, &one, sizeof(one));
+}
+
 void EpollServer::ProcessBuffered(Reactor& r, int fd) {
   // Frames are consumed through the connection's cursor (no per-frame
   // erase); the buffer compacts once after the drain. `handler_` may be
-  // reentrant (it can stop the server or, indirectly, grow this reactor's
+  // reentrant (it can stop the server, complete inline — growing this
+  // connection's out buffer — or, indirectly, grow this reactor's
   // connection map, rehashing it), so no reference into the map is held
   // across a handler call: the connection is re-found — and the reference
   // re-bound — after every request.
@@ -290,19 +356,42 @@ void EpollServer::ProcessBuffered(Reactor& r, int fd) {
     auto it = r.connections.find(fd);
     if (it == r.connections.end()) return;
     Connection& conn = it->second;
+    const std::size_t pre_offset = conn.in_offset;
     auto payload = ExtractFrameAt(conn.in, &conn.in_offset, &malformed);
     if (!payload) break;
     auto request = Request::Decode(*payload);  // copies out of conn.in
-    Response response;
-    if (request.ok()) {
-      requests_served_.fetch_add(1, std::memory_order_relaxed);
-      response = handler_(std::move(*request));
-    } else {
+    if (!request.ok()) {
+      Response response;
       response.status = Status(StatusCode::kCorruption).raw();
+      const std::uint64_t slot = conn.next_slot++;
+      CompleteLocal(r, fd, conn.id, slot, FrameMessage(response.Encode()));
+      continue;
     }
-    auto again = r.connections.find(fd);
-    if (again == r.connections.end()) return;
-    again->second.out += FrameMessage(response.Encode());
+    if (!conn.placed) {
+      conn.placed = true;
+      if (placement_) {
+        int preferred = placement_(*request);
+        if (preferred >= 0 &&
+            preferred < static_cast<int>(reactors_.size()) &&
+            preferred != r.index && conn.out.empty() &&
+            conn.out_offset == 0 && conn.parked.empty() &&
+            conn.next_slot == conn.flushed_slot) {
+          // Re-home the whole connection to the reactor that owns this
+          // request's partition; it will re-decode this frame itself.
+          MoveConnection(r, fd, pre_offset, *reactors_[preferred]);
+          return;
+        }
+      }
+    }
+    const std::uint64_t slot = conn.next_slot++;
+    const std::uint64_t conn_id = conn.id;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t reactor_index = static_cast<std::size_t>(r.index);
+    handler_(std::move(*request),
+             [this, reactor_index, fd, conn_id, slot](Response&& response) {
+               CompleteResponse(reactor_index, fd, conn_id, slot,
+                                std::move(response));
+             });
   }
   auto it = r.connections.find(fd);
   if (it == r.connections.end()) return;
@@ -316,6 +405,54 @@ void EpollServer::ProcessBuffered(Reactor& r, int fd) {
     conn.in_offset = 0;
   }
   if (!conn.out.empty()) HandleWritable(r, fd);
+}
+
+void EpollServer::CompleteResponse(std::size_t reactor, int fd,
+                                   std::uint64_t conn_id, std::uint64_t slot,
+                                   Response&& response) {
+  Reactor& r = *reactors_[reactor];
+  std::string encoded = FrameMessage(response.Encode());
+  // Inline when already on the owning reactor's thread (the hot path: the
+  // handler completed synchronously inside ProcessBuffered) and when the
+  // loops are not running (tests drive ProcessBuffered directly).
+  if (std::this_thread::get_id() == r.thread_id ||
+      !running_.load(std::memory_order_acquire)) {
+    CompleteLocal(r, fd, conn_id, slot, std::move(encoded));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(r.done_mu);
+    r.done.push_back([this, &r, fd, conn_id, slot,
+                      encoded = std::move(encoded)]() mutable {
+      CompleteLocal(r, fd, conn_id, slot, std::move(encoded));
+    });
+  }
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(r.wake_fd, &one, sizeof(one));
+}
+
+void EpollServer::CompleteLocal(Reactor& r, int fd, std::uint64_t conn_id,
+                                std::uint64_t slot, std::string encoded) {
+  auto it = r.connections.find(fd);
+  // The connection may have died (or the fd been recycled for a new one)
+  // while its response was in flight: drop the orphaned completion.
+  if (it == r.connections.end() || it->second.id != conn_id) return;
+  Connection& conn = it->second;
+  if (slot != conn.flushed_slot) {
+    conn.parked.emplace(slot, std::move(encoded));  // out-of-order: park
+    return;
+  }
+  conn.out += encoded;
+  ++conn.flushed_slot;
+  // Drain any successors that completed early and parked behind this slot.
+  for (auto parked = conn.parked.find(conn.flushed_slot);
+       parked != conn.parked.end();
+       parked = conn.parked.find(conn.flushed_slot)) {
+    conn.out += parked->second;
+    conn.parked.erase(parked);
+    ++conn.flushed_slot;
+  }
+  HandleWritable(r, fd);
 }
 
 void EpollServer::HandleWritable(Reactor& r, int fd) {
@@ -362,17 +499,23 @@ void EpollServer::HandleUdp() {
     }
     udp_datagrams_.fetch_add(1, std::memory_order_relaxed);
     auto request = Request::Decode(std::string_view(buf, static_cast<std::size_t>(n)));
-    Response response;
+    const int fd = udp_fd_;
+    // The response datagram doubles as the acknowledgement (§III.F); sendto
+    // is per-datagram atomic, so completing from any thread is safe. The
+    // peer address travels by value inside the callback.
+    auto reply = [fd, peer, peer_len](Response&& response) {
+      std::string payload = response.Encode();
+      ::sendto(fd, payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&peer), peer_len);
+    };
     if (request.ok()) {
       requests_served_.fetch_add(1, std::memory_order_relaxed);
-      response = handler_(std::move(*request));
+      handler_(std::move(*request), reply);
     } else {
+      Response response;
       response.status = Status(StatusCode::kCorruption).raw();
+      reply(std::move(response));
     }
-    std::string payload = response.Encode();
-    // The response datagram doubles as the acknowledgement (§III.F).
-    ::sendto(udp_fd_, payload.data(), payload.size(), 0,
-             reinterpret_cast<sockaddr*>(&peer), peer_len);
   }
 }
 

@@ -8,22 +8,38 @@
 //  - reactor 0 owns the TCP listener; accepted connections are assigned
 //    round-robin and handed off through a per-reactor eventfd + queue;
 //  - the UDP socket is owned by one designated reactor (the last), so
-//    datagram handling and response sends never race;
-//  - each connection lives on exactly one reactor for its whole life, so
-//    the read/decode/handle/write path touches no shared mutable state.
+//    datagram reads never race (response sendto is per-datagram atomic);
+//  - each connection lives on exactly one reactor at a time, so the
+//    read/decode/dispatch/write path touches no shared mutable state.
 //
-// With num_reactors = 1 this degenerates to the paper's architecture. With
-// N reactors a single instance drives N cores, which requires the request
-// handler to be thread-safe (ZhtServer::Handle is; see DESIGN.md §9).
+// The request path is asynchronous: decoded requests are dispatched through
+// an AsyncRequestHandler and the response arrives later via callback. A
+// connection pipelines many requests; responses are written back in request
+// order through per-connection completion slots (out-of-order completions
+// park until their turn). Callbacks that fire on a different thread than
+// the owning reactor are marshalled through a per-reactor completion queue
+// drained by that reactor's loop.
+//
+// Partition-affine routing: an optional placement function inspects the
+// first request decoded on a connection and, if it prefers a different
+// reactor, the whole connection (fd + buffered bytes) is re-homed to that
+// reactor before the request is dispatched. Clients that shard their
+// connections by key therefore land every request on the reactor that owns
+// the key's partition, and the shard mailboxes see no cross-reactor
+// forwards (see ZhtServer::PreferredExecutor and DESIGN.md §9).
+//
+// With num_reactors = 1 this degenerates to the paper's architecture.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -47,6 +63,10 @@ struct EpollServerOptions {
 class EpollServer {
  public:
   static Result<std::unique_ptr<EpollServer>> Create(
+      const EpollServerOptions& options, AsyncRequestHandler handler);
+  // Convenience for synchronous handlers (tests, echo servers): wrapped via
+  // ToAsync, so every response completes inline on the reactor.
+  static Result<std::unique_ptr<EpollServer>> Create(
       const EpollServerOptions& options, RequestHandler handler);
 
   ~EpollServer();
@@ -54,9 +74,28 @@ class EpollServer {
   EpollServer(const EpollServer&) = delete;
   EpollServer& operator=(const EpollServer&) = delete;
 
+  // Executor integration (all pre-Start only). `on_start` runs once on the
+  // reactor thread before its first epoll_wait (ZhtServer uses it to claim
+  // the thread as executor `i`); `on_wake` runs after every batch of epoll
+  // events and completions (ZhtServer drains the shard mailboxes bound to
+  // executor `i` there).
+  void SetReactorHooks(int reactor, std::function<void()> on_start,
+                       std::function<void()> on_wake);
+  // Routes connections to reactors: called once per connection with its
+  // first decoded request; a return in [0, num_reactors) re-homes the
+  // connection to that reactor, anything else leaves it where accept-time
+  // round-robin put it.
+  void SetPlacement(std::function<int(const Request&)> placement);
+  // A thread-safe functor that wakes reactor `i`'s event loop (writes its
+  // eventfd). Valid for the server's whole lifetime; ZhtServer installs it
+  // as the shard waker so cross-thread mailbox posts interrupt epoll_wait.
+  std::function<void()> ReactorWaker(int reactor);
+
   // Spawns the event-loop threads. Idempotent.
   Status Start();
-  // Stops the loops and joins the threads. Idempotent.
+  // Stops the loops and joins the threads. Idempotent. Sockets stay open
+  // (closed by the destructor) so late completion callbacks from a handler
+  // that is still winding down never touch a recycled fd.
   void Stop();
 
   // Bound address (with the actual port when 0 was requested).
@@ -84,45 +123,79 @@ class EpollServer {
     return reactors_[static_cast<std::size_t>(i)]->assigned.load(
         std::memory_order_relaxed);
   }
+  // Connections re-homed to the placement-preferred reactor.
+  std::uint64_t connections_rehomed() const {
+    return connections_rehomed_.load(std::memory_order_relaxed);
+  }
 
  private:
-  EpollServer(EpollServerOptions options, RequestHandler handler);
+  EpollServer(EpollServerOptions options, AsyncRequestHandler handler);
 
   struct Connection {
     std::string in;
     std::size_t in_offset = 0;  // consumed-frame cursor into `in`
     std::string out;
     std::size_t out_offset = 0;
+    // Pipelining bookkeeping: requests are assigned slots in arrival order;
+    // responses are framed into `out` strictly by slot. A completion for a
+    // slot ahead of `flushed_slot` parks until the gap fills.
+    std::uint64_t id = 0;            // guards against fd reuse
+    std::uint64_t next_slot = 0;     // next request's slot
+    std::uint64_t flushed_slot = 0;  // first slot not yet framed
+    std::unordered_map<std::uint64_t, std::string> parked;
+    bool placed = false;  // placement consulted for this connection
   };
 
   // One event loop: epoll fd + wake eventfd + the connections it owns.
-  // Everything except `handoff` is touched only by this reactor's thread.
+  // Everything except `handoff` and `done` is touched only by this
+  // reactor's thread.
   struct Reactor {
     int index = 0;
     int epoll_fd = -1;
     int wake_fd = -1;
     std::thread thread;
+    std::thread::id thread_id;  // set by Loop before on_start
     std::unordered_map<int, Connection> connections;
     std::atomic<std::uint64_t> assigned{0};
-    // Accepted fds parked by reactor 0 until this reactor adopts them.
+    std::function<void()> on_start;
+    std::function<void()> on_wake;
+    // Accepted or re-homed fds (with any buffered state) parked here until
+    // this reactor adopts them.
     std::mutex handoff_mu;
-    std::vector<int> handoff;
+    std::vector<std::pair<int, Connection>> handoff;
+    // Cross-thread response completions, drained by this reactor's loop.
+    std::mutex done_mu;
+    std::vector<std::function<void()>> done;
   };
 
   Status Setup();
   void Loop(Reactor& r);
   void AcceptAll();           // reactor 0 only
   void AdoptHandoff(Reactor& r);
+  void DrainCompletions(Reactor& r);
   void HandleReadable(Reactor& r, int fd);
   void HandleWritable(Reactor& r, int fd);
   void HandleUdp();           // UDP reactor only
   void CloseConnection(Reactor& r, int fd);
   void ProcessBuffered(Reactor& r, int fd);
+  // Detaches the connection from `r` and parks it (with its buffered input
+  // rewound to `rewind_offset`) on `target`'s handoff queue.
+  void MoveConnection(Reactor& r, int fd, std::size_t rewind_offset,
+                      Reactor& target);
+  // Frames `encoded` into the connection's slot, draining any consecutive
+  // parked successors; must run on the owning reactor's thread.
+  void CompleteLocal(Reactor& r, int fd, std::uint64_t conn_id,
+                     std::uint64_t slot, std::string encoded);
+  // Routes a completion to the owning reactor: inline when already on its
+  // thread, else through its done queue + eventfd.
+  void CompleteResponse(std::size_t reactor, int fd, std::uint64_t conn_id,
+                        std::uint64_t slot, Response&& response);
 
   friend struct EpollServerTestPeer;  // reaches ProcessBuffered in tests
 
   EpollServerOptions options_;
-  RequestHandler handler_;
+  AsyncRequestHandler handler_;
+  std::function<int(const Request&)> placement_;
   NodeAddress address_;
 
   int listen_fd_ = -1;
@@ -131,12 +204,14 @@ class EpollServer {
 
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::size_t next_reactor_ = 0;  // acceptor's round-robin cursor
+  std::atomic<std::uint64_t> next_conn_id_{1};
 
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> loop_wakeups_{0};
   std::atomic<std::uint64_t> udp_datagrams_{0};
+  std::atomic<std::uint64_t> connections_rehomed_{0};
 };
 
 }  // namespace zht

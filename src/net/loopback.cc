@@ -4,15 +4,19 @@
 
 namespace zht {
 
-NodeAddress LoopbackNetwork::Register(RequestHandler handler) {
+NodeAddress LoopbackNetwork::Register(AsyncRequestHandler handler) {
   std::lock_guard<std::mutex> lock(mu_);
   NodeAddress address{"loop", next_port_++};
   handlers_[address] = std::move(handler);
   return address;
 }
 
+NodeAddress LoopbackNetwork::Register(RequestHandler handler) {
+  return Register(ToAsync(std::move(handler)));
+}
+
 void LoopbackNetwork::Register(const NodeAddress& address,
-                               RequestHandler handler) {
+                               AsyncRequestHandler handler) {
   std::lock_guard<std::mutex> lock(mu_);
   handlers_[address] = std::move(handler);
   // Keep auto-assigned ports clear of explicitly chosen ones (a restarted
@@ -20,6 +24,11 @@ void LoopbackNetwork::Register(const NodeAddress& address,
   if (address.host == "loop" && address.port >= next_port_) {
     next_port_ = static_cast<std::uint16_t>(address.port + 1);
   }
+}
+
+void LoopbackNetwork::Register(const NodeAddress& address,
+                               RequestHandler handler) {
+  Register(address, ToAsync(std::move(handler)));
 }
 
 void LoopbackNetwork::Unregister(const NodeAddress& address) {
@@ -41,7 +50,7 @@ bool LoopbackNetwork::IsDown(const NodeAddress& address) const {
 
 Result<Response> LoopbackNetwork::Deliver(const NodeAddress& to,
                                           const Request& request) {
-  RequestHandler handler;
+  AsyncRequestHandler handler;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto down_it = down_.find(to);
@@ -59,7 +68,10 @@ Result<Response> LoopbackNetwork::Deliver(const NodeAddress& to,
     std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
   }
   Request copy = request;
-  Response response = handler(std::move(copy));
+  // The calling (client) thread parks until the async handler completes;
+  // an unbound ZhtServer drains the target shard inline on this thread, so
+  // the common case never actually blocks.
+  Response response = CallBlocking(handler, std::move(copy));
   if (latency > 0) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
   }

@@ -19,8 +19,11 @@ namespace zht {
 class LoopbackNetwork {
  public:
   // Registers a handler and returns its synthetic address ("loop" host,
-  // sequential ports).
+  // sequential ports). Handlers are stored in asynchronous form; the
+  // RequestHandler overloads wrap via ToAsync.
+  NodeAddress Register(AsyncRequestHandler handler);
   NodeAddress Register(RequestHandler handler);
+  void Register(const NodeAddress& address, AsyncRequestHandler handler);
   void Register(const NodeAddress& address, RequestHandler handler);
   void Unregister(const NodeAddress& address);
 
@@ -40,7 +43,7 @@ class LoopbackNetwork {
 
  private:
   mutable std::mutex mu_;
-  std::unordered_map<NodeAddress, RequestHandler> handlers_;
+  std::unordered_map<NodeAddress, AsyncRequestHandler> handlers_;
   std::unordered_map<NodeAddress, bool> down_;
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<Nanos> latency_{0};

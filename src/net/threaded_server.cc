@@ -16,6 +16,11 @@ namespace zht {
 
 Result<std::unique_ptr<ThreadedServer>> ThreadedServer::Create(
     const std::string& host, std::uint16_t port, RequestHandler handler) {
+  return Create(host, port, ToAsync(std::move(handler)));
+}
+
+Result<std::unique_ptr<ThreadedServer>> ThreadedServer::Create(
+    const std::string& host, std::uint16_t port, AsyncRequestHandler handler) {
   std::unique_ptr<ThreadedServer> server(
       new ThreadedServer(std::move(handler)));
 
@@ -104,7 +109,7 @@ void ThreadedServer::ServeConnection(int fd) {
       Response response;
       if (request.ok()) {
         requests_served_.fetch_add(1, std::memory_order_relaxed);
-        response = handler_(std::move(*request));
+        response = CallBlocking(handler_, std::move(*request));
       } else {
         response.status = Status(StatusCode::kCorruption).raw();
       }

@@ -20,6 +20,9 @@ namespace zht {
 class ThreadedServer {
  public:
   static Result<std::unique_ptr<ThreadedServer>> Create(
+      const std::string& host, std::uint16_t port, AsyncRequestHandler handler);
+  // Convenience for synchronous handlers (wrapped via ToAsync).
+  static Result<std::unique_ptr<ThreadedServer>> Create(
       const std::string& host, std::uint16_t port, RequestHandler handler);
 
   ~ThreadedServer();
@@ -36,12 +39,16 @@ class ThreadedServer {
   }
 
  private:
-  ThreadedServer(RequestHandler handler) : handler_(std::move(handler)) {}
+  ThreadedServer(AsyncRequestHandler handler) : handler_(std::move(handler)) {}
 
   void AcceptLoop();
   void ServeConnection(int fd);
 
-  RequestHandler handler_;
+  // Each worker thread blocks on its request's completion (CallBlocking):
+  // thread-per-connection already burns a thread per client, so parking it
+  // until the async handler responds costs nothing extra — precisely the
+  // overhead this baseline exists to measure.
+  AsyncRequestHandler handler_;
   NodeAddress address_;
   int listen_fd_ = -1;
   std::thread accept_thread_;

@@ -3,9 +3,12 @@
 // caching), UDP (ack-based), or the in-process loopback used by tests.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -14,13 +17,69 @@
 
 namespace zht {
 
-// Server-side: invoked once per decoded request; the return value is sent
-// back to the requester. With a single-reactor EpollServer the handler runs
-// on one event thread (the paper's architecture, §IV.G); with multiple
-// reactors — or the loopback network, whose callers may be concurrent — it
-// is invoked from several threads at once and must be thread-safe
-// (ZhtServer::Handle is; see DESIGN.md §9).
+// Server-side handler surface. Every server front-end (epoll, threaded,
+// loopback) consumes the asynchronous form; the synchronous form exists for
+// tests and simple components (managers, baselines) and is adapted with
+// ToAsync — there is exactly one definition of each, here.
+//
+// RequestHandler: invoked once per decoded request; the return value is
+// sent back to the requester. May be called concurrently and must be
+// thread-safe when bound to a multi-reactor server.
 using RequestHandler = std::function<Response(Request&&)>;
+
+// Completion for one asynchronous request. Invoked exactly once, possibly
+// on a different thread than the handler call (a reactor draining its
+// mailbox, a durability flusher, a replication finisher). Front-ends must
+// tolerate any invoking thread.
+using ResponseCallback = std::function<void(Response&&)>;
+
+// Asynchronous request entry point (ZhtServer::HandleAsync). The handler
+// takes ownership of the request and promises to invoke `done` exactly
+// once; it must not block the calling thread on I/O or replication.
+using AsyncRequestHandler =
+    std::function<void(Request&&, ResponseCallback)>;
+
+// Lifts a synchronous handler into the asynchronous contract (completes
+// inline on the calling thread).
+inline AsyncRequestHandler ToAsync(RequestHandler handler) {
+  return [handler = std::move(handler)](Request&& request,
+                                        ResponseCallback done) {
+    done(handler(std::move(request)));
+  };
+}
+
+// Drives one asynchronous call to completion, blocking the calling thread.
+// The latch is shared-owned so a handler that completes late (e.g. after a
+// timeout-free caller already returned) never touches a dead stack frame.
+inline Response CallBlocking(const AsyncRequestHandler& handler,
+                             Request&& request) {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  };
+  auto latch = std::make_shared<Latch>();
+  handler(std::move(request), [latch](Response&& response) {
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->response = std::move(response);
+      latch->done = true;
+    }
+    latch->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+  return std::move(latch->response);
+}
+
+// Adapts an asynchronous handler back to the synchronous signature (the
+// thin blocking shim tests and the thread-per-connection server use).
+inline RequestHandler ToBlocking(AsyncRequestHandler handler) {
+  return [handler = std::move(handler)](Request&& request) {
+    return CallBlocking(handler, std::move(request));
+  };
+}
 
 // Client-side synchronous RPC. Implementations used as server peer links
 // (replication, migration) are called from every reactor plus the async-

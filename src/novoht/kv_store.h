@@ -89,6 +89,18 @@ class KVStore {
     return Status::Ok();
   }
 
+  // Asynchronous form of WaitDurable: invokes `done` exactly once, when the
+  // token's mutations are durable (or doomed). Stores with a commit
+  // pipeline park the callback on their flusher so the caller's thread —
+  // typically a reactor draining its shard mailbox — is never blocked; the
+  // callback may therefore run on the flusher thread. The default adapts
+  // the blocking wait for stores without a pipeline, where WaitDurable
+  // returns immediately anyway.
+  virtual void NotifyDurable(std::uint64_t token,
+                             std::function<void(Status)> done) {
+    done(WaitDurable(token));
+  }
+
   // Fills `out` with durability counters/histograms; returns false when the
   // store records none (callers skip it when aggregating).
   virtual bool durability_metrics(StoreDurabilityMetrics* out) const {

@@ -133,6 +133,19 @@ NoVoHT::~NoVoHT() {
     }
     flusher_cv_.notify_all();
     flusher_.join();
+    // The flusher syncs outstanding commits before exiting, so any waiter
+    // still parked resolves against the final durable_seq_ / failure state.
+    std::vector<DurableWaiter> leftovers;
+    Status outcome = Status::Ok();
+    {
+      std::lock_guard<std::mutex> lock(commit_mu_);
+      leftovers.swap(durable_waiters_);
+      if (sync_failed_) {
+        outcome = Status(StatusCode::kInternal,
+                         "log fsync failed; store is read-only");
+      }
+    }
+    for (DurableWaiter& waiter : leftovers) waiter.done(outcome);
   }
   if (log_fd_ >= 0) ::close(log_fd_);
   if (read_fd_ >= 0) ::close(read_fd_);
@@ -524,13 +537,60 @@ void NoVoHT::FlusherLoop() {
       ++group_commits_;
     }
     const bool stopping = stop_flusher_;
+    std::vector<DurableWaiter> ready = TakeReadyWaitersLocked();
     // Notify with the lock released so the (up to batch-many) woken
     // writers reacquire commit_mu_ without contending with this thread.
     lock.unlock();
     commit_cv_.notify_all();
+    // Parked asynchronous acks fire here, on the flusher thread, covering
+    // everything this fsync made durable (or everything, on failure).
+    const Status outcome =
+        rc == 0 ? Status::Ok()
+                : Status(StatusCode::kInternal,
+                         "log fsync failed; store is read-only");
+    for (DurableWaiter& waiter : ready) waiter.done(outcome);
     if (stopping) return;
     lock.lock();
   }
+}
+
+std::vector<NoVoHT::DurableWaiter> NoVoHT::TakeReadyWaitersLocked() {
+  std::vector<DurableWaiter> ready;
+  if (durable_waiters_.empty()) return ready;
+  if (sync_failed_) {
+    ready.swap(durable_waiters_);
+    return ready;
+  }
+  auto split = std::partition(
+      durable_waiters_.begin(), durable_waiters_.end(),
+      [this](const DurableWaiter& w) { return w.token > durable_seq_; });
+  ready.assign(std::make_move_iterator(split),
+               std::make_move_iterator(durable_waiters_.end()));
+  durable_waiters_.erase(split, durable_waiters_.end());
+  return ready;
+}
+
+void NoVoHT::NotifyDurable(std::uint64_t token,
+                           std::function<void(Status)> done) {
+  if (token == 0 || options_.durability != DurabilityMode::kGroupCommit ||
+      !flusher_.joinable()) {
+    done(Status::Ok());
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(commit_mu_);
+    if (sync_failed_) {
+      lock.unlock();
+      done(Status(StatusCode::kInternal,
+                  "log fsync failed; store is read-only"));
+      return;
+    }
+    if (durable_seq_ < token) {
+      durable_waiters_.push_back({token, std::move(done)});
+      return;
+    }
+  }
+  done(Status::Ok());
 }
 
 std::uint64_t NoVoHT::last_commit_token() const {

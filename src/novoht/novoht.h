@@ -137,6 +137,11 @@ class NoVoHT final : public KVStore {
   // are trivial outside kGroupCommit mode.
   std::uint64_t last_commit_token() const override;
   Status WaitDurable(std::uint64_t token) override;
+  // Parks `done` on the flusher: invoked (on the flusher thread) by the
+  // fsync that covers `token`, immediately when the token is already
+  // durable or the store is poisoned, and at destruction for any leftovers.
+  void NotifyDurable(std::uint64_t token,
+                     std::function<void(Status)> done) override;
   bool durability_metrics(StoreDurabilityMetrics* out) const override;
 
   NoVoHTStats stats() const;
@@ -239,6 +244,17 @@ class NoVoHT final : public KVStore {
   std::uint64_t durable_seq_ = 0;       // commits covered by an fsync
   std::uint64_t pending_ops_ = 0;       // commits since the last fsync
   std::uint64_t group_commits_ = 0;
+  // Durability callbacks parked until durable_seq_ reaches their token
+  // (guarded by commit_mu_; invoked with it released).
+  struct DurableWaiter {
+    std::uint64_t token;
+    std::function<void(Status)> done;
+  };
+  std::vector<DurableWaiter> durable_waiters_;
+  // Extracts the waiters satisfied by the current durable_seq_ /
+  // sync_failed_ state. Caller holds commit_mu_ and invokes the results
+  // after releasing it.
+  std::vector<DurableWaiter> TakeReadyWaitersLocked();
   bool sync_failed_ = false;            // a flusher fsync failed
   bool stop_flusher_ = false;
   std::thread flusher_;

@@ -351,7 +351,7 @@ class BatchFaultTest : public ::testing::Test {
     options.self = 0;
     server_ = std::make_unique<ZhtServer>(table_, options,
                                           peer_transport_.get());
-    network_.Register(address_, server_->AsHandler());
+    network_.Register(address_, server_->AsyncHandler());
     plan_ = std::make_shared<FaultPlan>(/*seed=*/9);
     faulty_ = std::make_unique<FaultInjectingTransport>(
         std::make_unique<LoopbackTransport>(&network_), plan_);

@@ -90,7 +90,7 @@ TEST(ManagerTest, JoinRequestOverTheWire) {
   ZhtServer fresh(MembershipTable((*cluster)->TableSnapshot().num_partitions(),
                                   HashKind::kFnv1a),
                   server_options, transport.get());
-  NodeAddress address = (*cluster)->network().Register(fresh.AsHandler());
+  NodeAddress address = (*cluster)->network().Register(fresh.AsyncHandler());
 
   Request join;
   join.op = OpCode::kJoinRequest;

@@ -178,13 +178,15 @@ TEST_F(ZhtServerUnitTest, MembershipPushAdvancesEpoch) {
 
 TEST_F(ZhtServerUnitTest, MigrationTrioMovesPairs) {
   auto source = MakeServer(0);
-  auto target_slot = std::make_shared<RequestHandler>();
+  auto target_slot = std::make_shared<AsyncRequestHandler>();
   NodeAddress target_address = network_.Register(
-      [target_slot](Request&& req) { return (*target_slot)(std::move(req)); });
+      [target_slot](Request&& req, ResponseCallback done) {
+        (*target_slot)(std::move(req), std::move(done));
+      });
   ZhtServerOptions target_options;
   target_options.self = 1;
   ZhtServer target(table_, target_options, transport_.get());
-  *target_slot = target.AsHandler();
+  *target_slot = target.AsyncHandler();
 
   std::string key = KeyOwnedBy(0);
   ASSERT_TRUE(source->Handle(DataRequest(OpCode::kInsert, key, "mv")).ok());

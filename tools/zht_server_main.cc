@@ -23,6 +23,7 @@
 
 #include "common/config.h"
 #include "common/log.h"
+#include "core/local_cluster.h"
 #include "core/zht_server.h"
 #include "net/epoll_server.h"
 #include "net/tcp_client.h"
@@ -167,6 +168,13 @@ int main(int argc, char** argv) {
         MakeNoVoHTStoreFactory(data_dir, server_options.cluster);
   }
 
+  const int num_reactors =
+      static_cast<int>(config.GetInt("num_reactors", 1));
+  // One shard (disjoint partition set + mailbox) per reactor: each event
+  // loop owns its partitions end to end.
+  server_options.num_shards =
+      static_cast<std::size_t>(num_reactors < 1 ? 1 : num_reactors);
+
   TcpClient peer_transport;
   ZhtServer server(std::move(table), server_options, &peer_transport);
 
@@ -175,14 +183,13 @@ int main(int argc, char** argv) {
   net_options.host = me.host;
   net_options.port = static_cast<std::uint16_t>(
       config.GetInt("port", me.port));
-  net_options.num_reactors =
-      static_cast<int>(config.GetInt("num_reactors", 1));
-  auto net = EpollServer::Create(net_options, server.AsHandler());
+  net_options.num_reactors = num_reactors;
+  auto net = EpollServer::Create(net_options, server.AsyncHandler());
   if (!net.ok()) {
     std::fprintf(stderr, "listen: %s\n", net.status().ToString().c_str());
     return 1;
   }
-  (*net)->Start();
+  LocalCluster::WireReactors(server, **net);
   std::printf("zht-server: instance %ld of %zu serving on %s "
               "(%u partitions, %d replicas, %d reactors, %s)\n",
               self, neighbors->size(), (*net)->address().ToString().c_str(),
