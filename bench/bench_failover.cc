@@ -1,0 +1,153 @@
+// Failover: kill one server under client traffic and measure the two
+// recovery latencies the paper's fault-tolerance story cares about —
+// time from the kill to the first successful operation on a key the
+// victim owned (client failover + promotion), and time from the kill to
+// full re-replication (every partition back to digest-identical copies
+// on its whole alive chain, via checkpoint shipping from the surviving
+// owners). Loopback-scale absolutes; the shape is that first-success is
+// detection-bound and far ahead of full rebuild.
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "core/local_cluster.h"
+
+namespace {
+
+using namespace zht;
+
+// Alive members of the partition's chain per the current table.
+std::vector<InstanceId> AliveChain(const MembershipTable& table, PartitionId p,
+                                   int replicas) {
+  std::vector<InstanceId> alive;
+  for (InstanceId id : table.ReplicaChain(p, replicas)) {
+    if (table.Instance(id).alive) alive.push_back(id);
+  }
+  return alive;
+}
+
+bool Converged(LocalCluster& cluster, int replicas) {
+  MembershipTable table = cluster.TableSnapshot();
+  for (PartitionId p = 0; p < table.num_partitions(); ++p) {
+    auto alive = AliveChain(table, p, replicas);
+    if (alive.empty()) return false;
+    PartitionDigest owner = cluster.server(alive[0])->PartitionDigestOf(p);
+    for (std::size_t i = 1; i < alive.size(); ++i) {
+      if (!(cluster.server(alive[i])->PartitionDigestOf(p) == owner)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace zht::bench;
+  using namespace zht;
+
+  Banner("Failover", "Kill-to-first-success and kill-to-full-re-replication");
+
+  const int kReplicas = 2;
+  LocalClusterOptions options;
+  options.num_instances = 6;
+  options.num_partitions = Smoke(96u, 24u);
+  options.cluster.num_replicas = kReplicas;
+  auto cluster = LocalCluster::Start(options);
+  if (!cluster.ok()) return 1;
+
+  const std::size_t kPairs = Smoke<std::size_t>(8000, 400);
+  Workload w = MakeWorkload(kPairs);
+  {
+    auto loader = (*cluster)->CreateClient();
+    for (std::size_t i = 0; i < w.keys.size(); ++i) {
+      if (!loader->Insert(w.keys[i], w.values[i]).ok()) return 1;
+    }
+  }
+  (*cluster)->FlushAllAsyncReplication();
+  if (!Converged(**cluster, kReplicas)) return 1;
+
+  // A client that fails over quickly: short detection threshold, no
+  // backoff sleeps — the measurement is the protocol, not the timers.
+  ZhtClientOptions client_options;
+  client_options.max_attempts = 24;
+  client_options.failure_detector.failures_to_mark_dead = 4;
+  client_options.failure_detector.initial_backoff = 0;
+  client_options.sleep_on_backoff = false;
+  auto client = (*cluster)->CreateClient(client_options);
+
+  // A key the victim owns, so the first post-kill lookup must fail over.
+  const InstanceId victim = 1;
+  MembershipTable table = (*cluster)->TableSnapshot();
+  std::string victim_key;
+  for (const std::string& key : w.keys) {
+    auto chain = table.ReplicaChain(table.PartitionOfKey(key), kReplicas);
+    if (!chain.empty() && chain[0] == victim) {
+      victim_key = key;
+      break;
+    }
+  }
+  if (victim_key.empty()) return 1;
+
+  (*cluster)->KillInstance(victim);
+  Stopwatch watch(SystemClock::Instance());
+
+  // First successful op on a victim-owned key: client detection + replica
+  // failover (and, once the manager broadcast lands, the promoted owner).
+  double first_success_ms = -1.0;
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    if (client->Lookup(victim_key).ok()) {
+      first_success_ms = watch.ElapsedMillis();
+      break;
+    }
+  }
+  if (first_success_ms < 0) return 1;
+
+  // Full re-replication: every partition digest-identical across its
+  // whole alive chain again — the surviving owners' rebuild streams have
+  // all landed and swapped in.
+  double full_re_replication_ms = -1.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (std::chrono::steady_clock::now() < deadline) {
+    (*cluster)->FlushAllAsyncReplication();
+    if (Converged(**cluster, kReplicas)) {
+      full_re_replication_ms = watch.ElapsedMillis();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (full_re_replication_ms < 0) return 1;
+
+  std::uint64_t rebuilds = 0;
+  std::uint64_t pairs_streamed = 0;
+  for (std::size_t i = 0; i < (*cluster)->instance_count(); ++i) {
+    ZhtServerStats stats = (*cluster)->server(i)->stats();
+    rebuilds += stats.rebuilds_completed;
+    pairs_streamed += stats.rebuild_pairs_streamed;
+  }
+
+  PrintRow({"metric", "value"}, 34);
+  PrintRow({"kill_to_first_success (ms)", Fmt(first_success_ms, 2)}, 34);
+  PrintRow({"kill_to_full_re_replication (ms)", Fmt(full_re_replication_ms, 2)},
+           34);
+  PrintRow({"rebuild streams completed", FmtInt(rebuilds)}, 34);
+  PrintRow({"pairs streamed", FmtInt(pairs_streamed)}, 34);
+
+  Report().SetParam("instances", static_cast<double>(options.num_instances));
+  Report().SetParam("replicas", static_cast<double>(kReplicas));
+  Report().SetParam("preloaded_pairs", static_cast<double>(kPairs));
+  Report().AddMetric("kill_to_first_success_ms", first_success_ms);
+  Report().AddMetric("kill_to_full_re_replication_ms", full_re_replication_ms);
+  Report().AddMetric("rebuild_pairs_streamed",
+                     static_cast<double>(pairs_streamed));
+
+  Note("first success is detection-bound (a handful of failed probes); "
+       "full re-replication adds the checkpoint streams from every "
+       "surviving owner of the victim's partitions");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/manager.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/log.h"
@@ -185,7 +186,7 @@ Status Manager::Depart(InstanceId id) {
 
 Status Manager::HandleFailure(InstanceId id) {
   std::uint32_t epoch_before;
-  std::vector<std::pair<PartitionId, InstanceId>> reassignments;
+  std::vector<PartitionId> affected;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (id >= table_.instance_count()) {
@@ -193,6 +194,16 @@ Status Manager::HandleFailure(InstanceId id) {
     }
     if (!table_.Instance(id).alive) return Status::Ok();  // already handled
     epoch_before = table_.epoch();
+    // Every partition whose replica chain contained the dead instance lost
+    // a copy and needs its replication level rebuilt — not just the ones
+    // the dead instance owned. Collect them BEFORE MarkDead: afterwards
+    // the chains no longer mention the dead member.
+    for (PartitionId p = 0; p < table_.num_partitions(); ++p) {
+      auto chain = table_.ReplicaChain(p, options_.cluster.num_replicas + 1);
+      if (std::find(chain.begin(), chain.end(), id) != chain.end()) {
+        affected.push_back(p);
+      }
+    }
     table_.MarkDead(id);
     for (PartitionId p : table_.PartitionsOf(id)) {
       // First alive replica becomes the owner; data is already there
@@ -210,7 +221,6 @@ Status Manager::HandleFailure(InstanceId id) {
         continue;
       }
       table_.SetOwner(p, replacement);
-      reassignments.emplace_back(p, replacement);
     }
     ++stats_.failures_handled;
   }
@@ -218,12 +228,18 @@ Status Manager::HandleFailure(InstanceId id) {
   BroadcastDelta(epoch_before);
 
   // "initiates a rebuilding of the replicas ... to maintain the specified
-  // level of replication" (§III.C).
-  for (const auto& [p, owner] : reassignments) {
+  // level of replication" (§III.C): command the surviving owner of every
+  // affected partition to digest-probe its chain and stream the lost copy
+  // (ZhtServer::StartRebuild). The owner acks on acceptance and rebuilds
+  // online in the background.
+  for (PartitionId p : affected) {
     NodeAddress owner_address;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      InstanceId owner = table_.OwnerOf(p);
+      if (!table_.Instance(owner).alive) continue;  // lost partition
       owner_address = table_.Instance(owner).address;
+      ++stats_.repairs_commanded;
     }
     Request repair;
     repair.op = OpCode::kRepair;

@@ -29,6 +29,9 @@ struct ManagerStats {
   std::uint64_t failures_handled = 0;
   std::uint64_t partitions_migrated = 0;
   std::uint64_t broadcasts_sent = 0;
+  // kRepair commands issued to surviving owners after a failure — one per
+  // partition whose replica chain contained the dead instance.
+  std::uint64_t repairs_commanded = 0;
 };
 
 class Manager {

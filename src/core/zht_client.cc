@@ -112,6 +112,23 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
       return Status(StatusCode::kUnavailable, "no alive instance for key");
     }
     if (replica_try >= static_cast<int>(chain.size())) {
+      if (op == OpCode::kLookup) {
+        // Read-only and side-effect free: as long as some chain member is
+        // still believed alive, wrap around and walk the chain again (the
+        // attempt budget bounds this) instead of reporting the partition
+        // unavailable — a transient failure burst should not blind reads.
+        bool any_alive = false;
+        for (InstanceId member : chain) {
+          if (table_.Instance(member).alive) {
+            any_alive = true;
+            break;
+          }
+        }
+        if (any_alive) {
+          replica_try = 0;
+          continue;
+        }
+      }
       return Status(StatusCode::kUnavailable,
                     "all replicas of partition " + std::to_string(partition) +
                         " unreachable");
@@ -140,7 +157,10 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
     if (!result.ok()) {
       // Transport failure: exponential back-off, then either retry the
       // same node or fail over to the next replica once the detector
-      // declares it dead.
+      // declares it dead. Reads falling back this way land on the sync
+      // secondary, which holds every acked mutation (the secondary leg
+      // completes before the primary acks), so failover lookups stay
+      // consistent while the owner is down or its partitions rebuild.
       last_transport = result.status().code();
       ++stats_.retries;
       retry_counter_->Increment();
@@ -239,15 +259,21 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
         continue;
       }
       bool placed = false;
-      while (replica_try[i] < static_cast<int>(chain.size())) {
-        InstanceId target = chain[static_cast<std::size_t>(replica_try[i])];
-        if (!table_.Instance(target).alive) {
-          ++replica_try[i];  // locally known dead: skip without a hop
-          continue;
+      for (int pass = 0; pass < 2 && !placed; ++pass) {
+        while (replica_try[i] < static_cast<int>(chain.size())) {
+          InstanceId target = chain[static_cast<std::size_t>(replica_try[i])];
+          if (!table_.Instance(target).alive) {
+            ++replica_try[i];  // locally known dead: skip without a hop
+            continue;
+          }
+          shards[target].push_back(i);
+          placed = true;
+          break;
         }
-        shards[target].push_back(i);
-        placed = true;
-        break;
+        // Read-only sub-ops wrap and re-walk the chain (mirroring
+        // ExecuteInternal) as long as some member is still believed
+        // alive; the attempt budget bounds the re-walks.
+        if (!placed && op == OpCode::kLookup) replica_try[i] = 0;
       }
       if (!placed) {
         results[i] = Status(StatusCode::kUnavailable,

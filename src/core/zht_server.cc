@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/log.h"
 #include "novoht/novoht.h"
 #include "serialize/batch.h"
@@ -71,6 +72,15 @@ bool IsDataOp(OpCode op) {
 // At-most-once window for the non-idempotent append, per shard (the shard
 // is the unit of single-threaded ownership, so dedup needs no lock).
 constexpr std::size_t kDedupWindow = 8192;
+
+// Streams issued per rebuild leg before the target is abandoned (the first
+// attempt plus re-streams after a failed or mismatched End).
+constexpr int kRebuildMaxAttempts = 3;
+
+// Rebuild shadow stores live at the canonical partition id plus this offset,
+// so a persistent store factory gives them their own file path and they can
+// never collide with a live partition (partition counts are far smaller).
+constexpr PartitionId kShadowPartitionOffset = 1u << 20;
 
 // Executor identity of the current thread, per server. A reactor registers
 // itself via EnterExecutorThread; every other thread reads as -1.
@@ -449,17 +459,51 @@ void ZhtServer::HandleAsync(Request&& request, ResponseCallback done) {
       return;
     }
     case OpCode::kRepair: {
-      const std::uint64_t seq = request.seq;
+      // Ack as soon as the command is accepted — the rebuild streams in the
+      // background (the manager needs delivery, not completion; RepairPartition
+      // is the blocking form for callers that must wait).
       const PartitionId partition = request.partition;
-      Post(ShardForPartition(partition),
-           [this, partition, seq, done = std::move(finish)](Shard& sh) mutable {
-             ExecRepair(sh, partition,
-                        [seq, done = std::move(done)](Status status) mutable {
-                          Response resp;
-                          resp.seq = seq;
-                          resp.status = status.raw();
-                          done(std::move(resp));
-                        });
+      Response resp;
+      resp.seq = request.seq;
+      resp.epoch = epoch_.load(kRelaxed);
+      finish(std::move(resp));
+      StartRebuild(partition, [partition](Status status) {
+        if (!status.ok()) {
+          ZHT_WARN << "background rebuild of partition " << partition
+                   << " incomplete: " << status.ToString();
+        }
+      });
+      return;
+    }
+    case OpCode::kDigest: {
+      Post(ShardForPartition(request.partition),
+           [this, request = std::move(request),
+            done = std::move(finish)](Shard& sh) mutable {
+             ExecDigest(sh, std::move(request), std::move(done));
+           });
+      return;
+    }
+    case OpCode::kRebuildBegin: {
+      Post(ShardForPartition(request.partition),
+           [this, request = std::move(request),
+            done = std::move(finish)](Shard& sh) mutable {
+             ExecRebuildBegin(sh, std::move(request), std::move(done));
+           });
+      return;
+    }
+    case OpCode::kRebuildData: {
+      Post(ShardForPartition(request.partition),
+           [this, request = std::move(request),
+            done = std::move(finish)](Shard& sh) mutable {
+             ExecRebuildData(sh, std::move(request), std::move(done));
+           });
+      return;
+    }
+    case OpCode::kRebuildEnd: {
+      Post(ShardForPartition(request.partition),
+           [this, request = std::move(request),
+            done = std::move(finish)](Shard& sh) mutable {
+             ExecRebuildEnd(sh, std::move(request), std::move(done));
            });
       return;
     }
@@ -611,6 +655,29 @@ KVStore* ZhtServer::StoreIn(Shard& shard, PartitionId partition) {
   return raw;
 }
 
+std::shared_ptr<KVStore> ZhtServer::ShadowStoreIn(Shard& shard,
+                                                  PartitionId partition) {
+  auto it = shard.shadow_stores.find(partition);
+  if (it != shard.shadow_stores.end()) return it->second;
+  std::shared_ptr<KVStore> store =
+      options_.store_factory(options_.self, partition + kShadowPartitionOffset);
+  shard.shadow_stores.emplace(partition, store);
+  return store;
+}
+
+void ZhtServer::ReleaseStuckRebuilds(Shard& shard) {
+  for (auto it = shard.rebuilding.begin(); it != shard.rebuilding.end();) {
+    const PartitionId partition = *it;
+    const auto chain =
+        shard.table.ReplicaChain(partition, options_.cluster.num_replicas);
+    if (!chain.empty() && chain[0] == options_.self) {
+      it = shard.rebuilding.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 Status ZhtServer::ApplyToStore(Shard& shard, OpCode op, PartitionId partition,
                                std::string_view key, std::string_view value,
                                std::string* out) {
@@ -662,10 +729,13 @@ void ZhtServer::ExecDataOp(Shard& shard, Request&& request,
   Response resp;
   resp.seq = request.seq;
   resp.epoch = route.epoch;
-  if (shard.migrating.count(route.partition)) {
-    // Partition is locked mid-migration (§III.C "Data Migration"): state
-    // cannot be modified; the client backs off and retries, which realizes
-    // the paper's request queueing at the sender.
+  if (shard.migrating.count(route.partition) ||
+      shard.rebuilding.count(route.partition)) {
+    // Partition is locked mid-migration (§III.C "Data Migration") or mid-
+    // rebuild (between kRebuildBegin and kRebuildEnd): state cannot be
+    // modified; the client backs off and retries, which realizes the
+    // paper's request queueing at the sender. Rejecting reads too keeps a
+    // rebuilding replica from serving half-streamed state.
     resp.status = Status(StatusCode::kMigrating).raw();
     done(std::move(resp));
     RecordDataOpLatency(op, start);
@@ -685,10 +755,35 @@ void ZhtServer::ExecDataOp(Shard& shard, Request&& request,
   Status status = ApplyToStore(shard, op, route.partition, request.key,
                                request.value, &lookup_value);
   stats_.ops.fetch_add(1, kRelaxed);
-  const bool replicate = status.ok() && op != OpCode::kLookup &&
-                         options_.cluster.num_replicas > 0 &&
-                         !request.server_origin &&
-                         request.replica_index == 0 && route.chain.size() > 1;
+  // Replication chain for this mutation. A failover write the client
+  // placed on a secondary (replica_index > 0, past members its detector
+  // marked dead) must still fan out to every other chain member — acking
+  // a single copy would silently drop the replication level to one, and
+  // the next failure would lose an acked write. The chain is rotated so
+  // this instance leads and the usual leg machinery applies; the rotation
+  // (not a suffix) matters because a skipped member may in fact be alive
+  // — a spurious detector mark — and serving reads.
+  std::vector<InstanceId> replication_chain;
+  bool failover_accept = false;
+  if (status.ok() && op != OpCode::kLookup &&
+      options_.cluster.num_replicas > 0 && !request.server_origin &&
+      route.chain.size() > 1) {
+    if (request.replica_index == 0) {
+      replication_chain = route.chain;
+    } else {
+      auto self_it =
+          std::find(route.chain.begin(), route.chain.end(), options_.self);
+      if (self_it != route.chain.end()) {
+        replication_chain.push_back(options_.self);
+        replication_chain.insert(replication_chain.end(),
+                                 std::next(self_it), route.chain.end());
+        replication_chain.insert(replication_chain.end(), route.chain.begin(),
+                                 self_it);
+        failover_accept = true;
+      }
+    }
+  }
+  const bool replicate = replication_chain.size() > 1;
   resp.status = status.raw();
   resp.value = std::move(lookup_value);
 
@@ -712,7 +807,11 @@ void ZhtServer::ExecDataOp(Shard& shard, Request&& request,
   }
 
   ReplicaPlan plan;
-  if (replicate) plan = MakeReplicaPlan(shard, route.chain);
+  if (replicate) {
+    plan = MakeReplicaPlan(shard, replication_chain);
+    plan.all_sync = failover_accept;
+    ApplyRebuildDiversions(shard, route.partition, &plan);
+  }
   const PartitionId partition = route.partition;
   auto fin = [this, resp = std::move(resp), request = std::move(request),
               plan = std::move(plan), partition, replicate, op, start,
@@ -826,7 +925,8 @@ void ZhtServer::ExecBatchGroup(Shard& shard,
     Response sub;
     sub.seq = op.seq;
     sub.epoch = route.epoch;
-    if (shard.migrating.count(route.partition)) {
+    if (shard.migrating.count(route.partition) ||
+        shard.rebuilding.count(route.partition)) {
       sub.status = Status(StatusCode::kMigrating).raw();
       gather->responses[i] = std::move(sub);
       continue;
@@ -843,9 +943,32 @@ void ZhtServer::ExecBatchGroup(Shard& shard,
     stats_.ops.fetch_add(1, kRelaxed);
     if (status.ok() && op.op != OpCode::kLookup &&
         options_.cluster.num_replicas > 0 && !op.server_origin &&
-        op.replica_index == 0 && route.chain.size() > 1) {
-      gather->replicate[i] = 1;
-      gather->plans[i] = MakeReplicaPlan(shard, route.chain);
+        route.chain.size() > 1) {
+      // Same rotation rule as ExecDataOp: a failover write accepted at a
+      // secondary fans out to every other chain member, never acks one
+      // copy, and its legs all go synchronously.
+      std::vector<InstanceId> replication_chain;
+      bool failover_accept = false;
+      if (op.replica_index == 0) {
+        replication_chain = route.chain;
+      } else {
+        auto self_it =
+            std::find(route.chain.begin(), route.chain.end(), options_.self);
+        if (self_it != route.chain.end()) {
+          replication_chain.push_back(options_.self);
+          replication_chain.insert(replication_chain.end(),
+                                   std::next(self_it), route.chain.end());
+          replication_chain.insert(replication_chain.end(),
+                                   route.chain.begin(), self_it);
+          failover_accept = true;
+        }
+      }
+      if (replication_chain.size() > 1) {
+        gather->replicate[i] = 1;
+        gather->plans[i] = MakeReplicaPlan(shard, replication_chain);
+        gather->plans[i].all_sync = failover_accept;
+        ApplyRebuildDiversions(shard, route.partition, &gather->plans[i]);
+      }
     }
     sub.status = status.raw();
     sub.value = std::move(lookup_value);
@@ -964,6 +1087,7 @@ void ZhtServer::StartMembershipPush(Request&& request, ResponseCallback done) {
   Post(*shards_.front(), [this, payload, seq,
                           done = std::move(done)](Shard& s0) mutable {
     Status status = s0.table.ApplyUpdate(*payload);
+    ReleaseStuckRebuilds(s0);
     const std::uint32_t epoch = s0.table.epoch();
     epoch_.store(epoch, kRelaxed);
     if (shards_.size() == 1) {
@@ -986,6 +1110,7 @@ void ZhtServer::StartMembershipPush(Request&& request, ResponseCallback done) {
     for (std::size_t s = 1; s < shards_.size(); ++s) {
       Post(*shards_[s], [this, payload, gather](Shard& sh) {
         sh.table.ApplyUpdate(*payload);
+        ReleaseStuckRebuilds(sh);
         if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           Response resp;
           resp.seq = gather->seq;
@@ -1183,39 +1308,401 @@ Status ZhtServer::MigratePartitionTo(PartitionId partition,
 }
 
 // ---------------------------------------------------------------------------
-// Repair and broadcast
+// Anti-entropy + online rebuild (the recovery model; DESIGN.md §Recovery).
+// The owner digest-probes its replica chain, streams a checkpoint to the
+// members that mismatch, and the FIFO async queue doubles as the catch-up
+// replay: sync legs to an in-rebuild destination divert behind the stream's
+// End, so the destination converges without ever blocking writes here.
 // ---------------------------------------------------------------------------
 
-void ZhtServer::ExecRepair(Shard& shard, PartitionId partition,
-                           std::function<void(Status)> done) {
-  // Push every pair to every chain member (idempotent puts restore the
-  // replication level after a failure, §III.C "Node departures"). Pairs,
-  // chain, and addresses all resolve in-shard; the legs go through the
-  // async queue.
-  ReplicaPlan plan = MakeReplicaPlan(
-      shard,
-      shard.table.ReplicaChain(partition, options_.cluster.num_replicas));
-  std::vector<std::pair<std::string, std::string>> pairs;
-  auto it = shard.stores.find(partition);
-  if (it != shard.stores.end() && it->second) {
-    it->second->ForEach([&pairs](std::string_view k, std::string_view v) {
-      pairs.emplace_back(std::string(k), std::string(v));
-    });
+PartitionDigest ZhtServer::DigestOfStore(const KVStore* store) {
+  PartitionDigest digest;
+  if (!store) return digest;
+  store->ForEach([&digest](std::string_view key, std::string_view value) {
+    ++digest.count;
+    // Chain the key's CRC into the value's seed so the pair hashes as a
+    // unit ((ab, c) and (a, bc) differ); XOR keeps the fold order-free.
+    digest.crc ^= Crc32c(value, Crc32c(key));
+  });
+  return digest;
+}
+
+void ZhtServer::ExecDigest(Shard& shard, Request&& request,
+                           ResponseCallback done) {
+  Response resp;
+  resp.seq = request.seq;
+  resp.epoch = shard.table.epoch();
+  auto it = shard.stores.find(request.partition);
+  const KVStore* store = it != shard.stores.end() ? it->second.get() : nullptr;
+  // A partition we do not hold digests as {0, 0} — indistinguishable from
+  // empty, which is exactly right: both need the full stream.
+  resp.value = DigestOfStore(store).Encode();
+  done(std::move(resp));
+}
+
+void ZhtServer::ExecRebuildBegin(Shard& shard, Request&& request,
+                                 ResponseCallback done) {
+  Response resp;
+  resp.seq = request.seq;
+  resp.epoch = shard.table.epoch();
+  // The stream lands in a shadow store and only replaces the canonical
+  // store after the End digest verifies — a source dying mid-stream (or a
+  // torn stream) can never cost this replica its existing copy, which may
+  // be the cluster's last. Clear, don't re-create: a persistent store
+  // opened twice at one path would race its older self over the log file.
+  std::shared_ptr<KVStore> shadow = ShadowStoreIn(shard, request.partition);
+  if (!shadow) {
+    resp.status = Status(StatusCode::kInternal, "store factory failed").raw();
+    done(std::move(resp));
+    return;
   }
-  for (const auto& [key, value] : pairs) {
-    for (std::size_t i = 1; i < plan.chain.size(); ++i) {
-      if (plan.chain[i] == options_.self) continue;
-      Request request;
-      request.op = OpCode::kInsert;
-      request.key = key;
-      request.value = value;
-      request.partition = partition;
-      request.server_origin = true;
-      request.replica_index = static_cast<std::uint8_t>(i);
-      EnqueueAsyncReplication(std::move(request), plan.addresses[i]);
+  Status cleared = shadow->Clear();
+  if (!cleared.ok()) {
+    resp.status = cleared.raw();
+    done(std::move(resp));
+    return;
+  }
+  shard.rebuilding.insert(request.partition);
+  done(std::move(resp));
+}
+
+void ZhtServer::ExecRebuildData(Shard& shard, Request&& request,
+                                ResponseCallback done) {
+  Response resp;
+  resp.seq = request.seq;
+  if (!shard.rebuilding.count(request.partition)) {
+    // Begin never arrived, or a restart wiped the mark: refuse so the
+    // source's End verification fails and it re-streams from scratch.
+    resp.status =
+        Status(StatusCode::kInvalidArgument, "no rebuild in progress").raw();
+    done(std::move(resp));
+    return;
+  }
+  auto pairs = UnpackPairs(request.value);
+  if (!pairs.ok()) {
+    resp.status = pairs.status().raw();
+    done(std::move(resp));
+    return;
+  }
+  std::shared_ptr<KVStore> shadow = ShadowStoreIn(shard, request.partition);
+  if (!shadow) {
+    resp.status = Status(StatusCode::kInternal, "store factory failed").raw();
+    done(std::move(resp));
+    return;
+  }
+  for (const auto& [key, value] : *pairs) {
+    Status put = shadow->Put(key, value);
+    if (!put.ok()) {
+      resp.status = put.raw();
+      done(std::move(resp));
+      return;
     }
   }
-  done(Status::Ok());
+  // Ack the carrier only once its pairs are durable, exactly like the
+  // migration stream: the source treats the ack as "safely received". The
+  // capture pins the shadow object past any later End/Begin on the shard.
+  const std::uint64_t token = shadow->last_commit_token();
+  if (token == 0) {
+    done(std::move(resp));
+    return;
+  }
+  KVStore* raw = shadow.get();
+  raw->NotifyDurable(
+      token, [shadow = std::move(shadow), resp = std::move(resp),
+              done = std::move(done)](Status durable) mutable {
+        if (!durable.ok()) resp.status = durable.raw();
+        done(std::move(resp));
+      });
+}
+
+void ZhtServer::ExecRebuildEnd(Shard& shard, Request&& request,
+                               ResponseCallback done) {
+  Response resp;
+  resp.seq = request.seq;
+  resp.epoch = shard.table.epoch();
+  auto expected = PartitionDigest::Decode(request.value);
+  if (!expected.ok()) {
+    resp.status = expected.status().raw();
+    done(std::move(resp));
+    return;
+  }
+  if (shard.rebuilding.erase(request.partition) == 0) {
+    // The stream was broken (we restarted, Begin was dropped, or a
+    // membership change promoted us mid-stream): report corruption so the
+    // source re-streams from scratch.
+    resp.status =
+        Status(StatusCode::kCorruption, "rebuild stream broken").raw();
+    done(std::move(resp));
+    return;
+  }
+  auto shadow_it = shard.shadow_stores.find(request.partition);
+  std::shared_ptr<KVStore> shadow = shadow_it != shard.shadow_stores.end()
+                                        ? shadow_it->second
+                                        : nullptr;
+  const PartitionDigest mine = DigestOfStore(shadow.get());
+  resp.value = mine.Encode();
+  if (!(mine == *expected)) {
+    // Canonical store untouched; the shadow is discarded at the next Begin.
+    resp.status =
+        Status(StatusCode::kCorruption, "rebuild digest mismatch").raw();
+    done(std::move(resp));
+    return;
+  }
+  // Verified: replace the canonical copy with the shadow's contents. Both
+  // stores are shard-local, so the swap cannot be interrupted by a peer
+  // failure — it either happens entirely or the End errors out.
+  KVStore* canonical = StoreIn(shard, request.partition);
+  if (!canonical) {
+    resp.status = Status(StatusCode::kInternal, "store factory failed").raw();
+    done(std::move(resp));
+    return;
+  }
+  Status swap = canonical->Clear();
+  if (swap.ok() && shadow) {
+    shadow->ForEach([&](std::string_view key, std::string_view value) {
+      if (swap.ok()) swap = canonical->Put(key, value);
+    });
+  }
+  if (swap.ok() && shadow) swap = shadow->Clear();  // truncate the landing pad
+  if (!swap.ok()) {
+    resp.status = swap.raw();
+    done(std::move(resp));
+    return;
+  }
+  // Ack End only once the swapped-in pairs are durable in the canonical
+  // log — the source counts this replica as rebuilt on that ack.
+  const std::uint64_t token = canonical->last_commit_token();
+  if (token == 0) {
+    done(std::move(resp));
+    return;
+  }
+  std::shared_ptr<KVStore> pinned = shard.stores[request.partition];
+  canonical->NotifyDurable(
+      token, [pinned = std::move(pinned), resp = std::move(resp),
+              done = std::move(done)](Status durable) mutable {
+        if (!durable.ok()) resp.status = durable.raw();
+        done(std::move(resp));
+      });
+}
+
+void ZhtServer::StartRebuild(PartitionId partition,
+                             std::function<void(Status)> done) {
+  Post(ShardForPartition(partition),
+       [this, partition, done = std::move(done)](Shard& sh) mutable {
+         if (sh.rebuild_out.count(partition)) {
+           done(Status(StatusCode::kMigrating, "rebuild already in flight"));
+           return;
+         }
+         const std::vector<InstanceId> chain = sh.table.ReplicaChain(
+             partition, options_.cluster.num_replicas);
+         if (chain.empty() || chain[0] != options_.self) {
+           done(Status(StatusCode::kRedirect, "not the partition owner"));
+           return;
+         }
+         std::vector<RebuildTarget> targets;
+         for (std::size_t i = 1; i < chain.size(); ++i) {
+           if (chain[i] == options_.self) continue;
+           RebuildTarget target;
+           target.id = chain[i];
+           target.address = chain[i] < sh.table.instance_count()
+                                ? sh.table.Instance(chain[i]).address
+                                : NodeAddress{};
+           target.replica_index = static_cast<std::uint8_t>(i);
+           targets.push_back(std::move(target));
+         }
+         if (targets.empty()) {
+           done(Status::Ok());
+           return;
+         }
+         auto it = sh.stores.find(partition);
+         const PartitionDigest mine = DigestOfStore(
+             it != sh.stores.end() ? it->second.get() : nullptr);
+         RebuildOut& out = sh.rebuild_out[partition];
+         out.targets = targets;
+         out.done = std::move(done);
+         // Probe from a finisher (peer I/O); the stale subset posts back
+         // into this shard to start the streams.
+         EnqueueFinisher([this, partition, mine,
+                          targets = std::move(targets)]() mutable {
+           ProbeRebuildTargets(partition, mine, std::move(targets));
+         });
+       });
+}
+
+void ZhtServer::ProbeRebuildTargets(PartitionId partition, PartitionDigest mine,
+                                    std::vector<RebuildTarget> targets) {
+  std::vector<InstanceId> stale;
+  for (const RebuildTarget& target : targets) {
+    stats_.antientropy_probes.fetch_add(1, kRelaxed);
+    bool matched = false;
+    if (!target.address.host.empty() || target.address.port != 0) {
+      Request probe;
+      probe.op = OpCode::kDigest;
+      probe.partition = partition;
+      probe.server_origin = true;
+      auto result = peer_transport_->Call(target.address, probe,
+                                          options_.cluster.peer_timeout);
+      if (result.ok() && result->ok()) {
+        auto theirs = PartitionDigest::Decode(result->value);
+        matched = theirs.ok() && *theirs == mine;
+      }
+    }
+    // An unreachable or undecodable member counts as stale: the stream
+    // will either repair it or fail its End check and be abandoned.
+    if (matched) {
+      stats_.antientropy_clean.fetch_add(1, kRelaxed);
+    } else {
+      stale.push_back(target.id);
+    }
+  }
+  Post(ShardForPartition(partition),
+       [this, partition, stale = std::move(stale)](Shard& sh) mutable {
+         BeginRebuildStreams(sh, partition, std::move(stale));
+       });
+}
+
+void ZhtServer::BeginRebuildStreams(Shard& shard, PartitionId partition,
+                                    std::vector<InstanceId> stale) {
+  auto it = shard.rebuild_out.find(partition);
+  if (it == shard.rebuild_out.end()) return;
+  RebuildOut& out = it->second;
+  // Keep only the stale members; while a member stays listed here, sync
+  // replication legs to it divert behind the stream (ApplyRebuildDiversions).
+  out.targets.erase(
+      std::remove_if(out.targets.begin(), out.targets.end(),
+                     [&stale](const RebuildTarget& t) {
+                       return std::find(stale.begin(), stale.end(), t.id) ==
+                              stale.end();
+                     }),
+      out.targets.end());
+  if (out.targets.empty()) {
+    auto done = std::move(out.done);
+    Status aggregate = std::move(out.aggregate);
+    shard.rebuild_out.erase(it);
+    if (done) done(std::move(aggregate));
+    return;
+  }
+  for (RebuildTarget& target : out.targets) {
+    StreamRebuildTarget(shard, partition, target);
+  }
+}
+
+void ZhtServer::StreamRebuildTarget(Shard& shard, PartitionId partition,
+                                    RebuildTarget& target) {
+  ++target.attempts;
+  if (target.attempts == 1) {
+    stats_.rebuilds_started.fetch_add(1, kRelaxed);
+  } else {
+    stats_.rebuild_retries.fetch_add(1, kRelaxed);
+  }
+  // Snapshot and digest in-shard, then enqueue the whole Begin/Data*/End
+  // conversation into the async queue. Every write applied after this
+  // shard task enqueues its (diverted) leg after our End — the per-
+  // destination FIFO ordering IS the catch-up replay. Writes applied
+  // before it are in the snapshot, so their earlier legs are redundant.
+  PartitionDigest digest;
+  auto pairs =
+      std::make_shared<std::vector<std::pair<std::string, std::string>>>();
+  auto it = shard.stores.find(partition);
+  if (it != shard.stores.end() && it->second) {
+    it->second->ForEach(
+        [&digest, &pairs](std::string_view k, std::string_view v) {
+          ++digest.count;
+          digest.crc ^= Crc32c(v, Crc32c(k));
+          pairs->emplace_back(std::string(k), std::string(v));
+        });
+  }
+
+  Request begin;
+  begin.op = OpCode::kRebuildBegin;
+  begin.partition = partition;
+  begin.server_origin = true;
+  EnqueueAsyncReplication(std::move(begin), target.address);
+
+  std::vector<std::pair<std::string, std::string>> batch;
+  std::size_t batch_bytes = 0;
+  std::uint64_t streamed = 0;
+  auto flush = [&]() {
+    if (batch.empty()) return;
+    Request data;
+    data.op = OpCode::kRebuildData;
+    data.partition = partition;
+    data.server_origin = true;
+    data.value = PackPairs(batch);
+    streamed += batch.size();
+    batch.clear();
+    batch_bytes = 0;
+    EnqueueAsyncReplication(std::move(data), target.address);
+  };
+  for (auto& pair : *pairs) {
+    batch_bytes += pair.first.size() + pair.second.size() + 16;
+    batch.push_back(std::move(pair));
+    if (batch_bytes >= options_.migrate_batch_bytes) flush();
+  }
+  flush();
+  stats_.rebuild_pairs_streamed.fetch_add(streamed, kRelaxed);
+
+  Request end;
+  end.op = OpCode::kRebuildEnd;
+  end.partition = partition;
+  end.server_origin = true;
+  end.value = digest.Encode();
+  const InstanceId id = target.id;
+  EnqueueAsyncLeg(
+      std::move(end), target.address,
+      [this, partition, id](const Result<Response>& result) {
+        Status status =
+            !result.ok() ? result.status() : result->status_as_object();
+        Post(ShardForPartition(partition),
+             [this, partition, id,
+              status = std::move(status)](Shard& sh) mutable {
+               FinishRebuildLeg(sh, partition, id, std::move(status));
+             });
+      });
+}
+
+void ZhtServer::FinishRebuildLeg(Shard& shard, PartitionId partition,
+                                 InstanceId id, Status status) {
+  auto it = shard.rebuild_out.find(partition);
+  if (it == shard.rebuild_out.end()) return;
+  RebuildOut& out = it->second;
+  auto target_it =
+      std::find_if(out.targets.begin(), out.targets.end(),
+                   [id](const RebuildTarget& t) { return t.id == id; });
+  if (target_it == out.targets.end()) return;
+  if (!status.ok() && target_it->attempts < kRebuildMaxAttempts) {
+    // Any End failure — transport, broken stream, digest mismatch — gets
+    // a full re-stream from a fresh snapshot, up to the attempt budget.
+    StreamRebuildTarget(shard, partition, *target_it);
+    return;
+  }
+  if (status.ok()) {
+    stats_.rebuilds_completed.fetch_add(1, kRelaxed);
+  } else {
+    ZHT_WARN << "rebuild of partition " << partition << " to instance " << id
+             << " abandoned: " << status.ToString();
+    if (out.aggregate.ok()) out.aggregate = status;
+  }
+  out.targets.erase(target_it);
+  if (out.targets.empty()) {
+    auto done = std::move(out.done);
+    Status aggregate = std::move(out.aggregate);
+    shard.rebuild_out.erase(it);
+    if (done) done(std::move(aggregate));
+  }
+}
+
+void ZhtServer::ApplyRebuildDiversions(const Shard& shard,
+                                       PartitionId partition,
+                                       ReplicaPlan* plan) const {
+  auto it = shard.rebuild_out.find(partition);
+  if (it == shard.rebuild_out.end() || it->second.targets.empty()) return;
+  plan->via_async.assign(plan->chain.size(), 0);
+  for (std::size_t i = 0; i < plan->chain.size(); ++i) {
+    for (const RebuildTarget& target : it->second.targets) {
+      if (target.id == plan->chain[i]) plan->via_async[i] = 1;
+    }
+  }
 }
 
 Status ZhtServer::RepairPartition(PartitionId partition) {
@@ -1226,19 +1713,71 @@ Status ZhtServer::RepairPartition(PartitionId partition) {
     Status status;
   };
   auto latch = std::make_shared<Latch>();
-  Post(ShardForPartition(partition), [this, partition, latch](Shard& sh) {
-    ExecRepair(sh, partition, [latch](Status status) {
-      {
-        std::lock_guard<std::mutex> lock(latch->mu);
-        latch->status = std::move(status);
-        latch->done = true;
-      }
-      latch->cv.notify_one();
-    });
+  StartRebuild(partition, [latch](Status status) {
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->status = std::move(status);
+      latch->done = true;
+    }
+    latch->cv.notify_one();
   });
   std::unique_lock<std::mutex> lock(latch->mu);
   latch->cv.wait(lock, [&] { return latch->done; });
   return latch->status;
+}
+
+PartitionDigest ZhtServer::PartitionDigestOf(PartitionId partition) {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    PartitionDigest digest;
+  };
+  auto latch = std::make_shared<Latch>();
+  Post(ShardForPartition(partition), [partition, latch](Shard& sh) {
+    auto it = sh.stores.find(partition);
+    PartitionDigest digest =
+        DigestOfStore(it != sh.stores.end() ? it->second.get() : nullptr);
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->digest = digest;
+      latch->done = true;
+    }
+    latch->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+  return latch->digest;
+}
+
+std::vector<std::pair<std::string, std::string>> ZhtServer::PartitionPairs(
+    PartitionId partition) {
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<std::pair<std::string, std::string>> pairs;
+  };
+  auto latch = std::make_shared<Latch>();
+  Post(ShardForPartition(partition), [partition, latch](Shard& sh) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    auto it = sh.stores.find(partition);
+    if (it != sh.stores.end() && it->second) {
+      it->second->ForEach([&pairs](std::string_view k, std::string_view v) {
+        pairs.emplace_back(std::string(k), std::string(v));
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(latch->mu);
+      latch->pairs = std::move(pairs);
+      latch->done = true;
+    }
+    latch->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->done; });
+  std::sort(latch->pairs.begin(), latch->pairs.end());
+  return latch->pairs;
 }
 
 void ZhtServer::ExecBroadcast(Shard& shard, Request&& request,
@@ -1307,24 +1846,33 @@ void ZhtServer::ReplicateSync(const Request& original, PartitionId partition,
   replication_fanout_hist_->Record(
       static_cast<std::int64_t>(plan.chain.size()) - 1);
 
-  if (options_.sync_secondary && plan.chain.size() > 1) {
-    forward.replica_index = 1;
-    stats_.replications_sync.fetch_add(1, kRelaxed);
-    replication_sync_counter_->Increment();
-    auto result = peer_transport_->Call(plan.addresses[1], forward,
-                                        options_.cluster.peer_timeout);
-    if (!result.ok()) {
-      ZHT_WARN << "sync replication to " << plan.addresses[1].ToString()
-               << " failed: " << result.status().ToString();
+  // Leg i is synchronous when it is the secondary (with sync_secondary) or
+  // the plan demands every leg synchronous (failover accepts). A member
+  // mid-rebuild diverts to the async queue regardless, so the leg lands
+  // after the stream's End (the queue is FIFO per destination — the
+  // catch-up replay ordering).
+  const std::size_t sync_end =
+      plan.all_sync ? plan.chain.size()
+                    : (options_.sync_secondary ? std::size_t{2}
+                                               : std::size_t{1});
+  for (std::size_t i = 1; i < plan.chain.size(); ++i) {
+    Request leg = forward;
+    leg.replica_index = static_cast<std::uint8_t>(i);
+    const bool diverted = plan.via_async.size() > i && plan.via_async[i];
+    if (i < sync_end && !diverted) {
+      stats_.replications_sync.fetch_add(1, kRelaxed);
+      replication_sync_counter_->Increment();
+      auto result = peer_transport_->Call(plan.addresses[i], leg,
+                                          options_.cluster.peer_timeout);
+      if (!result.ok()) {
+        ZHT_WARN << "sync replication to " << plan.addresses[i].ToString()
+                 << " failed: " << result.status().ToString();
+      }
+    } else {
+      EnqueueAsyncReplication(std::move(leg), plan.addresses[i]);
+      replication_async_counter_->Increment();
+      stats_.replications_async.fetch_add(1, kRelaxed);
     }
-  }
-  const std::size_t first_async = options_.sync_secondary ? 2 : 1;
-  for (std::size_t i = first_async; i < plan.chain.size(); ++i) {
-    Request async = forward;
-    async.replica_index = static_cast<std::uint8_t>(i);
-    EnqueueAsyncReplication(std::move(async), plan.addresses[i]);
-    replication_async_counter_->Increment();
-    stats_.replications_async.fetch_add(1, kRelaxed);
   }
 }
 
@@ -1340,18 +1888,34 @@ void ZhtServer::ReplicateBatchResolved(
         static_cast<std::int64_t>(plan.chain.size()) - 1);
   }
 
-  // Synchronous leg: group sub-ops by their secondary and push each group
-  // as one pipelined BATCH call before acknowledging the client.
+  // Synchronous legs: the secondary of each plan (or every member of an
+  // all_sync plan), grouped by target and pushed as one pipelined BATCH
+  // call before acknowledging the client. A member mid-rebuild diverts
+  // behind its stream instead.
+  auto plan_sync_end = [this](const ReplicaPlan& plan) {
+    if (plan.all_sync) return plan.chain.size();
+    return options_.sync_secondary ? std::size_t{2} : std::size_t{1};
+  };
   if (options_.sync_secondary) {
     std::unordered_map<InstanceId,
                        std::pair<NodeAddress, std::vector<Request>>>
         groups;
     for (std::size_t i = 0; i < ops.size(); ++i) {
-      if (plans[i].chain.size() > 1) {
+      const ReplicaPlan& plan = plans[i];
+      const std::size_t sync_end =
+          std::min(plan_sync_end(plan), plan.chain.size());
+      for (std::size_t r = 1; r < sync_end; ++r) {
         Request forward = ops[i];
-        forward.replica_index = 1;
-        auto& group = groups[plans[i].chain[1]];
-        group.first = plans[i].addresses[1];
+        forward.replica_index = static_cast<std::uint8_t>(r);
+        if (plan.via_async.size() > r && plan.via_async[r]) {
+          // Member mid-rebuild: divert the leg behind the stream.
+          replication_async_counter_->Increment();
+          stats_.replications_async.fetch_add(1, kRelaxed);
+          EnqueueAsyncReplication(std::move(forward), plan.addresses[r]);
+          continue;
+        }
+        auto& group = groups[plan.chain[r]];
+        group.first = plan.addresses[r];
         group.second.push_back(std::move(forward));
       }
     }
@@ -1369,10 +1933,11 @@ void ZhtServer::ReplicateBatchResolved(
 
   // Asynchronous legs: one queued BATCH carrier per (replica slot, target)
   // group, so further replicas also receive the batch as a unit.
-  const std::size_t first_async = options_.sync_secondary ? 2 : 1;
   std::unordered_map<InstanceId, std::pair<NodeAddress, std::vector<Request>>>
       async_groups;
   for (std::size_t i = 0; i < ops.size(); ++i) {
+    const std::size_t first_async =
+        options_.sync_secondary ? plan_sync_end(plans[i]) : std::size_t{1};
     for (std::size_t r = first_async; r < plans[i].chain.size(); ++r) {
       Request forward = ops[i];
       forward.replica_index = static_cast<std::uint8_t>(r);
@@ -1392,16 +1957,23 @@ void ZhtServer::ReplicateBatchResolved(
 
 void ZhtServer::EnqueueAsyncReplication(Request request,
                                         const NodeAddress& target) {
+  EnqueueAsyncLeg(std::move(request), target, nullptr);
+}
+
+void ZhtServer::EnqueueAsyncLeg(
+    Request request, const NodeAddress& target,
+    std::function<void(const Result<Response>&)> on_result) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    async_queue_.emplace_back(std::move(request), target);
+    async_queue_.push_back(
+        AsyncLeg{std::move(request), target, std::move(on_result)});
   }
   queue_cv_.notify_one();
 }
 
 void ZhtServer::AsyncReplicationLoop() {
   for (;;) {
-    std::pair<Request, NodeAddress> item;
+    AsyncLeg item;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
@@ -1411,13 +1983,17 @@ void ZhtServer::AsyncReplicationLoop() {
       async_queue_.pop_front();
       ++async_inflight_;
     }
-    if (!item.second.host.empty() || item.second.port != 0) {
-      auto result = peer_transport_->Call(item.second, item.first,
+    if (!item.target.host.empty() || item.target.port != 0) {
+      auto result = peer_transport_->Call(item.target, item.request,
                                           options_.cluster.peer_timeout);
       if (!result.ok()) {
-        ZHT_DEBUG << "async replication to " << item.second.ToString()
+        ZHT_DEBUG << "async replication to " << item.target.ToString()
                   << " failed: " << result.status().ToString();
       }
+      if (item.on_result) item.on_result(result);
+    } else if (item.on_result) {
+      item.on_result(
+          Result<Response>(Status(StatusCode::kUnavailable, "no address")));
     }
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -1471,6 +2047,12 @@ ZhtServerStats ZhtServer::stats() const {
   s.migrations_in = stats_.migrations_in.load(kRelaxed);
   s.broadcasts = stats_.broadcasts.load(kRelaxed);
   s.duplicate_appends_dropped = stats_.duplicate_appends_dropped.load(kRelaxed);
+  s.antientropy_probes = stats_.antientropy_probes.load(kRelaxed);
+  s.antientropy_clean = stats_.antientropy_clean.load(kRelaxed);
+  s.rebuilds_started = stats_.rebuilds_started.load(kRelaxed);
+  s.rebuilds_completed = stats_.rebuilds_completed.load(kRelaxed);
+  s.rebuild_pairs_streamed = stats_.rebuild_pairs_streamed.load(kRelaxed);
+  s.rebuild_retries = stats_.rebuild_retries.load(kRelaxed);
   return s;
 }
 

@@ -107,6 +107,15 @@ struct ZhtServerStats {
   std::uint64_t migrations_in = 0;
   std::uint64_t broadcasts = 0;
   std::uint64_t duplicate_appends_dropped = 0;
+  // Anti-entropy / rebuild (source side). A "probe" is one kDigest RPC; a
+  // clean probe moves no pair data. A rebuild leg is one (partition,
+  // target) checkpoint stream; retries re-stream after a digest mismatch.
+  std::uint64_t antientropy_probes = 0;
+  std::uint64_t antientropy_clean = 0;
+  std::uint64_t rebuilds_started = 0;
+  std::uint64_t rebuilds_completed = 0;
+  std::uint64_t rebuild_pairs_streamed = 0;
+  std::uint64_t rebuild_retries = 0;
 };
 
 class ZhtServer {
@@ -131,9 +140,25 @@ class ZhtServer {
   // Thin blocking adapter over HandleAsync for tests and simple callers.
   Response Handle(Request&& request);
 
-  // Re-replicates every pair of `partition` to the replica chain (used by
-  // the manager to restore the replication level after a failure).
+  // Anti-entropy + online rebuild: digest-probes every member of
+  // `partition`'s replica chain and streams a fresh checkpoint
+  // (kRebuildBegin/Data/End through the ordered async-replication queue)
+  // to each member whose digest mismatches — clean members exchange only
+  // digests. `done` fires once, after every leg completed or was abandoned
+  // (bounded re-stream retries on digest mismatch). No-op unless this
+  // instance owns the partition. Safe from any thread; the manager's
+  // kRepair handler acks before the rebuild finishes.
+  void StartRebuild(PartitionId partition, std::function<void(Status)> done);
+  // Blocking adapter over StartRebuild (tests/tools): returns when the
+  // replication level is actually restored.
   Status RepairPartition(PartitionId partition);
+
+  // Blocking introspection for tests/benches: the digest ({0, 0} when the
+  // partition is not held) and a snapshot of the pairs this instance holds
+  // for `partition`. Not for reactor threads.
+  PartitionDigest PartitionDigestOf(PartitionId partition);
+  std::vector<std::pair<std::string, std::string>> PartitionPairs(
+      PartitionId partition);
 
   // Pushes `partition` to `target` (MigrateBegin/Data/End) and relinquishes
   // it. The caller (manager) updates and broadcasts membership afterwards.
@@ -272,6 +297,25 @@ class ZhtServer {
     alignas(64) std::atomic<std::uint64_t> tail_{0};
   };
 
+  // One (partition, chain member) leg of an in-flight rebuild.
+  struct RebuildTarget {
+    InstanceId id = 0;
+    NodeAddress address;
+    std::uint8_t replica_index = 0;
+    int attempts = 0;  // streams issued so far (retries on mismatch)
+  };
+
+  // Source-side state of one anti-entropy round: the owner probed the
+  // chain and is streaming to the targets that mismatched. While a target
+  // is listed here, synchronous replication legs to it divert into the
+  // async queue so post-snapshot writes land after the stream's End (the
+  // queue is FIFO per destination — that ordering IS the catch-up replay).
+  struct RebuildOut {
+    std::vector<RebuildTarget> targets;
+    std::function<void(Status)> done;
+    Status aggregate;  // first abandoned leg's failure, reported to done
+  };
+
   // One partition-ownership shard: shard s owns every partition p with
   // p % num_shards() == s. All non-mailbox members are touched only inside
   // the shard's drain (single-threaded by construction), so none of this
@@ -285,6 +329,19 @@ class ZhtServer {
     std::deque<std::uint64_t> dedup_ring;  // at-most-once append window
     std::unordered_set<std::uint64_t> dedup_set;
     std::unordered_set<PartitionId> migrating;  // locked mid-migration
+    // Destination side: partitions between kRebuildBegin and kRebuildEnd.
+    // Data ops answer kMigrating while set, so the End digest check sees
+    // exactly the streamed pairs (no interleaved writes, no stale reads).
+    std::unordered_set<PartitionId> rebuilding;
+    // Destination side: the stream lands in a per-partition shadow store
+    // and is swapped into the canonical store only after the End digest
+    // verifies, so a source dying mid-stream never costs the destination
+    // its existing copy. Objects are created once and reused across
+    // rebuilds (Clear()ed at each Begin) so a persistent store is never
+    // opened twice at the same path.
+    std::unordered_map<PartitionId, std::shared_ptr<KVStore>> shadow_stores;
+    // Source side: partitions this owner is currently rebuilding.
+    std::unordered_map<PartitionId, RebuildOut> rebuild_out;
 
     // --- mailbox ---
     std::vector<std::unique_ptr<SpscTaskRing>> rings;  // [producer executor]
@@ -323,6 +380,16 @@ class ZhtServer {
   struct ReplicaPlan {
     std::vector<InstanceId> chain;
     std::vector<NodeAddress> addresses;  // parallel to chain
+    // Parallel to chain when non-empty: members whose sync leg must go
+    // through the async queue because a rebuild stream to them is in
+    // flight (computed in-shard; consumed on finisher threads).
+    std::vector<char> via_async;
+    // Every leg synchronous (not just the secondary). Set for failover
+    // writes accepted off-primary: the members the client skipped may in
+    // fact be alive (a spurious detector mark) and serving reads, so the
+    // write must land on them before the ack. Legs to genuinely dead
+    // members fail fast and cost nothing.
+    bool all_sync = false;
   };
 
   // Scatter/gather state for a BATCH spanning shard owners. Each shard
@@ -384,6 +451,13 @@ class ZhtServer {
                       std::string_view key, std::string_view value,
                       std::string* out);
   KVStore* StoreIn(Shard& shard, PartitionId partition);  // creates on demand
+  // Rebuild landing pad for `partition` (offset path, reused across rebuilds).
+  std::shared_ptr<KVStore> ShadowStoreIn(Shard& shard, PartitionId partition);
+  // Drops destination-side rebuild marks for partitions this instance now
+  // owns: the stream that fed them is moot (its source lost ownership, or
+  // died), and the canonical store — never wiped mid-stream — is the copy
+  // promotion elected. Called after every membership update.
+  void ReleaseStuckRebuilds(Shard& shard);
   ReplicaPlan MakeReplicaPlan(const Shard& shard,
                               const std::vector<InstanceId>& chain) const;
 
@@ -398,8 +472,31 @@ class ZhtServer {
   void ExecMigrateData(Shard& shard, Request&& request, ResponseCallback done);
   void ExecMigrateEnd(Shard& shard, Request&& request, ResponseCallback done);
   void ExecBroadcast(Shard& shard, Request&& request, ResponseCallback done);
-  void ExecRepair(Shard& shard, PartitionId partition,
-                  std::function<void(Status)> done);
+  // --- rebuild / anti-entropy (tentpole of the recovery model) ---
+  // Destination handlers (in-shard).
+  void ExecDigest(Shard& shard, Request&& request, ResponseCallback done);
+  void ExecRebuildBegin(Shard& shard, Request&& request,
+                        ResponseCallback done);
+  void ExecRebuildData(Shard& shard, Request&& request, ResponseCallback done);
+  void ExecRebuildEnd(Shard& shard, Request&& request, ResponseCallback done);
+  // Finisher-thread body: one kDigest call per target; posts the stale
+  // subset back into the shard.
+  void ProbeRebuildTargets(PartitionId partition, PartitionDigest mine,
+                           std::vector<RebuildTarget> targets);
+  // In-shard: drop clean targets, stream to the stale ones (or finish).
+  void BeginRebuildStreams(Shard& shard, PartitionId partition,
+                           std::vector<InstanceId> stale);
+  // In-shard: snapshot the partition and enqueue Begin/Data*/End for one
+  // target into the async queue; End's result posts FinishRebuildLeg.
+  void StreamRebuildTarget(Shard& shard, PartitionId partition,
+                           RebuildTarget& target);
+  void FinishRebuildLeg(Shard& shard, PartitionId partition, InstanceId id,
+                        Status status);
+  // In-shard digest of the partition's store ({0, 0} when absent).
+  static PartitionDigest DigestOfStore(const KVStore* store);
+  // Flags chain members with an in-flight rebuild stream in plan.via_async.
+  void ApplyRebuildDiversions(const Shard& shard, PartitionId partition,
+                              ReplicaPlan* plan) const;
   // Marks `partition` migrating in its shard, snapshots it, then streams
   // Begin/Data/End from a finisher; completion posts back to the shard.
   void StartMigrateOut(PartitionId partition, const NodeAddress& target,
@@ -424,6 +521,10 @@ class ZhtServer {
                               const std::vector<PartitionId>& partitions,
                               const std::vector<ReplicaPlan>& plans);
   void EnqueueAsyncReplication(Request request, const NodeAddress& target);
+  // As above, plus a completion hook run on the async worker with the
+  // peer's result (rebuild End verification). Null hook = fire-and-forget.
+  void EnqueueAsyncLeg(Request request, const NodeAddress& target,
+                       std::function<void(const Result<Response>&)> on_result);
   void AsyncReplicationLoop();
 
   void EnqueueFinisher(std::function<void()> job);
@@ -468,6 +569,12 @@ class ZhtServer {
     std::atomic<std::uint64_t> migrations_in{0};
     std::atomic<std::uint64_t> broadcasts{0};
     std::atomic<std::uint64_t> duplicate_appends_dropped{0};
+    std::atomic<std::uint64_t> antientropy_probes{0};
+    std::atomic<std::uint64_t> antientropy_clean{0};
+    std::atomic<std::uint64_t> rebuilds_started{0};
+    std::atomic<std::uint64_t> rebuilds_completed{0};
+    std::atomic<std::uint64_t> rebuild_pairs_streamed{0};
+    std::atomic<std::uint64_t> rebuild_retries{0};
   };
   mutable StatsCounters stats_;
 
@@ -488,9 +595,14 @@ class ZhtServer {
 
   // Asynchronous replication worker (replicas beyond the secondary).
   // Targets carry addresses resolved in-shard at enqueue time.
+  struct AsyncLeg {
+    Request request;
+    NodeAddress target;
+    std::function<void(const Result<Response>&)> on_result;  // may be null
+  };
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<std::pair<Request, NodeAddress>> async_queue_;
+  std::deque<AsyncLeg> async_queue_;
   std::size_t async_inflight_ = 0;
   bool async_stop_ = false;
   std::thread async_worker_;

@@ -8,6 +8,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
@@ -62,6 +63,22 @@ class KVStore {
     (void)key;
     (void)value;
     return Status(StatusCode::kNotSupported, "append not supported");
+  }
+
+  // Drops every pair (and, for persistent stores, truncates the on-disk
+  // log) so a rebuild stream lands on a genuinely empty store — re-opening
+  // the same path would otherwise resurrect stale recovered state. The
+  // default adapts stores without a faster path.
+  virtual Status Clear() {
+    std::vector<std::string> keys;
+    ForEach([&keys](std::string_view key, std::string_view) {
+      keys.emplace_back(key);
+    });
+    for (const std::string& key : keys) {
+      Status status = Remove(key);
+      if (!status.ok()) return status;
+    }
+    return Status::Ok();
   }
 
   virtual std::uint64_t Size() const = 0;

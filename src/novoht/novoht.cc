@@ -835,6 +835,26 @@ Status NoVoHT::Compact() {
   return CompactLocked();
 }
 
+Status NoVoHT::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (read_only_.load(std::memory_order_relaxed)) {
+    return Status(StatusCode::kInternal, "store is read-only");
+  }
+  for (Node*& head : buckets_) {
+    while (head) {
+      Node* next = head->next;
+      delete head;
+      head = next;
+    }
+    head = nullptr;
+  }
+  entries_ = 0;
+  resident_values_ = 0;
+  // Checkpointing the empty table truncates the log and resets the byte
+  // accounting, so a crash after Clear() recovers an empty store too.
+  return CompactLocked();
+}
+
 Status NoVoHT::CompactLocked() {
   if (options_.path.empty()) return Status::Ok();
   // Quiesce the group-commit flusher: it must not be fdatasync'ing log_fd_

@@ -132,6 +132,11 @@ class NoVoHT final : public KVStore {
   // invoked automatically by the GC policy. Thread-safe.
   Status Compact();
 
+  // Drops every pair and checkpoints the now-empty table, truncating the
+  // log — the store behaves as if freshly created at the same path. Used
+  // by the rebuild stream (KVStore::Clear). Thread-safe.
+  Status Clear() override;
+
   // Group-commit handshake (KVStore). Tokens are monotone commit sequence
   // numbers (not byte offsets, so compaction cannot invalidate them). Both
   // are trivial outside kGroupCommit mode.

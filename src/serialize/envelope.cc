@@ -50,8 +50,48 @@ std::string_view OpCodeName(OpCode op) {
     case OpCode::kRepair: return "REPAIR";
     case OpCode::kStats: return "STATS";
     case OpCode::kBatch: return "BATCH";
+    case OpCode::kDigest: return "DIGEST";
+    case OpCode::kRebuildBegin: return "REBUILD_BEGIN";
+    case OpCode::kRebuildData: return "REBUILD_DATA";
+    case OpCode::kRebuildEnd: return "REBUILD_END";
   }
   return "UNKNOWN";
+}
+
+std::string PartitionDigest::Encode() const {
+  std::string out;
+  wire::Writer w(&out);
+  w.PutVarintField(1, count);
+  w.PutVarintField(2, crc);
+  return out;
+}
+
+Result<PartitionDigest> PartitionDigest::Decode(std::string_view data) {
+  PartitionDigest digest;
+  wire::Reader r(data);
+  while (!r.AtEnd()) {
+    std::uint32_t field;
+    wire::WireType type;
+    if (!r.GetTag(&field, &type)) {
+      return Status(StatusCode::kCorruption, "bad digest tag");
+    }
+    std::uint64_t v = 0;
+    switch (field) {
+      case 1:
+        if (!r.GetVarint(&v)) return Status(StatusCode::kCorruption, "count");
+        digest.count = v;
+        break;
+      case 2:
+        if (!r.GetVarint(&v)) return Status(StatusCode::kCorruption, "crc");
+        digest.crc = static_cast<std::uint32_t>(v);
+        break;
+      default:
+        if (!r.SkipValue(type)) {
+          return Status(StatusCode::kCorruption, "unknown digest field");
+        }
+    }
+  }
+  return digest;
 }
 
 std::uint64_t Request::DedupKey() const {
@@ -90,7 +130,7 @@ Result<Request> Request::Decode(std::string_view data) {
     switch (field) {
       case kReqOp:
         if (!r.GetVarint(&v)) return Status(StatusCode::kCorruption, "op");
-        if (v < 1 || v > 18) {
+        if (v < 1 || v > 22) {
           return Status(StatusCode::kCorruption, "unknown opcode");
         }
         req.op = static_cast<OpCode>(v);

@@ -30,9 +30,28 @@ enum class OpCode : std::uint8_t {
   kStats = 17,          // admin: fetch server counters (ops, entries, ...)
   kBatch = 18,          // BATCH envelope: N sub-requests in one frame
                         // (serialize/batch.h); response packs N sub-responses
+  kDigest = 19,         // anti-entropy probe: compare partition digests
+  kRebuildBegin = 20,   // owner → replica: wipe, start rebuild stream
+  kRebuildData = 21,    // rebuild payload (batched key/value pairs)
+  kRebuildEnd = 22,     // close stream; value carries the source digest
 };
 
 std::string_view OpCodeName(OpCode op);
+
+// Order-independent summary of a partition's contents, exchanged by the
+// anti-entropy pass (kDigest) and verified at the end of a rebuild stream
+// (kRebuildEnd). `crc` is the XOR of one CRC32C per pair — chained over the
+// key then the value, so "ab"/"c" and "a"/"bc" digest differently — which
+// makes the digest insensitive to iteration order and cheap to compare.
+struct PartitionDigest {
+  std::uint64_t count = 0;  // live pairs
+  std::uint32_t crc = 0;    // XOR of per-pair CRC32Cs
+
+  std::string Encode() const;
+  static Result<PartitionDigest> Decode(std::string_view data);
+
+  bool operator==(const PartitionDigest&) const = default;
+};
 
 struct Request {
   OpCode op = OpCode::kPing;

@@ -168,11 +168,14 @@ struct ChaosSchedule {
   int clients = 2;
   int ops_per_phase = 60;
   // One rule set per phase; rules are installed at phase start and removed
-  // at phase end. The mid event fires between phases 0 and 1.
+  // at phase end. The mid event fires between phases 0 and 1; the second
+  // mid event (overlapping failures, rebuild interruption) between 1 and 2.
   std::vector<std::vector<FaultRule>> phases;
   bool partition_in_middle = false;  // cut servers {0..n/2-1} | {n/2..n-1}
   MidEvent mid = MidEvent::kNone;
   std::size_t victim = 1;
+  MidEvent mid2 = MidEvent::kNone;
+  std::size_t victim2 = 2;
   bool threaded = false;  // real threads: only delay/duplicate faults!
   // Durability of the partition stores. With kGroupCommit the servers ack a
   // mutation only after the flusher has synced past it, so a mid-schedule
@@ -300,18 +303,21 @@ class ChaosHarness {
       for (int id : installed) plan_->RemoveRule(id);
       if (cut >= 0) plan_->RemovePartition(cut);
 
-      if (phase == 0) {
-        switch (schedule_.mid) {
-          case MidEvent::kNone:
-            break;
-          case MidEvent::kKill:
-            cluster_->KillInstance(schedule_.victim);
-            break;
-          case MidEvent::kJoin: {
-            auto joined = cluster_->JoinNewInstance();
-            ASSERT_TRUE(joined.ok()) << joined.status().ToString();
-            break;
-          }
+      const MidEvent event = phase == 0   ? schedule_.mid
+                             : phase == 1 ? schedule_.mid2
+                                          : MidEvent::kNone;
+      const std::size_t victim =
+          phase == 0 ? schedule_.victim : schedule_.victim2;
+      switch (event) {
+        case MidEvent::kNone:
+          break;
+        case MidEvent::kKill:
+          cluster_->KillInstance(victim);
+          break;
+        case MidEvent::kJoin: {
+          auto joined = cluster_->JoinNewInstance();
+          ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+          break;
         }
       }
     }
@@ -580,6 +586,84 @@ INSTANTIATE_TEST_SUITE_P(
                          .delay_jitter = 300 * kNanosPerMicro}},
                        {}},
             .threaded = true,
+        },
+        ChaosSchedule{
+            // Torn rebuild streams: a kill triggers replica rebuilds, then
+            // phase 1 drops and duplicates the rebuild RPCs themselves.
+            // Dropped carriers fail the End digest and force a re-stream;
+            // duplicated carriers must be absorbed (idempotent puts into
+            // the shadow store); dropped digest probes read as stale and
+            // cost only an extra stream. Client-visible history must stay
+            // clean throughout.
+            .name = "rebuild_faults_r2",
+            .seed = 909,
+            .replicas = 2,
+            .instances = 6,
+            .clients = 2,
+            .ops_per_phase = 50,
+            .phases = {{},
+                       {{.kind = FaultKind::kDropRequest,
+                         .op = OpCode::kRebuildData,
+                         .probability = 0.3},
+                        {.kind = FaultKind::kDuplicate,
+                         .op = OpCode::kRebuildData,
+                         .probability = 0.3},
+                        {.kind = FaultKind::kDropRequest,
+                         .op = OpCode::kDigest,
+                         .probability = 0.25}},
+                       {}},
+            .mid = MidEvent::kKill,
+            .victim = 1,
+        },
+        ChaosSchedule{
+            // Overlapping failures: the second kill takes out the instance
+            // that just inherited the first victim's partitions (and is
+            // mid-rebuild as their stream source). Victims are ring-
+            // adjacent survivors, so each promotion elects the sync
+            // secondary; the repair commanded after the first failure must
+            // not leave the second promotion stale.
+            .name = "rebuild_source_killed_r2",
+            .seed = 1010,
+            .replicas = 2,
+            .instances = 6,
+            .clients = 2,
+            .ops_per_phase = 50,
+            .phases = {{},
+                       {{.kind = FaultKind::kDropRequest,
+                         .client_only = true,
+                         .probability = 0.15}},
+                       {}},
+            .mid = MidEvent::kKill,
+            .victim = 1,
+            .mid2 = MidEvent::kKill,
+            .victim2 = 2,
+        },
+        ChaosSchedule{
+            // Rebuild destination killed mid-stream: phase 1 stretches the
+            // rebuild carriers with delays so the second kill lands while
+            // instance 4 is still being streamed to. The source's End
+            // times out and the leg is retried then abandoned; the shadow-
+            // store protocol means the half-fed destination never wiped
+            // its canonical copy.
+            .name = "rebuild_dest_killed_r2",
+            .seed = 1111,
+            .replicas = 2,
+            .instances = 6,
+            .clients = 2,
+            .ops_per_phase = 50,
+            .phases = {{},
+                       {{.kind = FaultKind::kDelay,
+                         .op = OpCode::kRebuildData,
+                         .probability = 1.0,
+                         .delay = 1 * kNanosPerMilli},
+                        {.kind = FaultKind::kDropRequest,
+                         .client_only = true,
+                         .probability = 0.15}},
+                       {}},
+            .mid = MidEvent::kKill,
+            .victim = 1,
+            .mid2 = MidEvent::kKill,
+            .victim2 = 4,
         }),
     [](const auto& info) { return std::string(info.param.name); });
 

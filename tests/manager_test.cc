@@ -53,6 +53,58 @@ TEST(ManagerTest, BroadcastReachesPeerManagers) {
   }
 }
 
+TEST(ManagerTest, OverlappingFailuresAtR3KeepEveryPartitionServable) {
+  // Two failures in quick succession at r=3: the second lands while the
+  // rebuild campaign for the first is still in flight. Reassignment must
+  // never leave a partition without an alive owner, and the commanded
+  // repairs must keep every acked key readable.
+  LocalClusterOptions options;
+  options.num_instances = 6;
+  options.num_partitions = 48;
+  options.cluster.num_replicas = 3;
+  auto cluster = LocalCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->CreateClient();
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(client->Insert("mf" + std::to_string(i), "v" + std::to_string(i))
+                    .ok());
+  }
+  (*cluster)->FlushAllAsyncReplication();
+
+  Manager* m0 = (*cluster)->manager(0);
+  const std::uint64_t broadcasts_before = m0->stats().broadcasts_sent;
+  (*cluster)->KillInstance(2);
+  ASSERT_TRUE(m0->HandleFailure(2).ok());
+  (*cluster)->KillInstance(4);  // overlaps the first rebuild campaign
+  ASSERT_TRUE(m0->HandleFailure(4).ok());
+
+  EXPECT_EQ(m0->stats().failures_handled, 2u);
+  EXPECT_GT(m0->stats().broadcasts_sent, broadcasts_before);
+  EXPECT_GT(m0->stats().repairs_commanded, 0u);
+
+  // No partition lost its last replica: every chain is non-empty and made
+  // of alive members only (the table skips dead instances).
+  MembershipTable table = m0->TableSnapshot();
+  for (PartitionId p = 0; p < table.num_partitions(); ++p) {
+    auto chain = table.ReplicaChain(p, options.cluster.num_replicas);
+    ASSERT_FALSE(chain.empty()) << "partition " << p << " lost";
+    for (InstanceId id : chain) {
+      EXPECT_TRUE(table.Instance(id).alive)
+          << "partition " << p << " lists dead instance " << id;
+      EXPECT_NE(id, 2u);
+      EXPECT_NE(id, 4u);
+    }
+  }
+
+  // Every acked key still readable through a freshly bootstrapped client.
+  auto reader = (*cluster)->CreateClient();
+  for (int i = 0; i < 120; ++i) {
+    auto got = reader->Lookup("mf" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << "mf" << i << ": " << got.status().ToString();
+    EXPECT_EQ(*got, "v" + std::to_string(i));
+  }
+}
+
 TEST(ManagerTest, AnyManagerCanAdmitAJoin) {
   LocalClusterOptions options;
   options.num_instances = 4;

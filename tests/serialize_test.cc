@@ -171,7 +171,7 @@ TEST(ResponseTest, StatusObjectConversion) {
 }
 
 TEST(OpCodeTest, NamesCoverAllOps) {
-  for (int op = 1; op <= 16; ++op) {
+  for (int op = 1; op <= 22; ++op) {
     EXPECT_NE(OpCodeName(static_cast<OpCode>(op)), "UNKNOWN") << op;
   }
 }
@@ -183,7 +183,7 @@ TEST_P(EnvelopeFuzzTest, RandomRoundTrip) {
   Rng rng(static_cast<std::uint64_t>(GetParam()));
   for (int i = 0; i < 200; ++i) {
     Request req;
-    req.op = static_cast<OpCode>(1 + rng.Below(16));
+    req.op = static_cast<OpCode>(1 + rng.Below(22));
     req.seq = rng.Next();
     req.key = rng.AsciiString(rng.Below(40));
     req.value = rng.AsciiString(rng.Below(200));

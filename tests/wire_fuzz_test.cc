@@ -15,7 +15,7 @@ class WireFuzzTest : public ::testing::TestWithParam<int> {};
 
 Request RandomRequest(Rng& rng) {
   Request req;
-  req.op = static_cast<OpCode>(1 + rng.Below(18));
+  req.op = static_cast<OpCode>(1 + rng.Below(22));
   req.seq = rng.Next();
   req.key = rng.AsciiString(rng.Below(30));
   req.value = rng.AsciiString(rng.Below(100));
