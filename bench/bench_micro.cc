@@ -5,6 +5,7 @@
 
 #include <filesystem>
 
+#include "bench/workload.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "hashing/hash_functions.h"
@@ -16,14 +17,10 @@
 namespace zht {
 namespace {
 
+// Shared with bench_traffic: the workload library owns key generation so
+// every bench draws from the same deterministic key space.
 std::vector<std::string> MakeKeys(std::size_t count, std::size_t length) {
-  Rng rng(11);
-  std::vector<std::string> keys;
-  keys.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    keys.push_back(rng.AsciiString(length));
-  }
-  return keys;
+  return bench::MakeKeySet(count, length, /*seed=*/11);
 }
 
 void BM_HashFnv1a64(benchmark::State& state) {
@@ -140,6 +137,22 @@ void BM_NoVoHTGet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NoVoHTGet);
+
+// Skewed read pattern (arg = zipf s * 10): how the store behaves when a
+// handful of ranks absorb most probes — the access distribution the hot-key
+// cache upstream is built around.
+void BM_NoVoHTGetZipf(benchmark::State& state) {
+  auto store = NoVoHT::Open(NoVoHTOptions{});
+  auto keys = MakeKeys(4096, 15);
+  for (const auto& key : keys) (*store)->Put(key, "payload");
+  bench::ZipfGenerator zipf(keys.size(),
+                            static_cast<double>(state.range(0)) / 10.0,
+                            /*seed=*/17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*store)->Get(keys[zipf.Next()]));
+  }
+}
+BENCHMARK(BM_NoVoHTGetZipf)->Arg(9)->Arg(11);
 
 void BM_NoVoHTAppend(benchmark::State& state) {
   auto store = NoVoHT::Open(NoVoHTOptions{});

@@ -99,6 +99,8 @@ class BenchReport {
     w.Int(stats.Percentile(90));
     w.Key("p99_ns");
     w.Int(stats.Percentile(99));
+    w.Key("p999_ns");
+    w.Int(stats.P999());
     w.Key("buckets");
     w.BeginArray();
     w.EndArray();
@@ -124,6 +126,8 @@ class BenchReport {
     w.Double(h.Percentile(90));
     w.Key("p99_ns");
     w.Double(h.Percentile(99));
+    w.Key("p999_ns");
+    w.Double(h.Percentile(99.9));
     w.Key("buckets");
     w.BeginArray();
     for (const auto& [index, count] : h.buckets) {

@@ -1,0 +1,63 @@
+#include "bench/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zht::bench {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double s, std::uint64_t seed)
+    : s_(s), rng_(seed) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::ProbabilityOf(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+FlashCrowdGenerator::FlashCrowdGenerator(std::size_t n, double hot_fraction,
+                                         std::uint64_t seed,
+                                         std::size_t hot_rank)
+    : n_(n == 0 ? 1 : n),
+      hot_fraction_(hot_fraction),
+      hot_rank_(hot_rank % (n == 0 ? 1 : n)),
+      rng_(seed) {}
+
+std::size_t FlashCrowdGenerator::Next() {
+  if (n_ == 1 || rng_.Chance(hot_fraction_)) return hot_rank_;
+  // Uniform over the n-1 cold ranks.
+  std::size_t pick = rng_.Below(n_ - 1);
+  if (pick >= hot_rank_) ++pick;
+  return pick;
+}
+
+std::vector<std::string> MakeKeySet(std::size_t n, std::size_t key_bytes,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.AsciiString(key_bytes));
+  }
+  return keys;
+}
+
+std::string MakeValue(std::size_t value_bytes, std::uint64_t seed) {
+  return Rng(seed).AsciiString(value_bytes);
+}
+
+}  // namespace zht::bench

@@ -1,0 +1,70 @@
+// Seeded key-popularity generators for the traffic-shape benches: zipfian
+// rank sampling, flash-crowd (all heat on one key for a window), and the
+// shared fixed-size key/value factories the per-bench pickers used to
+// duplicate. Everything is deterministic under an explicit seed so bench
+// runs and distribution-shape tests are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace zht::bench {
+
+// Samples ranks in [0, n) with P(rank k) proportional to 1/(k+1)^s — the
+// zipf distribution production key traffic follows (s around 0.9..1.1 for
+// web-scale workloads). Implemented by inverting the precomputed CDF with a
+// binary search: O(n) doubles once, O(log n) per sample, exact shape (no
+// rejection loop), any s >= 0 (s = 0 degenerates to uniform).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double s, std::uint64_t seed);
+
+  // Next sampled rank; 0 is the hottest key.
+  std::size_t Next();
+
+  // Exact probability mass of one rank (for distribution-shape tests).
+  double ProbabilityOf(std::size_t rank) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1
+  double s_ = 0;
+  Rng rng_;
+};
+
+// Flash crowd: with probability `hot_fraction` the pick is the single hot
+// rank, otherwise uniform over the remaining n-1 ranks. Models a burst of
+// traffic concentrating on one key (one partition, one shard).
+class FlashCrowdGenerator {
+ public:
+  FlashCrowdGenerator(std::size_t n, double hot_fraction, std::uint64_t seed,
+                      std::size_t hot_rank = 0);
+
+  std::size_t Next();
+
+  std::size_t hot_rank() const { return hot_rank_; }
+
+ private:
+  std::size_t n_;
+  double hot_fraction_;
+  std::size_t hot_rank_;
+  Rng rng_;
+};
+
+// The key set the rank generators index into: `n` distinct printable ASCII
+// keys of `key_bytes` each (the paper benchmarks 15-byte keys),
+// deterministic under `seed`.
+std::vector<std::string> MakeKeySet(std::size_t n, std::size_t key_bytes,
+                                    std::uint64_t seed);
+
+// One reusable value payload of `value_bytes` (the paper's 134 B metadata
+// record by default, up to 1 MB in the traffic sweeps).
+std::string MakeValue(std::size_t value_bytes, std::uint64_t seed);
+
+}  // namespace zht::bench

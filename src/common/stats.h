@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -63,6 +64,20 @@ class LatencyStats {
         fraction *
             static_cast<double>(samples_[lo + 1] - samples_[lo]);
     return static_cast<Nanos>(interpolated + 0.5);
+  }
+
+  // Tail shortcuts for the traffic benches: interpolated p999 plus the
+  // exact k-th-from-the-end order statistic (no interpolation — the
+  // tail sample actually observed, for "worst 0.1%" style reporting).
+  Nanos P999() { return Percentile(99.9); }
+  Nanos TailExact(double p) {
+    if (samples_.empty()) return 0;
+    Sort();
+    if (p <= 0) return samples_.front();
+    if (p >= 100) return samples_.back();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil((p / 100.0) * static_cast<double>(samples_.size())));
+    return samples_[std::min(rank == 0 ? 0 : rank - 1, samples_.size() - 1)];
   }
 
   // When both sides are already sorted the runs are merged in place

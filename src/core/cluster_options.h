@@ -35,6 +35,22 @@ struct ClusterOptions {
   // as soon as the flusher wakes.
   Nanos max_commit_latency = 0;
 
+  // Per-shard hot-key read cache capacity, in entries. Lookups of
+  // frequently-read keys are served from a small set-associative cache in
+  // front of the partition stores; every applied insert/remove/append
+  // invalidates its key synchronously, and migration/rebuild/membership
+  // changes drop the affected partitions, so the cache can never serve a
+  // stale acked write. 0 disables the cache.
+  std::size_t hot_cache_entries = 0;
+
+  // Admission control: when a shard's mailbox holds this many queued tasks
+  // (or the equivalent in in-flight data-op bytes — see
+  // kShedBytesPerSlot in zht_server.h), new client data ops are shed with
+  // kUnavailable plus a retry-after hint instead of queueing unboundedly.
+  // Server-origin traffic (replication legs, migration, rebuild) is never
+  // shed. 0 disables shedding.
+  std::size_t shed_queue_budget = 0;
+
   Status Validate() const {
     if (num_replicas < 0 || num_replicas > 254) {
       // replica_index travels as one byte on the wire.

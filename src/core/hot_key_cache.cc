@@ -1,0 +1,133 @@
+#include "core/hot_key_cache.h"
+
+#include <functional>
+
+namespace zht {
+
+HotKeyCache::HotKeyCache(std::size_t capacity) {
+  if (capacity == 0) return;
+  std::size_t sets = 1;
+  while (sets * kWays < capacity) sets <<= 1;
+  num_sets_ = sets;
+  slots_ = std::make_unique<Slot[]>(num_sets_ * kWays);
+}
+
+std::size_t HotKeyCache::HashOf(std::string_view key) {
+  return std::hash<std::string_view>{}(key);
+}
+
+void HotKeyCache::Publish(Slot& slot, std::shared_ptr<const Entry> entry,
+                          std::uint32_t tag) {
+  const bool was_empty = slot.entry == nullptr;
+  const bool now_empty = entry == nullptr;
+  // Swap under the slot lock; destroy the displaced entry after release so
+  // a reader spinning on this slot never waits on a string deallocation.
+  std::shared_ptr<const Entry> old;
+  {
+    SlotLock lock(slot);
+    slot.tag.store(now_empty ? 0 : tag, std::memory_order_relaxed);
+    old = std::move(slot.entry);
+    slot.entry = std::move(entry);
+  }
+  if (!was_empty && now_empty) {
+    size_.fetch_sub(1, std::memory_order_relaxed);
+  } else if (was_empty && !now_empty) {
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool HotKeyCache::TryGet(std::string_view key, std::string* value) const {
+  if (!enabled()) return false;
+  const std::size_t hash = HashOf(key);
+  const std::uint32_t want = TagOf(hash);
+  const std::size_t base = SetBase(hash);
+  for (std::size_t way = 0; way < kWays; ++way) {
+    const Slot& slot = slots_[base + way];
+    // The tag filter keeps the common no-match way at a single plain load.
+    // It races with the writer, but only advisorily: the entry pointer
+    // copied under the lock is the ground truth.
+    if (slot.tag.load(std::memory_order_acquire) != want) continue;
+    std::shared_ptr<const Entry> entry;
+    {
+      SlotLock lock(slot);
+      entry = slot.entry;
+    }
+    if (entry != nullptr && entry->key == key) {
+      value->assign(entry->value);
+      return true;
+    }
+  }
+  return false;
+}
+
+void HotKeyCache::Put(std::string_view key, PartitionId partition,
+                      std::string_view value) {
+  if (!enabled()) return;
+  auto entry = std::make_shared<Entry>();
+  entry->key.assign(key);
+  entry->value.assign(value);
+  entry->partition = partition;
+
+  const std::size_t hash = HashOf(key);
+  const std::uint32_t tag = TagOf(hash);
+  const std::size_t base = SetBase(hash);
+  std::size_t victim = base;
+  std::uint64_t victim_tick = ~std::uint64_t{0};
+  for (std::size_t way = 0; way < kWays; ++way) {
+    Slot& slot = slots_[base + way];
+    if (slot.entry != nullptr && slot.entry->key == key) {
+      slot.tick = ++tick_;
+      Publish(slot, std::move(entry), tag);
+      return;
+    }
+    // Prefer an empty way; otherwise evict the least recently stamped.
+    const std::uint64_t tick = slot.entry == nullptr ? 0 : slot.tick;
+    if (tick < victim_tick) {
+      victim_tick = tick;
+      victim = base + way;
+    }
+  }
+  slots_[victim].tick = ++tick_;
+  Publish(slots_[victim], std::move(entry), tag);
+}
+
+bool HotKeyCache::Invalidate(std::string_view key) {
+  if (!enabled()) return false;
+  const std::size_t base = SetBase(HashOf(key));
+  for (std::size_t way = 0; way < kWays; ++way) {
+    Slot& slot = slots_[base + way];
+    if (slot.entry != nullptr && slot.entry->key == key) {
+      Publish(slot, nullptr, 0);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t HotKeyCache::DropPartition(PartitionId partition) {
+  if (!enabled()) return 0;
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < num_sets_ * kWays; ++i) {
+    Slot& slot = slots_[i];
+    if (slot.entry != nullptr && slot.entry->partition == partition) {
+      Publish(slot, nullptr, 0);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+std::size_t HotKeyCache::Clear() {
+  if (!enabled()) return 0;
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < num_sets_ * kWays; ++i) {
+    Slot& slot = slots_[i];
+    if (slot.entry != nullptr) {
+      Publish(slot, nullptr, 0);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace zht

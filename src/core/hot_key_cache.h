@@ -1,0 +1,117 @@
+// Per-shard hot-key read cache (ROADMAP item 4, DESIGN.md §13). A small
+// set-associative cache in front of a shard's partition stores that lets
+// the ingress path answer hot lookups without posting into the shard
+// mailbox at all.
+//
+// Concurrency model: exactly one writer — the owning shard's drain, which
+// fills on lookup misses, invalidates on every applied mutation, and drops
+// whole partitions on migration/rebuild/membership change — plus any
+// number of reader threads probing at ingress. Each slot publishes an
+// immutable entry through a shared_ptr guarded by a per-slot spinlock held
+// only for the pointer copy/swap, so readers never block each other for
+// longer than a refcount bump and the shard drain never waits on a reader
+// holding a long critical section. No cross-shard state, no global locks:
+// the cache composes with the shared-nothing mailbox architecture.
+//
+// Staleness contract: the cache may only ever serve a value that equals
+// the current store contents for an owned, quiescent partition. The server
+// guarantees this by (a) invalidating synchronously, inside the same shard
+// drain that applies a mutation, before the mutation is acked; (b)
+// dropping a partition's entries before any migration/rebuild stream can
+// change the store underneath it; and (c) clearing the shard's cache on
+// every membership update, so an entry can never outlive this instance's
+// ownership of its partition.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "hashing/partition_space.h"
+
+namespace zht {
+
+class HotKeyCache {
+ public:
+  // `capacity` in entries; rounded up to a power-of-two number of
+  // kWays-wide sets. 0 disables the cache (every probe misses, every
+  // writer op is a no-op).
+  explicit HotKeyCache(std::size_t capacity);
+
+  HotKeyCache(const HotKeyCache&) = delete;
+  HotKeyCache& operator=(const HotKeyCache&) = delete;
+
+  bool enabled() const { return num_sets_ != 0; }
+  std::size_t capacity() const { return num_sets_ * kWays; }
+
+  // Reader path (any thread): copies the cached value into `*value` on a
+  // hit. Lock-held work is one shared_ptr copy; the (possibly large) value
+  // copy happens outside the slot lock.
+  bool TryGet(std::string_view key, std::string* value) const;
+
+  // Writer path (owning shard drain only).
+  void Put(std::string_view key, PartitionId partition,
+           std::string_view value);
+  bool Invalidate(std::string_view key);     // true if the key was cached
+  std::size_t DropPartition(PartitionId partition);  // entries removed
+  std::size_t Clear();                               // entries removed
+
+  // Approximate live-entry count (any thread; for tests/telemetry).
+  std::uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr std::size_t kWays = 4;
+
+  struct Entry {
+    std::string key;
+    std::string value;
+    PartitionId partition = 0;
+  };
+
+  // One cache line of metadata per slot would be overkill at this size;
+  // the spinlock is uncontended except on genuinely hot slots, where the
+  // critical section is a refcount bump. `tag` is a lossy key fingerprint
+  // (0 = empty) readers check before touching the lock: a probe skips
+  // non-matching ways with one plain load instead of a lock/refcount
+  // round-trip. It is advisory only — the entry pointer read under the
+  // lock is the truth, so a stale tag costs a wasted check or a spurious
+  // miss, never a stale value.
+  struct Slot {
+    mutable std::atomic<bool> busy{false};
+    std::atomic<std::uint32_t> tag{0};
+    std::shared_ptr<const Entry> entry;
+    std::uint64_t tick = 0;  // writer-only recency stamp (victim choice)
+  };
+
+  class SlotLock {
+   public:
+    explicit SlotLock(const Slot& slot) : slot_(slot) {
+      while (slot_.busy.exchange(true, std::memory_order_acquire)) {
+      }
+    }
+    ~SlotLock() { slot_.busy.store(false, std::memory_order_release); }
+
+   private:
+    const Slot& slot_;
+  };
+
+  static std::size_t HashOf(std::string_view key);
+  static std::uint32_t TagOf(std::size_t hash) {
+    return static_cast<std::uint32_t>(hash >> 32) | 1u;  // never 0
+  }
+  std::size_t SetBase(std::size_t hash) const {
+    return (hash & (num_sets_ - 1)) * kWays;
+  }
+  void Publish(Slot& slot, std::shared_ptr<const Entry> entry,
+               std::uint32_t tag);
+
+  std::size_t num_sets_ = 0;  // power of two (0 = disabled)
+  std::unique_ptr<Slot[]> slots_;
+  std::uint64_t tick_ = 0;  // writer-only
+  std::atomic<std::uint64_t> size_{0};
+};
+
+}  // namespace zht

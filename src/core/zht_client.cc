@@ -1,5 +1,6 @@
 #include "core/zht_client.h"
 
+#include <algorithm>
 #include <random>
 #include <thread>
 #include <unordered_map>
@@ -104,6 +105,7 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
   // dedup window makes append at-most-once.
   const std::uint64_t op_seq = next_seq_++;
   Nanos migrating_wait = 0;  // grows per kMigrating retry of this op
+  Nanos shed_wait = 0;       // grows per admission-control shed of this op
 
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     PartitionId partition = table_.PartitionOfKey(key);
@@ -213,6 +215,26 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
       Backoff(migrating_wait);
       continue;
     }
+    if (code == StatusCode::kUnavailable && result->retry_after_us > 0 &&
+        attempt + 1 < options_.max_attempts) {
+      // The server shed this op under admission control and told us how
+      // long to stay away; honor the hint through the same decorrelated
+      // jitter as migration waits so a shed flash crowd spreads out
+      // instead of re-arriving as a synchronized wave. The final attempt
+      // falls through and surfaces the kUnavailable to the caller.
+      ++stats_.retries;
+      ++stats_.shed_backoffs;
+      retry_counter_->Increment();
+      const Nanos hint = static_cast<Nanos>(result->retry_after_us) * 1000;
+      shed_wait = options_.sleep_on_backoff
+                      ? DecorrelatedBackoff(
+                            shed_wait, hint,
+                            std::max(hint, options_.migrating_backoff_cap),
+                            backoff_rng_)
+                      : hint;
+      Backoff(shed_wait);
+      continue;
+    }
     return *result;
   }
   if (last_transport == StatusCode::kNetwork) {
@@ -240,6 +262,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
   std::vector<int> replica_try(n, 0);
   std::vector<StatusCode> last_transport(n, StatusCode::kTimeout);
   Nanos migrating_wait = 0;  // grows per round that saw kMigrating
+  Nanos shed_wait = 0;       // grows per round that saw a shed
   std::vector<std::size_t> pending(n);
   for (std::size_t i = 0; i < n; ++i) pending[i] = i;
 
@@ -283,6 +306,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
     }
 
     bool migrating_seen = false;
+    Nanos shed_hint = 0;  // largest retry-after seen this round (0 = none)
     for (auto& [target, indices] : shards) {
       const NodeAddress address = table_.Instance(target).address;
       std::vector<Request> batch;
@@ -361,6 +385,20 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
           still_pending.push_back(i);
           continue;
         }
+        if (code == StatusCode::kUnavailable && sub.retry_after_us > 0 &&
+            attempt + 1 < options_.max_attempts) {
+          // Shed under admission control: the sub-op retries next round
+          // after the hinted pause (the round waits for the largest hint
+          // seen). On the final attempt the shed response stands.
+          ++stats_.retries;
+          ++stats_.shed_backoffs;
+          retry_counter_->Increment();
+          shed_hint = std::max(
+              shed_hint, static_cast<Nanos>(sub.retry_after_us) * 1000);
+          last_transport[i] = StatusCode::kTimeout;
+          still_pending.push_back(i);
+          continue;
+        }
         results[i] = std::move(sub);
       }
     }
@@ -372,6 +410,16 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
                                     backoff_rng_)
               : options_.migrating_backoff;
       Backoff(migrating_wait);
+    }
+    if (shed_hint > 0) {
+      shed_wait =
+          options_.sleep_on_backoff
+              ? DecorrelatedBackoff(
+                    shed_wait, shed_hint,
+                    std::max(shed_hint, options_.migrating_backoff_cap),
+                    backoff_rng_)
+              : shed_hint;
+      Backoff(shed_wait);
     }
     pending = std::move(still_pending);
   }

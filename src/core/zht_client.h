@@ -83,6 +83,7 @@ struct ZhtClientStats {
   std::uint64_t failovers = 0;   // attempts moved down the replica chain
   std::uint64_t retries = 0;
   std::uint64_t nodes_reported_dead = 0;
+  std::uint64_t shed_backoffs = 0;  // kUnavailable + retry-after honored
 };
 
 class ZhtClient {

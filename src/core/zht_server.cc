@@ -132,9 +132,11 @@ ZhtServer::ZhtServer(MembershipTable table, const ZhtServerOptions& options,
     num_shards = std::max(1u, std::min(4u, hw == 0 ? 1u : hw));
   }
   shards_.reserve(num_shards);
+  const std::size_t cache_entries = options_.cluster.hot_cache_entries;
   for (std::size_t s = 0; s < num_shards; ++s) {
-    auto shard = s + 1 == num_shards ? std::make_unique<Shard>(std::move(table))
-                                     : std::make_unique<Shard>(table);
+    auto shard = s + 1 == num_shards
+                     ? std::make_unique<Shard>(std::move(table), cache_entries)
+                     : std::make_unique<Shard>(table, cache_entries);
     shard->index = s;
     shards_.push_back(std::move(shard));
   }
@@ -156,6 +158,11 @@ ZhtServer::ZhtServer(MembershipTable table, const ZhtServerOptions& options,
   redirect_counter_ = metrics_.GetCounter("server.redirects");
   forwards_counter_ = metrics_.GetCounter("reactor.forwards");
   mailbox_full_counter_ = metrics_.GetCounter("reactor.mailbox_full");
+  cache_hit_counter_ = metrics_.GetCounter("server.cache.hit");
+  cache_miss_counter_ = metrics_.GetCounter("server.cache.miss");
+  cache_invalidate_counter_ = metrics_.GetCounter("server.cache.invalidate");
+  cache_drop_counter_ = metrics_.GetCounter("server.cache.drop");
+  shed_counter_ = metrics_.GetCounter("server.admission.shed");
 
   const std::size_t num_finishers =
       std::max<std::size_t>(2, std::min<std::size_t>(4, num_shards));
@@ -364,6 +371,38 @@ void ZhtServer::HandleAsync(Request&& request, ResponseCallback done) {
     return;
   }
   inflight_.fetch_add(1, std::memory_order_acq_rel);
+
+  if (IsDataOp(request.op)) {
+    // Single-key hot path: partition from the immutable space copy, then
+    // one hop into the owning shard's mailbox. No locks anywhere. Cache
+    // hits and sheds answer with the raw `done` before any std::function
+    // wrapper is built — the hit path's only allocation is the value copy.
+    const Nanos start = SystemClock::Instance().Now();
+    Shard& shard = ShardForPartition(space_.PartitionOfKey(request.key));
+    if (request.op == OpCode::kLookup &&
+        TryServeFromCache(shard, request, done, start)) {
+      OnRequestComplete();
+      return;
+    }
+    if (MaybeShed(shard, request, done)) {
+      OnRequestComplete();
+      return;
+    }
+    const std::size_t charge = request.key.size() + request.value.size();
+    shard.inflight_bytes.fetch_add(charge, kRelaxed);
+    Post(shard, [this, request = std::move(request), done = std::move(done),
+                 start, charge](Shard& sh) mutable {
+      sh.inflight_bytes.fetch_sub(charge, kRelaxed);
+      ExecDataOp(sh, std::move(request),
+                 [this, done = std::move(done)](Response&& resp) mutable {
+                   done(std::move(resp));
+                   OnRequestComplete();
+                 },
+                 start);
+    });
+    return;
+  }
+
   // Every exit path below runs through `finish`, which releases the
   // in-flight reference the destructor waits on.
   ResponseCallback finish = [this,
@@ -373,20 +412,6 @@ void ZhtServer::HandleAsync(Request&& request, ResponseCallback done) {
   };
 
   switch (request.op) {
-    case OpCode::kInsert:
-    case OpCode::kLookup:
-    case OpCode::kRemove:
-    case OpCode::kAppend: {
-      // Single-key hot path: partition from the immutable space copy, then
-      // one hop into the owning shard's mailbox. No locks anywhere.
-      const Nanos start = SystemClock::Instance().Now();
-      Shard& shard = ShardForPartition(space_.PartitionOfKey(request.key));
-      Post(shard, [this, request = std::move(request),
-                   done = std::move(finish), start](Shard& sh) mutable {
-        ExecDataOp(sh, std::move(request), std::move(done), start);
-      });
-      return;
-    }
     case OpCode::kBatch:
       StartBatch(std::move(request), std::move(finish));
       return;
@@ -755,6 +780,17 @@ void ZhtServer::ExecDataOp(Shard& shard, Request&& request,
   Status status = ApplyToStore(shard, op, route.partition, request.key,
                                request.value, &lookup_value);
   stats_.ops.fetch_add(1, kRelaxed);
+  if (op == OpCode::kLookup) {
+    // Fill in-shard, where this partition's store is ordered: the control
+    // flow above guarantees it is owned and not mid-migration/rebuild.
+    if (status.ok()) {
+      CacheFill(shard, route.partition, request.key, lookup_value);
+    }
+  } else {
+    // Synchronous invalidation before the ack can leave this drain: a
+    // later probe can never observe the pre-mutation value (DESIGN.md §13).
+    CacheInvalidate(shard, request.key);
+  }
   // Replication chain for this mutation. A failover write the client
   // placed on a secondary (replica_index > 0, past members its detector
   // marked dead) must still fan out to every other chain member — acking
@@ -902,12 +938,41 @@ void ZhtServer::StartBatch(Request&& request, ResponseCallback done) {
     return;
   }
   gather->remaining.store(active_groups, kRelaxed);
+  const bool server_batch = request.server_origin;
   for (std::size_t s = 0; s < groups.size(); ++s) {
     if (groups[s].empty()) continue;
-    Post(*shards_[s],
-         [this, gather, indices = std::move(groups[s])](Shard& sh) mutable {
-           ExecBatchGroup(sh, gather, std::move(indices));
-         });
+    Shard& shard = *shards_[s];
+    if (!server_batch) {
+      // Admission control applies per shard group: an overloaded shard
+      // sheds its slice of the batch while the others proceed.
+      const std::uint32_t hint = AdmissionRetryHint(shard);
+      if (hint != 0) {
+        for (std::size_t i : groups[s]) {
+          Response sub;
+          sub.seq = gather->ops[i].seq;
+          sub.epoch = gather->epoch;
+          sub.status =
+              Status(StatusCode::kUnavailable, "shard over admission budget")
+                  .raw();
+          sub.retry_after_us = hint;
+          gather->responses[i] = std::move(sub);
+        }
+        stats_.sheds.fetch_add(groups[s].size(), kRelaxed);
+        shed_counter_->Increment(groups[s].size());
+        CompleteBatchGroup(gather);
+        continue;
+      }
+    }
+    std::size_t charge = 0;
+    for (std::size_t i : groups[s]) {
+      charge += gather->ops[i].key.size() + gather->ops[i].value.size();
+    }
+    shard.inflight_bytes.fetch_add(charge, kRelaxed);
+    Post(shard, [this, gather, indices = std::move(groups[s]),
+                 charge](Shard& sh) mutable {
+      sh.inflight_bytes.fetch_sub(charge, kRelaxed);
+      ExecBatchGroup(sh, gather, std::move(indices));
+    });
   }
 }
 
@@ -937,10 +1002,25 @@ void ZhtServer::ExecBatchGroup(Shard& shard,
       gather->responses[i] = std::move(sub);
       continue;
     }
+    if (op.op == OpCode::kLookup && !op.server_origin &&
+        CacheLookup(shard, op.key, &sub.value)) {
+      // Batch sub-ops reach the shard drain before probing (the scatter
+      // loop cannot know each sub-op's shard cheaply), but a hit still
+      // skips the store lookup and the replica-chain resolution.
+      stats_.ops.fetch_add(1, kRelaxed);
+      sub.status = Status::Ok().raw();
+      gather->responses[i] = std::move(sub);
+      continue;
+    }
     std::string lookup_value;
     Status status = ApplyToStore(shard, op.op, route.partition, op.key,
                                  op.value, &lookup_value);
     stats_.ops.fetch_add(1, kRelaxed);
+    if (op.op == OpCode::kLookup) {
+      if (status.ok()) CacheFill(shard, route.partition, op.key, lookup_value);
+    } else {
+      CacheInvalidate(shard, op.key);
+    }
     if (status.ok() && op.op != OpCode::kLookup &&
         options_.cluster.num_replicas > 0 && !op.server_origin &&
         route.chain.size() > 1) {
@@ -1088,6 +1168,10 @@ void ZhtServer::StartMembershipPush(Request&& request, ResponseCallback done) {
                           done = std::move(done)](Shard& s0) mutable {
     Status status = s0.table.ApplyUpdate(*payload);
     ReleaseStuckRebuilds(s0);
+    // Ownership may have moved with the epoch: a cached entry must never
+    // outlive this instance's claim on its partition, and membership
+    // changes are rare enough that a full clear is the simplest proof.
+    CacheClear(s0);
     const std::uint32_t epoch = s0.table.epoch();
     epoch_.store(epoch, kRelaxed);
     if (shards_.size() == 1) {
@@ -1111,6 +1195,7 @@ void ZhtServer::StartMembershipPush(Request&& request, ResponseCallback done) {
       Post(*shards_[s], [this, payload, gather](Shard& sh) {
         sh.table.ApplyUpdate(*payload);
         ReleaseStuckRebuilds(sh);
+        CacheClear(sh);
         if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           Response resp;
           resp.seq = gather->seq;
@@ -1138,6 +1223,9 @@ void ZhtServer::ExecMigrateBegin(Shard& shard, Request&& request,
   std::shared_ptr<KVStore> store =
       options_.store_factory(options_.self, request.partition);
   shard.stores[request.partition] = std::move(store);
+  // The replaced replica copy may have fed the cache; the stream now owns
+  // this partition's contents.
+  CacheDropPartition(shard, request.partition);
   resp.epoch = shard.table.epoch();
   done(std::move(resp));
 }
@@ -1160,6 +1248,9 @@ void ZhtServer::ExecMigrateData(Shard& shard, Request&& request,
   }
   for (const auto& [key, value] : *pairs) {
     store->Put(key, value);
+    // A failover read between Begin and this carrier may have re-filled
+    // the cache from the half-streamed store; the streamed value wins.
+    CacheInvalidate(shard, key);
   }
   // Ack the carrier only once its pairs are durable (one wait per carrier);
   // the source treats the ack as "these pairs are safely moved".
@@ -1182,6 +1273,7 @@ void ZhtServer::ExecMigrateEnd(Shard& shard, Request&& request,
   Response resp;
   resp.seq = request.seq;
   stats_.migrations_in.fetch_add(1, kRelaxed);
+  CacheDropPartition(shard, request.partition);
   resp.epoch = shard.table.epoch();
   done(std::move(resp));
 }
@@ -1200,6 +1292,7 @@ void ZhtServer::StartMigrateOut(PartitionId partition,
          // Writers arriving after see kMigrating and retry (§III.C "Data
          // Migration").
          sh.migrating.insert(partition);
+         CacheDropPartition(sh, partition);
          auto pairs = std::make_shared<
              std::vector<std::pair<std::string, std::string>>>();
          auto it = sh.stores.find(partition);
@@ -1280,6 +1373,10 @@ void ZhtServer::FinishMigrateOut(PartitionId partition, Status status,
            sh.stores.erase(partition);
            stats_.migrations_out.fetch_add(1, kRelaxed);
          }
+         // Dropped before the manager can broadcast the new membership:
+         // no window where this instance serves cached values for a
+         // partition it just handed off.
+         CacheDropPartition(sh, partition);
          sh.migrating.erase(partition);
          done(std::move(status));
        });
@@ -1363,6 +1460,9 @@ void ZhtServer::ExecRebuildBegin(Shard& shard, Request&& request,
     return;
   }
   shard.rebuilding.insert(request.partition);
+  // No fills can happen while the rebuilding mark rejects reads, and the
+  // entries cached so far describe the copy about to be replaced.
+  CacheDropPartition(shard, request.partition);
   done(std::move(resp));
 }
 
@@ -1464,6 +1564,7 @@ void ZhtServer::ExecRebuildEnd(Shard& shard, Request&& request,
     });
   }
   if (swap.ok() && shadow) swap = shadow->Clear();  // truncate the landing pad
+  CacheDropPartition(shard, request.partition);
   if (!swap.ok()) {
     resp.status = swap.raw();
     done(std::move(resp));
@@ -2053,6 +2154,11 @@ ZhtServerStats ZhtServer::stats() const {
   s.rebuilds_completed = stats_.rebuilds_completed.load(kRelaxed);
   s.rebuild_pairs_streamed = stats_.rebuild_pairs_streamed.load(kRelaxed);
   s.rebuild_retries = stats_.rebuild_retries.load(kRelaxed);
+  s.hot_cache_hits = stats_.hot_cache_hits.load(kRelaxed);
+  s.hot_cache_misses = stats_.hot_cache_misses.load(kRelaxed);
+  s.hot_cache_invalidations = stats_.hot_cache_invalidations.load(kRelaxed);
+  s.hot_cache_drops = stats_.hot_cache_drops.load(kRelaxed);
+  s.sheds = stats_.sheds.load(kRelaxed);
   return s;
 }
 
@@ -2128,6 +2234,13 @@ MetricsSnapshot ZhtServer::BuildSnapshot(
   snapshot.AddCounter("broadcasts", stats_.broadcasts.load(kRelaxed));
   snapshot.AddCounter("duplicate_appends_dropped",
                       stats_.duplicate_appends_dropped.load(kRelaxed));
+  snapshot.AddCounter("hot_cache_hits", stats_.hot_cache_hits.load(kRelaxed));
+  snapshot.AddCounter("hot_cache_misses",
+                      stats_.hot_cache_misses.load(kRelaxed));
+  snapshot.AddCounter("hot_cache_invalidations",
+                      stats_.hot_cache_invalidations.load(kRelaxed));
+  snapshot.AddCounter("hot_cache_drops", stats_.hot_cache_drops.load(kRelaxed));
+  snapshot.AddCounter("sheds", stats_.sheds.load(kRelaxed));
   if (any_durability) {
     snapshot.AddCounter("novoht.fsync_errors", durability.fsync_errors);
     snapshot.AddCounter("novoht.group_commits", durability.group_commits);
@@ -2218,6 +2331,116 @@ std::uint64_t ZhtServer::ShardForwardedOps(std::size_t shard) const {
 HistogramData ZhtServer::ShardMailboxDepth(std::size_t shard) const {
   return shard < shards_.size() ? shards_[shard]->mailbox_depth.Snapshot()
                                 : HistogramData{};
+}
+
+std::uint64_t ZhtServer::ShardQueuedNow(std::size_t shard) const {
+  return shard < shards_.size()
+             ? shards_[shard]->queued.load(std::memory_order_acquire)
+             : 0;
+}
+
+std::uint64_t ZhtServer::HotCacheEntriesNow() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->hot_cache.size();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Hot-key cache + admission control (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+bool ZhtServer::CacheLookup(Shard& shard, std::string_view key,
+                            std::string* value) {
+  if (!shard.hot_cache.enabled()) return false;
+  if (shard.hot_cache.TryGet(key, value)) {
+    stats_.hot_cache_hits.fetch_add(1, kRelaxed);
+    cache_hit_counter_->Increment();
+    return true;
+  }
+  stats_.hot_cache_misses.fetch_add(1, kRelaxed);
+  cache_miss_counter_->Increment();
+  return false;
+}
+
+bool ZhtServer::TryServeFromCache(Shard& shard, const Request& request,
+                                  const ResponseCallback& done, Nanos start) {
+  // Ingress fast path: a hit skips the mailbox hop, the routing pass, and
+  // the store lookup entirely. Safe from any thread — the cache only holds
+  // entries for partitions this instance owns and has quiesced (see the
+  // staleness contract in hot_key_cache.h).
+  if (!shard.hot_cache.enabled() || request.server_origin) return false;
+  Response resp;
+  resp.seq = request.seq;
+  resp.epoch = epoch_.load(kRelaxed);
+  if (!CacheLookup(shard, request.key, &resp.value)) return false;
+  stats_.ops.fetch_add(1, kRelaxed);
+  done(std::move(resp));
+  RecordDataOpLatency(OpCode::kLookup, start);
+  return true;
+}
+
+std::uint32_t ZhtServer::AdmissionRetryHint(Shard& shard) const {
+  const std::size_t budget = options_.cluster.shed_queue_budget;
+  if (budget == 0) return 0;
+  const std::uint64_t depth = shard.queued.load(std::memory_order_acquire);
+  const std::uint64_t bytes = shard.inflight_bytes.load(kRelaxed);
+  const std::uint64_t byte_budget =
+      static_cast<std::uint64_t>(budget) * kShedBytesPerSlot;
+  const std::uint64_t over = std::max(depth / budget, bytes / byte_budget);
+  if (over == 0) return 0;
+  // The hint scales with how far past its budget the shard is, so a deeply
+  // backed-up shard spreads its retry storm wider; capped to keep a
+  // transient spike from parking clients for a human-visible pause.
+  constexpr std::uint64_t kBaseUs = 1000;
+  constexpr std::uint64_t kCapUs = 64000;
+  return static_cast<std::uint32_t>(std::min(kCapUs, kBaseUs * over));
+}
+
+bool ZhtServer::MaybeShed(Shard& shard, const Request& request,
+                          const ResponseCallback& done) {
+  // Server-origin traffic (replication legs, migration/rebuild streams)
+  // is never shed: dropping it would trade overload for inconsistency.
+  if (request.server_origin) return false;
+  const std::uint32_t hint = AdmissionRetryHint(shard);
+  if (hint == 0) return false;
+  stats_.sheds.fetch_add(1, kRelaxed);
+  shed_counter_->Increment();
+  Response resp;
+  resp.seq = request.seq;
+  resp.epoch = epoch_.load(kRelaxed);
+  resp.status =
+      Status(StatusCode::kUnavailable, "shard over admission budget").raw();
+  resp.retry_after_us = hint;
+  done(std::move(resp));
+  return true;
+}
+
+void ZhtServer::CacheFill(Shard& shard, PartitionId partition,
+                          std::string_view key, std::string_view value) {
+  shard.hot_cache.Put(key, partition, value);
+}
+
+void ZhtServer::CacheInvalidate(Shard& shard, std::string_view key) {
+  if (shard.hot_cache.Invalidate(key)) {
+    stats_.hot_cache_invalidations.fetch_add(1, kRelaxed);
+    cache_invalidate_counter_->Increment();
+  }
+}
+
+void ZhtServer::CacheDropPartition(Shard& shard, PartitionId partition) {
+  const std::size_t dropped = shard.hot_cache.DropPartition(partition);
+  if (dropped != 0) {
+    stats_.hot_cache_drops.fetch_add(dropped, kRelaxed);
+    cache_drop_counter_->Increment(dropped);
+  }
+}
+
+void ZhtServer::CacheClear(Shard& shard) {
+  const std::size_t dropped = shard.hot_cache.Clear();
+  if (dropped != 0) {
+    stats_.hot_cache_drops.fetch_add(dropped, kRelaxed);
+    cache_drop_counter_->Increment(dropped);
+  }
 }
 
 }  // namespace zht

@@ -60,6 +60,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "core/cluster_options.h"
+#include "core/hot_key_cache.h"
 #include "hashing/partition_space.h"
 #include "membership/membership_table.h"
 #include "net/transport.h"
@@ -116,10 +117,23 @@ struct ZhtServerStats {
   std::uint64_t rebuilds_completed = 0;
   std::uint64_t rebuild_pairs_streamed = 0;
   std::uint64_t rebuild_retries = 0;
+  // Hot-key read cache + admission control (DESIGN.md §13).
+  std::uint64_t hot_cache_hits = 0;          // lookups served from cache
+  std::uint64_t hot_cache_misses = 0;        // cache-eligible lookup misses
+  std::uint64_t hot_cache_invalidations = 0; // mutations that evicted a key
+  std::uint64_t hot_cache_drops = 0;         // entries dropped by partition/
+                                             // membership events
+  std::uint64_t sheds = 0;                   // data ops shed kUnavailable
 };
 
 class ZhtServer {
  public:
+  // Admission control counts each queued data op as one mailbox slot OR
+  // this many in-flight payload bytes, whichever is larger — so a budget
+  // of N slots also caps queued bytes at N * 128 KiB (a burst of 1 MB
+  // values hits the byte ceiling long before the slot ceiling).
+  static constexpr std::size_t kShedBytesPerSlot = 128 * 1024;
+
   ZhtServer(MembershipTable table, const ZhtServerOptions& options,
             ClientTransport* peer_transport);
   ~ZhtServer();
@@ -195,6 +209,10 @@ class ZhtServer {
   std::uint64_t ShardForwardedOps(std::size_t shard) const;
   // Mailbox depth observed at each drain of `shard`.
   HistogramData ShardMailboxDepth(std::size_t shard) const;
+  // Instantaneous mailbox depth / live hot-cache entry count (tests/bench:
+  // overload and invalidation assertions). Any thread; approximate.
+  std::uint64_t ShardQueuedNow(std::size_t shard) const;
+  std::uint64_t HotCacheEntriesNow() const;
   // Partition-store count per shard ("owned partitions"). Blocking scatter.
   std::vector<std::size_t> ShardPartitionCounts() const;
 
@@ -342,6 +360,14 @@ class ZhtServer {
     std::unordered_map<PartitionId, std::shared_ptr<KVStore>> shadow_stores;
     // Source side: partitions this owner is currently rebuilding.
     std::unordered_map<PartitionId, RebuildOut> rebuild_out;
+    // Hot-key read cache. Fills/invalidations/drops are drain-exclusive
+    // (single writer); ingress threads only probe (TryGet), which is why
+    // it may be read outside the drain — see hot_key_cache.h.
+    HotKeyCache hot_cache;
+
+    // Admission control: payload bytes of data ops queued but not yet
+    // executed (charged at ingress, discharged when the op runs).
+    std::atomic<std::uint64_t> inflight_bytes{0};
 
     // --- mailbox ---
     std::vector<std::unique_ptr<SpscTaskRing>> rings;  // [producer executor]
@@ -362,7 +388,8 @@ class ZhtServer {
     std::atomic<std::uint64_t> forwarded{0};  // cross-executor posts
     Histogram mailbox_depth;                  // depth seen at each drain
 
-    explicit Shard(MembershipTable t) : table(std::move(t)) {}
+    Shard(MembershipTable t, std::size_t cache_entries)
+        : table(std::move(t)), hot_cache(cache_entries) {}
   };
 
   // Routing decision for one data op, computed against the shard's table:
@@ -533,6 +560,30 @@ class ZhtServer {
   void RecordDataOpLatency(OpCode op, Nanos start);
   void OnRequestComplete();
 
+  // --- hot-key cache + admission control (DESIGN.md §13) ---
+  // Counting cache probe: hit/miss counters plus the shared-state read.
+  // Ingress threads and shard drains both use it; the cache itself is
+  // safe for concurrent readers.
+  bool CacheLookup(Shard& shard, std::string_view key, std::string* value);
+  // Ingress fast path: answer a client lookup from the owning shard's
+  // cache without posting into the mailbox. True = `done` was called.
+  bool TryServeFromCache(Shard& shard, const Request& request,
+                         const ResponseCallback& done, Nanos start);
+  // Admission decision: 0 = admit; otherwise the retry-after hint (µs) to
+  // return with kUnavailable. Shared by the single-op and batch paths.
+  std::uint32_t AdmissionRetryHint(Shard& shard) const;
+  // Ingress admission control: when the shard's mailbox depth or queued
+  // payload bytes exceed the budget, answer kUnavailable + retry-after
+  // inline instead of queueing. True = the op was shed (`done` called).
+  bool MaybeShed(Shard& shard, const Request& request,
+                 const ResponseCallback& done);
+  // In-shard, synchronous with the mutation that triggers them:
+  void CacheFill(Shard& shard, PartitionId partition, std::string_view key,
+                 std::string_view value);
+  void CacheInvalidate(Shard& shard, std::string_view key);
+  void CacheDropPartition(Shard& shard, PartitionId partition);
+  void CacheClear(Shard& shard);
+
   ZhtServerOptions options_;
   ClientTransport* peer_transport_;
 
@@ -556,6 +607,11 @@ class ZhtServer {
   Counter* redirect_counter_ = nullptr;
   Counter* forwards_counter_ = nullptr;      // reactor.forwards
   Counter* mailbox_full_counter_ = nullptr;  // reactor.mailbox_full
+  Counter* cache_hit_counter_ = nullptr;         // server.cache.hit
+  Counter* cache_miss_counter_ = nullptr;        // server.cache.miss
+  Counter* cache_invalidate_counter_ = nullptr;  // server.cache.invalidate
+  Counter* cache_drop_counter_ = nullptr;        // server.cache.drop
+  Counter* shed_counter_ = nullptr;              // server.admission.shed
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -575,6 +631,11 @@ class ZhtServer {
     std::atomic<std::uint64_t> rebuilds_completed{0};
     std::atomic<std::uint64_t> rebuild_pairs_streamed{0};
     std::atomic<std::uint64_t> rebuild_retries{0};
+    std::atomic<std::uint64_t> hot_cache_hits{0};
+    std::atomic<std::uint64_t> hot_cache_misses{0};
+    std::atomic<std::uint64_t> hot_cache_invalidations{0};
+    std::atomic<std::uint64_t> hot_cache_drops{0};
+    std::atomic<std::uint64_t> sheds{0};
   };
   mutable StatsCounters stats_;
 

@@ -26,6 +26,7 @@ enum RespField : std::uint32_t {
   kRespMembership = 5,
   kRespRedirectHost = 6,
   kRespRedirectPort = 7,
+  kRespRetryAfter = 8,
 };
 
 }  // namespace
@@ -206,6 +207,7 @@ std::string Response::Encode() const {
     w.PutStringField(kRespRedirectHost, redirect_host);
   }
   if (redirect_port != 0) w.PutVarintField(kRespRedirectPort, redirect_port);
+  if (retry_after_us != 0) w.PutVarintField(kRespRetryAfter, retry_after_us);
   return out;
 }
 
@@ -258,6 +260,12 @@ Result<Response> Response::Decode(std::string_view data) {
           return Status(StatusCode::kCorruption, "redirect_port");
         }
         resp.redirect_port = static_cast<std::uint16_t>(v);
+        break;
+      case kRespRetryAfter:
+        if (!r.GetVarint(&v)) {
+          return Status(StatusCode::kCorruption, "retry_after");
+        }
+        resp.retry_after_us = static_cast<std::uint32_t>(v);
         break;
       default:
         if (!r.SkipValue(type)) {

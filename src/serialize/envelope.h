@@ -88,6 +88,9 @@ struct Response {
   std::string membership;      // serialized table (piggybacked on REDIRECT)
   std::string redirect_host;   // new owner, when status == kRedirect
   std::uint16_t redirect_port = 0;
+  std::uint32_t retry_after_us = 0;  // admission control: with kUnavailable,
+                                     // how long the shedding server suggests
+                                     // the client back off before retrying
 
   Status status_as_object() const {
     return Status(static_cast<StatusCode>(status));

@@ -16,6 +16,9 @@
 //   log_level       = info | debug | warn | error
 //   durability      = none | group_commit | every_op   # acked-write safety
 //   max_commit_latency_us = 0     # group-commit window (microseconds)
+//   hot_cache_entries = 0         # per-shard hot-key read cache (0 = off)
+//   shed_queue_budget = 0         # admission control: mailbox-depth budget
+//                                 # past which data ops shed (0 = off)
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -154,6 +157,10 @@ int main(int argc, char** argv) {
   }
   server_options.cluster.max_commit_latency =
       config.GetInt("max_commit_latency_us", 0) * kNanosPerMicro;
+  server_options.cluster.hot_cache_entries =
+      static_cast<std::size_t>(config.GetInt("hot_cache_entries", 0));
+  server_options.cluster.shed_queue_budget =
+      static_cast<std::size_t>(config.GetInt("shed_queue_budget", 0));
   Status cluster_valid = server_options.cluster.Validate();
   if (!cluster_valid.ok()) {
     std::fprintf(stderr, "bad cluster options: %s\n",
