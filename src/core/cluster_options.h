@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "hashing/placement_policy.h"
 #include "novoht/kv_store.h"
 
 namespace zht {
@@ -51,6 +52,21 @@ struct ClusterOptions {
   // shed. 0 disables shedding.
   std::size_t shed_queue_budget = 0;
 
+  // Partition→instance placement policy: "contiguous" (the paper's §III.C
+  // even ranges), "memento" (minimal-churn consistent hashing), or
+  // "rendezvous" (highest-random-weight). Chosen at bootstrap; the kind is
+  // recorded in the membership table and travels in full snapshots, so
+  // managers, servers, and clients all follow the same policy without
+  // separate configuration. Routing is unaffected — only which partitions
+  // managers migrate on join/departure changes.
+  std::string placement_policy = "contiguous";
+
+  // Parsed form of placement_policy (call Validate() first).
+  PlacementKind placement_kind() const {
+    auto kind = ParsePlacementKind(placement_policy);
+    return kind.ok() ? *kind : PlacementKind::kContiguous;
+  }
+
   Status Validate() const {
     if (num_replicas < 0 || num_replicas > 254) {
       // replica_index travels as one byte on the wire.
@@ -68,6 +84,8 @@ struct ClusterOptions {
       return Status(StatusCode::kInvalidArgument,
                     "max_commit_latency must be >= 0");
     }
+    auto placement = ParsePlacementKind(placement_policy);
+    if (!placement.ok()) return placement.status();
     return Status::Ok();
   }
 };

@@ -14,6 +14,22 @@ LocalCluster::~LocalCluster() {
   // Servers stop their async workers in their destructors; epoll servers
   // must stop first so no new requests arrive mid-teardown.
   for (auto& es : epoll_servers_) es->Stop();
+  // Quiesce background peer I/O (async replication legs, rebuild probes and
+  // checkpoint streams on finisher threads) before any server is destroyed:
+  // servers_ tears down in vector order, and a straggling probe from a
+  // later server must not call into an earlier one that is already gone.
+  for (auto& server : servers_) {
+    if (server) server->FlushAsyncReplication();
+  }
+  // Unbind every loopback endpoint under its exclusive lock. Deliveries
+  // hold the lock shared across check + invoke, so after this loop returns
+  // no thread can still be entering a server, and any late cross-server
+  // call (e.g. a retry scheduled by teardown-era errors) short-circuits to
+  // kUnavailable instead of touching a destroyed server.
+  for (auto& slot : slots_) {
+    std::unique_lock<std::shared_mutex> guard(slot->mu);
+    slot->target = nullptr;
+  }
 }
 
 std::unique_ptr<ClientTransport> LocalCluster::MakeTransport(
@@ -46,6 +62,10 @@ Result<NodeAddress> LocalCluster::Expose(std::shared_ptr<HandlerSlot> slot,
   slots_.push_back(slot);
   AsyncRequestHandler handler = [slot](Request&& request,
                                        ResponseCallback done) {
+    // Shared across check + invoke so the destructor's exclusive clear
+    // cannot land between them (the invoke enters the server's in-flight
+    // accounting, which its own destructor then waits out).
+    std::shared_lock<std::shared_mutex> guard(slot->mu);
     if (!slot->target) {
       Response resp;
       resp.seq = request.seq;
@@ -151,7 +171,8 @@ Status LocalCluster::Boot() {
     }
     table = MembershipTable::CreateUniform(
         options_.num_partitions, instance_addresses_,
-        options_.instances_per_node, options_.hash_kind);
+        options_.instances_per_node, options_.hash_kind,
+        options_.cluster.placement_kind());
     nodes = (n + options_.instances_per_node - 1) /
             options_.instances_per_node;
   }
@@ -171,7 +192,10 @@ Status LocalCluster::Boot() {
           options_.num_reactors < 1 ? 1 : options_.num_reactors);
     }
     auto server = std::make_unique<ZhtServer>(table, so, transport.get());
-    server_slots[i]->target = server->AsyncHandler();
+    {
+      std::unique_lock<std::shared_mutex> guard(server_slots[i]->mu);
+      server_slots[i]->target = server->AsyncHandler();
+    }
     if (sockets) WireReactors(*server, *epoll_servers_[i]);
     peer_transports_.push_back(std::move(transport));
     servers_.push_back(std::move(server));
@@ -187,7 +211,10 @@ Status LocalCluster::Boot() {
     ManagerOptions mo;
     mo.cluster = options_.cluster;
     auto manager = std::make_unique<Manager>(table, mo, transport.get());
-    slot->target = ToAsync(manager->AsHandler());
+    {
+      std::unique_lock<std::shared_mutex> guard(slot->mu);
+      slot->target = ToAsync(manager->AsHandler());
+    }
     peer_transports_.push_back(std::move(transport));
     managers_.push_back(std::move(manager));
     manager_addresses_.push_back(*address);
@@ -258,7 +285,10 @@ Result<InstanceId> LocalCluster::JoinNewInstance(std::size_t via_node) {
   auto server = std::make_unique<ZhtServer>(
       MembershipTable(options_.num_partitions, options_.hash_kind), so,
       transport.get());
-  slot->target = server->AsyncHandler();
+  {
+    std::unique_lock<std::shared_mutex> guard(slot->mu);
+    slot->target = server->AsyncHandler();
+  }
   if (sockets) WireReactors(*server, *epoll_servers_.back());
   peer_transports_.push_back(std::move(transport));
   servers_.push_back(std::move(server));
@@ -268,6 +298,27 @@ Result<InstanceId> LocalCluster::JoinNewInstance(std::size_t via_node) {
   auto admitted = managers_[via_node]->AdmitJoin(*address, physical_node);
   if (!admitted.ok()) return admitted.status();
   return *admitted;
+}
+
+Result<InstanceId> LocalCluster::RejoinInstance(std::size_t i,
+                                                std::size_t via_node) {
+  if (i >= servers_.size()) {
+    return Status(StatusCode::kInvalidArgument, "no such instance");
+  }
+  if (via_node >= managers_.size()) {
+    return Status(StatusCode::kInvalidArgument, "no such manager");
+  }
+  // The server object (and its address registration) survived the kill;
+  // bring the endpoint back, then re-admit through the manager, which
+  // recognizes the address and revives the old instance id — pushing the
+  // current table to it before migrating anything back.
+  ReviveInstance(i);
+  MembershipTable table = TableSnapshot();
+  const std::uint32_t node = i < table.instance_count()
+                                 ? table.Instance(static_cast<InstanceId>(i))
+                                       .physical_node
+                                 : next_physical_node_;
+  return managers_[via_node]->AdmitJoin(instance_addresses_[i], node);
 }
 
 void LocalCluster::FlushAllAsyncReplication() {

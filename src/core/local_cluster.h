@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "core/manager.h"
@@ -99,6 +100,11 @@ class LocalCluster {
   // manager of `via_node` (Figure 15's operation). Returns the new id.
   Result<InstanceId> JoinNewInstance(std::size_t via_node = 0);
 
+  // Revives a previously killed instance and re-admits it at its original
+  // address: the manager re-uses its old instance id (no duplicate table
+  // entry) and migrates back whatever the placement policy assigns it.
+  Result<InstanceId> RejoinInstance(std::size_t i, std::size_t via_node = 0);
+
   // Authoritative table (from manager 0).
   MembershipTable TableSnapshot() const;
 
@@ -123,6 +129,11 @@ class LocalCluster {
   // the EpollServer is created and bound but not started, so the caller
   // can wire reactor hooks / placement before the loops spin up.
   struct HandlerSlot {
+    // Guards `target` between delivery threads and the cluster destructor:
+    // deliveries hold it shared across the check + invoke, teardown takes it
+    // exclusive to null the target, so once the clear returns no call can
+    // still be entering a server that is about to be destroyed.
+    std::shared_mutex mu;
     AsyncRequestHandler target;  // set once the component exists
   };
   Result<NodeAddress> Expose(std::shared_ptr<HandlerSlot> slot,

@@ -76,59 +76,131 @@ void Manager::BroadcastDelta(std::uint32_t since_epoch) {
   }
 }
 
+std::vector<Manager::PlacementMove> Manager::PlanPlacementMoves() {
+  std::vector<PlacementMove> moves;
+  const std::vector<InstanceId> live = table_.AliveIds();
+  if (live.empty()) return moves;
+  const PlacementPolicy& policy = GetPlacementPolicy(table_.placement());
+  for (PartitionId p = 0; p < table_.num_partitions(); ++p) {
+    const InstanceId current = table_.OwnerOf(p);
+    const InstanceId desired =
+        policy.DesiredOwner(p, table_.num_partitions(), live);
+    if (desired == current) continue;
+    if (!table_.Instance(current).alive) continue;
+    moves.push_back(PlacementMove{p, current, table_.Instance(current).address,
+                                  desired, table_.Instance(desired).address});
+  }
+  return moves;
+}
+
+std::vector<std::vector<InstanceId>> Manager::SnapshotChains() const {
+  std::vector<std::vector<InstanceId>> chains;
+  chains.reserve(table_.num_partitions());
+  for (PartitionId p = 0; p < table_.num_partitions(); ++p) {
+    chains.push_back(
+        table_.ReplicaChain(p, options_.cluster.num_replicas + 1));
+  }
+  return chains;
+}
+
+void Manager::CommandRepairs(const std::vector<PartitionId>& partitions) {
+  for (PartitionId p : partitions) {
+    NodeAddress owner_address;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      InstanceId owner = table_.OwnerOf(p);
+      if (!table_.Instance(owner).alive) continue;  // lost partition
+      owner_address = table_.Instance(owner).address;
+      ++stats_.repairs_commanded;
+    }
+    Request repair;
+    repair.op = OpCode::kRepair;
+    repair.seq = next_seq_++;
+    repair.partition = p;
+    repair.server_origin = true;
+    auto result = transport_->Call(owner_address, repair,
+                                   2 * options_.cluster.peer_timeout);
+    if (!result.ok()) {
+      ZHT_WARN << "repair of partition " << p
+               << " failed: " << result.status().ToString();
+    }
+  }
+}
+
 Result<InstanceId> Manager::AdmitJoin(const NodeAddress& new_instance,
                                       std::uint32_t physical_node) {
   std::uint32_t epoch_before;
   InstanceId fresh;
-  InstanceId donor;
-  NodeAddress donor_address;
-  std::vector<PartitionId> to_move;
+  bool rejoin = false;
+  std::vector<PlacementMove> moves;
+  std::vector<std::vector<InstanceId>> chains_before;
   {
     std::lock_guard<std::mutex> lock(mu_);
     epoch_before = table_.epoch();
-    fresh = table_.AddInstance(new_instance, physical_node);
-    // "find the physical node with the most partitions, then join the ring
-    // as this heavily loaded node's neighbor and move some of the
-    // partitions from the busy node" (§III.C).
-    auto loaded = table_.MostLoaded();
-    if (!loaded || *loaded == fresh) {
-      return Status(StatusCode::kUnavailable, "no donor instance");
+    chains_before = SnapshotChains();
+    // An instance coming back at a previously registered address re-uses
+    // its old id: adding a second entry for the same address would leave
+    // two table rows racing for one endpoint (redirects and failure
+    // reports against the stale id would misroute its traffic forever).
+    if (auto existing = table_.FindByAddress(new_instance)) {
+      fresh = *existing;
+      rejoin = true;
+      if (!table_.Instance(fresh).alive) table_.MarkAlive(fresh);
+    } else {
+      fresh = table_.AddInstance(new_instance, physical_node);
     }
-    donor = *loaded;
-    donor_address = table_.Instance(donor).address;
-    auto partitions = table_.PartitionsOf(donor);
-    // Move the upper half of the donor's contiguous range.
-    to_move.assign(partitions.begin() +
-                       static_cast<std::ptrdiff_t>(partitions.size() / 2),
-                   partitions.end());
+    // "find the physical node with the most partitions ... and move some
+    // of the partitions from the busy node" (§III.C), generalized: the
+    // placement policy says where every partition should live with the
+    // newcomer in the live set; only the diff migrates.
+    moves = PlanPlacementMoves();
   }
 
-  for (PartitionId p : to_move) {
-    Status status = CommandMigration(donor_address, p, new_instance);
+  // The joiner learns the current table before anything moves: a revived
+  // instance still holding pre-failure state must redirect (not serve
+  // stale data) from the first request it sees, and a fresh instance needs
+  // the cluster layout to accept migrations.
+  PushTableTo(new_instance, 0);
+
+  for (const PlacementMove& move : moves) {
+    Status status =
+        CommandMigration(move.from_address, move.partition, move.to_address);
     if (!status.ok()) {
-      ZHT_WARN << "migration of partition " << p
+      ZHT_WARN << "migration of partition " << move.partition
                << " failed: " << status.ToString();
-      continue;  // partition stays with the donor; membership unchanged
+      continue;  // partition stays put; membership unchanged
     }
     std::uint32_t push_from;
     {
       std::lock_guard<std::mutex> lock(mu_);
       push_from = table_.epoch() > 0 ? table_.epoch() - 1 : 0;
-      table_.SetOwner(p, fresh);
+      table_.SetOwner(move.partition, move.to);
       ++stats_.partitions_migrated;
     }
     // The two parties must learn the new ownership immediately (the donor
     // now redirects, the recipient now serves); everyone else learns from
     // the final broadcast, clients lazily.
-    PushTableTo(donor_address, push_from);
-    PushTableTo(new_instance, 0);
+    PushTableTo(move.from_address, push_from);
+    PushTableTo(move.to_address, 0);
   }
 
+  std::vector<PartitionId> chain_changed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.joins_admitted;
+    if (rejoin) ++stats_.rejoins_admitted;
+    if (options_.cluster.num_replicas > 0) {
+      const auto chains_after = SnapshotChains();
+      for (PartitionId p = 0; p < table_.num_partitions(); ++p) {
+        if (chains_after[p] != chains_before[p]) chain_changed.push_back(p);
+      }
+    }
   }
   BroadcastDelta(epoch_before);
+  // The joiner (or revived rejoiner) is now a replica for partitions it
+  // holds no — or stale — data for; stream it up to date before a client
+  // failover read can land on it.
+  CommandRepairs(chain_changed);
   return fresh;
 }
 
@@ -136,6 +208,7 @@ Status Manager::Depart(InstanceId id) {
   std::uint32_t epoch_before;
   NodeAddress departing;
   std::vector<std::pair<PartitionId, InstanceId>> moves;
+  std::vector<std::vector<InstanceId>> chains_before;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (id >= table_.instance_count()) {
@@ -143,14 +216,24 @@ Status Manager::Depart(InstanceId id) {
     }
     epoch_before = table_.epoch();
     departing = table_.Instance(id).address;
+    chains_before = SnapshotChains();
+    // The placement policy re-assigns the departing instance's partitions
+    // over the survivors; everyone else's partitions stay put (a later
+    // join's desired-vs-current diff converges any residual imbalance).
+    std::vector<InstanceId> survivors;
+    for (InstanceId live : table_.AliveIds()) {
+      if (live != id) survivors.push_back(live);
+    }
+    if (survivors.empty()) {
+      return Status(StatusCode::kUnavailable, "no remaining instance");
+    }
+    const PlacementPolicy& policy = GetPlacementPolicy(table_.placement());
     for (PartitionId p : table_.PartitionsOf(id)) {
-      auto target = table_.LeastLoaded(id);
-      if (!target) {
-        return Status(StatusCode::kUnavailable, "no remaining instance");
-      }
-      moves.emplace_back(p, *target);
-      // Reserve the assignment now so LeastLoaded balances across targets.
-      table_.SetOwner(p, *target);
+      InstanceId target =
+          policy.DesiredOwner(p, table_.num_partitions(), survivors);
+      moves.emplace_back(p, target);
+      // Reserve the assignment now so the table reflects the plan.
+      table_.SetOwner(p, target);
     }
   }
 
@@ -172,15 +255,25 @@ Status Manager::Depart(InstanceId id) {
     }
   }
 
+  std::vector<PartitionId> chain_changed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     table_.MarkDead(id);  // departed == no longer serving
     ++stats_.departures;
+    if (options_.cluster.num_replicas > 0) {
+      const auto chains_after = SnapshotChains();
+      for (PartitionId p = 0; p < table_.num_partitions(); ++p) {
+        if (chains_after[p] != chains_before[p]) chain_changed.push_back(p);
+      }
+    }
   }
   // The departing node keeps answering until it actually shuts down; give
   // it the final table so it redirects rather than serving empty stores.
   PushTableTo(departing, 0);
   BroadcastDelta(epoch_before);
+  // Members recruited into the shrunken chains hold no copy of the
+  // departed node's partitions yet; stream them before failover reads hit.
+  CommandRepairs(chain_changed);
   return Status::Ok();
 }
 
@@ -229,30 +322,8 @@ Status Manager::HandleFailure(InstanceId id) {
 
   // "initiates a rebuilding of the replicas ... to maintain the specified
   // level of replication" (§III.C): command the surviving owner of every
-  // affected partition to digest-probe its chain and stream the lost copy
-  // (ZhtServer::StartRebuild). The owner acks on acceptance and rebuilds
-  // online in the background.
-  for (PartitionId p : affected) {
-    NodeAddress owner_address;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      InstanceId owner = table_.OwnerOf(p);
-      if (!table_.Instance(owner).alive) continue;  // lost partition
-      owner_address = table_.Instance(owner).address;
-      ++stats_.repairs_commanded;
-    }
-    Request repair;
-    repair.op = OpCode::kRepair;
-    repair.seq = next_seq_++;
-    repair.partition = p;
-    repair.server_origin = true;
-    auto result = transport_->Call(owner_address, repair,
-                                   2 * options_.cluster.peer_timeout);
-    if (!result.ok()) {
-      ZHT_WARN << "repair of partition " << p
-               << " failed: " << result.status().ToString();
-    }
-  }
+  // affected partition to digest-probe its chain and stream the lost copy.
+  CommandRepairs(affected);
   return Status::Ok();
 }
 

@@ -2,10 +2,11 @@
 // takes charge of ... managing the membership table, starting/stopping
 // instances, and partition migration."
 //
-// The manager admits joining nodes (taking partitions from the most-loaded
-// instance), coordinates planned departures, reacts to failure reports
-// (reassigning ownership to replicas and rebuilding the replication
-// level), and broadcasts incremental membership updates.
+// The manager admits joining nodes (migrating the partitions the placement
+// policy assigns to the newcomer — see hashing/placement_policy.h),
+// coordinates planned departures, reacts to failure reports (reassigning
+// ownership to replicas and rebuilding the replication level), and
+// broadcasts incremental membership updates.
 #pragma once
 
 #include <mutex>
@@ -25,6 +26,9 @@ struct ManagerOptions {
 
 struct ManagerStats {
   std::uint64_t joins_admitted = 0;
+  // Joins that re-used an existing instance id because the joiner came back
+  // at a previously registered address (counted inside joins_admitted).
+  std::uint64_t rejoins_admitted = 0;
   std::uint64_t departures = 0;
   std::uint64_t failures_handled = 0;
   std::uint64_t partitions_migrated = 0;
@@ -45,14 +49,18 @@ class Manager {
     return [this](Request&& req) { return Handle(std::move(req)); };
   }
 
-  // Admits a new, already-running instance: adds it to the table, moves
-  // half of the most-loaded instance's partitions onto it (whole-partition
-  // migration, no rehashing), then broadcasts the incremental update.
+  // Admits a new, already-running instance: adds it to the table (or, for
+  // an instance re-joining at a previously used address, revives its old
+  // id so routing state stays consistent), pushes the joiner the current
+  // table before anything moves, then migrates exactly the partitions the
+  // placement policy wants on a different owner (whole-partition
+  // migration, no rehashing) and broadcasts the incremental update.
   Result<InstanceId> AdmitJoin(const NodeAddress& new_instance,
                                std::uint32_t physical_node);
 
   // Planned departure (§III.C): migrate the instance's partitions to the
-  // least-loaded remaining instance, then mark it gone and broadcast.
+  // owners the placement policy picks from the survivors, then mark it
+  // gone and broadcast.
   Status Depart(InstanceId id);
 
   // Unplanned failure: reassign each of the dead instance's partitions to
@@ -72,9 +80,35 @@ class Manager {
   ManagerStats stats() const;
 
  private:
+  struct PlacementMove {
+    PartitionId partition;
+    InstanceId from;
+    NodeAddress from_address;
+    InstanceId to;
+    NodeAddress to_address;
+  };
+
+  // Diff of the placement policy's desired assignment against the current
+  // table over the alive instances; mu_ must be held. Partitions whose
+  // current owner is dead are skipped — failure handling owns those.
+  std::vector<PlacementMove> PlanPlacementMoves();
+
   Status CommandMigration(const NodeAddress& source, PartitionId partition,
                           const NodeAddress& target);
   void PushTableTo(const NodeAddress& address, std::uint32_t since_epoch);
+
+  // Replica chain (owner + replicas) of every partition, for diffing
+  // across a membership change; mu_ must be held. A member that enters a
+  // chain through a join, rejoin, or departure holds no (or stale) data
+  // for it until the owner streams a copy — exactly like a member
+  // recruited by failure handling — so any chain-changed partition needs
+  // a repair commanded, or failover reads against it return stale state.
+  std::vector<std::vector<InstanceId>> SnapshotChains() const;
+
+  // kRepair to the alive owner of each partition: digest-probe the chain
+  // and stream lost/stale copies (ZhtServer::StartRebuild). Owners ack on
+  // acceptance and rebuild online in the background.
+  void CommandRepairs(const std::vector<PartitionId>& partitions);
 
   ManagerOptions options_;
   ClientTransport* transport_;

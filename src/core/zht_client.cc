@@ -38,6 +38,7 @@ ZhtClient::ZhtClient(MembershipTable table, const ZhtClientOptions& options,
   retry_counter_ = metrics_.GetCounter("client.retries");
   failover_counter_ = metrics_.GetCounter("client.failovers");
   redirect_counter_ = metrics_.GetCounter("client.redirects_followed");
+  membership_pull_counter_ = metrics_.GetCounter("client.membership_pulls");
   if (options.client_id != 0) {
     client_id_ = options.client_id;
   } else {
@@ -55,13 +56,51 @@ void ZhtClient::Backoff(Nanos duration) {
 }
 
 Status ZhtClient::ApplyMembership(std::string_view update) {
+  // Addresses alive before the update: any address that is alive AFTER but
+  // was not alive before (a rejoined instance, or a fresh join at a reused
+  // endpoint) must shed its detector state — stale consecutive-failure
+  // counts from the previous incarnation would otherwise suppress or slow
+  // traffic to a healthy node.
+  std::unordered_set<NodeAddress> alive_before;
+  for (const auto& info : table_.instances()) {
+    if (info.alive) alive_before.insert(info.address);
+  }
   Status applied = table_.ApplyUpdate(update);
   if (applied.ok()) {
     std::unordered_set<NodeAddress> current;
-    for (const auto& info : table_.instances()) current.insert(info.address);
+    for (const auto& info : table_.instances()) {
+      current.insert(info.address);
+      if (info.alive && !alive_before.count(info.address)) {
+        detector_.RecordSuccess(info.address);  // drop stale failure marks
+      }
+    }
     detector_.PruneExcept(current);
   }
   return applied;
+}
+
+void ZhtClient::MaybePullMembership(const NodeAddress& from,
+                                    std::uint32_t observed_epoch) {
+  // Rate limit: one snapshot per membership epoch. During churn every
+  // redirected op used to trigger its own full-table pull — a migration
+  // became a thundering herd of snapshot fetches at whichever node
+  // redirected first.
+  if (observed_epoch != 0 && last_pull_epoch_ >= observed_epoch) return;
+  if (pull_inflight_) return;
+  pull_inflight_ = true;
+  ++stats_.membership_pulls;
+  membership_pull_counter_->Increment();
+  Request pull;
+  pull.op = OpCode::kMembershipPull;
+  pull.seq = next_seq_++;
+  pull.epoch = table_.epoch();
+  auto snapshot = transport_->Call(from, pull, options_.cluster.op_timeout);
+  if (snapshot.ok() && !snapshot->membership.empty() &&
+      ApplyMembership(snapshot->membership).ok()) {
+    last_pull_epoch_ =
+        std::max({last_pull_epoch_, table_.epoch(), observed_epoch});
+  }
+  pull_inflight_ = false;
 }
 
 void ZhtClient::ReportFailure(InstanceId instance) {
@@ -106,8 +145,15 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
   const std::uint64_t op_seq = next_seq_++;
   Nanos migrating_wait = 0;  // grows per kMigrating retry of this op
   Nanos shed_wait = 0;       // grows per admission-control shed of this op
+  // Three independent retry pools (see ZhtClientOptions::max_attempts):
+  // `attempt` covers transport failures, failovers, and redirects;
+  // migrating retries and shed backoffs each draw from their own budget so
+  // a shed+migrating overlap under churn cannot exhaust the op spuriously.
+  int attempt = 0;
+  int migrating_retries = 0;
+  int shed_retries = 0;
 
-  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+  while (attempt < options_.max_attempts) {
     PartitionId partition = table_.PartitionOfKey(key);
     auto chain = table_.ReplicaChain(partition, options_.cluster.num_replicas);
     if (chain.empty()) {
@@ -128,6 +174,7 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
         }
         if (any_alive) {
           replica_try = 0;
+          ++attempt;
           continue;
         }
       }
@@ -174,6 +221,7 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
         failover_counter_->Increment();
         ++replica_try;
       }
+      ++attempt;
       continue;
     }
     detector_.RecordSuccess(address);
@@ -182,25 +230,26 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
     if (code == StatusCode::kRedirect) {
       ++stats_.redirects_followed;
       redirect_counter_->Increment();
+      bool applied = false;
       if (!result->membership.empty()) {
-        Status applied = ApplyMembership(result->membership);
-        if (!applied.ok()) {
-          // Delta did not apply (e.g. we were too far behind): pull a
-          // snapshot from the node that redirected us.
-          Request pull;
-          pull.op = OpCode::kMembershipPull;
-          pull.seq = next_seq_++;
-          auto snapshot =
-              transport_->Call(address, pull, options_.cluster.op_timeout);
-          if (snapshot.ok() && !snapshot->membership.empty()) {
-            ApplyMembership(snapshot->membership);
-          }
-        }
+        applied = ApplyMembership(result->membership).ok();
+      }
+      if (!applied) {
+        // Delta missing or did not apply (e.g. we were too far behind):
+        // pull a snapshot from the node that redirected us — coalesced to
+        // one pull per epoch across the whole redirect storm.
+        MaybePullMembership(address, result->epoch);
       }
       replica_try = 0;
+      ++attempt;
       continue;
     }
     if (code == StatusCode::kMigrating) {
+      if (++migrating_retries >= options_.max_attempts) {
+        return Status(StatusCode::kTimeout,
+                      "partition " + std::to_string(partition) +
+                          " stuck migrating");
+      }
       ++stats_.retries;
       retry_counter_->Increment();
       // Jittered growth desynchronizes the herd stuck behind one
@@ -216,12 +265,13 @@ Result<Response> ZhtClient::ExecuteInternal(OpCode op, std::string_view key,
       continue;
     }
     if (code == StatusCode::kUnavailable && result->retry_after_us > 0 &&
-        attempt + 1 < options_.max_attempts) {
+        shed_retries + 1 < options_.max_attempts) {
       // The server shed this op under admission control and told us how
       // long to stay away; honor the hint through the same decorrelated
       // jitter as migration waits so a shed flash crowd spreads out
-      // instead of re-arriving as a synchronized wave. The final attempt
-      // falls through and surfaces the kUnavailable to the caller.
+      // instead of re-arriving as a synchronized wave. The final shed
+      // retry falls through and surfaces the kUnavailable to the caller.
+      ++shed_retries;
       ++stats_.retries;
       ++stats_.shed_backoffs;
       retry_counter_->Increment();
@@ -266,8 +316,17 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
   std::vector<std::size_t> pending(n);
   for (std::size_t i = 0; i < n; ++i) pending[i] = i;
 
-  for (int attempt = 0; attempt < options_.max_attempts && !pending.empty();
-       ++attempt) {
+  // Mirror of ExecuteInternal's separated retry pools, per round: rounds
+  // that saw a transport failure or redirect consume the hard budget;
+  // rounds that only waited out a migration or a shed draw from their own
+  // pools, so overlapping stalls cannot exhaust the batch spuriously.
+  int hard_rounds = 0;
+  int migrating_rounds = 0;
+  int shed_rounds = 0;
+
+  while (!pending.empty() && hard_rounds < options_.max_attempts &&
+         migrating_rounds < options_.max_attempts &&
+         shed_rounds < options_.max_attempts) {
     // Shard the still-pending keys by target instance: the primary for
     // most, further down the chain for sub-ops already failing over.
     std::unordered_map<InstanceId, std::vector<std::size_t>> shards;
@@ -305,6 +364,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
       }
     }
 
+    bool hard_seen = false;  // transport failure or redirect this round
     bool migrating_seen = false;
     Nanos shed_hint = 0;  // largest retry-after seen this round (0 = none)
     for (auto& [target, indices] : shards) {
@@ -330,6 +390,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
         // the whole shard over together when the detector declares death.
         ++stats_.retries;
         retry_counter_->Increment();
+        hard_seen = true;
         Backoff(detector_.BackoffFor(address));
         const bool dead = detector_.RecordFailure(address);
         if (dead) {
@@ -358,18 +419,15 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
           // re-shard the key next round.
           ++stats_.redirects_followed;
           redirect_counter_->Increment();
-          if (!sub.membership.empty() && !membership_applied) {
+          hard_seen = true;
+          if (!membership_applied) {
             membership_applied = true;
-            Status applied = ApplyMembership(sub.membership);
-            if (!applied.ok()) {
-              Request pull;
-              pull.op = OpCode::kMembershipPull;
-              pull.seq = next_seq_++;
-              auto snapshot = transport_->Call(address, pull,
-                                               options_.cluster.op_timeout);
-              if (snapshot.ok() && !snapshot->membership.empty()) {
-                ApplyMembership(snapshot->membership);
-              }
+            bool applied = !sub.membership.empty() &&
+                           ApplyMembership(sub.membership).ok();
+            if (!applied) {
+              // One coalesced snapshot pull per epoch for the whole
+              // redirect storm (see MaybePullMembership).
+              MaybePullMembership(address, sub.epoch);
             }
           }
           replica_try[i] = 0;
@@ -386,10 +444,10 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
           continue;
         }
         if (code == StatusCode::kUnavailable && sub.retry_after_us > 0 &&
-            attempt + 1 < options_.max_attempts) {
+            shed_rounds + 1 < options_.max_attempts) {
           // Shed under admission control: the sub-op retries next round
           // after the hinted pause (the round waits for the largest hint
-          // seen). On the final attempt the shed response stands.
+          // seen). On the final shed round the shed response stands.
           ++stats_.retries;
           ++stats_.shed_backoffs;
           retry_counter_->Increment();
@@ -402,7 +460,9 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
         results[i] = std::move(sub);
       }
     }
+    if (hard_seen) ++hard_rounds;
     if (migrating_seen) {
+      ++migrating_rounds;
       migrating_wait =
           options_.sleep_on_backoff
               ? DecorrelatedBackoff(migrating_wait, options_.migrating_backoff,
@@ -412,6 +472,7 @@ std::vector<Result<Response>> ZhtClient::ExecuteBatch(
       Backoff(migrating_wait);
     }
     if (shed_hint > 0) {
+      ++shed_rounds;
       shed_wait =
           options_.sleep_on_backoff
               ? DecorrelatedBackoff(
@@ -544,13 +605,19 @@ Status ZhtClient::RefreshMembership(std::optional<InstanceId> from) {
   pull.op = OpCode::kMembershipPull;
   pull.seq = next_seq_++;
   pull.epoch = table_.epoch();
+  ++stats_.membership_pulls;
+  membership_pull_counter_->Increment();
   auto result = transport_->Call(table_.Instance(source).address, pull,
                                  options_.cluster.op_timeout);
   if (!result.ok()) return result.status();
   if (result->membership.empty()) {
     return Status(StatusCode::kInternal, "empty membership response");
   }
-  return ApplyMembership(result->membership);
+  Status applied = ApplyMembership(result->membership);
+  if (applied.ok()) {
+    last_pull_epoch_ = std::max(last_pull_epoch_, table_.epoch());
+  }
+  return applied;
 }
 
 }  // namespace zht

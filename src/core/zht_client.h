@@ -49,7 +49,12 @@ namespace zht {
 
 struct ZhtClientOptions {
   ClusterOptions cluster;          // must match the servers' setting
-  int max_attempts = 8;            // total tries across redirects/retries
+  // Retry budget per logical op. Three independent pools of this size:
+  // hard attempts (transport failures, failovers, redirects), kMigrating
+  // retries, and admission-control shed retries — so a migration stall
+  // overlapping a shed burst (routine under churn) cannot spuriously
+  // exhaust the op. Each pool alone still bounds the op.
+  int max_attempts = 8;
   // Retry backoff for kMigrating: the first retry sleeps migrating_backoff,
   // then grows with decorrelated jitter up to migrating_backoff_cap (so a
   // herd of clients stuck behind one migration desynchronizes). With
@@ -84,6 +89,11 @@ struct ZhtClientStats {
   std::uint64_t retries = 0;
   std::uint64_t nodes_reported_dead = 0;
   std::uint64_t shed_backoffs = 0;  // kUnavailable + retry-after honored
+  // Explicit kMembershipPull snapshot fetches (redirect fallback +
+  // RefreshMembership). Coalesced: at most one pull per membership epoch,
+  // so a redirect storm during churn cannot thundering-herd the cluster
+  // with full-table fetches.
+  std::uint64_t membership_pulls = 0;
 };
 
 class ZhtClient {
@@ -146,9 +156,17 @@ class ZhtClient {
       std::span<const std::string> values);
   void ReportFailure(InstanceId instance);
   void Backoff(Nanos duration);
-  // Applies a membership update and evicts failure-detector state for
-  // addresses that left the table.
+  // Applies a membership update; evicts failure-detector state for
+  // addresses that left the table AND for instances that transitioned to
+  // alive (a rejoined node must not inherit backoff/failure counts from
+  // its previous life).
   Status ApplyMembership(std::string_view update);
+  // Snapshot pull from `from`, rate-limited to one per membership epoch:
+  // skipped when a pull already covered `observed_epoch` (the epoch the
+  // redirecting server reported; 0 = unknown, always pull) or when a pull
+  // is already underway for this logical call (batch sub-ops coalesce).
+  void MaybePullMembership(const NodeAddress& from,
+                           std::uint32_t observed_epoch);
 
   MembershipTable table_;
   ZhtClientOptions options_;
@@ -158,6 +176,8 @@ class ZhtClient {
   std::uint64_t next_seq_ = 1;
   std::uint64_t client_id_ = 0;
   Rng backoff_rng_;  // jitter source, seeded from client_id_
+  std::uint32_t last_pull_epoch_ = 0;  // highest epoch a pull has covered
+  bool pull_inflight_ = false;         // coalesces pulls within one call
 
   // Hot-path metric handles resolved at construction (see
   // common/metrics.h); op_hist_[op-1] covers kInsert..kAppend.
@@ -168,6 +188,7 @@ class ZhtClient {
   Counter* retry_counter_ = nullptr;
   Counter* failover_counter_ = nullptr;
   Counter* redirect_counter_ = nullptr;
+  Counter* membership_pull_counter_ = nullptr;
 };
 
 }  // namespace zht

@@ -703,6 +703,20 @@ void ZhtServer::ReleaseStuckRebuilds(Shard& shard) {
   }
 }
 
+void ZhtServer::ReleaseCompletedHandoffs(Shard& shard) {
+  for (auto it = shard.handed_off.begin(); it != shard.handed_off.end();) {
+    const PartitionId partition = it->first;
+    if (partition < shard.table.num_partitions() &&
+        shard.table.OwnerOf(partition) != options_.self) {
+      const bool had_data = it->second;
+      it = shard.handed_off.erase(it);
+      ReleaseHandoff(shard, partition, had_data);
+    } else {
+      ++it;
+    }
+  }
+}
+
 Status ZhtServer::ApplyToStore(Shard& shard, OpCode op, PartitionId partition,
                                std::string_view key, std::string_view value,
                                std::string* out) {
@@ -1168,6 +1182,7 @@ void ZhtServer::StartMembershipPush(Request&& request, ResponseCallback done) {
                           done = std::move(done)](Shard& s0) mutable {
     Status status = s0.table.ApplyUpdate(*payload);
     ReleaseStuckRebuilds(s0);
+    ReleaseCompletedHandoffs(s0);
     // Ownership may have moved with the epoch: a cached entry must never
     // outlive this instance's claim on its partition, and membership
     // changes are rare enough that a full clear is the simplest proof.
@@ -1195,6 +1210,7 @@ void ZhtServer::StartMembershipPush(Request&& request, ResponseCallback done) {
       Post(*shards_[s], [this, payload, gather](Shard& sh) {
         sh.table.ApplyUpdate(*payload);
         ReleaseStuckRebuilds(sh);
+        ReleaseCompletedHandoffs(sh);
         CacheClear(sh);
         if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           Response resp;
@@ -1305,7 +1321,8 @@ void ZhtServer::StartMigrateOut(PartitionId partition,
          EnqueueFinisher(
              [this, partition, target, pairs, done = std::move(done)]() mutable {
                Status status = StreamPartition(partition, target, *pairs);
-               FinishMigrateOut(partition, std::move(status), std::move(done));
+               FinishMigrateOut(partition, std::move(status), !pairs->empty(),
+                                std::move(done));
              });
        });
 }
@@ -1359,15 +1376,22 @@ Status ZhtServer::StreamPartition(
       peer_transport_->Call(target, end, options_.cluster.peer_timeout);
   if (!end_result.ok()) return end_result.status();
   if (!end_result->ok()) return end_result->status_as_object();
+  std::uint64_t payload_bytes = 0;
+  for (const auto& pair : pairs) {
+    payload_bytes += pair.first.size() + pair.second.size();
+  }
+  stats_.migration_pairs_streamed.fetch_add(pairs.size(), kRelaxed);
+  stats_.migration_bytes_streamed.fetch_add(payload_bytes, kRelaxed);
   return Status::Ok();
 }
 
 void ZhtServer::FinishMigrateOut(PartitionId partition, Status status,
+                                 bool had_data,
                                  std::function<void(Status)> done) {
   // Completion posts back to the owning shard: on success the partition is
   // relinquished; either way the migration lock lifts.
   Post(ShardForPartition(partition),
-       [this, partition, status = std::move(status),
+       [this, partition, status = std::move(status), had_data,
         done = std::move(done)](Shard& sh) mutable {
          if (status.ok()) {
            sh.stores.erase(partition);
@@ -1377,9 +1401,37 @@ void ZhtServer::FinishMigrateOut(PartitionId partition, Status status,
          // no window where this instance serves cached values for a
          // partition it just handed off.
          CacheDropPartition(sh, partition);
-         sh.migrating.erase(partition);
+         if (!status.ok()) {
+           // Stream failed; the partition stays put and this instance
+           // keeps serving it.
+           sh.migrating.erase(partition);
+         } else if (partition < sh.table.num_partitions() &&
+                    sh.table.OwnerOf(partition) == options_.self) {
+           // The table still names this instance owner: hold the
+           // kMigrating lock until the manager's ownership update lands,
+           // or this window serves the just-erased store as primary.
+           sh.handed_off.emplace(partition, had_data);
+         } else {
+           ReleaseHandoff(sh, partition, had_data);
+         }
          done(std::move(status));
        });
+}
+
+void ZhtServer::ReleaseHandoff(Shard& shard, PartitionId partition,
+                               bool had_data) {
+  shard.migrating.erase(partition);
+  if (!had_data) return;
+  const auto chain =
+      shard.table.ReplicaChain(partition, options_.cluster.num_replicas);
+  if (std::find(chain.begin(), chain.end(), options_.self) != chain.end()) {
+    // Still a replica for the partition we just handed off, with nothing
+    // left to serve it from: refuse failover reads (rebuilding mark) until
+    // the manager-commanded repair streams the copy back. The rebuild's
+    // Begin simply re-marks; its End lifts the mark.
+    shard.rebuilding.insert(partition);
+    CacheDropPartition(shard, partition);
+  }
 }
 
 Status ZhtServer::MigratePartitionTo(PartitionId partition,
@@ -2105,10 +2157,27 @@ void ZhtServer::AsyncReplicationLoop() {
 }
 
 void ZhtServer::FlushAsyncReplication() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  queue_cv_.wait(lock, [this] {
-    return async_queue_.empty() && async_inflight_ == 0;
-  });
+  // Quiesce both pools that carry background peer I/O: the async replication
+  // queue AND the finisher pool (rebuild digest probes and checkpoint streams
+  // run on finishers, not the async queue). Each pool can enqueue into the
+  // other — a probe schedules streams, a stream completion posts follow-up
+  // work — so loop until one pass observes both idle.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return async_queue_.empty() && async_inflight_ == 0;
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(finisher_mu_);
+      finisher_idle_cv_.wait(lock, [this] {
+        return finisher_queue_.empty() && finisher_busy_ == 0;
+      });
+    }
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (async_queue_.empty() && async_inflight_ == 0) return;
+  }
 }
 
 void ZhtServer::EnqueueFinisher(std::function<void()> job) {
@@ -2129,8 +2198,16 @@ void ZhtServer::FinisherLoop() {
       if (finisher_queue_.empty()) return;  // finishers_stop_ && drained
       job = std::move(finisher_queue_.front());
       finisher_queue_.pop_front();
+      ++finisher_busy_;
     }
     job();
+    {
+      std::lock_guard<std::mutex> lock(finisher_mu_);
+      --finisher_busy_;
+      if (finisher_queue_.empty() && finisher_busy_ == 0) {
+        finisher_idle_cv_.notify_all();
+      }
+    }
   }
 }
 
@@ -2146,6 +2223,8 @@ ZhtServerStats ZhtServer::stats() const {
   s.replications_async = stats_.replications_async.load(kRelaxed);
   s.migrations_out = stats_.migrations_out.load(kRelaxed);
   s.migrations_in = stats_.migrations_in.load(kRelaxed);
+  s.migration_pairs_streamed = stats_.migration_pairs_streamed.load(kRelaxed);
+  s.migration_bytes_streamed = stats_.migration_bytes_streamed.load(kRelaxed);
   s.broadcasts = stats_.broadcasts.load(kRelaxed);
   s.duplicate_appends_dropped = stats_.duplicate_appends_dropped.load(kRelaxed);
   s.antientropy_probes = stats_.antientropy_probes.load(kRelaxed);
@@ -2231,6 +2310,10 @@ MetricsSnapshot ZhtServer::BuildSnapshot(
                       stats_.replications_async.load(kRelaxed));
   snapshot.AddCounter("migrations_in", stats_.migrations_in.load(kRelaxed));
   snapshot.AddCounter("migrations_out", stats_.migrations_out.load(kRelaxed));
+  snapshot.AddCounter("migration_pairs_streamed",
+                      stats_.migration_pairs_streamed.load(kRelaxed));
+  snapshot.AddCounter("migration_bytes_streamed",
+                      stats_.migration_bytes_streamed.load(kRelaxed));
   snapshot.AddCounter("broadcasts", stats_.broadcasts.load(kRelaxed));
   snapshot.AddCounter("duplicate_appends_dropped",
                       stats_.duplicate_appends_dropped.load(kRelaxed));

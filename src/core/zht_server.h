@@ -106,6 +106,10 @@ struct ZhtServerStats {
   std::uint64_t replications_async = 0;
   std::uint64_t migrations_out = 0;
   std::uint64_t migrations_in = 0;
+  // Pair/byte volume of completed outbound partition migrations (key+value
+  // payload, pre-framing) — the churn bench's bytes-moved-per-event source.
+  std::uint64_t migration_pairs_streamed = 0;
+  std::uint64_t migration_bytes_streamed = 0;
   std::uint64_t broadcasts = 0;
   std::uint64_t duplicate_appends_dropped = 0;
   // Anti-entropy / rebuild (source side). A "probe" is one kDigest RPC; a
@@ -347,6 +351,16 @@ class ZhtServer {
     std::deque<std::uint64_t> dedup_ring;  // at-most-once append window
     std::unordered_set<std::uint64_t> dedup_set;
     std::unordered_set<PartitionId> migrating;  // locked mid-migration
+    // Source side: partitions whose outbound stream completed but whose
+    // new ownership this shard has not yet seen in a membership update.
+    // They stay in `migrating` (data ops answer kMigrating) until the
+    // table names the new owner — serving in that window would read an
+    // erased store (NotFound) and ack writes the recipient never sees.
+    // The value records whether the handed-off partition held data: a
+    // former owner staying in the replica chain must then keep refusing
+    // failover reads (rebuilding mark) until the manager-commanded repair
+    // streams it a fresh copy.
+    std::unordered_map<PartitionId, bool> handed_off;
     // Destination side: partitions between kRebuildBegin and kRebuildEnd.
     // Data ops answer kMigrating while set, so the End digest check sees
     // exactly the streamed pairs (no interleaved writes, no stale reads).
@@ -485,6 +499,9 @@ class ZhtServer {
   // died), and the canonical store — never wiped mid-stream — is the copy
   // promotion elected. Called after every membership update.
   void ReleaseStuckRebuilds(Shard& shard);
+  // Lifts the source-side migration lock for handed-off partitions once a
+  // membership update names their new owner (subsequent requests redirect).
+  void ReleaseCompletedHandoffs(Shard& shard);
   ReplicaPlan MakeReplicaPlan(const Shard& shard,
                               const std::vector<InstanceId>& chain) const;
 
@@ -532,8 +549,14 @@ class ZhtServer {
   Status StreamPartition(
       PartitionId partition, const NodeAddress& target,
       const std::vector<std::pair<std::string, std::string>>& pairs);
-  void FinishMigrateOut(PartitionId partition, Status status,
+  void FinishMigrateOut(PartitionId partition, Status status, bool had_data,
                         std::function<void(Status)> done);
+  // Drops the source-side migration lock once the new owner is in the
+  // table. A former owner that stays in the partition's replica chain
+  // re-enters service via the rebuilding mark instead: its store was
+  // erased by the handoff, so it must refuse failover reads until the
+  // repair stream delivers a fresh copy.
+  void ReleaseHandoff(Shard& shard, PartitionId partition, bool had_data);
 
   // Scatters a census task across every shard; `done` runs on the shard
   // that finishes last (or inline when a shard chain completes inline).
@@ -623,6 +646,8 @@ class ZhtServer {
     std::atomic<std::uint64_t> replications_async{0};
     std::atomic<std::uint64_t> migrations_out{0};
     std::atomic<std::uint64_t> migrations_in{0};
+    std::atomic<std::uint64_t> migration_pairs_streamed{0};
+    std::atomic<std::uint64_t> migration_bytes_streamed{0};
     std::atomic<std::uint64_t> broadcasts{0};
     std::atomic<std::uint64_t> duplicate_appends_dropped{0};
     std::atomic<std::uint64_t> antientropy_probes{0};
@@ -650,7 +675,11 @@ class ZhtServer {
   // batch replication — peer I/O that must never run inside a shard drain.
   std::mutex finisher_mu_;
   std::condition_variable finisher_cv_;
+  // Separate CV for idle waiters (FlushAsyncReplication): EnqueueFinisher's
+  // notify_one must always wake a worker, never a flusher.
+  std::condition_variable finisher_idle_cv_;
   std::deque<std::function<void()>> finisher_queue_;
+  std::size_t finisher_busy_ = 0;
   bool finishers_stop_ = false;
   std::vector<std::thread> finishers_;
 

@@ -1,0 +1,152 @@
+#include "hashing/placement_policy.h"
+
+#include <algorithm>
+
+namespace zht {
+namespace {
+
+// SplitMix64 finalizer: cheap, well-distributed 64-bit mixer.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Lamping & Veach jump consistent hash: maps `key` to a bucket in
+// [0, num_buckets) such that growing the bucket count from u to u+1 moves
+// exactly the keys that land in the new bucket (1/(u+1) of them).
+std::uint32_t JumpConsistentHash(std::uint64_t key, std::uint32_t num_buckets) {
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < static_cast<std::int64_t>(num_buckets)) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::uint32_t>(b);
+}
+
+bool IsLive(const std::vector<std::uint32_t>& live, std::uint32_t id) {
+  return std::binary_search(live.begin(), live.end(), id);
+}
+
+class ContiguousPolicy final : public PlacementPolicy {
+ public:
+  PlacementKind kind() const override { return PlacementKind::kContiguous; }
+  std::string_view name() const override { return "contiguous"; }
+
+  std::uint32_t DesiredOwner(
+      PartitionId p, std::uint32_t num_partitions,
+      const std::vector<std::uint32_t>& live) const override {
+    // Balanced even contiguous split over the live instances in id order
+    // (the bootstrap layout of §III.C, re-evaluated over survivors).
+    const std::uint64_t k = live.size();
+    return live[static_cast<std::size_t>(
+        static_cast<std::uint64_t>(p) * k / num_partitions)];
+  }
+
+  double MaxMoveFractionOnJoin(std::size_t /*live_before*/) const override {
+    return 1.0;  // a join shifts every boundary; up to all partitions move
+  }
+};
+
+class MementoPolicy final : public PlacementPolicy {
+ public:
+  PlacementKind kind() const override { return PlacementKind::kMemento; }
+  std::string_view name() const override { return "memento"; }
+
+  std::uint32_t DesiredOwner(
+      PartitionId p, std::uint32_t /*num_partitions*/,
+      const std::vector<std::uint32_t>& live) const override {
+    // Bucket universe covers every id up to the highest live one; the
+    // universe only ever shrinks from the end (jump hash handles that
+    // minimally), interior dead ids are walked past deterministically.
+    const std::uint32_t universe = live.back() + 1;
+    const std::uint64_t h = Mix64(static_cast<std::uint64_t>(p) + 1);
+    const std::uint32_t base = JumpConsistentHash(h, universe);
+    if (IsLive(live, base)) return base;
+    // Deterministic replacement walk seeded by (partition, base bucket):
+    // the first live candidate wins. Reviving a bucket restores exactly
+    // the partitions whose base (or earlier walk step) it is.
+    std::uint64_t state = Mix64(h ^ Mix64(base));
+    const std::uint64_t max_steps = 4ULL * universe + 16;
+    for (std::uint64_t i = 0; i < max_steps; ++i) {
+      state = Mix64(state);
+      const std::uint32_t candidate =
+          static_cast<std::uint32_t>(state % universe);
+      if (IsLive(live, candidate)) return candidate;
+    }
+    // Unreached in practice (the walk finds a live bucket long before the
+    // cap); deterministic ring-successor fallback keeps the contract.
+    auto it = std::upper_bound(live.begin(), live.end(), base);
+    return it == live.end() ? live.front() : *it;
+  }
+
+  double MaxMoveFractionOnJoin(std::size_t live_before) const override {
+    // Expected n/(k+1); 3x slack absorbs hash variance at small n.
+    return std::min(1.0, 3.0 / (static_cast<double>(live_before) + 1.0));
+  }
+};
+
+class RendezvousPolicy final : public PlacementPolicy {
+ public:
+  PlacementKind kind() const override { return PlacementKind::kRendezvous; }
+  std::string_view name() const override { return "rendezvous"; }
+
+  std::uint32_t DesiredOwner(
+      PartitionId p, std::uint32_t /*num_partitions*/,
+      const std::vector<std::uint32_t>& live) const override {
+    const std::uint64_t ph = Mix64(static_cast<std::uint64_t>(p) + 1);
+    std::uint32_t best = live.front();
+    std::uint64_t best_score = 0;
+    for (std::uint32_t id : live) {
+      const std::uint64_t score =
+          Mix64(ph ^ Mix64(static_cast<std::uint64_t>(id) + 0x517cc1b7ULL));
+      if (score > best_score || (score == best_score && id < best)) {
+        best = id;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  double MaxMoveFractionOnJoin(std::size_t live_before) const override {
+    return std::min(1.0, 3.0 / (static_cast<double>(live_before) + 1.0));
+  }
+};
+
+}  // namespace
+
+const PlacementPolicy& GetPlacementPolicy(PlacementKind kind) {
+  static const ContiguousPolicy contiguous;
+  static const MementoPolicy memento;
+  static const RendezvousPolicy rendezvous;
+  switch (kind) {
+    case PlacementKind::kMemento:
+      return memento;
+    case PlacementKind::kRendezvous:
+      return rendezvous;
+    case PlacementKind::kContiguous:
+      break;
+  }
+  return contiguous;
+}
+
+std::string_view PlacementKindName(PlacementKind kind) {
+  return GetPlacementPolicy(kind).name();
+}
+
+Result<PlacementKind> ParsePlacementKind(std::string_view name) {
+  if (name == "contiguous") return PlacementKind::kContiguous;
+  if (name == "memento") return PlacementKind::kMemento;
+  if (name == "rendezvous") return PlacementKind::kRendezvous;
+  return Status(StatusCode::kInvalidArgument,
+                "unknown placement policy: " + std::string(name) +
+                    " (expected contiguous|memento|rendezvous)");
+}
+
+}  // namespace zht

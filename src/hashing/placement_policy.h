@@ -1,0 +1,68 @@
+// PlacementPolicy: pluggable partition→instance placement. The membership
+// table's ownership vector stays the single routing source of truth (clients
+// and servers never consult a policy on the data path — zero-hop routing is
+// unchanged); a policy only answers "which live instance SHOULD own partition
+// p", and the manager diffs that desired assignment against the current table
+// on joins/departures and migrates exactly the differing partitions. The
+// whole-partition migration and redirect machinery is therefore identical
+// for every policy.
+//
+// Three policies:
+//  - contiguous: the paper's §III.C layout — a balanced, contiguous even
+//    split of the partition range over the live instances in id order.
+//    Simple and perfectly balanced, but a join shifts every boundary, so
+//    ~half the partitions change owner.
+//  - memento: MementoHash-style minimal-churn consistent hashing
+//    (arXiv:2306.09783): jump consistent hash over the bucket universe
+//    [0, max live id + 1), with a deterministic replacement walk past dead
+//    buckets. A join at a fresh (highest) id moves only ~n/(k+1) partitions,
+//    all onto the newcomer; a death moves only the victim's partitions; a
+//    rejoin restores exactly its old partitions.
+//  - rendezvous: highest-random-weight hashing — each partition goes to the
+//    live instance with the largest mixed hash of (partition, instance).
+//    Also minimal-churn (~n/(k+1) per join) and fully order-independent.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "hashing/partition_space.h"
+
+namespace zht {
+
+enum class PlacementKind : std::uint8_t {
+  kContiguous = 0,
+  kMemento = 1,
+  kRendezvous = 2,
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual PlacementKind kind() const = 0;
+  virtual std::string_view name() const = 0;
+
+  // The live instance that should own partition p. `live` is the sorted list
+  // of alive instance ids (membership-table ids; indices into its instance
+  // vector) and must be non-empty. Deterministic in (p, num_partitions,
+  // live) — all callers agree without coordination.
+  virtual std::uint32_t DesiredOwner(
+      PartitionId p, std::uint32_t num_partitions,
+      const std::vector<std::uint32_t>& live) const = 0;
+
+  // Upper bound (with slack, for property tests) on the fraction of
+  // partitions expected to change owner when one instance joins
+  // `live_before` live ones.
+  virtual double MaxMoveFractionOnJoin(std::size_t live_before) const = 0;
+};
+
+// Shared, stateless singletons; valid for the process lifetime.
+const PlacementPolicy& GetPlacementPolicy(PlacementKind kind);
+
+std::string_view PlacementKindName(PlacementKind kind);
+Result<PlacementKind> ParsePlacementKind(std::string_view name);
+
+}  // namespace zht

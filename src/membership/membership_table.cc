@@ -47,8 +47,10 @@ MembershipTable::MembershipTable(std::uint32_t num_partitions,
 
 MembershipTable MembershipTable::CreateUniform(
     std::uint32_t num_partitions, const std::vector<NodeAddress>& instances,
-    std::uint32_t instances_per_node, HashKind hash_kind) {
+    std::uint32_t instances_per_node, HashKind hash_kind,
+    PlacementKind placement) {
   MembershipTable table(num_partitions, hash_kind);
+  table.placement_ = placement;
   if (instances_per_node == 0) instances_per_node = 1;
   for (std::size_t i = 0; i < instances.size(); ++i) {
     table.instances_.push_back(
@@ -56,11 +58,12 @@ MembershipTable MembershipTable::CreateUniform(
                      static_cast<std::uint32_t>(i / instances_per_node),
                      /*alive=*/true});
   }
-  const std::uint64_t k = instances.empty() ? 1 : instances.size();
-  for (std::uint64_t p = 0; p < num_partitions; ++p) {
-    // Contiguous even split: instance i owns [i*n/k, (i+1)*n/k).
-    table.partition_owner_[p] =
-        static_cast<InstanceId>(p * k / num_partitions);
+  if (!instances.empty()) {
+    const PlacementPolicy& policy = GetPlacementPolicy(placement);
+    std::vector<InstanceId> live = table.AliveIds();
+    for (PartitionId p = 0; p < num_partitions; ++p) {
+      table.partition_owner_[p] = policy.DesiredOwner(p, num_partitions, live);
+    }
   }
   table.epoch_ = 1;
   table.changelog_base_epoch_ = 1;  // no history before bootstrap
@@ -95,6 +98,22 @@ std::vector<PartitionId> MembershipTable::PartitionsOf(InstanceId id) const {
     if (partition_owner_[p] == id) out.push_back(p);
   }
   return out;
+}
+
+std::vector<InstanceId> MembershipTable::AliveIds() const {
+  std::vector<InstanceId> out;
+  for (const auto& info : instances_) {
+    if (info.alive) out.push_back(info.id);
+  }
+  return out;  // ids are vector indices, so this is sorted
+}
+
+std::optional<InstanceId> MembershipTable::FindByAddress(
+    const NodeAddress& address) const {
+  for (const auto& info : instances_) {
+    if (info.address == address) return info.id;
+  }
+  return std::nullopt;
 }
 
 std::optional<InstanceId> MembershipTable::MostLoaded() const {
@@ -173,6 +192,7 @@ std::string MembershipTable::EncodeFull() const {
   w.PutVarint(epoch_);
   w.PutVarint(space_.num_partitions());
   w.PutVarint(static_cast<std::uint64_t>(space_.hash_kind()));
+  w.PutVarint(static_cast<std::uint64_t>(placement_));
   w.PutVarint(instances_.size());
   for (const auto& info : instances_) EncodeInstance(w, info);
   // Run-length encode the ownership vector (contiguous ranges dominate).
@@ -197,13 +217,18 @@ Result<MembershipTable> MembershipTable::DecodeFull(std::string_view data) {
     return Status(StatusCode::kCorruption, "not a full membership snapshot");
   }
   wire::Reader r(data.substr(1));
-  std::uint64_t epoch, nparts, hash_kind, ninstances;
+  std::uint64_t epoch, nparts, hash_kind, placement, ninstances;
   if (!r.GetVarint(&epoch) || !r.GetVarint(&nparts) ||
-      !r.GetVarint(&hash_kind) || !r.GetVarint(&ninstances)) {
+      !r.GetVarint(&hash_kind) || !r.GetVarint(&placement) ||
+      !r.GetVarint(&ninstances)) {
     return Status(StatusCode::kCorruption, "membership header");
+  }
+  if (placement > static_cast<std::uint64_t>(PlacementKind::kRendezvous)) {
+    return Status(StatusCode::kCorruption, "membership placement kind");
   }
   MembershipTable table(static_cast<std::uint32_t>(nparts),
                         static_cast<HashKind>(hash_kind));
+  table.placement_ = static_cast<PlacementKind>(placement);
   table.epoch_ = static_cast<std::uint32_t>(epoch);
   table.changelog_base_epoch_ = table.epoch_;
   for (std::uint64_t i = 0; i < ninstances; ++i) {

@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "hashing/partition_space.h"
+#include "hashing/placement_policy.h"
 #include "net/address.h"
 
 namespace zht {
@@ -36,18 +37,23 @@ class MembershipTable {
   MembershipTable(std::uint32_t num_partitions, HashKind hash_kind);
 
   // Builds the static-bootstrap table (§III.C): partitions are distributed
-  // contiguously and as evenly as possible over the given instances.
+  // over the given instances per the placement policy (the default
+  // contiguous policy reproduces the paper's even contiguous split).
   // instances_per_node groups consecutive addresses onto physical nodes.
+  // The placement kind is recorded in the table (and travels in full
+  // snapshots) so every participant migrates against the same policy.
   static MembershipTable CreateUniform(
       std::uint32_t num_partitions, const std::vector<NodeAddress>& instances,
       std::uint32_t instances_per_node = 1,
-      HashKind hash_kind = HashKind::kFnv1a);
+      HashKind hash_kind = HashKind::kFnv1a,
+      PlacementKind placement = PlacementKind::kContiguous);
 
   // ---- Routing --------------------------------------------------------
 
   std::uint32_t epoch() const { return epoch_; }
   std::uint32_t num_partitions() const { return space_.num_partitions(); }
   const PartitionSpace& space() const { return space_; }
+  PlacementKind placement() const { return placement_; }
 
   PartitionId PartitionOfKey(std::string_view key) const {
     return space_.PartitionOfKey(key);
@@ -67,6 +73,13 @@ class MembershipTable {
 
   // Partitions currently owned by an instance.
   std::vector<PartitionId> PartitionsOf(InstanceId id) const;
+
+  // Sorted ids of the alive instances — the `live` set placement policies
+  // assign over.
+  std::vector<InstanceId> AliveIds() const;
+
+  // Instance registered at `address`, if any (rejoin detection).
+  std::optional<InstanceId> FindByAddress(const NodeAddress& address) const;
 
   // Instance with the most partitions (join target, §III.C) and fewest
   // (departure target). Dead instances excluded.
@@ -94,7 +107,8 @@ class MembershipTable {
   Status ApplyUpdate(std::string_view data);
 
   bool operator==(const MembershipTable& other) const {
-    return epoch_ == other.epoch_ && instances_ == other.instances_ &&
+    return epoch_ == other.epoch_ && placement_ == other.placement_ &&
+           instances_ == other.instances_ &&
            partition_owner_ == other.partition_owner_;
   }
 
@@ -109,6 +123,7 @@ class MembershipTable {
   void RecordChange(Change change);
 
   PartitionSpace space_;
+  PlacementKind placement_ = PlacementKind::kContiguous;
   std::uint32_t epoch_ = 0;
   std::vector<InstanceInfo> instances_;
   std::vector<InstanceId> partition_owner_;

@@ -17,7 +17,7 @@ status=0
 for bench in "$build"/bench/bench_fig* "$build"/bench/bench_ablation* \
              "$build"/bench/bench_batching "$build"/bench/bench_durability \
              "$build"/bench/bench_failover "$build"/bench/bench_table1_features \
-             "$build"/bench/bench_traffic; do
+             "$build"/bench/bench_traffic "$build"/bench/bench_churn; do
   [ -x "$bench" ] || continue
   name="$(basename "$bench")"
   echo "== $name"

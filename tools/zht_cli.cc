@@ -10,6 +10,7 @@
 //   ./tools/zht-cli --neighbors neighbors.conf mget K [K ...]      # batch
 //
 // Optional: --replicas R (must match the servers), --partitions P,
+// --placement contiguous|memento|rendezvous (must match the servers),
 // --udp (use the ack-based UDP transport instead of cached TCP).
 #include <cstdio>
 #include <cstring>
@@ -19,6 +20,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/zht_client.h"
+#include "hashing/placement_policy.h"
 #include "serialize/metrics_codec.h"
 #include "net/tcp_client.h"
 #include "net/udp_client.h"
@@ -51,7 +53,7 @@ zht::Result<std::vector<zht::NodeAddress>> LoadNeighbors(
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --neighbors FILE [--replicas R] [--partitions P] "
-               "[--udp] COMMAND ...\n"
+               "[--placement KIND] [--udp] COMMAND ...\n"
                "commands: insert K V | lookup K | remove K | append K V | "
                "mput K V [K V ...] | mget K [K ...] | "
                "ping INSTANCE | stats INSTANCE | bench N\n",
@@ -65,6 +67,7 @@ int main(int argc, char** argv) {
   using namespace zht;
 
   std::string neighbor_path;
+  std::string placement = "contiguous";
   int replicas = 0;
   std::uint32_t partitions = 0;
   bool use_udp = false;
@@ -77,6 +80,8 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[arg], "--partitions") && arg + 1 < argc) {
       partitions = static_cast<std::uint32_t>(
           std::strtoul(argv[++arg], nullptr, 10));
+    } else if (!std::strcmp(argv[arg], "--placement") && arg + 1 < argc) {
+      placement = argv[++arg];
     } else if (!std::strcmp(argv[arg], "--udp")) {
       use_udp = true;
     } else {
@@ -97,8 +102,16 @@ int main(int argc, char** argv) {
     partitions = static_cast<std::uint32_t>(neighbors->size()) * 1024;
   }
 
-  MembershipTable table =
-      MembershipTable::CreateUniform(partitions, *neighbors);
+  // The bootstrap guess must use the deployment's placement: with a
+  // matching epoch but different ownership, redirects carry empty deltas
+  // and misrouted ops never converge.
+  auto placement_kind = ParsePlacementKind(placement);
+  if (!placement_kind.ok()) {
+    std::fprintf(stderr, "%s\n", placement_kind.status().ToString().c_str());
+    return 2;
+  }
+  MembershipTable table = MembershipTable::CreateUniform(
+      partitions, *neighbors, 1, HashKind::kFnv1a, *placement_kind);
   std::unique_ptr<ClientTransport> transport;
   if (use_udp) {
     transport = std::make_unique<UdpClient>();

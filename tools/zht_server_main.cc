@@ -13,6 +13,8 @@
 //   instances_per_node = 1
 //   num_reactors    = 1           # event-loop threads (cores to drive)
 //   hash            = fnv | jenkins
+//   placement_policy = contiguous | memento | rendezvous  # partition
+//                                 # placement (must match cluster-wide)
 //   log_level       = info | debug | warn | error
 //   durability      = none | group_commit | every_op   # acked-write safety
 //   max_commit_latency_us = 0     # group-commit window (microseconds)
@@ -135,13 +137,21 @@ int main(int argc, char** argv) {
   HashKind hash = config.GetString("hash", "fnv") == "jenkins"
                       ? HashKind::kJenkins
                       : HashKind::kFnv1a;
+  const std::string placement =
+      config.GetString("placement_policy", "contiguous");
+  auto placement_kind = ParsePlacementKind(placement);
+  if (!placement_kind.ok()) {
+    std::fprintf(stderr, "%s\n", placement_kind.status().ToString().c_str());
+    return 1;
+  }
   MembershipTable table = MembershipTable::CreateUniform(
       partitions, *neighbors,
       static_cast<std::uint32_t>(config.GetInt("instances_per_node", 1)),
-      hash);
+      hash, *placement_kind);
 
   ZhtServerOptions server_options;
   server_options.self = static_cast<InstanceId>(self);
+  server_options.cluster.placement_policy = placement;
   server_options.cluster.num_replicas =
       static_cast<int>(config.GetInt("replicas", 0));
   server_options.cluster.peer_timeout =
